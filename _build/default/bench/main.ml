@@ -1,0 +1,11 @@
+(* The experiment harness: regenerates every table and figure of the paper
+   (see DESIGN.md's experiment index), then runs the quantitative
+   Bechamel benchmarks. `dune exec bench/main.exe` prints everything;
+   pass `--repro-only` or `--perf-only` to run half. *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let repro = not (List.mem "--perf-only" args) in
+  let perf = not (List.mem "--repro-only" args) in
+  if repro then Repro.run_all ();
+  if perf then Perf.run_all ()

@@ -1,0 +1,183 @@
+(* Quantitative benchmarks (experiments B2-B4): Bechamel timing of the
+   classifier, the run matcher, the weakening step, and full protocol
+   simulations. One Test.make per measured configuration. *)
+
+open Bechamel
+open Toolkit
+open Mo_core
+open Mo_order
+open Mo_protocol
+open Mo_workload
+
+(* ---- B2: classifier scaling in predicate size ---- *)
+
+let classify_tests =
+  let mk m =
+    (* a fixed random predicate of m variables and ~2m conjuncts, plus the
+       m-crown (the worst case for beta counting: one cycle through all
+       vertices) *)
+    let random =
+      Random_pred.predicate ~max_vars:m ~max_conjuncts:(2 * m) ~seed:(m * 7) ()
+    in
+    let crown = (Catalog.sync_crown m).Catalog.pred in
+    [
+      Test.make
+        ~name:(Printf.sprintf "random-m%d" m)
+        (Staged.stage (fun () -> ignore (Classify.classify random)));
+      Test.make
+        ~name:(Printf.sprintf "crown-m%d" m)
+        (Staged.stage (fun () -> ignore (Classify.classify crown)));
+    ]
+  in
+  Test.make_grouped ~name:"B2-classify" (List.concat_map mk [ 3; 5; 8; 12 ])
+
+(* ---- B3: matcher scaling in run size ---- *)
+
+let eval_tests =
+  let run_of nmsgs =
+    let cfg = Sim.default_config ~nprocs:4 in
+    let ops = (Gen.uniform ~nprocs:4 ~nmsgs ~seed:23).Gen.ops in
+    match Sim.execute cfg Causal_rst.factory ops with
+    | Ok { Sim.run = Some r; _ } -> Run.to_abstract r
+    | Ok _ | Error _ -> failwith "bench workload failed"
+  in
+  let causal = Catalog.causal_b2.Catalog.pred in
+  let fifo = Catalog.fifo.Catalog.pred in
+  let tests =
+    List.concat_map
+      (fun nmsgs ->
+        let r = run_of nmsgs in
+        [
+          Test.make
+            ~name:(Printf.sprintf "causal-sat-%dmsg" nmsgs)
+            (Staged.stage (fun () -> ignore (Eval.satisfies causal r)));
+          Test.make
+            ~name:(Printf.sprintf "fifo-sat-%dmsg" nmsgs)
+            (Staged.stage (fun () -> ignore (Eval.satisfies fifo r)));
+        ])
+      [ 10; 50; 200 ]
+  in
+  Test.make_grouped ~name:"B3-eval" tests
+
+(* ---- B4: ablations — cycle detection vs full enumeration; weakening ---- *)
+
+let ablation_tests =
+  let dense m =
+    (* complete digraph on m vertices: the cycle-enumeration stress case *)
+    let conjuncts =
+      List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun j -> if i <> j then Some Term.(s i @> s j) else None)
+            (List.init m Fun.id))
+        (List.init m Fun.id)
+    in
+    Forbidden.make ~nvars:m conjuncts
+  in
+  let g5 = Pgraph.of_predicate (dense 5) in
+  let crown8 = (Catalog.sync_crown 8).Catalog.pred in
+  let cycle8 =
+    match Cycles.enumerate (Pgraph.of_predicate crown8) with
+    | [ c ] -> c
+    | _ -> failwith "crown should be one cycle"
+  in
+  Test.make_grouped ~name:"B4-ablation"
+    [
+      Test.make ~name:"has_cycle-dense5"
+        (Staged.stage (fun () -> ignore (Cycles.has_cycle g5)));
+      Test.make ~name:"enumerate-dense5"
+        (Staged.stage (fun () -> ignore (Cycles.enumerate g5)));
+      Test.make ~name:"enumerate-capped100-dense5"
+        (Staged.stage (fun () ->
+             ignore (Cycles.enumerate ~max_cycles:100 g5)));
+      Test.make ~name:"weaken-crown8"
+        (Staged.stage (fun () -> ignore (Weaken.contract cycle8)));
+      Test.make ~name:"witness-crown8"
+        (Staged.stage (fun () -> ignore (Witness.build crown8)));
+    ]
+
+(* ---- B7: online monitor vs offline checker ---- *)
+
+let online_tests =
+  let tests =
+    List.concat_map
+      (fun nmsgs ->
+        let r = Random_run.causal_run ~nprocs:4 ~nmsgs ~seed:13 () in
+        let a = Run.to_abstract r in
+        [
+          Test.make
+            ~name:(Printf.sprintf "online-%dmsg" nmsgs)
+            (Staged.stage (fun () -> ignore (Online.feed_run r)));
+          Test.make
+            ~name:(Printf.sprintf "offline-eval-%dmsg" nmsgs)
+            (Staged.stage (fun () ->
+                 ignore
+                   (Eval.satisfies Catalog.causal_b2.Catalog.pred a
+                   && Limits.is_sync a)));
+        ])
+      [ 50; 200 ]
+  in
+  let big = Random_run.run ~nprocs:6 ~nmsgs:2000 ~seed:3 () in
+  Test.make_grouped ~name:"B7-monitor"
+    (tests
+    @ [
+        Test.make ~name:"online-2000msg"
+          (Staged.stage (fun () -> ignore (Online.feed_run big)));
+      ])
+
+(* ---- B1 timing companion: protocol simulation throughput ---- *)
+
+let sim_tests =
+  let mk name factory =
+    let cfg = Sim.default_config ~nprocs:4 in
+    let ops = (Gen.uniform ~nprocs:4 ~nmsgs:100 ~seed:3).Gen.ops in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           match Sim.execute cfg factory ops with
+           | Ok _ -> ()
+           | Error e -> failwith e))
+  in
+  Test.make_grouped ~name:"B1-sim-100msg"
+    [
+      mk "tagless" Tagless.factory;
+      mk "fifo" Fifo.factory;
+      mk "causal-rst" Causal_rst.factory;
+      mk "causal-ses" Causal_ses.factory;
+      mk "sync-token" Sync_token.factory;
+      mk "sync-priority" Sync_priority.factory;
+      mk "flush" Flush.factory;
+    ]
+
+let run_group group =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.3) () in
+  let raw = Benchmark.all cfg instances group in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let results = Analyze.merge ols instances results in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun _measure tbl ->
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> rows := (name, est) :: !rows
+          | _ -> ())
+        tbl)
+    results;
+  List.iter
+    (fun (name, est) ->
+      if est > 1_000_000.0 then
+        Format.printf "  %-32s %12.2f ms/run@." name (est /. 1_000_000.0)
+      else if est > 1_000.0 then
+        Format.printf "  %-32s %12.2f us/run@." name (est /. 1_000.0)
+      else Format.printf "  %-32s %12.1f ns/run@." name est)
+    (List.sort compare !rows)
+
+let run_all () =
+  Format.printf "@.%s@.== B1-B4: Bechamel timings@.%s@."
+    (String.make 74 '=') (String.make 74 '=');
+  List.iter run_group
+    [ classify_tests; eval_tests; ablation_tests; online_tests; sim_tests ]

@@ -1,0 +1,572 @@
+(* mopc — message-ordering predicate classifier.
+
+   The command-line frontend to the library: classify forbidden
+   predicates, inspect their graphs and witnesses, browse the catalog, and
+   run protocol simulations. *)
+
+open Cmdliner
+module T = Cmdliner.Term
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let parse_pred input =
+  match Parse.predicate input with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "cannot parse %S: %s" input e)
+
+let pred_arg =
+  let doc =
+    "Forbidden predicate, e.g. \"x.s < y.s & y.r < x.r\". Guards: \
+     src(x) = src(y), dst(x) = dst(y), color(x) = <int>."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PREDICATE" ~doc)
+
+(* ---- classify ---- *)
+
+let classify_run explain certificate input =
+  match parse_pred input with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok pred ->
+      if certificate then begin
+        print_string (Necessity.certificate pred);
+        0
+      end
+      else if explain then begin
+        print_string (Classify.explain pred);
+        0
+      end
+      else begin
+        let result = Classify.classify pred in
+        Format.printf "predicate:       %a@." Forbidden.pp pred;
+        Format.printf "classification:  %a@." Classify.pp_result result;
+        (match result.Classify.best_cycle with
+        | Some cycle when List.length cycle > 2 ->
+            Format.printf "@.lemma 4 contraction:@.%a@." Weaken.pp
+              (Weaken.contract cycle)
+        | _ -> ());
+        0
+      end
+
+let explain_flag =
+  Arg.(
+    value & flag
+    & info [ "e"; "explain" ]
+        ~doc:"print a prose justification citing the paper's theorems")
+
+let certificate_flag =
+  Arg.(
+    value & flag
+    & info [ "c"; "certificate" ]
+        ~doc:
+          "print concrete refuting runs for the weaker protocol classes \
+           (bounded search; slower)")
+
+let classify_cmd =
+  let doc = "classify a forbidden predicate (Theorems 2-4)" in
+  Cmd.v
+    (Cmd.info "classify" ~doc)
+    T.(const classify_run $ explain_flag $ certificate_flag $ pred_arg)
+
+(* ---- graph ---- *)
+
+let graph_run dot input =
+  match parse_pred input with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok pred ->
+      let g = Pgraph.of_predicate pred in
+      if dot then begin
+        let highlight =
+          match (Classify.classify pred).Classify.best_cycle with
+          | Some c -> c
+          | None -> []
+        in
+        print_string (Pgraph.to_dot ~highlight g);
+        0
+      end
+      else begin
+        Format.printf "%a@." Pgraph.pp g;
+        let cycles = Cycles.enumerate g in
+        if cycles = [] then Format.printf "no cycles: not implementable@."
+        else
+          List.iter
+            (fun c ->
+              Format.printf "cycle (order %d, beta vertices {%s}): %a@."
+                (Beta.order c)
+                (String.concat ","
+                   (List.map (fun v -> "x" ^ string_of_int v)
+                      (Beta.beta_vertices c)))
+                Cycles.pp_cycle c)
+            cycles;
+        0
+      end
+
+let graph_cmd =
+  let doc = "print the predicate graph, its cycles and beta vertices" in
+  let dot_flag =
+    Arg.(
+      value & flag
+      & info [ "dot" ]
+          ~doc:"emit Graphviz source (certificate cycle highlighted)")
+  in
+  Cmd.v (Cmd.info "graph" ~doc) T.(const graph_run $ dot_flag $ pred_arg)
+
+(* ---- witness ---- *)
+
+let witness_run input =
+  match parse_pred input with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok pred ->
+      (match Witness.build pred with
+      | Witness.Witness w ->
+          print_string (Mo_order.Diagram.render_abstract w.Witness.run);
+          Format.printf "limit set: %s@."
+            (Mo_order.Limits.cls_to_string
+               (Mo_order.Limits.classify w.Witness.run))
+      | Witness.Cyclic ->
+          Format.printf
+            "predicate is unsatisfiable (conjuncts force h > h): the \
+             specification is all of X_async@."
+      | Witness.Conflicting_guards ->
+          Format.printf "guards are unsatisfiable@.");
+      0
+
+let witness_cmd =
+  let doc = "construct the Theorem 2/4 witness run and locate it" in
+  Cmd.v (Cmd.info "witness" ~doc) T.(const witness_run $ pred_arg)
+
+(* ---- catalog ---- *)
+
+let catalog_run () =
+  Format.printf "%-22s %-18s %-10s %s@." "name" "classification"
+    "exact" "source";
+  Format.printf "%s@." (String.make 78 '-');
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let r = Classify.classify e.pred in
+      Format.printf "%-22s %-18s %-10b %s@." e.name
+        (Classify.verdict_to_string r.Classify.verdict)
+        r.Classify.necessity_exact e.source)
+    Catalog.all;
+  Format.printf "@.multi-predicate specifications:@.";
+  List.iter
+    (fun (s : Spec.t) ->
+      Format.printf "%-22s %-18s %d predicates@." s.Spec.name
+        (Classify.verdict_to_string (Spec.classify s))
+        (List.length s.Spec.predicates))
+    [ Catalog.two_way_flush ];
+  Format.printf
+    "%-22s %-18s intersection of all crown lengths (Lemma 3.1)@."
+    "logically-synchronous" "general";
+  0
+
+let catalog_cmd =
+  let doc = "list the paper's named specifications with classifications" in
+  Cmd.v (Cmd.info "catalog" ~doc) T.(const catalog_run $ const ())
+
+(* ---- show (one catalog entry, in detail) ---- *)
+
+let show_run name =
+  match Catalog.find name with
+  | None ->
+      Format.eprintf "unknown catalog entry %S (try: mopc catalog)@." name;
+      1
+  | Some e ->
+      Format.printf "%s — %s@.source: %s@.@." e.name e.description e.source;
+      classify_run false false (Forbidden.to_string e.pred)
+
+let show_cmd =
+  let doc = "show one catalog entry in detail" in
+  let name_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME")
+  in
+  Cmd.v (Cmd.info "show" ~doc) T.(const show_run $ name_arg)
+
+(* ---- simulate ---- *)
+
+let protocols =
+  [
+    ("tagless", Tagless.factory);
+    ("fifo", Fifo.factory);
+    ("rst", Causal_rst.factory);
+    ("ses", Causal_ses.factory);
+    ("bss", Causal_bss.factory);
+    ("sync", Sync_token.factory);
+    ("sync-priority", Sync_priority.factory);
+    ("flush", Flush.factory);
+    ("to", Total_order.factory);
+  ]
+
+let workloads = [ "uniform"; "client-server"; "ring"; "bursty"; "broadcast"; "flood" ]
+
+let make_workload name ~nprocs ~nmsgs ~seed =
+  match name with
+  | "uniform" -> (Gen.uniform ~nprocs ~nmsgs ~seed).Gen.ops
+  | "client-server" -> (Gen.client_server ~nprocs ~nmsgs ~seed).Gen.ops
+  | "ring" ->
+      (Gen.ring ~nprocs ~rounds:(max 1 (nmsgs / nprocs)) ~seed).Gen.ops
+  | "bursty" -> (Gen.bursty ~nprocs ~nmsgs ~seed).Gen.ops
+  | "broadcast" ->
+      (Gen.broadcast ~nprocs ~nbcasts:(max 1 (nmsgs / (nprocs - 1))) ~seed)
+        .Gen.ops
+  | "flood" ->
+      (Gen.pairwise_flood ~nprocs
+         ~per_pair:(max 1 (nmsgs / (nprocs * (nprocs - 1))))
+         ~seed)
+        .Gen.ops
+  | other -> invalid_arg ("unknown workload " ^ other)
+
+let simulate_run proto wname nprocs nmsgs seed spec_str diagram trace_out =
+  match List.assoc_opt proto protocols with
+  | None ->
+      Format.eprintf "unknown protocol %S (choose from: %s)@." proto
+        (String.concat ", " (List.map fst protocols));
+      1
+  | Some factory -> (
+      let spec =
+        match spec_str with
+        | None -> None
+        | Some s -> (
+            match parse_pred s with
+            | Ok p -> Some (Spec.make ~name:"cli" [ p ])
+            | Error e ->
+                prerr_endline e;
+                exit 1)
+      in
+      let ops = make_workload wname ~nprocs ~nmsgs ~seed in
+      let cfg = { (Sim.default_config ~nprocs) with Sim.seed } in
+      match Conformance.check ?spec cfg factory ops with
+      | Error e ->
+          Format.eprintf "simulation error: %s@." e;
+          1
+      | Ok r ->
+          Format.printf "%a@." Conformance.pp_report r;
+          (match (trace_out, r.Conformance.outcome.Sim.run) with
+          | Some path, Some run ->
+              Trace_io.write path run;
+              Format.printf "trace written to %s@." path
+          | Some _, None -> Format.printf "(no complete run to write)@."
+          | None, _ -> ());
+          (if diagram then
+             match r.Conformance.outcome.Sim.run with
+             | Some run when Mo_order.Run.nmsgs run <= 30 ->
+                 print_string (Mo_order.Diagram.render_run run)
+             | Some _ -> Format.printf "(run too large to draw)@."
+             | None -> ());
+          if r.Conformance.spec_ok = Some false then 2 else 0)
+
+let simulate_cmd =
+  let doc = "run a protocol on a workload and check a specification" in
+  let proto =
+    Arg.(
+      value
+      & opt string "rst"
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"tagless | fifo | rst | bss | sync | sync-priority | flush | to")
+  in
+  let wname =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:(String.concat " | " workloads))
+  in
+  let nprocs =
+    Arg.(value & opt int 4 & info [ "n"; "nprocs" ] ~docv:"N")
+  in
+  let nmsgs = Arg.(value & opt int 40 & info [ "m"; "messages" ] ~docv:"M") in
+  let seed = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"PREDICATE"
+          ~doc:"forbidden predicate to check the run against")
+  in
+  let diagram =
+    Arg.(value & flag & info [ "d"; "diagram" ] ~doc:"draw the run")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:"write the recorded run as a monitor-format trace file")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc)
+    T.(
+      const simulate_run $ proto $ wname $ nprocs $ nmsgs $ seed $ spec
+      $ diagram $ trace_out)
+
+(* ---- synth ---- *)
+
+let synth_run input =
+  match parse_pred input with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok pred -> (
+      match Synth.for_predicate pred with
+      | Error e ->
+          Format.printf "not implementable: %s@." e;
+          2
+      | Ok (factory, result) ->
+          Format.printf "classification: %s@."
+            (Classify.verdict_to_string result.Classify.verdict);
+          Format.printf "universal:      %s (%s)@."
+            factory.Protocol.proto_name
+            (Protocol.kind_to_string factory.Protocol.kind);
+          (match Synth.optimize pred with
+          | Ok c when c.Synth.factory.Protocol.proto_name <> factory.Protocol.proto_name ->
+              Format.printf "optimized:      %s — %s@."
+                c.Synth.factory.Protocol.proto_name c.Synth.rationale
+          | Ok c -> Format.printf "optimized:      (same) %s@." c.Synth.rationale
+          | Error _ -> ());
+          0)
+
+let synth_cmd =
+  let doc = "pick the weakest protocol class implementing a predicate" in
+  Cmd.v (Cmd.info "synth" ~doc) T.(const synth_run $ pred_arg)
+
+(* ---- implies: specification containment ---- *)
+
+let implies_run input1 input2 =
+  match (parse_pred input1, parse_pred input2) with
+  | Error e, _ | _, Error e ->
+      prerr_endline e;
+      1
+  | Ok b, Ok b' ->
+      let fwd = Implies.check b b' and bwd = Implies.check b' b in
+      Format.printf "B  = %a@.B' = %a@." Forbidden.pp b Forbidden.pp b';
+      Format.printf "B ⟹ B': %b    B' ⟹ B: %b@." fwd bwd;
+      (match Implies.compare_specs b b' with
+      | `Equivalent -> Format.printf "the specifications are equivalent@."
+      | `Weaker ->
+          Format.printf
+            "X_B' ⊂ X_B: the second specification is stronger (forbids \
+             more); a protocol for it also implements the first@."
+      | `Stronger ->
+          Format.printf
+            "X_B ⊂ X_B': the first specification is stronger; a protocol \
+             for it also implements the second@."
+      | `Incomparable -> Format.printf "the specifications are incomparable@.");
+      0
+
+let implies_cmd =
+  let doc =
+    "decide implication between two forbidden predicates (specification \
+     containment, via the canonical witness)"
+  in
+  let p1 = Arg.(required & pos 0 (some string) None & info [] ~docv:"B") in
+  let p2 = Arg.(required & pos 1 (some string) None & info [] ~docv:"B'") in
+  Cmd.v (Cmd.info "implies" ~doc) T.(const implies_run $ p1 $ p2)
+
+(* ---- batch: classify a file of predicates ---- *)
+
+let batch_run path =
+  let ic = if path = "-" then stdin else open_in path in
+  let rec lines acc =
+    match input_line ic with
+    | l -> lines (l :: acc)
+    | exception End_of_file ->
+        if path <> "-" then close_in ic;
+        List.rev acc
+  in
+  let entries =
+    List.filteri
+      (fun _ l ->
+        let l = String.trim l in
+        l <> "" && l.[0] <> '#')
+      (lines [])
+  in
+  Format.printf "%-44s %-18s %s@." "predicate" "classification"
+    "optimized protocol";
+  Format.printf "%s@." (String.make 78 '-');
+  let failures = ref 0 in
+  List.iter
+    (fun line ->
+      match parse_pred (String.trim line) with
+      | Error e ->
+          incr failures;
+          Format.printf "%-44s parse error: %s@." (String.trim line) e
+      | Ok pred ->
+          let r = Classify.classify pred in
+          let proto =
+            match Synth.optimize pred with
+            | Ok c -> c.Synth.factory.Protocol.proto_name
+            | Error _ -> "-"
+          in
+          Format.printf "%-44s %-18s %s@."
+            (Forbidden.to_string pred)
+            (Classify.verdict_to_string r.Classify.verdict)
+            proto)
+    entries;
+  if !failures = 0 then 0 else 1
+
+let batch_cmd =
+  let doc =
+    "classify every predicate in a file (one per line, '#' comments, '-' \
+     for stdin) and show the optimized protocol choice"
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v (Cmd.info "batch" ~doc) T.(const batch_run $ path_arg)
+
+(* ---- monitor: stream a trace file through the online checker ---- *)
+
+type trace_line = Tsend of int * int * int | Tdeliver of int
+
+let parse_trace_line lineno line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun s -> s <> "")
+  with
+  | [] -> Ok None
+  | [ "send"; m; src; dst ] -> (
+      match (int_of_string_opt m, int_of_string_opt src, int_of_string_opt dst)
+      with
+      | Some m, Some src, Some dst -> Ok (Some (Tsend (m, src, dst)))
+      | _ -> Error (Printf.sprintf "line %d: bad send" lineno))
+  | [ "deliver"; m ] -> (
+      match int_of_string_opt m with
+      | Some m -> Ok (Some (Tdeliver m))
+      | None -> Error (Printf.sprintf "line %d: bad deliver" lineno))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "line %d: expected 'send <msg> <src> <dst>' or 'deliver <msg>'"
+           lineno)
+
+let read_trace path =
+  let ic = if path = "-" then stdin else open_in path in
+  let rec go lineno acc =
+    match input_line ic with
+    | line -> (
+        match parse_trace_line lineno line with
+        | Ok None -> go (lineno + 1) acc
+        | Ok (Some t) -> go (lineno + 1) (t :: acc)
+        | Error e ->
+            if path <> "-" then close_in ic;
+            Error e)
+    | exception End_of_file ->
+        if path <> "-" then close_in ic;
+        Ok (List.rev acc)
+  in
+  go 1 []
+
+let trace_to_run trace =
+  let sends =
+    List.filter_map
+      (function Tsend (m, s, d) -> Some (m, (s, d)) | Tdeliver _ -> None)
+      trace
+  in
+  let nmsgs =
+    List.fold_left (fun acc (m, _) -> max acc (m + 1)) 0 sends
+  in
+  let msgs = Array.make nmsgs (0, 0) in
+  List.iter (fun (m, sd) -> msgs.(m) <- sd) sends;
+  let nprocs =
+    Array.fold_left (fun acc (s, d) -> max acc (max s d + 1)) 1 msgs
+  in
+  let sched =
+    List.map
+      (function
+        | Tsend (m, _, _) -> Mo_order.Run.Do_send m
+        | Tdeliver m -> Mo_order.Run.Do_deliver m)
+      trace
+  in
+  Mo_order.Run.of_schedule ~nprocs ~msgs sched
+
+let monitor_run diagram path =
+  match read_trace path with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok trace ->
+      let max_id = ref (-1) and max_proc = ref 0 in
+      List.iter
+        (fun t ->
+          match t with
+          | Tsend (m, src, dst) ->
+              max_id := max !max_id m;
+              max_proc := max !max_proc (max src dst)
+          | Tdeliver m -> max_id := max !max_id m)
+        trace;
+      let t =
+        Mo_order.Online.create ~nprocs:(!max_proc + 1) ~nmsgs:(!max_id + 1)
+      in
+      let nviolations = ref 0 in
+      (try
+         List.iter
+           (fun entry ->
+             match entry with
+             | Tsend (msg, src, dst) -> Mo_order.Online.send t ~msg ~src ~dst
+             | Tdeliver msg ->
+                 List.iter
+                   (fun (v : Mo_order.Online.violation) ->
+                     incr nviolations;
+                     Format.printf "%s violation: x%d overtook x%d@."
+                       (match v.kind with `Fifo -> "FIFO" | `Causal -> "causal")
+                       v.later v.earlier)
+                   (Mo_order.Online.deliver t ~msg))
+           trace
+       with Invalid_argument e ->
+         Format.printf "malformed trace: %s@." e;
+         exit 1);
+      (match Mo_order.Online.finalize_sync t with
+      | Ok _ -> Format.printf "logically synchronous: yes@."
+      | Error cycle ->
+          Format.printf "logically synchronous: no (crown through {%s})@."
+            (String.concat "," (List.map string_of_int cycle)));
+      Format.printf "violations: %d@." !nviolations;
+      (if diagram then
+         match trace_to_run trace with
+         | Ok run -> print_string (Mo_order.Diagram.render_run run)
+         | Error e -> Format.printf "(cannot draw: %s)@." e);
+      if !nviolations = 0 then 0 else 2
+
+let monitor_cmd =
+  let doc =
+    "stream a trace file ('send <msg> <src> <dst>' / 'deliver <msg>', one \
+     per line, '#' comments, '-' for stdin) through the online \
+     FIFO/causal/SYNC monitor"
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
+  in
+  let diagram_flag =
+    Arg.(value & flag & info [ "d"; "diagram" ] ~doc:"draw the trace")
+  in
+  Cmd.v (Cmd.info "monitor" ~doc) T.(const monitor_run $ diagram_flag $ path_arg)
+
+let main_cmd =
+  let doc = "message ordering specifications and protocols (Murty & Garg)" in
+  Cmd.group
+    (Cmd.info "mopc" ~version:"1.0.0" ~doc)
+    [
+      classify_cmd;
+      graph_cmd;
+      witness_cmd;
+      catalog_cmd;
+      show_cmd;
+      simulate_cmd;
+      synth_cmd;
+      implies_cmd;
+      batch_cmd;
+      monitor_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

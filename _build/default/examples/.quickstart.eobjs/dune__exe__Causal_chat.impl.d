@@ -1,0 +1,1 @@
+examples/causal_chat.ml: Array Catalog Causal_bss Causal_rst Classify Conformance Format Fun List Mo_core Mo_order Mo_protocol Printf Sim Spec Tagless

@@ -1,0 +1,1 @@
+examples/custom_ordering.ml: Array Catalog Causal_rst Classify Conformance Forbidden Format Gen Implies List Mo_core Mo_order Mo_protocol Mo_workload Parse Protocol Sim Spec Synth Tagless Term

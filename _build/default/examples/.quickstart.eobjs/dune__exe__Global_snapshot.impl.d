@@ -1,0 +1,1 @@
+examples/global_snapshot.ml: Array Fifo Format Fun Hashtbl List Message Mo_core Mo_protocol Option Protocol Random Sim String Tagless

@@ -1,0 +1,1 @@
+examples/mobile_handoff.ml: Array Catalog Causal_rst Classify Conformance Forbidden Format Fun List Mo_core Mo_order Mo_protocol Sim Spec String Sync_token

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Classify Conformance Format Gen Mo_core Mo_order Mo_protocol Mo_workload Parse Protocol Sim Spec Synth Sys Weaken Witness

@@ -1,0 +1,1 @@
+examples/replicated_log.ml: Array Causal_bss Format Fun Hashtbl List Message Mo_protocol Protocol Queue Sim String Total_order

@@ -1,0 +1,1 @@
+examples/snapshot_marker.ml: Array Catalog Causal_rst Classify Conformance Flush Forbidden Format Fun Gen List Message Mo_core Mo_protocol Mo_workload Sim Spec Tagless

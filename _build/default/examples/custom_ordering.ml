@@ -1,0 +1,109 @@
+(* Designing a custom message ordering, end to end.
+
+   Scenario: a trading gateway. Cancellation messages (color 9) must never
+   arrive after two or more orders that were sent after them on the same
+   connection — a bounded-overtaking guarantee for a distinguished message
+   class, stronger than nothing, weaker than FIFO.
+
+   The workflow this example walks through is the library's intended use:
+     1. write the guarantee as a forbidden predicate;
+     2. classify it (and read the explanation);
+     3. compare it with the standard guarantees (implication);
+     4. synthesize a protocol — both the universal one and the optimized
+        one — and check conformance;
+     5. monitor a live trace.
+
+   Run with: dune exec examples/custom_ordering.exe *)
+
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let cancel_color = 9
+
+(* forbidden: a cancel (x0) overtaken by two same-channel messages sent
+   after it: s(x0) < s(x1) < s(x2) but both delivered before the cancel *)
+let spec_text =
+  "c.s < a.s & a.s < b.s & a.r < c.r & b.r < c.r & src(c) = src(a) & \
+   src(a) = src(b) & dst(c) = dst(a) & dst(a) = dst(b) & color(c) = 9"
+
+let () =
+  Format.printf "the guarantee, as a forbidden predicate:@.  %s@.@." spec_text;
+  let pred = Parse.predicate_exn spec_text in
+
+  (* 2. classification with explanation *)
+  print_string (Classify.explain pred);
+
+  (* 3. relate it to the standard guarantees *)
+  Format.printf "@.relation to standard guarantees:@.";
+  let rel name other =
+    let fwd = Implies.check pred other and bwd = Implies.check other pred in
+    Format.printf "  vs %-12s our pattern %s theirs; theirs %s ours@." name
+      (if fwd then "implies" else "does not imply")
+      (if bwd then "implies" else "does not imply")
+  in
+  rel "fifo" Catalog.fifo.Catalog.pred;
+  rel "causal" Catalog.causal_b2.Catalog.pred;
+  rel "backward-flush"
+    (Forbidden.make ~nvars:2
+       ~guards:
+         Term.[ Same_src (0, 1); Same_dst (0, 1); Color_is (0, cancel_color) ]
+       Term.[ s 0 @> s 1; r 1 @> r 0 ]);
+
+  (* 4. synthesis: universal vs optimized *)
+  (match (Synth.for_predicate pred, Synth.optimize pred) with
+  | Ok (universal, _), Ok opt ->
+      Format.printf "@.universal protocol: %s@." universal.Protocol.proto_name;
+      Format.printf "optimized protocol: %s@.  (%s)@."
+        opt.Synth.factory.Protocol.proto_name opt.Synth.rationale;
+      (* conformance of both on a cancel-heavy workload *)
+      let ops =
+        (Gen.with_colors ~every:5 ~color:cancel_color
+           (Gen.pairwise_flood ~nprocs:3 ~per_pair:15 ~seed:2))
+          .Gen.ops
+      in
+      let spec = Spec.make ~name:"cancel-window" [ pred ] in
+      List.iter
+        (fun (label, factory) ->
+          let cfg =
+            { (Sim.default_config ~nprocs:3) with Sim.jitter = 25 }
+          in
+          let r = Conformance.check_exn ~spec cfg factory ops in
+          Format.printf
+            "  %-22s live=%b spec=%s tag bytes=%d mean latency=%.2f@." label
+            r.Conformance.live
+            (match r.Conformance.spec_ok with
+            | Some true -> "ok"
+            | Some false -> "VIOLATED"
+            | None -> "-")
+            r.Conformance.outcome.Sim.stats.Sim.tag_bytes
+            (Sim.mean_latency r.Conformance.outcome.Sim.stats
+               ~nmsgs:(Array.length r.Conformance.outcome.Sim.msgs)))
+        [
+          ("universal (RST)", Causal_rst.factory);
+          ("optimized", opt.Synth.factory);
+          ("tagless (unsafe?)", Tagless.factory);
+        ]
+  | Error e, _ | _, Error e -> Format.printf "synthesis failed: %s@." e);
+
+  (* 5. the same guarantee, monitored on a hand-written trace *)
+  Format.printf
+    "@.monitoring a trace where the cancel is overtaken by two orders:@.";
+  let t = Mo_order.Online.create ~nprocs:2 ~nmsgs:3 in
+  Mo_order.Online.send t ~msg:0 ~src:0 ~dst:1;
+  (* cancel *)
+  Mo_order.Online.send t ~msg:1 ~src:0 ~dst:1;
+  Mo_order.Online.send t ~msg:2 ~src:0 ~dst:1;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (v : Mo_order.Online.violation) ->
+          Format.printf "  %s: x%d overtook x%d@."
+            (match v.kind with `Fifo -> "fifo" | `Causal -> "causal")
+            v.later v.earlier)
+        (Mo_order.Online.deliver t ~msg:m))
+    [ 1; 2; 0 ];
+  Format.printf
+    "  (the monitor reports per-channel overtakes; our spec tolerates one \
+     overtake@.   of a cancel but not two — predicate evaluation on the \
+     recorded run decides)@."

@@ -1,0 +1,1 @@
+lib/core/beta.ml: Array Cycles List Mo_order Pgraph

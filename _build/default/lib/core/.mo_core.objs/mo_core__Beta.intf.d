@@ -1,0 +1,1 @@
+lib/core/beta.mli: Cycles Pgraph

@@ -1,0 +1,1 @@
+lib/core/catalog.ml: Classify Forbidden List Printf Spec Term

@@ -1,0 +1,1 @@
+lib/core/classify.ml: Beta Buffer Cycles Forbidden Format Int List Pgraph Printf String Term Weaken

@@ -1,0 +1,1 @@
+lib/core/classify.mli: Cycles Forbidden Format

@@ -1,0 +1,1 @@
+lib/core/cycles.ml: Array Format List Pgraph Term

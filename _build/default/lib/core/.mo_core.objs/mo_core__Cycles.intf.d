@@ -1,0 +1,1 @@
+lib/core/cycles.mli: Format Pgraph

@@ -1,0 +1,1 @@
+lib/core/eval.ml: Array Event Forbidden List Mo_order Option Run Term

@@ -1,0 +1,1 @@
+lib/core/forbidden.ml: Format Hashtbl List Mo_order Printf Term

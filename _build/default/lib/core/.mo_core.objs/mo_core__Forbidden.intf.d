@@ -1,0 +1,1 @@
+lib/core/forbidden.mli: Format Term

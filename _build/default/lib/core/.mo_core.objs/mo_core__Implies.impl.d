@@ -1,0 +1,1 @@
+lib/core/implies.ml: Eval Witness

@@ -1,0 +1,1 @@
+lib/core/implies.mli: Forbidden

@@ -1,0 +1,1 @@
+lib/core/necessity.ml: Array Buffer Classify Diagram Enumerate Eval Forbidden Int Limits List Mo_order Option Printf Run Term

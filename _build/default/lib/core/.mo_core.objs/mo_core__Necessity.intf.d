@@ -1,0 +1,1 @@
+lib/core/necessity.mli: Classify Forbidden Mo_order

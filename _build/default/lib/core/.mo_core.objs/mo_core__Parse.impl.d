@@ -1,0 +1,1 @@
+lib/core/parse.ml: Forbidden Hashtbl List Mo_order Printf Result String Term

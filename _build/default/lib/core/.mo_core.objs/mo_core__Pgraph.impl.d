@@ -1,0 +1,1 @@
+lib/core/pgraph.ml: Array Buffer Forbidden Format List Mo_order Printf Term

@@ -1,0 +1,1 @@
+lib/core/pgraph.mli: Forbidden Format Mo_order Term

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Classify Eval Forbidden Format Fun Implies List

@@ -1,0 +1,1 @@
+lib/core/term.ml: Format Mo_order

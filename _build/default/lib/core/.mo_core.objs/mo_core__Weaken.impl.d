@@ -1,0 +1,1 @@
+lib/core/weaken.ml: Array Cycles Event Forbidden Format Hashtbl Int List Mo_order Pgraph Term

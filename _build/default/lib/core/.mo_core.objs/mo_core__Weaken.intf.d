@@ -1,0 +1,1 @@
+lib/core/weaken.mli: Cycles Forbidden Format Term

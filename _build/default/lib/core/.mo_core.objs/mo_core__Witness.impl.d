@@ -1,0 +1,1 @@
+lib/core/witness.ml: Array Classify Event Forbidden Fun Hashtbl Limits List Mo_order Run Term

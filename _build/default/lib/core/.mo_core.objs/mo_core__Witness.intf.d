@@ -1,0 +1,1 @@
+lib/core/witness.mli: Classify Forbidden Mo_order

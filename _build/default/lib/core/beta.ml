@@ -1,0 +1,21 @@
+let is_beta ~(incoming : Pgraph.edge) ~(outgoing : Pgraph.edge) =
+  if incoming.dst <> outgoing.src then
+    invalid_arg "Beta.is_beta: edges do not share a junction vertex";
+  (match incoming.dst_point with Mo_order.Event.R -> true | _ -> false)
+  && match outgoing.src_point with Mo_order.Event.S -> true | _ -> false
+
+let beta_vertices (c : Cycles.cycle) =
+  match c with
+  | [] -> []
+  | edges ->
+      let arr = Array.of_list edges in
+      let k = Array.length arr in
+      let acc = ref [] in
+      for i = 0 to k - 1 do
+        let incoming = arr.((i + k - 1) mod k) in
+        let outgoing = arr.(i) in
+        if is_beta ~incoming ~outgoing then acc := outgoing.src :: !acc
+      done;
+      List.rev !acc
+
+let order c = List.length (beta_vertices c)

@@ -1,0 +1,18 @@
+(** β-vertices and cycle order (Definition 4.3).
+
+    Given a cycle, a vertex is a {e β-vertex} when its incoming edge ends at
+    a receive endpoint ([… ▷ x.r]) and its outgoing edge starts at a send
+    endpoint ([x.s ▷ …]): information must "jump backwards" through the
+    vertex, which no amount of tagging can convey. The {e order} of a cycle
+    is its number of β-vertices; it drives the classification (§4.3):
+    order 0 ⇒ trivial protocol, order 1 ⇒ tagging, order ≥ 2 ⇒ control
+    messages. *)
+
+val is_beta : incoming:Pgraph.edge -> outgoing:Pgraph.edge -> bool
+(** The junction vertex is [incoming.dst = outgoing.src]. *)
+
+val beta_vertices : Cycles.cycle -> int list
+(** The β-vertices of the cycle, in traversal order. *)
+
+val order : Cycles.cycle -> int
+(** [List.length (beta_vertices c)]. *)

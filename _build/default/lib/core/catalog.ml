@@ -1,0 +1,263 @@
+open Term
+
+type entry = {
+  name : string;
+  description : string;
+  pred : Forbidden.t;
+  expected : Classify.verdict;
+  source : string;
+}
+
+let tagless = Classify.Implementable Classify.Tagless
+let tagged = Classify.Implementable Classify.Tagged
+let general = Classify.Implementable Classify.General
+
+let fifo =
+  {
+    name = "fifo";
+    description =
+      "messages between the same pair of processes are delivered in the \
+       order sent";
+    pred =
+      Forbidden.make ~nvars:2
+        ~guards:[ Same_src (0, 1); Same_dst (0, 1) ]
+        [ s 0 @> s 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "section 6";
+  }
+
+let causal_b1 =
+  {
+    name = "causal-b1";
+    description = "causal ordering, form B1 of Lemma 3.2";
+    pred = Forbidden.make ~nvars:2 [ s 0 @> r 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "lemma 3.2(a)";
+  }
+
+let causal_b2 =
+  {
+    name = "causal-b2";
+    description = "causal ordering, defining form (x.s > y.s and y.r > x.r)";
+    pred = Forbidden.make ~nvars:2 [ s 0 @> s 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "lemma 3.2(b)";
+  }
+
+let causal_b3 =
+  {
+    name = "causal-b3";
+    description = "causal ordering, form B3 of Lemma 3.2";
+    pred = Forbidden.make ~nvars:2 [ s 0 @> s 1; s 1 @> r 0 ];
+    expected = tagged;
+    source = "lemma 3.2(c)";
+  }
+
+let async_form name description conjuncts =
+  {
+    name;
+    description;
+    pred = Forbidden.make ~nvars:2 conjuncts;
+    expected = tagless;
+    source = "lemma 3.3";
+  }
+
+let async_forms =
+  [
+    async_form "async-ss-ss" "send cycle: x.s > y.s and y.s > x.s"
+      [ s 0 @> s 1; s 1 @> s 0 ];
+    async_form "async-ss-rs" "x.s > y.s and y.r > x.s"
+      [ s 0 @> s 1; r 1 @> s 0 ];
+    async_form "async-sr-rs" "x.s > y.r and y.r > x.s"
+      [ s 0 @> r 1; r 1 @> s 0 ];
+    async_form "async-rs-sr" "x.r > y.s and y.s > x.r"
+      [ r 0 @> s 1; s 1 @> r 0 ];
+    async_form "async-rr-rs" "x.r > y.r and y.r > x.s"
+      [ r 0 @> r 1; r 1 @> s 0 ];
+    async_form "async-rr-rr" "delivery cycle: x.r > y.r and y.r > x.r"
+      [ r 0 @> r 1; r 1 @> r 0 ];
+  ]
+
+let sync_crown k =
+  if k < 2 then invalid_arg "Catalog.sync_crown: k must be >= 2";
+  let conjuncts = List.init k (fun i -> s i @> r ((i + 1) mod k)) in
+  {
+    name = Printf.sprintf "sync-crown-%d" k;
+    description =
+      Printf.sprintf
+        "logically synchronous ordering, crown of length %d (all %d \
+         vertices are beta)"
+        k k;
+    pred = Forbidden.make ~nvars:k conjuncts;
+    expected = general;
+    source = "lemma 3.1";
+  }
+
+let k_weaker_causal k =
+  if k < 0 then invalid_arg "Catalog.k_weaker_causal: k must be >= 0";
+  (* chain of k+1 send-precedences over k+2 messages, with the last
+     delivery overtaking the first (section 6) *)
+  let n = k + 2 in
+  let chain = List.init (n - 1) (fun i -> s i @> s (i + 1)) in
+  {
+    name = Printf.sprintf "k-weaker-causal-%d" k;
+    description =
+      Printf.sprintf "messages out of order by at most %d messages" k;
+    pred = Forbidden.make ~nvars:n (chain @ [ r (n - 1) @> r 0 ]);
+    expected = tagged;
+    source = "section 6";
+  }
+
+let channel_k_weaker k =
+  if k < 0 then invalid_arg "Catalog.channel_k_weaker: k must be >= 0";
+  let n = k + 2 in
+  let chain = List.init (n - 1) (fun i -> s i @> s (i + 1)) in
+  let guards =
+    List.concat
+      (List.init (n - 1) (fun i -> [ Same_src (i, i + 1); Same_dst (i, i + 1) ]))
+  in
+  {
+    name = Printf.sprintf "channel-k-weaker-%d" k;
+    description =
+      Printf.sprintf
+        "per-channel bounded overtaking: a message may overtake at most %d \
+         predecessors on its channel"
+        k;
+    pred = Forbidden.make ~nvars:n ~guards (chain @ [ r (n - 1) @> r 0 ]);
+    expected = tagged;
+    source = "section 6 (channel-restricted variant)";
+  }
+
+let red = 1
+
+let local_forward_flush =
+  {
+    name = "local-forward-flush";
+    description =
+      "messages sent before a red message reach the shared destination \
+       before it, per channel";
+    pred =
+      Forbidden.make ~nvars:2
+        ~guards:[ Same_src (0, 1); Same_dst (0, 1); Color_is (1, red) ]
+        [ s 0 @> s 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "section 6";
+  }
+
+let global_forward_flush =
+  {
+    name = "global-forward-flush";
+    description = "all messages sent before a red message arrive before it";
+    pred =
+      Forbidden.make ~nvars:2
+        ~guards:[ Color_is (1, red) ]
+        [ s 0 @> s 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "section 6";
+  }
+
+let backward_flush =
+  {
+    name = "backward-flush";
+    description = "no message sent after a red message overtakes it";
+    pred =
+      Forbidden.make ~nvars:2
+        ~guards:[ Color_is (0, red) ]
+        [ s 0 @> s 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "flush channels [1, 12]";
+  }
+
+let two_way_flush =
+  Spec.make ~name:"two-way-flush"
+    [ global_forward_flush.pred; backward_flush.pred ]
+
+let handoff_color = 7
+
+let mobile_handoff =
+  {
+    name = "mobile-handoff";
+    description =
+      "no message straddles a handoff message: every message is wholly \
+       before or wholly after it";
+    pred =
+      Forbidden.make ~nvars:2
+        ~guards:[ Color_is (1, handoff_color) ]
+        [ s 0 @> r 1; s 1 @> r 0 ];
+    expected = general;
+    source = "section 6 (mobile computations)";
+  }
+
+let second_before_first =
+  {
+    name = "second-before-first";
+    description =
+      "deliver the second message before the first: forbids in-order \
+       delivery, which would require knowing the future";
+    pred = Forbidden.make ~nvars:2 [ s 0 @> s 1; r 0 @> r 1 ];
+    expected = Classify.Not_implementable;
+    source = "section 6";
+  }
+
+let example_1 =
+  {
+    name = "example-1";
+    description = "the worked predicate of Examples 1-3";
+    pred =
+      Forbidden.make ~nvars:5
+        [
+          r 0 @> s 1;
+          (* x1.r > x2.s *)
+          s 1 @> s 2;
+          (* x2.s > x3.s *)
+          r 2 @> r 3;
+          (* x3.r > x4.r *)
+          s 3 @> s 0;
+          (* x4.s > x1.s : closes the 4-cycle of Example 2 *)
+          s 3 @> r 4;
+          (* x4.s > x5.r *)
+          s 0 @> r 3;
+          (* x1.s > x4.r *)
+        ];
+    expected = tagged;
+    source = "examples 1-3 (the 4-cycle has exactly one beta vertex, x4)";
+  }
+
+let red_marker =
+  {
+    name = "red-marker";
+    description = "no message overtakes the red marker message";
+    pred =
+      Forbidden.make ~nvars:2
+        ~guards:[ Color_is (1, red) ]
+        [ s 0 @> s 1; r 1 @> r 0 ];
+    expected = tagged;
+    source = "section 4.1";
+  }
+
+let all =
+  let crowns = List.map sync_crown [ 2; 3; 4; 5 ] in
+  let weaker =
+    List.map k_weaker_causal [ 1; 2; 3 ] @ List.map channel_k_weaker [ 1; 2 ]
+  in
+  let base =
+    [ fifo; causal_b1; causal_b2; causal_b3 ]
+    @ async_forms @ crowns @ weaker
+    @ [
+        local_forward_flush;
+        global_forward_flush;
+        backward_flush;
+        mobile_handoff;
+        second_before_first;
+        example_1;
+        red_marker;
+      ]
+  in
+  (* deduplicate by name, keeping first occurrences *)
+  List.fold_left
+    (fun acc e ->
+      if List.exists (fun e' -> e'.name = e.name) acc then acc else e :: acc)
+    [] base
+  |> List.rev
+
+let find name = List.find_opt (fun e -> e.name = name) all

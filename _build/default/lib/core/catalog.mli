@@ -1,0 +1,66 @@
+(** The paper's named specifications, with their published classifications.
+
+    Sources: Lemma 3 (the canonical two-variable predicates and the sync
+    crowns), §4.1 (FIFO, red-marker), §6 "Discussion" (FIFO, k-weaker
+    causal ordering, local/global forward flush, mobile handoff,
+    second-before-first), Examples 1–3 (the worked predicate), and the
+    flush-channel primitives of [1, 12]. The bench harness replays this
+    table as experiment T1/T3; the tests assert every [expected] value. *)
+
+type entry = {
+  name : string;
+  description : string;
+  pred : Forbidden.t;
+  expected : Classify.verdict;
+      (** The classification the paper states or that follows from its
+          theorems. *)
+  source : string;  (** where in the paper the entry comes from *)
+}
+
+val fifo : entry
+val causal_b1 : entry
+val causal_b2 : entry
+val causal_b3 : entry
+
+val async_forms : entry list
+(** The order-0 two-variable predicates of Lemma 3.3 — each equivalent to
+    [X_async]. *)
+
+val sync_crown : int -> entry
+(** [sync_crown k] forbids the crown
+    [x1.s ▷ x2.r ∧ x2.s ▷ x3.r ∧ … ∧ xk.s ▷ x1.r] (Lemma 3.1); requires
+    control messages for every [k ≥ 2]. *)
+
+val k_weaker_causal : int -> entry
+(** Messages may overtake by at most [k] (§6); tagged for every [k]. *)
+
+val channel_k_weaker : int -> entry
+(** The per-channel variant (same src/dst guards): implemented by the
+    sliding-window protocol; [k = 0] is FIFO. *)
+
+val local_forward_flush : entry
+val global_forward_flush : entry
+val backward_flush : entry
+val two_way_flush : Spec.t
+(** Forward and backward flush combined — a two-predicate spec. *)
+
+val mobile_handoff : entry
+(** No message may straddle a handoff message (§6): a guarded 2-crown;
+    needs control messages. *)
+
+val second_before_first : entry
+(** "Receive the second message before the first" (§6): no cycle, not
+    implementable. *)
+
+val example_1 : entry
+(** The predicate of Example 1 (whose graph is drawn in the paper); its
+    4-cycle has order 1 (Example 3), so it is tagged-implementable. *)
+
+val red_marker : entry
+(** §4.1: no message overtakes a red marker message. *)
+
+val all : entry list
+(** Every entry above (crowns for k = 2..5, k-weaker for k = 1..3),
+    deduplicated by name. *)
+
+val find : string -> entry option

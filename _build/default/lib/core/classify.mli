@@ -1,0 +1,57 @@
+(** The paper's decision algorithm (Theorems 2, 3 and 4).
+
+    Given a forbidden predicate [B] with specification [X_B]:
+    - [X_B] is implementable iff the predicate graph has a cycle
+      (Theorem 2);
+    - the trivial (tagless) protocol suffices iff some cycle has order 0
+      (then [X_B = X_async]);
+    - tagging suffices (no control messages) iff some cycle has order ≤ 1
+      (then [X_co ⊆ X_B]);
+    - otherwise control messages are necessary and sufficient
+      ([X_sync ⊆ X_B] but [X_co ⊄ X_B]).
+
+    The necessity directions (Theorem 4) are proved for unguarded
+    predicates; for guarded predicates the reported class is an upper bound
+    (sufficiency still holds because guards only enlarge [X_B]), and
+    {!result}'s [necessity_exact] is [false]. *)
+
+type protocol_class = Tagless | Tagged | General
+
+val class_to_string : protocol_class -> string
+
+val class_leq : protocol_class -> protocol_class -> bool
+(** [Tagless ≤ Tagged ≤ General]: protocol power ordering. *)
+
+type verdict =
+  | Not_implementable
+      (** No protocol can guarantee safety and liveness:
+          [X_sync ⊄ X_B]. *)
+  | Implementable of protocol_class
+      (** The weakest protocol class that implements the specification. *)
+
+type result = {
+  verdict : verdict;
+  orders : int list;
+      (** Sorted, deduplicated orders of all simple cycles found. *)
+  best_cycle : Cycles.cycle option;
+      (** A cycle of minimal order — the certificate behind the verdict. *)
+  necessity_exact : bool;
+      (** [true] for unguarded predicates: the class is also necessary.
+          [false] when guards are present (class is sufficient only) —
+          see module comment. *)
+  simplification : [ `None | `Dropped_tautologies | `Unsatisfiable ];
+      (** What {!Forbidden.simplify} did. [`Unsatisfiable] forces verdict
+          [Implementable Tagless] regardless of the graph. *)
+}
+
+val classify : Forbidden.t -> result
+
+val explain : Forbidden.t -> string
+(** A multi-line, human-readable justification of the verdict, citing the
+    theorem that applies, the certificate cycle with its β-vertices, and
+    the Lemma 4 contraction to a canonical form. Meant for the CLI and for
+    teaching; the content mirrors the paper's proof structure. *)
+
+val verdict_to_string : verdict -> string
+
+val pp_result : Format.formatter -> result -> unit

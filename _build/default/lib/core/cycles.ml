@@ -1,0 +1,65 @@
+type cycle = Pgraph.edge list
+
+let vertices (c : cycle) = List.map (fun (e : Pgraph.edge) -> e.src) c
+
+(* Enumerate simple cycles by DFS from each root vertex in increasing
+   order, restricting paths to vertices >= root; a cycle is emitted when an
+   edge returns to the root. This canonicalizes each cycle to the rotation
+   starting at its smallest vertex (the classic Johnson-style trick; no
+   blocking sets needed at predicate-graph sizes). *)
+let enumerate ?(max_cycles = 100_000) g =
+  let n = Pgraph.nvertices g in
+  let results = ref [] in
+  let count = ref 0 in
+  let on_path = Array.make (max n 1) false in
+  (try
+     for root = 0 to n - 1 do
+       let rec extend v path =
+         List.iter
+           (fun (e : Pgraph.edge) ->
+             if !count >= max_cycles then raise Exit;
+             if e.dst = root then begin
+               incr count;
+               results := List.rev (e :: path) :: !results
+             end
+             else if e.dst > root && not on_path.(e.dst) then begin
+               on_path.(e.dst) <- true;
+               extend e.dst (e :: path);
+               on_path.(e.dst) <- false
+             end)
+           (Pgraph.out_edges g v)
+       in
+       on_path.(root) <- true;
+       extend root [];
+       on_path.(root) <- false
+     done
+   with Exit -> ());
+  List.rev !results
+
+let has_cycle g =
+  let n = Pgraph.nvertices g in
+  let color = Array.make (max n 1) 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let exception Found in
+  let rec visit v =
+    color.(v) <- 1;
+    List.iter
+      (fun (e : Pgraph.edge) ->
+        if color.(e.dst) = 1 then raise Found
+        else if color.(e.dst) = 0 then visit e.dst)
+      (Pgraph.out_edges g v);
+    color.(v) <- 2
+  in
+  try
+    for v = 0 to n - 1 do
+      if color.(v) = 0 then visit v
+    done;
+    false
+  with Found -> true
+
+let pp_cycle ppf (c : cycle) =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ; ")
+       (fun ppf e -> Term.pp_conjunct ppf (Pgraph.edge_conjunct e)))
+    c

@@ -1,0 +1,22 @@
+(** Simple-cycle enumeration in predicate multigraphs.
+
+    A cycle is a nonempty edge sequence [e_1 … e_k] with
+    [e_i.dst = e_{i+1}.src] (indices mod k) visiting k distinct vertices
+    (k = 1 is a self-loop). Cycles are canonicalized to start at their
+    smallest vertex, so each simple cycle is reported exactly once; two
+    cycles through the same vertices but different parallel edges are
+    distinct. *)
+
+type cycle = Pgraph.edge list
+
+val vertices : cycle -> int list
+(** In traversal order, starting with the canonical (smallest) vertex. *)
+
+val enumerate : ?max_cycles:int -> Pgraph.t -> cycle list
+(** All simple cycles, cut off at [max_cycles] (default 100_000 — a
+    safeguard, predicate graphs are small). *)
+
+val has_cycle : Pgraph.t -> bool
+(** Cheaper than [enumerate <> []]: a DFS reachability test. *)
+
+val pp_cycle : Format.formatter -> cycle -> unit

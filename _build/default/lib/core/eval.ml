@@ -1,0 +1,94 @@
+open Mo_order
+
+let conjunct_holds run assignment (c : Term.conjunct) =
+  let ev (e : Term.endpoint) =
+    { Event.msg = assignment.(e.var); point = e.point }
+  in
+  Run.Abstract.lt run (ev c.before) (ev c.after)
+
+let guard_holds run assignment (g : Term.guard) =
+  let attrs v = Run.Abstract.attrs run assignment.(v) in
+  match g with
+  | Term.Same_src (x, y) -> (
+      match ((attrs x).Run.src, (attrs y).Run.src) with
+      | Some a, Some b -> a = b
+      | _ -> false)
+  | Term.Same_dst (x, y) -> (
+      match ((attrs x).Run.dst, (attrs y).Run.dst) with
+      | Some a, Some b -> a = b
+      | _ -> false)
+  | Term.Color_is (x, c) -> (attrs x).Run.color = Some c
+
+let check_assignment p run assignment =
+  if Array.length assignment <> Forbidden.nvars p then
+    invalid_arg "Eval.check_assignment: arity mismatch";
+  List.for_all (conjunct_holds run assignment) (Forbidden.conjuncts p)
+  && List.for_all (guard_holds run assignment) (Forbidden.guards p)
+
+(* Index conjuncts and guards by the highest variable they mention, so each
+   is checked as soon as its last variable is assigned. *)
+let stage_by_max_var p =
+  let m = Forbidden.nvars p in
+  let conj_at = Array.make (max m 1) [] in
+  let guard_at = Array.make (max m 1) [] in
+  List.iter
+    (fun (c : Term.conjunct) ->
+      let v = max c.before.var c.after.var in
+      conj_at.(v) <- c :: conj_at.(v))
+    (Forbidden.conjuncts p);
+  List.iter
+    (fun (g : Term.guard) ->
+      let v =
+        match g with
+        | Term.Same_src (x, y) | Term.Same_dst (x, y) -> max x y
+        | Term.Color_is (x, _) -> x
+      in
+      guard_at.(v) <- g :: guard_at.(v))
+    (Forbidden.guards p);
+  (conj_at, guard_at)
+
+let search ?(distinct = true) ?(limit = max_int) p run =
+  let m = Forbidden.nvars p in
+  let n = Run.Abstract.nmsgs run in
+  if m = 0 then [ [||] ] (* empty conjunction: trivially true *)
+  else if n = 0 || (distinct && n < m) then []
+  else begin
+    let conj_at, guard_at = stage_by_max_var p in
+    let assignment = Array.make m (-1) in
+    let used = Array.make n false in
+    let results = ref [] in
+    let count = ref 0 in
+    let exception Done in
+    let rec assign v =
+      if v = m then begin
+        incr count;
+        results := Array.copy assignment :: !results;
+        if !count >= limit then raise Done
+      end
+      else
+        for msg = 0 to n - 1 do
+          if not (distinct && used.(msg)) then begin
+            assignment.(v) <- msg;
+            used.(msg) <- true;
+            let ok =
+              List.for_all (conjunct_holds run assignment) conj_at.(v)
+              && List.for_all (guard_holds run assignment) guard_at.(v)
+            in
+            if ok then assign (v + 1);
+            used.(msg) <- false
+          end
+        done
+    in
+    (try assign 0 with Done -> ());
+    List.rev !results
+  end
+
+let find_match ?distinct p run =
+  match search ?distinct ~limit:1 p run with a :: _ -> Some a | [] -> None
+
+let find_matches ?distinct ?(limit = 1000) p run =
+  search ?distinct ~limit p run
+
+let holds ?distinct p run = Option.is_some (find_match ?distinct p run)
+
+let satisfies ?distinct p run = not (holds ?distinct p run)

@@ -1,0 +1,41 @@
+(** Evaluating forbidden predicates over runs.
+
+    [B] {e holds} in a run when some instantiation of its variables by
+    messages of the run satisfies every conjunct and guard; the run then
+    violates the specification [X_B].
+
+    Instantiations are {e injective} by default: distinct variables denote
+    distinct messages. The paper quantifies plainly over [M], but its
+    predicates only read correctly under distinctness — the SYNC crown
+    [x1.s ▷ x2.r ∧ x2.s ▷ x1.r] would be "satisfied" by [x1 = x2 = x]
+    through the tautology [x.s ▷ x.r], making [X_sync] empty. Pass
+    [~distinct:false] to get the plain reading.
+
+    The matcher is a backtracking search over variable assignments with
+    incremental conjunct/guard checking — exact, and fast enough for the
+    bench harness's runs of thousands of messages because conjunct checks
+    prune eagerly. *)
+
+val find_match :
+  ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> int array option
+(** An assignment [a] (variable index → message index) making [B] true, if
+    any. *)
+
+val find_matches :
+  ?distinct:bool ->
+  ?limit:int ->
+  Forbidden.t ->
+  Mo_order.Run.Abstract.t ->
+  int array list
+(** Up to [limit] (default 1000) distinct assignments. *)
+
+val holds : ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> bool
+(** [B] is true somewhere in the run. *)
+
+val satisfies :
+  ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> bool
+(** The run belongs to [X_B]: no instantiation satisfies [B]. *)
+
+val check_assignment :
+  Forbidden.t -> Mo_order.Run.Abstract.t -> int array -> bool
+(** Does this specific assignment satisfy all conjuncts and guards? *)

@@ -1,0 +1,15 @@
+let check b b' =
+  match Witness.build b with
+  | Witness.Cyclic | Witness.Conflicting_guards ->
+      true (* B never holds: implication is vacuous *)
+  | Witness.Witness w -> Eval.holds b' w.Witness.run
+
+let equivalent b b' = check b b' && check b' b
+
+let compare_specs b b' =
+  (* b ⟹ b' means X_{b'} ⊆ X_b: b' is the stronger specification *)
+  match (check b b', check b' b) with
+  | true, true -> `Equivalent
+  | true, false -> `Weaker (* X_{b'} ⊂ X_b: b forbids less *)
+  | false, true -> `Stronger
+  | false, false -> `Incomparable

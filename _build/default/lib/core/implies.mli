@@ -1,0 +1,35 @@
+(** Implication between forbidden predicates — specification containment.
+
+    [check b b'] decides whether [B ⟹ B'] as existential sentences over
+    runs: every run containing the pattern [B] also contains [B']. By the
+    paper's observation after Definition 4.1, this is exactly
+    [X_B' ⊆ X_B] — the protocol guaranteeing [B'] never occurs also
+    guarantees [B] never occurs... conversely, a protocol for [B]
+    guarantees [B'] whenever [B' ⟹ B].
+
+    Decision procedure: the canonical-model (homomorphism) theorem for
+    conjunctive queries. The witness run of [B] ({!Witness.build}) is the
+    canonical model: [B ⟹ B'] iff [B'] matches inside the witness of [B].
+    With injective matching on both sides this remains exact: an injective
+    match of [B'] in the witness composes with the (injective)
+    order-preserving embedding of the witness into any run where [B]
+    matches. An unsatisfiable [B] implies everything.
+
+    Caveat (same as {!Witness}): this is implication over the
+    abstract-poset semantics. Over realizable runs more implications hold
+    — e.g. the causal form [B1] implies [B2] realizably (Lemma 3.2) but
+    not abstractly; see DESIGN.md "Model subtleties". [check] is sound
+    for realizable runs ([check b b' = true] really means every realizable
+    run matching [b] matches [b']), it is complete only abstractly. *)
+
+val check : Forbidden.t -> Forbidden.t -> bool
+
+val equivalent : Forbidden.t -> Forbidden.t -> bool
+(** [check] in both directions. *)
+
+val compare_specs :
+  Forbidden.t -> Forbidden.t ->
+  [ `Equivalent | `Stronger | `Weaker | `Incomparable ]
+(** Relationship of the {e specifications}: [`Stronger] means
+    [X_{b} ⊆ X_{b'}] strictly (the first forbids more), i.e. [b' ⟹ b]
+    only. *)

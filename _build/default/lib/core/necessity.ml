@@ -1,0 +1,84 @@
+open Mo_order
+
+let guard_colors p =
+  List.filter_map
+    (fun (g : Term.guard) ->
+      match g with Term.Color_is (_, c) -> Some c | _ -> None)
+    (Forbidden.guards p)
+  |> List.sort_uniq Int.compare
+
+let recolor run colors =
+  let nprocs = Run.nprocs run in
+  let msgs =
+    Array.init (Run.nmsgs run) (fun m -> (Run.msg_src run m, Run.msg_dst run m))
+  in
+  let seq = Array.init nprocs (Run.sequence run) in
+  match Run.of_sequences ~nprocs ~msgs ~colors seq with
+  | Ok r -> r
+  | Error _ -> run (* unreachable: same structure *)
+
+(* all colorings of [nmsgs] messages over (None :: available colors) *)
+let colorings nmsgs palette =
+  let options = None :: List.map Option.some palette in
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun c -> List.map (fun l -> c :: l) rest) options
+  in
+  List.map Array.of_list (go nmsgs)
+
+let in_limit cls a =
+  match cls with
+  | Classify.Tagless -> true
+  | Classify.Tagged -> Limits.is_causal a
+  | Classify.General -> Limits.is_sync a
+
+let refutation ?(nprocs = 3) ?nmsgs cls p =
+  (* cross-process causality in the refuting run may need intermediate
+     messages beyond the predicate's own variables, so the default bound
+     is 3 regardless of arity (the enumeration cost caps it there) *)
+  let nmsgs = Option.value nmsgs ~default:3 in
+  let palette = guard_colors p in
+  let candidates = Enumerate.all_runs ~nprocs ~nmsgs () in
+  let colorings = colorings nmsgs palette in
+  List.find_map
+    (fun run ->
+      List.find_map
+        (fun colors ->
+          let run = if palette = [] then run else recolor run colors in
+          let a = Run.to_abstract run in
+          if in_limit cls a && not (Eval.satisfies p a) then Some run
+          else None)
+        (if palette = [] then [ Array.make nmsgs None ] else colorings))
+    candidates
+
+let certificate p =
+  let buf = Buffer.create 512 in
+  let result = Classify.classify p in
+  Buffer.add_string buf
+    (Printf.sprintf "predicate: %s\nclassification: %s\n"
+       (Forbidden.to_string p)
+       (Classify.verdict_to_string result.Classify.verdict));
+  let show cls label =
+    match refutation cls p with
+    | Some run ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n%s cannot implement it — this run is reachable under any \
+              live %s protocol and violates the specification:\n%s"
+             label label (Diagram.render_run run))
+    | None ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\nno %s-class refutation found within the search bound\n"
+             label)
+  in
+  (match result.Classify.verdict with
+  | Classify.Not_implementable -> show Classify.General "general"
+  | Classify.Implementable Classify.General ->
+      show Classify.Tagged "tagged";
+      show Classify.Tagless "tagless"
+  | Classify.Implementable Classify.Tagged -> show Classify.Tagless "tagless"
+  | Classify.Implementable Classify.Tagless -> ());
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Empirical necessity evidence (Theorem 4, operationalized).
+
+    The classifier says e.g. "Tagged": tagging suffices and — for
+    unguarded predicates — the trivial protocol does not. This module
+    produces the {e concrete run} behind the "does not": a run inside the
+    weaker class's limit set that violates the specification. By
+    Theorem 1, every live protocol of that class can reach every run of
+    its limit set, so such a run refutes the whole class.
+
+    The search is bounded (exhaustive enumeration of small concrete runs,
+    optionally recolored for color-guarded predicates), so [None] means
+    "no refutation within the bound", not a proof of implementability —
+    the exact answer is {!Classify.classify}; this is its checkable
+    certificate. *)
+
+val refutation :
+  ?nprocs:int ->
+  ?nmsgs:int ->
+  Classify.protocol_class ->
+  Forbidden.t ->
+  Mo_order.Run.t option
+(** [refutation cls b] searches all concrete runs with exactly [nmsgs]
+    (default 3 — cross-process causality may need messages beyond the
+    predicate's own variables) messages over [nprocs] (default 3)
+    processes that lie in [cls]'s limit set ([Tagless → X_async],
+    [Tagged → X_co], [General → X_sync]) and violate [X_b]. For
+    color-guarded predicates every relevant recoloring of each run is
+    tried. *)
+
+val certificate : Forbidden.t -> string
+(** A human-readable summary: the classification plus, for each refuted
+    weaker class, the refuting run's diagram. *)

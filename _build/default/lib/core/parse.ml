@@ -1,0 +1,165 @@
+type token =
+  | Tident of string
+  | Tint of int
+  | Tdot
+  | Tless
+  | Tamp
+  | Teq
+  | Tlparen
+  | Trparen
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize s =
+  let n = String.length s in
+  let rec go i acc =
+    if i >= n then Ok (List.rev acc)
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '.' -> go (i + 1) (Tdot :: acc)
+      | '<' -> go (i + 1) (Tless :: acc)
+      | '&' -> go (i + 1) (Tamp :: acc)
+      | '=' -> go (i + 1) (Teq :: acc)
+      | '(' -> go (i + 1) (Tlparen :: acc)
+      | ')' -> go (i + 1) (Trparen :: acc)
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && is_digit s.[!j] do
+            incr j
+          done;
+          go !j (Tint (int_of_string (String.sub s i (!j - i))) :: acc)
+      | c when is_letter c ->
+          let j = ref i in
+          while !j < n && (is_letter s.[!j] || is_digit s.[!j] || s.[!j] = '_')
+          do
+            incr j
+          done;
+          go !j (Tident (String.sub s i (!j - i)) :: acc)
+      | c -> Error (Printf.sprintf "unexpected character %C at offset %d" c i)
+  in
+  go 0 []
+
+type state = {
+  mutable tokens : token list;
+  vars : (string, int) Hashtbl.t;
+  mutable nvars : int;
+}
+
+let var_index st name =
+  match Hashtbl.find_opt st.vars name with
+  | Some i -> i
+  | None ->
+      let i = st.nvars in
+      st.nvars <- i + 1;
+      Hashtbl.replace st.vars name i;
+      i
+
+let expect st tok what =
+  match st.tokens with
+  | t :: rest when t = tok ->
+      st.tokens <- rest;
+      Ok ()
+  | _ -> Error (Printf.sprintf "expected %s" what)
+
+let ( let* ) = Result.bind
+
+let parse_point st =
+  match st.tokens with
+  | Tident "s" :: rest ->
+      st.tokens <- rest;
+      Ok Mo_order.Event.S
+  | Tident "r" :: rest ->
+      st.tokens <- rest;
+      Ok Mo_order.Event.R
+  | _ -> Error "expected 's' or 'r' after '.'"
+
+let parse_endpoint st name =
+  let v = var_index st name in
+  let* () = expect st Tdot "'.'" in
+  let* point = parse_point st in
+  Ok { Term.var = v; point }
+
+let parse_attr_clause st attr =
+  (* attr '(' var ')' '=' ( attr '(' var ')' | int ) *)
+  let* () = expect st Tlparen "'('" in
+  let* x =
+    match st.tokens with
+    | Tident name :: rest ->
+        st.tokens <- rest;
+        Ok (var_index st name)
+    | _ -> Error "expected a variable"
+  in
+  let* () = expect st Trparen "')'" in
+  let* () = expect st Teq "'='" in
+  match (attr, st.tokens) with
+  | "color", Tint c :: rest ->
+      st.tokens <- rest;
+      Ok (Term.Color_is (x, c))
+  | ("src" | "dst"), Tident attr2 :: rest when attr2 = attr ->
+      st.tokens <- rest;
+      let* () = expect st Tlparen "'('" in
+      let* y =
+        match st.tokens with
+        | Tident name :: rest ->
+            st.tokens <- rest;
+            Ok (var_index st name)
+        | _ -> Error "expected a variable"
+      in
+      let* () = expect st Trparen "')'" in
+      if attr = "src" then Ok (Term.Same_src (x, y))
+      else Ok (Term.Same_dst (x, y))
+  | "color", _ -> Error "expected an integer color"
+  | _ -> Error (Printf.sprintf "expected '%s(...)' on the right" attr)
+
+let parse_clause st =
+  match st.tokens with
+  | Tident (("src" | "dst" | "color") as attr) :: Tlparen :: _ ->
+      st.tokens <- List.tl st.tokens;
+      let* g = parse_attr_clause st attr in
+      Ok (`Guard g)
+  | Tident name :: rest ->
+      st.tokens <- rest;
+      let* before = parse_endpoint st name in
+      let* () = expect st Tless "'<'" in
+      let* after =
+        match st.tokens with
+        | Tident name2 :: rest2 ->
+            st.tokens <- rest2;
+            parse_endpoint st name2
+        | _ -> Error "expected an endpoint after '<'"
+      in
+      Ok (`Conjunct Term.(before @> after))
+  | _ -> Error "expected a clause"
+
+let predicate str =
+  let* tokens = tokenize str in
+  let st = { tokens; vars = Hashtbl.create 8; nvars = 0 } in
+  let rec clauses acc =
+    let* c = parse_clause st in
+    match st.tokens with
+    | Tamp :: rest ->
+        st.tokens <- rest;
+        clauses (c :: acc)
+    | [] -> Ok (List.rev (c :: acc))
+    | _ -> Error "expected '&' or end of input"
+  in
+  if st.tokens = [] then Ok (Forbidden.make ~nvars:0 [])
+  else
+    let* items = clauses [] in
+    let conjuncts =
+      List.filter_map (function `Conjunct c -> Some c | `Guard _ -> None)
+        items
+    in
+    let guards =
+      List.filter_map (function `Guard g -> Some g | `Conjunct _ -> None)
+        items
+    in
+    Ok (Forbidden.make ~nvars:st.nvars ~guards conjuncts)
+
+let predicate_exn str =
+  match predicate str with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Parse.predicate: " ^ e)

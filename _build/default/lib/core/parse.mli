@@ -1,0 +1,21 @@
+(** Concrete syntax for forbidden predicates.
+
+    Grammar (whitespace-insensitive):
+    {v
+      predicate := clause ( '&' clause )*
+      clause    := endpoint '<' endpoint
+                 | 'src' '(' var ')' '=' 'src' '(' var ')'
+                 | 'dst' '(' var ')' '=' 'dst' '(' var ')'
+                 | 'color' '(' var ')' '=' int
+      endpoint  := var '.' ( 's' | 'r' )
+      var       := letter (letter | digit | '_')*
+    v}
+
+    ['<'] is the happened-before relation [▷]. Variables are numbered by
+    first appearance, so ["x.s < y.s & y.r < x.r"] is causal ordering with
+    [x ↦ 0], [y ↦ 1]. {!Forbidden.pp} prints in this same syntax. *)
+
+val predicate : string -> (Forbidden.t, string) result
+
+val predicate_exn : string -> Forbidden.t
+(** @raise Invalid_argument on a syntax error. *)

@@ -1,0 +1,76 @@
+type edge = {
+  id : int;
+  src : int;
+  dst : int;
+  src_point : Mo_order.Event.point;
+  dst_point : Mo_order.Event.point;
+}
+
+type t = { nvertices : int; edges : edge array; out : edge list array }
+
+let of_predicate p =
+  let nvertices = Forbidden.nvars p in
+  let edges =
+    List.mapi
+      (fun id (c : Term.conjunct) ->
+        {
+          id;
+          src = c.before.var;
+          dst = c.after.var;
+          src_point = c.before.point;
+          dst_point = c.after.point;
+        })
+      (Forbidden.conjuncts p)
+    |> Array.of_list
+  in
+  let out = Array.make (max nvertices 1) [] in
+  Array.iter (fun e -> out.(e.src) <- e :: out.(e.src)) edges;
+  Array.iteri (fun i l -> out.(i) <- List.rev l) out;
+  { nvertices; edges; out }
+
+let nvertices t = t.nvertices
+
+let edges t = Array.to_list t.edges
+
+let nedges t = Array.length t.edges
+
+let out_edges t v =
+  if v < 0 || v >= t.nvertices then invalid_arg "Pgraph.out_edges";
+  t.out.(v)
+
+let in_edges t v =
+  if v < 0 || v >= t.nvertices then invalid_arg "Pgraph.in_edges";
+  List.filter (fun e -> e.dst = v) (edges t)
+
+let edge_conjunct e =
+  Term.(
+    { var = e.src; point = e.src_point }
+    @> { var = e.dst; point = e.dst_point })
+
+let to_dot ?(highlight = []) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "digraph predicate {\n  rankdir=LR;\n";
+  for v = 0 to t.nvertices - 1 do
+    Buffer.add_string buf (Printf.sprintf "  x%d [shape=circle];\n" v)
+  done;
+  Array.iter
+    (fun e ->
+      let hot = List.exists (fun (h : edge) -> h.id = e.id) highlight in
+      Buffer.add_string buf
+        (Printf.sprintf "  x%d -> x%d [label=\"%s>%s\"%s];\n" e.src e.dst
+           (Format.asprintf "%a" Mo_order.Event.pp_point e.src_point)
+           (Format.asprintf "%a" Mo_order.Event.pp_point e.dst_point)
+           (if hot then ", color=red, penwidth=2.0" else "")))
+    t.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>vertices: %d@ " t.nvertices;
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf "e%d: x%d --%a%a--> x%d@ " e.id e.src
+        Mo_order.Event.pp_point e.src_point Mo_order.Event.pp_point
+        e.dst_point e.dst)
+    t.edges;
+  Format.fprintf ppf "@]"

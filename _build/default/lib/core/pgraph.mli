@@ -1,0 +1,41 @@
+(** Predicate graphs (Definition 4.2).
+
+    The multigraph with one vertex per message variable and one directed
+    edge per conjunct: the conjunct [x_j.p ▷ x_k.q] becomes an edge
+    [j → k] labelled with the endpoints [(p, q)]. Parallel edges and
+    self-loops are preserved — they arise from distinct conjuncts and
+    matter for cycle enumeration. *)
+
+type edge = {
+  id : int;  (** index into {!edges}; also the conjunct's position *)
+  src : int;
+  dst : int;
+  src_point : Mo_order.Event.point;  (** the [p] of [x_j.p ▷ x_k.q] *)
+  dst_point : Mo_order.Event.point;  (** the [q] of [x_j.p ▷ x_k.q] *)
+}
+
+type t
+
+val of_predicate : Forbidden.t -> t
+(** Builds the graph of the predicate's conjuncts. Guards are not part of
+    the graph (the paper's graph construction ignores attribute ranges). *)
+
+val nvertices : t -> int
+
+val edges : t -> edge list
+
+val nedges : t -> int
+
+val out_edges : t -> int -> edge list
+
+val in_edges : t -> int -> edge list
+
+val edge_conjunct : edge -> Term.conjunct
+(** The conjunct an edge came from. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?highlight:edge list -> t -> string
+(** Graphviz source for the graph. Edges are labelled with their endpoint
+    points (e.g. ["s>r"]); the optional highlighted edges (typically a
+    certificate cycle) are drawn bold red. *)

@@ -1,0 +1,49 @@
+type t = { name : string; predicates : Forbidden.t list }
+
+let make ~name predicates = { name; predicates }
+
+let classify t =
+  let verdicts = List.map Classify.classify t.predicates in
+  List.fold_left
+    (fun acc (r : Classify.result) ->
+      match (acc, r.verdict) with
+      | Classify.Not_implementable, _ | _, Classify.Not_implementable ->
+          Classify.Not_implementable
+      | Classify.Implementable a, Classify.Implementable b ->
+          Classify.Implementable (if Classify.class_leq a b then b else a))
+    (Classify.Implementable Classify.Tagless)
+    verdicts
+
+let satisfies t run = List.for_all (fun p -> Eval.satisfies p run) t.predicates
+
+let first_violation t run =
+  List.find_map
+    (fun p ->
+      match Eval.find_match p run with
+      | Some a -> Some (p, a)
+      | None -> None)
+    t.predicates
+
+let minimize t =
+  let keep =
+    List.filteri
+      (fun i b ->
+        not
+          (List.exists
+             (fun j ->
+               i <> j
+               &&
+               let b'' = List.nth t.predicates j in
+               (* prefer dropping the later of two equivalent members *)
+               Implies.check b b''
+               && ((not (Implies.check b'' b)) || j < i))
+             (List.init (List.length t.predicates) Fun.id)))
+      t.predicates
+  in
+  { t with predicates = keep }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>spec %s:" t.name;
+  List.iter (fun p -> Format.fprintf ppf "@   forbid %a" Forbidden.pp p)
+    t.predicates;
+  Format.fprintf ppf "@]"

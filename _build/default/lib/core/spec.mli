@@ -1,0 +1,35 @@
+(** Specifications as sets of forbidden predicates.
+
+    A single forbidden predicate denotes one forbidden pattern; realistic
+    guarantees sometimes forbid several (the paper's [X_sync] itself is the
+    intersection over all crown lengths, and a two-way flush combines a
+    forward and a backward flush). A spec is a finite conjunction of
+    predicate specifications: [X_S = ⋂_B X_B].
+
+    Classification lifts pointwise: a protocol class implements the
+    intersection iff it implements every member (its limit set must be
+    contained in each [X_B]), so the class of a spec is the maximum of the
+    member classes, and the spec is implementable iff every member is. *)
+
+type t = { name : string; predicates : Forbidden.t list }
+
+val make : name:string -> Forbidden.t list -> t
+
+val classify : t -> Classify.verdict
+
+val satisfies : t -> Mo_order.Run.Abstract.t -> bool
+(** The run avoids every forbidden pattern. *)
+
+val first_violation :
+  t -> Mo_order.Run.Abstract.t -> (Forbidden.t * int array) option
+(** The first member predicate that holds in the run, with its satisfying
+    assignment. *)
+
+val minimize : t -> t
+(** Drop members made redundant by stronger members: a predicate [b] is
+    redundant when another kept member [b''] satisfies [b ⟹ b'']
+    (then [X_{b''} ⊆ X_b], so forbidding [b''] already forbids [b]).
+    Uses {!Implies.check}, hence exact for the abstract semantics and
+    sound (never drops too much) for realizable runs. *)
+
+val pp : Format.formatter -> t -> unit

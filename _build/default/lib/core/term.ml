@@ -1,0 +1,39 @@
+type endpoint = { var : int; point : Mo_order.Event.point }
+
+let s var = { var; point = Mo_order.Event.S }
+
+let r var = { var; point = Mo_order.Event.R }
+
+type conjunct = { before : endpoint; after : endpoint }
+
+let ( @> ) before after = { before; after }
+
+type guard =
+  | Same_src of int * int
+  | Same_dst of int * int
+  | Color_is of int * int
+
+let endpoint_equal a b =
+  a.var = b.var && Mo_order.Event.point_equal a.point b.point
+
+let conjunct_equal a b =
+  endpoint_equal a.before b.before && endpoint_equal a.after b.after
+
+let guard_equal a b =
+  match (a, b) with
+  | Same_src (x, y), Same_src (x', y') | Same_dst (x, y), Same_dst (x', y')
+    ->
+      (x = x' && y = y') || (x = y' && y = x')
+  | Color_is (x, c), Color_is (x', c') -> x = x' && c = c'
+  | (Same_src _ | Same_dst _ | Color_is _), _ -> false
+
+let pp_endpoint ppf e =
+  Format.fprintf ppf "x%d.%a" e.var Mo_order.Event.pp_point e.point
+
+let pp_conjunct ppf c =
+  Format.fprintf ppf "%a < %a" pp_endpoint c.before pp_endpoint c.after
+
+let pp_guard ppf = function
+  | Same_src (x, y) -> Format.fprintf ppf "src(x%d) = src(x%d)" x y
+  | Same_dst (x, y) -> Format.fprintf ppf "dst(x%d) = dst(x%d)" x y
+  | Color_is (x, c) -> Format.fprintf ppf "color(x%d) = %d" x c

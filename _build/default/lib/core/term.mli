@@ -1,0 +1,42 @@
+(** The building blocks of forbidden predicates (Definition 4.1).
+
+    A forbidden predicate is an existentially quantified conjunction of
+    causality constraints between endpoints of message variables, optionally
+    restricted by attribute guards ("sending process, receiving process, and
+    color", §4.1). *)
+
+type endpoint = { var : int; point : Mo_order.Event.point }
+(** [x_var.s] or [x_var.r]. Variables are numbered [0 .. nvars-1]; the
+    pretty-printers render them [x0, x1, ...]. *)
+
+val s : int -> endpoint
+(** [s v] is [x_v.s]. *)
+
+val r : int -> endpoint
+(** [r v] is [x_v.r]. *)
+
+type conjunct = { before : endpoint; after : endpoint }
+(** [before ▷ after]: the constraint that [before] causally precedes
+    [after]. *)
+
+val ( @> ) : endpoint -> endpoint -> conjunct
+(** [a @> b] is the conjunct [a ▷ b]. *)
+
+type guard =
+  | Same_src of int * int
+      (** [process(x.s) = process(y.s)]: same sending process. *)
+  | Same_dst of int * int
+      (** [process(x.r) = process(y.r)]: same receiving process. *)
+  | Color_is of int * int  (** [color(x) = c]. *)
+
+val endpoint_equal : endpoint -> endpoint -> bool
+
+val conjunct_equal : conjunct -> conjunct -> bool
+
+val guard_equal : guard -> guard -> bool
+
+val pp_endpoint : Format.formatter -> endpoint -> unit
+
+val pp_conjunct : Format.formatter -> conjunct -> unit
+
+val pp_guard : Format.formatter -> guard -> unit

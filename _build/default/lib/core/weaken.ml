@@ -1,0 +1,107 @@
+open Mo_order
+
+type step = {
+  removed : int;
+  incoming : Term.conjunct;
+  outgoing : Term.conjunct;
+  replaced_by : Term.conjunct;
+}
+
+type t = {
+  original_order : int;
+  final : Term.conjunct list;
+  final_vertices : int list;
+  trace : step list;
+  form : [ `Two_vertex | `All_beta | `Self_loop ];
+}
+
+(* We manipulate cycles as conjunct arrays: conjunct i runs from vertex i to
+   vertex i+1 (mod k); vertex i sits between conjuncts i-1 and i. *)
+
+let conjunct_of_edge (e : Pgraph.edge) =
+  Term.(
+    { var = e.src; point = e.src_point }
+    @> { var = e.dst; point = e.dst_point })
+
+let vertex_is_beta (incoming : Term.conjunct) (outgoing : Term.conjunct) =
+  (match incoming.after.point with Event.R -> true | Event.S -> false)
+  && match outgoing.before.point with Event.S -> true | Event.R -> false
+
+let cycle_order conjuncts =
+  let arr = Array.of_list conjuncts in
+  let k = Array.length arr in
+  let n = ref 0 in
+  for i = 0 to k - 1 do
+    if vertex_is_beta arr.((i + k - 1) mod k) arr.(i) then incr n
+  done;
+  !n
+
+let contract (cycle : Cycles.cycle) =
+  if cycle = [] then invalid_arg "Weaken.contract: empty cycle";
+  let conjuncts = List.map conjunct_of_edge cycle in
+  let original_order = cycle_order conjuncts in
+  let rec go conjuncts trace =
+    let arr = Array.of_list conjuncts in
+    let k = Array.length arr in
+    if k = 1 then (conjuncts, trace, `Self_loop)
+    else if k = 2 then (conjuncts, trace, `Two_vertex)
+    else
+      (* find a non-β vertex to eliminate *)
+      let candidate = ref None in
+      for i = k - 1 downto 0 do
+        let incoming = arr.((i + k - 1) mod k) and outgoing = arr.(i) in
+        if not (vertex_is_beta incoming outgoing) then candidate := Some i
+      done;
+      match !candidate with
+      | None -> (conjuncts, trace, `All_beta)
+      | Some i ->
+          let incoming = arr.((i + k - 1) mod k) and outgoing = arr.(i) in
+          (* x.p ▷ y.q  and  y.q' ▷ z.q''  imply  x.p ▷ z.q'' for every
+             non-β junction, using y.s ▷ y.r when q = s and q' = r *)
+          let replaced_by = Term.(incoming.before @> outgoing.after) in
+          let step =
+            { removed = outgoing.before.var; incoming; outgoing; replaced_by }
+          in
+          let next = ref [] in
+          for j = k - 1 downto 0 do
+            if j = i then () (* outgoing dropped *)
+            else if j = (i + k - 1) mod k then
+              next := replaced_by :: !next (* incoming replaced *)
+            else next := arr.(j) :: !next
+          done;
+          go !next (step :: trace)
+  in
+  let final, rev_trace, form = go conjuncts [] in
+  let final_vertices =
+    List.map (fun (c : Term.conjunct) -> c.before.var) final
+  in
+  { original_order; final; final_vertices; trace = List.rev rev_trace; form }
+
+let to_predicate t =
+  let vars = List.sort_uniq Int.compare t.final_vertices in
+  let index = Hashtbl.create 8 in
+  List.iteri (fun i v -> Hashtbl.replace index v i) vars;
+  let rn (e : Term.endpoint) =
+    { e with Term.var = Hashtbl.find index e.var }
+  in
+  let conjuncts =
+    List.map
+      (fun (c : Term.conjunct) -> Term.(rn c.before @> rn c.after))
+      t.final
+  in
+  Forbidden.make ~nvars:(List.length vars) conjuncts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>order %d cycle contracts to: @[<h>%a@]"
+    t.original_order
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+       Term.pp_conjunct)
+    t.final;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "@   removed x%d: (%a) ∧ (%a) ⟹ (%a)" s.removed
+        Term.pp_conjunct s.incoming Term.pp_conjunct s.outgoing
+        Term.pp_conjunct s.replaced_by)
+    t.trace;
+  Format.fprintf ppf "@]"

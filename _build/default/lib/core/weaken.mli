@@ -1,0 +1,35 @@
+(** Lemma 4: weakening a cycle to a canonical form.
+
+    Every cycle of order [k] can be contracted — by repeatedly eliminating a
+    non-β vertex [y], replacing its incoming conjunct [x.p ▷ y.q] and
+    outgoing conjunct [y.q' ▷ z.q''] with the implied conjunct
+    [x.p ▷ z.q''] — into a weaker predicate [B'] (i.e. [B ⟹ B'], so
+    [X_B' ⊆ X_B]) whose graph is a cycle with either two vertices or all
+    vertices β. The contraction preserves the order, which is how
+    Theorem 3 reduces every cycle to one of the Lemma 3 canonical
+    predicates. *)
+
+type step = {
+  removed : int;  (** the contracted non-β vertex *)
+  incoming : Term.conjunct;
+  outgoing : Term.conjunct;
+  replaced_by : Term.conjunct;
+}
+
+type t = {
+  original_order : int;
+  final : Term.conjunct list;
+      (** The conjuncts of the contracted cycle, still over the original
+          variable names. *)
+  final_vertices : int list;
+  trace : step list;
+  form : [ `Two_vertex | `All_beta | `Self_loop ];
+}
+
+val contract : Cycles.cycle -> t
+(** @raise Invalid_argument on an empty cycle. *)
+
+val to_predicate : t -> Forbidden.t
+(** The weakened predicate [B'], variables renumbered densely. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+open Mo_order
+
+type t = { run : Run.Abstract.t; assignment : int array }
+
+type build_result = Witness of t | Cyclic | Conflicting_guards
+
+(* Union-find for the source/destination identification forced by guards. *)
+let rec uf_find parent i =
+  if parent.(i) = i then i
+  else begin
+    parent.(i) <- uf_find parent parent.(i);
+    parent.(i)
+  end
+
+let uf_union parent a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+let attrs_of_guards ~nvars guards =
+  (* slots 0..nvars-1 are per-variable source identities, nvars..2nvars-1
+     destination identities; guards merge them, and every final class gets
+     a distinct process id (sources and destinations never merge, matching
+     the paper's attribute functions process(x.s) / process(x.r)). *)
+  let parent = Array.init (2 * nvars) Fun.id in
+  let colors = Array.make nvars None in
+  let conflict = ref false in
+  List.iter
+    (fun (g : Term.guard) ->
+      match g with
+      | Term.Same_src (x, y) -> uf_union parent x y
+      | Term.Same_dst (x, y) -> uf_union parent (nvars + x) (nvars + y)
+      | Term.Color_is (x, c) -> (
+          match colors.(x) with
+          | None -> colors.(x) <- Some c
+          | Some c' -> if c <> c' then conflict := true))
+    guards;
+  if !conflict then None
+  else begin
+    let proc_of_root = Hashtbl.create 8 in
+    let next = ref 0 in
+    let proc slot =
+      let root = uf_find parent slot in
+      match Hashtbl.find_opt proc_of_root root with
+      | Some p -> p
+      | None ->
+          let p = !next in
+          incr next;
+          Hashtbl.replace proc_of_root root p;
+          p
+    in
+    Some
+      (Array.init nvars (fun v ->
+           {
+             Run.src = Some (proc v);
+             dst = Some (proc (nvars + v));
+             color = colors.(v);
+           }))
+  end
+
+let build p =
+  let nvars = Forbidden.nvars p in
+  match attrs_of_guards ~nvars (Forbidden.guards p) with
+  | None -> Conflicting_guards
+  | Some attrs -> (
+      let edges =
+        List.map
+          (fun (c : Term.conjunct) ->
+            ( { Event.msg = c.before.var; point = c.before.point },
+              { Event.msg = c.after.var; point = c.after.point } ))
+          (Forbidden.conjuncts p)
+      in
+      match Run.Abstract.create ~nmsgs:nvars ~attrs edges with
+      | None -> Cyclic
+      | Some run -> Witness { run; assignment = Array.init nvars Fun.id })
+
+let classify p =
+  match build p with
+  | Cyclic | Conflicting_guards -> Classify.Implementable Classify.Tagless
+  | Witness w ->
+      if Limits.is_sync w.run then Classify.Not_implementable
+      else if Limits.is_causal w.run then
+        Classify.Implementable Classify.General
+      else Classify.Implementable Classify.Tagged

@@ -1,0 +1,1 @@
+lib/order/bitset.ml: Array Bytes Char Format List Printf

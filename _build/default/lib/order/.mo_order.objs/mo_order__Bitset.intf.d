@@ -1,0 +1,1 @@
+lib/order/bitset.mli: Format

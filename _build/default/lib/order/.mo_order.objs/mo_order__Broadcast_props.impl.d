@@ -1,0 +1,1 @@
+lib/order/broadcast_props.ml: Array Event Format Hashtbl List Printf Result Run

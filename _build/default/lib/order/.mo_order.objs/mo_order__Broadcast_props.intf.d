@@ -1,0 +1,1 @@
+lib/order/broadcast_props.mli: Format Run

@@ -1,0 +1,1 @@
+lib/order/diagram.ml: Array Buffer Event Format Hashtbl List Poset Printf Run String Sys_run

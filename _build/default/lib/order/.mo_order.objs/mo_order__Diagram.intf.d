@@ -1,0 +1,1 @@
+lib/order/diagram.mli: Run Sys_run

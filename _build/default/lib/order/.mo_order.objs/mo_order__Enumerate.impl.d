@@ -1,0 +1,1 @@
+lib/order/enumerate.ml: Array Event Fun List Run

@@ -1,0 +1,1 @@
+lib/order/enumerate.mli: Run

@@ -1,0 +1,1 @@
+lib/order/event.ml: Format Int

@@ -1,0 +1,1 @@
+lib/order/event.mli: Format

@@ -1,0 +1,1 @@
+lib/order/limits.ml: Array Event Format List Printf Queue Result Run

@@ -1,0 +1,1 @@
+lib/order/limits.mli: Format Run

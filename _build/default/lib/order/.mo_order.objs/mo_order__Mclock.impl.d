@@ -1,0 +1,1 @@
+lib/order/mclock.ml: Array Format

@@ -1,0 +1,1 @@
+lib/order/mclock.mli: Format

@@ -1,0 +1,1 @@
+lib/order/online.ml: Array Bitset Event Fun Hashtbl List Option Queue Run

@@ -1,0 +1,1 @@
+lib/order/online.mli: Run

@@ -1,0 +1,1 @@
+lib/order/poset.ml: Array Bitset Format Fun Hashtbl List Option Queue

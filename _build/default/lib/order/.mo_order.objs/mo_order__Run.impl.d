@@ -1,0 +1,1 @@
+lib/order/run.ml: Array Event Format List Poset Printf

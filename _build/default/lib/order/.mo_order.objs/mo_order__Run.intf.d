@@ -1,0 +1,1 @@
+lib/order/run.mli: Event Format Poset

@@ -1,0 +1,1 @@
+lib/order/sys_run.ml: Array Bitset Event Format Hashtbl List Poset Printf Queue Run

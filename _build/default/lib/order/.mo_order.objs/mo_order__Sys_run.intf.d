@@ -1,0 +1,1 @@
+lib/order/sys_run.mli: Event Format Run

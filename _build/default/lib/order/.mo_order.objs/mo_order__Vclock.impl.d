@@ -1,0 +1,1 @@
+lib/order/vclock.ml: Array Format Stdlib

@@ -1,0 +1,1 @@
+lib/order/vclock.mli: Format

@@ -1,0 +1,105 @@
+type grouping = { group_of : int -> int }
+
+type violation = {
+  groups : int * int;
+  procs : int * int;
+  reason : string;
+}
+
+let delivery_order run g p =
+  List.filter_map
+    (fun (e : Event.t) ->
+      match e.point with
+      | Event.R -> Some (g.group_of e.msg)
+      | Event.S -> None)
+    (Run.sequence run p)
+
+(* position of each group in a process's delivery sequence *)
+let positions run g p =
+  let tbl = Hashtbl.create 16 in
+  List.iteri
+    (fun i grp -> if not (Hashtbl.mem tbl grp) then Hashtbl.replace tbl grp i)
+    (delivery_order run g p);
+  tbl
+
+let check_total_order run g =
+  let n = Run.nprocs run in
+  let pos = Array.init n (positions run g) in
+  let result = ref (Ok ()) in
+  (try
+     for p = 0 to n - 1 do
+       for q = p + 1 to n - 1 do
+         Hashtbl.iter
+           (fun g1 i1 ->
+             Hashtbl.iter
+               (fun g2 i2 ->
+                 if g1 < g2 then
+                   match
+                     ( Hashtbl.find_opt pos.(q) g1,
+                       Hashtbl.find_opt pos.(q) g2 )
+                   with
+                   | Some j1, Some j2 ->
+                       if compare i1 i2 <> compare j1 j2 then begin
+                         result :=
+                           Error
+                             {
+                               groups = (g1, g2);
+                               procs = (p, q);
+                               reason =
+                                 Printf.sprintf
+                                   "P%d delivers group %d %s group %d, P%d \
+                                    the other way around"
+                                   p g1
+                                   (if i1 < i2 then "before" else "after")
+                                   g2 q;
+                             };
+                         raise Exit
+                       end
+                   | _ -> ())
+               pos.(p))
+           pos.(p)
+       done
+     done
+   with Exit -> ());
+  !result
+
+let total_order run g = Result.is_ok (check_total_order run g)
+
+let check_causal_broadcast run g =
+  let nmsgs = Run.nmsgs run in
+  (* group g1 causally precedes g2 when some send of g1 happens-before
+     some send of g2 *)
+  let result = ref (Ok ()) in
+  (try
+     for m1 = 0 to nmsgs - 1 do
+       for m2 = 0 to nmsgs - 1 do
+         let g1 = g.group_of m1 and g2 = g.group_of m2 in
+         if g1 <> g2 && Run.lt run (Event.send m1) (Event.send m2) then
+           (* every process delivering copies of both must deliver g1
+              first *)
+           for p = 0 to Run.nprocs run - 1 do
+             let pos = positions run g p in
+             match (Hashtbl.find_opt pos g1, Hashtbl.find_opt pos g2) with
+             | Some i1, Some i2 when i2 < i1 ->
+                 result :=
+                   Error
+                     {
+                       groups = (g1, g2);
+                       procs = (p, p);
+                       reason =
+                         Printf.sprintf
+                           "broadcast %d causally precedes %d but P%d \
+                            delivers %d first"
+                           g1 g2 p g2;
+                     };
+                 raise Exit
+             | _ -> ()
+           done
+       done
+     done
+   with Exit -> ());
+  !result
+
+let causal_broadcast run g = Result.is_ok (check_causal_broadcast run g)
+
+let pp_violation ppf v = Format.pp_print_string ppf v.reason

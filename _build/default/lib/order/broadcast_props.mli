@@ -1,0 +1,53 @@
+(** Broadcast (multicast) ordering properties — the extension sketched in
+    the paper's closing line ("the results in this paper can be extended
+    to incorporate multicast messages").
+
+    A broadcast appears in a run as a {e group} of point-to-point copies
+    sharing an originator. The two guarantees of interest:
+
+    - {e causal broadcast}: if the broadcast of [g] causally precedes the
+      broadcast of [h], every process delivers its copy of [g] before its
+      copy of [h]. This is the group lift of [X_co] and is still expressible
+      per copy-pair by the causal forbidden predicate.
+    - {e total order (atomic broadcast)}: all processes deliver their
+      copies of any two groups in the same relative order, whether or not
+      the broadcasts are causally related.
+
+    Total order is {e not} expressible as a forbidden predicate over the
+    happened-before relation alone: it constrains the {e agreement} between
+    deliveries at different processes, and two symmetric runs (p delivers
+    g then h, q delivers h then g — all four events pairwise concurrent)
+    differ from their agreeing variants only in which copies pair up, not
+    in any ▷ pattern a conjunction over ▷ could see. Hence this module
+    checks it directly on runs; the corresponding protocol
+    ({!Mo_protocol.Total_order} — a sequencer) is a general protocol, in
+    line with the folklore that atomic broadcast requires more than
+    tagging. *)
+
+type grouping = {
+  group_of : int -> int;  (** message id → broadcast group *)
+}
+
+type violation = {
+  groups : int * int;
+  procs : int * int;
+  reason : string;
+}
+
+val check_total_order : Run.t -> grouping -> (unit, violation) result
+(** Every pair of processes that both deliver copies of two groups
+    delivers them in the same relative order. *)
+
+val total_order : Run.t -> grouping -> bool
+
+val check_causal_broadcast : Run.t -> grouping -> (unit, violation) result
+(** If some send of group [g] happens-before some send of group [h], then
+    no process delivers [h]'s copy before [g]'s copy. *)
+
+val causal_broadcast : Run.t -> grouping -> bool
+
+val delivery_order : Run.t -> grouping -> int -> int list
+(** The sequence of groups as delivered at one process (groups without a
+    copy for that process are absent). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,155 @@
+let pad width s =
+  if String.length s >= width then s
+  else s ^ String.make (width - String.length s) ' '
+
+let render_rows ~nprocs ~column ~ncols ~label ~proc_of events ~arrows =
+  let width =
+    List.fold_left (fun w e -> max w (String.length (label e) + 1)) 4 events
+  in
+  let grid = Array.make_matrix nprocs ncols "" in
+  List.iter (fun e -> grid.(proc_of e).(column e) <- label e) events;
+  let buf = Buffer.create 256 in
+  for p = 0 to nprocs - 1 do
+    Buffer.add_string buf (Printf.sprintf "P%-2d|" p);
+    for c = 0 to ncols - 1 do
+      Buffer.add_string buf (pad width (if grid.(p).(c) = "" then "." else grid.(p).(c)))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  List.iter (fun line -> Buffer.add_string buf (line ^ "\n")) arrows;
+  Buffer.contents buf
+
+let render_run r =
+  let nprocs = Run.nprocs r in
+  let events =
+    List.concat (List.init nprocs (fun p -> Run.sequence r p))
+  in
+  (* columns from a topological order of all events *)
+  let order =
+    (* rebuild the poset indirectly: linearize by repeatedly taking an
+       event all of whose predecessors are placed *)
+    let placed = Hashtbl.create 16 in
+    let col = Hashtbl.create 16 in
+    let remaining = ref events in
+    let next_col = ref 0 in
+    while !remaining <> [] do
+      let ready, blocked =
+        List.partition
+          (fun e ->
+            List.for_all
+              (fun e' ->
+                (not (Run.lt r e' e)) || Hashtbl.mem placed (Event.encode e'))
+              events)
+          !remaining
+      in
+      (match ready with
+      | [] ->
+          (* cannot happen in a valid run; avoid a loop regardless *)
+          List.iter
+            (fun e ->
+              Hashtbl.replace placed (Event.encode e) ();
+              Hashtbl.replace col (Event.encode e) !next_col;
+              incr next_col)
+            blocked;
+          remaining := []
+      | _ ->
+          List.iter
+            (fun e ->
+              Hashtbl.replace placed (Event.encode e) ();
+              Hashtbl.replace col (Event.encode e) !next_col;
+              incr next_col)
+            ready;
+          remaining := blocked)
+    done;
+    fun e -> Hashtbl.find col (Event.encode e)
+  in
+  let label (e : Event.t) =
+    Format.asprintf "%a%d"
+      (fun ppf -> function Event.S -> Format.pp_print_string ppf "s"
+        | Event.R -> Format.pp_print_string ppf "r")
+      e.point e.msg
+  in
+  let proc_of (e : Event.t) =
+    match e.point with
+    | Event.S -> Run.msg_src r e.msg
+    | Event.R -> Run.msg_dst r e.msg
+  in
+  let arrows =
+    List.init (Run.nmsgs r) (fun m ->
+        Printf.sprintf "  x%d: P%d -> P%d" m (Run.msg_src r m)
+          (Run.msg_dst r m))
+  in
+  render_rows ~nprocs ~column:order ~ncols:(List.length events) ~label
+    ~proc_of events ~arrows
+
+let render_sys_run r =
+  let module E = Event.Sys in
+  let nprocs = Sys_run.nprocs r in
+  let events =
+    List.concat (List.init nprocs (fun p -> Sys_run.sequence r p))
+  in
+  let placed = Hashtbl.create 16 in
+  let col = Hashtbl.create 16 in
+  let next_col = ref 0 in
+  let remaining = ref events in
+  while !remaining <> [] do
+    let ready, blocked =
+      List.partition
+        (fun e ->
+          List.for_all
+            (fun e' ->
+              (not (Sys_run.lt r e' e)) || Hashtbl.mem placed (E.encode e'))
+            events)
+        !remaining
+    in
+    match ready with
+    | [] ->
+        List.iter
+          (fun e ->
+            Hashtbl.replace placed (E.encode e) ();
+            Hashtbl.replace col (E.encode e) !next_col;
+            incr next_col)
+          blocked;
+        remaining := []
+    | _ ->
+        List.iter
+          (fun e ->
+            Hashtbl.replace placed (E.encode e) ();
+            Hashtbl.replace col (E.encode e) !next_col;
+            incr next_col)
+          ready;
+        remaining := blocked
+  done;
+  let column e = Hashtbl.find col (E.encode e) in
+  let label (e : E.t) =
+    match e.kind with
+    | E.Invoke -> Printf.sprintf "s%d*" e.msg
+    | E.Send -> Printf.sprintf "s%d" e.msg
+    | E.Receive -> Printf.sprintf "r%d*" e.msg
+    | E.Deliver -> Printf.sprintf "r%d" e.msg
+  in
+  let proc_of (e : E.t) =
+    match e.kind with
+    | E.Invoke | E.Send -> Sys_run.msg_src r e.msg
+    | E.Receive | E.Deliver -> Sys_run.msg_dst r e.msg
+  in
+  let arrows =
+    List.init (Sys_run.nmsgs r) (fun m ->
+        Printf.sprintf "  x%d: P%d -> P%d" m (Sys_run.msg_src r m)
+          (Sys_run.msg_dst r m))
+  in
+  render_rows ~nprocs ~column ~ncols:(List.length events) ~label ~proc_of
+    events ~arrows
+
+let render_abstract a =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "abstract run over %d messages; cover relation:\n"
+       (Run.Abstract.nmsgs a));
+  List.iter
+    (fun (h, g) ->
+      Buffer.add_string buf
+        (Format.asprintf "  %a -> %a\n" Event.pp (Event.decode h) Event.pp
+           (Event.decode g)))
+    (Poset.covers (Run.Abstract.poset a));
+  Buffer.contents buf

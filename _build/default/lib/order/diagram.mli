@@ -1,0 +1,16 @@
+(** ASCII space-time diagrams.
+
+    Renders runs in the style of the paper's figures: one row per process,
+    time flowing left to right, events placed at columns of a linear
+    extension, message arrows listed beneath. Used by the bench harness to
+    re-render Figures 1–5 and by the examples. *)
+
+val render_run : Run.t -> string
+(** User-view run: events shown as [s3] / [r3]. *)
+
+val render_sys_run : Sys_run.t -> string
+(** System-view run: events shown as [s3*] / [s3] / [r3*] / [r3]. *)
+
+val render_abstract : Run.Abstract.t -> string
+(** Abstract run: one row per message listing its causal constraints
+    (cover edges of the poset); there is no process axis to draw. *)

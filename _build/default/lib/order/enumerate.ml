@@ -1,0 +1,66 @@
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: rest ->
+      (x :: y :: rest)
+      :: List.map (fun l -> y :: l) (insert_everywhere x rest)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: rest -> List.concat_map (insert_everywhere x) (permutations rest)
+
+let runs ~nprocs ~msgs =
+  let nmsgs = Array.length msgs in
+  let events_of p =
+    let acc = ref [] in
+    for m = nmsgs - 1 downto 0 do
+      let src, dst = msgs.(m) in
+      (* deliveries first so sends tend to come first after List.rev-free
+         permutation enumeration; order is irrelevant for completeness *)
+      if dst = p then acc := Event.deliver m :: !acc;
+      if src = p then acc := Event.send m :: !acc
+    done;
+    !acc
+  in
+  let per_proc = Array.init nprocs (fun p -> permutations (events_of p)) in
+  let acc = ref [] in
+  let seq = Array.make nprocs [] in
+  let rec product p =
+    if p = nprocs then begin
+      match Run.of_sequences ~nprocs ~msgs (Array.copy seq) with
+      | Ok r -> acc := r :: !acc
+      | Error _ -> ()
+    end
+    else
+      List.iter
+        (fun order ->
+          seq.(p) <- order;
+          product (p + 1))
+        per_proc.(p)
+  in
+  product 0;
+  List.rev !acc
+
+let count_runs ~nprocs ~msgs = List.length (runs ~nprocs ~msgs)
+
+let configs ?(allow_self = false) ~nprocs ~nmsgs () =
+  let endpoints =
+    List.concat_map
+      (fun s -> List.init nprocs (fun d -> (s, d)))
+      (List.init nprocs Fun.id)
+    |> List.filter (fun (s, d) -> allow_self || s <> d)
+  in
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let rest = go (k - 1) in
+      List.concat_map (fun e -> List.map (fun l -> e :: l) rest) endpoints
+  in
+  List.map Array.of_list (go nmsgs)
+
+let all_runs ?allow_self ~nprocs ~nmsgs () =
+  List.concat_map
+    (fun msgs -> runs ~nprocs ~msgs)
+    (configs ?allow_self ~nprocs ~nmsgs ())
+
+let abstract_runs ?allow_self ~nprocs ~nmsgs () =
+  List.map Run.to_abstract (all_runs ?allow_self ~nprocs ~nmsgs ())

@@ -1,0 +1,32 @@
+(** Exhaustive enumeration of small concrete runs.
+
+    Used as a model checker: the theorems of the paper quantify over all
+    runs, and for small universes (≤ 3 processes, ≤ 3 messages) we can check
+    them against {e every} run rather than samples. A concrete run is
+    determined by the per-process orderings of its events, subject to global
+    acyclicity, so enumeration is a filtered product of permutations. *)
+
+val permutations : 'a list -> 'a list list
+
+val runs : nprocs:int -> msgs:(int * int) array -> Run.t list
+(** All complete runs over exactly the given message set. Two runs are
+    distinct iff some process executes its events in a different order. *)
+
+val count_runs : nprocs:int -> msgs:(int * int) array -> int
+
+val configs :
+  ?allow_self:bool -> nprocs:int -> nmsgs:int -> unit -> (int * int) array list
+(** All assignments of sources and destinations to [nmsgs] messages.
+    Self-addressed messages (src = dst) are excluded unless
+    [allow_self:true]: the paper's message sets [M_ij] implicitly connect
+    distinct processes, and its Lemma 3 equivalences fail when a process
+    may message itself (see DESIGN.md, "Model subtleties"). *)
+
+val all_runs :
+  ?allow_self:bool -> nprocs:int -> nmsgs:int -> unit -> Run.t list
+(** [runs] over every configuration of [configs]. Exponential; intended for
+    [nprocs ≤ 3], [nmsgs ≤ 3]. *)
+
+val abstract_runs :
+  ?allow_self:bool -> nprocs:int -> nmsgs:int -> unit -> Run.Abstract.t list
+(** The abstract projections of {!all_runs} (duplicates not removed). *)

@@ -1,0 +1,81 @@
+type point = S | R
+
+let point_equal a b =
+  match (a, b) with S, S | R, R -> true | S, R | R, S -> false
+
+let pp_point ppf = function
+  | S -> Format.pp_print_string ppf "s"
+  | R -> Format.pp_print_string ppf "r"
+
+type t = { msg : int; point : point }
+
+let send msg = { msg; point = S }
+let deliver msg = { msg; point = R }
+
+let equal a b = a.msg = b.msg && point_equal a.point b.point
+
+let compare a b =
+  match Int.compare a.msg b.msg with
+  | 0 -> ( match (a.point, b.point) with
+      | S, R -> -1
+      | R, S -> 1
+      | S, S | R, R -> 0)
+  | c -> c
+
+let encode e = (2 * e.msg) + match e.point with S -> 0 | R -> 1
+
+let decode i =
+  { msg = i / 2; point = (if i mod 2 = 0 then S else R) }
+
+let pp ppf e = Format.fprintf ppf "x%d.%a" e.msg pp_point e.point
+
+module Sys = struct
+  type kind = Invoke | Send | Receive | Deliver
+
+  type t = { msg : int; kind : kind }
+
+  let kind_index = function
+    | Invoke -> 0
+    | Send -> 1
+    | Receive -> 2
+    | Deliver -> 3
+
+  let kind_of_index = function
+    | 0 -> Invoke
+    | 1 -> Send
+    | 2 -> Receive
+    | 3 -> Deliver
+    | _ -> invalid_arg "Event.Sys.kind_of_index"
+
+  let equal a b = a.msg = b.msg && kind_index a.kind = kind_index b.kind
+
+  let compare a b =
+    match Int.compare a.msg b.msg with
+    | 0 -> Int.compare (kind_index a.kind) (kind_index b.kind)
+    | c -> c
+
+  let encode e = (4 * e.msg) + kind_index e.kind
+
+  let decode i = { msg = i / 4; kind = kind_of_index (i mod 4) }
+
+  let is_user_visible e =
+    match e.kind with Send | Deliver -> true | Invoke | Receive -> false
+
+  let to_user e =
+    match e.kind with
+    | Send -> Some (e.msg, S)
+    | Deliver -> Some (e.msg, R)
+    | Invoke | Receive -> None
+
+  let is_controllable = is_user_visible
+
+  let pp ppf e =
+    let suffix =
+      match e.kind with
+      | Invoke -> "s*"
+      | Send -> "s"
+      | Receive -> "r*"
+      | Deliver -> "r"
+    in
+    Format.fprintf ppf "x%d.%s" e.msg suffix
+end

@@ -1,0 +1,65 @@
+(** Events of a run, in the user's view and in the system's view.
+
+    The paper (§3.1) breaks each user event into a request and an execution:
+    a message [x] consists of the four system events invoke [x.s*], send
+    [x.s], receive [x.r*] and delivery [x.r]. The user's view (§3.3) keeps
+    only send and delivery.
+
+    Events are identified by the message index they belong to plus their
+    kind, and carry a canonical integer encoding so they can index
+    {!Poset} universes: user-view event [e] of message [m] is
+    [2*m + (0|1)]; system-view event is [4*m + (0..3)]. *)
+
+type point = S | R
+(** The two user-visible endpoints of a message: its send ([S]) and its
+    delivery ([R]). The paper writes them [x.s] and [x.r]. *)
+
+val point_equal : point -> point -> bool
+val pp_point : Format.formatter -> point -> unit
+
+type t = { msg : int; point : point }
+(** A user-view event: endpoint [point] of message [msg]. *)
+
+val send : int -> t
+val deliver : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val encode : t -> int
+(** [encode e] = [2 * e.msg + (if e.point = S then 0 else 1)]. *)
+
+val decode : int -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints as ["x3.s"] / ["x3.r"]. *)
+
+(** System-view events (§3.1): the four events of a message. *)
+module Sys : sig
+  type kind = Invoke | Send | Receive | Deliver
+  (** [Invoke] is [x.s*], [Send] is [x.s], [Receive] is [x.r*], [Deliver]
+      is [x.r]. *)
+
+  type t = { msg : int; kind : kind }
+
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+
+  val encode : t -> int
+  (** [4 * msg + (0..3)] in the order invoke, send, receive, deliver. *)
+
+  val decode : int -> t
+
+  val is_user_visible : t -> bool
+  (** Send and delivery events survive the {e UsersView} projection. *)
+
+  val to_user : t -> (int * point) option
+  (** The user-view event this system event projects to, if any. *)
+
+  val is_controllable : t -> bool
+  (** Send and delivery events may be delayed by a protocol (they populate
+      the sets [S_i] and [D_i] of §3.1); invoke and receive may not. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints as ["x3.s*"], ["x3.s"], ["x3.r*"], ["x3.r"]. *)
+end

@@ -1,0 +1,45 @@
+type t = { n : int; m : int array } (* row-major n×n *)
+
+let create n =
+  if n <= 0 then invalid_arg "Mclock.create";
+  { n; m = Array.make (n * n) 0 }
+
+let size t = t.n
+
+let idx t j k =
+  if j < 0 || j >= t.n || k < 0 || k >= t.n then invalid_arg "Mclock: index";
+  (j * t.n) + k
+
+let get t j k = t.m.(idx t j k)
+
+let record_send t ~src ~dst =
+  let m = Array.copy t.m in
+  let i = idx t src dst in
+  m.(i) <- m.(i) + 1;
+  { t with m }
+
+let merge a b =
+  if a.n <> b.n then invalid_arg "Mclock.merge";
+  { a with m = Array.init (Array.length a.m) (fun i -> max a.m.(i) b.m.(i)) }
+
+let leq a b =
+  a.n = b.n
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.m.(i) then ok := false) a.m;
+  !ok
+
+let equal a b = a.n = b.n && a.m = b.m
+
+let row t j = Array.init t.n (fun k -> get t j k)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  for j = 0 to t.n - 1 do
+    Format.fprintf ppf "|%a|@ "
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+         Format.pp_print_int)
+      (Array.to_list (row t j))
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,30 @@
+(** Matrix clocks, as used by the Raynal–Schiper–Toueg causal-ordering
+    protocol [20] cited in §2 of the paper.
+
+    Entry [(j, k)] records the holder's knowledge of how many messages
+    process [j] has sent to process [k]. The paper's observation that no
+    higher-dimensional tagging can restrict ordering further is Theorem 1;
+    the matrix is the maximal useful tag. *)
+
+type t
+
+val create : int -> t
+(** Zero matrix for [n] processes. *)
+
+val size : t -> int
+
+val get : t -> int -> int -> int
+
+val record_send : t -> src:int -> dst:int -> t
+(** Increment entry [(src, dst)]. Persistent. *)
+
+val merge : t -> t -> t
+(** Entrywise maximum. *)
+
+val leq : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val row : t -> int -> int array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+(** Online (streaming) ordering monitors.
+
+    The offline checkers ({!Limits}, predicate evaluation) build the full
+    happened-before poset — quadratic space, fine for analysis but not for
+    monitoring long executions. This module detects FIFO and causal-order
+    violations {e as events arrive}, the way a deployed protocol would,
+    using per-channel counters and vector clocks; the SYNC property (a
+    global acyclicity condition) is checked at the end from message-graph
+    edges collected along the way.
+
+    Feed events in execution order (any linear extension of the run:
+    per-process order must be respected, and a send must precede its
+    delivery). The monitor is the runtime face of the paper's tagging
+    story: everything it needs for FIFO/causal is exactly what the tagged
+    protocols carry. *)
+
+type t
+
+type violation = {
+  kind : [ `Fifo | `Causal ];
+  earlier : int;  (** the overtaken message *)
+  later : int;  (** the message delivered too early *)
+}
+
+val create : nprocs:int -> nmsgs:int -> t
+(** Monitor for a run of at most [nmsgs] messages over [nprocs]
+    processes. *)
+
+val send : t -> msg:int -> src:int -> dst:int -> unit
+(** Record [msg.s] executed at [src]. @raise Invalid_argument on reuse of
+    a message id or out-of-range arguments. *)
+
+val deliver : t -> msg:int -> violation list
+(** Record [msg.r] executed at the destination; returns the FIFO and/or
+    causal violations this delivery completes (empty list if none). The
+    monitor keeps running after violations. *)
+
+val finalize_sync : t -> (int array, int list) result
+(** After the run: [Ok numbering] if the run was logically synchronous
+    (the SYNC numbering over messages), or [Error cycle] with a message
+    cycle (crown). *)
+
+val feed_run : Run.t -> violation list * (int array, int list) result
+(** Drive the monitor with a recorded run (events in a linear extension)
+    and return everything it found — the bridge used by tests to compare
+    against the offline checkers. *)

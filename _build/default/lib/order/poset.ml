@@ -1,0 +1,205 @@
+type t = {
+  n : int;
+  succ : int list array; (* deduplicated generating edges *)
+  reach : Bitset.t array; (* reach.(h) = { g | h ▷ g }, strict *)
+}
+
+let size t = t.n
+
+(* Kahn's algorithm over the generators; detects cycles and yields a
+   topological order used to fill the reachability rows bottom-up. *)
+let topo_of_succ n succ =
+  let indeg = Array.make n 0 in
+  Array.iter (fun gs -> List.iter (fun g -> indeg.(g) <- indeg.(g) + 1) gs) succ;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    order := v :: !order;
+    List.iter
+      (fun g ->
+        indeg.(g) <- indeg.(g) - 1;
+        if indeg.(g) = 0 then Queue.add g queue)
+      succ.(v)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let dedup_succ n edges =
+  let succ = Array.make n [] in
+  let seen = Hashtbl.create (List.length edges) in
+  List.iter
+    (fun (h, g) ->
+      if h < 0 || h >= n || g < 0 || g >= n then
+        invalid_arg "Poset.of_edges: vertex out of range";
+      if not (Hashtbl.mem seen (h, g)) then begin
+        Hashtbl.add seen (h, g) ();
+        succ.(h) <- g :: succ.(h)
+      end)
+    edges;
+  succ
+
+let of_edges n edges =
+  if n < 0 then invalid_arg "Poset.of_edges: negative size";
+  let succ = dedup_succ n edges in
+  match topo_of_succ n succ with
+  | None -> None
+  | Some order ->
+      let reach = Array.init n (fun _ -> Bitset.create n) in
+      (* process in reverse topological order so successors are complete *)
+      List.iter
+        (fun h ->
+          List.iter
+            (fun g ->
+              Bitset.add reach.(h) g;
+              Bitset.union_into ~dst:reach.(h) reach.(g))
+            succ.(h))
+        (List.rev order);
+      Some { n; succ; reach }
+
+let of_edges_exn n edges =
+  match of_edges n edges with
+  | Some t -> t
+  | None -> invalid_arg "Poset.of_edges_exn: edges contain a cycle"
+
+let empty n = of_edges_exn n []
+
+let generators t =
+  Array.to_list t.succ
+  |> List.mapi (fun h gs -> List.map (fun g -> (h, g)) gs)
+  |> List.concat
+
+let lt t h g =
+  if h < 0 || h >= t.n || g < 0 || g >= t.n then
+    invalid_arg "Poset.lt: vertex out of range";
+  Bitset.mem t.reach.(h) g
+
+let le t h g = h = g || lt t h g
+
+let concurrent t h g = h <> g && (not (lt t h g)) && not (lt t g h)
+
+let comparable t h g = lt t h g || lt t g h
+
+let down_set t g =
+  let s = Bitset.create t.n in
+  for h = 0 to t.n - 1 do
+    if lt t h g then Bitset.add s h
+  done;
+  s
+
+let up_set t h = Bitset.copy t.reach.(h)
+
+let topo_sort t =
+  match topo_of_succ t.n t.succ with
+  | Some o -> o
+  | None -> assert false (* construction guarantees acyclicity *)
+
+let linear_extensions ?limit t =
+  let limit = Option.value limit ~default:max_int in
+  let indeg = Array.make t.n 0 in
+  Array.iter
+    (fun gs -> List.iter (fun g -> indeg.(g) <- indeg.(g) + 1) gs)
+    t.succ;
+  let results = ref [] in
+  let count = ref 0 in
+  let prefix = ref [] in
+  let rec go remaining =
+    if !count >= limit then ()
+    else if remaining = 0 then begin
+      incr count;
+      results := List.rev !prefix :: !results
+    end
+    else
+      for v = 0 to t.n - 1 do
+        if indeg.(v) = 0 then begin
+          indeg.(v) <- -1;
+          List.iter (fun g -> indeg.(g) <- indeg.(g) - 1) t.succ.(v);
+          prefix := v :: !prefix;
+          go (remaining - 1);
+          prefix := List.tl !prefix;
+          List.iter (fun g -> indeg.(g) <- indeg.(g) + 1) t.succ.(v);
+          indeg.(v) <- 0
+        end
+      done
+  in
+  go t.n;
+  List.rev !results
+
+let count_linear_extensions ?limit t =
+  List.length (linear_extensions ?limit t)
+
+let covers t =
+  let acc = ref [] in
+  for h = 0 to t.n - 1 do
+    Bitset.iter
+      (fun g ->
+        let between = ref false in
+        Bitset.iter (fun k -> if lt t k g then between := true) t.reach.(h);
+        if not !between then acc := (h, g) :: !acc)
+      t.reach.(h)
+  done;
+  List.rev !acc
+
+let minimal_elements t =
+  let has_pred = Array.make t.n false in
+  for h = 0 to t.n - 1 do
+    Bitset.iter (fun g -> has_pred.(g) <- true) t.reach.(h)
+  done;
+  List.filter (fun v -> not has_pred.(v)) (List.init t.n Fun.id)
+
+let maximal_elements t =
+  List.filter
+    (fun v -> Bitset.is_empty t.reach.(v))
+    (List.init t.n Fun.id)
+
+let restrict t keep =
+  let keep_arr = Array.of_list keep in
+  let m = Array.length keep_arr in
+  let index = Hashtbl.create m in
+  Array.iteri (fun i v -> Hashtbl.replace index v i) keep_arr;
+  let edges = ref [] in
+  for i = 0 to m - 1 do
+    for j = 0 to m - 1 do
+      if i <> j && lt t keep_arr.(i) keep_arr.(j) then
+        edges := (i, j) :: !edges
+    done
+  done;
+  match of_edges m !edges with
+  | Some p -> (p, keep_arr)
+  | None -> assert false (* restriction of a partial order is one *)
+
+let add_edges t edges = of_edges t.n (generators t @ edges)
+
+let relation_equal a b =
+  a.n = b.n
+  && Array.for_all2 (fun x y -> Bitset.equal x y) a.reach b.reach
+
+let relation_subset a b =
+  a.n = b.n
+  && Array.for_all2 (fun x y -> Bitset.subset x y) a.reach b.reach
+
+let is_total t =
+  let ok = ref true in
+  for h = 0 to t.n - 1 do
+    for g = h + 1 to t.n - 1 do
+      if not (comparable t h g) then ok := false
+    done
+  done;
+  !ok
+
+let pairs t =
+  let acc = ref [] in
+  for h = t.n - 1 downto 0 do
+    Bitset.iter (fun g -> acc := (h, g) :: !acc) t.reach.(h)
+  done;
+  (* note: per-row order preserved; overall order unspecified *)
+  !acc
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>poset(%d):" t.n;
+  List.iter (fun (h, g) -> Format.fprintf ppf "@ %d -> %d" h g) (covers t);
+  Format.fprintf ppf "@]"

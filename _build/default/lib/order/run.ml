@@ -1,0 +1,284 @@
+type attrs = { src : int option; dst : int option; color : int option }
+
+let no_attrs = { src = None; dst = None; color = None }
+
+let attrs_known ~src ~dst ?color () =
+  { src = Some src; dst = Some dst; color }
+
+module Abstract = struct
+  type t = { nmsgs : int; po : Poset.t; attrs : attrs array }
+
+  let create ~nmsgs ?attrs edges =
+    let attrs =
+      match attrs with
+      | Some a ->
+          if Array.length a <> nmsgs then
+            invalid_arg "Run.Abstract.create: attrs length mismatch";
+          a
+      | None -> Array.make nmsgs no_attrs
+    in
+    let implicit =
+      List.init nmsgs (fun m ->
+          (Event.encode (Event.send m), Event.encode (Event.deliver m)))
+    in
+    let encoded =
+      List.map (fun (h, g) -> (Event.encode h, Event.encode g)) edges
+    in
+    match Poset.of_edges (2 * nmsgs) (implicit @ encoded) with
+    | None -> None
+    | Some po -> Some { nmsgs; po; attrs }
+
+  let create_exn ~nmsgs ?attrs edges =
+    match create ~nmsgs ?attrs edges with
+    | Some t -> t
+    | None -> invalid_arg "Run.Abstract.create_exn: not a partial order"
+
+  let nmsgs t = t.nmsgs
+
+  let attrs t m =
+    if m < 0 || m >= t.nmsgs then invalid_arg "Run.Abstract.attrs";
+    t.attrs.(m)
+
+  let poset t = t.po
+
+  let lt t h g = Poset.lt t.po (Event.encode h) (Event.encode g)
+
+  let concurrent t h g =
+    Poset.concurrent t.po (Event.encode h) (Event.encode g)
+
+  let message_graph t =
+    let acc = ref [] in
+    for x = 0 to t.nmsgs - 1 do
+      for y = 0 to t.nmsgs - 1 do
+        if x <> y then
+          let precedes =
+            List.exists
+              (fun (h, f) -> lt t h f)
+              [
+                (Event.send x, Event.send y);
+                (Event.send x, Event.deliver y);
+                (Event.deliver x, Event.send y);
+                (Event.deliver x, Event.deliver y);
+              ]
+          in
+          if precedes then acc := (x, y) :: !acc
+      done
+    done;
+    List.rev !acc
+
+  let events t =
+    List.init (2 * t.nmsgs) Event.decode
+
+  let attrs_equal a b = a.src = b.src && a.dst = b.dst && a.color = b.color
+
+  let equal a b =
+    a.nmsgs = b.nmsgs
+    && Poset.relation_equal a.po b.po
+    && Array.for_all2 attrs_equal a.attrs b.attrs
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>run(%d msgs):" t.nmsgs;
+    List.iter
+      (fun (h, g) ->
+        Format.fprintf ppf "@ %a -> %a" Event.pp (Event.decode h) Event.pp
+          (Event.decode g))
+      (Poset.covers t.po);
+    Format.fprintf ppf "@]"
+end
+
+type t = {
+  nprocs : int;
+  msgs : (int * int) array;
+  colors : int option array;
+  seq : Event.t list array;
+  po : Poset.t;
+}
+
+type schedule_entry = Do_send of int | Do_deliver of int
+
+let validate_placement ~nprocs ~msgs seq =
+  let nmsgs = Array.length msgs in
+  let seen = Array.make (2 * nmsgs) false in
+  let err = ref None in
+  let set_err s = if !err = None then err := Some s in
+  Array.iteri
+    (fun p events ->
+      List.iter
+        (fun (e : Event.t) ->
+          if e.msg < 0 || e.msg >= nmsgs then
+            set_err (Printf.sprintf "event of unknown message %d" e.msg)
+          else begin
+            let src, dst = msgs.(e.msg) in
+            (match e.point with
+            | Event.S ->
+                if p <> src then
+                  set_err
+                    (Printf.sprintf "x%d.s on process %d, expected src %d"
+                       e.msg p src)
+            | Event.R ->
+                if p <> dst then
+                  set_err
+                    (Printf.sprintf "x%d.r on process %d, expected dst %d"
+                       e.msg p dst));
+            let i = Event.encode e in
+            if seen.(i) then
+              set_err (Format.asprintf "duplicate event %a" Event.pp e)
+            else seen.(i) <- true
+          end)
+        events)
+    seq;
+  Array.iteri
+    (fun i (src, dst) ->
+      if src < 0 || src >= nprocs || dst < 0 || dst >= nprocs then
+        set_err (Printf.sprintf "message %d has endpoint out of range" i);
+      if not seen.(Event.encode (Event.send i)) then
+        set_err (Printf.sprintf "x%d.s missing (incomplete run)" i);
+      if not seen.(Event.encode (Event.deliver i)) then
+        set_err (Printf.sprintf "x%d.r missing (incomplete run)" i))
+    msgs;
+  !err
+
+let build_poset ~msgs seq =
+  let nmsgs = Array.length msgs in
+  let edges = ref [] in
+  Array.iter
+    (fun events ->
+      let rec chain = function
+        | a :: (b :: _ as rest) ->
+            edges := (Event.encode a, Event.encode b) :: !edges;
+            chain rest
+        | [ _ ] | [] -> ()
+      in
+      chain events)
+    seq;
+  for m = 0 to nmsgs - 1 do
+    edges :=
+      (Event.encode (Event.send m), Event.encode (Event.deliver m)) :: !edges
+  done;
+  Poset.of_edges (2 * nmsgs) !edges
+
+let of_sequences ~nprocs ~msgs ?colors seq =
+  if Array.length seq <> nprocs then
+    invalid_arg "Run.of_sequences: sequence array length <> nprocs";
+  let colors =
+    match colors with
+    | Some c ->
+        if Array.length c <> Array.length msgs then
+          invalid_arg "Run.of_sequences: colors length mismatch";
+        c
+    | None -> Array.make (Array.length msgs) None
+  in
+  match validate_placement ~nprocs ~msgs seq with
+  | Some e -> Error e
+  | None -> (
+      match build_poset ~msgs seq with
+      | None -> Error "process sequences induce a cyclic order"
+      | Some po -> Ok { nprocs; msgs; colors; seq; po })
+
+let of_schedule ~nprocs ~msgs ?colors sched =
+  let nmsgs = Array.length msgs in
+  let sent = Array.make nmsgs false in
+  let seq_rev = Array.make nprocs [] in
+  let err = ref None in
+  List.iter
+    (fun entry ->
+      if !err = None then
+        match entry with
+        | Do_send m ->
+            if m < 0 || m >= nmsgs then
+              err := Some (Printf.sprintf "send of unknown message %d" m)
+            else begin
+              sent.(m) <- true;
+              let src, _ = msgs.(m) in
+              seq_rev.(src) <- Event.send m :: seq_rev.(src)
+            end
+        | Do_deliver m ->
+            if m < 0 || m >= nmsgs then
+              err := Some (Printf.sprintf "deliver of unknown message %d" m)
+            else if not sent.(m) then
+              err :=
+                Some
+                  (Printf.sprintf "x%d.r scheduled before x%d.s (spurious)" m
+                     m)
+            else
+              let _, dst = msgs.(m) in
+              seq_rev.(dst) <- Event.deliver m :: seq_rev.(dst))
+    sched;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      of_sequences ~nprocs ~msgs ?colors (Array.map List.rev seq_rev)
+
+let nprocs t = t.nprocs
+
+let nmsgs t = Array.length t.msgs
+
+let msg_src t m = fst t.msgs.(m)
+
+let msg_dst t m = snd t.msgs.(m)
+
+let sequence t i =
+  if i < 0 || i >= t.nprocs then invalid_arg "Run.sequence";
+  t.seq.(i)
+
+let lt t h g = Poset.lt t.po (Event.encode h) (Event.encode g)
+
+let concurrent t h g = Poset.concurrent t.po (Event.encode h) (Event.encode g)
+
+let to_abstract t =
+  let nmsgs = Array.length t.msgs in
+  let attrs =
+    Array.init nmsgs (fun m ->
+        let src, dst = t.msgs.(m) in
+        { src = Some src; dst = Some dst; color = t.colors.(m) })
+  in
+  let edges =
+    List.filter_map
+      (fun (h, g) -> Some (Event.decode h, Event.decode g))
+      (Poset.generators t.po)
+  in
+  match Abstract.create ~nmsgs ~attrs edges with
+  | Some a -> a
+  | None -> assert false (* t.po is already a partial order *)
+
+let linearize t =
+  let cursors = Array.copy t.seq in
+  let sent = Array.make (Array.length t.msgs) false in
+  let out = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iteri
+      (fun p events ->
+        match events with
+        | (e : Event.t) :: rest -> (
+            match e.point with
+            | Event.S ->
+                sent.(e.msg) <- true;
+                out := e :: !out;
+                cursors.(p) <- rest;
+                progress := true
+            | Event.R ->
+                if sent.(e.msg) then begin
+                  out := e :: !out;
+                  cursors.(p) <- rest;
+                  progress := true
+                end)
+        | [] -> ())
+      cursors
+  done;
+  (* a valid run always drains: every delivery's send is in some sequence *)
+  assert (Array.for_all (fun c -> c = []) cursors);
+  List.rev !out
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri
+    (fun p events ->
+      Format.fprintf ppf "P%d: @[<h>%a@]@ " p
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+           Event.pp)
+        events)
+    t.seq;
+  Format.fprintf ppf "@]"

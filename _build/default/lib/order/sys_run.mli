@@ -1,0 +1,104 @@
+(** System-view runs (§3.1): decomposed posets over the four events of each
+    message — invoke [x.s*], send [x.s], receive [x.r*], delivery [x.r] —
+    arranged in per-process sequences.
+
+    A system run may be {e partial}: any prefix of a run is a run. The three
+    well-formedness conditions of §3.1 are enforced at construction:
+    the induced order is a partial order; a receive appears only if the send
+    has; and executions are preceded by their requests.
+
+    This module also implements:
+    - {!causal_past}: the prefix [CausalPast_i(H)] of Figure 1;
+    - the pending-event sets [I_i], [S_i], [R_i], [D_i] of §3.1;
+    - {!users_view}: the projection of §3.3 onto send/delivery events;
+    - membership in the Lemma 2 sets [X_tl ⊆ X_td ⊆ X_gn] — the runs that
+      {e any} live tagless / tagged / general protocol must admit. *)
+
+type t
+
+val of_sequences :
+  nprocs:int ->
+  msgs:(int * int) array ->
+  Event.Sys.t list array ->
+  (t, string) result
+(** [msgs.(i)] is [(src, dst)]; invoke/send events of message [i] must lie
+    on [src], receive/delivery events on [dst], with [x.s*] before [x.s] and
+    [x.r*] before [x.r] in process order and no receive without a send. *)
+
+val nprocs : t -> int
+
+val nmsgs : t -> int
+(** The size of the message universe [M]; not all messages need have events
+    in a partial run. *)
+
+val msg_src : t -> int -> int
+
+val msg_dst : t -> int -> int
+
+val sequence : t -> int -> Event.Sys.t list
+
+val mem : t -> Event.Sys.t -> bool
+(** Has this event been executed? *)
+
+val lt : t -> Event.Sys.t -> Event.Sys.t -> bool
+(** Happened-before among executed events. *)
+
+val is_complete : t -> bool
+(** Every message of the universe has all four events executed. *)
+
+val is_prefix : t -> t -> bool
+(** [is_prefix g h]: every process sequence of [g] is a prefix of the
+    corresponding sequence of [h] (same universe). *)
+
+val causal_past : t -> int -> t
+(** [causal_past h i] is [CausalPast_i(h)]: process [i]'s own sequence plus,
+    on every other process, exactly the events followed by some event of
+    process [i]. *)
+
+val extend : t -> int -> Event.Sys.t -> (t, string) result
+(** [extend h p e] appends event [e] to process [p]'s sequence, checking the
+    run conditions. This is the single-step transition of the inductive
+    definition of [X_P] in §3.2. *)
+
+(** The pending-event sets of §3.1, per process. *)
+module Pending : sig
+  val invokes : t -> int -> Event.Sys.t list
+  (** [I_i(H)]: invoke events not yet requested by process [i]. *)
+
+  val sends : t -> int -> Event.Sys.t list
+  (** [S_i(H)]: requested but not yet sent. *)
+
+  val receives : t -> int -> Event.Sys.t list
+  (** [R_i(H)]: sent to [i] but not yet received. *)
+
+  val deliveries : t -> int -> Event.Sys.t list
+  (** [D_i(H)]: received but not yet delivered. *)
+
+  val controllable : t -> int -> Event.Sys.t list
+  (** [C_i(H) = S_i(H) ∪ D_i(H)]. *)
+
+  val all_done : t -> bool
+  (** [S ∪ R ∪ D = ∅]: nothing pending anywhere (liveness target). *)
+end
+
+val users_view : t -> (Run.t, string) result
+(** The projection of §3.3. Defined on complete runs (so that the result is
+    a complete user-view run); returns [Error] otherwise. *)
+
+(** Membership in the Lemma 2 limit sets over complete system runs. *)
+module Lemma2 : sig
+  val in_tagless_set : t -> bool
+  (** [X_tl] (the paper's X_ℓ): requests immediately precede executions, and
+      every requested message was delivered. Any live tagless protocol
+      admits every such run. *)
+
+  val in_tagged_set : t -> bool
+  (** [X_td]: additionally, messages are causally ordered
+      — [x.s → y.s] implies that [y.r✱ → x.r✱] does not hold. *)
+
+  val in_general_set : t -> bool
+  (** [X_gn]: additionally, a numbering [N] with vertical message arrows
+      exists (block message graph acyclic). *)
+end
+
+val pp : Format.formatter -> t -> unit

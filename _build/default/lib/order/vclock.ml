@@ -1,0 +1,44 @@
+type t = int array
+
+let create n =
+  if n <= 0 then invalid_arg "Vclock.create";
+  Array.make n 0
+
+let size = Array.length
+
+let get v i = v.(i)
+
+let tick v i =
+  let w = Array.copy v in
+  w.(i) <- w.(i) + 1;
+  w
+
+let merge a b =
+  if Array.length a <> Array.length b then invalid_arg "Vclock.merge";
+  Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+
+let leq a b =
+  Array.length a = Array.length b
+  &&
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > b.(i) then ok := false) a;
+  !ok
+
+let equal a b = a = b
+
+let lt a b = leq a b && not (equal a b)
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let compare = Stdlib.compare
+
+let to_array = Array.copy
+
+let of_array = Array.copy
+
+let pp ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ";")
+       Format.pp_print_int)
+    (Array.to_list v)

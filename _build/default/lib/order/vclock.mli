@@ -1,0 +1,41 @@
+(** Vector clocks.
+
+    The classic mechanism for tracking causality in the tagged-protocol
+    world (§2 of the paper): each process keeps one counter per process;
+    entrywise maximum on receipt. Used by the Birman–Schiper–Stephenson
+    causal broadcast protocol and by the online causal-order checker. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the zero vector for [n] processes. *)
+
+val size : t -> int
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** [tick v i] increments component [i] (a local event at process [i]).
+    Persistent: returns a fresh clock. *)
+
+val merge : t -> t -> t
+(** Entrywise maximum. *)
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is ≤ the matching one of [b]. *)
+
+val lt : t -> t -> bool
+(** [leq a b] and [a <> b]: the happened-before test. *)
+
+val concurrent : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order for use in maps; {e not} the causal order. *)
+
+val to_array : t -> int array
+
+val of_array : int array -> t
+
+val pp : Format.formatter -> t -> unit

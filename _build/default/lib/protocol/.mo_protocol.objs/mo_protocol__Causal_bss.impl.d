@@ -1,0 +1,1 @@
+lib/protocol/causal_bss.ml: Array List Message Mo_order Protocol Vclock

@@ -1,0 +1,1 @@
+lib/protocol/causal_bss.mli: Protocol

@@ -1,0 +1,1 @@
+lib/protocol/causal_rst.ml: Array List Mclock Message Mo_order Protocol

@@ -1,0 +1,1 @@
+lib/protocol/causal_rst.mli: Protocol

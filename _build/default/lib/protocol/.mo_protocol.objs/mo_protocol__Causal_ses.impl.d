@@ -1,0 +1,1 @@
+lib/protocol/causal_ses.ml: Hashtbl List Message Mo_order Protocol Vclock

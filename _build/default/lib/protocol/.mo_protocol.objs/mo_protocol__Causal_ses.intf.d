@@ -1,0 +1,1 @@
+lib/protocol/causal_ses.mli: Protocol

@@ -1,0 +1,1 @@
+lib/protocol/conformance.ml: Array Format Limits Mo_core Mo_order Option Protocol Run Sim

@@ -1,0 +1,1 @@
+lib/protocol/conformance.mli: Format Mo_core Mo_order Protocol Sim

@@ -1,0 +1,1 @@
+lib/protocol/explore.ml: Array Event Fun Hashtbl List Message Mo_order Protocol Run Sim String

@@ -1,0 +1,1 @@
+lib/protocol/explore.mli: Mo_order Protocol Sim

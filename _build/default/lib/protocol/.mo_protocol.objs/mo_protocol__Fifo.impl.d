@@ -1,0 +1,1 @@
+lib/protocol/fifo.ml: Array Hashtbl List Message Protocol

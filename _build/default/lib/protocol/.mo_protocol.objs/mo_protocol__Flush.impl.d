@@ -1,0 +1,1 @@
+lib/protocol/flush.ml: Array List Message Printf Protocol

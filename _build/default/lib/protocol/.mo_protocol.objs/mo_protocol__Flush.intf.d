@@ -1,0 +1,1 @@
+lib/protocol/flush.mli: Protocol

@@ -1,0 +1,1 @@
+lib/protocol/inhibit.ml: Array Buffer Event Hashtbl List Mo_order Queue Run String Sys_run

@@ -1,0 +1,1 @@
+lib/protocol/inhibit.mli: Mo_order

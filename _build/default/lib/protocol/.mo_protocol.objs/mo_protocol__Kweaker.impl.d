@@ -1,0 +1,1 @@
+lib/protocol/kweaker.ml: Array Causal_rst List Message Printf Protocol

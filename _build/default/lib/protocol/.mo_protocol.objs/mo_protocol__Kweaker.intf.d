@@ -1,0 +1,1 @@
+lib/protocol/kweaker.mli: Protocol

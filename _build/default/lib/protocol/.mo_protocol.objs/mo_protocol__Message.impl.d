@@ -1,0 +1,1 @@
+lib/protocol/message.ml: Array Format List Mo_order String

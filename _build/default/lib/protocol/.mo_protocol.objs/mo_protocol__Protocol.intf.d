@@ -1,0 +1,1 @@
+lib/protocol/protocol.mli: Message

@@ -1,0 +1,1 @@
+lib/protocol/sim.mli: Message Mo_order Protocol

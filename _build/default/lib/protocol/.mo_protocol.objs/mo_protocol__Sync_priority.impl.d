@@ -1,0 +1,1 @@
+lib/protocol/sync_priority.ml: List Message Protocol

@@ -1,0 +1,1 @@
+lib/protocol/sync_token.ml: Array Message Protocol

@@ -1,0 +1,1 @@
+lib/protocol/sync_token.mli: Protocol

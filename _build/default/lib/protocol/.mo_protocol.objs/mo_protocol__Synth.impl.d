@@ -1,0 +1,1 @@
+lib/protocol/synth.ml: Array Causal_rst Fifo Flush Fun Kweaker List Mo_core Mo_order Printf Protocol Sync_token Tagless

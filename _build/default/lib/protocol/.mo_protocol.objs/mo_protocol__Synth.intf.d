@@ -1,0 +1,1 @@
+lib/protocol/synth.mli: Mo_core Protocol

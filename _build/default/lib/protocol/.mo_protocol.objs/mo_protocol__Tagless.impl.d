@@ -1,0 +1,1 @@
+lib/protocol/tagless.ml: Message Protocol

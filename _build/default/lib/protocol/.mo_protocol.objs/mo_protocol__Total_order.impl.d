@@ -1,0 +1,1 @@
+lib/protocol/total_order.ml: Array Hashtbl List Message Protocol

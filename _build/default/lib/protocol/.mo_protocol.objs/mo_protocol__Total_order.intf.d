@@ -1,0 +1,1 @@
+lib/protocol/total_order.mli: Protocol

@@ -1,0 +1,1 @@
+lib/protocol/wrap.ml: Array Hashtbl List Message Protocol

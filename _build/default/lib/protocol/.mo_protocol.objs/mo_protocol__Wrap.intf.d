@@ -1,0 +1,1 @@
+lib/protocol/wrap.mli: Protocol

@@ -1,0 +1,85 @@
+open Mo_order
+
+type pending = { id : int; from : int; tag : Vclock.t }
+
+type state = {
+  mutable own_sent : int;
+  deliv : int array; (* per originator: broadcasts delivered here *)
+  mutable last_group : int option;
+  mutable group_tag : Vclock.t;
+  mutable buffer : pending list;
+}
+
+let make ~nprocs ~me =
+  let st =
+    {
+      own_sent = 0;
+      deliv = Array.make nprocs 0;
+      last_group = None;
+      group_tag = Vclock.create nprocs;
+      buffer = [];
+    }
+  in
+  let snapshot () =
+    Vclock.of_array
+      (Array.init nprocs (fun k ->
+           if k = me then st.own_sent else st.deliv.(k)))
+  in
+  let seen k = if k = me then st.own_sent else st.deliv.(k) in
+  let deliverable (p : pending) =
+    (* an originator counts its own broadcasts as seen: copies are not
+       sent back to it, so they can never appear in deliv *)
+    let ok = ref (st.deliv.(p.from) = Vclock.get p.tag p.from) in
+    for k = 0 to nprocs - 1 do
+      if k <> p.from && seen k < Vclock.get p.tag k then ok := false
+    done;
+    !ok
+  in
+  let rec drain acc =
+    match List.partition deliverable st.buffer with
+    | [], _ -> List.rev acc
+    | ready, rest ->
+        st.buffer <- rest;
+        let acts =
+          List.map
+            (fun (p : pending) ->
+              st.deliv.(p.from) <- st.deliv.(p.from) + 1;
+              Protocol.Deliver p.id)
+            ready
+        in
+        drain (List.rev_append acts acc)
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        (* copies of one broadcast arrive as consecutive invokes sharing a
+           group; tag the whole group with one snapshot *)
+        if st.last_group <> intent.group then begin
+          st.last_group <- intent.group;
+          st.group_tag <- snapshot ();
+          st.own_sent <- st.own_sent + 1
+        end;
+        [
+          Protocol.Send_user
+            {
+              Message.id = intent.id;
+              src = me;
+              dst = intent.dst;
+              color = intent.color;
+              payload = intent.payload;
+              tag = Message.Vector st.group_tag;
+            };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from packet ->
+        match packet with
+        | Message.User { id; tag = Message.Vector v; _ } ->
+            st.buffer <- st.buffer @ [ { id; from; tag = v } ];
+            drain []
+        | Message.User _ ->
+            invalid_arg "Causal_bss: user message without vector tag"
+        | Message.Control _ -> []);
+  }
+
+let factory =
+  { Protocol.proto_name = "causal-bss"; kind = Protocol.Tagged; make }

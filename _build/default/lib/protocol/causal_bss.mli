@@ -1,0 +1,15 @@
+(** Causal broadcast by the Birman–Schiper–Stephenson protocol [4].
+
+    A vector-clock protocol for {e broadcast} workloads: every application
+    send must be a {!Sim.Broadcast}. Each process counts broadcasts per
+    originator; a broadcast by [i] is tagged with [i]'s vector (own entry =
+    number of its earlier broadcasts); receiver [j] delivers a copy from
+    [i] once it has delivered all of [i]'s earlier broadcasts and at least
+    as many from everyone else as the tag records.
+
+    Using it on a unicast workload deadlocks by design — a receiver waits
+    for "broadcasts" it will never get — and the conformance harness
+    reports the liveness failure; this is the paper's point that a
+    protocol's reachable set is relative to its environment. *)
+
+val factory : Protocol.factory

@@ -1,0 +1,67 @@
+open Mo_order
+
+type pending = { id : int; from : int; st : Mclock.t }
+
+type state = {
+  mutable sent : Mclock.t;
+  deliv : int array; (* deliv.(k): messages from k delivered here *)
+  mutable buffer : pending list; (* arrival order preserved *)
+}
+
+let make ~nprocs ~me =
+  let st =
+    { sent = Mclock.create nprocs; deliv = Array.make nprocs 0; buffer = [] }
+  in
+  let deliverable (p : pending) =
+    let ok = ref true in
+    for k = 0 to nprocs - 1 do
+      if st.deliv.(k) < Mclock.get p.st k me then ok := false
+    done;
+    !ok
+  in
+  let deliver (p : pending) =
+    st.deliv.(p.from) <- st.deliv.(p.from) + 1;
+    st.sent <- Mclock.merge st.sent p.st;
+    (* account for the delivered message itself: its sender recorded it in
+       SENT only after tagging, so the merged matrix excludes it *)
+    if Mclock.get st.sent p.from me < st.deliv.(p.from) then
+      st.sent <- Mclock.record_send st.sent ~src:p.from ~dst:me;
+    Protocol.Deliver p.id
+  in
+  let rec drain acc =
+    match List.partition deliverable st.buffer with
+    | [], _ -> List.rev acc
+    | ready, rest ->
+        st.buffer <- rest;
+        let acts = List.map deliver ready in
+        drain (List.rev_append acts acc)
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        let tag = Message.Matrix st.sent in
+        st.sent <- Mclock.record_send st.sent ~src:me ~dst:intent.dst;
+        [
+          Protocol.Send_user
+            {
+              Message.id = intent.id;
+              src = me;
+              dst = intent.dst;
+              color = intent.color;
+              payload = intent.payload;
+              tag;
+            };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from packet ->
+        match packet with
+        | Message.User { id; tag = Message.Matrix m; _ } ->
+            st.buffer <- st.buffer @ [ { id; from; st = m } ];
+            drain []
+        | Message.User _ ->
+            invalid_arg "Causal_rst: user message without matrix tag"
+        | Message.Control _ -> []);
+  }
+
+let factory =
+  { Protocol.proto_name = "causal-rst"; kind = Protocol.Tagged; make }

@@ -1,0 +1,17 @@
+(** Causal ordering by the Raynal–Schiper–Toueg protocol [20].
+
+    Each process maintains an [n × n] matrix [SENT] — its knowledge of how
+    many messages each process has sent to each process — and a vector
+    [DELIV] of per-sender delivered counts. A message from [i] to [j] is
+    tagged with the sender's matrix (snapshotted before recording the
+    send); [j] delivers it once [DELIV[k] ≥ ST[k][j]] for every [k], i.e.
+    once every message destined to [j] that was sent causally before has
+    been delivered.
+
+    This is the canonical {e tagged} protocol: its reachable user-view set
+    is exactly [X_co], making it the universal implementation for every
+    specification classified [Tagged] (Theorem 1.2). The paper's §2 remark —
+    that no higher-dimensional tagging can restrict ordering further — is
+    Theorem 1 applied to this matrix. *)
+
+val factory : Protocol.factory

@@ -1,0 +1,95 @@
+open Mo_order
+
+type pending = { id : int; tm : Vclock.t; constr : Vclock.t option }
+(* constr: timestamp of the latest earlier message to me, if any *)
+
+type state = {
+  me : int;
+  mutable v : Vclock.t;
+      (* delivered-knowledge vector; own entry counts own sends *)
+  dep : (int, Vclock.t) Hashtbl.t;
+      (* per destination: timestamp of the latest message sent to it in
+         our causal past *)
+  mutable buffer : pending list;
+}
+
+let merge_dep dep (k, t) =
+  match Hashtbl.find_opt dep k with
+  | Some t' -> Hashtbl.replace dep k (Vclock.merge t t')
+  | None -> Hashtbl.replace dep k t
+
+let make ~nprocs ~me =
+  let st =
+    { me; v = Vclock.create nprocs; dep = Hashtbl.create 8; buffer = [] }
+  in
+  let deliverable (p : pending) =
+    match p.constr with
+    | None -> true
+    | Some t -> Vclock.leq t st.v
+  in
+  let rec drain acc =
+    match List.partition deliverable st.buffer with
+    | [], _ -> List.rev acc
+    | ready, rest ->
+        st.buffer <- rest;
+        let acts =
+          List.map
+            (fun (p : pending) ->
+              st.v <- Vclock.merge st.v p.tm;
+              Protocol.Deliver p.id)
+            ready
+        in
+        drain (List.rev_append acts acc)
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        (* the send is an event: bump our own entry; tm identifies it *)
+        st.v <- Vclock.tick st.v st.me;
+        let tm = st.v in
+        let dep_list =
+          Hashtbl.fold (fun k t acc -> (k, t) :: acc) st.dep []
+        in
+        (* record this message as the latest one sent to its destination *)
+        merge_dep st.dep (intent.dst, tm);
+        [
+          Protocol.Send_user
+            {
+              Message.id = intent.id;
+              src = st.me;
+              dst = intent.dst;
+              color = intent.color;
+              payload = intent.payload;
+              tag = Message.Ses { tm; dep = dep_list };
+            };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from:_ packet ->
+        match packet with
+        | Message.User { id; tag = Message.Ses { tm; dep }; _ } ->
+            (* fold the sender's knowledge of traffic to OTHER destinations
+               into ours (it is in our causal past once we deliver, but
+               merging at receive is also safe: it only strengthens the
+               constraints on our future sends) *)
+            let constr =
+              List.fold_left
+                (fun acc (k, t) ->
+                  if k = st.me then
+                    Some
+                      (match acc with
+                      | Some t' -> Vclock.merge t t'
+                      | None -> t)
+                  else begin
+                    merge_dep st.dep (k, t);
+                    acc
+                  end)
+                None dep
+            in
+            st.buffer <- st.buffer @ [ { id; tm; constr } ];
+            drain []
+        | Message.User _ -> invalid_arg "Causal_ses: user message without tag"
+        | Message.Control _ -> []);
+  }
+
+let factory =
+  { Protocol.proto_name = "causal-ses"; kind = Protocol.Tagged; make }

@@ -1,0 +1,18 @@
+(** Causal ordering by the Schiper–Eggli–Sandoz protocol [21] — the
+    paper's other cited tagged implementation.
+
+    Where RST ships an [n × n] matrix on every message, SES ships the
+    message's vector timestamp plus, for each {e destination} with
+    causally earlier traffic, one [(destination, timestamp)] pair — the
+    latest message sent to that destination in the sender's causal past.
+    Receiver [j] looks only at the pair addressed to [j]: the message is
+    deliverable once that earlier message's timestamp is dominated by
+    [j]'s delivered-knowledge vector. On sparse communication patterns the
+    tag is much smaller than the matrix; in the worst case (everyone
+    talks to everyone) it degenerates to the same O(n²).
+
+    Correctness is enforced the same way as the other protocols:
+    conformance across seeds and exhaustive schedule exploration
+    ({!Explore}) on small workloads. *)
+
+val factory : Protocol.factory

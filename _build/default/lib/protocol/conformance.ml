@@ -1,0 +1,68 @@
+open Mo_order
+
+type report = {
+  outcome : Sim.outcome;
+  live : bool;
+  spec_ok : bool option;
+  violation : (Mo_core.Forbidden.t * int array) option;
+  run_class : Limits.cls option;
+  traffic_consistent : bool;
+}
+
+let traffic_consistent (factory : Protocol.factory) (stats : Sim.stats) =
+  match factory.kind with
+  | Protocol.Tagless -> stats.tag_bytes = 0 && stats.control_packets = 0
+  | Protocol.Tagged -> stats.control_packets = 0
+  | Protocol.General -> true
+
+let check ?spec config factory ops =
+  match Sim.execute config factory ops with
+  | Error e -> Error e
+  | Ok outcome ->
+      let abstract = Option.map Run.to_abstract outcome.run in
+      let spec_ok, violation =
+        match (spec, abstract) with
+        | Some s, Some a -> (
+            match Mo_core.Spec.first_violation s a with
+            | Some v -> (Some false, Some v)
+            | None -> (Some true, None))
+        | _ -> (None, None)
+      in
+      Ok
+        {
+          outcome;
+          live = outcome.all_delivered;
+          spec_ok;
+          violation;
+          run_class = Option.map Limits.classify abstract;
+          traffic_consistent = traffic_consistent factory outcome.stats;
+        }
+
+let check_exn ?spec config factory ops =
+  match check ?spec config factory ops with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Conformance.check: " ^ e)
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>live: %b" r.live;
+  (match r.spec_ok with
+  | Some ok -> Format.fprintf ppf "@ spec: %s" (if ok then "ok" else "VIOLATED")
+  | None -> ());
+  (match r.violation with
+  | Some (p, a) ->
+      Format.fprintf ppf "@ violation: %a with messages %a" Mo_core.Forbidden.pp
+        p
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        (Array.to_list a)
+  | None -> ());
+  (match r.run_class with
+  | Some c -> Format.fprintf ppf "@ run class: %s" (Limits.cls_to_string c)
+  | None -> ());
+  Format.fprintf ppf "@ traffic consistent: %b" r.traffic_consistent;
+  let s = r.outcome.stats in
+  Format.fprintf ppf
+    "@ user packets: %d, control packets: %d, tag bytes: %d, control bytes: \
+     %d, makespan: %d@]"
+    s.user_packets s.control_packets s.tag_bytes s.control_bytes s.makespan

@@ -1,0 +1,37 @@
+(** Conformance harness: run a protocol on a workload and check it against a
+    specification (§3.3's safety and liveness).
+
+    Safety: the recorded user-view run must satisfy the spec (no forbidden
+    pattern matches). Liveness: every requested message was sent and
+    delivered. Traffic consistency: the protocol's declared class matches
+    what it put on the wire (a tagless protocol must not tag or emit
+    control messages, a tagged one must not emit control messages). *)
+
+type report = {
+  outcome : Sim.outcome;
+  live : bool;  (** all requested messages delivered *)
+  spec_ok : bool option;
+      (** [Some true/false] when a spec was supplied and the run is
+          complete; [None] otherwise *)
+  violation : (Mo_core.Forbidden.t * int array) option;
+      (** the forbidden pattern found, with its satisfying assignment *)
+  run_class : Mo_order.Limits.cls option;
+      (** which limit set the recorded run falls in *)
+  traffic_consistent : bool;
+}
+
+val check :
+  ?spec:Mo_core.Spec.t ->
+  Sim.config ->
+  Protocol.factory ->
+  Sim.op list ->
+  (report, string) result
+
+val check_exn :
+  ?spec:Mo_core.Spec.t ->
+  Sim.config ->
+  Protocol.factory ->
+  Sim.op list ->
+  report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,231 @@
+open Mo_order
+
+type outcome = {
+  run : Run.t option;
+  all_delivered : bool;
+  control_packets : int;
+}
+
+type stats = { executions : int; truncated : bool }
+
+type pending =
+  | P_invoke of { proc : int; intent : Protocol.intent }
+  | P_arrive of { dst : int; from : int; packet : Message.packet }
+
+(* replay one execution following [choices]; at the first unconsumed choice
+   point return how many alternatives there are *)
+type step_result =
+  | Done of outcome
+  | Branch of int (* pending-event count at the unconsumed choice point *)
+  | Misbehaviour of string
+
+let expand ~nprocs ops =
+  (* reuse the simulator's broadcast expansion by time-then-index order;
+     per-process invoke order = op order *)
+  let intents = ref [] in
+  let next_id = ref 0 in
+  List.iteri
+    (fun group (op : Sim.op) ->
+      let mk dst =
+        let id = !next_id in
+        incr next_id;
+        {
+          Protocol.id;
+          dst;
+          color = op.Sim.color;
+          payload = op.Sim.payload;
+          group = Some group;
+          flush = op.Sim.flush;
+        }
+      in
+      match op.Sim.dst with
+      | Sim.Unicast d -> intents := (op.Sim.src, mk d) :: !intents
+      | Sim.Broadcast ->
+          for d = 0 to nprocs - 1 do
+            if d <> op.Sim.src then intents := (op.Sim.src, mk d) :: !intents
+          done)
+    ops;
+  List.rev !intents
+
+let replay ~nprocs factory intents choices =
+  let nmsgs = List.length intents in
+  let msgs = Array.make nmsgs (0, 0) in
+  let colors = Array.make nmsgs None in
+  List.iter
+    (fun (src, (i : Protocol.intent)) ->
+      msgs.(i.Protocol.id) <- (src, i.Protocol.dst);
+      colors.(i.Protocol.id) <- i.Protocol.color)
+    intents;
+  let instances =
+    Array.init nprocs (fun me -> factory.Protocol.make ~nprocs ~me)
+  in
+  (* per-process invoke queues, fixed order *)
+  let invokes = Array.make nprocs [] in
+  List.iter
+    (fun (src, i) -> invokes.(src) <- invokes.(src) @ [ i ])
+    intents;
+  let arrivals = ref [] in
+  (* in-flight packets, stable order *)
+  let seq_rev = Array.make nprocs [] in
+  let record p e = seq_rev.(p) <- e :: seq_rev.(p) in
+  let sent = Array.make nmsgs false
+  and received = Array.make nmsgs false
+  and delivered = Array.make nmsgs false in
+  let control_packets = ref 0 in
+  let error = ref None in
+  let fail s = if !error = None then error := Some s in
+  let apply_actions p actions =
+    List.iter
+      (fun (a : Protocol.action) ->
+        match a with
+        | Protocol.Send_user u ->
+            if u.Message.src <> p then fail "user message with wrong src"
+            else if u.Message.id < 0 || u.Message.id >= nmsgs then
+              fail "unknown message id"
+            else if sent.(u.Message.id) then fail "message sent twice"
+            else begin
+              sent.(u.Message.id) <- true;
+              record p { Event.Sys.msg = u.Message.id; kind = Event.Sys.Send };
+              arrivals :=
+                !arrivals
+                @ [
+                    P_arrive
+                      { dst = u.Message.dst; from = p; packet = Message.User u };
+                  ]
+            end
+        | Protocol.Send_control { dst; ctl } ->
+            incr control_packets;
+            arrivals :=
+              !arrivals
+              @ [ P_arrive { dst; from = p; packet = Message.Control ctl } ]
+        | Protocol.Deliver id ->
+            if id < 0 || id >= nmsgs then fail "unknown delivery id"
+            else if not received.(id) then fail "delivered before receive"
+            else if delivered.(id) then fail "delivered twice"
+            else if snd msgs.(id) <> p then fail "delivered at wrong process"
+            else begin
+              delivered.(id) <- true;
+              record p { Event.Sys.msg = id; kind = Event.Sys.Deliver }
+            end)
+      actions
+  in
+  let pending () =
+    List.filter_map
+      (fun p ->
+        match invokes.(p) with
+        | i :: _ -> Some (P_invoke { proc = p; intent = i })
+        | [] -> None)
+      (List.init nprocs Fun.id)
+    @ !arrivals
+  in
+  let exec_event ev =
+    match ev with
+    | P_invoke { proc; intent } ->
+        invokes.(proc) <- List.tl invokes.(proc);
+        record proc
+          { Event.Sys.msg = intent.Protocol.id; kind = Event.Sys.Invoke };
+        apply_actions proc (instances.(proc).Protocol.on_invoke ~now:0 intent)
+    | P_arrive { dst; from; packet } ->
+        arrivals := List.filter (fun e -> e != ev) !arrivals;
+        (match packet with
+        | Message.User u ->
+            received.(u.Message.id) <- true;
+            record dst { Event.Sys.msg = u.Message.id; kind = Event.Sys.Receive }
+        | Message.Control _ -> ());
+        apply_actions dst (instances.(dst).Protocol.on_packet ~now:0 ~from packet)
+  in
+  let rec consume = function
+    | [] -> (
+        match (!error, pending ()) with
+        | Some e, _ -> Misbehaviour e
+        | None, [] ->
+            let all_delivered = Array.for_all Fun.id delivered in
+            let run =
+              if not all_delivered then None
+              else
+                let user_seq =
+                  Array.map
+                    (fun events ->
+                      List.filter_map
+                        (fun (e : Event.Sys.t) ->
+                          match e.kind with
+                          | Event.Sys.Send -> Some (Event.send e.msg)
+                          | Event.Sys.Deliver -> Some (Event.deliver e.msg)
+                          | Event.Sys.Invoke | Event.Sys.Receive -> None)
+                        (List.rev events))
+                    seq_rev
+                in
+                match Run.of_sequences ~nprocs ~msgs ~colors user_seq with
+                | Ok r -> Some r
+                | Error _ -> None
+            in
+            Done
+              {
+                run;
+                all_delivered;
+                control_packets = !control_packets;
+              }
+        | None, ps -> Branch (List.length ps))
+    | c :: rest -> (
+        match !error with
+        | Some e -> Misbehaviour e
+        | None -> (
+            let ps = pending () in
+            match List.nth_opt ps c with
+            | Some ev ->
+                exec_event ev;
+                consume rest
+            | None -> Misbehaviour "internal: stale choice"))
+  in
+  consume choices
+
+let explore ?(max_executions = 200_000) ~nprocs factory ops ~on_outcome =
+  let intents = expand ~nprocs ops in
+  let executions = ref 0 in
+  let truncated = ref false in
+  let error = ref None in
+  let rec dfs choices =
+    if !truncated || !error <> None then ()
+    else
+      match replay ~nprocs factory intents choices with
+      | Misbehaviour e -> error := Some e
+      | Done outcome ->
+          incr executions;
+          if !executions >= max_executions then truncated := true;
+          on_outcome outcome
+      | Branch n ->
+          let i = ref 0 in
+          while !i < n && (not !truncated) && !error = None do
+            dfs (choices @ [ !i ]);
+            incr i
+          done
+  in
+  dfs [];
+  match !error with
+  | Some e -> Error e
+  | None -> Ok { executions = !executions; truncated = !truncated }
+
+let distinct_user_views ?max_executions ~nprocs factory ops =
+  let seen = Hashtbl.create 64 in
+  let runs = ref [] in
+  let key r =
+    String.concat "|"
+      (List.init (Run.nprocs r) (fun p ->
+           String.concat ","
+             (List.map
+                (fun e -> string_of_int (Event.encode e))
+                (Run.sequence r p))))
+  in
+  match
+    explore ?max_executions ~nprocs factory ops ~on_outcome:(fun o ->
+        match o.run with
+        | Some r ->
+            let k = key r in
+            if not (Hashtbl.mem seen k) then begin
+              Hashtbl.replace seen k ();
+              runs := r :: !runs
+            end
+        | None -> ())
+  with
+  | Ok _ -> Ok (List.rev !runs)
+  | Error e -> Error e

@@ -1,0 +1,47 @@
+(** Exhaustive schedule exploration: run a protocol implementation under
+    {e every} network delivery order of a small workload.
+
+    The seeded simulator samples schedules; this module enumerates them.
+    At each step the pending events are the next invoke of each process
+    (application order per process is fixed) and every in-flight packet;
+    the search branches on which happens next, replaying the protocol from
+    scratch down each branch (instances are mutable closures, so there is
+    nothing to snapshot). For a handful of messages this covers the entire
+    nondeterminism of the paper's asynchronous network, turning the
+    per-seed protocol tests into genuine model checking of the
+    implementations — the executable complement to {!Inhibit}, which
+    explores idealized enabled-set oracles rather than real protocols.
+
+    Exponential, by design: use with ≤ 4-5 messages and protocols whose
+    control traffic is bounded, and cap with [max_executions]. *)
+
+type outcome = {
+  run : Mo_order.Run.t option;  (** [None] when liveness failed *)
+  all_delivered : bool;
+  control_packets : int;
+}
+
+type stats = {
+  executions : int;  (** complete executions visited *)
+  truncated : bool;  (** hit [max_executions] before finishing *)
+}
+
+val explore :
+  ?max_executions:int ->
+  nprocs:int ->
+  Protocol.factory ->
+  Sim.op list ->
+  on_outcome:(outcome -> unit) ->
+  (stats, string) result
+(** [Error] on protocol misbehaviour (same checks as {!Sim.execute});
+    [max_executions] defaults to 200_000. Broadcast ops are expanded as in
+    the simulator. *)
+
+val distinct_user_views :
+  ?max_executions:int ->
+  nprocs:int ->
+  Protocol.factory ->
+  Sim.op list ->
+  (Mo_order.Run.t list, string) result
+(** All distinct complete user-view runs reachable under some schedule —
+    the implementation's [X̄_P] restricted to this workload. *)

@@ -1,0 +1,55 @@
+type state = {
+  next_seq : int array; (* per destination: next seqno to assign *)
+  expected : int array; (* per source: next seqno to deliver *)
+  buffer : (int * int, int) Hashtbl.t; (* (src, seqno) -> msg id *)
+}
+
+let make ~nprocs ~me =
+  let st =
+    {
+      next_seq = Array.make nprocs 0;
+      expected = Array.make nprocs 0;
+      buffer = Hashtbl.create 32;
+    }
+  in
+  let deliverable_from src =
+    (* drain the buffered prefix of this channel *)
+    let acc = ref [] in
+    let continue = ref true in
+    while !continue do
+      match Hashtbl.find_opt st.buffer (src, st.expected.(src)) with
+      | Some id ->
+          Hashtbl.remove st.buffer (src, st.expected.(src));
+          st.expected.(src) <- st.expected.(src) + 1;
+          acc := Protocol.Deliver id :: !acc
+      | None -> continue := false
+    done;
+    List.rev !acc
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        let seq = st.next_seq.(intent.dst) in
+        st.next_seq.(intent.dst) <- seq + 1;
+        [
+          Protocol.Send_user
+            {
+              Message.id = intent.id;
+              src = me;
+              dst = intent.dst;
+              color = intent.color;
+              payload = intent.payload;
+              tag = Message.Seqno seq;
+            };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from packet ->
+        match packet with
+        | Message.User { id; tag = Message.Seqno seq; _ } ->
+            Hashtbl.replace st.buffer (from, seq) id;
+            deliverable_from from
+        | Message.User _ -> invalid_arg "Fifo: user message without seqno"
+        | Message.Control _ -> []);
+  }
+
+let factory = { Protocol.proto_name = "fifo"; kind = Protocol.Tagged; make }

@@ -1,0 +1,9 @@
+(** FIFO channels via per-channel sequence numbers.
+
+    Tags each user message with its channel sequence number; the receiver
+    delivers each channel's messages in sequence order, buffering
+    out-of-order arrivals. Implements the FIFO specification of §6 (a
+    guarded order-1 predicate), and is the protocol sketched in Figure 2:
+    the delivery of [x2] is delayed until [x1] has been delivered. *)
+
+val factory : Protocol.factory

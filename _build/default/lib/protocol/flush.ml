@@ -1,0 +1,121 @@
+type chan_send = {
+  mutable next_seq : int;
+  mutable last_barrier : int; (* seqno of latest Backward/Two_way; -1 none *)
+}
+
+type buffered = { id : int; seq : int; barrier : int; kind : Message.flush_kind }
+
+type chan_recv = {
+  mutable delivered : bool array; (* index: seqno *)
+  mutable delivered_below : int; (* all seqnos < this are delivered *)
+  mutable buffer : buffered list;
+}
+
+let ensure_capacity cr seq =
+  if seq >= Array.length cr.delivered then begin
+    let bigger = Array.make (max 16 (2 * (seq + 1))) false in
+    Array.blit cr.delivered 0 bigger 0 (Array.length cr.delivered);
+    cr.delivered <- bigger
+  end
+
+let make ~nprocs ~me =
+  let send_side = Array.init nprocs (fun _ -> { next_seq = 0; last_barrier = -1 }) in
+  let recv_side =
+    Array.init nprocs (fun _ ->
+        { delivered = Array.make 16 false; delivered_below = 0; buffer = [] })
+  in
+  let barrier_done cr b = b < 0 || (b < Array.length cr.delivered && cr.delivered.(b)) in
+  let deliverable cr (m : buffered) =
+    match m.kind with
+    | Message.Ordinary | Message.Backward -> barrier_done cr m.barrier
+    | Message.Forward | Message.Two_way -> cr.delivered_below >= m.seq
+  in
+  let mark cr seq =
+    ensure_capacity cr seq;
+    cr.delivered.(seq) <- true;
+    while
+      cr.delivered_below < Array.length cr.delivered
+      && cr.delivered.(cr.delivered_below)
+    do
+      cr.delivered_below <- cr.delivered_below + 1
+    done
+  in
+  let rec drain cr acc =
+    match List.partition (deliverable cr) cr.buffer with
+    | [], _ -> List.rev acc
+    | ready, rest ->
+        cr.buffer <- rest;
+        let acts =
+          List.map
+            (fun (m : buffered) ->
+              mark cr m.seq;
+              Protocol.Deliver m.id)
+            ready
+        in
+        drain cr (List.rev_append acts acc)
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        let cs = send_side.(intent.dst) in
+        let seq = cs.next_seq in
+        cs.next_seq <- seq + 1;
+        let tag =
+          Message.Flush { seqno = seq; barrier = cs.last_barrier; kind = intent.flush }
+        in
+        (match intent.flush with
+        | Message.Backward | Message.Two_way -> cs.last_barrier <- seq
+        | Message.Ordinary | Message.Forward -> ());
+        [
+          Protocol.Send_user
+            {
+              Message.id = intent.id;
+              src = me;
+              dst = intent.dst;
+              color = intent.color;
+              payload = intent.payload;
+              tag;
+            };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from packet ->
+        match packet with
+        | Message.User { id; tag = Message.Flush { seqno; barrier; kind }; _ }
+          ->
+            let cr = recv_side.(from) in
+            ensure_capacity cr seqno;
+            cr.buffer <- cr.buffer @ [ { id; seq = seqno; barrier; kind } ];
+            drain cr []
+        | Message.User _ -> invalid_arg "Flush: user message without flush tag"
+        | Message.Control _ -> []);
+  }
+
+let factory = { Protocol.proto_name = "flush"; kind = Protocol.Tagged; make }
+
+(* The selective variants reuse the flush machinery, deriving each
+   message's flush kind from its color instead of from the workload: the
+   ordering cost is paid only around colored messages. *)
+let with_kind_from_color ~name ~kind_of_color =
+  let make ~nprocs ~me =
+    let inner = make ~nprocs ~me in
+    {
+      Protocol.on_invoke =
+        (fun ~now (intent : Protocol.intent) ->
+          inner.Protocol.on_invoke ~now
+            { intent with Protocol.flush = kind_of_color intent.color });
+      on_packet = inner.Protocol.on_packet;
+    }
+  in
+  { Protocol.proto_name = name; kind = Protocol.Tagged; make }
+
+let selective_forward ~color =
+  with_kind_from_color
+    ~name:(Printf.sprintf "selective-forward-%d" color)
+    ~kind_of_color:(fun c ->
+      if c = Some color then Message.Forward else Message.Ordinary)
+
+let selective_backward ~color =
+  with_kind_from_color
+    ~name:(Printf.sprintf "selective-backward-%d" color)
+    ~kind_of_color:(fun c ->
+      if c = Some color then Message.Backward else Message.Ordinary)

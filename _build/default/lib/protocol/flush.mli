@@ -1,0 +1,33 @@
+(** Flush channels (F-channels [1]; the flush primitives of §2 and §6).
+
+    A per-channel protocol offering the four send primitives as
+    {!Message.flush_kind} on the workload op:
+
+    - [Ordinary] — no ordering against other ordinary messages;
+    - [Forward] — delivered only after everything sent earlier on the
+      channel (implements forward-flush, the §6 red-message guarantee);
+    - [Backward] — a barrier: nothing sent after it on the channel is
+      delivered before it;
+    - [Two_way] — both.
+
+    Tags carry the channel seqno plus the seqno of the latest preceding
+    barrier, so the protocol is tagged — confirming the paper's claim that
+    flush orderings need no control messages (their predicates have
+    order-1 cycles). *)
+
+val factory : Protocol.factory
+
+val selective_forward : color:int -> Protocol.factory
+(** Only messages of the given color pay the ordering cost: a colored
+    message is delivered after every earlier message on its channel
+    (forward-flush semantics for the markers), everything else is
+    delivered on arrival. Implements the {e local forward-flush}
+    specification of §6 — the forbidden instances are same-channel with
+    the overtaker colored, and same-destination deliveries are totally
+    ordered locally, so inhibiting only colored deliveries suffices.
+    Cheaper than FIFO in buffering: uncolored traffic never waits. *)
+
+val selective_backward : color:int -> Protocol.factory
+(** The dual: every message waits for the colored messages sent before it
+    on its channel (backward-flush semantics: nothing overtakes a
+    marker); colored messages themselves are not otherwise delayed. *)

@@ -1,0 +1,233 @@
+open Mo_order
+module E = Event.Sys
+
+type t = { name : string; enabled : Sys_run.t -> int -> E.t list }
+
+let enable_all =
+  { name = "enable-all"; enabled = (fun h i -> Sys_run.Pending.controllable h i) }
+
+let fifo =
+  let enabled h i =
+    List.filter
+      (fun (e : E.t) ->
+        match e.kind with
+        | E.Send -> true
+        | E.Deliver ->
+            (* every earlier send on the same channel already delivered *)
+            let src = Sys_run.msg_src h e.msg in
+            let ok = ref true in
+            for y = 0 to Sys_run.nmsgs h - 1 do
+              if
+                y <> e.msg
+                && Sys_run.msg_src h y = src
+                && Sys_run.msg_dst h y = i
+                && Sys_run.lt h
+                     { E.msg = y; kind = E.Send }
+                     { E.msg = e.msg; kind = E.Send }
+                && not (Sys_run.mem h { E.msg = y; kind = E.Deliver })
+              then ok := false
+            done;
+            !ok
+        | E.Invoke | E.Receive -> false)
+      (Sys_run.Pending.controllable h i)
+  in
+  { name = "fifo"; enabled }
+
+let causal =
+  let enabled h i =
+    List.filter
+      (fun (e : E.t) ->
+        match e.kind with
+        | E.Send -> true
+        | E.Deliver ->
+            let ok = ref true in
+            for y = 0 to Sys_run.nmsgs h - 1 do
+              if
+                y <> e.msg
+                && Sys_run.msg_dst h y = i
+                && Sys_run.mem h { E.msg = y; kind = E.Send }
+                && Sys_run.lt h
+                     { E.msg = y; kind = E.Send }
+                     { E.msg = e.msg; kind = E.Send }
+                && not (Sys_run.mem h { E.msg = y; kind = E.Deliver })
+              then ok := false
+            done;
+            !ok
+        | E.Invoke | E.Receive -> false)
+      (Sys_run.Pending.controllable h i)
+  in
+  { name = "causal"; enabled }
+
+let sync =
+  let enabled h i =
+    let in_flight =
+      let found = ref false in
+      for y = 0 to Sys_run.nmsgs h - 1 do
+        if
+          Sys_run.mem h { E.msg = y; kind = E.Send }
+          && not (Sys_run.mem h { E.msg = y; kind = E.Deliver })
+        then found := true
+      done;
+      !found
+    in
+    List.filter
+      (fun (e : E.t) ->
+        match e.kind with
+        | E.Send -> not in_flight
+        | E.Deliver -> true
+        | E.Invoke | E.Receive -> false)
+      (Sys_run.Pending.controllable h i)
+  in
+  { name = "sync"; enabled }
+
+let run_key h =
+  let buf = Buffer.create 64 in
+  for i = 0 to Sys_run.nprocs h - 1 do
+    Buffer.add_char buf '|';
+    List.iter
+      (fun e -> Buffer.add_string buf (string_of_int (E.encode e) ^ ","))
+      (Sys_run.sequence h i)
+  done;
+  Buffer.contents buf
+
+let proc_of_event msgs (e : E.t) =
+  let src, dst = msgs.(e.msg) in
+  match e.kind with E.Invoke | E.Send -> src | E.Receive | E.Deliver -> dst
+
+let successors ~msgs p h =
+  let nprocs = Sys_run.nprocs h in
+  let next = ref [] in
+  for i = 0 to nprocs - 1 do
+    let events =
+      Sys_run.Pending.invokes h i
+      @ Sys_run.Pending.receives h i
+      @ List.filter
+          (fun (e : E.t) ->
+            match e.kind with
+            | E.Send | E.Deliver -> true
+            | E.Invoke | E.Receive -> false)
+          (p.enabled h i)
+    in
+    List.iter
+      (fun e ->
+        assert (proc_of_event msgs e = i);
+        match Sys_run.extend h i e with
+        | Ok h' -> next := h' :: !next
+        | Error msg ->
+            invalid_arg ("Inhibit.successors: bad extension: " ^ msg))
+      events
+  done;
+  !next
+
+let reachable ~nprocs ~msgs p =
+  let empty =
+    match
+      Sys_run.of_sequences ~nprocs ~msgs (Array.make nprocs [])
+    with
+    | Ok h -> h
+    | Error e -> invalid_arg ("Inhibit.reachable: " ^ e)
+  in
+  let seen = Hashtbl.create 1024 in
+  let acc = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.replace seen (run_key empty) ();
+  Queue.add empty queue;
+  while not (Queue.is_empty queue) do
+    let h = Queue.pop queue in
+    acc := h :: !acc;
+    List.iter
+      (fun h' ->
+        let k = run_key h' in
+        if not (Hashtbl.mem seen k) then begin
+          Hashtbl.replace seen k ();
+          Queue.add h' queue
+        end)
+      (successors ~msgs p h)
+  done;
+  List.rev !acc
+
+let complete_runs ~nprocs ~msgs p =
+  (* many system interleavings project to one user view: X̄_P is a set, so
+     deduplicate by the user-view process sequences *)
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun h ->
+      if Sys_run.is_complete h then
+        match Sys_run.users_view h with
+        | Ok r ->
+            let key =
+              String.concat "|"
+                (List.init (Run.nprocs r) (fun i ->
+                     String.concat ","
+                       (List.map
+                          (fun e -> string_of_int (Event.encode e))
+                          (Run.sequence r i))))
+            in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.replace seen key ();
+              Some r
+            end
+        | Error _ -> None
+      else None)
+    (reachable ~nprocs ~msgs p)
+
+let live ~nprocs ~msgs p =
+  List.for_all
+    (fun h ->
+      let pending_exists = ref false
+      and enabled_exists = ref false in
+      for i = 0 to nprocs - 1 do
+        if
+          Sys_run.Pending.receives h i <> []
+          || Sys_run.Pending.controllable h i <> []
+        then pending_exists := true;
+        if Sys_run.Pending.receives h i <> [] || p.enabled h i <> [] then
+          enabled_exists := true
+      done;
+      (not !pending_exists) || !enabled_exists)
+    (reachable ~nprocs ~msgs p)
+
+let same_events a b =
+  List.length a = List.length b
+  && List.for_all (fun e -> List.exists (E.equal e) b) a
+
+let respects_condition ~nprocs ~msgs p ~same_view =
+  let runs = Array.of_list (reachable ~nprocs ~msgs p) in
+  let n = Array.length runs in
+  let ok = ref true in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      for i = 0 to nprocs - 1 do
+        if !ok && same_view runs.(a) runs.(b) i then
+          if
+            not
+              (same_events (p.enabled runs.(a) i) (p.enabled runs.(b) i))
+          then ok := false
+      done
+    done
+  done;
+  !ok
+
+let rec list_equal eq a b =
+  match (a, b) with
+  | [], [] -> true
+  | x :: a', y :: b' -> eq x y && list_equal eq a' b'
+  | _ -> false
+
+let respects_tagless_condition ~nprocs ~msgs p =
+  respects_condition ~nprocs ~msgs p ~same_view:(fun h g i ->
+      list_equal E.equal (Sys_run.sequence h i) (Sys_run.sequence g i))
+
+let respects_tagged_condition ~nprocs ~msgs p =
+  respects_condition ~nprocs ~msgs p ~same_view:(fun h g i ->
+      let ch = Sys_run.causal_past h i and cg = Sys_run.causal_past g i in
+      let all_procs_equal = ref true in
+      for j = 0 to nprocs - 1 do
+        if
+          not
+            (list_equal E.equal (Sys_run.sequence ch j)
+               (Sys_run.sequence cg j))
+        then all_procs_equal := false
+      done;
+      !all_procs_equal)

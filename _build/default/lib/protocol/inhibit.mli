@@ -1,0 +1,61 @@
+(** The paper's inhibitory-protocol formalism, executed literally (§3.2).
+
+    A protocol here is the vector of enabled-event sets
+    [(P_1(H), …, P_n(H))]: a function from the current system run to the
+    controllable pending events each process may execute next. Invokes and
+    receives are always enabled (the protocol has no control over
+    star-events); only pending sends and deliveries ([C_i(H)]) may be
+    inhibited. [X_P] — the set of runs possible under the protocol — is
+    computed by exhaustive exploration of the inductive definition, which
+    is feasible for the small universes used by the Lemma 2 experiments.
+
+    The class conditions of §3.2 become executable checks:
+    - tagless: [H_i = G_i ⟹ P_i(H) = P_i(G)];
+    - tagged: [CausalPast_i(H) = CausalPast_i(G) ⟹ P_i(H) = P_i(G)];
+    - liveness: some pending event is enabled whenever one exists. *)
+
+type t = {
+  name : string;
+  enabled : Mo_order.Sys_run.t -> int -> Mo_order.Event.Sys.t list;
+      (** [enabled h i ⊆ C_i(h)]: the controllable events process [i] may
+          execute in run [h]. Events outside [C_i(h)] are ignored. *)
+}
+
+val enable_all : t
+(** The trivial protocol: [P_i(H) = I_i ∪ R_i ∪ C_i]. *)
+
+val fifo : t
+(** Inhibit a delivery until all earlier sends on the same channel are
+    delivered (the protocol of Figure 2). *)
+
+val causal : t
+(** Inhibit a delivery at [i] until every message to [i] sent causally
+    earlier is delivered. A global-view oracle; the tagged condition is
+    what makes it implementable by tagging (checked separately). *)
+
+val sync : t
+(** Inhibit a send while any sent message is still undelivered: messages
+    are serialized one at a time, so every complete run is logically
+    synchronous. This oracle consults events {e concurrent} with the
+    deciding process — it fails the tagged knowledge condition, which is
+    exactly why implementing it for real takes control messages
+    (Theorem 4.2). *)
+
+val reachable :
+  nprocs:int -> msgs:(int * int) array -> t -> Mo_order.Sys_run.t list
+(** All of [X_P] for the given finite universe of messages (every message
+    is eventually requested, in any order). *)
+
+val complete_runs :
+  nprocs:int -> msgs:(int * int) array -> t -> Mo_order.Run.t list
+(** User views of the complete runs in [X_P] — the set [X̄_P] of §3.3. *)
+
+val live : nprocs:int -> msgs:(int * int) array -> t -> bool
+(** The liveness condition holds at every reachable run. *)
+
+val respects_tagless_condition :
+  nprocs:int -> msgs:(int * int) array -> t -> bool
+(** Checked over all pairs of reachable runs. *)
+
+val respects_tagged_condition :
+  nprocs:int -> msgs:(int * int) array -> t -> bool

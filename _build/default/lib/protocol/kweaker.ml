@@ -1,0 +1,91 @@
+let conservative k =
+  {
+    Causal_rst.factory with
+    Protocol.proto_name = Printf.sprintf "k-weaker-conservative-%d" k;
+  }
+
+type buffered = { id : int; seq : int }
+
+type chan_recv = {
+  mutable delivered : bool array;
+  mutable delivered_below : int;
+  mutable buffer : buffered list;
+}
+
+let ensure_capacity cr seq =
+  if seq >= Array.length cr.delivered then begin
+    let bigger = Array.make (max 16 (2 * (seq + 1))) false in
+    Array.blit cr.delivered 0 bigger 0 (Array.length cr.delivered);
+    cr.delivered <- bigger
+  end
+
+let window k =
+  if k < 0 then invalid_arg "Kweaker.window: negative k";
+  let make ~nprocs ~me =
+    let next_seq = Array.make nprocs 0 in
+    let recv =
+      Array.init nprocs (fun _ ->
+          { delivered = Array.make 16 false; delivered_below = 0; buffer = [] })
+    in
+    let deliverable cr (m : buffered) =
+      (* everything at distance > k below is already delivered *)
+      cr.delivered_below >= m.seq - k
+    in
+    let mark cr seq =
+      ensure_capacity cr seq;
+      cr.delivered.(seq) <- true;
+      while
+        cr.delivered_below < Array.length cr.delivered
+        && cr.delivered.(cr.delivered_below)
+      do
+        cr.delivered_below <- cr.delivered_below + 1
+      done
+    in
+    let rec drain cr acc =
+      match List.partition (deliverable cr) cr.buffer with
+      | [], _ -> List.rev acc
+      | ready, rest ->
+          cr.buffer <- rest;
+          let acts =
+            List.map
+              (fun (m : buffered) ->
+                mark cr m.seq;
+                Protocol.Deliver m.id)
+              ready
+          in
+          drain cr (List.rev_append acts acc)
+    in
+    {
+      Protocol.on_invoke =
+        (fun ~now:_ (intent : Protocol.intent) ->
+          let seq = next_seq.(intent.dst) in
+          next_seq.(intent.dst) <- seq + 1;
+          [
+            Protocol.Send_user
+              {
+                Message.id = intent.id;
+                src = me;
+                dst = intent.dst;
+                color = intent.color;
+                payload = intent.payload;
+                tag = Message.Seqno seq;
+              };
+          ]);
+      on_packet =
+        (fun ~now:_ ~from packet ->
+          match packet with
+          | Message.User { id; tag = Message.Seqno seq; _ } ->
+              let cr = recv.(from) in
+              ensure_capacity cr seq;
+              cr.buffer <- cr.buffer @ [ { id; seq } ];
+              drain cr []
+          | Message.User _ ->
+              invalid_arg "Kweaker.window: user message without seqno"
+          | Message.Control _ -> []);
+    }
+  in
+  {
+    Protocol.proto_name = Printf.sprintf "k-weaker-window-%d" k;
+    kind = Protocol.Tagged;
+    make;
+  }

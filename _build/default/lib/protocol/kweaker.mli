@@ -1,0 +1,25 @@
+(** k-weaker causal ordering (§6): "messages can be out of order by at most
+    k messages".
+
+    Two implementations:
+
+    - {!conservative} [k] — plain RST causal ordering. Sound for every [k]
+      because [X_co ⊆ X_{k-weaker}]: Theorem 1.2 says a tagged protocol
+      exists iff [X_co] is contained in the specification, and the
+      universal tagged protocol is the causal one. Delivers nothing out of
+      order, so it forfeits the latency benefit the weaker spec allows.
+
+    - {!window} [k] — the per-channel sliding-window protocol: a message
+      with channel sequence number [n] is deliverable once every message
+      with sequence number [≤ n - (k+1)] from the same channel has been
+      delivered, so a message can overtake at most [k] predecessors. This
+      implements the {e channel-restricted} k-weaker specification (the §6
+      predicate with same-source/same-destination guards; with [k = 0] it
+      degenerates to FIFO). The unrestricted §6 predicate would need
+      chain-depth tagging across processes; the conservative variant covers
+      it, and the bench harness uses [window] to show the latency/weakness
+      trade-off (experiment B1/B4). *)
+
+val conservative : int -> Protocol.factory
+
+val window : int -> Protocol.factory

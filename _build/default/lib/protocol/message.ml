@@ -1,0 +1,70 @@
+type flush_kind = Ordinary | Forward | Backward | Two_way
+
+type tag =
+  | No_tag
+  | Seqno of int
+  | Flush of { seqno : int; barrier : int; kind : flush_kind }
+  | Vector of Mo_order.Vclock.t
+  | Matrix of Mo_order.Mclock.t
+  | Ses of { tm : Mo_order.Vclock.t; dep : (int * Mo_order.Vclock.t) list }
+  | Bounded_matrix of { m : Mo_order.Mclock.t; slack : int }
+  | Ticket of int
+
+let int_bytes = 4
+
+let tag_bytes = function
+  | No_tag -> 0
+  | Seqno _ -> int_bytes
+  | Flush _ -> 3 * int_bytes
+  | Vector v -> int_bytes * Mo_order.Vclock.size v
+  | Ses { tm; dep } ->
+      (int_bytes * Mo_order.Vclock.size tm)
+      + List.fold_left
+          (fun acc (_, v) ->
+            acc + int_bytes + (int_bytes * Mo_order.Vclock.size v))
+          0 dep
+  | Matrix m ->
+      let n = Mo_order.Mclock.size m in
+      int_bytes * n * n
+  | Bounded_matrix { m; _ } ->
+      let n = Mo_order.Mclock.size m in
+      (int_bytes * n * n) + int_bytes
+  | Ticket _ -> int_bytes
+
+let tag_name = function
+  | No_tag -> "none"
+  | Seqno _ -> "seqno"
+  | Flush _ -> "flush"
+  | Vector _ -> "vector"
+  | Ses _ -> "ses"
+  | Matrix _ -> "matrix"
+  | Bounded_matrix _ -> "bounded-matrix"
+  | Ticket _ -> "ticket"
+
+type user = {
+  id : int;
+  src : int;
+  dst : int;
+  color : int option;
+  payload : int;
+  tag : tag;
+}
+
+type control = { kind : string; data : int array }
+
+let control_bytes c = String.length c.kind + (int_bytes * Array.length c.data)
+
+type packet = User of user | Control of control
+
+let is_control = function Control _ -> true | User _ -> false
+
+let pp_packet ppf = function
+  | User u ->
+      Format.fprintf ppf "user#%d %d->%d [%s]" u.id u.src u.dst
+        (tag_name u.tag)
+  | Control c ->
+      Format.fprintf ppf "ctl:%s(%a)" c.kind
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        (Array.to_list c.data)

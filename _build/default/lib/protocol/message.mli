@@ -1,0 +1,54 @@
+(** Wire messages of the simulated system.
+
+    User messages carry the protocol's tag (the "information tagged to user
+    messages" that distinguishes tagged from tagless protocols, §3.2);
+    control messages are what distinguishes general protocols from tagged
+    ones. The conformance harness accounts for both. *)
+
+type flush_kind = Ordinary | Forward | Backward | Two_way
+(** The four send primitives of flush channels (F-channels [1]). *)
+
+type tag =
+  | No_tag
+  | Seqno of int  (** FIFO: per-channel sequence number *)
+  | Flush of { seqno : int; barrier : int; kind : flush_kind }
+      (** flush channels: channel seqno plus the seqno of the latest
+          preceding backward/two-way barrier (-1 if none) *)
+  | Vector of Mo_order.Vclock.t  (** BSS causal broadcast *)
+  | Matrix of Mo_order.Mclock.t  (** RST causal ordering *)
+  | Ses of {
+      tm : Mo_order.Vclock.t;  (** the message's vector timestamp *)
+      dep : (int * Mo_order.Vclock.t) list;
+          (** per destination, the timestamp of the latest message sent to
+              it in the sender's causal past (SES causal ordering [21]) *)
+    }
+  | Bounded_matrix of { m : Mo_order.Mclock.t; slack : int }
+      (** k-weaker causal: RST matrix plus the allowed overtaking bound *)
+  | Ticket of int  (** token-serialized logically synchronous ordering *)
+
+val tag_bytes : tag -> int
+(** Size accounting for the overhead benches: 4 bytes per integer
+    component, 0 for [No_tag]. *)
+
+val tag_name : tag -> string
+
+type user = {
+  id : int;  (** message index in the run being recorded *)
+  src : int;
+  dst : int;
+  color : int option;
+  payload : int;  (** application data (e.g. a transfer amount); 0 if unused *)
+  tag : tag;
+}
+
+type control = { kind : string; data : int array }
+(** Protocol-specific control traffic; [kind] is a short label
+    (["req"], ["grant"], ["ack"], …). *)
+
+val control_bytes : control -> int
+
+type packet = User of user | Control of control
+
+val is_control : packet -> bool
+
+val pp_packet : Format.formatter -> packet -> unit

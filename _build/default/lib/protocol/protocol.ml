@@ -1,0 +1,31 @@
+type intent = {
+  id : int;
+  dst : int;
+  color : int option;
+  payload : int;
+  group : int option;
+  flush : Message.flush_kind;
+}
+
+type action =
+  | Send_user of Message.user
+  | Send_control of { dst : int; ctl : Message.control }
+  | Deliver of int
+
+type instance = {
+  on_invoke : now:int -> intent -> action list;
+  on_packet : now:int -> from:int -> Message.packet -> action list;
+}
+
+type kind = Tagless | Tagged | General
+
+let kind_to_string = function
+  | Tagless -> "tagless"
+  | Tagged -> "tagged"
+  | General -> "general"
+
+type factory = {
+  proto_name : string;
+  kind : kind;
+  make : nprocs:int -> me:int -> instance;
+}

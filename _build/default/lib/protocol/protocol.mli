@@ -1,0 +1,53 @@
+(** The protocol interface of the simulator.
+
+    A protocol instance mediates between the application and the network on
+    one process, mirroring the paper's inhibitory protocols (§3.2): the
+    application {e requests} a send (the invoke event [x.s✱]); the protocol
+    decides when the user message is actually emitted (the send event
+    [x.s]) and when a received message (receive event [x.r✱]) is delivered
+    (delivery event [x.r]). Invokes and receives cannot be refused — only
+    sends and deliveries may be delayed, exactly the condition
+    [I ∪ R ⊆ P(H) ⊆ I ∪ R ∪ C] of §3.2.
+
+    Instances are closures over their own mutable state; {!factory}
+    produces one instance per process. *)
+
+type intent = {
+  id : int;  (** message id in the recorded run *)
+  dst : int;
+  color : int option;
+  payload : int;  (** application data, carried opaquely; 0 if unused *)
+  group : int option;
+      (** broadcast group: copies of one application-level broadcast share
+          a group and are invoked consecutively *)
+  flush : Message.flush_kind;
+      (** flush-channel send type; [Ordinary] unless the workload says
+          otherwise *)
+}
+
+type action =
+  | Send_user of Message.user
+      (** emit this user message to the network now — this is [x.s] *)
+  | Send_control of { dst : int; ctl : Message.control }
+  | Deliver of int
+      (** deliver the received user message with this id — this is [x.r] *)
+
+type instance = {
+  on_invoke : now:int -> intent -> action list;
+      (** the application requested a send ([x.s✱] just happened) *)
+  on_packet : now:int -> from:int -> Message.packet -> action list;
+      (** a packet arrived; for a user packet, [x.r✱] just happened *)
+}
+
+type kind = Tagless | Tagged | General
+(** Which protocol class (§3.2) the implementation belongs to: does it tag
+    user messages, does it emit control messages? Checked against observed
+    traffic by the conformance harness. *)
+
+val kind_to_string : kind -> string
+
+type factory = {
+  proto_name : string;
+  kind : kind;
+  make : nprocs:int -> me:int -> instance;
+}

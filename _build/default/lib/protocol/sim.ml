@@ -1,0 +1,384 @@
+open Mo_order
+
+type dest = Unicast of int | Broadcast
+
+type op = {
+  at : int;
+  src : int;
+  dst : dest;
+  color : int option;
+  payload : int;
+  flush : Message.flush_kind;
+}
+
+let op ?color ?(payload = 0) ?(flush = Message.Ordinary) ~at ~src ~dst () =
+  { at; src; dst = Unicast dst; color; payload; flush }
+
+let bcast ?color ?(payload = 0) ~at ~src () =
+  { at; src; dst = Broadcast; color; payload; flush = Message.Ordinary }
+
+type faults = { drop_permille : int; duplicate_permille : int }
+
+let no_faults = { drop_permille = 0; duplicate_permille = 0 }
+
+type config = {
+  nprocs : int;
+  seed : int;
+  min_delay : int;
+  jitter : int;
+  max_steps : int;
+  faults : faults;
+}
+
+let default_config ~nprocs =
+  {
+    nprocs;
+    seed = 42;
+    min_delay = 1;
+    jitter = 7;
+    max_steps = 1_000_000;
+    faults = no_faults;
+  }
+
+type stats = {
+  user_packets : int;
+  control_packets : int;
+  tag_bytes : int;
+  control_bytes : int;
+  latency_total : int;
+  latency_max : int;
+  makespan : int;
+}
+
+let mean_latency s ~nmsgs =
+  if nmsgs = 0 then 0. else float_of_int s.latency_total /. float_of_int nmsgs
+
+type outcome = {
+  sys_run : Sys_run.t;
+  run : Run.t option;
+  all_delivered : bool;
+  stats : stats;
+  msgs : (int * int) array;
+  colors : int option array;
+  groups : int array;
+}
+
+(* ---- event queue: a simple binary min-heap on (time, tiebreak) ---- *)
+
+type ev =
+  | Ev_invoke of { proc : int; intent : Protocol.intent }
+  | Ev_arrive of { dst : int; from : int; packet : Message.packet }
+
+module Heap = struct
+  type entry = { time : int; tie : int; ev : ev }
+
+  type t = {
+    mutable data : entry array;
+    mutable len : int;
+    mutable next_tie : int;
+  }
+
+  let dummy =
+    {
+      time = 0;
+      tie = 0;
+      ev =
+        Ev_invoke
+          {
+            proc = 0;
+            intent =
+              {
+                Protocol.id = -1;
+                dst = 0;
+                color = None;
+                payload = 0;
+                group = None;
+                flush = Message.Ordinary;
+              };
+          };
+    }
+
+  let create () = { data = Array.make 64 dummy; len = 0; next_tie = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.tie < b.tie)
+
+  let push t time ev =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) dummy in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    let e = { time; tie = t.next_tie; ev } in
+    t.next_tie <- t.next_tie + 1;
+    let i = ref t.len in
+    t.len <- t.len + 1;
+    t.data.(!i) <- e;
+    while !i > 0 && less t.data.(!i) t.data.((!i - 1) / 2) do
+      let p = (!i - 1) / 2 in
+      let tmp = t.data.(p) in
+      t.data.(p) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := p
+    done
+
+  let pop t =
+    if t.len = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.len <- t.len - 1;
+      t.data.(0) <- t.data.(t.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.len && less t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some (top.time, top.ev)
+    end
+end
+
+(* ---- broadcast expansion: one message id per point-to-point copy ---- *)
+
+let expand_ops ~nprocs ops =
+  let intents = ref [] in
+  (* (at, src, intent) in op order; ids densely assigned *)
+  let next_id = ref 0 in
+  List.iteri
+    (fun group op ->
+      match op.dst with
+      | Unicast d ->
+          let id = !next_id in
+          incr next_id;
+          intents :=
+            ( op.at,
+              op.src,
+              {
+                Protocol.id;
+                dst = d;
+                color = op.color;
+                payload = op.payload;
+                group = Some group;
+                flush = op.flush;
+              } )
+            :: !intents
+      | Broadcast ->
+          for d = 0 to nprocs - 1 do
+            if d <> op.src then begin
+              let id = !next_id in
+              incr next_id;
+              intents :=
+                ( op.at,
+                  op.src,
+                  {
+                    Protocol.id;
+                    dst = d;
+                    color = op.color;
+                    payload = op.payload;
+                    group = Some group;
+                    flush = op.flush;
+                  } )
+                :: !intents
+            end
+          done)
+    ops;
+  List.rev !intents
+
+let execute config factory ops =
+  let nprocs = config.nprocs in
+  if nprocs <= 0 then invalid_arg "Sim.execute: nprocs must be positive";
+  if config.min_delay < 1 then
+    invalid_arg
+      "Sim.execute: min_delay must be at least 1 (packets never arrive at \
+       their send instant)";
+  if
+    config.faults.drop_permille < 0
+    || config.faults.duplicate_permille < 0
+    || config.faults.drop_permille + config.faults.duplicate_permille > 1000
+  then invalid_arg "Sim.execute: fault probabilities out of range";
+  let rng = Random.State.make [| config.seed |] in
+  let delay () = config.min_delay + Random.State.int rng (config.jitter + 1) in
+  let fate () =
+    (* per-packet network fate: deliver once, drop, or duplicate *)
+    let roll = Random.State.int rng 1000 in
+    if roll < config.faults.drop_permille then `Drop
+    else if
+      roll < config.faults.drop_permille + config.faults.duplicate_permille
+    then `Duplicate
+    else `Deliver
+  in
+  let intents = expand_ops ~nprocs ops in
+  let nmsgs = List.length intents in
+  let msgs = Array.make nmsgs (0, 0) in
+  let colors = Array.make nmsgs None in
+  let groups = Array.make nmsgs (-1) in
+  List.iter
+    (fun (_, src, (i : Protocol.intent)) ->
+      msgs.(i.id) <- (src, i.dst);
+      colors.(i.id) <- i.color;
+      groups.(i.id) <- Option.value ~default:(-1) i.group)
+    intents;
+  let instances =
+    Array.init nprocs (fun me -> factory.Protocol.make ~nprocs ~me)
+  in
+  let heap = Heap.create () in
+  List.iter
+    (fun (at, src, intent) ->
+      Heap.push heap at (Ev_invoke { proc = src; intent }))
+    intents;
+  (* trace recording *)
+  let seq_rev = Array.make nprocs [] in
+  let record p (e : Event.Sys.t) = seq_rev.(p) <- e :: seq_rev.(p) in
+  let invoked = Array.make nmsgs (-1)
+  and sent = Array.make nmsgs (-1)
+  and received = Array.make nmsgs (-1)
+  and delivered = Array.make nmsgs (-1) in
+  let user_packets = ref 0
+  and control_packets = ref 0
+  and tag_bytes = ref 0
+  and control_bytes = ref 0
+  and makespan = ref 0 in
+  let error = ref None in
+  let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
+  let schedule_packet now ~dst ~from packet =
+    match fate () with
+    | `Drop -> ()
+    | `Deliver ->
+        Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
+    | `Duplicate ->
+        Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet });
+        Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
+  in
+  let apply_actions p now actions =
+    List.iter
+      (fun (a : Protocol.action) ->
+        match a with
+        | Protocol.Send_user u ->
+            if u.Message.src <> p then
+              fail "protocol on P%d emitted a user message with src %d" p
+                u.Message.src
+            else if u.id < 0 || u.id >= nmsgs then
+              fail "protocol emitted unknown message id %d" u.Message.id
+            else if sent.(u.id) >= 0 then
+              fail "message %d sent twice" u.Message.id
+            else if invoked.(u.id) < 0 then
+              fail "message %d sent before its invoke" u.Message.id
+            else begin
+              sent.(u.id) <- now;
+              record p { Event.Sys.msg = u.id; kind = Event.Sys.Send };
+              incr user_packets;
+              tag_bytes := !tag_bytes + Message.tag_bytes u.Message.tag;
+              schedule_packet now ~dst:u.Message.dst ~from:p
+                (Message.User u)
+            end
+        | Protocol.Send_control { dst; ctl } ->
+            incr control_packets;
+            control_bytes := !control_bytes + Message.control_bytes ctl;
+            schedule_packet now ~dst ~from:p (Message.Control ctl)
+        | Protocol.Deliver id ->
+            if id < 0 || id >= nmsgs then
+              fail "protocol delivered unknown message id %d" id
+            else if received.(id) < 0 then
+              fail "message %d delivered before it was received" id
+            else if delivered.(id) >= 0 then fail "message %d delivered twice" id
+            else if snd msgs.(id) <> p then
+              fail "message %d delivered on P%d, destination is P%d" id p
+                (snd msgs.(id))
+            else begin
+              delivered.(id) <- now;
+              record p { Event.Sys.msg = id; kind = Event.Sys.Deliver }
+            end)
+      actions
+  in
+  let steps = ref 0 in
+  let rec loop () =
+    if !error <> None then ()
+    else if !steps > config.max_steps then
+      fail "exceeded max_steps (%d): runaway protocol?" config.max_steps
+    else
+      match Heap.pop heap with
+      | None -> ()
+      | Some (now, ev) ->
+          incr steps;
+          makespan := max !makespan now;
+          (match ev with
+          | Ev_invoke { proc; intent } ->
+              invoked.(intent.Protocol.id) <- now;
+              record proc
+                { Event.Sys.msg = intent.Protocol.id; kind = Event.Sys.Invoke };
+              apply_actions proc now (instances.(proc).on_invoke ~now intent)
+          | Ev_arrive { dst; from; packet } ->
+              (match packet with
+              | Message.User u ->
+                  (* a duplicated packet is still handed to the protocol,
+                     but the trace records one receive event *)
+                  if received.(u.id) < 0 then begin
+                    received.(u.id) <- now;
+                    record dst
+                      { Event.Sys.msg = u.id; kind = Event.Sys.Receive }
+                  end
+              | Message.Control _ -> ());
+              apply_actions dst now
+                (instances.(dst).on_packet ~now ~from packet));
+          loop ()
+  in
+  loop ();
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let seq = Array.map List.rev seq_rev in
+      (match Sys_run.of_sequences ~nprocs ~msgs seq with
+      | Error e -> Error ("recorded trace is not a run: " ^ e)
+      | Ok sys_run ->
+          let all_delivered =
+            Array.for_all (fun t -> t >= 0) delivered
+          in
+          let latency_total = ref 0 and latency_max = ref 0 in
+          for i = 0 to nmsgs - 1 do
+            if delivered.(i) >= 0 && invoked.(i) >= 0 then begin
+              let l = delivered.(i) - invoked.(i) in
+              latency_total := !latency_total + l;
+              latency_max := max !latency_max l
+            end
+          done;
+          let stats =
+            {
+              user_packets = !user_packets;
+              control_packets = !control_packets;
+              tag_bytes = !tag_bytes;
+              control_bytes = !control_bytes;
+              latency_total = !latency_total;
+              latency_max = !latency_max;
+              makespan = !makespan;
+            }
+          in
+          let run =
+            (* the user-view projection, with message colors preserved for
+               the guarded specifications (flush, handoff) *)
+            if not all_delivered then None
+            else
+              let user_seq =
+                Array.map
+                  (fun events ->
+                    List.filter_map
+                      (fun (e : Event.Sys.t) ->
+                        match e.kind with
+                        | Event.Sys.Send -> Some (Event.send e.msg)
+                        | Event.Sys.Deliver -> Some (Event.deliver e.msg)
+                        | Event.Sys.Invoke | Event.Sys.Receive -> None)
+                      events)
+                  seq
+              in
+              match Run.of_sequences ~nprocs ~msgs ~colors user_seq with
+              | Ok r -> Some r
+              | Error _ -> None
+          in
+          Ok { sys_run; run; all_delivered; stats; msgs; colors; groups })

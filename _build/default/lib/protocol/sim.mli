@@ -1,0 +1,90 @@
+(** Discrete-event simulator for message-ordering protocols.
+
+    The simulated substrate is the paper's model: an asynchronous reliable
+    network with arbitrary finite per-packet delays (not FIFO), processes
+    executing events one at a time. The simulator drives a
+    {!Protocol.factory} over a workload of send requests, records the
+    four system events of every message, and returns both the system-view
+    run and its user-view projection, plus the traffic statistics the
+    overhead benches report.
+
+    Determinism: all delays come from a seeded PRNG in the {!config}, so a
+    given (config, protocol, workload) triple always yields the same run. *)
+
+type dest = Unicast of int | Broadcast
+(** [Broadcast] expands to one copy per other process, sharing a
+    {!Protocol.intent} group. *)
+
+type op = {
+  at : int;  (** request (invoke) time *)
+  src : int;
+  dst : dest;
+  color : int option;
+  payload : int;  (** application data carried end-to-end; 0 if unused *)
+  flush : Message.flush_kind;
+}
+
+val op :
+  ?color:int -> ?payload:int -> ?flush:Message.flush_kind -> at:int ->
+  src:int -> dst:int -> unit -> op
+
+val bcast : ?color:int -> ?payload:int -> at:int -> src:int -> unit -> op
+
+type faults = {
+  drop_permille : int;
+      (** per-packet probability (‰) of silent loss. The paper's model is
+          a reliable network; drops exist to show the conformance harness
+          flagging the resulting liveness failures. *)
+  duplicate_permille : int;
+      (** per-packet probability (‰) of duplication in the network. The
+          trace records one receive; the protocol sees the packet twice —
+          protocols without deduplication then double-deliver, which the
+          simulator reports as misbehaviour (see {!Wrap.dedup}). *)
+}
+
+val no_faults : faults
+
+type config = {
+  nprocs : int;
+  seed : int;
+  min_delay : int;  (** lower bound on packet latency; must be ≥ 1 *)
+  jitter : int;  (** uniform extra delay in [0, jitter] — breaks FIFO *)
+  max_steps : int;  (** safety bound on simulator events *)
+  faults : faults;
+}
+
+val default_config : nprocs:int -> config
+(** seed 42, delays in [1, 8], one million steps, no faults. *)
+
+type stats = {
+  user_packets : int;
+  control_packets : int;
+  tag_bytes : int;  (** total tag overhead across user packets *)
+  control_bytes : int;
+  latency_total : int;  (** sum over messages of delivery − invoke time *)
+  latency_max : int;
+  makespan : int;  (** time of the last event *)
+}
+
+val mean_latency : stats -> nmsgs:int -> float
+
+type outcome = {
+  sys_run : Mo_order.Sys_run.t;
+  run : Mo_order.Run.t option;
+      (** the user-view projection; [None] when liveness failed (some
+          message was never sent or delivered) *)
+  all_delivered : bool;
+  stats : stats;
+  msgs : (int * int) array;  (** (src, dst) per message id *)
+  colors : int option array;
+  groups : int array;
+      (** per message id, the workload op it came from; copies of one
+          broadcast share a group *)
+}
+
+val execute :
+  config -> Protocol.factory -> op list -> (outcome, string) result
+(** [Error] on protocol misbehaviour (delivering an unreceived message,
+    sending from the wrong process, exceeding [max_steps], duplicate
+    deliveries) — never on mere liveness failure, which is reported in the
+    outcome. *)

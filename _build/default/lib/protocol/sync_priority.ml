@@ -1,0 +1,122 @@
+type pending_send = { id : int; dst : int; color : int option; payload : int }
+
+type phase =
+  | Idle
+  | Requesting of { yielded : bool }
+      (** [req] sent; [yielded] when we granted a higher-priority requester
+          meanwhile and must abandon the grant we are waiting for *)
+  | Engaged  (** user message in flight, awaiting the delivery ack *)
+
+type state = {
+  me : int;
+  mutable phase : phase;
+  mutable obligations : int;
+      (** grants issued whose user message we have not yet delivered: we
+          must not execute a send while any is outstanding, or a crown
+          could close through us *)
+  mutable queue : pending_send list;  (** own intents, FIFO *)
+  mutable deferred : int list;  (** requesters to grant once safe *)
+}
+
+let ctl kind = { Message.kind; data = [||] }
+
+(* lower process id = higher priority; any fixed total order works *)
+let outranks q me = q < me
+
+let make ~nprocs:_ ~me =
+  let st = { me; phase = Idle; obligations = 0; queue = []; deferred = [] } in
+  let grant q =
+    st.obligations <- st.obligations + 1;
+    Protocol.Send_control { dst = q; ctl = ctl "ok" }
+  in
+  (* housekeeping after every handler: when idle, first grant everyone we
+     deferred, then (once all obligations are delivered) start our own
+     next request *)
+  let react () =
+    match st.phase with
+    | Requesting _ | Engaged -> []
+    | Idle ->
+        let grants = List.rev_map grant st.deferred in
+        st.deferred <- [];
+        if grants <> [] then grants
+        else if st.obligations = 0 then
+          match st.queue with
+          | next :: _ ->
+              st.phase <- Requesting { yielded = false };
+              [ Protocol.Send_control { dst = next.dst; ctl = ctl "req" } ]
+          | [] -> []
+        else []
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        st.queue <-
+          st.queue
+          @ [
+              {
+                id = intent.id;
+                dst = intent.dst;
+                color = intent.color;
+                payload = intent.payload;
+              };
+            ];
+        react ());
+    on_packet =
+      (fun ~now:_ ~from packet ->
+        match packet with
+        | Message.User u ->
+            (* every incoming user message carries one of our grants *)
+            st.obligations <- st.obligations - 1;
+            [
+              Protocol.Deliver u.Message.id;
+              Protocol.Send_control { dst = from; ctl = ctl "ack" };
+            ]
+            @ react ()
+        | Message.Control { kind = "req"; _ } -> (
+            match st.phase with
+            | Idle -> [ grant from ]
+            | Requesting { yielded = _ } when outranks from st.me ->
+                (* we may grant, but our own pending grant (if it arrives)
+                   is now poisoned: our send may no longer happen before
+                   the granted message is delivered *)
+                st.phase <- Requesting { yielded = true };
+                [ grant from ]
+            | Requesting _ | Engaged ->
+                st.deferred <- from :: st.deferred;
+                [])
+        | Message.Control { kind = "ok"; _ } -> (
+            match (st.phase, st.queue) with
+            | Requesting { yielded = false }, next :: rest ->
+                st.queue <- rest;
+                st.phase <- Engaged;
+                [
+                  Protocol.Send_user
+                    {
+                      Message.id = next.id;
+                      src = st.me;
+                      dst = next.dst;
+                      color = next.color;
+                      payload = next.payload;
+                      tag = Message.No_tag;
+                    };
+                ]
+            | Requesting { yielded = true }, _ ->
+                (* abandon: tell the grantor to release its obligation and
+                   try again once ours are delivered *)
+                st.phase <- Idle;
+                Protocol.Send_control { dst = from; ctl = ctl "cancel" }
+                :: react ()
+            | (Idle | Engaged | Requesting _), _ ->
+                invalid_arg "Sync_priority: unexpected grant")
+        | Message.Control { kind = "cancel"; _ } ->
+            st.obligations <- st.obligations - 1;
+            react ()
+        | Message.Control { kind = "ack"; _ } ->
+            st.phase <- Idle;
+            react ()
+        | Message.Control { kind; _ } ->
+            invalid_arg ("Sync_priority: unknown control kind " ^ kind));
+  }
+
+let factory =
+  { Protocol.proto_name = "sync-priority"; kind = Protocol.General; make }

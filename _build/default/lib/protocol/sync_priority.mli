@@ -1,0 +1,23 @@
+(** Logically synchronous ordering by decentralized priority rendezvous —
+    a second general protocol, closer in spirit to the distributed
+    interaction-scheduling algorithms the paper cites ([3, 18], Bagrodia's
+    binary interactions) than the global sequencer of {!Sync_token}.
+
+    Each message is a three-step rendezvous between its two endpoints
+    only: the sender asks its receiver ([req]), sends the user message
+    when granted ([ok]), and the receiver acknowledges delivery ([ack]).
+    A process answers a request immediately when it is idle; while it has
+    a granted send in flight it defers all requests (a concurrent reverse
+    message would complete a crown); while it is itself requesting, it
+    grants only {e higher-priority} (lower id) requesters — its own send
+    event has not happened yet, so no crown can close through it, and the
+    static priority order breaks symmetric and circular request patterns
+    that would otherwise deadlock or form longer crowns.
+
+    Compared with the sequencer: the same three control messages per user
+    message, but no global bottleneck — disjoint process pairs rendezvous
+    concurrently, which shows up as lower latency in experiment B1.
+    Conformance to [X_sync] is checked per-run by the test suite across
+    seeds, workload shapes, and the exhaustive small-universe checker. *)
+
+val factory : Protocol.factory

@@ -1,0 +1,88 @@
+type waiting = { id : int; dst : int; color : int option; payload : int }
+
+type state = {
+  me : int;
+  (* sender side: intents waiting for a grant, in request order *)
+  mutable wanting : waiting list;
+  (* coordinator side (only used on process 0) *)
+  mutable queue : int list; (* requesting processes, FIFO *)
+  mutable busy : bool;
+  mutable next_ticket : int;
+}
+
+let coordinator = 0
+
+let ctl kind data = { Message.kind; data }
+
+let make ~nprocs:_ ~me =
+  let st = { me; wanting = []; queue = []; busy = false; next_ticket = 0 } in
+  let grant_next () =
+    (* coordinator: issue a grant if idle and someone is waiting *)
+    if (not st.busy) && st.queue <> [] then begin
+      match st.queue with
+      | p :: rest ->
+          st.queue <- rest;
+          st.busy <- true;
+          let t = st.next_ticket in
+          st.next_ticket <- t + 1;
+          [ Protocol.Send_control { dst = p; ctl = ctl "grant" [| t |] } ]
+      | [] -> []
+    end
+    else []
+  in
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        st.wanting <-
+          st.wanting
+          @ [
+              {
+                id = intent.id;
+                dst = intent.dst;
+                color = intent.color;
+                payload = intent.payload;
+              };
+            ];
+        [
+          Protocol.Send_control
+            { dst = coordinator; ctl = ctl "req" [| st.me |] };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from packet ->
+        match packet with
+        | Message.User u ->
+            (* serialization makes immediate delivery safe *)
+            [
+              Protocol.Deliver u.Message.id;
+              Protocol.Send_control
+                { dst = coordinator; ctl = ctl "ack" [||] };
+            ]
+        | Message.Control { kind = "req"; data } ->
+            st.queue <- st.queue @ [ data.(0) ];
+            grant_next ()
+        | Message.Control { kind = "grant"; data } -> (
+            match st.wanting with
+            | w :: rest ->
+                st.wanting <- rest;
+                [
+                  Protocol.Send_user
+                    {
+                      Message.id = w.id;
+                      src = st.me;
+                      dst = w.dst;
+                      color = w.color;
+                      payload = w.payload;
+                      tag = Message.Ticket data.(0);
+                    };
+                ]
+            | [] -> invalid_arg "Sync_token: grant without pending intent")
+        | Message.Control { kind = "ack"; _ } ->
+            st.busy <- false;
+            ignore from;
+            grant_next ()
+        | Message.Control { kind; _ } ->
+            invalid_arg ("Sync_token: unknown control kind " ^ kind));
+  }
+
+let factory =
+  { Protocol.proto_name = "sync-token"; kind = Protocol.General; make }

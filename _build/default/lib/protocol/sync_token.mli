@@ -1,0 +1,19 @@
+(** Logically synchronous ordering via a serializing coordinator.
+
+    The paper (Theorem 1.1, after [3, 18]) needs a {e general} protocol
+    whose reachable set is exactly [X_sync]. This implementation serializes
+    message transactions through process 0: a sender first requests a grant
+    ([req]), sends the user message when granted, and the receiver
+    acknowledges delivery to the coordinator ([ack]), which only then
+    issues the next grant. At most one user message is ever in flight, so
+    the messages are linearly ordered by grant number — the numbering [T]
+    of the SYNC condition — and every message arrow can be drawn vertical.
+
+    This uses three control messages per user message; the efficient
+    protocols of [3, 18] reduce that constant but not the need for control
+    messages, which Theorem 4.2 shows is inherent: no tagging-only protocol
+    can implement [X_sync]. The grant number is also tagged on the user
+    message (a general protocol may tag), which lets the conformance
+    checker read back the claimed linearization. *)
+
+val factory : Protocol.factory

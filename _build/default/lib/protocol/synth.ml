@@ -1,0 +1,206 @@
+let choose = function
+  | Mo_core.Classify.Not_implementable ->
+      Error
+        "no protocol can guarantee safety and liveness for this \
+         specification (X_sync is not contained in it)"
+  | Mo_core.Classify.Implementable Mo_core.Classify.Tagless ->
+      Ok Tagless.factory
+  | Mo_core.Classify.Implementable Mo_core.Classify.Tagged ->
+      Ok Causal_rst.factory
+  | Mo_core.Classify.Implementable Mo_core.Classify.General ->
+      Ok Sync_token.factory
+
+let for_predicate p =
+  let result = Mo_core.Classify.classify p in
+  match choose result.verdict with
+  | Ok f -> Ok (f, result)
+  | Error e -> Error e
+
+let for_spec s = choose (Mo_core.Spec.classify s)
+
+type choice = { factory : Protocol.factory; rationale : string }
+
+(* ---- per-predicate optimization ---- *)
+
+module F = Mo_core.Forbidden
+module T = Mo_core.Term
+
+let rec uf_find parent i =
+  if parent.(i) = i then i
+  else begin
+    parent.(i) <- uf_find parent parent.(i);
+    parent.(i)
+  end
+
+let uf_union parent a b =
+  let ra = uf_find parent a and rb = uf_find parent b in
+  if ra <> rb then parent.(ra) <- rb
+
+(* two variables denote messages on the same channel when the guards force
+   both the same source and the same destination *)
+let same_channel_classes p =
+  let n = F.nvars p in
+  let src = Array.init n Fun.id and dst = Array.init n Fun.id in
+  List.iter
+    (fun (g : T.guard) ->
+      match g with
+      | T.Same_src (x, y) -> uf_union src x y
+      | T.Same_dst (x, y) -> uf_union dst x y
+      | T.Color_is _ -> ())
+    (F.guards p);
+  fun x y -> uf_find src x = uf_find src y && uf_find dst x = uf_find dst y
+
+(* longest simple s-chain from [b] to [a] within one channel class; length
+   counted in edges *)
+let longest_chain p ~same_channel ~from_ ~to_ =
+  let n = F.nvars p in
+  let succ = Array.make n [] in
+  List.iter
+    (fun (c : T.conjunct) ->
+      match (c.before.point, c.after.point) with
+      | Mo_order.Event.S, Mo_order.Event.S
+        when c.before.var <> c.after.var
+             && same_channel c.before.var c.after.var
+             && same_channel c.before.var from_ ->
+          succ.(c.before.var) <- c.after.var :: succ.(c.before.var)
+      | _ -> ())
+    (F.conjuncts p);
+  let best = ref (-1) in
+  let on_path = Array.make n false in
+  let rec dfs v depth =
+    if v = to_ then best := max !best depth
+    else
+      List.iter
+        (fun w ->
+          if not on_path.(w) then begin
+            on_path.(w) <- true;
+            dfs w (depth + 1);
+            on_path.(w) <- false
+          end)
+        succ.(v)
+  in
+  on_path.(from_) <- true;
+  dfs from_ 0;
+  if !best >= 1 then Some !best else None
+
+(* a same-channel overtake pattern s(a) > s(b) & r(b) > r(a) where one
+   side is color-guarded: only messages around that color need inhibiting *)
+let find_colored_overtake p =
+  let same_channel = same_channel_classes p in
+  let color_of v =
+    List.find_map
+      (fun (g : T.guard) ->
+        match g with
+        | T.Color_is (x, c) when x = v -> Some c
+        | _ -> None)
+      (F.guards p)
+  in
+  let conjuncts = F.conjuncts p in
+  List.find_map
+    (fun (c1 : T.conjunct) ->
+      match (c1.before.point, c1.after.point) with
+      | Mo_order.Event.S, Mo_order.Event.S when c1.before.var <> c1.after.var
+        ->
+          let a = c1.before.var and b = c1.after.var in
+          if
+            same_channel a b
+            && List.exists
+                 (fun (c2 : T.conjunct) ->
+                   c2.before.var = b && c2.after.var = a
+                   && c2.before.point = Mo_order.Event.R
+                   && c2.after.point = Mo_order.Event.R)
+                 conjuncts
+          then
+            match (color_of b, color_of a) with
+            | Some c, _ -> Some (`Forward c)
+            | None, Some c -> Some (`Backward c)
+            | None, None -> None
+          else None
+      | _ -> None)
+    conjuncts
+
+let find_channel_window p =
+  let same_channel = same_channel_classes p in
+  List.filter_map
+    (fun (c : T.conjunct) ->
+      match (c.before.point, c.after.point) with
+      | Mo_order.Event.R, Mo_order.Event.R
+        when c.before.var <> c.after.var
+             && same_channel c.before.var c.after.var ->
+          (* r(a) ▷ r(b): look for an s-chain b -> … -> a *)
+          longest_chain p ~same_channel ~from_:c.after.var ~to_:c.before.var
+      | _ -> None)
+    (F.conjuncts p)
+  |> function
+  | [] -> None
+  | lengths -> Some (List.fold_left max 1 lengths)
+
+let optimize p =
+  let result = Mo_core.Classify.classify p in
+  match result.Mo_core.Classify.verdict with
+  | Mo_core.Classify.Not_implementable ->
+      Error "not implementable: no protocol exists"
+  | Mo_core.Classify.Implementable Mo_core.Classify.Tagless ->
+      Ok
+        {
+          factory = Tagless.factory;
+          rationale = "predicate unsatisfiable: the do-nothing protocol";
+        }
+  | Mo_core.Classify.Implementable Mo_core.Classify.General ->
+      Ok
+        {
+          factory = Sync_token.factory;
+          rationale = "order >= 2: control messages are necessary";
+        }
+  | Mo_core.Classify.Implementable Mo_core.Classify.Tagged -> (
+      match (F.simplify p, find_colored_overtake p, find_channel_window p) with
+      | F.Simplified p', _, _ when F.conjuncts p' = [] ->
+          (* cannot happen for a Tagged verdict, but keep the match total *)
+          Ok { factory = Tagless.factory; rationale = "trivial" }
+      | _, Some (`Forward c), _ ->
+          Ok
+            {
+              factory = Flush.selective_forward ~color:c;
+              rationale =
+                Printf.sprintf
+                  "only color-%d messages may not overtake on their \
+                   channel: delay just those (selective forward flush)"
+                  c;
+            }
+      | _, Some (`Backward c), _ ->
+          Ok
+            {
+              factory = Flush.selective_backward ~color:c;
+              rationale =
+                Printf.sprintf
+                  "nothing may overtake a color-%d message on its channel: \
+                   wait only behind those (selective backward flush)"
+                  c;
+            }
+      | _, None, Some 1 ->
+          Ok
+            {
+              factory = Fifo.factory;
+              rationale =
+                "a same-channel overtake is forbidden: per-channel \
+                 sequence numbers suffice";
+            }
+      | _, None, Some chain ->
+          let k = chain - 1 in
+          Ok
+            {
+              factory = Kweaker.window k;
+              rationale =
+                Printf.sprintf
+                  "a same-channel %d-step chain is forbidden: a \
+                   reordering window of %d suffices"
+                  chain k;
+            }
+      | _, None, None ->
+          Ok
+            {
+              factory = Causal_rst.factory;
+              rationale =
+                "order-1 cycle without a channel restriction: causal \
+                 ordering (matrix tags)";
+            })

@@ -1,0 +1,41 @@
+(** Protocol synthesis from a classification — the hook toward the
+    companion paper [19].
+
+    The classification theorems make synthesis trivial once the class is
+    known: each class has a universal protocol whose reachable set is the
+    class's limit set ([X_async] / [X_co] / [X_sync]), and
+    [X_limit ⊆ X_B] makes that protocol safe for [X_B]. The synthesized
+    protocol may be stricter than necessary — per-predicate optimization is
+    the companion paper's subject — but it is always sound and live. *)
+
+val choose : Mo_core.Classify.verdict -> (Protocol.factory, string) result
+(** [Tagless → do-nothing], [Tagged → RST causal],
+    [General → token-serialized sync]; [Error] for an unimplementable
+    verdict. *)
+
+val for_predicate :
+  Mo_core.Forbidden.t ->
+  (Protocol.factory * Mo_core.Classify.result, string) result
+(** Classify, then choose. *)
+
+val for_spec :
+  Mo_core.Spec.t -> (Protocol.factory, string) result
+
+type choice = { factory : Protocol.factory; rationale : string }
+
+val optimize : Mo_core.Forbidden.t -> (choice, string) result
+(** Per-predicate protocol optimization — a slice of the companion
+    paper's generator. Looks for a sub-pattern of the predicate that a
+    {e cheaper} protocol than the class-universal one already forbids:
+
+    - a same-channel send chain [v0.s ▷ … ▷ vL.s] (channel equality
+      derived from the [src]/[dst] guards) closed by [vL.r ▷ v0.r] is
+      impossible under per-channel sequencing, so the FIFO protocol
+      (constant-size tags) suffices when [L = 1], and the k-weaker window
+      protocol with [k = L - 1] (weaker, lower latency) when [L > 1];
+    - otherwise the classification's universal protocol is used.
+
+    Soundness: [B] is a conjunction, so a protocol that makes any subset of
+    its conjuncts (under the guards) unsatisfiable makes [B] unsatisfiable;
+    guards only enlarge [X_B], never shrink it. The returned [rationale]
+    says which rule fired. *)

@@ -1,0 +1,24 @@
+let make ~nprocs:_ ~me =
+  {
+    Protocol.on_invoke =
+      (fun ~now:_ (intent : Protocol.intent) ->
+        [
+          Protocol.Send_user
+            {
+              Message.id = intent.id;
+              src = me;
+              dst = intent.dst;
+              color = intent.color;
+              payload = intent.payload;
+              tag = Message.No_tag;
+            };
+        ]);
+    on_packet =
+      (fun ~now:_ ~from:_ packet ->
+        match packet with
+        | Message.User u -> [ Protocol.Deliver u.Message.id ]
+        | Message.Control _ -> []);
+  }
+
+let factory =
+  { Protocol.proto_name = "tagless"; kind = Protocol.Tagless; make }

@@ -1,0 +1,8 @@
+(** The do-nothing protocol: send on invoke, deliver on receipt.
+
+    This is the tagless protocol whose reachable set is exactly [X_async]
+    (§3.4): it enables every pending event immediately. Any specification
+    with [X_async ⊆ X_B] — equivalently, any forbidden predicate whose
+    graph has a cycle of order 0 — is implemented by it. *)
+
+val factory : Protocol.factory

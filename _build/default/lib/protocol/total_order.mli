@@ -1,0 +1,19 @@
+(** Total-order (atomic) broadcast by a fixed sequencer — the multicast
+    extension of the paper's closing remark, as a {e general} protocol.
+
+    Each application broadcast obtains a global ticket from the sequencer
+    (process 0) with a [toreq]/[togrant] control exchange — two control
+    messages per broadcast, independent of the group size — and every
+    process delivers groups in ticket order, skipping tickets of its own
+    broadcasts (it receives no copy of those). Ticket order extends
+    causality (a request caused by a delivery is sequenced after that
+    delivery's grant), so the protocol guarantees causal broadcast {e and}
+    total order.
+
+    Total order itself is not a forbidden predicate over happened-before
+    (see {!Mo_order.Broadcast_props}); this protocol and the checkers in
+    that module extend the framework beyond the paper's specification
+    language while reusing its machinery. Use with broadcast workloads
+    only (like {!Causal_bss}). *)
+
+val factory : Protocol.factory

@@ -1,0 +1,42 @@
+let dedup (inner : Protocol.factory) =
+  let make ~nprocs ~me =
+    let i = inner.Protocol.make ~nprocs ~me in
+    let seen = Hashtbl.create 64 in
+    {
+      Protocol.on_invoke = i.Protocol.on_invoke;
+      on_packet =
+        (fun ~now ~from packet ->
+          match packet with
+          | Message.User u ->
+              if Hashtbl.mem seen u.Message.id then []
+              else begin
+                Hashtbl.replace seen u.Message.id ();
+                i.Protocol.on_packet ~now ~from packet
+              end
+          | Message.Control _ -> i.Protocol.on_packet ~now ~from packet);
+    }
+  in
+  { inner with Protocol.proto_name = inner.Protocol.proto_name ^ "+dedup"; make }
+
+let count_deliveries (inner : Protocol.factory) counters =
+  let make ~nprocs ~me =
+    if Array.length !counters <> nprocs then counters := Array.make nprocs 0;
+    let i = inner.Protocol.make ~nprocs ~me in
+    let observe actions =
+      List.iter
+        (fun (a : Protocol.action) ->
+          match a with
+          | Protocol.Deliver _ -> !counters.(me) <- !counters.(me) + 1
+          | Protocol.Send_user _ | Protocol.Send_control _ -> ())
+        actions;
+      actions
+    in
+    {
+      Protocol.on_invoke =
+        (fun ~now intent -> observe (i.Protocol.on_invoke ~now intent));
+      on_packet =
+        (fun ~now ~from packet ->
+          observe (i.Protocol.on_packet ~now ~from packet));
+    }
+  in
+  { inner with Protocol.make = make }

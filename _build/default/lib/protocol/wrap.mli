@@ -1,0 +1,12 @@
+(** Protocol combinators. *)
+
+val dedup : Protocol.factory -> Protocol.factory
+(** Filter duplicate user packets (same message id) before the inner
+    protocol sees them, making any protocol tolerant of network
+    duplication ({!Sim.faults}). Control packets pass through — the inner
+    protocol owns their semantics. Name becomes ["<inner>+dedup"]. *)
+
+val count_deliveries : Protocol.factory -> int array ref -> Protocol.factory
+(** Observe deliveries per process without changing behaviour; used by
+    tests and examples that need application-side visibility. The array is
+    (re)initialized at the first [make]. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: List Mo_protocol Random Sim

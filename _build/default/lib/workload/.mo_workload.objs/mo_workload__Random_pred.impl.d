@@ -1,0 +1,1 @@
+lib/workload/random_pred.ml: Forbidden List Mo_core Mo_order Random Term

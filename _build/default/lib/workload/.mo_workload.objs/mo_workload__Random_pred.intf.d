@@ -1,0 +1,1 @@
+lib/workload/random_pred.mli: Mo_core

@@ -1,0 +1,1 @@
+lib/workload/random_run.ml: Array Fun List Mo_order Option Random Run Vclock

@@ -1,0 +1,1 @@
+lib/workload/random_run.mli: Mo_order

@@ -1,0 +1,1 @@
+lib/workload/trace_io.ml: Array Buffer Event List Mo_order Printf Run String

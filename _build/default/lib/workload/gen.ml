@@ -1,0 +1,100 @@
+open Mo_protocol
+
+type t = { nprocs : int; ops : Sim.op list }
+
+let check_nprocs nprocs =
+  if nprocs < 2 then invalid_arg "Gen: need at least 2 processes"
+
+let uniform ~nprocs ~nmsgs ~seed =
+  check_nprocs nprocs;
+  let rng = Random.State.make [| seed |] in
+  let ops =
+    List.init nmsgs (fun i ->
+        let src = Random.State.int rng nprocs in
+        let dst =
+          (src + 1 + Random.State.int rng (nprocs - 1)) mod nprocs
+        in
+        Sim.op ~at:(i * 2) ~src ~dst ())
+  in
+  { nprocs; ops }
+
+let client_server ~nprocs ~nmsgs ~seed =
+  check_nprocs nprocs;
+  let rng = Random.State.make [| seed |] in
+  let ops =
+    List.init nmsgs (fun i ->
+        let client = 1 + Random.State.int rng (nprocs - 1) in
+        if i mod 2 = 0 then Sim.op ~at:(i * 2) ~src:client ~dst:0 ()
+        else Sim.op ~at:(i * 2) ~src:0 ~dst:client ())
+  in
+  { nprocs; ops }
+
+let ring ~nprocs ~rounds ~seed:_ =
+  check_nprocs nprocs;
+  let ops =
+    List.concat
+      (List.init rounds (fun round ->
+           List.init nprocs (fun p ->
+               Sim.op
+                 ~at:((round * nprocs) + p)
+                 ~src:p
+                 ~dst:((p + 1) mod nprocs)
+                 ())))
+  in
+  { nprocs; ops }
+
+let broadcast ~nprocs ~nbcasts ~seed =
+  check_nprocs nprocs;
+  let rng = Random.State.make [| seed |] in
+  let ops =
+    List.init nbcasts (fun i ->
+        Sim.bcast ~at:(i * 3) ~src:(Random.State.int rng nprocs) ())
+  in
+  { nprocs; ops }
+
+let bursty ~nprocs ~nmsgs ~seed =
+  check_nprocs nprocs;
+  let rng = Random.State.make [| seed |] in
+  let burst = 8 in
+  let ops =
+    List.init nmsgs (fun i ->
+        let at = (i / burst * 50) + (i mod burst) in
+        let src = Random.State.int rng nprocs in
+        let dst =
+          (src + 1 + Random.State.int rng (nprocs - 1)) mod nprocs
+        in
+        Sim.op ~at ~src ~dst ())
+  in
+  { nprocs; ops }
+
+let pairwise_flood ~nprocs ~per_pair ~seed:_ =
+  check_nprocs nprocs;
+  let ops = ref [] in
+  let at = ref 0 in
+  for round = 0 to per_pair - 1 do
+    ignore round;
+    for src = 0 to nprocs - 1 do
+      for dst = 0 to nprocs - 1 do
+        if src <> dst then begin
+          ops := Sim.op ~at:!at ~src ~dst () :: !ops;
+          incr at
+        end
+      done
+    done
+  done;
+  { nprocs; ops = List.rev !ops }
+
+let map_every ~every f t =
+  if every <= 0 then invalid_arg "Gen: every must be positive";
+  let ops =
+    List.mapi
+      (fun i (o : Sim.op) -> if (i + 1) mod every = 0 then f o else o)
+      t.ops
+  in
+  { t with ops }
+
+let with_colors ~every ~color t =
+  map_every ~every (fun (o : Sim.op) -> { o with Sim.color = Some color }) t
+
+let with_flush ~every ~kind t =
+  map_every ~every (fun (o : Sim.op) -> { o with Sim.flush = kind }) t

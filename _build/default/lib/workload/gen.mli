@@ -1,0 +1,38 @@
+(** Workload generators for the conformance harness and the benches.
+
+    All generators are deterministic in their [seed]. Times are spread so
+    that many messages are concurrently in flight (which is what stresses
+    an ordering protocol). *)
+
+type t = { nprocs : int; ops : Mo_protocol.Sim.op list }
+
+val uniform : nprocs:int -> nmsgs:int -> seed:int -> t
+(** Independent sends with uniformly random (distinct) endpoints. *)
+
+val client_server : nprocs:int -> nmsgs:int -> seed:int -> t
+(** Process 0 is the server: clients send requests to it, the server sends
+    replies back (alternating), modelling the paper's motivating RPC-style
+    traffic. *)
+
+val ring : nprocs:int -> rounds:int -> seed:int -> t
+(** Each process sends to its successor, [rounds] times around. *)
+
+val broadcast : nprocs:int -> nbcasts:int -> seed:int -> t
+(** Random processes issue broadcasts (for {!Mo_protocol.Causal_bss}). *)
+
+val bursty : nprocs:int -> nmsgs:int -> seed:int -> t
+(** Sends arrive in tight bursts separated by idle gaps — maximal
+    reordering pressure under the non-FIFO network. *)
+
+val pairwise_flood : nprocs:int -> per_pair:int -> seed:int -> t
+(** Every ordered pair of processes exchanges [per_pair] messages — the
+    FIFO/k-weaker stress shape. *)
+
+val with_colors :
+  every:int -> color:int -> t -> t
+(** Recolor every [every]-th message (1-based) with [color] — turns a plain
+    workload into a red-marker / flush workload. *)
+
+val with_flush :
+  every:int -> kind:Mo_protocol.Message.flush_kind -> t -> t
+(** Mark every [every]-th op with the given flush send type. *)

@@ -1,0 +1,48 @@
+open Mo_core
+
+let point rng =
+  if Random.State.bool rng then Mo_order.Event.S else Mo_order.Event.R
+
+let endpoint rng nvars =
+  { Term.var = Random.State.int rng nvars; point = point rng }
+
+let predicate ?(max_vars = 5) ?(max_conjuncts = 7) ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let nvars = 2 + Random.State.int rng (max 1 (max_vars - 1)) in
+  let ncon = 1 + Random.State.int rng max_conjuncts in
+  let conjuncts =
+    List.init ncon (fun _ ->
+        Term.(endpoint rng nvars @> endpoint rng nvars))
+  in
+  Forbidden.make ~nvars conjuncts
+
+let guarded_predicate ?(max_vars = 5) ?(max_conjuncts = 7) ~seed () =
+  let rng = Random.State.make [| seed; 17 |] in
+  let base = predicate ~max_vars ~max_conjuncts ~seed () in
+  let nvars = Forbidden.nvars base in
+  let nguards = 1 + Random.State.int rng 2 in
+  let guard _ =
+    let x = Random.State.int rng nvars
+    and y = Random.State.int rng nvars in
+    match Random.State.int rng 3 with
+    | 0 -> Term.Same_src (x, y)
+    | 1 -> Term.Same_dst (x, y)
+    | _ -> Term.Color_is (x, Random.State.int rng 3)
+  in
+  Forbidden.make ~nvars
+    ~guards:(List.init nguards guard)
+    (Forbidden.conjuncts base)
+
+let cyclic_predicate ~nvars ~seed =
+  if nvars < 2 then invalid_arg "Random_pred.cyclic_predicate: nvars >= 2";
+  let rng = Random.State.make [| seed; 23 |] in
+  let conjuncts =
+    List.init nvars (fun i ->
+        Term.(
+          { var = i; point = point rng }
+          @> { var = (i + 1) mod nvars; point = point rng }))
+  in
+  Forbidden.make ~nvars conjuncts
+
+let batch ?max_vars ?max_conjuncts ~seed n =
+  List.init n (fun i -> predicate ?max_vars ?max_conjuncts ~seed:(seed + i) ())

@@ -1,0 +1,19 @@
+(** Random forbidden-predicate generation, for property tests and the
+    classifier-scaling benches. Deterministic in [seed]. *)
+
+val predicate :
+  ?max_vars:int -> ?max_conjuncts:int -> seed:int -> unit -> Mo_core.Forbidden.t
+(** Uniform random endpoints over a random arity ≥ 2; no guards. *)
+
+val guarded_predicate :
+  ?max_vars:int -> ?max_conjuncts:int -> seed:int -> unit -> Mo_core.Forbidden.t
+(** As {!predicate}, plus a few random attribute guards. *)
+
+val cyclic_predicate : nvars:int -> seed:int -> Mo_core.Forbidden.t
+(** A predicate whose graph is one random cycle through all [nvars]
+    variables with random endpoint labels — always implementable, with a
+    random order; used to exercise every classifier branch. *)
+
+val batch :
+  ?max_vars:int -> ?max_conjuncts:int -> seed:int -> int ->
+  Mo_core.Forbidden.t list

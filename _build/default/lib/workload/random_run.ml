@@ -1,0 +1,115 @@
+open Mo_order
+
+let random_msgs ?(allow_self = false) ~nprocs ~nmsgs rng =
+  Array.init nmsgs (fun _ ->
+      let src = Random.State.int rng nprocs in
+      let dst =
+        if allow_self then Random.State.int rng nprocs
+        else (src + 1 + Random.State.int rng (nprocs - 1)) mod nprocs
+      in
+      (src, dst))
+
+let build ~nprocs ~msgs sched =
+  match Run.of_schedule ~nprocs ~msgs sched with
+  | Ok r -> r
+  | Error e -> invalid_arg ("Random_run: internal: " ^ e)
+
+let run ?allow_self ~nprocs ~nmsgs ~seed () =
+  if nprocs < 2 then invalid_arg "Random_run.run: need at least 2 processes";
+  let rng = Random.State.make [| seed; 101 |] in
+  let msgs = random_msgs ?allow_self ~nprocs ~nmsgs rng in
+  let unsent = ref (List.init nmsgs Fun.id) in
+  let pending = ref [] in
+  let sched = ref [] in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let remove x l = List.filter (fun y -> y <> x) l in
+  while !unsent <> [] || !pending <> [] do
+    let send_possible = !unsent <> [] and deliver_possible = !pending <> [] in
+    if
+      send_possible
+      && ((not deliver_possible) || Random.State.bool rng)
+    then begin
+      let m = pick !unsent in
+      unsent := remove m !unsent;
+      pending := m :: !pending;
+      sched := Run.Do_send m :: !sched
+    end
+    else begin
+      let m = pick !pending in
+      pending := remove m !pending;
+      sched := Run.Do_deliver m :: !sched
+    end
+  done;
+  build ~nprocs ~msgs (List.rev !sched)
+
+let causal_run ~nprocs ~nmsgs ~seed () =
+  if nprocs < 2 then
+    invalid_arg "Random_run.causal_run: need at least 2 processes";
+  let rng = Random.State.make [| seed; 103 |] in
+  let msgs = random_msgs ~nprocs ~nmsgs rng in
+  let clocks = Array.init nprocs (fun _ -> Vclock.create nprocs) in
+  let stamp = Array.make nmsgs None in
+  let unsent = ref (List.init nmsgs Fun.id) in
+  let pending = ref [] in
+  let sched = ref [] in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let remove x l = List.filter (fun y -> y <> x) l in
+  let deliverable m =
+    (* no still-pending message to the same destination was sent causally
+       before this one (unsent messages cannot precede; delivered ones are
+       already fine) *)
+    let dst = snd msgs.(m) in
+    let sm = Option.get stamp.(m) in
+    List.for_all
+      (fun m' ->
+        m' = m || snd msgs.(m') <> dst
+        ||
+        match stamp.(m') with
+        | Some sm' -> not (Vclock.lt sm' sm)
+        | None -> true)
+      !pending
+  in
+  while !unsent <> [] || !pending <> [] do
+    let dels = List.filter deliverable !pending in
+    let do_send = !unsent <> [] && (dels = [] || Random.State.bool rng) in
+    if do_send then begin
+      let m = pick !unsent in
+      let src = fst msgs.(m) in
+      unsent := remove m !unsent;
+      clocks.(src) <- Vclock.tick clocks.(src) src;
+      stamp.(m) <- Some clocks.(src);
+      pending := m :: !pending;
+      sched := Run.Do_send m :: !sched
+    end
+    else begin
+      let m = pick dels in
+      let dst = snd msgs.(m) in
+      pending := remove m !pending;
+      clocks.(dst) <-
+        Vclock.tick (Vclock.merge clocks.(dst) (Option.get stamp.(m))) dst;
+      sched := Run.Do_deliver m :: !sched
+    end
+  done;
+  build ~nprocs ~msgs (List.rev !sched)
+
+let serialized_run ~nprocs ~nmsgs ~seed () =
+  if nprocs < 2 then
+    invalid_arg "Random_run.serialized_run: need at least 2 processes";
+  let rng = Random.State.make [| seed; 107 |] in
+  let msgs = random_msgs ~nprocs ~nmsgs rng in
+  let order =
+    (* random permutation of message indices *)
+    let a = Array.init nmsgs Fun.id in
+    for i = nmsgs - 1 downto 1 do
+      let j = Random.State.int rng (i + 1) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t
+    done;
+    a
+  in
+  let sched =
+    Array.to_list order
+    |> List.concat_map (fun m -> [ Run.Do_send m; Run.Do_deliver m ])
+  in
+  build ~nprocs ~msgs sched

@@ -1,0 +1,25 @@
+(** Random concrete runs, generated directly as schedules (independent of
+    any protocol). Complements {!Mo_order.Enumerate}: enumeration is
+    exhaustive but tiny, this scales to hundreds of messages for property
+    tests and matcher benchmarks. Deterministic in [seed]. *)
+
+val run :
+  ?allow_self:bool ->
+  nprocs:int ->
+  nmsgs:int ->
+  seed:int ->
+  unit ->
+  Mo_order.Run.t
+(** A uniformly random valid schedule: message endpoints chosen at random,
+    deliveries interleaved anywhere after their sends. *)
+
+val causal_run :
+  nprocs:int -> nmsgs:int -> seed:int -> unit -> Mo_order.Run.t
+(** As {!run}, but deliveries are scheduled respecting causal order (each
+    delivery only once every message to the same destination whose send
+    happened-before has been delivered), so the result lies in [X_co]. *)
+
+val serialized_run :
+  nprocs:int -> nmsgs:int -> seed:int -> unit -> Mo_order.Run.t
+(** Each message fully delivered before the next send: the result lies in
+    [X_sync]. *)

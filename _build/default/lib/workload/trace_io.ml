@@ -1,0 +1,79 @@
+open Mo_order
+
+let to_string run =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.point with
+      | Event.S ->
+          Buffer.add_string buf
+            (Printf.sprintf "send %d %d %d\n" e.msg (Run.msg_src run e.msg)
+               (Run.msg_dst run e.msg))
+      | Event.R -> Buffer.add_string buf (Printf.sprintf "deliver %d\n" e.msg))
+    (Run.linearize run);
+  Buffer.contents buf
+
+let write path run =
+  let oc = open_out path in
+  output_string oc (to_string run);
+  close_out oc
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let entries = ref [] in
+  let err = ref None in
+  List.iteri
+    (fun lineno line ->
+      if !err = None then
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> ()
+        | [ "send"; m; src; dst ] -> (
+            match
+              (int_of_string_opt m, int_of_string_opt src, int_of_string_opt dst)
+            with
+            | Some m, Some src, Some dst -> entries := `Send (m, src, dst) :: !entries
+            | _ -> err := Some (Printf.sprintf "line %d: bad send" (lineno + 1)))
+        | [ "deliver"; m ] -> (
+            match int_of_string_opt m with
+            | Some m -> entries := `Deliver m :: !entries
+            | None -> err := Some (Printf.sprintf "line %d: bad deliver" (lineno + 1)))
+        | _ -> err := Some (Printf.sprintf "line %d: unrecognized entry" (lineno + 1)))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+      let entries = List.rev !entries in
+      let sends =
+        List.filter_map
+          (function `Send (m, s, d) -> Some (m, (s, d)) | `Deliver _ -> None)
+          entries
+      in
+      let nmsgs = List.fold_left (fun acc (m, _) -> max acc (m + 1)) 0 sends in
+      let msgs = Array.make nmsgs (0, 0) in
+      List.iter (fun (m, sd) -> msgs.(m) <- sd) sends;
+      let nprocs =
+        Array.fold_left (fun acc (s, d) -> max acc (max s d + 1)) 1 msgs
+      in
+      let sched =
+        List.map
+          (function
+            | `Send (m, _, _) -> Run.Do_send m
+            | `Deliver m -> Run.Do_deliver m)
+          entries
+      in
+      Run.of_schedule ~nprocs ~msgs sched
+
+let read path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse text

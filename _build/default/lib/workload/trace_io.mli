@@ -1,0 +1,24 @@
+(** Reading and writing run traces in the `mopc monitor` text format:
+
+    {v
+      send <msg> <src> <dst>
+      deliver <msg>
+    v}
+
+    one event per line, ['#'] comments. Writing a recorded run gives a
+    file the CLI monitor (and any external tool) can consume; parsing
+    gives back a {!Mo_order.Run.t}. The serialized order is a linear
+    extension of the run (per-process order and send-before-delivery are
+    preserved), so feeding it to the online monitor reproduces the run's
+    verdicts. *)
+
+val to_string : Mo_order.Run.t -> string
+
+val write : string -> Mo_order.Run.t -> unit
+(** [write path run]. *)
+
+val parse : string -> (Mo_order.Run.t, string) result
+(** Parse trace text (not a path). *)
+
+val read : string -> (Mo_order.Run.t, string) result
+(** [read path]. *)

@@ -1,0 +1,1 @@
+test/test_beta.ml: Alcotest Beta Catalog Cycles List Mo_core Pgraph Printf

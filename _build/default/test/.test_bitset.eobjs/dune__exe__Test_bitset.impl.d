@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Int List Mo_order QCheck QCheck_alcotest

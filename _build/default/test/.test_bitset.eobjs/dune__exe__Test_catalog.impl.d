@@ -1,0 +1,1 @@
+test/test_catalog.ml: Alcotest Catalog Classify Forbidden List Mo_core Mo_order Printf Spec Witness

@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Beta Catalog Classify Cycles Forbidden Format Int List Mo_core Mo_workload Pgraph QCheck QCheck_alcotest String Term Witness

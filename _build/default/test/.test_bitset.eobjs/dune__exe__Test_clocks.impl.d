@@ -1,0 +1,1 @@
+test/test_clocks.ml: Alcotest Array Enumerate Event Hashtbl List Mclock Mo_order QCheck QCheck_alcotest Run Vclock

@@ -1,0 +1,1 @@
+test/test_diagram.ml: Alcotest Diagram Event List Mo_order Run String Sys_run

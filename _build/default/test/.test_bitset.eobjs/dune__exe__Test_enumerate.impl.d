@@ -1,0 +1,1 @@
+test/test_enumerate.ml: Alcotest Enumerate Event Limits List Mo_order QCheck QCheck_alcotest Run String

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Catalog Enumerate Eval Event Forbidden Fun List Mo_core Mo_order Mo_workload QCheck QCheck_alcotest Run Term

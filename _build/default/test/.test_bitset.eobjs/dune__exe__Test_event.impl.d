@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Event Format Int List Mo_order

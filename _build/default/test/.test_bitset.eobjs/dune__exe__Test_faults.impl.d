@@ -1,0 +1,1 @@
+test/test_faults.ml: Alcotest Array Causal_rst Conformance Fun Gen List Mo_core Mo_protocol Mo_workload Sim Tagless Wrap

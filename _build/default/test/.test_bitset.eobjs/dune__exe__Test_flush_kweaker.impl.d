@@ -1,0 +1,1 @@
+test/test_flush_kweaker.ml: Alcotest Catalog Classify Conformance Flush Forbidden Fun Gen Kweaker List Message Mo_core Mo_order Mo_protocol Mo_workload Printf Sim Spec Term

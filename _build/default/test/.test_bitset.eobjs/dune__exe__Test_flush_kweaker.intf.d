@@ -1,0 +1,1 @@
+test/test_flush_kweaker.mli:

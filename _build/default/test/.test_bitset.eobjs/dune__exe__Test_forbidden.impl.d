@@ -1,0 +1,1 @@
+test/test_forbidden.ml: Alcotest Catalog Forbidden List Mo_core Term

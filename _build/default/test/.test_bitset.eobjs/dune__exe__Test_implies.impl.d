@@ -1,0 +1,1 @@
+test/test_implies.ml: Alcotest Catalog Eval Forbidden Implies List Mo_core Mo_order Mo_workload QCheck QCheck_alcotest Spec Term

@@ -1,0 +1,1 @@
+test/test_inhibit.ml: Alcotest Enumerate Event Format Inhibit Limits List Mo_core Mo_order Mo_protocol Run String Sys_run

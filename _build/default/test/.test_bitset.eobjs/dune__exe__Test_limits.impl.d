@@ -1,0 +1,1 @@
+test/test_limits.ml: Alcotest Array Enumerate Event Limits List Mo_order Printf QCheck QCheck_alcotest Run

@@ -1,0 +1,1 @@
+test/test_model_check.ml: Alcotest Catalog Classify Enumerate Eval Event Forbidden Lazy Limits List Mo_core Mo_order Run

@@ -1,0 +1,1 @@
+test/test_necessity.ml: Alcotest Catalog Classify Eval Limits List Mo_core Mo_order Mo_workload Necessity QCheck QCheck_alcotest Run String

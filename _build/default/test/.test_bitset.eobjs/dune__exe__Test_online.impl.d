@@ -1,0 +1,1 @@
+test/test_online.ml: Alcotest Array Enumerate Event Limits List Mo_core Mo_order Mo_workload Online QCheck QCheck_alcotest Random_run Result Run

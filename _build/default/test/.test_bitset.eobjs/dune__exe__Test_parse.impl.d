@@ -1,0 +1,1 @@
+test/test_parse.ml: Alcotest Catalog Forbidden List Mo_core Parse Term

@@ -1,0 +1,1 @@
+test/test_pgraph.ml: Alcotest Catalog Cycles Forbidden List Mo_core Mo_workload Pgraph Printf String Term

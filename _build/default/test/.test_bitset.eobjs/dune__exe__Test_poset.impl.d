@@ -1,0 +1,1 @@
+test/test_poset.ml: Alcotest Array Bitset Fun List Mo_order Poset Printf QCheck QCheck_alcotest String

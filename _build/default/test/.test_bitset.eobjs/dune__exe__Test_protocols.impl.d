@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Catalog Causal_bss Causal_rst Causal_ses Conformance Fifo Flush Fun Gen List Mo_core Mo_order Mo_protocol Mo_workload Printf Protocol Sim Spec Sync_token Tagless

@@ -1,0 +1,1 @@
+test/test_random_run.ml: Alcotest Event Fun Limits List Mo_core Mo_order Mo_workload QCheck QCheck_alcotest Random_run Run

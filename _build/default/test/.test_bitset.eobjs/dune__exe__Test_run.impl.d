@@ -1,0 +1,1 @@
+test/test_run.ml: Alcotest Enumerate Event List Mo_order QCheck QCheck_alcotest Run

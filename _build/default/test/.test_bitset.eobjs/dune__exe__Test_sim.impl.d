@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fifo Format List Message Mo_order Mo_protocol Protocol Sim String Tagless

@@ -1,0 +1,1 @@
+test/test_sync_priority.ml: Alcotest Catalog Conformance Fun Gen List Mo_core Mo_order Mo_protocol Mo_workload Printf Sim Spec Sync_priority Sync_token

@@ -1,0 +1,1 @@
+test/test_sync_token.ml: Alcotest Catalog Classify Eval Gen Hashtbl List Message Mo_core Mo_order Mo_protocol Mo_workload Printf Protocol Sim Sync_token

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array Catalog Classify Conformance Fifo Flush Forbidden Gen List Mo_core Mo_protocol Mo_workload Protocol Result Sim Spec Synth Term

@@ -1,0 +1,1 @@
+test/test_sys_run.ml: Alcotest Event List Mo_order Printf Run Sys_run

@@ -1,0 +1,1 @@
+test/test_total_order.ml: Alcotest Array Broadcast_props Causal_bss Event Fun Gen Hashtbl List Message Mo_order Mo_protocol Mo_workload Printf Protocol Run Sim Tagless Total_order

@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Fifo Filename Gen List Mo_order Mo_protocol Mo_workload Online QCheck QCheck_alcotest Random_run Result Run Sim Sys Trace_io

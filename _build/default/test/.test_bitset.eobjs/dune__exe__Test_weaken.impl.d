@@ -1,0 +1,1 @@
+test/test_weaken.ml: Alcotest Array Beta Catalog Classify Cycles Forbidden Format Implies List Mo_core Mo_order Mo_workload Pgraph Printf Term Weaken Witness

@@ -1,0 +1,1 @@
+test/test_witness.ml: Alcotest Catalog Classify Eval Event Forbidden List Mo_core Mo_order Mo_workload QCheck QCheck_alcotest Run Term Witness

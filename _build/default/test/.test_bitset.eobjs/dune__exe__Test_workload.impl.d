@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Gen List Message Mo_core Mo_protocol Mo_workload Random_pred Sim

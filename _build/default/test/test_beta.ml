@@ -1,0 +1,88 @@
+open Mo_core
+
+let check_int = Alcotest.(check int)
+
+let only_cycle pred =
+  match Cycles.enumerate (Pgraph.of_predicate pred) with
+  | [ c ] -> c
+  | cs -> Alcotest.fail (Printf.sprintf "expected 1 cycle, got %d" (List.length cs))
+
+let test_causal_forms_order_1 () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      check_int (e.name ^ " order") 1 (Beta.order (only_cycle e.pred)))
+    [ Catalog.causal_b1; Catalog.causal_b2; Catalog.causal_b3 ]
+
+let test_async_forms_order_0 () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      check_int (e.name ^ " order") 0 (Beta.order (only_cycle e.pred)))
+    Catalog.async_forms
+
+let test_crown_all_beta () =
+  List.iter
+    (fun k ->
+      let c = only_cycle (Catalog.sync_crown k).Catalog.pred in
+      check_int
+        (Printf.sprintf "crown %d order" k)
+        k (Beta.order c);
+      Alcotest.(check (list int))
+        "all vertices beta"
+        (List.sort compare (Cycles.vertices c))
+        (List.sort compare (Beta.beta_vertices c)))
+    [ 2; 3; 4; 5 ]
+
+let test_example_2_3 () =
+  (* the paper's Examples 2-3: in the 4-cycle, only x4 (our x3) is a beta
+     vertex *)
+  let g = Pgraph.of_predicate Catalog.example_1.Catalog.pred in
+  let cycles = Cycles.enumerate g in
+  let four_cycle =
+    match List.find_opt (fun c -> List.length c = 4) cycles with
+    | Some c -> c
+    | None -> Alcotest.fail "4-cycle not found"
+  in
+  Alcotest.(check (list int))
+    "only x3 is beta" [ 3 ]
+    (Beta.beta_vertices four_cycle);
+  check_int "order 1" 1 (Beta.order four_cycle)
+
+let test_k_weaker_order_1 () =
+  List.iter
+    (fun k ->
+      let c = only_cycle (Catalog.k_weaker_causal k).Catalog.pred in
+      check_int (Printf.sprintf "k-weaker %d order" k) 1 (Beta.order c);
+      Alcotest.(check (list int)) "beta vertex is x0" [ 0 ]
+        (Beta.beta_vertices c))
+    [ 0; 1; 2; 5 ]
+
+let test_is_beta_junction_check () =
+  let g = Pgraph.of_predicate Catalog.causal_b2.Catalog.pred in
+  match Pgraph.edges g with
+  | [ e1; e2 ] ->
+      (* e1: x0.s -> x1.s, e2: x1.r -> x0.r. Vertex x0: incoming e2 (ends
+         at r), outgoing e1 (starts at s): beta. *)
+      Alcotest.(check bool) "x0 beta" true (Beta.is_beta ~incoming:e2 ~outgoing:e1);
+      Alcotest.(check bool) "x1 not beta" false
+        (Beta.is_beta ~incoming:e1 ~outgoing:e2);
+      Alcotest.check_raises "junction mismatch"
+        (Invalid_argument "Beta.is_beta: edges do not share a junction vertex")
+        (fun () -> ignore (Beta.is_beta ~incoming:e1 ~outgoing:e1))
+  | _ -> Alcotest.fail "two edges expected"
+
+let () =
+  Alcotest.run "beta"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "causal forms order 1" `Quick
+            test_causal_forms_order_1;
+          Alcotest.test_case "async forms order 0" `Quick
+            test_async_forms_order_0;
+          Alcotest.test_case "crowns all beta" `Quick test_crown_all_beta;
+          Alcotest.test_case "examples 2-3" `Quick test_example_2_3;
+          Alcotest.test_case "k-weaker order 1" `Quick test_k_weaker_order_1;
+          Alcotest.test_case "is_beta junction" `Quick
+            test_is_beta_junction_check;
+        ] );
+    ]

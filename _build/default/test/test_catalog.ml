@@ -1,0 +1,91 @@
+open Mo_core
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_names_unique () =
+  let names = List.map (fun (e : Catalog.entry) -> e.name) Catalog.all in
+  check_int "no duplicates" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_find () =
+  check_bool "fifo found" true (Catalog.find "fifo" <> None);
+  check_bool "missing" true (Catalog.find "no-such-entry" = None);
+  match Catalog.find "sync-crown-3" with
+  | Some e -> check_int "arity" 3 (Forbidden.nvars e.Catalog.pred)
+  | None -> Alcotest.fail "crown-3 missing"
+
+let test_constructors_validate () =
+  Alcotest.check_raises "crown k=1"
+    (Invalid_argument "Catalog.sync_crown: k must be >= 2") (fun () ->
+      ignore (Catalog.sync_crown 1));
+  Alcotest.check_raises "k-weaker negative"
+    (Invalid_argument "Catalog.k_weaker_causal: k must be >= 0") (fun () ->
+      ignore (Catalog.k_weaker_causal (-1)))
+
+let test_descriptions_and_sources () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      check_bool (e.name ^ " has description") true (e.description <> "");
+      check_bool (e.name ^ " has source") true (e.source <> ""))
+    Catalog.all
+
+let test_entry_count () =
+  (* the catalog covers all named specifications of the paper: 4 causal
+     forms (incl. fifo), 6 async forms, 4 crowns, 3 k-weaker, 4 flush/
+     marker, handoff, second-before-first, example-1 *)
+  check_bool "at least 24 entries" true (List.length Catalog.all >= 24)
+
+let test_two_way_flush_spec () =
+  check_int "two members" 2
+    (List.length Catalog.two_way_flush.Spec.predicates);
+  check_bool "minimal already" true
+    (List.length (Spec.minimize Catalog.two_way_flush).Spec.predicates = 2)
+
+let test_guarded_entries_marked () =
+  (* every guarded entry must have necessity_exact = false, and no
+     unguarded one *)
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let r = Classify.classify e.pred in
+      check_bool
+        (e.name ^ " necessity flag consistent")
+        (not (Forbidden.is_guarded e.pred))
+        r.Classify.necessity_exact)
+    Catalog.all
+
+let test_crown_family_contains_sync_spec () =
+  (* crowns are pairwise incomparable but all weaker than... each crown's
+     spec contains X_sync: the sync witness run satisfies each *)
+  List.iter
+    (fun k ->
+      let e = Catalog.sync_crown k in
+      match Witness.build e.Catalog.pred with
+      | Witness.Witness w ->
+          check_bool
+            (Printf.sprintf "crown-%d witness is causal, not sync" k)
+            true
+            (Mo_order.Limits.is_causal w.Witness.run
+            && not (Mo_order.Limits.is_sync w.Witness.run))
+      | _ -> Alcotest.fail "crown witness should exist")
+    [ 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "names unique" `Quick test_names_unique;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "constructor validation" `Quick
+            test_constructors_validate;
+          Alcotest.test_case "descriptions" `Quick
+            test_descriptions_and_sources;
+          Alcotest.test_case "entry count" `Quick test_entry_count;
+          Alcotest.test_case "two-way flush spec" `Quick
+            test_two_way_flush_spec;
+          Alcotest.test_case "guard flags" `Quick test_guarded_entries_marked;
+          Alcotest.test_case "crown witnesses" `Quick
+            test_crown_family_contains_sync_spec;
+        ] );
+    ]

@@ -1,0 +1,134 @@
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_vclock_basics () =
+  let v = Vclock.create 3 in
+  check_int "size" 3 (Vclock.size v);
+  check_int "zero" 0 (Vclock.get v 1);
+  let v1 = Vclock.tick v 1 in
+  check_int "ticked" 1 (Vclock.get v1 1);
+  check_int "persistent" 0 (Vclock.get v 1);
+  check_bool "leq" true (Vclock.leq v v1);
+  check_bool "lt" true (Vclock.lt v v1);
+  check_bool "not lt self" false (Vclock.lt v1 v1)
+
+let test_vclock_concurrent () =
+  let v = Vclock.create 2 in
+  let a = Vclock.tick v 0 and b = Vclock.tick v 1 in
+  check_bool "concurrent" true (Vclock.concurrent a b);
+  let m = Vclock.merge a b in
+  check_bool "merge above a" true (Vclock.leq a m);
+  check_bool "merge above b" true (Vclock.leq b m);
+  check_int "merge value" 1 (Vclock.get m 0)
+
+let test_vclock_arrays () =
+  let v = Vclock.of_array [| 3; 1; 4 |] in
+  check_int "get" 4 (Vclock.get v 2);
+  Alcotest.(check (array int)) "roundtrip" [| 3; 1; 4 |] (Vclock.to_array v)
+
+(* vector clocks characterize happened-before on generated runs: simulate
+   the standard algorithm over an enumerated run and compare lt with the
+   run's order on send events *)
+let vclock_characterizes_causality run =
+  let n = Run.nprocs run in
+  let clocks = Array.init n (fun _ -> Vclock.create n) in
+  let stamp = Hashtbl.create 16 in
+  (* replay in a linear extension: walk events of the run poset *)
+  let events =
+    List.concat (List.init n (fun p -> Run.sequence run p))
+  in
+  let unstamped e = not (Hashtbl.mem stamp (Event.encode e)) in
+  let rec step remaining =
+    match List.filter unstamped remaining with
+    | [] -> ()
+    | rem ->
+        let ready =
+          List.filter
+            (fun e ->
+              List.for_all
+                (fun e' -> (not (Run.lt run e' e)) || not (unstamped e'))
+                events)
+            rem
+        in
+        assert (ready <> []);
+        List.iter
+          (fun (e : Event.t) ->
+            let p =
+              match e.point with
+              | Event.S -> Run.msg_src run e.msg
+              | Event.R -> Run.msg_dst run e.msg
+            in
+            let base =
+              match e.point with
+              | Event.S -> clocks.(p)
+              | Event.R ->
+                  Vclock.merge clocks.(p)
+                    (Hashtbl.find stamp (Event.encode (Event.send e.msg)))
+            in
+            let c = Vclock.tick base p in
+            clocks.(p) <- c;
+            Hashtbl.replace stamp (Event.encode e) c)
+          ready;
+        step (List.filter unstamped rem)
+  in
+  step events;
+  List.for_all
+    (fun h ->
+      List.for_all
+        (fun g ->
+          let vh = Hashtbl.find stamp (Event.encode h)
+          and vg = Hashtbl.find stamp (Event.encode g) in
+          if Event.equal h g then true else Run.lt run h g = Vclock.lt vh vg)
+        events)
+    events
+
+let prop_vclock_causality =
+  QCheck.Test.make ~name:"vector clocks characterize happened-before"
+    ~count:80
+    (QCheck.make (QCheck.Gen.oneofl (Enumerate.all_runs ~nprocs:3 ~nmsgs:2 ())))
+    vclock_characterizes_causality
+
+let test_mclock_basics () =
+  let m = Mclock.create 3 in
+  check_int "zero" 0 (Mclock.get m 0 1);
+  let m1 = Mclock.record_send m ~src:0 ~dst:1 in
+  check_int "recorded" 1 (Mclock.get m1 0 1);
+  check_int "persistent" 0 (Mclock.get m 0 1);
+  check_bool "leq" true (Mclock.leq m m1);
+  check_bool "not leq" false (Mclock.leq m1 m)
+
+let test_mclock_merge () =
+  let a = Mclock.record_send (Mclock.create 2) ~src:0 ~dst:1 in
+  let b = Mclock.record_send (Mclock.create 2) ~src:1 ~dst:0 in
+  let m = Mclock.merge a b in
+  check_int "a part" 1 (Mclock.get m 0 1);
+  check_int "b part" 1 (Mclock.get m 1 0);
+  check_bool "upper bound" true (Mclock.leq a m && Mclock.leq b m);
+  Alcotest.(check (array int)) "row" [| 0; 1 |] (Mclock.row m 0)
+
+let test_mclock_equal () =
+  let a = Mclock.record_send (Mclock.create 2) ~src:0 ~dst:1 in
+  let b = Mclock.record_send (Mclock.create 2) ~src:0 ~dst:1 in
+  check_bool "equal" true (Mclock.equal a b);
+  check_bool "not equal" false (Mclock.equal a (Mclock.create 2))
+
+let () =
+  Alcotest.run "clocks"
+    [
+      ( "vclock",
+        [
+          Alcotest.test_case "basics" `Quick test_vclock_basics;
+          Alcotest.test_case "concurrent/merge" `Quick test_vclock_concurrent;
+          Alcotest.test_case "arrays" `Quick test_vclock_arrays;
+        ] );
+      ( "mclock",
+        [
+          Alcotest.test_case "basics" `Quick test_mclock_basics;
+          Alcotest.test_case "merge" `Quick test_mclock_merge;
+          Alcotest.test_case "equal" `Quick test_mclock_equal;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_vclock_causality ] );
+    ]

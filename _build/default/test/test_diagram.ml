@@ -1,0 +1,79 @@
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let fifo_run () =
+  match
+    Run.of_schedule ~nprocs:2
+      ~msgs:[| (0, 1); (0, 1) |]
+      [ Run.Do_send 0; Run.Do_send 1; Run.Do_deliver 0; Run.Do_deliver 1 ]
+  with
+  | Ok r -> r
+  | Error e -> Alcotest.fail e
+
+let test_render_run () =
+  let out = Diagram.render_run (fifo_run ()) in
+  List.iter
+    (fun token ->
+      check_bool (token ^ " present") true (contains out token))
+    [ "P0"; "P1"; "s0"; "s1"; "r0"; "r1"; "x0: P0 -> P1" ]
+
+let test_render_sys_run () =
+  let module E = Event.Sys in
+  let h =
+    match
+      Sys_run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1) |]
+        [|
+          [ { E.msg = 0; kind = E.Invoke }; { E.msg = 0; kind = E.Send } ];
+          [ { E.msg = 0; kind = E.Receive }; { E.msg = 0; kind = E.Deliver } ];
+        |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  let out = Diagram.render_sys_run h in
+  List.iter
+    (fun token -> check_bool (token ^ " present") true (contains out token))
+    [ "s0*"; "s0"; "r0*"; "r0" ]
+
+let test_render_abstract () =
+  let a =
+    Run.Abstract.create_exn ~nmsgs:2 [ (Event.send 0, Event.send 1) ]
+  in
+  let out = Diagram.render_abstract a in
+  check_bool "header" true (contains out "2 messages");
+  check_bool "edge" true (contains out "x0.s -> x1.s")
+
+let test_columns_respect_order () =
+  (* the column of s0 must be left of the column of r0: token order in the
+     P-row lines reflects the linearization *)
+  let out = Diagram.render_run (fifo_run ()) in
+  let lines = String.split_on_char '\n' out in
+  let p1 = List.find (fun l -> contains l "P1") lines in
+  let idx tok =
+    let rec go i =
+      if i + String.length tok > String.length p1 then -1
+      else if String.sub p1 i (String.length tok) = tok then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  check_bool "r0 left of r1" true (idx "r0" < idx "r1" && idx "r0" >= 0)
+
+let () =
+  Alcotest.run "diagram"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "render run" `Quick test_render_run;
+          Alcotest.test_case "render sys run" `Quick test_render_sys_run;
+          Alcotest.test_case "render abstract" `Quick test_render_abstract;
+          Alcotest.test_case "columns" `Quick test_columns_respect_order;
+        ] );
+    ]

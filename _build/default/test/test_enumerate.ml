@@ -1,0 +1,105 @@
+open Mo_order
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_permutations () =
+  check_int "3!" 6 (List.length (Enumerate.permutations [ 1; 2; 3 ]));
+  check_int "0!" 1 (List.length (Enumerate.permutations []));
+  let perms = Enumerate.permutations [ 1; 2 ] in
+  check_bool "distinct" true
+    (List.mem [ 1; 2 ] perms && List.mem [ 2; 1 ] perms)
+
+let test_single_message () =
+  (* one message 0->1: exactly one run *)
+  check_int "one run" 1 (Enumerate.count_runs ~nprocs:2 ~msgs:[| (0, 1) |])
+
+let test_same_channel () =
+  (* two messages 0->1: sender picks an order (2), receiver picks an order
+     (2) -> 4 runs, all valid *)
+  check_int "2 msgs same channel" 4
+    (Enumerate.count_runs ~nprocs:2 ~msgs:[| (0, 1); (0, 1) |])
+
+let test_crossing () =
+  (* x0: 0->1, x1: 1->0. P0 orders {s0, r1}: 2 ways; P1 orders {s1, r0}: 2
+     ways. The combination (r1 before s0, r0 before s1) is cyclic -> 3 *)
+  check_int "crossing" 3
+    (Enumerate.count_runs ~nprocs:2 ~msgs:[| (0, 1); (1, 0) |])
+
+let test_configs () =
+  (* 2 procs, no self messages: each message has 2 choices *)
+  check_int "configs 2x2" 4
+    (List.length (Enumerate.configs ~nprocs:2 ~nmsgs:2 ()));
+  check_int "configs with self" 16
+    (List.length (Enumerate.configs ~allow_self:true ~nprocs:2 ~nmsgs:2 ()));
+  check_int "configs 3 procs 1 msg" 6
+    (List.length (Enumerate.configs ~nprocs:3 ~nmsgs:1 ()))
+
+let test_all_runs_valid () =
+  let runs = Enumerate.all_runs ~nprocs:2 ~nmsgs:2 () in
+  check_bool "nonempty" true (runs <> []);
+  List.iter
+    (fun r ->
+      (* every run is complete and well-ordered: s < r for each message *)
+      for m = 0 to Run.nmsgs r - 1 do
+        check_bool "s<r" true (Run.lt r (Event.send m) (Event.deliver m))
+      done)
+    runs
+
+let test_exhaustiveness_spot () =
+  (* the crossing crown must appear among enumerated runs *)
+  let runs = Enumerate.runs ~nprocs:2 ~msgs:[| (0, 1); (1, 0) |] in
+  let has_crown =
+    List.exists
+      (fun r ->
+        let a = Run.to_abstract r in
+        not (Limits.is_sync a))
+      runs
+  in
+  check_bool "crown found" true has_crown;
+  let has_sync =
+    List.exists (fun r -> Limits.is_sync (Run.to_abstract r)) runs
+  in
+  check_bool "sync run found" true has_sync
+
+let test_causal_violation_needs_enough_msgs () =
+  (* with 2 messages on one channel, a causal violation is enumerable *)
+  let runs = Enumerate.runs ~nprocs:2 ~msgs:[| (0, 1); (0, 1) |] in
+  check_bool "violation found" true
+    (List.exists (fun r -> not (Limits.is_causal (Run.to_abstract r))) runs)
+
+let prop_runs_distinct =
+  QCheck.Test.make ~name:"enumerated runs are pairwise distinct" ~count:10
+    QCheck.unit
+    (fun () ->
+      let runs = Enumerate.runs ~nprocs:2 ~msgs:[| (0, 1); (0, 1); (1, 0) |] in
+      let keys =
+        List.map
+          (fun r ->
+            String.concat "|"
+              (List.init (Run.nprocs r) (fun p ->
+                   String.concat ","
+                     (List.map
+                        (fun e -> string_of_int (Event.encode e))
+                        (Run.sequence r p)))))
+          runs
+      in
+      List.length keys = List.length (List.sort_uniq compare keys))
+
+let () =
+  Alcotest.run "enumerate"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "permutations" `Quick test_permutations;
+          Alcotest.test_case "single message" `Quick test_single_message;
+          Alcotest.test_case "same channel" `Quick test_same_channel;
+          Alcotest.test_case "crossing" `Quick test_crossing;
+          Alcotest.test_case "configs" `Quick test_configs;
+          Alcotest.test_case "all runs valid" `Quick test_all_runs_valid;
+          Alcotest.test_case "exhaustiveness" `Quick test_exhaustiveness_spot;
+          Alcotest.test_case "causal violation enumerable" `Quick
+            test_causal_violation_needs_enough_msgs;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_runs_distinct ]);
+    ]

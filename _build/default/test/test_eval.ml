@@ -1,0 +1,255 @@
+open Mo_core
+open Mo_order
+open Term
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* P0 sends x0 then x1 to P1; P1 delivers them out of order *)
+let overtaking_run () =
+  match
+    Run.of_sequences ~nprocs:2
+      ~msgs:[| (0, 1); (0, 1) |]
+      [|
+        [ Event.send 0; Event.send 1 ];
+        [ Event.deliver 1; Event.deliver 0 ];
+      |]
+  with
+  | Ok r -> Run.to_abstract r
+  | Error e -> Alcotest.fail e
+
+let in_order_run () =
+  match
+    Run.of_schedule ~nprocs:2
+      ~msgs:[| (0, 1); (0, 1) |]
+      [ Run.Do_send 0; Run.Do_send 1; Run.Do_deliver 0; Run.Do_deliver 1 ]
+  with
+  | Ok r -> Run.to_abstract r
+  | Error e -> Alcotest.fail e
+
+let test_match_found () =
+  let b = Catalog.causal_b2.Catalog.pred in
+  (match Eval.find_match b (overtaking_run ()) with
+  | Some a -> Alcotest.(check (array int)) "assignment" [| 0; 1 |] a
+  | None -> Alcotest.fail "violation not found");
+  check_bool "holds" true (Eval.holds b (overtaking_run ()));
+  check_bool "does not satisfy" false (Eval.satisfies b (overtaking_run ()))
+
+let test_no_match () =
+  let b = Catalog.causal_b2.Catalog.pred in
+  check_bool "in-order run satisfies causal" true
+    (Eval.satisfies b (in_order_run ()))
+
+let test_guards_respected () =
+  (* fifo predicate needs same src and dst: a crossing pattern between
+     different channels must not match *)
+  let r =
+    match
+      Run.of_sequences ~nprocs:3
+        ~msgs:[| (0, 1); (2, 1) |]
+        [|
+          [ Event.send 0 ];
+          [ Event.deliver 1; Event.deliver 0 ];
+          [ Event.send 1 ];
+        |]
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  (* without s0 < s1 there is no causal relation anyway; build the real
+     check on the overtaking run instead: same channel matches fifo *)
+  check_bool "different channels: no fifo match" true
+    (Eval.satisfies Catalog.fifo.Catalog.pred r);
+  check_bool "same channel: fifo match" false
+    (Eval.satisfies Catalog.fifo.Catalog.pred (overtaking_run ()))
+
+let test_color_guard () =
+  let runs color =
+    match
+      Run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (0, 1) |]
+        ~colors:[| None; color |]
+        [|
+          [ Event.send 0; Event.send 1 ];
+          [ Event.deliver 1; Event.deliver 0 ];
+        |]
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  let b = Catalog.global_forward_flush.Catalog.pred in
+  check_bool "red marker overtaken: violation" false
+    (Eval.satisfies b (runs (Some 1)));
+  check_bool "uncolored overtaking: fine" true (Eval.satisfies b (runs None));
+  check_bool "other color: fine" true (Eval.satisfies b (runs (Some 3)))
+
+let test_distinctness () =
+  (* the crown must not match by mapping both variables to one message *)
+  let single =
+    Run.Abstract.create_exn ~nmsgs:1 []
+  in
+  let crown = (Catalog.sync_crown 2).Catalog.pred in
+  check_bool "injective: no match on 1 message" true
+    (Eval.satisfies crown single);
+  check_bool "non-injective: tautology match" false
+    (Eval.satisfies ~distinct:false crown single)
+
+let test_find_matches_limit () =
+  (* in-order chain of 4 messages: causal-b2 has no match; async pattern
+     s0<s1 matches many pairs *)
+  let chain =
+    match
+      Run.of_schedule ~nprocs:2
+        ~msgs:(Array.make 4 (0, 1))
+        (List.concat
+           (List.init 4 (fun i -> [ Run.Do_send i; Run.Do_deliver i ])))
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  let pairs_pred = Forbidden.make ~nvars:2 [ s 0 @> s 1 ] in
+  (* ordered pairs (i, j) with i sent before j: 6 of them *)
+  check_int "all matches" 6 (List.length (Eval.find_matches pairs_pred chain));
+  check_int "limited" 2
+    (List.length (Eval.find_matches ~limit:2 pairs_pred chain))
+
+let test_empty_predicate_matches () =
+  check_bool "B = true holds everywhere" true
+    (Eval.holds (Forbidden.make ~nvars:0 []) (in_order_run ()))
+
+let test_three_var_chain () =
+  (* k-weaker-1 pattern: chain of 3 sends with the last delivery
+     overtaking the first *)
+  let kw1 = (Catalog.k_weaker_causal 1).Catalog.pred in
+  (* P0 sends x0 x1 x2; P1 delivers x2 first: chain match *)
+  let bad =
+    match
+      Run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (0, 1); (0, 1) |]
+        [|
+          [ Event.send 0; Event.send 1; Event.send 2 ];
+          [ Event.deliver 2; Event.deliver 0; Event.deliver 1 ];
+        |]
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  (match Eval.find_match kw1 bad with
+  | Some a -> Alcotest.(check (array int)) "chain" [| 0; 1; 2 |] a
+  | None -> Alcotest.fail "chain not found");
+  (* overtaking by exactly one predecessor does not match the k=1 chain *)
+  let ok_run =
+    match
+      Run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (0, 1); (0, 1) |]
+        [|
+          [ Event.send 0; Event.send 1; Event.send 2 ];
+          [ Event.deliver 1; Event.deliver 0; Event.deliver 2 ];
+        |]
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "distance-1 overtake allowed" true (Eval.satisfies kw1 ok_run)
+
+let test_multi_guard_conjunction () =
+  (* all guards must hold simultaneously: same channel AND color *)
+  let p =
+    Forbidden.make ~nvars:2
+      ~guards:[ Same_src (0, 1); Same_dst (0, 1); Color_is (1, 3) ]
+      [ s 0 @> s 1; r 1 @> r 0 ]
+  in
+  let mk colors msgs =
+    match
+      Run.of_sequences ~nprocs:3 ~msgs ~colors
+        [|
+          [ Event.send 0; Event.send 1 ];
+          [ Event.deliver 1; Event.deliver 0 ];
+          [];
+        |]
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  (* same channel + right color: match *)
+  check_bool "full match" false
+    (Eval.satisfies p (mk [| None; Some 3 |] [| (0, 1); (0, 1) |]));
+  (* wrong color: no match *)
+  check_bool "wrong color" true
+    (Eval.satisfies p (mk [| None; Some 4 |] [| (0, 1); (0, 1) |]));
+  (* right color, different destination: no match *)
+  let cross =
+    match
+      Run.of_sequences ~nprocs:3
+        ~msgs:[| (0, 1); (0, 2) |]
+        ~colors:[| None; Some 3 |]
+        [|
+          [ Event.send 0; Event.send 1 ];
+          [ Event.deliver 0 ];
+          [ Event.deliver 1 ];
+        |]
+    with
+    | Ok r -> Run.to_abstract r
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "different dst" true (Eval.satisfies p cross)
+
+let test_check_assignment () =
+  let b = Catalog.causal_b2.Catalog.pred in
+  let r = overtaking_run () in
+  check_bool "valid" true (Eval.check_assignment b r [| 0; 1 |]);
+  check_bool "invalid" false (Eval.check_assignment b r [| 1; 0 |]);
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Eval.check_assignment: arity mismatch") (fun () ->
+      ignore (Eval.check_assignment b r [| 0 |]))
+
+(* consistency: satisfies b r ⟺ the enumerated matcher finds nothing *)
+let prop_eval_agrees_with_bruteforce =
+  QCheck.Test.make ~name:"matcher agrees with brute force" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         pair (int_bound 1_000)
+           (oneofl (Enumerate.abstract_runs ~nprocs:2 ~nmsgs:2 ()))))
+    (fun (seed, run) ->
+      let p = Mo_workload.Random_pred.predicate ~max_vars:2 ~seed () in
+      let m = Forbidden.nvars p in
+      let n = Run.Abstract.nmsgs run in
+      (* brute force all injective assignments *)
+      let rec assignments v acc =
+        if v = m then [ List.rev acc ]
+        else
+          List.concat_map
+            (fun msg ->
+              if List.mem msg acc then [] else assignments (v + 1) (msg :: acc))
+            (List.init n Fun.id)
+      in
+      let brute =
+        List.exists
+          (fun a -> Eval.check_assignment p run (Array.of_list a))
+          (assignments 0 [])
+      in
+      Eval.holds p run = brute)
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "match found" `Quick test_match_found;
+          Alcotest.test_case "no match" `Quick test_no_match;
+          Alcotest.test_case "guards respected" `Quick test_guards_respected;
+          Alcotest.test_case "color guard" `Quick test_color_guard;
+          Alcotest.test_case "distinctness" `Quick test_distinctness;
+          Alcotest.test_case "find_matches limit" `Quick
+            test_find_matches_limit;
+          Alcotest.test_case "empty predicate" `Quick
+            test_empty_predicate_matches;
+          Alcotest.test_case "three-var chain" `Quick test_three_var_chain;
+          Alcotest.test_case "multi-guard conjunction" `Quick
+            test_multi_guard_conjunction;
+          Alcotest.test_case "check_assignment" `Quick test_check_assignment;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_eval_agrees_with_bruteforce ] );
+    ]

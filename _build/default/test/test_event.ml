@@ -1,0 +1,95 @@
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_encode_decode () =
+  for i = 0 to 19 do
+    let e = Event.decode i in
+    check_int "user roundtrip" i (Event.encode e)
+  done;
+  for i = 0 to 39 do
+    let e = Event.Sys.decode i in
+    check_int "sys roundtrip" i (Event.Sys.encode e)
+  done
+
+let test_constructors () =
+  check_int "send encode" 6 (Event.encode (Event.send 3));
+  check_int "deliver encode" 7 (Event.encode (Event.deliver 3));
+  check_bool "equal" true (Event.equal (Event.send 2) (Event.send 2));
+  check_bool "not equal point" false
+    (Event.equal (Event.send 2) (Event.deliver 2));
+  check_bool "not equal msg" false (Event.equal (Event.send 2) (Event.send 3))
+
+let test_compare () =
+  check_bool "s before r" true
+    (Event.compare (Event.send 1) (Event.deliver 1) < 0);
+  check_bool "msg order" true
+    (Event.compare (Event.deliver 0) (Event.send 1) < 0);
+  check_int "eq" 0 (Event.compare (Event.send 5) (Event.send 5))
+
+let test_pp () =
+  check_str "send" "x3.s" (Format.asprintf "%a" Event.pp (Event.send 3));
+  check_str "deliver" "x0.r" (Format.asprintf "%a" Event.pp (Event.deliver 0))
+
+let test_sys_projection () =
+  let open Event.Sys in
+  check_bool "invoke hidden" false (is_user_visible { msg = 0; kind = Invoke });
+  check_bool "receive hidden" false
+    (is_user_visible { msg = 0; kind = Receive });
+  check_bool "send visible" true (is_user_visible { msg = 0; kind = Send });
+  check_bool "deliver visible" true
+    (is_user_visible { msg = 0; kind = Deliver });
+  (match to_user { msg = 4; kind = Send } with
+  | Some (4, p) -> check_bool "send point" true (Event.point_equal p Event.S)
+  | _ -> Alcotest.fail "to_user send");
+  check_bool "to_user invoke" true (to_user { msg = 4; kind = Invoke } = None)
+
+let test_sys_controllable () =
+  let open Event.Sys in
+  check_bool "send controllable" true
+    (is_controllable { msg = 1; kind = Send });
+  check_bool "deliver controllable" true
+    (is_controllable { msg = 1; kind = Deliver });
+  check_bool "invoke uncontrollable" false
+    (is_controllable { msg = 1; kind = Invoke });
+  check_bool "receive uncontrollable" false
+    (is_controllable { msg = 1; kind = Receive })
+
+let test_sys_pp () =
+  let open Event.Sys in
+  check_str "invoke" "x2.s*"
+    (Format.asprintf "%a" pp { msg = 2; kind = Invoke });
+  check_str "send" "x2.s" (Format.asprintf "%a" pp { msg = 2; kind = Send });
+  check_str "receive" "x2.r*"
+    (Format.asprintf "%a" pp { msg = 2; kind = Receive });
+  check_str "deliver" "x2.r"
+    (Format.asprintf "%a" pp { msg = 2; kind = Deliver })
+
+let test_sys_order_within_message () =
+  (* the encoding orders a message's four events invoke < send < receive <
+     deliver, which several modules rely on *)
+  let open Event.Sys in
+  let encs =
+    List.map
+      (fun kind -> encode { msg = 1; kind })
+      [ Invoke; Send; Receive; Deliver ]
+  in
+  check_bool "sorted" true (List.sort Int.compare encs = encs)
+
+let () =
+  Alcotest.run "event"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+          Alcotest.test_case "constructors" `Quick test_constructors;
+          Alcotest.test_case "compare" `Quick test_compare;
+          Alcotest.test_case "pp" `Quick test_pp;
+          Alcotest.test_case "sys projection" `Quick test_sys_projection;
+          Alcotest.test_case "sys controllable" `Quick test_sys_controllable;
+          Alcotest.test_case "sys pp" `Quick test_sys_pp;
+          Alcotest.test_case "sys order" `Quick test_sys_order_within_message;
+        ] );
+    ]

@@ -1,0 +1,133 @@
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let ops = (Gen.uniform ~nprocs:3 ~nmsgs:40 ~seed:6).Gen.ops
+
+let with_faults faults =
+  { (Sim.default_config ~nprocs:3) with Sim.faults }
+
+let test_no_faults_by_default () =
+  let cfg = Sim.default_config ~nprocs:3 in
+  check_bool "no drops" true (cfg.Sim.faults = Sim.no_faults)
+
+let test_drops_break_liveness () =
+  (* with heavy loss, some message never arrives; the harness reports a
+     liveness failure, not a crash *)
+  match
+    Sim.execute
+      (with_faults { Sim.drop_permille = 300; duplicate_permille = 0 })
+      Tagless.factory ops
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o -> check_bool "not live" false o.Sim.all_delivered
+
+let test_duplicates_break_naive_protocols () =
+  (* the tagless protocol double-delivers a duplicated packet; the
+     simulator flags the misbehaviour *)
+  let found = ref false in
+  List.iter
+    (fun seed ->
+      match
+        Sim.execute
+          {
+            (with_faults { Sim.drop_permille = 0; duplicate_permille = 200 })
+            with
+            Sim.seed = seed;
+          }
+          Tagless.factory ops
+      with
+      | Error _ -> found := true
+      | Ok _ -> ())
+    (List.init 10 Fun.id);
+  check_bool "double delivery detected" true !found
+
+let test_dedup_restores_safety () =
+  (* with the dedup combinator, duplication is harmless: live and correct *)
+  List.iter
+    (fun seed ->
+      match
+        Sim.execute
+          {
+            (with_faults { Sim.drop_permille = 0; duplicate_permille = 200 })
+            with
+            Sim.seed = seed;
+          }
+          (Wrap.dedup Tagless.factory) ops
+      with
+      | Error e -> Alcotest.fail e
+      | Ok o -> check_bool "live under duplication" true o.Sim.all_delivered)
+    (List.init 10 Fun.id)
+
+let test_dedup_preserves_ordering_guarantees () =
+  let causal_spec =
+    Mo_core.Spec.make ~name:"causal" [ Mo_core.Catalog.causal_b2.Mo_core.Catalog.pred ]
+  in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          (with_faults { Sim.drop_permille = 0; duplicate_permille = 150 })
+          with
+          Sim.seed = seed;
+        }
+      in
+      let r =
+        Conformance.check_exn ~spec:causal_spec cfg
+          (Wrap.dedup Causal_rst.factory) ops
+      in
+      check_bool "live" true r.Conformance.live;
+      check_bool "causal under duplication" true
+        (r.Conformance.spec_ok = Some true))
+    (List.init 6 Fun.id)
+
+let test_fault_validation () =
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Sim.execute: fault probabilities out of range")
+    (fun () ->
+      ignore
+        (Sim.execute
+           (with_faults { Sim.drop_permille = -1; duplicate_permille = 0 })
+           Tagless.factory ops));
+  Alcotest.check_raises "too large"
+    (Invalid_argument "Sim.execute: fault probabilities out of range")
+    (fun () ->
+      ignore
+        (Sim.execute
+           (with_faults { Sim.drop_permille = 600; duplicate_permille = 600 })
+           Tagless.factory ops))
+
+let test_count_deliveries_wrapper () =
+  let counters = ref [||] in
+  match
+    Sim.execute
+      (Sim.default_config ~nprocs:3)
+      (Wrap.count_deliveries Tagless.factory counters)
+      ops
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "all counted" true
+        (Array.fold_left ( + ) 0 !counters = Array.length o.Sim.msgs)
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "no faults default" `Quick
+            test_no_faults_by_default;
+          Alcotest.test_case "drops break liveness" `Quick
+            test_drops_break_liveness;
+          Alcotest.test_case "duplicates caught" `Quick
+            test_duplicates_break_naive_protocols;
+          Alcotest.test_case "dedup restores safety" `Quick
+            test_dedup_restores_safety;
+          Alcotest.test_case "dedup preserves ordering" `Quick
+            test_dedup_preserves_ordering_guarantees;
+          Alcotest.test_case "fault validation" `Quick test_fault_validation;
+          Alcotest.test_case "count deliveries" `Quick
+            test_count_deliveries_wrapper;
+        ] );
+    ]

@@ -1,0 +1,231 @@
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+(* the channel-restricted k-weaker predicate from §6 with FIFO guards *)
+let kw_pred k =
+  let open Term in
+  let n = k + 2 in
+  let chain = List.init (n - 1) (fun i -> s i @> s (i + 1)) in
+  let guards =
+    List.concat
+      (List.init (n - 1) (fun i ->
+           [ Same_src (i, i + 1); Same_dst (i, i + 1) ]))
+  in
+  Forbidden.make ~nvars:n ~guards (chain @ [ r (n - 1) @> r 0 ])
+
+let kw_spec k = Spec.make ~name:(Printf.sprintf "kw-%d" k) [ kw_pred k ]
+
+let fifo_spec = Spec.make ~name:"fifo" [ Catalog.fifo.Catalog.pred ]
+
+let flood nprocs seed = (Gen.pairwise_flood ~nprocs ~per_pair:10 ~seed).Gen.ops
+
+let test_window_0_is_fifo () =
+  List.iter
+    (fun seed ->
+      let cfg = { (Sim.default_config ~nprocs:3) with Sim.seed = seed } in
+      let r =
+        Conformance.check_exn ~spec:fifo_spec cfg (Kweaker.window 0)
+          (flood 3 seed)
+      in
+      check_bool "live" true r.Conformance.live;
+      check_bool "fifo" true (r.Conformance.spec_ok = Some true))
+    [ 2; 19; 77 ]
+
+let test_window_k_satisfies_kw () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun seed ->
+          let cfg = { (Sim.default_config ~nprocs:3) with Sim.seed = seed } in
+          let r =
+            Conformance.check_exn ~spec:(kw_spec k) cfg (Kweaker.window k)
+              (flood 3 seed)
+          in
+          check_bool "live" true r.Conformance.live;
+          check_bool
+            (Printf.sprintf "k=%d seed=%d" k seed)
+            true
+            (r.Conformance.spec_ok = Some true))
+        [ 2; 19; 77 ])
+    [ 1; 2; 3 ]
+
+let test_window_k_violates_fifo_somewhere () =
+  (* with slack, out-of-order delivery must actually happen under some
+     seed — otherwise the relaxation is pointless *)
+  let found = ref false in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          (Sim.default_config ~nprocs:3) with
+          Sim.seed = seed;
+          jitter = 20 (* large reordering window *);
+        }
+      in
+      let r =
+        Conformance.check_exn ~spec:fifo_spec cfg (Kweaker.window 3)
+          (flood 3 seed)
+      in
+      if r.Conformance.spec_ok = Some false then found := true)
+    (List.init 10 Fun.id);
+  check_bool "overtaking observed" true !found
+
+let test_conservative_is_causal () =
+  let causal_spec = Spec.make ~name:"causal" [ Catalog.causal_b2.Catalog.pred ] in
+  let cfg = Sim.default_config ~nprocs:4 in
+  let ops = (Gen.uniform ~nprocs:4 ~nmsgs:40 ~seed:5).Gen.ops in
+  let r = Conformance.check_exn ~spec:causal_spec cfg (Kweaker.conservative 2) ops in
+  check_bool "live" true r.Conformance.live;
+  check_bool "causal (hence k-weaker for all k)" true
+    (r.Conformance.spec_ok = Some true)
+
+(* flush semantics, exercised deterministically with a scripted protocol
+   run: large jitter so reordering would happen without the protocol *)
+
+let flush_cfg seed =
+  { (Sim.default_config ~nprocs:2) with Sim.seed = seed; jitter = 30 }
+
+let mk_flush_ops kinds =
+  List.mapi
+    (fun i kind -> Sim.op ~flush:kind ~at:i ~src:0 ~dst:1 ())
+    kinds
+
+let run_flush seed kinds =
+  match Sim.execute (flush_cfg seed) Flush.factory (mk_flush_ops kinds) with
+  | Ok o -> o
+  | Error e -> Alcotest.fail e
+
+let delivery_order (o : Sim.outcome) =
+  match o.run with
+  | None -> Alcotest.fail "incomplete flush run"
+  | Some r ->
+      List.filter_map
+        (fun (e : Mo_order.Event.t) ->
+          match e.point with
+          | Mo_order.Event.R -> Some e.msg
+          | Mo_order.Event.S -> None)
+        (Mo_order.Run.sequence r 1)
+
+let index_of x l =
+  let rec go i = function
+    | [] -> Alcotest.fail "missing delivery"
+    | y :: rest -> if y = x then i else go (i + 1) rest
+  in
+  go 0 l
+
+let test_forward_flush_semantics () =
+  (* F message (index 3) must be delivered after messages 0,1,2 under every
+     seed *)
+  List.iter
+    (fun seed ->
+      let o =
+        run_flush seed
+          Message.[ Ordinary; Ordinary; Ordinary; Forward; Ordinary ]
+      in
+      let order = delivery_order o in
+      let fpos = index_of 3 order in
+      List.iter
+        (fun m ->
+          check_bool
+            (Printf.sprintf "seed %d: %d before F" seed m)
+            true
+            (index_of m order < fpos))
+        [ 0; 1; 2 ])
+    (List.init 8 Fun.id)
+
+let test_backward_flush_semantics () =
+  (* B message (index 1) must be delivered before messages sent after it *)
+  List.iter
+    (fun seed ->
+      let o =
+        run_flush seed
+          Message.[ Ordinary; Backward; Ordinary; Ordinary; Ordinary ]
+      in
+      let order = delivery_order o in
+      let bpos = index_of 1 order in
+      List.iter
+        (fun m ->
+          check_bool
+            (Printf.sprintf "seed %d: B before %d" seed m)
+            true
+            (bpos < index_of m order))
+        [ 2; 3; 4 ])
+    (List.init 8 Fun.id)
+
+let test_two_way_flush_semantics () =
+  List.iter
+    (fun seed ->
+      let o =
+        run_flush seed
+          Message.[ Ordinary; Ordinary; Two_way; Ordinary; Ordinary ]
+      in
+      let order = delivery_order o in
+      let tpos = index_of 2 order in
+      check_bool "before barrier" true
+        (index_of 0 order < tpos && index_of 1 order < tpos);
+      check_bool "after barrier" true
+        (tpos < index_of 3 order && tpos < index_of 4 order))
+    (List.init 8 Fun.id)
+
+let test_ordinary_messages_can_reorder () =
+  (* sanity: with only ordinary sends and large jitter, some seed reorders *)
+  let found = ref false in
+  List.iter
+    (fun seed ->
+      let o = run_flush seed Message.[ Ordinary; Ordinary; Ordinary ] in
+      if delivery_order o <> [ 0; 1; 2 ] then found := true)
+    (List.init 20 Fun.id);
+  check_bool "reordering possible" true !found
+
+let test_two_way_flush_spec () =
+  (* the two-way-flush spec (a 2-predicate Spec.t) classifies as tagged and
+     is satisfied by the flush protocol when barriers are two-way *)
+  Alcotest.(check string)
+    "classification" "tagged"
+    (Classify.verdict_to_string (Spec.classify Catalog.two_way_flush));
+  List.iter
+    (fun seed ->
+      let ops =
+        mk_flush_ops
+          Message.[ Ordinary; Ordinary; Two_way; Ordinary; Ordinary ]
+      in
+      (* color the barrier red (message index 2) to engage the guards *)
+      let ops =
+        List.mapi
+          (fun i (o : Sim.op) ->
+            if i = 2 then { o with Sim.color = Some 1 } else o)
+          ops
+      in
+      let r =
+        Conformance.check_exn ~spec:Catalog.two_way_flush (flush_cfg seed)
+          Flush.factory ops
+      in
+      check_bool "two-way spec ok" true (r.Conformance.spec_ok = Some true))
+    (List.init 8 Fun.id)
+
+let () =
+  Alcotest.run "flush_kweaker"
+    [
+      ( "k-weaker",
+        [
+          Alcotest.test_case "window 0 = fifo" `Quick test_window_0_is_fifo;
+          Alcotest.test_case "window k satisfies spec" `Slow
+            test_window_k_satisfies_kw;
+          Alcotest.test_case "window k overtakes" `Quick
+            test_window_k_violates_fifo_somewhere;
+          Alcotest.test_case "conservative causal" `Quick
+            test_conservative_is_causal;
+        ] );
+      ( "flush",
+        [
+          Alcotest.test_case "forward" `Quick test_forward_flush_semantics;
+          Alcotest.test_case "backward" `Quick test_backward_flush_semantics;
+          Alcotest.test_case "two-way" `Quick test_two_way_flush_semantics;
+          Alcotest.test_case "ordinary reorder" `Quick
+            test_ordinary_messages_can_reorder;
+          Alcotest.test_case "two-way spec" `Quick test_two_way_flush_spec;
+        ] );
+    ]

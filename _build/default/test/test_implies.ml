@@ -1,0 +1,154 @@
+open Mo_core
+open Term
+
+let check_bool = Alcotest.(check bool)
+
+let test_reflexive () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      check_bool (e.name ^ " implies itself") true (Implies.check e.pred e.pred))
+    Catalog.all
+
+let test_causal_forms () =
+  (* abstractly: B2 ⟹ B1 and B2 ⟹ B3, but not conversely (the realizable
+     equivalence of Lemma 3.2 is finer than the abstract semantics) *)
+  check_bool "B2 => B1" true
+    (Implies.check Catalog.causal_b2.Catalog.pred Catalog.causal_b1.Catalog.pred);
+  check_bool "B2 => B3" true
+    (Implies.check Catalog.causal_b2.Catalog.pred Catalog.causal_b3.Catalog.pred);
+  check_bool "B1 !=> B2 (abstractly)" false
+    (Implies.check Catalog.causal_b1.Catalog.pred Catalog.causal_b2.Catalog.pred)
+
+let test_guards_weaken () =
+  (* FIFO = causal + guards: any FIFO match is a causal match *)
+  check_bool "fifo => causal" true
+    (Implies.check Catalog.fifo.Catalog.pred Catalog.causal_b2.Catalog.pred);
+  check_bool "causal !=> fifo" false
+    (Implies.check Catalog.causal_b2.Catalog.pred Catalog.fifo.Catalog.pred);
+  (* so the fifo specification is weaker (forbids less) *)
+  check_bool "specs compare" true
+    (Implies.compare_specs Catalog.fifo.Catalog.pred
+       Catalog.causal_b2.Catalog.pred
+    = `Weaker)
+
+let test_k_weaker_ladder () =
+  (* a longer chain implies the shorter one (pick a subsequence), so the
+     k-weaker specifications grow with k *)
+  let kw k = (Catalog.k_weaker_causal k).Catalog.pred in
+  check_bool "kw2 => kw1" true (Implies.check (kw 2) (kw 1));
+  check_bool "kw3 => kw1" true (Implies.check (kw 3) (kw 1));
+  check_bool "kw1 !=> kw2" false (Implies.check (kw 1) (kw 2));
+  check_bool "kw0 = causal-b2 shape" true
+    (Implies.equivalent (kw 0) Catalog.causal_b2.Catalog.pred)
+
+let test_crowns_incomparable () =
+  let crown k = (Catalog.sync_crown k).Catalog.pred in
+  check_bool "crown2 !=> crown3" false (Implies.check (crown 2) (crown 3));
+  check_bool "crown3 !=> crown2" false (Implies.check (crown 3) (crown 2));
+  check_bool "incomparable" true
+    (Implies.compare_specs (crown 2) (crown 3) = `Incomparable);
+  check_bool "crown !=> causal" false
+    (Implies.check (crown 2) Catalog.causal_b2.Catalog.pred)
+
+let test_unsatisfiable_premise () =
+  let unsat = Forbidden.make ~nvars:1 [ r 0 @> s 0 ] in
+  check_bool "unsat implies anything" true
+    (Implies.check unsat (Catalog.sync_crown 2).Catalog.pred);
+  check_bool "nothing satisfiable implies unsat" false
+    (Implies.check Catalog.causal_b2.Catalog.pred unsat)
+
+let test_equivalent_rewrites () =
+  (* adding an implied conjunct does not change the specification *)
+  let base = Forbidden.make ~nvars:2 [ s 0 @> s 1; r 1 @> r 0 ] in
+  let padded =
+    Forbidden.make ~nvars:2 [ s 0 @> s 1; r 1 @> r 0; s 0 @> r 1 ]
+  in
+  check_bool "padded equivalent" true (Implies.equivalent base padded)
+
+let test_spec_minimize () =
+  (* FIFO is implied by causal: a spec containing both minimizes to causal *)
+  let s =
+    Spec.make ~name:"both"
+      [ Catalog.fifo.Catalog.pred; Catalog.causal_b2.Catalog.pred ]
+  in
+  let m = Spec.minimize s in
+  check_bool "one member" true (List.length m.Spec.predicates = 1);
+  check_bool "causal kept" true
+    (Forbidden.equal (List.hd m.Spec.predicates) Catalog.causal_b2.Catalog.pred);
+  (* incomparable members both stay *)
+  let tw = Spec.minimize Catalog.two_way_flush in
+  check_bool "two-way flush keeps both" true
+    (List.length tw.Spec.predicates = 2);
+  (* equivalent duplicates collapse to one *)
+  let dup =
+    Spec.make ~name:"dup"
+      [
+        Catalog.causal_b2.Catalog.pred;
+        (Catalog.k_weaker_causal 0).Catalog.pred;
+      ]
+  in
+  check_bool "duplicates collapse" true
+    (List.length (Spec.minimize dup).Spec.predicates = 1)
+
+(* implication is transitive: canonical-model composition *)
+let prop_transitive =
+  QCheck.Test.make ~name:"implication transitive" ~count:50
+    QCheck.(triple (int_bound 2_000) (int_bound 2_000) (int_bound 2_000))
+    (fun (s1, s2, s3) ->
+      let p i = Mo_workload.Random_pred.predicate ~max_vars:3 ~seed:i () in
+      let a = p s1 and b = p s2 and c = p s3 in
+      (not (Implies.check a b && Implies.check b c)) || Implies.check a c)
+
+(* minimization preserves the specification on every enumerated run *)
+let prop_minimize_preserves =
+  QCheck.Test.make ~name:"minimize preserves the spec" ~count:40
+    QCheck.(pair (int_bound 2_000) (int_bound 2_000))
+    (fun (s1, s2) ->
+      let spec =
+        Spec.make ~name:"rand"
+          [
+            Mo_workload.Random_pred.predicate ~max_vars:3 ~seed:s1 ();
+            Mo_workload.Random_pred.predicate ~max_vars:3 ~seed:s2 ();
+          ]
+      in
+      let m = Spec.minimize spec in
+      List.for_all
+        (fun r -> Spec.satisfies spec r = Spec.satisfies m r)
+        (Mo_order.Enumerate.abstract_runs ~nprocs:2 ~nmsgs:3 ()))
+
+(* semantic soundness: if check says b => b', then on every enumerated
+   concrete run, a b-match implies a b'-match *)
+let prop_sound_on_runs =
+  QCheck.Test.make ~name:"implication sound on concrete runs" ~count:60
+    QCheck.(pair (int_bound 2_000) (int_bound 2_000))
+    (fun (s1, s2) ->
+      let b = Mo_workload.Random_pred.predicate ~max_vars:3 ~seed:s1 () in
+      let b' = Mo_workload.Random_pred.predicate ~max_vars:3 ~seed:s2 () in
+      if not (Implies.check b b') then true
+      else
+        List.for_all
+          (fun r ->
+            (not (Eval.holds b r)) || Eval.holds b' r)
+          (Mo_order.Enumerate.abstract_runs ~nprocs:2 ~nmsgs:3 ()))
+
+let () =
+  Alcotest.run "implies"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "reflexive" `Quick test_reflexive;
+          Alcotest.test_case "causal forms" `Quick test_causal_forms;
+          Alcotest.test_case "guards weaken" `Quick test_guards_weaken;
+          Alcotest.test_case "k-weaker ladder" `Quick test_k_weaker_ladder;
+          Alcotest.test_case "crowns incomparable" `Quick
+            test_crowns_incomparable;
+          Alcotest.test_case "unsatisfiable premise" `Quick
+            test_unsatisfiable_premise;
+          Alcotest.test_case "equivalent rewrites" `Quick
+            test_equivalent_rewrites;
+          Alcotest.test_case "spec minimize" `Quick test_spec_minimize;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_sound_on_runs; prop_transitive; prop_minimize_preserves ] );
+    ]

@@ -1,0 +1,211 @@
+open Mo_order
+open Mo_protocol
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let msgs_same_channel = [| (0, 1); (0, 1) |]
+let msgs_crossing = [| (0, 1); (1, 0) |]
+
+let test_enable_all_reaches_everything () =
+  (* X_P for the trivial protocol contains every complete run of the
+     universe *)
+  let complete =
+    Inhibit.complete_runs ~nprocs:2 ~msgs:msgs_same_channel Inhibit.enable_all
+  in
+  check_int "all four orderings reachable" 4 (List.length complete)
+
+let test_enable_all_live () =
+  check_bool "live" true
+    (Inhibit.live ~nprocs:2 ~msgs:msgs_same_channel Inhibit.enable_all)
+
+let test_fifo_protocol_safety () =
+  let complete =
+    Inhibit.complete_runs ~nprocs:2 ~msgs:msgs_same_channel Inhibit.fifo
+  in
+  check_bool "nonempty" true (complete <> []);
+  List.iter
+    (fun r ->
+      let a = Run.to_abstract r in
+      check_bool "fifo satisfied" true
+        (Mo_core.Eval.satisfies Mo_core.Catalog.fifo.Mo_core.Catalog.pred a))
+    complete;
+  (* strictly fewer runs than the trivial protocol *)
+  check_bool "inhibits something" true (List.length complete < 4)
+
+let test_fifo_protocol_live () =
+  check_bool "live" true
+    (Inhibit.live ~nprocs:2 ~msgs:msgs_same_channel Inhibit.fifo)
+
+let test_causal_protocol_safety () =
+  List.iter
+    (fun msgs ->
+      List.iter
+        (fun r ->
+          check_bool "causal satisfied" true
+            (Limits.is_causal (Run.to_abstract r)))
+        (Inhibit.complete_runs ~nprocs:2 ~msgs Inhibit.causal))
+    [ msgs_same_channel; msgs_crossing ]
+
+let test_causal_protocol_live () =
+  check_bool "live same channel" true
+    (Inhibit.live ~nprocs:2 ~msgs:msgs_same_channel Inhibit.causal);
+  check_bool "live crossing" true
+    (Inhibit.live ~nprocs:2 ~msgs:msgs_crossing Inhibit.causal)
+
+(* Lemma 2, executed: every live protocol must admit all of X_tl.
+   The crossing crown's immediate-delivery run is in X_tl, hence reachable
+   under the causal protocol too — and indeed the crown is causal. *)
+let test_crossing_crown_reachable () =
+  let complete =
+    Inhibit.complete_runs ~nprocs:2 ~msgs:msgs_crossing Inhibit.causal
+  in
+  check_bool "a non-sync run is reachable under the causal protocol" true
+    (List.exists (fun r -> not (Limits.is_sync (Run.to_abstract r))) complete)
+
+(* the §3.2 class conditions, checked over all reachable runs *)
+let test_class_conditions () =
+  check_bool "enable-all is tagless-implementable" true
+    (Inhibit.respects_tagless_condition ~nprocs:2 ~msgs:msgs_same_channel
+       Inhibit.enable_all);
+  (* FIFO's delivery decision depends on the sender's history, which is not
+     in the receiver's local history: the tagless condition fails... *)
+  check_bool "fifo violates the tagless condition" false
+    (Inhibit.respects_tagless_condition ~nprocs:2 ~msgs:msgs_same_channel
+       Inhibit.fifo);
+  (* ...but the sender's relevant history is in the receiver's causal past:
+     the tagged condition holds *)
+  check_bool "fifo satisfies the tagged condition" true
+    (Inhibit.respects_tagged_condition ~nprocs:2 ~msgs:msgs_same_channel
+       Inhibit.fifo);
+  check_bool "causal satisfies the tagged condition" true
+    (Inhibit.respects_tagged_condition ~nprocs:2 ~msgs:msgs_same_channel
+       Inhibit.causal)
+
+(* The §2 remark, exactly: "no additional tagging of information can
+   restrict the message ordering further" — the causal oracle's reachable
+   set is EQUAL to the causal runs (X_P = X_co), not merely contained,
+   so no cleverer tagged protocol can forbid more. Checked by comparing
+   against exhaustive enumeration. *)
+let run_key r =
+  String.concat "|"
+    (List.init (Run.nprocs r) (fun p ->
+         String.concat ","
+           (List.map
+              (fun e -> string_of_int (Event.encode e))
+              (Run.sequence r p))))
+
+let reachable_equals_limit protocol ~msgs ~in_limit =
+  let reachable =
+    List.sort_uniq compare
+      (List.map run_key (Inhibit.complete_runs ~nprocs:2 ~msgs protocol))
+  in
+  let limit =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun r ->
+           if in_limit (Run.to_abstract r) then Some (run_key r) else None)
+         (Enumerate.runs ~nprocs:2 ~msgs))
+  in
+  reachable = limit
+
+let test_causal_reachable_set_is_exactly_x_co () =
+  List.iter
+    (fun msgs ->
+      check_bool "X_P = X_co" true
+        (reachable_equals_limit Inhibit.causal ~msgs ~in_limit:Limits.is_causal))
+    [ msgs_same_channel; msgs_crossing; [| (0, 1); (1, 0); (0, 1) |] ]
+
+let test_trivial_reachable_set_is_everything () =
+  List.iter
+    (fun msgs ->
+      check_bool "X_P = X_async" true
+        (reachable_equals_limit Inhibit.enable_all ~msgs ~in_limit:(fun _ ->
+             true)))
+    [ msgs_same_channel; msgs_crossing ]
+
+let test_sync_reachable_set_is_exactly_x_sync () =
+  List.iter
+    (fun msgs ->
+      check_bool "X_P = X_sync" true
+        (reachable_equals_limit Inhibit.sync ~msgs ~in_limit:Limits.is_sync))
+    [ msgs_same_channel; msgs_crossing ]
+
+let test_sync_protocol () =
+  List.iter
+    (fun msgs ->
+      (* safety: every complete run is logically synchronous *)
+      List.iter
+        (fun r ->
+          check_bool "sync run" true (Limits.is_sync (Run.to_abstract r)))
+        (Inhibit.complete_runs ~nprocs:2 ~msgs Inhibit.sync);
+      check_bool "live" true (Inhibit.live ~nprocs:2 ~msgs Inhibit.sync))
+    [ msgs_same_channel; msgs_crossing ];
+  (* the crossing crown is NOT reachable: serialization prevents it *)
+  check_bool "crown unreachable" true
+    (List.for_all
+       (fun r -> Limits.is_sync (Run.to_abstract r))
+       (Inhibit.complete_runs ~nprocs:2 ~msgs:msgs_crossing Inhibit.sync))
+
+let test_sync_needs_concurrent_knowledge () =
+  (* the send decision depends on undelivered messages elsewhere — events
+     outside the causal past. Theorem 4.2's content, observed directly:
+     the oracle fails the tagged condition *)
+  check_bool "sync violates the tagged condition" false
+    (Inhibit.respects_tagged_condition ~nprocs:2 ~msgs:msgs_crossing
+       Inhibit.sync)
+
+(* Lemma 2.3 instance: X_tl runs (immediate requests, everything
+   delivered) are reachable under ANY of our live protocols *)
+let test_lemma2_tagless_runs_reachable () =
+  let in_x_tl =
+    List.filter Sys_run.Lemma2.in_tagless_set
+      (Inhibit.reachable ~nprocs:2 ~msgs:msgs_same_channel Inhibit.enable_all)
+  in
+  check_bool "X_tl nonempty" true
+    (List.exists Sys_run.is_complete in_x_tl);
+  List.iter
+    (fun p ->
+      let reach = Inhibit.reachable ~nprocs:2 ~msgs:msgs_same_channel p in
+      let keys =
+        List.map (fun h -> Format.asprintf "%a" Sys_run.pp h) reach
+      in
+      List.iter
+        (fun h ->
+          if Sys_run.is_complete h && Sys_run.Lemma2.in_tagged_set h then
+            check_bool
+              (p.Inhibit.name ^ " admits X_td run")
+              true
+              (List.mem (Format.asprintf "%a" Sys_run.pp h) keys))
+        in_x_tl)
+    [ Inhibit.enable_all; Inhibit.causal ]
+
+let () =
+  Alcotest.run "inhibit"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "enable-all reaches everything" `Quick
+            test_enable_all_reaches_everything;
+          Alcotest.test_case "enable-all live" `Quick test_enable_all_live;
+          Alcotest.test_case "fifo safety" `Quick test_fifo_protocol_safety;
+          Alcotest.test_case "fifo live" `Quick test_fifo_protocol_live;
+          Alcotest.test_case "causal safety" `Quick
+            test_causal_protocol_safety;
+          Alcotest.test_case "causal live" `Quick test_causal_protocol_live;
+          Alcotest.test_case "crossing crown reachable" `Quick
+            test_crossing_crown_reachable;
+          Alcotest.test_case "X_P(causal) = X_co (§2 remark)" `Slow
+            test_causal_reachable_set_is_exactly_x_co;
+          Alcotest.test_case "X_P(trivial) = X_async" `Quick
+            test_trivial_reachable_set_is_everything;
+          Alcotest.test_case "X_P(sync) = X_sync" `Quick
+            test_sync_reachable_set_is_exactly_x_sync;
+          Alcotest.test_case "sync protocol" `Quick test_sync_protocol;
+          Alcotest.test_case "sync needs concurrent knowledge" `Slow
+            test_sync_needs_concurrent_knowledge;
+          Alcotest.test_case "class conditions" `Slow test_class_conditions;
+          Alcotest.test_case "lemma 2 tagless runs" `Slow
+            test_lemma2_tagless_runs_reachable;
+        ] );
+    ]

@@ -1,0 +1,118 @@
+open Mo_core
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+
+let test_tagged_refutes_tagless () =
+  (* causal ordering: an X_async run violating it exists (so the trivial
+     protocol fails), but no causal run violates it *)
+  (match Necessity.refutation Classify.Tagless Catalog.causal_b2.Catalog.pred with
+  | Some run ->
+      check_bool "refuting run violates the spec" false
+        (Eval.satisfies Catalog.causal_b2.Catalog.pred (Run.to_abstract run))
+  | None -> Alcotest.fail "tagless refutation should exist");
+  check_bool "no tagged refutation" true
+    (Necessity.refutation Classify.Tagged Catalog.causal_b2.Catalog.pred = None)
+
+let test_general_refutes_tagged () =
+  let crown = (Catalog.sync_crown 2).Catalog.pred in
+  (match Necessity.refutation Classify.Tagged crown with
+  | Some run ->
+      let a = Run.to_abstract run in
+      check_bool "refuting run is causal" true (Limits.is_causal a);
+      check_bool "and violates the crown" false (Eval.satisfies crown a)
+  | None -> Alcotest.fail "tagged refutation should exist");
+  check_bool "no general refutation" true
+    (Necessity.refutation Classify.General crown = None)
+
+let test_not_implementable_refutes_general () =
+  match
+    Necessity.refutation Classify.General
+      Catalog.second_before_first.Catalog.pred
+  with
+  | Some run ->
+      check_bool "refuting run is sync" true
+        (Limits.is_sync (Run.to_abstract run))
+  | None -> Alcotest.fail "general refutation should exist"
+
+let test_guarded_recoloring () =
+  (* global forward flush needs a red message in the refuting run: the
+     search must recolor *)
+  match
+    Necessity.refutation Classify.Tagless
+      Catalog.global_forward_flush.Catalog.pred
+  with
+  | Some run ->
+      let a = Run.to_abstract run in
+      check_bool "violates with colors" false
+        (Eval.satisfies Catalog.global_forward_flush.Catalog.pred a);
+      (* some message is red *)
+      let reds = ref 0 in
+      for m = 0 to Run.nmsgs run - 1 do
+        if (Run.Abstract.attrs a m).Run.color = Some 1 then incr reds
+      done;
+      check_bool "a red message exists" true (!reds > 0)
+  | None -> Alcotest.fail "recolored refutation should exist"
+
+let test_handoff_refutes_tagged () =
+  match Necessity.refutation Classify.Tagged Catalog.mobile_handoff.Catalog.pred with
+  | Some run -> check_bool "causal" true (Limits.is_causal (Run.to_abstract run))
+  | None -> Alcotest.fail "handoff tagged refutation should exist"
+
+let test_certificate_text () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let c = Necessity.certificate Catalog.causal_b2.Catalog.pred in
+  check_bool "mentions tagless refutation" true
+    (contains c "tagless cannot implement");
+  check_bool "has a diagram" true (contains c "P0");
+  let c2 = Necessity.certificate (Catalog.sync_crown 2).Catalog.pred in
+  check_bool "crown refutes tagged" true (contains c2 "tagged cannot implement")
+
+(* soundness: a refutation for class C can only exist when the verdict is
+   strictly stronger than C — the sufficiency direction of Theorem 3 says
+   class-C protocols DO implement their verdicts. (The converse —
+   refutations always found — needs unboundedly many intermediate
+   messages in general, so it is checked on the catalog in the unit
+   tests, not here.) *)
+let prop_refutation_sound =
+  QCheck.Test.make ~name:"refutation soundness vs classification" ~count:60
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let p =
+        Mo_workload.Random_pred.predicate ~max_vars:2 ~max_conjuncts:4 ~seed ()
+      in
+      let stronger_than cls =
+        match (Classify.classify p).Classify.verdict with
+        | Classify.Not_implementable -> true
+        | Classify.Implementable v -> not (Classify.class_leq v cls)
+      in
+      List.for_all
+        (fun cls ->
+          Necessity.refutation cls p = None || stronger_than cls)
+        [ Classify.Tagless; Classify.Tagged; Classify.General ])
+
+let () =
+  Alcotest.run "necessity"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "tagged refutes tagless" `Quick
+            test_tagged_refutes_tagless;
+          Alcotest.test_case "general refutes tagged" `Quick
+            test_general_refutes_tagged;
+          Alcotest.test_case "unimplementable refutes general" `Quick
+            test_not_implementable_refutes_general;
+          Alcotest.test_case "guarded recoloring" `Quick
+            test_guarded_recoloring;
+          Alcotest.test_case "handoff refutes tagged" `Quick
+            test_handoff_refutes_tagged;
+          Alcotest.test_case "certificate text" `Quick test_certificate_text;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_refutation_sound ] );
+    ]

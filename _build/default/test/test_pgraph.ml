@@ -1,0 +1,138 @@
+open Mo_core
+open Term
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_example1_graph () =
+  (* Example 1: 5 variables, 6 edges, including the parallel pair between
+     x0 and x3 (the paper's x1 and x4) *)
+  let g = Pgraph.of_predicate Catalog.example_1.Catalog.pred in
+  check_int "vertices" 5 (Pgraph.nvertices g);
+  check_int "edges" 6 (Pgraph.nedges g);
+  let edge_pairs =
+    List.map (fun (e : Pgraph.edge) -> (e.src, e.dst)) (Pgraph.edges g)
+  in
+  List.iter
+    (fun pair ->
+      check_bool
+        (Printf.sprintf "edge %d->%d present" (fst pair) (snd pair))
+        true
+        (List.mem pair edge_pairs))
+    [ (0, 1); (1, 2); (2, 3); (3, 0); (3, 4); (0, 3) ]
+
+let test_out_in_edges () =
+  let g = Pgraph.of_predicate Catalog.example_1.Catalog.pred in
+  check_int "out of x3" 2 (List.length (Pgraph.out_edges g 3));
+  check_int "in of x3" 2 (List.length (Pgraph.in_edges g 3));
+  check_int "in of x4" 1 (List.length (Pgraph.in_edges g 4));
+  check_int "out of x4" 0 (List.length (Pgraph.out_edges g 4))
+
+let test_edge_conjunct () =
+  let p = Forbidden.make ~nvars:2 [ s 0 @> r 1 ] in
+  let g = Pgraph.of_predicate p in
+  match Pgraph.edges g with
+  | [ e ] ->
+      check_bool "conjunct preserved" true
+        (Term.conjunct_equal (Pgraph.edge_conjunct e) (s 0 @> r 1))
+  | _ -> Alcotest.fail "one edge expected"
+
+let test_cycles_two_cycle () =
+  let g = Pgraph.of_predicate Catalog.causal_b2.Catalog.pred in
+  let cycles = Cycles.enumerate g in
+  check_int "one cycle" 1 (List.length cycles);
+  check_int "length 2" 2 (List.length (List.hd cycles))
+
+let test_cycles_example1 () =
+  let g = Pgraph.of_predicate Catalog.example_1.Catalog.pred in
+  let cycles = Cycles.enumerate g in
+  (* cycles: the 4-cycle x0-x1-x2-x3, and the 2-cycle x0-x3 *)
+  check_int "two cycles" 2 (List.length cycles);
+  let lengths = List.sort compare (List.map List.length cycles) in
+  Alcotest.(check (list int)) "lengths" [ 2; 4 ] lengths
+
+let test_cycles_none () =
+  let g = Pgraph.of_predicate Catalog.second_before_first.Catalog.pred in
+  check_int "no cycle" 0 (List.length (Cycles.enumerate g));
+  check_bool "has_cycle false" false (Cycles.has_cycle g)
+
+let test_parallel_edges_cycles () =
+  (* two parallel edges each direction: 2 x 2 = 4 distinct 2-cycles *)
+  let p =
+    Forbidden.make ~nvars:2 [ s 0 @> s 1; r 0 @> r 1; s 1 @> s 0; r 1 @> r 0 ]
+  in
+  let g = Pgraph.of_predicate p in
+  check_int "four 2-cycles" 4 (List.length (Cycles.enumerate g))
+
+let test_crown_cycles () =
+  let g = Pgraph.of_predicate (Catalog.sync_crown 4).Catalog.pred in
+  let cycles = Cycles.enumerate g in
+  check_int "single 4-cycle" 1 (List.length cycles);
+  check_int "length" 4 (List.length (List.hd cycles))
+
+let test_has_cycle_agrees () =
+  (* has_cycle must agree with enumerate on random predicates *)
+  let preds = Mo_workload.Random_pred.batch ~seed:11 60 in
+  List.iter
+    (fun p ->
+      let g = Pgraph.of_predicate p in
+      check_bool "agreement" (Cycles.enumerate g <> []) (Cycles.has_cycle g))
+    preds
+
+let test_max_cycles_cap () =
+  (* a dense graph: enumeration respects the cap *)
+  let conjuncts =
+    List.concat_map
+      (fun i ->
+        List.filter_map
+          (fun j -> if i <> j then Some (s i @> s j) else None)
+          [ 0; 1; 2; 3; 4 ])
+      [ 0; 1; 2; 3; 4 ]
+  in
+  let g = Pgraph.of_predicate (Forbidden.make ~nvars:5 conjuncts) in
+  check_int "capped" 3 (List.length (Cycles.enumerate ~max_cycles:3 g))
+
+let test_to_dot () =
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  let g = Pgraph.of_predicate Catalog.causal_b2.Catalog.pred in
+  let plain = Pgraph.to_dot g in
+  check_bool "digraph" true (contains plain "digraph predicate");
+  check_bool "edge labels" true (contains plain "label=\"s>s\"");
+  check_bool "no highlight" false (contains plain "color=red");
+  let hot = Pgraph.to_dot ~highlight:(Pgraph.edges g) g in
+  check_bool "highlighted" true (contains hot "color=red")
+
+let test_vertices_of_cycle () =
+  let g = Pgraph.of_predicate (Catalog.sync_crown 3).Catalog.pred in
+  match Cycles.enumerate g with
+  | [ c ] ->
+      Alcotest.(check (list int)) "vertices" [ 0; 1; 2 ] (Cycles.vertices c)
+  | _ -> Alcotest.fail "one cycle expected"
+
+let () =
+  Alcotest.run "pgraph"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "example 1 graph" `Quick test_example1_graph;
+          Alcotest.test_case "out/in edges" `Quick test_out_in_edges;
+          Alcotest.test_case "edge conjunct" `Quick test_edge_conjunct;
+          Alcotest.test_case "to_dot" `Quick test_to_dot;
+        ] );
+      ( "cycles",
+        [
+          Alcotest.test_case "two-cycle" `Quick test_cycles_two_cycle;
+          Alcotest.test_case "example 1 cycles" `Quick test_cycles_example1;
+          Alcotest.test_case "acyclic" `Quick test_cycles_none;
+          Alcotest.test_case "parallel edges" `Quick
+            test_parallel_edges_cycles;
+          Alcotest.test_case "crown" `Quick test_crown_cycles;
+          Alcotest.test_case "has_cycle agrees" `Quick test_has_cycle_agrees;
+          Alcotest.test_case "max cycles cap" `Quick test_max_cycles_cap;
+          Alcotest.test_case "cycle vertices" `Quick test_vertices_of_cycle;
+        ] );
+    ]

@@ -1,0 +1,193 @@
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_ints = Alcotest.(check (list int))
+
+let diamond () =
+  (* 0 < 1, 0 < 2, 1 < 3, 2 < 3 *)
+  Poset.of_edges_exn 4 [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_construction () =
+  let p = diamond () in
+  check_int "size" 4 (Poset.size p);
+  check_bool "0<3 transitively" true (Poset.lt p 0 3);
+  check_bool "1 || 2" true (Poset.concurrent p 1 2);
+  check_bool "not 3<0" false (Poset.lt p 3 0);
+  check_bool "irreflexive" false (Poset.lt p 1 1);
+  check_bool "le reflexive" true (Poset.le p 1 1)
+
+let test_cycle_rejected () =
+  Alcotest.(check bool)
+    "cycle" true
+    (Poset.of_edges 3 [ (0, 1); (1, 2); (2, 0) ] = None);
+  Alcotest.(check bool)
+    "self loop" true
+    (Poset.of_edges 2 [ (1, 1) ] = None)
+
+let test_duplicate_edges () =
+  let p = Poset.of_edges_exn 2 [ (0, 1); (0, 1); (0, 1) ] in
+  check_bool "0<1" true (Poset.lt p 0 1);
+  check_int "generators deduplicated" 1 (List.length (Poset.generators p))
+
+let test_topo_sort () =
+  let p = diamond () in
+  let order = Poset.topo_sort p in
+  let pos = Array.make 4 0 in
+  List.iteri (fun i v -> pos.(v) <- i) order;
+  List.iter
+    (fun (h, g) ->
+      check_bool (Printf.sprintf "%d before %d" h g) true (pos.(h) < pos.(g)))
+    [ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_linear_extensions () =
+  (* diamond has exactly 2 linear extensions *)
+  check_int "diamond" 2 (Poset.count_linear_extensions (diamond ()));
+  (* 3-element antichain: 3! *)
+  check_int "antichain" 6 (Poset.count_linear_extensions (Poset.empty 3));
+  (* chain: 1 *)
+  check_int "chain" 1
+    (Poset.count_linear_extensions (Poset.of_edges_exn 3 [ (0, 1); (1, 2) ]));
+  check_int "limit" 3
+    (List.length (Poset.linear_extensions ~limit:3 (Poset.empty 4)))
+
+let test_covers () =
+  (* transitive edge 0->3 must not be a cover *)
+  let p = Poset.of_edges_exn 4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  Alcotest.(check (list (pair int int)))
+    "covers" [ (0, 1); (1, 2); (2, 3) ]
+    (List.sort compare (Poset.covers p))
+
+let test_min_max () =
+  let p = diamond () in
+  check_ints "minimal" [ 0 ] (Poset.minimal_elements p);
+  check_ints "maximal" [ 3 ] (Poset.maximal_elements p)
+
+let test_down_up () =
+  let p = diamond () in
+  check_ints "down 3" [ 0; 1; 2 ] (Bitset.elements (Poset.down_set p 3));
+  check_ints "up 0" [ 1; 2; 3 ] (Bitset.elements (Poset.up_set p 0));
+  check_ints "down 0" [] (Bitset.elements (Poset.down_set p 0))
+
+let test_restrict () =
+  let p = diamond () in
+  let q, back = Poset.restrict p [ 0; 3 ] in
+  check_int "restricted size" 2 (Poset.size q);
+  check_bool "0<3 restricted" true (Poset.lt q 0 1);
+  check_int "mapping" 3 back.(1)
+
+let test_add_edges () =
+  let p = Poset.of_edges_exn 3 [ (0, 1) ] in
+  (match Poset.add_edges p [ (1, 2) ] with
+  | Some q -> check_bool "0<2" true (Poset.lt q 0 2)
+  | None -> Alcotest.fail "extension should succeed");
+  check_bool "cycle rejected" true (Poset.add_edges p [ (1, 0) ] = None)
+
+let test_relation_ops () =
+  let p = Poset.of_edges_exn 3 [ (0, 1) ] in
+  let q = Poset.of_edges_exn 3 [ (0, 1); (1, 2) ] in
+  check_bool "subset" true (Poset.relation_subset p q);
+  check_bool "not subset" false (Poset.relation_subset q p);
+  check_bool "equal generators vs closure" true
+    (Poset.relation_equal q
+       (Poset.of_edges_exn 3 [ (0, 1); (1, 2); (0, 2) ]));
+  check_bool "total chain" true
+    (Poset.is_total (Poset.of_edges_exn 3 [ (0, 1); (1, 2) ]));
+  check_bool "not total" false (Poset.is_total p)
+
+(* random DAG generator: edges only from lower to higher vertex *)
+let dag_gen =
+  QCheck.Gen.(
+    sized_size (int_bound 8) (fun n ->
+        let n = n + 2 in
+        let* edges =
+          list_size (int_bound (n * 2)) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+        in
+        let edges =
+          List.filter_map
+            (fun (a, b) ->
+              if a < b then Some (a, b) else if b < a then Some (b, a) else None)
+            edges
+        in
+        return (n, edges)))
+
+let dag_arb = QCheck.make ~print:(fun (n, e) ->
+    Printf.sprintf "n=%d edges=%s" n
+      (String.concat ";" (List.map (fun (a, b) -> Printf.sprintf "%d->%d" a b) e)))
+    dag_gen
+
+let prop_transitive =
+  QCheck.Test.make ~name:"lt is transitive" ~count:200 dag_arb (fun (n, edges) ->
+      match Poset.of_edges n edges with
+      | None -> false (* ordered-pair edges can never cycle *)
+      | Some p ->
+          let ok = ref true in
+          for a = 0 to n - 1 do
+            for b = 0 to n - 1 do
+              for c = 0 to n - 1 do
+                if Poset.lt p a b && Poset.lt p b c && not (Poset.lt p a c)
+                then ok := false
+              done
+            done
+          done;
+          !ok)
+
+let prop_irreflexive =
+  QCheck.Test.make ~name:"lt is irreflexive" ~count:200 dag_arb
+    (fun (n, edges) ->
+      match Poset.of_edges n edges with
+      | None -> false
+      | Some p ->
+          List.for_all (fun v -> not (Poset.lt p v v)) (List.init n Fun.id))
+
+let prop_topo_is_extension =
+  QCheck.Test.make ~name:"topo_sort is a linear extension" ~count:200 dag_arb
+    (fun (n, edges) ->
+      match Poset.of_edges n edges with
+      | None -> false
+      | Some p ->
+          let pos = Array.make n 0 in
+          List.iteri (fun i v -> pos.(v) <- i) (Poset.topo_sort p);
+          let ok = ref true in
+          for a = 0 to n - 1 do
+            for b = 0 to n - 1 do
+              if Poset.lt p a b && pos.(a) >= pos.(b) then ok := false
+            done
+          done;
+          !ok)
+
+let prop_covers_regenerate =
+  QCheck.Test.make ~name:"covers regenerate the order" ~count:200 dag_arb
+    (fun (n, edges) ->
+      match Poset.of_edges n edges with
+      | None -> false
+      | Some p ->
+          let q = Poset.of_edges_exn n (Poset.covers p) in
+          Poset.relation_equal p q)
+
+let () =
+  Alcotest.run "poset"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "cycle rejected" `Quick test_cycle_rejected;
+          Alcotest.test_case "duplicate edges" `Quick test_duplicate_edges;
+          Alcotest.test_case "topo sort" `Quick test_topo_sort;
+          Alcotest.test_case "linear extensions" `Quick test_linear_extensions;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "down/up sets" `Quick test_down_up;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "add edges" `Quick test_add_edges;
+          Alcotest.test_case "relation ops" `Quick test_relation_ops;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_transitive;
+            prop_irreflexive;
+            prop_topo_is_extension;
+            prop_covers_regenerate;
+          ] );
+    ]

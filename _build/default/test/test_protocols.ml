@@ -1,0 +1,216 @@
+(* Per-protocol conformance over several workloads and seeds: the
+   executable form of Theorem 1's safety direction, plus the negative
+   results (weaker protocols violate stronger specs on adversarial
+   schedules). *)
+
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let causal_spec = Spec.make ~name:"causal" [ Catalog.causal_b2.Catalog.pred ]
+let fifo_spec = Spec.make ~name:"fifo" [ Catalog.fifo.Catalog.pred ]
+
+let sync_spec =
+  Spec.make ~name:"sync"
+    (List.map (fun k -> (Catalog.sync_crown k).Catalog.pred) [ 2; 3; 4 ])
+
+let seeds = [ 1; 7; 42; 1234 ]
+
+let workloads nprocs =
+  [
+    ("uniform", (Gen.uniform ~nprocs ~nmsgs:40 ~seed:5).Gen.ops);
+    ("client-server", (Gen.client_server ~nprocs ~nmsgs:40 ~seed:5).Gen.ops);
+    ("ring", (Gen.ring ~nprocs ~rounds:10 ~seed:5).Gen.ops);
+    ("bursty", (Gen.bursty ~nprocs ~nmsgs:40 ~seed:5).Gen.ops);
+    ("flood", (Gen.pairwise_flood ~nprocs ~per_pair:4 ~seed:5).Gen.ops);
+  ]
+
+let conformance_case factory spec () =
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun (wname, ops) ->
+          let cfg = { (Sim.default_config ~nprocs:4) with Sim.seed = seed } in
+          let r = Conformance.check_exn ?spec cfg factory ops in
+          let label =
+            Printf.sprintf "%s on %s seed %d" factory.Protocol.proto_name
+              wname seed
+          in
+          check_bool (label ^ " live") true r.Conformance.live;
+          check_bool
+            (label ^ " traffic consistent")
+            true r.Conformance.traffic_consistent;
+          match (spec, r.Conformance.spec_ok) with
+          | Some _, Some ok -> check_bool (label ^ " spec") true ok
+          | Some _, None -> Alcotest.fail (label ^ ": no spec verdict")
+          | None, _ -> ())
+        (workloads 4))
+    seeds
+
+let test_fifo_conformance = conformance_case Fifo.factory (Some fifo_spec)
+
+let test_rst_conformance = conformance_case Causal_rst.factory (Some causal_spec)
+
+let test_ses_conformance = conformance_case Causal_ses.factory (Some causal_spec)
+
+let test_rst_implies_fifo = conformance_case Causal_rst.factory (Some fifo_spec)
+
+let test_sync_conformance = conformance_case Sync_token.factory (Some sync_spec)
+
+let test_sync_implies_causal =
+  conformance_case Sync_token.factory (Some causal_spec)
+
+let test_flush_ordinary_is_safe =
+  (* with only ordinary sends, the flush protocol imposes nothing and must
+     still be live *)
+  conformance_case Flush.factory None
+
+let test_tagless_violates_causal_somewhere () =
+  (* the do-nothing protocol eventually produces a causal violation *)
+  let found = ref false in
+  List.iter
+    (fun seed ->
+      let cfg = { (Sim.default_config ~nprocs:4) with Sim.seed = seed } in
+      let ops = (Gen.pairwise_flood ~nprocs:4 ~per_pair:6 ~seed).Gen.ops in
+      let r = Conformance.check_exn ~spec:causal_spec cfg Tagless.factory ops in
+      if r.Conformance.spec_ok = Some false then found := true)
+    (List.init 10 (fun i -> i * 13));
+  check_bool "violation found under some seed" true !found
+
+let test_fifo_violates_sync_somewhere () =
+  let found = ref false in
+  List.iter
+    (fun seed ->
+      let cfg = { (Sim.default_config ~nprocs:3) with Sim.seed = seed } in
+      let ops = (Gen.ring ~nprocs:3 ~rounds:8 ~seed).Gen.ops in
+      let r = Conformance.check_exn ~spec:sync_spec cfg Fifo.factory ops in
+      if r.Conformance.spec_ok = Some false then found := true)
+    (List.init 10 (fun i -> (i * 7) + 1));
+  check_bool "fifo breaks sync under some seed" true !found
+
+let test_bss_broadcast_conformance () =
+  List.iter
+    (fun seed ->
+      let cfg = { (Sim.default_config ~nprocs:4) with Sim.seed = seed } in
+      let ops = (Gen.broadcast ~nprocs:4 ~nbcasts:15 ~seed).Gen.ops in
+      let r = Conformance.check_exn ~spec:causal_spec cfg Causal_bss.factory ops in
+      check_bool "bss live" true r.Conformance.live;
+      check_bool "bss causal" true (r.Conformance.spec_ok = Some true))
+    seeds
+
+let test_bss_unicast_deadlocks () =
+  (* documented behaviour: BSS on unicast workloads loses liveness *)
+  let cfg = Sim.default_config ~nprocs:3 in
+  let ops =
+    [ Sim.op ~at:0 ~src:0 ~dst:1 (); Sim.op ~at:1 ~src:0 ~dst:2 () ]
+  in
+  let r = Conformance.check_exn cfg Causal_bss.factory ops in
+  check_bool "not live" false r.Conformance.live
+
+(* the classic causal triangle: A posts to C directly and via B; C must
+   see A's message before B's reaction. Times are tight so the direct
+   message is regularly overtaken on the wire. *)
+let triangle_ops =
+  [
+    Sim.op ~at:0 ~src:0 ~dst:2 ();
+    (* m0: A -> C, the slow path *)
+    Sim.op ~at:1 ~src:0 ~dst:1 ();
+    (* m1: A -> B *)
+    Sim.op ~at:14 ~src:1 ~dst:2 ();
+    (* m2: B -> C, after B saw m1 *)
+  ]
+
+let triangle_cfg seed =
+  { (Sim.default_config ~nprocs:3) with Sim.seed; min_delay = 1; jitter = 20 }
+
+let triangle_causal seed factory =
+  match Sim.execute (triangle_cfg seed) factory triangle_ops with
+  | Ok { Sim.run = Some r; _ } ->
+      let a = Mo_order.Run.to_abstract r in
+      (* the interesting instance: if s(m0) > s(m2) causally, then C must
+         deliver m0 first *)
+      Some (Mo_core.Eval.satisfies Catalog.causal_b2.Catalog.pred a)
+  | Ok _ -> None
+  | Error e -> Alcotest.fail e
+
+let test_causal_triangle () =
+  (* RST never reorders the triangle; tagless does for some seed *)
+  List.iter
+    (fun seed ->
+      match triangle_causal seed Causal_rst.factory with
+      | Some ok -> check_bool (Printf.sprintf "rst seed %d" seed) true ok
+      | None -> Alcotest.fail "rst triangle not live")
+    (List.init 30 Fun.id);
+  List.iter
+    (fun seed ->
+      match triangle_causal seed Causal_ses.factory with
+      | Some ok -> check_bool (Printf.sprintf "ses seed %d" seed) true ok
+      | None -> Alcotest.fail "ses triangle not live")
+    (List.init 30 Fun.id);
+  check_bool "tagless reorders the triangle somewhere" true
+    (List.exists
+       (fun seed -> triangle_causal seed Tagless.factory = Some false)
+       (List.init 30 Fun.id))
+
+let test_rst_tag_grows_quadratically () =
+  (* the RST tag is n^2 integers: 8 procs tags 4x the bytes of 4 procs *)
+  let bytes nprocs =
+    let cfg = Sim.default_config ~nprocs in
+    let ops = (Gen.uniform ~nprocs ~nmsgs:20 ~seed:3).Gen.ops in
+    match Sim.execute cfg Causal_rst.factory ops with
+    | Ok o -> o.Sim.stats.Sim.tag_bytes
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "quadratic growth" (4 * bytes 4) (bytes 8)
+
+let test_sync_uses_control_everyone_else_does_not () =
+  let cfg = Sim.default_config ~nprocs:3 in
+  let ops = (Gen.uniform ~nprocs:3 ~nmsgs:20 ~seed:11).Gen.ops in
+  let control factory =
+    match Sim.execute cfg factory ops with
+    | Ok o -> o.Sim.stats.Sim.control_packets
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "sync uses control" true (control Sync_token.factory > 0);
+  Alcotest.(check int) "fifo no control" 0 (control Fifo.factory);
+  Alcotest.(check int) "rst no control" 0 (control Causal_rst.factory);
+  Alcotest.(check int) "tagless no control" 0 (control Tagless.factory)
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "conformance",
+        [
+          Alcotest.test_case "fifo/fifo" `Slow test_fifo_conformance;
+          Alcotest.test_case "rst/causal" `Slow test_rst_conformance;
+          Alcotest.test_case "ses/causal" `Slow test_ses_conformance;
+          Alcotest.test_case "rst/fifo" `Slow test_rst_implies_fifo;
+          Alcotest.test_case "sync/sync" `Slow test_sync_conformance;
+          Alcotest.test_case "sync/causal" `Slow test_sync_implies_causal;
+          Alcotest.test_case "flush ordinary live" `Slow
+            test_flush_ordinary_is_safe;
+          Alcotest.test_case "bss broadcast" `Slow
+            test_bss_broadcast_conformance;
+        ] );
+      ( "separations",
+        [
+          Alcotest.test_case "tagless breaks causal" `Slow
+            test_tagless_violates_causal_somewhere;
+          Alcotest.test_case "fifo breaks sync" `Slow
+            test_fifo_violates_sync_somewhere;
+          Alcotest.test_case "bss unicast deadlock" `Quick
+            test_bss_unicast_deadlocks;
+        ] );
+      ( "scenarios",
+        [ Alcotest.test_case "causal triangle" `Quick test_causal_triangle ]
+      );
+      ( "traffic",
+        [
+          Alcotest.test_case "rst tag quadratic" `Quick
+            test_rst_tag_grows_quadratically;
+          Alcotest.test_case "control usage" `Quick
+            test_sync_uses_control_everyone_else_does_not;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+open Mo_order
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let seeds = QCheck.(int_bound 5_000)
+
+let prop_random_run_valid =
+  QCheck.Test.make ~name:"random runs are valid complete runs" ~count:150
+    seeds
+    (fun seed ->
+      let r = Random_run.run ~nprocs:4 ~nmsgs:20 ~seed () in
+      Run.nmsgs r = 20
+      && List.for_all
+           (fun m -> Run.lt r (Event.send m) (Event.deliver m))
+           (List.init 20 Fun.id))
+
+let prop_causal_runs_causal =
+  QCheck.Test.make ~name:"causal_run lands in X_co" ~count:150 seeds
+    (fun seed ->
+      let r = Random_run.causal_run ~nprocs:4 ~nmsgs:15 ~seed () in
+      Limits.is_causal (Run.to_abstract r))
+
+let prop_serialized_runs_sync =
+  QCheck.Test.make ~name:"serialized_run lands in X_sync" ~count:150 seeds
+    (fun seed ->
+      let r = Random_run.serialized_run ~nprocs:4 ~nmsgs:15 ~seed () in
+      Limits.is_sync (Run.to_abstract r))
+
+(* limit containment on random runs: sync ⟹ causal *)
+let prop_containment_sampled =
+  QCheck.Test.make ~name:"X_sync ⊆ X_co on random runs" ~count:150 seeds
+    (fun seed ->
+      let a = Run.to_abstract (Random_run.run ~nprocs:3 ~nmsgs:12 ~seed ()) in
+      (not (Limits.is_sync a)) || Limits.is_causal a)
+
+(* causal runs satisfy every Tagged catalog spec; serialized runs satisfy
+   every implementable one — Theorem 3 sampled at scale *)
+let prop_causal_satisfies_tagged_specs =
+  QCheck.Test.make ~name:"causal runs satisfy tagged specs" ~count:60 seeds
+    (fun seed ->
+      let a =
+        Run.to_abstract (Random_run.causal_run ~nprocs:4 ~nmsgs:12 ~seed ())
+      in
+      List.for_all
+        (fun (e : Mo_core.Catalog.entry) ->
+          match e.expected with
+          | Mo_core.Classify.Implementable Mo_core.Classify.Tagged
+          | Mo_core.Classify.Implementable Mo_core.Classify.Tagless ->
+              Mo_core.Eval.satisfies e.pred a
+          | _ -> true)
+        Mo_core.Catalog.all)
+
+let prop_sync_satisfies_implementable_specs =
+  QCheck.Test.make ~name:"sync runs satisfy implementable specs" ~count:60
+    seeds
+    (fun seed ->
+      let a =
+        Run.to_abstract
+          (Random_run.serialized_run ~nprocs:4 ~nmsgs:12 ~seed ())
+      in
+      List.for_all
+        (fun (e : Mo_core.Catalog.entry) ->
+          match e.expected with
+          | Mo_core.Classify.Implementable _ -> Mo_core.Eval.satisfies e.pred a
+          | Mo_core.Classify.Not_implementable -> true)
+        Mo_core.Catalog.all)
+
+(* unrestricted random runs violate causal ordering reasonably often —
+   the generator is not accidentally biased into X_co *)
+let test_generator_not_degenerate () =
+  let violations =
+    List.length
+      (List.filter
+         (fun seed ->
+           not
+             (Limits.is_causal
+                (Run.to_abstract (Random_run.run ~nprocs:3 ~nmsgs:15 ~seed ()))))
+         (List.init 50 Fun.id))
+  in
+  check_bool "some runs violate causal" true (violations > 5);
+  (* and causal_run is not accidentally always-sync *)
+  let non_sync =
+    List.length
+      (List.filter
+         (fun seed ->
+           not
+             (Limits.is_sync
+                (Run.to_abstract
+                   (Random_run.causal_run ~nprocs:3 ~nmsgs:15 ~seed ()))))
+         (List.init 50 Fun.id))
+  in
+  check_bool "causal runs mostly not sync" true (non_sync > 5)
+
+let test_determinism () =
+  let a = Random_run.run ~nprocs:3 ~nmsgs:10 ~seed:4 () in
+  let b = Random_run.run ~nprocs:3 ~nmsgs:10 ~seed:4 () in
+  check_bool "same seed same run" true
+    (Run.Abstract.equal (Run.to_abstract a) (Run.to_abstract b))
+
+let () =
+  Alcotest.run "random_run"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "not degenerate" `Quick
+            test_generator_not_degenerate;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_run_valid;
+            prop_causal_runs_causal;
+            prop_serialized_runs_sync;
+            prop_containment_sampled;
+            prop_causal_satisfies_tagged_specs;
+            prop_sync_satisfies_implementable_specs;
+          ] );
+    ]

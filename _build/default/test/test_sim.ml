@@ -1,0 +1,228 @@
+open Mo_protocol
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let simple_ops =
+  [
+    Sim.op ~at:0 ~src:0 ~dst:1 ();
+    Sim.op ~at:1 ~src:1 ~dst:0 ();
+    Sim.op ~at:2 ~src:0 ~dst:1 ();
+  ]
+
+let test_basic_execution () =
+  let cfg = Sim.default_config ~nprocs:2 in
+  match Sim.execute cfg Tagless.factory simple_ops with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "all delivered" true o.all_delivered;
+      check_bool "run produced" true (o.run <> None);
+      check_int "user packets" 3 o.stats.user_packets;
+      check_int "no control" 0 o.stats.control_packets;
+      check_int "no tags" 0 o.stats.tag_bytes;
+      check_int "three messages" 3 (Array.length o.msgs)
+
+let test_determinism () =
+  let cfg = Sim.default_config ~nprocs:2 in
+  let run cfg =
+    match Sim.execute cfg Fifo.factory simple_ops with
+    | Ok o -> Format.asprintf "%a" Mo_order.Sys_run.pp o.sys_run
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check string) "same seed same run" (run cfg) (run cfg);
+  let other = run { cfg with Sim.seed = 99 } in
+  (* different seeds usually give different interleavings; we only check
+     the mechanism is seed-driven, so equality is not asserted here *)
+  check_bool "other seed executes" true (String.length other > 0)
+
+let test_broadcast_expansion () =
+  let cfg = Sim.default_config ~nprocs:4 in
+  match Sim.execute cfg Tagless.factory [ Sim.bcast ~at:0 ~src:2 () ] with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "three copies" 3 (Array.length o.msgs);
+      Array.iter (fun (src, _) -> check_int "src" 2 src) o.msgs;
+      let dsts = Array.to_list (Array.map snd o.msgs) in
+      Alcotest.(check (list int)) "dsts" [ 0; 1; 3 ] (List.sort compare dsts)
+
+let test_colors_recorded () =
+  let cfg = Sim.default_config ~nprocs:2 in
+  match
+    Sim.execute cfg Tagless.factory [ Sim.op ~color:5 ~at:0 ~src:0 ~dst:1 () ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "color" true (o.colors.(0) = Some 5);
+      (match o.run with
+      | Some r ->
+          check_bool "color in abstract run" true
+            ((Mo_order.Run.Abstract.attrs (Mo_order.Run.to_abstract r) 0)
+               .Mo_order.Run.color
+            = Some 5)
+      | None -> Alcotest.fail "run expected")
+
+let misbehaving name on_invoke on_packet =
+  {
+    Protocol.proto_name = name;
+    kind = Protocol.General;
+    make = (fun ~nprocs:_ ~me:_ -> { Protocol.on_invoke; on_packet });
+  }
+
+let test_double_delivery_detected () =
+  let f =
+    misbehaving "double-deliver"
+      (fun ~now:_ (i : Protocol.intent) ->
+        [
+          Protocol.Send_user
+            {
+              Message.id = i.id;
+              src = 0;
+              dst = i.dst;
+              color = None;
+              payload = 0;
+              tag = Message.No_tag;
+            };
+        ])
+      (fun ~now:_ ~from:_ -> function
+        | Message.User u -> [ Protocol.Deliver u.id; Protocol.Deliver u.id ]
+        | Message.Control _ -> [])
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match
+    Sim.execute (Sim.default_config ~nprocs:2) f
+      [ Sim.op ~at:0 ~src:0 ~dst:1 () ]
+  with
+  | Error e -> check_bool "reports double delivery" true (contains e "twice")
+  | Ok _ -> Alcotest.fail "double delivery accepted"
+
+let test_wrong_source_detected () =
+  let f =
+    misbehaving "wrong-src"
+      (fun ~now:_ (i : Protocol.intent) ->
+        [
+          Protocol.Send_user
+            {
+              Message.id = i.id;
+              src = 1 (* lies about its identity *);
+              dst = i.dst;
+              color = None;
+              payload = 0;
+              tag = Message.No_tag;
+            };
+        ])
+      (fun ~now:_ ~from:_ _ -> [])
+  in
+  match
+    Sim.execute (Sim.default_config ~nprocs:2) f
+      [ Sim.op ~at:0 ~src:0 ~dst:1 () ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wrong source accepted"
+
+let test_deliver_unreceived_detected () =
+  let f =
+    misbehaving "early-deliver"
+      (fun ~now:_ (i : Protocol.intent) -> [ Protocol.Deliver i.id ])
+      (fun ~now:_ ~from:_ _ -> [])
+  in
+  match
+    Sim.execute (Sim.default_config ~nprocs:2) f
+      [ Sim.op ~at:0 ~src:0 ~dst:1 () ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "delivery before receive accepted"
+
+let test_liveness_failure_reported () =
+  (* a protocol that never delivers: not an error, but not live *)
+  let f =
+    misbehaving "never-deliver"
+      (fun ~now:_ (i : Protocol.intent) ->
+        [
+          Protocol.Send_user
+            {
+              Message.id = i.id;
+              src = 0;
+              dst = i.dst;
+              color = None;
+              payload = 0;
+              tag = Message.No_tag;
+            };
+        ])
+      (fun ~now:_ ~from:_ _ -> [])
+  in
+  match
+    Sim.execute (Sim.default_config ~nprocs:2) f
+      [ Sim.op ~at:0 ~src:0 ~dst:1 () ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "not live" false o.all_delivered;
+      check_bool "no user view" true (o.run = None)
+
+let test_max_steps () =
+  (* a protocol that ping-pongs control messages forever *)
+  let f =
+    misbehaving "storm"
+      (fun ~now:_ _ ->
+        [
+          Protocol.Send_control
+            { dst = 1; ctl = { Message.kind = "ping"; data = [||] } };
+        ])
+      (fun ~now:_ ~from ->
+        function
+        | Message.Control _ ->
+            [
+              Protocol.Send_control
+                { dst = from; ctl = { Message.kind = "ping"; data = [||] } };
+            ]
+        | Message.User _ -> [])
+  in
+  match
+    Sim.execute
+      { (Sim.default_config ~nprocs:2) with Sim.max_steps = 500 }
+      f
+      [ Sim.op ~at:0 ~src:0 ~dst:1 () ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "runaway protocol not stopped"
+
+let test_latency_stats () =
+  let cfg =
+    { (Sim.default_config ~nprocs:2) with Sim.min_delay = 3; jitter = 0 }
+  in
+  match
+    Sim.execute cfg Tagless.factory [ Sim.op ~at:10 ~src:0 ~dst:1 () ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_int "latency = delay" 3 o.stats.latency_total;
+      check_int "makespan" 13 o.stats.makespan;
+      Alcotest.(check (float 0.001))
+        "mean" 3.0
+        (Sim.mean_latency o.stats ~nmsgs:1)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "basic execution" `Quick test_basic_execution;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "broadcast expansion" `Quick
+            test_broadcast_expansion;
+          Alcotest.test_case "colors recorded" `Quick test_colors_recorded;
+          Alcotest.test_case "double delivery" `Quick
+            test_double_delivery_detected;
+          Alcotest.test_case "wrong source" `Quick test_wrong_source_detected;
+          Alcotest.test_case "deliver unreceived" `Quick
+            test_deliver_unreceived_detected;
+          Alcotest.test_case "liveness failure" `Quick
+            test_liveness_failure_reported;
+          Alcotest.test_case "max steps" `Quick test_max_steps;
+          Alcotest.test_case "latency stats" `Quick test_latency_stats;
+        ] );
+    ]

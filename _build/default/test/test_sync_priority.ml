@@ -1,0 +1,115 @@
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let sync_spec =
+  Spec.make ~name:"sync"
+    (List.map (fun k -> (Catalog.sync_crown k).Catalog.pred) [ 2; 3; 4; 5 ])
+
+(* the crucial property, hammered across seeds, shapes and sizes: every
+   run is logically synchronous and every message is delivered *)
+let test_always_sync_and_live () =
+  List.iter
+    (fun nprocs ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun ops ->
+              let cfg =
+                { (Sim.default_config ~nprocs) with Sim.seed; jitter = 15 }
+              in
+              match Sim.execute cfg Sync_priority.factory ops with
+              | Error e -> Alcotest.fail e
+              | Ok o -> (
+                  check_bool
+                    (Printf.sprintf "live n=%d seed=%d" nprocs seed)
+                    true o.Sim.all_delivered;
+                  match o.Sim.run with
+                  | Some r ->
+                      check_bool
+                        (Printf.sprintf "sync n=%d seed=%d" nprocs seed)
+                        true
+                        (Mo_order.Limits.is_sync (Mo_order.Run.to_abstract r))
+                  | None -> Alcotest.fail "no run"))
+            [
+              (Gen.uniform ~nprocs ~nmsgs:30 ~seed).Gen.ops;
+              (Gen.bursty ~nprocs ~nmsgs:30 ~seed).Gen.ops;
+              (Gen.pairwise_flood ~nprocs ~per_pair:3 ~seed).Gen.ops;
+            ])
+        (List.init 15 (fun i -> (i * 11) + 1)))
+    [ 2; 3; 5 ]
+
+(* symmetric duel: both processes request each other at the same instant —
+   the priority rule must break the tie without deadlock or crown *)
+let test_symmetric_duel () =
+  List.iter
+    (fun seed ->
+      let ops =
+        [ Sim.op ~at:0 ~src:0 ~dst:1 (); Sim.op ~at:0 ~src:1 ~dst:0 () ]
+      in
+      let cfg = { (Sim.default_config ~nprocs:2) with Sim.seed; jitter = 9 } in
+      let r = Conformance.check_exn ~spec:sync_spec cfg Sync_priority.factory ops in
+      check_bool "live" true r.Conformance.live;
+      check_bool "sync" true (r.Conformance.spec_ok = Some true))
+    (List.init 25 Fun.id)
+
+(* circular request pattern: 0->1->2->0 simultaneously *)
+let test_request_cycle () =
+  List.iter
+    (fun seed ->
+      let ops =
+        [
+          Sim.op ~at:0 ~src:0 ~dst:1 ();
+          Sim.op ~at:0 ~src:1 ~dst:2 ();
+          Sim.op ~at:0 ~src:2 ~dst:0 ();
+        ]
+      in
+      let cfg = { (Sim.default_config ~nprocs:3) with Sim.seed; jitter = 9 } in
+      let r = Conformance.check_exn ~spec:sync_spec cfg Sync_priority.factory ops in
+      check_bool "live" true r.Conformance.live;
+      check_bool "sync" true (r.Conformance.spec_ok = Some true))
+    (List.init 25 Fun.id)
+
+let test_control_overhead () =
+  let cfg = Sim.default_config ~nprocs:4 in
+  let n = 20 in
+  let ops = (Gen.uniform ~nprocs:4 ~nmsgs:n ~seed:2).Gen.ops in
+  match Sim.execute cfg Sync_priority.factory ops with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (* 3 control messages per user message (req/ok/ack), plus a
+         cancel + re-request pair per yield under contention *)
+      let c = o.Sim.stats.Sim.control_packets in
+      check_bool "at least req/ok/ack" true (c >= 3 * n);
+      check_bool "bounded contention overhead" true (c <= 6 * n)
+
+(* decentralization pays: on wide workloads the rendezvous protocol beats
+   the global sequencer on makespan *)
+let test_faster_than_sequencer () =
+  let nprocs = 8 in
+  let ops = (Gen.pairwise_flood ~nprocs ~per_pair:2 ~seed:3).Gen.ops in
+  let cfg = Sim.default_config ~nprocs in
+  let makespan factory =
+    match Sim.execute cfg factory ops with
+    | Ok o -> o.Sim.stats.Sim.makespan
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "priority rendezvous faster" true
+    (makespan Sync_priority.factory < makespan Sync_token.factory)
+
+let () =
+  Alcotest.run "sync_priority"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "always sync and live" `Slow
+            test_always_sync_and_live;
+          Alcotest.test_case "symmetric duel" `Quick test_symmetric_duel;
+          Alcotest.test_case "request cycle" `Quick test_request_cycle;
+          Alcotest.test_case "control overhead" `Quick test_control_overhead;
+          Alcotest.test_case "faster than sequencer" `Quick
+            test_faster_than_sequencer;
+        ] );
+    ]

@@ -1,0 +1,129 @@
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let test_always_sync () =
+  (* every recorded run is logically synchronous, across seeds and
+     workload shapes *)
+  List.iter
+    (fun seed ->
+      List.iter
+        (fun ops ->
+          let cfg = { (Sim.default_config ~nprocs:4) with Sim.seed = seed } in
+          match Sim.execute cfg Sync_token.factory ops with
+          | Error e -> Alcotest.fail e
+          | Ok o -> (
+              check_bool "live" true o.all_delivered;
+              match o.run with
+              | Some r ->
+                  check_bool "sync" true
+                    (Mo_order.Limits.is_sync (Mo_order.Run.to_abstract r))
+              | None -> Alcotest.fail "no run"))
+        [
+          (Gen.uniform ~nprocs:4 ~nmsgs:30 ~seed).Gen.ops;
+          (Gen.bursty ~nprocs:4 ~nmsgs:30 ~seed).Gen.ops;
+          (Gen.ring ~nprocs:4 ~rounds:6 ~seed).Gen.ops;
+        ])
+    [ 3; 11; 99 ]
+
+let test_coordinator_sends_too () =
+  (* process 0 (the coordinator) also originates messages; the grant path
+     must work for it as well *)
+  let cfg = Sim.default_config ~nprocs:3 in
+  let ops =
+    [
+      Sim.op ~at:0 ~src:0 ~dst:1 ();
+      Sim.op ~at:0 ~src:1 ~dst:0 ();
+      Sim.op ~at:1 ~src:0 ~dst:2 ();
+    ]
+  in
+  match Sim.execute cfg Sync_token.factory ops with
+  | Error e -> Alcotest.fail e
+  | Ok o -> check_bool "live" true o.all_delivered
+
+let test_tickets_linearize () =
+  (* tickets strictly increase along the message-graph topological order:
+     read them back from the recorded tags *)
+  let cfg = Sim.default_config ~nprocs:3 in
+  let ops = (Gen.uniform ~nprocs:3 ~nmsgs:20 ~seed:8).Gen.ops in
+  (* capture tickets via a wrapping factory *)
+  let tickets = Hashtbl.create 32 in
+  let wrap (inner : Protocol.factory) =
+    {
+      inner with
+      Protocol.make =
+        (fun ~nprocs ~me ->
+          let i = inner.Protocol.make ~nprocs ~me in
+          {
+            Protocol.on_invoke = i.Protocol.on_invoke;
+            on_packet =
+              (fun ~now ~from packet ->
+                (match packet with
+                | Message.User { id; tag = Message.Ticket t; _ } ->
+                    Hashtbl.replace tickets id t
+                | _ -> ());
+                i.Protocol.on_packet ~now ~from packet);
+          });
+    }
+  in
+  match Sim.execute cfg (wrap Sync_token.factory) ops with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match o.run with
+      | None -> Alcotest.fail "no run"
+      | Some r ->
+          let a = Mo_order.Run.to_abstract r in
+          List.iter
+            (fun (x, y) ->
+              let tx = Hashtbl.find tickets x and ty = Hashtbl.find tickets y in
+              check_bool
+                (Printf.sprintf "T(%d) < T(%d)" x y)
+                true (tx < ty))
+            (Mo_order.Run.Abstract.message_graph a))
+
+let test_control_overhead_linear () =
+  (* three control messages per user message: req, grant, ack *)
+  let cfg = Sim.default_config ~nprocs:3 in
+  let n = 25 in
+  let ops = (Gen.uniform ~nprocs:3 ~nmsgs:n ~seed:4).Gen.ops in
+  match Sim.execute cfg Sync_token.factory ops with
+  | Error e -> Alcotest.fail e
+  | Ok o -> Alcotest.(check int) "3 per message" (3 * n) o.Sim.stats.Sim.control_packets
+
+let test_satisfies_every_implementable_catalog_spec () =
+  (* X_sync is inside every implementable specification: the sync protocol
+     run must satisfy every implementable catalog predicate *)
+  let cfg = Sim.default_config ~nprocs:4 in
+  let ops = (Gen.uniform ~nprocs:4 ~nmsgs:25 ~seed:21).Gen.ops in
+  match Sim.execute cfg Sync_token.factory ops with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match o.run with
+      | None -> Alcotest.fail "no run"
+      | Some r ->
+          let a = Mo_order.Run.to_abstract r in
+          List.iter
+            (fun (e : Catalog.entry) ->
+              match e.expected with
+              | Classify.Implementable _ ->
+                  check_bool e.name true (Eval.satisfies e.pred a)
+              | Classify.Not_implementable -> ())
+            Catalog.all)
+
+let () =
+  Alcotest.run "sync_token"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "always sync" `Slow test_always_sync;
+          Alcotest.test_case "coordinator sends" `Quick
+            test_coordinator_sends_too;
+          Alcotest.test_case "tickets linearize" `Quick test_tickets_linearize;
+          Alcotest.test_case "control overhead" `Quick
+            test_control_overhead_linear;
+          Alcotest.test_case "satisfies implementable specs" `Quick
+            test_satisfies_every_implementable_catalog_spec;
+        ] );
+    ]

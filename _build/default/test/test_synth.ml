@@ -1,0 +1,205 @@
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let test_choose_mapping () =
+  let name v =
+    match Synth.choose v with
+    | Ok f -> f.Protocol.proto_name
+    | Error _ -> "error"
+  in
+  check_str "tagless" "tagless"
+    (name (Classify.Implementable Classify.Tagless));
+  check_str "tagged" "causal-rst"
+    (name (Classify.Implementable Classify.Tagged));
+  check_str "general" "sync-token"
+    (name (Classify.Implementable Classify.General));
+  check_bool "not implementable" true
+    (Result.is_error (Synth.choose Classify.Not_implementable))
+
+let test_for_predicate () =
+  (match Synth.for_predicate Catalog.causal_b2.Catalog.pred with
+  | Ok (f, r) ->
+      check_str "protocol" "causal-rst" f.Protocol.proto_name;
+      check_bool "verdict" true
+        (r.Classify.verdict = Classify.Implementable Classify.Tagged)
+  | Error e -> Alcotest.fail e);
+  match Synth.for_predicate Catalog.second_before_first.Catalog.pred with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unimplementable predicate synthesized"
+
+let test_for_spec () =
+  (* two-way flush: max class over members (both tagged) *)
+  (match Synth.for_spec Catalog.two_way_flush with
+  | Ok f -> check_str "two-way flush" "causal-rst" f.Protocol.proto_name
+  | Error e -> Alcotest.fail e);
+  (* mixing a tagged and a general member needs the general protocol *)
+  let mixed =
+    Spec.make ~name:"mixed"
+      [ Catalog.causal_b2.Catalog.pred; (Catalog.sync_crown 2).Catalog.pred ]
+  in
+  match Synth.for_spec mixed with
+  | Ok f -> check_str "mixed" "sync-token" f.Protocol.proto_name
+  | Error e -> Alcotest.fail e
+
+(* end-to-end: for every implementable catalog entry, synthesize and run;
+   the resulting trace must satisfy the entry's spec and be live *)
+let test_synthesized_protocols_conform () =
+  List.iter
+    (fun (e : Catalog.entry) ->
+      match Synth.for_predicate e.pred with
+      | Error _ ->
+          check_bool (e.name ^ " expected unimplementable") true
+            (e.expected = Classify.Not_implementable)
+      | Ok (factory, _) ->
+          let cfg = Sim.default_config ~nprocs:4 in
+          let ops = (Gen.uniform ~nprocs:4 ~nmsgs:30 ~seed:13).Gen.ops in
+          let spec = Spec.make ~name:e.name [ e.pred ] in
+          let r = Conformance.check_exn ~spec cfg factory ops in
+          check_bool (e.name ^ " live") true r.Conformance.live;
+          check_bool (e.name ^ " safe") true
+            (r.Conformance.spec_ok = Some true))
+    Catalog.all
+
+(* guarded (single-channel) k-weaker predicate *)
+let channel_kweaker k =
+  let open Term in
+  let n = k + 2 in
+  let chain = List.init (n - 1) (fun i -> s i @> s (i + 1)) in
+  let guards =
+    List.concat
+      (List.init (n - 1) (fun i -> [ Same_src (i, i + 1); Same_dst (i, i + 1) ]))
+  in
+  Forbidden.make ~nvars:n ~guards (chain @ [ r (n - 1) @> r 0 ])
+
+let opt_name p =
+  match Synth.optimize p with
+  | Ok c -> c.Synth.factory.Protocol.proto_name
+  | Error _ -> "error"
+
+(* local backward flush: same channel, color on the earlier message *)
+let local_backward_flush =
+  let open Term in
+  Forbidden.make ~nvars:2
+    ~guards:[ Same_src (0, 1); Same_dst (0, 1); Color_is (0, 1) ]
+    [ s 0 @> s 1; r 1 @> r 0 ]
+
+let test_optimize_choices () =
+  check_str "fifo -> fifo" "fifo" (opt_name Catalog.fifo.Catalog.pred);
+  check_str "local fwd flush -> selective forward" "selective-forward-1"
+    (opt_name Catalog.local_forward_flush.Catalog.pred);
+  check_str "local bwd flush -> selective backward" "selective-backward-1"
+    (opt_name local_backward_flush);
+  check_str "global bwd flush -> rst (no channel guard)" "causal-rst"
+    (opt_name Catalog.backward_flush.Catalog.pred);
+  check_str "global flush -> rst" "causal-rst"
+    (opt_name Catalog.global_forward_flush.Catalog.pred);
+  check_str "causal -> rst" "causal-rst"
+    (opt_name Catalog.causal_b2.Catalog.pred);
+  check_str "crown -> sync" "sync-token"
+    (opt_name (Catalog.sync_crown 3).Catalog.pred);
+  check_str "unguarded k-weaker -> rst (global spec)" "causal-rst"
+    (opt_name (Catalog.k_weaker_causal 2).Catalog.pred);
+  check_str "channel k-weaker 0 -> fifo" "fifo" (opt_name (channel_kweaker 0));
+  check_str "channel k-weaker 2 -> window" "k-weaker-window-2"
+    (opt_name (channel_kweaker 2));
+  check_str "async -> tagless" "tagless"
+    (opt_name (List.hd Catalog.async_forms).Catalog.pred);
+  check_bool "unimplementable -> error" true
+    (Result.is_error (Synth.optimize Catalog.second_before_first.Catalog.pred))
+
+(* the optimized choice is still safe: run it against its own spec *)
+let test_optimized_conform () =
+  let cases =
+    [
+      Catalog.fifo.Catalog.pred;
+      Catalog.local_forward_flush.Catalog.pred;
+      local_backward_flush;
+      channel_kweaker 1;
+      channel_kweaker 3;
+      Catalog.global_forward_flush.Catalog.pred;
+    ]
+  in
+  List.iter
+    (fun pred ->
+      match Synth.optimize pred with
+      | Error e -> Alcotest.fail e
+      | Ok c ->
+          List.iter
+            (fun seed ->
+              let cfg =
+                { (Sim.default_config ~nprocs:3) with Sim.seed; jitter = 20 }
+              in
+              let ops =
+                (Gen.with_colors ~every:4 ~color:1
+                   (Gen.pairwise_flood ~nprocs:3 ~per_pair:8 ~seed))
+                  .Gen.ops
+              in
+              let spec = Spec.make ~name:"opt" [ pred ] in
+              let r = Conformance.check_exn ~spec cfg c.Synth.factory ops in
+              check_bool
+                (c.Synth.factory.Protocol.proto_name ^ " live")
+                true r.Conformance.live;
+              check_bool
+                (c.Synth.factory.Protocol.proto_name ^ " safe")
+                true
+                (r.Conformance.spec_ok = Some true))
+            [ 1; 17; 33 ])
+    cases
+
+(* the selective protocols buffer less than FIFO: on a marker workload the
+   uncolored traffic never waits, so mean latency is no worse *)
+let test_selective_latency_benefit () =
+  let ops =
+    (Gen.with_colors ~every:6 ~color:1
+       (Gen.pairwise_flood ~nprocs:3 ~per_pair:20 ~seed:8))
+      .Gen.ops
+  in
+  let cfg = { (Sim.default_config ~nprocs:3) with Sim.jitter = 25 } in
+  let mean factory =
+    match Sim.execute cfg factory ops with
+    | Ok o -> Sim.mean_latency o.Sim.stats ~nmsgs:(Array.length o.Sim.msgs)
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "selective no slower than fifo" true
+    (mean (Flush.selective_forward ~color:1) <= mean Fifo.factory)
+
+(* optimization strictly reduces tag bytes where it fires *)
+let test_optimized_cheaper () =
+  let pred = Catalog.fifo.Catalog.pred in
+  let ops = (Gen.pairwise_flood ~nprocs:4 ~per_pair:5 ~seed:2).Gen.ops in
+  let cfg = Sim.default_config ~nprocs:4 in
+  let bytes factory =
+    match Sim.execute cfg factory ops with
+    | Ok o -> o.Sim.stats.Sim.tag_bytes
+    | Error e -> Alcotest.fail e
+  in
+  match (Synth.optimize pred, Synth.for_predicate pred) with
+  | Ok c, Ok (default, _) ->
+      check_bool "optimized cheaper" true
+        (bytes c.Synth.factory < bytes default)
+  | _ -> Alcotest.fail "synthesis failed"
+
+let () =
+  Alcotest.run "synth"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "choose mapping" `Quick test_choose_mapping;
+          Alcotest.test_case "for_predicate" `Quick test_for_predicate;
+          Alcotest.test_case "for_spec" `Quick test_for_spec;
+          Alcotest.test_case "synthesized protocols conform" `Slow
+            test_synthesized_protocols_conform;
+        ] );
+      ( "optimize",
+        [
+          Alcotest.test_case "choices" `Quick test_optimize_choices;
+          Alcotest.test_case "optimized conform" `Slow test_optimized_conform;
+          Alcotest.test_case "optimized cheaper" `Quick test_optimized_cheaper;
+          Alcotest.test_case "selective latency" `Quick
+            test_selective_latency_benefit;
+        ] );
+    ]

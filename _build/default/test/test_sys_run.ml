@@ -1,0 +1,272 @@
+open Mo_order
+module E = Event.Sys
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let ev msg kind = { E.msg; kind }
+
+let quad msg =
+  (* invoke and send on the source, receive and deliver on the
+     destination, as two sequence fragments *)
+  ([ ev msg E.Invoke; ev msg E.Send ], [ ev msg E.Receive; ev msg E.Deliver ])
+
+(* A three-process run in the spirit of Figure 1:
+   x0: P0 -> P1, x1: P1 -> P2, x2: P0 -> P1 (x2 after x0 on P0, received
+   after x1.s on P1). Only x0 and x1 reach P2 causally. *)
+let figure1 () =
+  let s0, r0 = quad 0 and s1, r1 = quad 1 and s2, r2 = quad 2 in
+  match
+    Sys_run.of_sequences ~nprocs:3
+      ~msgs:[| (0, 1); (1, 2); (0, 1) |]
+      [| s0 @ s2; r0 @ s1 @ r2; r1 |]
+  with
+  | Ok h -> h
+  | Error e -> Alcotest.fail e
+
+let test_construction () =
+  let h = figure1 () in
+  check_int "nprocs" 3 (Sys_run.nprocs h);
+  check_int "nmsgs" 3 (Sys_run.nmsgs h);
+  check_bool "complete" true (Sys_run.is_complete h);
+  check_bool "x0.s < x1.s" true (Sys_run.lt h (ev 0 E.Send) (ev 1 E.Send));
+  check_bool "x0.s < x1.r" true (Sys_run.lt h (ev 0 E.Send) (ev 1 E.Deliver));
+  check_bool "x2 not before x1.s" false
+    (Sys_run.lt h (ev 2 E.Send) (ev 1 E.Send))
+
+let test_validation () =
+  let msgs = [| (0, 1) |] in
+  (* receive without send *)
+  (match
+     Sys_run.of_sequences ~nprocs:2 ~msgs
+       [| []; [ ev 0 E.Receive; ev 0 E.Deliver ] |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "spurious receive accepted");
+  (* send without invoke *)
+  (match Sys_run.of_sequences ~nprocs:2 ~msgs [| [ ev 0 E.Send ]; [] |] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unrequested send accepted");
+  (* wrong process *)
+  (match
+     Sys_run.of_sequences ~nprocs:2 ~msgs
+       [| []; [ ev 0 E.Invoke; ev 0 E.Send ] |]
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "misplaced invoke accepted");
+  (* deliver before receive *)
+  match
+    Sys_run.of_sequences ~nprocs:2 ~msgs
+      [|
+        [ ev 0 E.Invoke; ev 0 E.Send ]; [ ev 0 E.Deliver; ev 0 E.Receive ];
+      |]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "deliver before receive accepted"
+
+let test_partial_runs () =
+  (* prefixes are runs: requested but unsent, in transit, undelivered *)
+  let msgs = [| (0, 1) |] in
+  (match Sys_run.of_sequences ~nprocs:2 ~msgs [| [ ev 0 E.Invoke ]; [] |] with
+  | Ok h ->
+      check_bool "incomplete" false (Sys_run.is_complete h);
+      check_bool "send pending" true
+        (Sys_run.Pending.sends h 0 = [ ev 0 E.Send ])
+  | Error e -> Alcotest.fail e);
+  match
+    Sys_run.of_sequences ~nprocs:2 ~msgs
+      [| [ ev 0 E.Invoke; ev 0 E.Send ]; [ ev 0 E.Receive ] |]
+  with
+  | Ok h ->
+      check_bool "delivery pending" true
+        (Sys_run.Pending.deliveries h 1 = [ ev 0 E.Deliver ])
+  | Error e -> Alcotest.fail e
+
+let test_causal_past () =
+  let h = figure1 () in
+  let g = Sys_run.causal_past h 2 in
+  (* P2 keeps its own events *)
+  check_int "own events" 2 (List.length (Sys_run.sequence g 2));
+  (* P1 keeps x0.r*, x0.r, x1.s*, x1.s but not x2.r*, x2.r *)
+  check_bool "x1.s kept" true (Sys_run.mem g (ev 1 E.Send));
+  check_bool "x0.r kept" true (Sys_run.mem g (ev 0 E.Deliver));
+  check_bool "x2.r dropped" false (Sys_run.mem g (ev 2 E.Deliver));
+  (* P0 keeps x0.s but not x2.s *)
+  check_bool "x0.s kept" true (Sys_run.mem g (ev 0 E.Send));
+  check_bool "x2.s dropped" false (Sys_run.mem g (ev 2 E.Send));
+  check_bool "prefix of h" true (Sys_run.is_prefix g h)
+
+let test_causal_past_idempotent () =
+  (* CausalPast_i is a closure operator on runs: applying it twice changes
+     nothing, and it is a prefix of the original *)
+  let h = figure1 () in
+  for i = 0 to 2 do
+    let g = Sys_run.causal_past h i in
+    let g2 = Sys_run.causal_past g i in
+    check_bool
+      (Printf.sprintf "idempotent at P%d" i)
+      true
+      (Sys_run.is_prefix g g2 && Sys_run.is_prefix g2 g);
+    check_bool "prefix of original" true (Sys_run.is_prefix g h)
+  done
+
+let test_pending_sets () =
+  let msgs = [| (0, 1); (1, 0) |] in
+  let h =
+    match
+      Sys_run.of_sequences ~nprocs:2 ~msgs
+        [| [ ev 0 E.Invoke; ev 0 E.Send ]; [] |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "x1 not yet invoked" true
+    (Sys_run.Pending.invokes h 1 = [ ev 1 E.Invoke ]);
+  check_bool "x0 in transit" true
+    (Sys_run.Pending.receives h 1 = [ ev 0 E.Receive ]);
+  check_bool "nothing controllable at P1" true
+    (Sys_run.Pending.controllable h 1 = []);
+  check_bool "not all done" false (Sys_run.Pending.all_done h)
+
+let test_extend () =
+  let msgs = [| (0, 1) |] in
+  let h =
+    match Sys_run.of_sequences ~nprocs:2 ~msgs [| []; [] |] with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  let h1 =
+    match Sys_run.extend h 0 (ev 0 E.Invoke) with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "invoke recorded" true (Sys_run.mem h1 (ev 0 E.Invoke));
+  check_bool "prefix" true (Sys_run.is_prefix h h1);
+  (* invalid extension: deliver before receive *)
+  match Sys_run.extend h1 1 (ev 0 E.Deliver) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "invalid extension accepted"
+
+let test_users_view () =
+  let h = figure1 () in
+  match Sys_run.users_view h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check_int "user events on P1" 3 (List.length (Run.sequence r 1));
+      check_bool "x0.s < x1.r in user view" true
+        (Run.lt r (Event.send 0) (Event.deliver 1))
+
+(* Figure 4: in the system view s2 happens before r1 (the receive is taken
+   early), but in the user's view s2 does not precede the delivery r1 *)
+let test_figure4_views () =
+  let h =
+    match
+      Sys_run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (1, 0) |]
+        [|
+          [ ev 0 E.Invoke; ev 0 E.Send; ev 1 E.Receive; ev 1 E.Deliver ];
+          [ ev 1 E.Invoke; ev 1 E.Send; ev 0 E.Receive; ev 0 E.Deliver ];
+        |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  (* system view: x1.s -> x1.r* and x1.r* is after x0.s on P0's sequence?
+     no: x1.r* is on P0; x0.s precedes it in P0's order *)
+  check_bool "sys: x0.s < x1.r*" true
+    (Sys_run.lt h (ev 0 E.Send) (ev 1 E.Receive));
+  match Sys_run.users_view h with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check_bool "user: x0.s < x1.r still (process order)" true
+        (Run.lt r (Event.send 0) (Event.deliver 1));
+      check_bool "user: crossing deliveries concurrent with sends" true
+        (Run.concurrent r (Event.send 0) (Event.send 1))
+
+let test_lemma2_sets () =
+  (* immediate style run: requests immediately precede executions *)
+  let s0, r0 = quad 0 and s1, r1 = quad 1 in
+  let immediate =
+    match
+      Sys_run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (0, 1) |]
+        [| s0 @ s1; r0 @ r1 |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "in X_tl" true (Sys_run.Lemma2.in_tagless_set immediate);
+  check_bool "in X_td" true (Sys_run.Lemma2.in_tagged_set immediate);
+  check_bool "in X_gn" true (Sys_run.Lemma2.in_general_set immediate);
+  (* non-immediate: receive early, deliver later *)
+  let delayed =
+    match
+      Sys_run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (0, 1) |]
+        [|
+          [ ev 0 E.Invoke; ev 0 E.Send; ev 1 E.Invoke; ev 1 E.Send ];
+          [ ev 0 E.Receive; ev 1 E.Receive; ev 0 E.Deliver; ev 1 E.Deliver ];
+        |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "not in X_tl (requests not immediate)" false
+    (Sys_run.Lemma2.in_tagless_set delayed);
+  (* causally out of order on receives: x0.s < x1.s but x1.r* < x0.r* *)
+  let swapped =
+    match
+      Sys_run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (0, 1) |]
+        [|
+          s0 @ s1;
+          [ ev 1 E.Receive; ev 1 E.Deliver; ev 0 E.Receive; ev 0 E.Deliver ];
+        |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "swapped in X_tl" true (Sys_run.Lemma2.in_tagless_set swapped);
+  check_bool "swapped not in X_td" false
+    (Sys_run.Lemma2.in_tagged_set swapped)
+
+let test_lemma2_containment () =
+  (* X_tl ⊇ X_td ⊇ X_gn by definition; spot check with the crossing run *)
+  let crossing =
+    match
+      Sys_run.of_sequences ~nprocs:2
+        ~msgs:[| (0, 1); (1, 0) |]
+        [|
+          [ ev 0 E.Invoke; ev 0 E.Send; ev 1 E.Receive; ev 1 E.Deliver ];
+          [ ev 1 E.Invoke; ev 1 E.Send; ev 0 E.Receive; ev 0 E.Deliver ];
+        |]
+    with
+    | Ok h -> h
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "crossing in X_tl" true (Sys_run.Lemma2.in_tagless_set crossing);
+  check_bool "crossing in X_td" true (Sys_run.Lemma2.in_tagged_set crossing);
+  (* the crossing messages cannot be drawn vertical *)
+  check_bool "crossing not in X_gn" false
+    (Sys_run.Lemma2.in_general_set crossing)
+
+let () =
+  Alcotest.run "sys_run"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "partial runs" `Quick test_partial_runs;
+          Alcotest.test_case "causal past (fig 1)" `Quick test_causal_past;
+          Alcotest.test_case "causal past idempotent" `Quick
+            test_causal_past_idempotent;
+          Alcotest.test_case "pending sets" `Quick test_pending_sets;
+          Alcotest.test_case "extend" `Quick test_extend;
+          Alcotest.test_case "users view" `Quick test_users_view;
+          Alcotest.test_case "figure 4 views" `Quick test_figure4_views;
+          Alcotest.test_case "lemma 2 sets" `Quick test_lemma2_sets;
+          Alcotest.test_case "lemma 2 containment" `Quick
+            test_lemma2_containment;
+        ] );
+    ]

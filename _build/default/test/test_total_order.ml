@@ -1,0 +1,168 @@
+open Mo_order
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let grouping (o : Sim.outcome) =
+  { Broadcast_props.group_of = (fun id -> o.Sim.groups.(id)) }
+
+let run_broadcasts factory ~seed ~nbcasts =
+  let cfg = { (Sim.default_config ~nprocs:4) with Sim.seed; jitter = 20 } in
+  let ops =
+    (* broadcasts packed tightly so reordering pressure is real *)
+    List.map
+      (fun (op : Sim.op) -> { op with Sim.at = op.Sim.at / 3 })
+      (Gen.broadcast ~nprocs:4 ~nbcasts ~seed).Gen.ops
+  in
+  Sim.execute cfg factory ops
+
+let seeds = List.init 12 (fun i -> (i * 7) + 1)
+
+let test_total_order_protocol_safe () =
+  List.iter
+    (fun seed ->
+      match run_broadcasts Total_order.factory ~seed ~nbcasts:15 with
+      | Error e -> Alcotest.fail e
+      | Ok o -> (
+          check_bool "live" true o.Sim.all_delivered;
+          match o.Sim.run with
+          | None -> Alcotest.fail "no run"
+          | Some r ->
+              check_bool "total order" true
+                (Broadcast_props.total_order r (grouping o));
+              check_bool "causal too" true
+                (Broadcast_props.causal_broadcast r (grouping o))))
+    seeds
+
+let test_control_overhead () =
+  match run_broadcasts Total_order.factory ~seed:3 ~nbcasts:10 with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      (* two control messages per broadcast: req + grant *)
+      Alcotest.(check int) "2 per broadcast" 20 o.Sim.stats.Sim.control_packets
+
+let test_bss_not_total_order () =
+  (* BSS guarantees causal but not total order: concurrent broadcasts can
+     be delivered in different orders at different processes *)
+  let violates seed =
+    match run_broadcasts Causal_bss.factory ~seed ~nbcasts:15 with
+    | Error _ -> false
+    | Ok o -> (
+        match o.Sim.run with
+        | None -> false
+        | Some r ->
+            Broadcast_props.causal_broadcast r (grouping o)
+            && not (Broadcast_props.total_order r (grouping o)))
+  in
+  check_bool "bss causal but unordered under some seed" true
+    (List.exists violates (List.init 30 Fun.id))
+
+let test_tagless_not_causal_broadcast () =
+  let violates seed =
+    match run_broadcasts Tagless.factory ~seed ~nbcasts:15 with
+    | Error _ -> false
+    | Ok o -> (
+        match o.Sim.run with
+        | None -> false
+        | Some r -> not (Broadcast_props.causal_broadcast r (grouping o)))
+  in
+  check_bool "tagless violates causal broadcast under some seed" true
+    (List.exists violates (List.init 30 Fun.id))
+
+let test_delivery_order_helper () =
+  match run_broadcasts Total_order.factory ~seed:5 ~nbcasts:8 with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match o.Sim.run with
+      | None -> Alcotest.fail "no run"
+      | Some r ->
+          (* each process delivers every group except its own broadcasts,
+             each group exactly once *)
+          let all_groups =
+            List.sort_uniq compare (Array.to_list o.Sim.groups)
+          in
+          List.iteri
+            (fun p order ->
+              let expected =
+                List.filter
+                  (fun g ->
+                    (* p receives group g iff g was not originated by p *)
+                    Array.exists
+                      (fun id ->
+                        o.Sim.groups.(id) = g && snd o.Sim.msgs.(id) = p)
+                      (Array.init (Array.length o.Sim.msgs) Fun.id))
+                  all_groups
+              in
+              check_bool
+                (Printf.sprintf "P%d delivers its groups once each" p)
+                true
+                (List.sort compare order = List.sort compare expected))
+            (List.init 4 (fun p ->
+                 Broadcast_props.delivery_order r (grouping o) p)))
+
+let test_ticket_order_extends_causality () =
+  (* read tickets back and check: if a send of g happens-before a send of
+     h in the user view, ticket(g) < ticket(h) *)
+  let tickets = Hashtbl.create 32 in
+  let wrap (inner : Protocol.factory) =
+    {
+      inner with
+      Protocol.make =
+        (fun ~nprocs ~me ->
+          let i = inner.Protocol.make ~nprocs ~me in
+          {
+            Protocol.on_invoke = i.Protocol.on_invoke;
+            on_packet =
+              (fun ~now ~from packet ->
+                (match packet with
+                | Message.User { id; tag = Message.Ticket t; _ } ->
+                    Hashtbl.replace tickets id t
+                | _ -> ());
+                i.Protocol.on_packet ~now ~from packet);
+          });
+    }
+  in
+  match
+    let cfg = { (Sim.default_config ~nprocs:3) with Sim.seed = 2 } in
+    let ops = (Gen.broadcast ~nprocs:3 ~nbcasts:10 ~seed:2).Gen.ops in
+    Sim.execute cfg (wrap Total_order.factory) ops
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match o.Sim.run with
+      | None -> Alcotest.fail "no run"
+      | Some r ->
+          for m1 = 0 to Run.nmsgs r - 1 do
+            for m2 = 0 to Run.nmsgs r - 1 do
+              if
+                o.Sim.groups.(m1) <> o.Sim.groups.(m2)
+                && Run.lt r (Event.send m1) (Event.send m2)
+              then
+                match
+                  (Hashtbl.find_opt tickets m1, Hashtbl.find_opt tickets m2)
+                with
+                | Some t1, Some t2 ->
+                    check_bool "tickets extend causality" true (t1 < t2)
+                | _ -> Alcotest.fail "missing ticket"
+            done
+          done)
+
+let () =
+  Alcotest.run "total_order"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "protocol safe" `Slow
+            test_total_order_protocol_safe;
+          Alcotest.test_case "control overhead" `Quick test_control_overhead;
+          Alcotest.test_case "bss not total order" `Quick
+            test_bss_not_total_order;
+          Alcotest.test_case "tagless not causal broadcast" `Quick
+            test_tagless_not_causal_broadcast;
+          Alcotest.test_case "delivery order helper" `Quick
+            test_delivery_order_helper;
+          Alcotest.test_case "tickets extend causality" `Quick
+            test_ticket_order_extends_causality;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+open Mo_order
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"trace roundtrip preserves the run" ~count:120
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let r = Random_run.run ~nprocs:4 ~nmsgs:12 ~seed () in
+      match Trace_io.parse (Trace_io.to_string r) with
+      | Ok r' -> Run.Abstract.equal (Run.to_abstract r) (Run.to_abstract r')
+      | Error _ -> false)
+
+let prop_monitor_agrees =
+  (* serialized trace fed to the online monitor gives the same verdicts as
+     the original run *)
+  QCheck.Test.make ~name:"serialized trace keeps monitor verdicts" ~count:80
+    QCheck.(int_bound 5_000)
+    (fun seed ->
+      let r = Random_run.run ~nprocs:3 ~nmsgs:10 ~seed () in
+      match Trace_io.parse (Trace_io.to_string r) with
+      | Ok r' ->
+          let v1, s1 = Online.feed_run r and v2, s2 = Online.feed_run r' in
+          List.length v1 = List.length v2 && Result.is_ok s1 = Result.is_ok s2
+      | Error _ -> false)
+
+let test_simulator_bridge () =
+  (* a protocol trace written by the simulator parses back identically *)
+  let open Mo_protocol in
+  let ops = (Gen.uniform ~nprocs:3 ~nmsgs:20 ~seed:4).Gen.ops in
+  match Sim.execute (Sim.default_config ~nprocs:3) Fifo.factory ops with
+  | Ok { Sim.run = Some r; _ } -> (
+      let path = Filename.temp_file "mopc_trace" ".txt" in
+      Trace_io.write path r;
+      match Trace_io.read path with
+      | Ok r' ->
+          Sys.remove path;
+          check_bool "same run" true
+            (Run.Abstract.equal (Run.to_abstract r) (Run.to_abstract r'))
+      | Error e ->
+          Sys.remove path;
+          Alcotest.fail e)
+  | Ok _ -> Alcotest.fail "not live"
+  | Error e -> Alcotest.fail e
+
+let test_parse_errors () =
+  List.iter
+    (fun text ->
+      match Trace_io.parse text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted: " ^ text))
+    [
+      "send 0 0";
+      "deliver";
+      "send a 0 1";
+      "frobnicate 3";
+      "deliver 0" (* delivery before any send *);
+    ]
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\nsend 0 0 1\n  # indented\ndeliver 0\n" in
+  match Trace_io.parse text with
+  | Ok r -> check_bool "one message" true (Run.nmsgs r = 1)
+  | Error e -> Alcotest.fail e
+
+let () =
+  Alcotest.run "trace_io"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "simulator bridge" `Quick test_simulator_bridge;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_monitor_agrees ] );
+    ]

@@ -1,0 +1,142 @@
+open Mo_core
+open Term
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let only_cycle pred =
+  match Cycles.enumerate (Pgraph.of_predicate pred) with
+  | [ c ] -> c
+  | cs ->
+      Alcotest.fail (Printf.sprintf "expected 1 cycle, got %d" (List.length cs))
+
+let test_two_cycle_fixed_point () =
+  let c = only_cycle Catalog.causal_b2.Catalog.pred in
+  let w = Weaken.contract c in
+  check_bool "two vertex form" true (w.form = `Two_vertex);
+  check_int "no steps" 0 (List.length w.trace);
+  check_int "order preserved" 1 w.original_order
+
+let test_crown_fixed_point () =
+  let c = only_cycle (Catalog.sync_crown 4).Catalog.pred in
+  let w = Weaken.contract c in
+  check_bool "all beta form" true (w.form = `All_beta);
+  check_int "no steps" 0 (List.length w.trace);
+  check_int "4 conjuncts kept" 4 (List.length w.final)
+
+let test_example_contraction () =
+  (* the paper's Example 3: contracting the non-beta vertices of the
+     4-cycle yields a 2-vertex order-1 cycle whose beta vertex is x3 *)
+  let g = Pgraph.of_predicate Catalog.example_1.Catalog.pred in
+  let four_cycle =
+    List.find (fun c -> List.length c = 4) (Cycles.enumerate g)
+  in
+  let w = Weaken.contract four_cycle in
+  check_int "two steps" 2 (List.length w.trace);
+  check_bool "two vertex form" true (w.form = `Two_vertex);
+  check_int "order preserved" 1 w.original_order;
+  (* the weakened predicate is a canonical order-1 (causal) form *)
+  let p' = Weaken.to_predicate w in
+  let r = Classify.classify p' in
+  Alcotest.(check string)
+    "still tagged" "tagged"
+    (Classify.verdict_to_string r.Classify.verdict)
+
+let test_contraction_order_preserved_random () =
+  for seed = 0 to 80 do
+    let nvars = 3 + (seed mod 5) in
+    let p = Mo_workload.Random_pred.cyclic_predicate ~nvars ~seed in
+    match Cycles.enumerate (Pgraph.of_predicate p) with
+    | [ c ] ->
+        let w = Weaken.contract c in
+        let final_order =
+          (* order of the contracted cycle = order of the weakened
+             predicate's unique cycle *)
+          match
+            Cycles.enumerate (Pgraph.of_predicate (Weaken.to_predicate w))
+          with
+          | [ c' ] -> Beta.order c'
+          | _ -> Alcotest.fail "weakened predicate should be a single cycle"
+        in
+        check_int
+          (Printf.sprintf "seed %d order preserved" seed)
+          (Beta.order c) final_order
+    | _ -> () (* random multi-cycle graphs are exercised elsewhere *)
+  done
+
+let test_weaker_is_implied () =
+  (* B ⟹ B': every conjunct of the contraction is implied, so any run
+     violating B' must violate B... conversely X_{B'} ⊆ X_B. We check the
+     contrapositive on the witness: the witness of B satisfies B'. *)
+  let g = Pgraph.of_predicate Catalog.example_1.Catalog.pred in
+  let four_cycle =
+    List.find (fun c -> List.length c = 4) (Cycles.enumerate g)
+  in
+  let w = Weaken.contract four_cycle in
+  match Witness.build Catalog.example_1.Catalog.pred with
+  | Witness.Witness { run; assignment } ->
+      (* each final conjunct (over original variable names) holds in the
+         witness under the identity assignment *)
+      List.iter
+        (fun (c : Term.conjunct) ->
+          let ev (e : Term.endpoint) =
+            {
+              Mo_order.Event.msg = assignment.(e.Term.var);
+              point = e.Term.point;
+            }
+          in
+          check_bool
+            (Format.asprintf "implied: %a" Term.pp_conjunct c)
+            true
+            (Mo_order.Run.Abstract.lt run (ev c.before) (ev c.after)))
+        w.final
+  | _ -> Alcotest.fail "witness should exist"
+
+(* Lemma 4's statement "B ⟹ B'" checked with the independent implication
+   decision procedure, over random cyclic predicates *)
+let test_contraction_is_implied () =
+  for seed = 0 to 60 do
+    let nvars = 3 + (seed mod 4) in
+    let p = Mo_workload.Random_pred.cyclic_predicate ~nvars ~seed in
+    match Cycles.enumerate (Pgraph.of_predicate p) with
+    | c :: _ ->
+        let w = Weaken.contract c in
+        let p' = Weaken.to_predicate w in
+        check_bool
+          (Printf.sprintf "seed %d: B implies its contraction" seed)
+          true (Implies.check p p')
+    | [] -> ()
+  done
+
+let test_self_loop () =
+  let p = Forbidden.make ~nvars:1 [ s 0 @> r 0 ] in
+  match Cycles.enumerate (Pgraph.of_predicate p) with
+  | [ c ] ->
+      let w = Weaken.contract c in
+      check_bool "self loop form" true (w.form = `Self_loop)
+  | _ -> Alcotest.fail "self loop cycle expected"
+
+let test_empty_rejected () =
+  Alcotest.check_raises "empty cycle"
+    (Invalid_argument "Weaken.contract: empty cycle") (fun () ->
+      ignore (Weaken.contract []))
+
+let () =
+  Alcotest.run "weaken"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "two-cycle fixed point" `Quick
+            test_two_cycle_fixed_point;
+          Alcotest.test_case "crown fixed point" `Quick test_crown_fixed_point;
+          Alcotest.test_case "example contraction" `Quick
+            test_example_contraction;
+          Alcotest.test_case "order preserved (random)" `Quick
+            test_contraction_order_preserved_random;
+          Alcotest.test_case "weaker is implied" `Quick test_weaker_is_implied;
+          Alcotest.test_case "contraction implied (Implies)" `Quick
+            test_contraction_is_implied;
+          Alcotest.test_case "self loop" `Quick test_self_loop;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+open Mo_core
+open Mo_order
+open Term
+
+let check_bool = Alcotest.(check bool)
+
+let test_witness_satisfies_predicate () =
+  (* the witness run satisfies B under the identity assignment, for every
+     satisfiable catalog predicate *)
+  List.iter
+    (fun (e : Catalog.entry) ->
+      match Witness.build e.pred with
+      | Witness.Witness w ->
+          check_bool
+            (e.name ^ " identity assignment")
+            true
+            (Eval.check_assignment e.pred w.run w.assignment)
+      | Witness.Cyclic ->
+          (* only the async (order-0) forms are unsatisfiable *)
+          check_bool (e.name ^ " cyclic only for tagless") true
+            (e.expected = Classify.Implementable Classify.Tagless)
+      | Witness.Conflicting_guards ->
+          Alcotest.fail (e.name ^ ": unexpected guard conflict"))
+    Catalog.all
+
+let test_cyclic_for_contradictions () =
+  (match Witness.build (Forbidden.make ~nvars:1 [ r 0 @> s 0 ]) with
+  | Witness.Cyclic -> ()
+  | _ -> Alcotest.fail "r < s should be cyclic");
+  match
+    Witness.build (Forbidden.make ~nvars:2 [ s 0 @> r 1; r 1 @> s 0 ])
+  with
+  | Witness.Cyclic -> ()
+  | _ -> Alcotest.fail "two-variable event cycle should be Cyclic"
+
+let test_guard_attrs () =
+  match Witness.build Catalog.fifo.Catalog.pred with
+  | Witness.Witness w ->
+      let a0 = Run.Abstract.attrs w.run 0 and a1 = Run.Abstract.attrs w.run 1 in
+      check_bool "same src" true (a0.Run.src = a1.Run.src && a0.Run.src <> None);
+      check_bool "same dst" true (a0.Run.dst = a1.Run.dst && a0.Run.dst <> None);
+      check_bool "src differs from dst" true (a0.Run.src <> a0.Run.dst)
+  | _ -> Alcotest.fail "fifo witness should exist"
+
+let test_color_attrs () =
+  match Witness.build Catalog.global_forward_flush.Catalog.pred with
+  | Witness.Witness w ->
+      check_bool "x1 is red" true
+        ((Run.Abstract.attrs w.run 1).Run.color = Some 1);
+      check_bool "x0 uncolored" true
+        ((Run.Abstract.attrs w.run 0).Run.color = None)
+  | _ -> Alcotest.fail "flush witness should exist"
+
+let test_conflicting_guards () =
+  let p =
+    Forbidden.make ~nvars:1
+      ~guards:[ Color_is (0, 1); Color_is (0, 2) ]
+      []
+  in
+  match Witness.build p with
+  | Witness.Conflicting_guards -> ()
+  | _ -> Alcotest.fail "conflicting colors should be detected"
+
+let test_semantic_classification_known () =
+  (* exact on the canonical unguarded entries, except the documented
+     coarseness of B1/B3 on the tagged/general boundary *)
+  let semantic name p = (name, Witness.classify p) in
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check string)
+        name "general"
+        (Classify.verdict_to_string v))
+    [
+      semantic "causal-b1 (abstract semantics coarser)"
+        Catalog.causal_b1.Catalog.pred;
+      semantic "causal-b3 (abstract semantics coarser)"
+        Catalog.causal_b3.Catalog.pred;
+      semantic "crown" (Catalog.sync_crown 2).Catalog.pred;
+    ];
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check string) name "tagged" (Classify.verdict_to_string v))
+    [
+      semantic "causal-b2" Catalog.causal_b2.Catalog.pred;
+      semantic "example-1" Catalog.example_1.Catalog.pred;
+    ];
+  Alcotest.(check string)
+    "second-before-first" "not implementable"
+    (Classify.verdict_to_string
+       (Witness.classify Catalog.second_before_first.Catalog.pred))
+
+let test_witness_run_shape () =
+  match Witness.build Catalog.causal_b2.Catalog.pred with
+  | Witness.Witness w ->
+      check_bool "two messages" true (Run.Abstract.nmsgs w.run = 2);
+      check_bool "s0 < s1" true
+        (Run.Abstract.lt w.run (Event.send 0) (Event.send 1));
+      check_bool "r1 < r0" true
+        (Run.Abstract.lt w.run (Event.deliver 1) (Event.deliver 0));
+      check_bool "s < r implicit" true
+        (Run.Abstract.lt w.run (Event.send 1) (Event.deliver 1))
+  | _ -> Alcotest.fail "witness should exist"
+
+(* semantic classification is never finer than the graph one: it can say
+   General where the graph says Tagged (abstract-poset coarseness) but
+   never the other way, and they always agree on implementability and on
+   Tagless. *)
+let prop_semantic_sound =
+  QCheck.Test.make ~name:"semantic vs graph classification" ~count:400
+    QCheck.(int_bound 20_000)
+    (fun seed ->
+      let p = Mo_workload.Random_pred.predicate ~seed () in
+      let graph = (Classify.classify p).Classify.verdict in
+      let semantic = Witness.classify p in
+      match (graph, semantic) with
+      | Classify.Not_implementable, Classify.Not_implementable -> true
+      | Classify.Not_implementable, _ | _, Classify.Not_implementable ->
+          false
+      | Classify.Implementable g, Classify.Implementable s -> (
+          match (g, s) with
+          | Classify.Tagless, Classify.Tagless -> true
+          | Classify.Tagless, _ | _, Classify.Tagless -> false
+          | Classify.Tagged, (Classify.Tagged | Classify.General) -> true
+          | Classify.General, Classify.General -> true
+          | Classify.General, Classify.Tagged -> false))
+
+let () =
+  Alcotest.run "witness"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "witness satisfies B" `Quick
+            test_witness_satisfies_predicate;
+          Alcotest.test_case "cyclic contradictions" `Quick
+            test_cyclic_for_contradictions;
+          Alcotest.test_case "guard attrs" `Quick test_guard_attrs;
+          Alcotest.test_case "color attrs" `Quick test_color_attrs;
+          Alcotest.test_case "conflicting guards" `Quick
+            test_conflicting_guards;
+          Alcotest.test_case "semantic classification" `Quick
+            test_semantic_classification_known;
+          Alcotest.test_case "witness shape" `Quick test_witness_run_shape;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_semantic_sound ] );
+    ]

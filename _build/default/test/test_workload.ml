@@ -1,0 +1,122 @@
+open Mo_protocol
+open Mo_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_uniform () =
+  let w = Gen.uniform ~nprocs:4 ~nmsgs:50 ~seed:1 in
+  check_int "count" 50 (List.length w.Gen.ops);
+  List.iter
+    (fun (o : Sim.op) ->
+      (match o.dst with
+      | Sim.Unicast d ->
+          check_bool "distinct endpoints" true (d <> o.src);
+          check_bool "in range" true (d >= 0 && d < 4)
+      | Sim.Broadcast -> Alcotest.fail "uniform should be unicast");
+      check_bool "src in range" true (o.src >= 0 && o.src < 4))
+    w.Gen.ops
+
+let test_determinism () =
+  let a = Gen.uniform ~nprocs:3 ~nmsgs:20 ~seed:9 in
+  let b = Gen.uniform ~nprocs:3 ~nmsgs:20 ~seed:9 in
+  check_bool "same seed" true (a.Gen.ops = b.Gen.ops);
+  let c = Gen.uniform ~nprocs:3 ~nmsgs:20 ~seed:10 in
+  check_bool "different seed differs" true (a.Gen.ops <> c.Gen.ops)
+
+let test_client_server () =
+  let w = Gen.client_server ~nprocs:4 ~nmsgs:40 ~seed:2 in
+  List.iteri
+    (fun i (o : Sim.op) ->
+      match o.dst with
+      | Sim.Unicast d ->
+          if i mod 2 = 0 then check_int "request to server" 0 d
+          else check_int "reply from server" 0 o.src
+      | Sim.Broadcast -> Alcotest.fail "unicast expected")
+    w.Gen.ops
+
+let test_ring () =
+  let w = Gen.ring ~nprocs:3 ~rounds:2 ~seed:0 in
+  check_int "count" 6 (List.length w.Gen.ops);
+  List.iter
+    (fun (o : Sim.op) ->
+      match o.dst with
+      | Sim.Unicast d -> check_int "successor" ((o.src + 1) mod 3) d
+      | Sim.Broadcast -> Alcotest.fail "unicast expected")
+    w.Gen.ops
+
+let test_broadcast () =
+  let w = Gen.broadcast ~nprocs:3 ~nbcasts:5 ~seed:3 in
+  check_int "count" 5 (List.length w.Gen.ops);
+  List.iter
+    (fun (o : Sim.op) ->
+      check_bool "broadcast" true (o.Sim.dst = Sim.Broadcast))
+    w.Gen.ops
+
+let test_pairwise_flood () =
+  let w = Gen.pairwise_flood ~nprocs:3 ~per_pair:2 ~seed:0 in
+  (* 3 * 2 ordered pairs * 2 rounds *)
+  check_int "count" 12 (List.length w.Gen.ops)
+
+let test_with_colors () =
+  let w =
+    Gen.with_colors ~every:3 ~color:1 (Gen.ring ~nprocs:2 ~rounds:3 ~seed:0)
+  in
+  let colored =
+    List.filteri (fun i _ -> (i + 1) mod 3 = 0) w.Gen.ops
+  in
+  List.iter
+    (fun (o : Sim.op) -> check_bool "colored" true (o.Sim.color = Some 1))
+    colored;
+  check_int "uncolored rest" 4
+    (List.length (List.filter (fun (o : Sim.op) -> o.Sim.color = None) w.Gen.ops))
+
+let test_with_flush () =
+  let w =
+    Gen.with_flush ~every:2 ~kind:Message.Forward
+      (Gen.ring ~nprocs:2 ~rounds:2 ~seed:0)
+  in
+  let kinds = List.map (fun (o : Sim.op) -> o.Sim.flush) w.Gen.ops in
+  Alcotest.(check bool)
+    "alternating" true
+    (kinds
+    = Message.[ Ordinary; Forward; Ordinary; Forward ])
+
+let test_random_pred_determinism () =
+  let a = Random_pred.predicate ~seed:5 () in
+  let b = Random_pred.predicate ~seed:5 () in
+  check_bool "same" true (Mo_core.Forbidden.equal a b);
+  let batch = Random_pred.batch ~seed:0 10 in
+  check_int "batch size" 10 (List.length batch)
+
+let test_guarded_pred () =
+  let p = Random_pred.guarded_predicate ~seed:5 () in
+  check_bool "has guards" true (Mo_core.Forbidden.is_guarded p)
+
+let test_cyclic_pred () =
+  for seed = 0 to 10 do
+    let p = Random_pred.cyclic_predicate ~nvars:4 ~seed in
+    check_int "conjuncts" 4 (List.length (Mo_core.Forbidden.conjuncts p))
+  done
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "uniform" `Quick test_uniform;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "client-server" `Quick test_client_server;
+          Alcotest.test_case "ring" `Quick test_ring;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "pairwise flood" `Quick test_pairwise_flood;
+          Alcotest.test_case "with colors" `Quick test_with_colors;
+          Alcotest.test_case "with flush" `Quick test_with_flush;
+        ] );
+      ( "random_pred",
+        [
+          Alcotest.test_case "determinism" `Quick test_random_pred_determinism;
+          Alcotest.test_case "guarded" `Quick test_guarded_pred;
+          Alcotest.test_case "cyclic" `Quick test_cyclic_pred;
+        ] );
+    ]
