@@ -148,6 +148,58 @@ let sim_tests =
       mk "flush" Flush.factory;
     ]
 
+(* ---- B10: protocol cost accounting via the observability layer ---- *)
+
+let obs_protocols =
+  [
+    ("tagless", Tagless.factory);
+    ("fifo", Fifo.factory);
+    ("causal-rst", Causal_rst.factory);
+    ("causal-ses", Causal_ses.factory);
+    ("causal-bss", Causal_bss.factory);
+    ("sync-token", Sync_token.factory);
+    ("sync-priority", Sync_priority.factory);
+    ("flush", Flush.factory);
+    ("total-order", Total_order.factory);
+  ]
+
+let obs_summary () =
+  Format.printf "@.%s@.== B10: protocol cost accounting (seeded, 4 procs, \
+                 200 msgs)@.%s@."
+    (String.make 74 '=') (String.make 74 '=');
+  let ops = (Gen.uniform ~nprocs:4 ~nmsgs:200 ~seed:42).Gen.ops in
+  let cfg = Sim.default_config ~nprocs:4 in
+  let rows =
+    List.filter_map
+      (fun (name, factory) ->
+        match Observe.run ~config:cfg factory ops with
+        | Error e ->
+            Format.printf "  %s: simulation error: %s@." name e;
+            None
+        | Ok (registry, _) -> Some (Observe.report_row registry ~factory))
+      obs_protocols
+  in
+  Format.printf "%a@." Mo_obs.Report.pp_comparison rows;
+  let meta =
+    Mo_obs.Jsonb.Obj
+      [
+        ("name", Mo_obs.Jsonb.String "uniform");
+        ("nprocs", Mo_obs.Jsonb.Int 4);
+        ("nmsgs", Mo_obs.Jsonb.Int 200);
+        ("seed", Mo_obs.Jsonb.Int 42);
+      ]
+  in
+  let json =
+    match Mo_obs.Report.to_json rows with
+    | Mo_obs.Jsonb.Obj fields ->
+        Mo_obs.Jsonb.Obj (("workload", meta) :: fields)
+    | j -> j
+  in
+  let oc = open_out "BENCH_obs.json" in
+  output_string oc (Mo_obs.Jsonb.to_string_pretty json);
+  close_out oc;
+  Format.printf "  per-protocol metrics written to BENCH_obs.json@."
+
 let run_group group =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]

@@ -305,6 +305,138 @@ let simulate_cmd =
       const simulate_run $ proto $ wname $ nprocs $ nmsgs $ seed $ spec
       $ diagram $ trace_out)
 
+(* ---- stats: run a seeded workload under observability ---- *)
+
+let protocol_aliases =
+  [
+    ("causal_rst", "rst");
+    ("causal_ses", "ses");
+    ("causal_bss", "bss");
+    ("sync_token", "sync");
+    ("sync_priority", "sync-priority");
+    ("total_order", "to");
+    ("total-order", "to");
+  ]
+
+let resolve_protocol name =
+  let canonical =
+    match List.assoc_opt name protocol_aliases with
+    | Some c -> c
+    | None -> name
+  in
+  Option.map (fun f -> (canonical, f)) (List.assoc_opt canonical protocols)
+
+let stats_run proto_spec wname nprocs nmsgs seed json_out =
+  let selected =
+    if proto_spec = "all" then Ok protocols
+    else
+      let names = String.split_on_char ',' proto_spec in
+      List.fold_left
+        (fun acc n ->
+          match (acc, resolve_protocol (String.trim n)) with
+          | Error e, _ -> Error e
+          | Ok _, None -> Error (String.trim n)
+          | Ok l, Some p -> Ok (l @ [ p ]))
+        (Ok []) names
+  in
+  match selected with
+  | Error bad ->
+      Format.eprintf "unknown protocol %S (choose from: %s, or aliases %s)@."
+        bad
+        (String.concat ", " (List.map fst protocols))
+        (String.concat ", " (List.map fst protocol_aliases));
+      1
+  | Ok selected ->
+      let ops = make_workload wname ~nprocs ~nmsgs ~seed in
+      let cfg = { (Sim.default_config ~nprocs) with Sim.seed } in
+      let rows =
+        List.filter_map
+          (fun (name, factory) ->
+            match Observe.run ~config:cfg factory ops with
+            | Error e ->
+                Format.eprintf "%s: simulation error: %s@." name e;
+                None
+            | Ok (registry, _outcome) ->
+                Some (Observe.report_row registry ~factory))
+          selected
+      in
+      if rows = [] then 1
+      else begin
+        Format.printf
+          "workload %s: %d processes, %d messages, seed %d@.@." wname nprocs
+          nmsgs seed;
+        Format.printf "%a@." Mo_obs.Report.pp_comparison rows;
+        (match rows with
+        | [ row ] -> Format.printf "%a@." Mo_obs.Report.pp_registry row
+        | _ -> ());
+        (match json_out with
+        | None -> ()
+        | Some path ->
+            let meta =
+              Mo_obs.Jsonb.Obj
+                [
+                  ("name", Mo_obs.Jsonb.String wname);
+                  ("nprocs", Mo_obs.Jsonb.Int nprocs);
+                  ("nmsgs", Mo_obs.Jsonb.Int nmsgs);
+                  ("seed", Mo_obs.Jsonb.Int seed);
+                ]
+            in
+            let json =
+              match Mo_obs.Report.to_json rows with
+              | Mo_obs.Jsonb.Obj fields ->
+                  Mo_obs.Jsonb.Obj (("workload", meta) :: fields)
+              | j -> j
+            in
+            let text = Mo_obs.Jsonb.to_string_pretty json in
+            if path = "-" then print_string text
+            else begin
+              let oc = open_out path in
+              output_string oc text;
+              close_out oc;
+              Format.printf "metrics written to %s@." path
+            end);
+        0
+      end
+
+let stats_cmd =
+  let doc =
+    "run a seeded workload under one or more protocols and print the \
+     observability metrics (tag bytes, control traffic, inhibition time, \
+     delivery delay, queue depth) — the paper's class hierarchy as measured \
+     costs"
+  in
+  let proto =
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:
+            "protocol name, comma-separated list, or 'all'; accepts the \
+             simulate names plus aliases like causal_rst, sync_token, \
+             total_order")
+  in
+  let wname =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:(String.concat " | " workloads))
+  in
+  let nprocs = Arg.(value & opt int 4 & info [ "n"; "nprocs" ] ~docv:"N") in
+  let nmsgs = Arg.(value & opt int 100 & info [ "m"; "messages" ] ~docv:"M") in
+  let seed = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"write the metrics as JSON ('-' for stdout)")
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    T.(
+      const stats_run $ proto $ wname $ nprocs $ nmsgs $ seed $ json_out)
+
 (* ---- synth ---- *)
 
 let synth_run input =
@@ -563,6 +695,7 @@ let main_cmd =
       catalog_cmd;
       show_cmd;
       simulate_cmd;
+      stats_cmd;
       synth_cmd;
       implies_cmd;
       batch_cmd;

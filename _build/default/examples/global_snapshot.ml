@@ -99,6 +99,7 @@ let bank_factory (base : Protocol.factory) (snap : snapshot)
                 (from, u.Message.payload, u.Message.color = Some marker_color)
           | Message.Control _ -> ());
           observe (inner.Protocol.on_packet ~now ~from packet));
+      pending_depth = inner.Protocol.pending_depth;
     }
   in
   { base with Protocol.make = make }

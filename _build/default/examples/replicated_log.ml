@@ -91,6 +91,7 @@ let to_replicas () =
           let actions = inner.Protocol.on_packet ~now ~from packet in
           drain me;
           actions);
+      pending_depth = inner.Protocol.pending_depth;
     }
   in
   ({ Total_order.factory with Protocol.make }, states)
@@ -127,6 +128,7 @@ let bss_replicas () =
               | _ -> ())
             actions;
           actions);
+      pending_depth = inner.Protocol.pending_depth;
     }
   in
   ({ Causal_bss.factory with Protocol.make }, states)

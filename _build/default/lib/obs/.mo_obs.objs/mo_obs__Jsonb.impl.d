@@ -1,0 +1,1 @@
+lib/obs/jsonb.ml: Buffer Char Float List Printf String

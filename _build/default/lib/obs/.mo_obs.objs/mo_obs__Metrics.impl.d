@@ -1,0 +1,1 @@
+lib/obs/metrics.ml: Array Format Hashtbl Jsonb List Printf String

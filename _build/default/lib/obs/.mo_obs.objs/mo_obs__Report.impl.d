@@ -1,0 +1,1 @@
+lib/obs/report.ml: Format Jsonb List Metrics Option String

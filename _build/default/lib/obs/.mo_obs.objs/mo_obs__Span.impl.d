@@ -1,0 +1,1 @@
+lib/obs/span.ml: Array Format Jsonb Metrics

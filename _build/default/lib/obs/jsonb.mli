@@ -1,0 +1,21 @@
+(** A minimal JSON tree and serializer (stdlib-only).
+
+    Just enough structure for the observability exports: objects keep the
+    insertion order of their fields, so a registry dumped twice under the
+    same seed produces byte-identical output — the property the bench
+    artifacts and the CLI tests rely on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) serialization with full string escaping. *)
+
+val to_string_pretty : t -> string
+(** Two-space indented serialization, trailing newline. *)

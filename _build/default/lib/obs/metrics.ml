@@ -1,0 +1,187 @@
+type counter = { mutable c : int }
+
+type gauge = { mutable g : int }
+
+type histogram = {
+  bounds : int array;  (* inclusive upper bounds, strictly increasing *)
+  buckets : int array;  (* length bounds + 1; last is the overflow bucket *)
+  mutable sum : int;
+  mutable n : int;
+  mutable hmax : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Hist of histogram
+
+type entry = { help : string; metric : metric }
+
+type t = { tbl : (string, entry) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Hist _ -> "histogram"
+
+let register t ?(help = "") name fresh =
+  match Hashtbl.find_opt t.tbl name with
+  | Some e -> e.metric
+  | None ->
+      let metric = fresh () in
+      Hashtbl.replace t.tbl name { help; metric };
+      metric
+
+let counter t ?help name =
+  match register t ?help name (fun () -> Counter { c = 0 }) with
+  | Counter c -> c
+  | m ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %S is already a %s" name
+           (kind_name m))
+
+let inc c = c.c <- c.c + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Metrics.add: counters only go up";
+  c.c <- c.c + n
+
+let counter_value c = c.c
+
+let gauge t ?help name =
+  match register t ?help name (fun () -> Gauge { g = 0 }) with
+  | Gauge g -> g
+  | m ->
+      invalid_arg
+        (Printf.sprintf "Metrics.gauge: %S is already a %s" name (kind_name m))
+
+let set g v = g.g <- v
+
+let observe_max g v = if v > g.g then g.g <- v
+
+let gauge_value g = g.g
+
+let default_buckets =
+  [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
+
+let histogram t ?help ?(buckets = default_buckets) name =
+  let fresh () =
+    if buckets = [] then invalid_arg "Metrics.histogram: no buckets";
+    let bounds = Array.of_list buckets in
+    Array.iteri
+      (fun i b ->
+        if i > 0 && bounds.(i - 1) >= b then
+          invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+      bounds;
+    Hist
+      {
+        bounds;
+        buckets = Array.make (Array.length bounds + 1) 0;
+        sum = 0;
+        n = 0;
+        hmax = 0;
+      }
+  in
+  match register t ?help name fresh with
+  | Hist h -> h
+  | m ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %S is already a %s" name
+           (kind_name m))
+
+let observe h v =
+  (* first bucket whose bound covers v; overflow bucket otherwise *)
+  let nb = Array.length h.bounds in
+  let rec find i = if i >= nb || v <= h.bounds.(i) then i else find (i + 1) in
+  let i = find 0 in
+  h.buckets.(i) <- h.buckets.(i) + 1;
+  h.sum <- h.sum + v;
+  h.n <- h.n + 1;
+  if v > h.hmax then h.hmax <- v
+
+let hist_count h = h.n
+
+let hist_sum h = h.sum
+
+let hist_max h = h.hmax
+
+let hist_mean h = if h.n = 0 then 0. else float_of_int h.sum /. float_of_int h.n
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let value t name =
+  match find t name with
+  | None -> None
+  | Some { metric = Counter c; _ } -> Some c.c
+  | Some { metric = Gauge g; _ } -> Some g.g
+  | Some { metric = Hist h; _ } -> Some h.n
+
+let find_histogram t name =
+  match find t name with Some { metric = Hist h; _ } -> Some h | _ -> None
+
+let mem t name = Hashtbl.mem t.tbl name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.tbl []
+  |> List.sort String.compare
+
+let to_json t =
+  let field name =
+    let e = Hashtbl.find t.tbl name in
+    let base kind rest =
+      let help =
+        if e.help = "" then [] else [ ("help", Jsonb.String e.help) ]
+      in
+      (name, Jsonb.Obj ((("kind", Jsonb.String kind) :: rest) @ help))
+    in
+    match e.metric with
+    | Counter c -> base "counter" [ ("value", Jsonb.Int c.c) ]
+    | Gauge g -> base "gauge" [ ("value", Jsonb.Int g.g) ]
+    | Hist h ->
+        let buckets =
+          List.concat
+            [
+              Array.to_list
+                (Array.mapi
+                   (fun i b ->
+                     Jsonb.Obj
+                       [ ("le", Jsonb.Int h.bounds.(i)); ("n", Jsonb.Int b) ])
+                   (Array.sub h.buckets 0 (Array.length h.bounds)));
+              [
+                Jsonb.Obj
+                  [
+                    ("le", Jsonb.String "+inf");
+                    ("n", Jsonb.Int h.buckets.(Array.length h.bounds));
+                  ];
+              ];
+            ]
+        in
+        base "histogram"
+          [
+            ("count", Jsonb.Int h.n);
+            ("sum", Jsonb.Int h.sum);
+            ("max", Jsonb.Int h.hmax);
+            ("mean", Jsonb.Float (hist_mean h));
+            ("buckets", Jsonb.List buckets);
+          ]
+  in
+  Jsonb.Obj (List.map field (names t))
+
+let pp_table ppf t =
+  let ns = names t in
+  let width =
+    List.fold_left (fun acc n -> max acc (String.length n)) 10 ns
+  in
+  List.iter
+    (fun name ->
+      let e = Hashtbl.find t.tbl name in
+      (match e.metric with
+      | Counter c -> Format.fprintf ppf "  %-*s %12d" width name c.c
+      | Gauge g -> Format.fprintf ppf "  %-*s %12d" width name g.g
+      | Hist h ->
+          Format.fprintf ppf "  %-*s %12d obs  mean %8.2f  max %6d" width
+            name h.n (hist_mean h) h.hmax);
+      if e.help <> "" then Format.fprintf ppf "   (%s)" e.help;
+      Format.fprintf ppf "@.")
+    ns
+
+let to_table t = Format.asprintf "%a" pp_table t

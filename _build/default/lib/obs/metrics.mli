@@ -1,0 +1,89 @@
+(** Metrics registry: counters, gauges and fixed-bucket histograms.
+
+    The instrumentation backbone of the protocol stack. All values are
+    integers — the simulator's virtual clock, byte counts and event counts
+    are all integral — which keeps every export deterministic for a given
+    seed. Stdlib-only by design.
+
+    Registration is idempotent: asking twice for the same name returns the
+    same metric, so per-process protocol instances can share one aggregate
+    counter without coordination. Asking for an existing name with a
+    different metric kind raises [Invalid_argument].
+
+    Naming convention (see DESIGN.md "Observability"): lowercase
+    [subsystem.quantity_unit] — e.g. [sim.tag_bytes],
+    [proto.control_packets], [span.inhibition_time]. *)
+
+type t
+(** A registry. Exports list metrics in sorted name order. *)
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically increasing totals. *)
+
+type counter
+
+val counter : t -> ?help:string -> string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} — last-written or high-watermark values. *)
+
+type gauge
+
+val gauge : t -> ?help:string -> string -> gauge
+
+val set : gauge -> int -> unit
+
+val observe_max : gauge -> int -> unit
+(** Raise the gauge to [v] if [v] exceeds its current value — for
+    high-watermarks such as pending-queue depth. *)
+
+val gauge_value : gauge -> int
+
+(** {1 Histograms} — fixed bucket boundaries, cumulative on export. *)
+
+type histogram
+
+val default_buckets : int list
+(** Powers of two from 1 to 4096 — sized for virtual-time durations and
+    per-message byte counts. *)
+
+val histogram : t -> ?help:string -> ?buckets:int list -> string -> histogram
+(** [buckets] are the inclusive upper bounds of each bucket, strictly
+    increasing; an implicit overflow bucket catches the rest.
+    @raise Invalid_argument if [buckets] is empty or not increasing. *)
+
+val observe : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+val hist_max : histogram -> int
+
+val hist_mean : histogram -> float
+(** 0. when nothing was observed. *)
+
+(** {1 Lookup and export} *)
+
+val value : t -> string -> int option
+(** Current value of the counter or gauge registered under this name;
+    for a histogram, its observation count. [None] if unregistered. *)
+
+val find_histogram : t -> string -> histogram option
+(** The histogram registered under this name, without creating one. *)
+
+val mem : t -> string -> bool
+
+val names : t -> string list
+(** Sorted. *)
+
+val to_json : t -> Jsonb.t
+(** One object field per metric: counters and gauges as
+    [{kind; value; help?}], histograms as
+    [{kind; count; sum; max; mean; buckets: [{le; n}]}]. *)
+
+val pp_table : Format.formatter -> t -> unit
+(** Human-readable aligned table, one metric per line; histograms show
+    count/mean/max. *)
+
+val to_table : t -> string

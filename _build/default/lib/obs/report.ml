@@ -1,0 +1,55 @@
+type row = { label : string; kind : string; registry : Metrics.t }
+
+let row ~label ~kind registry = { label; kind; registry }
+
+let to_json rows =
+  Jsonb.Obj
+    [
+      ("schema", Jsonb.String "mopc-obs/1");
+      ( "rows",
+        Jsonb.List
+          (List.map
+             (fun r ->
+               Jsonb.Obj
+                 [
+                   ("protocol", Jsonb.String r.label);
+                   ("kind", Jsonb.String r.kind);
+                   ("metrics", Metrics.to_json r.registry);
+                 ])
+             rows) );
+    ]
+
+let v registry name = Option.value ~default:0 (Metrics.value registry name)
+
+let hmean registry name =
+  match Metrics.find_histogram registry name with
+  | Some h -> Metrics.hist_mean h
+  | None -> 0.
+
+let pp_comparison ppf rows =
+  let lw =
+    List.fold_left (fun acc r -> max acc (String.length r.label)) 8 rows
+  in
+  Format.fprintf ppf
+    "  %-*s %-8s %6s %6s %6s %8s %8s %8s %8s %8s %7s %8s@." lw "protocol"
+    "class" "msgs" "upkt" "cpkt" "tagB" "tagB/m" "ctlB" "inhib" "delay"
+    "maxpend" "makespan";
+  Format.fprintf ppf "  %s@." (String.make (lw + 96) '-');
+  List.iter
+    (fun r ->
+      let g = v r.registry in
+      let msgs = g "sim.msgs_total" in
+      let tagb = g "sim.tag_bytes" in
+      Format.fprintf ppf
+        "  %-*s %-8s %6d %6d %6d %8d %8.1f %8d %8.2f %8.2f %7d %8d@." lw
+        r.label r.kind msgs (g "sim.user_packets") (g "sim.control_packets")
+        tagb
+        (if msgs = 0 then 0. else float_of_int tagb /. float_of_int msgs)
+        (g "sim.control_bytes")
+        (hmean r.registry "span.inhibition_time")
+        (hmean r.registry "span.delivery_delay")
+        (g "sim.max_pending") (g "sim.makespan"))
+    rows
+
+let pp_registry ppf r =
+  Format.fprintf ppf "%s (%s)@.%a" r.label r.kind Metrics.pp_table r.registry

@@ -1,0 +1,1 @@
+lib/protocol/observe.ml: Array Metrics Mo_obs Protocol Report Sim Span Wrap

@@ -1,0 +1,1 @@
+lib/protocol/observe.mli: Mo_obs Protocol Sim

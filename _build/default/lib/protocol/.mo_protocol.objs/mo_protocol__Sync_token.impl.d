@@ -1,1 +1,1 @@
-lib/protocol/sync_token.ml: Array Message Protocol
+lib/protocol/sync_token.ml: Array List Message Protocol

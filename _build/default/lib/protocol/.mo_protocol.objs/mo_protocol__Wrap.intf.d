@@ -1,1 +1,1 @@
-lib/protocol/wrap.mli: Protocol
+lib/protocol/wrap.mli: Mo_obs Protocol

@@ -79,6 +79,7 @@ let make ~nprocs ~me =
         | Message.User _ ->
             invalid_arg "Causal_bss: user message without vector tag"
         | Message.Control _ -> []);
+    pending_depth = (fun () -> List.length st.buffer);
   }
 
 let factory =

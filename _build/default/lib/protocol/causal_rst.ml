@@ -61,6 +61,7 @@ let make ~nprocs ~me =
         | Message.User _ ->
             invalid_arg "Causal_rst: user message without matrix tag"
         | Message.Control _ -> []);
+    pending_depth = (fun () -> List.length st.buffer);
   }
 
 let factory =

@@ -89,6 +89,7 @@ let make ~nprocs ~me =
             drain []
         | Message.User _ -> invalid_arg "Causal_ses: user message without tag"
         | Message.Control _ -> []);
+    pending_depth = (fun () -> List.length st.buffer);
   }
 
 let factory =

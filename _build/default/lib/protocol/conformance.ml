@@ -64,5 +64,6 @@ let pp_report ppf r =
   let s = r.outcome.stats in
   Format.fprintf ppf
     "@ user packets: %d, control packets: %d, tag bytes: %d, control bytes: \
-     %d, makespan: %d@]"
-    s.user_packets s.control_packets s.tag_bytes s.control_bytes s.makespan
+     %d, max pending: %d, makespan: %d@]"
+    s.user_packets s.control_packets s.tag_bytes s.control_bytes s.max_pending
+    s.makespan

@@ -50,6 +50,7 @@ let make ~nprocs ~me =
             deliverable_from from
         | Message.User _ -> invalid_arg "Fifo: user message without seqno"
         | Message.Control _ -> []);
+    pending_depth = (fun () -> Hashtbl.length st.buffer);
   }
 
 let factory = { Protocol.proto_name = "fifo"; kind = Protocol.Tagged; make }

@@ -88,6 +88,11 @@ let make ~nprocs ~me =
             drain cr []
         | Message.User _ -> invalid_arg "Flush: user message without flush tag"
         | Message.Control _ -> []);
+    pending_depth =
+      (fun () ->
+        Array.fold_left
+          (fun acc cr -> acc + List.length cr.buffer)
+          0 recv_side);
   }
 
 let factory = { Protocol.proto_name = "flush"; kind = Protocol.Tagged; make }
@@ -104,6 +109,7 @@ let with_kind_from_color ~name ~kind_of_color =
           inner.Protocol.on_invoke ~now
             { intent with Protocol.flush = kind_of_color intent.color });
       on_packet = inner.Protocol.on_packet;
+      pending_depth = inner.Protocol.pending_depth;
     }
   in
   { Protocol.proto_name = name; kind = Protocol.Tagged; make }

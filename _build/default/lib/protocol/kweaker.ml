@@ -82,6 +82,9 @@ let window k =
           | Message.User _ ->
               invalid_arg "Kweaker.window: user message without seqno"
           | Message.Control _ -> []);
+      pending_depth =
+        (fun () ->
+          Array.fold_left (fun acc cr -> acc + List.length cr.buffer) 0 recv);
     }
   in
   {

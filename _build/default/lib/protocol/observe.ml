@@ -1,0 +1,41 @@
+open Mo_obs
+
+let record registry (o : Sim.outcome) =
+  let c name help v = Metrics.add (Metrics.counter registry ~help name) v
+  and g name help v = Metrics.set (Metrics.gauge registry ~help name) v in
+  let s = o.Sim.stats in
+  let delivered =
+    Array.fold_left
+      (fun acc sp -> if Span.is_complete sp then acc + 1 else acc)
+      0 o.Sim.spans
+  in
+  c "sim.msgs_total" "messages in the workload" (Array.length o.Sim.msgs);
+  c "sim.delivered_total" "messages with a complete lifecycle" delivered;
+  c "sim.user_packets" "user messages put on the wire" s.Sim.user_packets;
+  c "sim.control_packets" "control messages put on the wire"
+    s.Sim.control_packets;
+  c "sim.tag_bytes" "piggybacked tag bytes (paper: tagging cost)"
+    s.Sim.tag_bytes;
+  c "sim.control_bytes" "control traffic bytes (paper: general cost)"
+    s.Sim.control_bytes;
+  g "sim.makespan" "virtual time of the last event" s.Sim.makespan;
+  g "sim.max_pending" "protocol queue-depth high-watermark" s.Sim.max_pending;
+  g "sim.live" "1 when every message was delivered"
+    (if o.Sim.all_delivered then 1 else 0);
+  Span.record registry o.Sim.spans
+
+let run ?config factory ops =
+  let config =
+    match config with Some c -> c | None -> Sim.default_config ~nprocs:4
+  in
+  let registry = Metrics.create () in
+  match Sim.execute config (Wrap.instrument registry factory) ops with
+  | Error e -> Error e
+  | Ok outcome ->
+      record registry outcome;
+      Ok (registry, outcome)
+
+let report_row registry ~(factory : Protocol.factory) =
+  Report.row ~label:factory.Protocol.proto_name
+    ~kind:(Protocol.kind_to_string factory.Protocol.kind)
+    registry

@@ -1,0 +1,28 @@
+(** Bridge from simulator outcomes into the {!Mo_obs} registry.
+
+    One registry per (protocol, workload, seed) run. {!record} writes the
+    simulator-level accounting under [sim.*] and the per-message lifecycle
+    aggregates under [span.*]; {!run} additionally wraps the factory in
+    {!Wrap.instrument} so the protocol-layer [proto.*] metrics land in the
+    same registry. Metric names and units are listed in DESIGN.md,
+    "Observability". *)
+
+val record : Mo_obs.Metrics.t -> Sim.outcome -> unit
+(** Counters [sim.msgs_total], [sim.delivered_total], [sim.user_packets],
+    [sim.control_packets], [sim.tag_bytes], [sim.control_bytes]; gauges
+    [sim.makespan], [sim.max_pending], [sim.live] (1 when every message
+    was delivered); plus {!Mo_obs.Span.record} over the outcome's spans. *)
+
+val run :
+  ?config:Sim.config ->
+  Protocol.factory ->
+  Sim.op list ->
+  (Mo_obs.Metrics.t * Sim.outcome, string) result
+(** Execute the workload under an instrumented copy of the factory
+    ([config] defaults to [Sim.default_config ~nprocs:4]) and return the
+    filled registry next to the outcome. *)
+
+val report_row :
+  Mo_obs.Metrics.t -> factory:Protocol.factory -> Mo_obs.Report.row
+(** The registry labelled with the factory's name and class, ready for
+    {!Mo_obs.Report.pp_comparison} / [to_json]. *)

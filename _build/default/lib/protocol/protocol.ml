@@ -15,6 +15,7 @@ type action =
 type instance = {
   on_invoke : now:int -> intent -> action list;
   on_packet : now:int -> from:int -> Message.packet -> action list;
+  pending_depth : unit -> int;
 }
 
 type kind = Tagless | Tagged | General

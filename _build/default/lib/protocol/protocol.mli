@@ -37,6 +37,12 @@ type instance = {
       (** the application requested a send ([x.s✱] just happened) *)
   on_packet : now:int -> from:int -> Message.packet -> action list;
       (** a packet arrived; for a user packet, [x.r✱] just happened *)
+  pending_depth : unit -> int;
+      (** how many messages the protocol currently holds back on this
+          process — buffered receives not yet delivered plus inhibited
+          intents not yet sent. Pure introspection for the observability
+          layer; the simulator samples it after every handler to report the
+          high-watermark queue depth each ordering guarantee costs. *)
 }
 
 type kind = Tagless | Tagged | General

@@ -48,6 +48,7 @@ type stats = {
   latency_total : int;
   latency_max : int;
   makespan : int;
+  max_pending : int;
 }
 
 let mean_latency s ~nmsgs =
@@ -61,6 +62,7 @@ type outcome = {
   msgs : (int * int) array;
   colors : int option array;
   groups : int array;
+  spans : Mo_obs.Span.t array;
 }
 
 (* ---- event queue: a simple binary min-heap on (time, tiebreak) ---- *)
@@ -245,7 +247,8 @@ let execute config factory ops =
   and control_packets = ref 0
   and tag_bytes = ref 0
   and control_bytes = ref 0
-  and makespan = ref 0 in
+  and makespan = ref 0
+  and max_pending = ref 0 in
   let error = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
   let schedule_packet now ~dst ~from packet =
@@ -296,7 +299,10 @@ let execute config factory ops =
               delivered.(id) <- now;
               record p { Event.Sys.msg = id; kind = Event.Sys.Deliver }
             end)
-      actions
+      actions;
+    (* the queue-depth high-watermark: what the ordering guarantee costs in
+       buffered state, sampled while the hold is in force *)
+    max_pending := max !max_pending (instances.(p).Protocol.pending_depth ())
   in
   let steps = ref 0 in
   let rec loop () =
@@ -358,7 +364,14 @@ let execute config factory ops =
               latency_total = !latency_total;
               latency_max = !latency_max;
               makespan = !makespan;
+              max_pending = !max_pending;
             }
+          in
+          let spans =
+            Array.init nmsgs (fun i ->
+                let src, dst = msgs.(i) in
+                Mo_obs.Span.make ~msg:i ~src ~dst ~invoke:invoked.(i)
+                  ~send:sent.(i) ~recv:received.(i) ~deliver:delivered.(i))
           in
           let run =
             (* the user-view projection, with message colors preserved for
@@ -381,4 +394,4 @@ let execute config factory ops =
               | Ok r -> Some r
               | Error _ -> None
           in
-          Ok { sys_run; run; all_delivered; stats; msgs; colors; groups })
+          Ok { sys_run; run; all_delivered; stats; msgs; colors; groups; spans })

@@ -64,6 +64,10 @@ type stats = {
   latency_total : int;  (** sum over messages of delivery − invoke time *)
   latency_max : int;
   makespan : int;  (** time of the last event *)
+  max_pending : int;
+      (** high-watermark of {!Protocol.instance}'s [pending_depth] over
+          all processes and times — the buffered-state cost of the
+          ordering guarantee *)
 }
 
 val mean_latency : stats -> nmsgs:int -> float
@@ -80,6 +84,10 @@ type outcome = {
   groups : int array;
       (** per message id, the workload op it came from; copies of one
           broadcast share a group *)
+  spans : Mo_obs.Span.t array;
+      (** per message id, the lifecycle span with the virtual timestamps of
+          all four system events ([-1] for events that never happened) —
+          inhibition time and delivery delay read directly off these *)
 }
 
 val execute :

@@ -116,6 +116,7 @@ let make ~nprocs:_ ~me =
             react ()
         | Message.Control { kind; _ } ->
             invalid_arg ("Sync_priority: unknown control kind " ^ kind));
+    pending_depth = (fun () -> List.length st.queue);
   }
 
 let factory =

@@ -82,6 +82,8 @@ let make ~nprocs:_ ~me =
             grant_next ()
         | Message.Control { kind; _ } ->
             invalid_arg ("Sync_token: unknown control kind " ^ kind));
+    pending_depth =
+      (fun () -> List.length st.wanting + List.length st.queue);
   }
 
 let factory =

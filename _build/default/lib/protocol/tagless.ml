@@ -18,6 +18,7 @@ let make ~nprocs:_ ~me =
         match packet with
         | Message.User u -> [ Protocol.Deliver u.Message.id ]
         | Message.Control _ -> []);
+    pending_depth = (fun () -> 0);
   }
 
 let factory =

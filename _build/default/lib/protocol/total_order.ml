@@ -129,6 +129,12 @@ let make ~nprocs:_ ~me =
             | _ -> invalid_arg "Total_order: grant out of order")
         | Message.Control { kind; _ } ->
             invalid_arg ("Total_order: unknown control kind " ^ kind));
+    pending_depth =
+      (fun () ->
+        Hashtbl.length st.buffer
+        + List.fold_left
+            (fun acc pg -> acc + List.length pg.copies)
+            0 st.pending);
   }
 
 let factory =

@@ -14,6 +14,7 @@ let dedup (inner : Protocol.factory) =
                 i.Protocol.on_packet ~now ~from packet
               end
           | Message.Control _ -> i.Protocol.on_packet ~now ~from packet);
+      pending_depth = i.Protocol.pending_depth;
     }
   in
   { inner with Protocol.proto_name = inner.Protocol.proto_name ^ "+dedup"; make }
@@ -37,6 +38,65 @@ let count_deliveries (inner : Protocol.factory) counters =
       on_packet =
         (fun ~now ~from packet ->
           observe (i.Protocol.on_packet ~now ~from packet));
+      pending_depth = i.Protocol.pending_depth;
     }
   in
   { inner with Protocol.make = make }
+
+let instrument registry (inner : Protocol.factory) =
+  let open Mo_obs in
+  let invokes =
+    Metrics.counter registry ~help:"send requests handed to the protocol"
+      "proto.invokes_total"
+  and packets =
+    Metrics.counter registry ~help:"packets handed to the protocol"
+      "proto.packets_total"
+  and user_sends =
+    Metrics.counter registry ~help:"user messages emitted"
+      "proto.user_sends_total"
+  and control_sends =
+    Metrics.counter registry ~help:"control messages emitted"
+      "proto.control_sends_total"
+  and deliveries =
+    Metrics.counter registry ~help:"messages delivered" "proto.deliveries_total"
+  and tag_bytes =
+    Metrics.counter registry ~help:"piggybacked tag bytes on user messages"
+      "proto.tag_bytes"
+  and control_bytes =
+    Metrics.counter registry ~help:"control message payload bytes"
+      "proto.control_bytes"
+  and max_pending =
+    Metrics.gauge registry
+      ~help:"high-watermark of one process's pending queue"
+      "proto.max_pending"
+  in
+  let make ~nprocs ~me =
+    let i = inner.Protocol.make ~nprocs ~me in
+    let observe actions =
+      List.iter
+        (fun (a : Protocol.action) ->
+          match a with
+          | Protocol.Send_user u ->
+              Metrics.inc user_sends;
+              Metrics.add tag_bytes (Message.tag_bytes u.Message.tag)
+          | Protocol.Send_control { ctl; _ } ->
+              Metrics.inc control_sends;
+              Metrics.add control_bytes (Message.control_bytes ctl)
+          | Protocol.Deliver _ -> Metrics.inc deliveries)
+        actions;
+      Metrics.observe_max max_pending (i.Protocol.pending_depth ());
+      actions
+    in
+    {
+      Protocol.on_invoke =
+        (fun ~now intent ->
+          Metrics.inc invokes;
+          observe (i.Protocol.on_invoke ~now intent));
+      on_packet =
+        (fun ~now ~from packet ->
+          Metrics.inc packets;
+          observe (i.Protocol.on_packet ~now ~from packet));
+      pending_depth = i.Protocol.pending_depth;
+    }
+  in
+  { inner with Protocol.make }

@@ -10,3 +10,14 @@ val count_deliveries : Protocol.factory -> int array ref -> Protocol.factory
 (** Observe deliveries per process without changing behaviour; used by
     tests and examples that need application-side visibility. The array is
     (re)initialized at the first [make]. *)
+
+val instrument : Mo_obs.Metrics.t -> Protocol.factory -> Protocol.factory
+(** Record the protocol-layer cost accounting into the registry without
+    changing behaviour: counters [proto.invokes_total],
+    [proto.packets_total], [proto.user_sends_total],
+    [proto.control_sends_total], [proto.deliveries_total],
+    [proto.tag_bytes], [proto.control_bytes], and the gauge
+    [proto.max_pending] (high-watermark of {!Protocol.instance}'s
+    [pending_depth], sampled after every handler). Counters aggregate over
+    all processes; register the factory against a fresh registry per run to
+    compare protocols. *)

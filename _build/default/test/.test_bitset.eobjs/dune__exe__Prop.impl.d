@@ -1,0 +1,1 @@
+test/prop.ml: List Printexc Printf Random

@@ -1,0 +1,1 @@
+test/test_prop_classify.ml: Alcotest Classify Eval Forbidden Fun List Mo_core Mo_order Mo_workload Printf Prop Witness

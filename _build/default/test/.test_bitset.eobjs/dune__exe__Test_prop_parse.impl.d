@@ -1,0 +1,1 @@
+test/test_prop_parse.ml: Alcotest Classify Forbidden Fun List Mo_core Mo_workload Parse Printf Prop Random_pred Term

@@ -245,6 +245,7 @@ let test_misbehaviour_detected () =
                 | Message.User u ->
                     [ Protocol.Deliver u.Message.id; Protocol.Deliver u.Message.id ]
                 | Message.Control _ -> []);
+            pending_depth = (fun () -> 0);
           });
     }
   in

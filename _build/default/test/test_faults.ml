@@ -98,6 +98,86 @@ let test_fault_validation () =
            (with_faults { Sim.drop_permille = 600; duplicate_permille = 600 })
            Tagless.factory ops))
 
+let test_drops_end_to_end () =
+  (* every protocol, run through the full conformance harness under
+     message loss: the harness must report (not crash) — liveness lost is
+     a verdict, traffic accounting stays consistent, and the user-view
+     run is withheld exactly when delivery is incomplete *)
+  let protocols =
+    [
+      ("tagless", Tagless.factory);
+      ("fifo", Fifo.factory);
+      ("causal-rst", Causal_rst.factory);
+      ("causal-ses", Causal_ses.factory);
+      ("causal-bss", Causal_bss.factory);
+      ("sync-token", Sync_token.factory);
+      ("sync-priority", Sync_priority.factory);
+      ("flush", Flush.factory);
+      ("total-order", Total_order.factory);
+    ]
+  in
+  let lossy = with_faults { Sim.drop_permille = 150; duplicate_permille = 0 } in
+  List.iter
+    (fun (name, factory) ->
+      List.iter
+        (fun seed ->
+          match
+            Conformance.check { lossy with Sim.seed } factory ops
+          with
+          | Error e ->
+              Alcotest.fail
+                (Printf.sprintf "%s seed %d crashed under drops: %s" name seed
+                   e)
+          | Ok r ->
+              check_bool (name ^ " traffic consistent under drops") true
+                r.Conformance.traffic_consistent;
+              check_bool (name ^ " user view iff live") true
+                (r.Conformance.live = (r.Conformance.outcome.Sim.run <> None)))
+        [ 2; 5; 11 ])
+    protocols
+
+let test_drop_metrics_account_for_loss () =
+  (* the observability layer under loss: spans of undelivered messages
+     stay partial, the complete/incomplete split matches the simulator's
+     delivery count, and every delivered message still has 4 events *)
+  let lossy =
+    {
+      (with_faults { Sim.drop_permille = 200; duplicate_permille = 0 }) with
+      Sim.seed = 3;
+    }
+  in
+  match Observe.run ~config:lossy Fifo.factory ops with
+  | Error e -> Alcotest.fail e
+  | Ok (registry, outcome) ->
+      let m name =
+        match Mo_obs.Metrics.value registry name with
+        | Some v -> v
+        | None -> Alcotest.fail ("metric missing: " ^ name)
+      in
+      let nmsgs = m "sim.msgs_total" and delivered = m "sim.delivered_total" in
+      check_bool "loss actually occurred" true (delivered < nmsgs);
+      check_bool "harness reports not live" false outcome.Sim.all_delivered;
+      Alcotest.(check int) "complete = delivered" delivered
+        (m "span.complete_total");
+      Alcotest.(check int) "incomplete = lost" (nmsgs - delivered)
+        (m "span.incomplete_total");
+      check_bool "events bounded" true
+        (let e = m "span.events_total" in
+         e >= 4 * delivered && e <= 4 * nmsgs);
+      Array.iter
+        (fun sp ->
+          if Mo_obs.Span.is_complete sp then
+            check_bool "delivered span delays >= 0" true
+              (match
+                 (Mo_obs.Span.delivery_delay sp, Mo_obs.Span.inhibition sp)
+               with
+              | Some d, Some i -> d >= 0 && i >= 0
+              | _ -> false)
+          else
+            check_bool "lost span has no delivery" true
+              (Mo_obs.Span.delivery_delay sp = None))
+        outcome.Sim.spans
+
 let test_count_deliveries_wrapper () =
   let counters = ref [||] in
   match
@@ -127,6 +207,10 @@ let () =
           Alcotest.test_case "dedup preserves ordering" `Quick
             test_dedup_preserves_ordering_guarantees;
           Alcotest.test_case "fault validation" `Quick test_fault_validation;
+          Alcotest.test_case "drops end-to-end (conformance)" `Quick
+            test_drops_end_to_end;
+          Alcotest.test_case "drop metrics account for loss" `Quick
+            test_drop_metrics_account_for_loss;
           Alcotest.test_case "count deliveries" `Quick
             test_count_deliveries_wrapper;
         ] );

@@ -65,7 +65,9 @@ let misbehaving name on_invoke on_packet =
   {
     Protocol.proto_name = name;
     kind = Protocol.General;
-    make = (fun ~nprocs:_ ~me:_ -> { Protocol.on_invoke; on_packet });
+    make =
+      (fun ~nprocs:_ ~me:_ ->
+        { Protocol.on_invoke; on_packet; pending_depth = (fun () -> 0) });
   }
 
 let test_double_delivery_detected () =

@@ -65,6 +65,7 @@ let test_tickets_linearize () =
                     Hashtbl.replace tickets id t
                 | _ -> ());
                 i.Protocol.on_packet ~now ~from packet);
+            pending_depth = i.Protocol.pending_depth;
           });
     }
   in

@@ -120,6 +120,7 @@ let test_ticket_order_extends_causality () =
                     Hashtbl.replace tickets id t
                 | _ -> ());
                 i.Protocol.on_packet ~now ~from packet);
+            pending_depth = i.Protocol.pending_depth;
           });
     }
   in

@@ -1,0 +1,26 @@
+(** Cross-run reporting: one registry per protocol, rendered side by side.
+
+    This is where the paper's cost hierarchy becomes visible as numbers:
+    the comparison table puts tag bytes, control packets and the two hold
+    times of every protocol class next to each other, so
+    tagless ⊂ tagged ⊂ general reads straight off the columns. *)
+
+type row = {
+  label : string;  (** protocol name *)
+  kind : string;  (** protocol class: tagless | tagged | general *)
+  registry : Metrics.t;
+}
+
+val row : label:string -> kind:string -> Metrics.t -> row
+
+val to_json : row list -> Jsonb.t
+(** [{schema; rows: [{protocol; kind; metrics}]}] — the [BENCH_obs.json]
+    / [mopc stats --json] format. *)
+
+val pp_comparison : Format.formatter -> row list -> unit
+(** Aligned table: one line per row, columns for the headline cost metrics
+    (packets, tag bytes, control traffic, holds, pending depth). Metrics a
+    registry does not contain print as 0. *)
+
+val pp_registry : Format.formatter -> row -> unit
+(** The full single-protocol dump: header line plus {!Metrics.pp_table}. *)

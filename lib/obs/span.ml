@@ -1,0 +1,88 @@
+type t = {
+  msg : int;
+  src : int;
+  dst : int;
+  invoke : int;
+  send : int;
+  recv : int;
+  deliver : int;
+}
+
+let none = -1
+
+let make ~msg ~src ~dst ~invoke ~send ~recv ~deliver =
+  { msg; src; dst; invoke; send; recv; deliver }
+
+let events t =
+  let b x = if x >= 0 then 1 else 0 in
+  b t.invoke + b t.send + b t.recv + b t.deliver
+
+let is_complete t = events t = 4
+
+let duration a b = if a >= 0 && b >= 0 then Some (b - a) else None
+
+let inhibition t = duration t.invoke t.send
+
+let delivery_delay t = duration t.recv t.deliver
+
+let in_flight t = duration t.send t.recv
+
+let latency t = duration t.invoke t.deliver
+
+let record registry ?(prefix = "") spans =
+  let name s = prefix ^ s in
+  let inhibit =
+    Metrics.histogram registry
+      ~help:"s* -> s hold per message (virtual ticks)"
+      (name "span.inhibition_time")
+  and delay =
+    Metrics.histogram registry
+      ~help:"r* -> r hold per message (virtual ticks)"
+      (name "span.delivery_delay")
+  and flight =
+    Metrics.histogram registry ~help:"s -> r* network latency"
+      (name "span.in_flight_time")
+  and latency_h =
+    Metrics.histogram registry ~help:"s* -> r end-to-end latency"
+      (name "span.latency")
+  and events_c =
+    Metrics.counter registry ~help:"lifecycle events recorded"
+      (name "span.events_total")
+  and complete =
+    Metrics.counter registry ~help:"messages with all four events"
+      (name "span.complete_total")
+  and incomplete =
+    Metrics.counter registry ~help:"messages missing an event"
+      (name "span.incomplete_total")
+  in
+  Array.iter
+    (fun s ->
+      Metrics.add events_c (events s);
+      if is_complete s then Metrics.inc complete else Metrics.inc incomplete;
+      let obs h = function Some d -> Metrics.observe h d | None -> () in
+      obs inhibit (inhibition s);
+      obs delay (delivery_delay s);
+      obs flight (in_flight s);
+      obs latency_h (latency s))
+    spans
+
+let to_json t =
+  let ts v = if v >= 0 then Jsonb.Int v else Jsonb.Null in
+  Jsonb.Obj
+    [
+      ("msg", Jsonb.Int t.msg);
+      ("src", Jsonb.Int t.src);
+      ("dst", Jsonb.Int t.dst);
+      ("invoke", ts t.invoke);
+      ("send", ts t.send);
+      ("recv", ts t.recv);
+      ("deliver", ts t.deliver);
+    ]
+
+let pp ppf t =
+  let ts ppf v =
+    if v >= 0 then Format.pp_print_int ppf v
+    else Format.pp_print_string ppf "-"
+  in
+  Format.fprintf ppf "x%d %d->%d s*=%a s=%a r*=%a r=%a" t.msg t.src t.dst ts
+    t.invoke ts t.send ts t.recv ts t.deliver

@@ -1,0 +1,60 @@
+(** Per-message lifecycle spans.
+
+    One span per message, carrying the virtual timestamps of the paper's
+    four system events: the application's request [s✱] ([invoke]), the
+    actual emission [s] ([send]), the network arrival [r✱] ([recv]) and the
+    delivery [r] ([deliver]). A timestamp of [-1] means the event never
+    happened (e.g. a message still inhibited when the run ended, or a
+    packet lost to fault injection).
+
+    The two holds a protocol may impose become first-class durations:
+    {!inhibition} is the [s✱ → s] hold (time the send was inhibited) and
+    {!delivery_delay} the [r✱ → r] hold (time the delivery was delayed) —
+    exactly the costs Theorem 1's class hierarchy trades against tag bytes
+    and control traffic. *)
+
+type t = {
+  msg : int;
+  src : int;
+  dst : int;
+  invoke : int;
+  send : int;
+  recv : int;
+  deliver : int;
+}
+
+val none : int
+(** The absent-event timestamp, [-1]. *)
+
+val make :
+  msg:int -> src:int -> dst:int ->
+  invoke:int -> send:int -> recv:int -> deliver:int -> t
+
+val events : t -> int
+(** How many of the four events occurred, 0–4. *)
+
+val is_complete : t -> bool
+(** All four events occurred. *)
+
+val inhibition : t -> int option
+(** [send − invoke]; [None] unless both occurred. *)
+
+val delivery_delay : t -> int option
+(** [deliver − recv]; [None] unless both occurred. *)
+
+val in_flight : t -> int option
+(** [recv − send]: pure network latency. *)
+
+val latency : t -> int option
+(** [deliver − invoke]: end-to-end, as experienced by the application. *)
+
+val record : Metrics.t -> ?prefix:string -> t array -> unit
+(** Aggregate a run's spans into the registry under
+    [<prefix>span.*] (default prefix ""): histograms
+    [span.inhibition_time], [span.delivery_delay], [span.in_flight_time],
+    [span.latency]; counters [span.events_total],
+    [span.complete_total], [span.incomplete_total]. *)
+
+val to_json : t -> Jsonb.t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,226 @@
+(* The observability layer: metrics registry semantics, per-message
+   lifecycle spans, and — the conformance+metrics satellite — the check
+   that for every protocol a seeded run both satisfies its ordering spec
+   and reports internally consistent costs, with the paper's
+   tagless ⊂ tagged ⊂ general hierarchy visible in the numbers. *)
+
+open Mo_core
+open Mo_obs
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- registry units ---- *)
+
+let test_counter_gauge () =
+  let t = Metrics.create () in
+  let c = Metrics.counter t "a.count" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check_int "counter" 5 (Metrics.counter_value c);
+  (* registration is idempotent: same metric behind the name *)
+  Metrics.inc (Metrics.counter t "a.count");
+  check_int "shared" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge t "a.depth" in
+  Metrics.set g 3;
+  Metrics.observe_max g 10;
+  Metrics.observe_max g 2;
+  check_int "gauge max" 10 (Metrics.gauge_value g);
+  check_bool "lookup" true (Metrics.value t "a.count" = Some 6);
+  check_bool "missing" true (Metrics.value t "nope" = None);
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.gauge: \"a.count\" is already a counter")
+    (fun () -> ignore (Metrics.gauge t "a.count"))
+
+let test_histogram () =
+  let t = Metrics.create () in
+  let h = Metrics.histogram t ~buckets:[ 1; 10; 100 ] "lat" in
+  List.iter (Metrics.observe h) [ 0; 1; 5; 10; 99; 1000 ];
+  check_int "count" 6 (Metrics.hist_count h);
+  check_int "sum" 1115 (Metrics.hist_sum h);
+  check_int "max" 1000 (Metrics.hist_max h);
+  check_bool "mean" true (abs_float (Metrics.hist_mean h -. 185.833) < 0.01);
+  Alcotest.check_raises "bad buckets"
+    (Invalid_argument "Metrics.histogram: buckets must be strictly increasing")
+    (fun () -> ignore (Metrics.histogram t ~buckets:[ 5; 5 ] "bad"))
+
+let test_json_export () =
+  let t = Metrics.create () in
+  Metrics.add (Metrics.counter t "z.last") 1;
+  Metrics.set (Metrics.gauge t "a.first") 2;
+  Metrics.observe (Metrics.histogram t ~buckets:[ 1; 2 ] "m.h") 3;
+  let s = Jsonb.to_string (Metrics.to_json t) in
+  (* sorted field order makes exports reproducible *)
+  check_bool "sorted + complete" true
+    (s
+    = "{\"a.first\":{\"kind\":\"gauge\",\"value\":2},\"m.h\":{\"kind\":\
+       \"histogram\",\"count\":1,\"sum\":3,\"max\":3,\"mean\":3.0,\
+       \"buckets\":[{\"le\":1,\"n\":0},{\"le\":2,\"n\":0},{\"le\":\"+inf\",\
+       \"n\":1}]},\"z.last\":{\"kind\":\"counter\",\"value\":1}}")
+
+let test_span_durations () =
+  let s =
+    Span.make ~msg:0 ~src:1 ~dst:2 ~invoke:10 ~send:14 ~recv:20 ~deliver:23
+  in
+  check_bool "complete" true (Span.is_complete s);
+  check_int "events" 4 (Span.events s);
+  check_bool "inhibition" true (Span.inhibition s = Some 4);
+  check_bool "delay" true (Span.delivery_delay s = Some 3);
+  check_bool "flight" true (Span.in_flight s = Some 6);
+  check_bool "latency" true (Span.latency s = Some 13);
+  let cut =
+    Span.make ~msg:1 ~src:0 ~dst:1 ~invoke:5 ~send:7 ~recv:Span.none
+      ~deliver:Span.none
+  in
+  check_int "partial events" 2 (Span.events cut);
+  check_bool "no delay" true (Span.delivery_delay cut = None);
+  check_bool "inhibit still measured" true (Span.inhibition cut = Some 2)
+
+(* ---- conformance + metrics consistency, per protocol ---- *)
+
+let causal_spec = Spec.make ~name:"causal" [ Catalog.causal_b2.Catalog.pred ]
+let fifo_spec = Spec.make ~name:"fifo" [ Catalog.fifo.Catalog.pred ]
+
+let uniform = (Gen.uniform ~nprocs:4 ~nmsgs:60 ~seed:5).Gen.ops
+let broadcast = (Gen.broadcast ~nprocs:4 ~nbcasts:15 ~seed:5).Gen.ops
+
+let cases =
+  [
+    (Tagless.factory, None, uniform);
+    (Fifo.factory, Some fifo_spec, uniform);
+    (Causal_rst.factory, Some causal_spec, uniform);
+    (Causal_ses.factory, Some causal_spec, uniform);
+    (Causal_bss.factory, Some causal_spec, broadcast);
+    (Sync_token.factory, Some causal_spec, uniform);
+    (Sync_priority.factory, Some causal_spec, uniform);
+    (Flush.factory, None, uniform);
+    (Total_order.factory, Some causal_spec, broadcast);
+  ]
+
+let metric label registry name =
+  match Metrics.value registry name with
+  | Some v -> v
+  | None -> Alcotest.fail (label ^ ": metric " ^ name ^ " not recorded")
+
+let consistency_case (factory, spec, ops) seed =
+  let label = Printf.sprintf "%s seed %d" factory.Protocol.proto_name seed in
+  let cfg = { (Sim.default_config ~nprocs:4) with Sim.seed = seed } in
+  match Observe.run ~config:cfg factory ops with
+  | Error e -> Alcotest.fail (label ^ ": " ^ e)
+  | Ok (registry, outcome) ->
+      let m = metric label registry in
+      check_bool (label ^ " live") true outcome.Sim.all_delivered;
+      (* the run satisfies the protocol's specification *)
+      (match (spec, outcome.Sim.run) with
+      | Some s, Some run ->
+          check_bool
+            (label ^ " spec ok")
+            true
+            (Spec.first_violation s (Mo_order.Run.to_abstract run) = None)
+      | Some _, None -> Alcotest.fail (label ^ ": no user-view run")
+      | None, _ -> ());
+      (* class-hierarchy cost invariants (Theorem 1 as accounting) *)
+      (match factory.Protocol.kind with
+      | Protocol.Tagless ->
+          check_int (label ^ " tagless pays no tag bytes") 0
+            (m "sim.tag_bytes");
+          check_int (label ^ " tagless sends no control") 0
+            (m "sim.control_packets")
+      | Protocol.Tagged ->
+          check_int (label ^ " tagged sends no control") 0
+            (m "sim.control_packets")
+      | Protocol.General ->
+          check_bool (label ^ " general uses control messages") true
+            (m "sim.control_packets" > 0));
+      (* span accounting: every delivered message has all four events *)
+      let delivered = m "sim.delivered_total" in
+      check_int (label ^ " all complete") delivered (m "span.complete_total");
+      check_int
+        (label ^ " events = 4 x delivered")
+        (4 * delivered) (m "span.events_total");
+      Array.iter
+        (fun sp ->
+          (match Span.inhibition sp with
+          | Some d -> check_bool (label ^ " inhibition >= 0") true (d >= 0)
+          | None -> Alcotest.fail (label ^ ": span missing send"));
+          match Span.delivery_delay sp with
+          | Some d -> check_bool (label ^ " delay >= 0") true (d >= 0)
+          | None -> Alcotest.fail (label ^ ": span missing delivery"))
+        outcome.Sim.spans;
+      (* the protocol-layer (Wrap.instrument) and simulator-level (Observe)
+         accounts must agree: same events, observed at different layers *)
+      check_int (label ^ " user sends agree") (m "sim.user_packets")
+        (m "proto.user_sends_total");
+      check_int
+        (label ^ " control sends agree")
+        (m "sim.control_packets")
+        (m "proto.control_sends_total");
+      check_int (label ^ " tag bytes agree") (m "sim.tag_bytes")
+        (m "proto.tag_bytes");
+      check_int (label ^ " deliveries agree") delivered
+        (m "proto.deliveries_total");
+      check_int (label ^ " invokes = msgs") (m "sim.msgs_total")
+        (m "proto.invokes_total");
+      check_int (label ^ " pending watermark agrees") (m "sim.max_pending")
+        (m "proto.max_pending")
+
+let test_consistency_all_protocols () =
+  List.iter
+    (fun case -> List.iter (consistency_case case) [ 1; 7; 42 ])
+    cases
+
+let test_hierarchy_measured () =
+  (* the acceptance shape: tagless tag bytes = 0 < tagged causal tag
+     bytes; control messages only in the general class *)
+  let run factory =
+    match Observe.run factory uniform with
+    | Ok (registry, _) -> registry
+    | Error e -> Alcotest.fail e
+  in
+  let tagless = run Tagless.factory
+  and rst = run Causal_rst.factory
+  and sync = run Sync_token.factory in
+  let v r n = Option.value ~default:(-1) (Metrics.value r n) in
+  check_int "tagless tag bytes" 0 (v tagless "sim.tag_bytes");
+  check_bool "tagged causal pays tags" true (v rst "sim.tag_bytes" > 0);
+  check_int "tagged causal: no control" 0 (v rst "sim.control_packets");
+  check_bool "sync-token pays control" true (v sync "sim.control_packets" > 0);
+  check_bool "sync-token inhibits" true
+    (match Metrics.find_histogram sync "span.inhibition_time" with
+    | Some h -> Metrics.hist_sum h > 0
+    | None -> false);
+  check_int "tagged never inhibits sends" 0
+    (match Metrics.find_histogram rst "span.inhibition_time" with
+    | Some h -> Metrics.hist_sum h
+    | None -> -1)
+
+let test_deterministic_export () =
+  let dump () =
+    match Observe.run Causal_rst.factory uniform with
+    | Ok (registry, _) -> Jsonb.to_string_pretty (Metrics.to_json registry)
+    | Error e -> Alcotest.fail e
+  in
+  check_bool "same seed, same bytes" true (String.equal (dump ()) (dump ()))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter/gauge" `Quick test_counter_gauge;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "json export" `Quick test_json_export;
+          Alcotest.test_case "span durations" `Quick test_span_durations;
+        ] );
+      ( "conformance+metrics",
+        [
+          Alcotest.test_case "all protocols consistent" `Quick
+            test_consistency_all_protocols;
+          Alcotest.test_case "hierarchy as measured costs" `Quick
+            test_hierarchy_measured;
+          Alcotest.test_case "deterministic export" `Quick
+            test_deterministic_export;
+        ] );
+    ]

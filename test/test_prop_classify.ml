@@ -1,0 +1,95 @@
+(* Property: the paper's graph-theoretic decision algorithm
+   ([Classify.classify], Theorems 2–4) agrees with the semantic
+   cross-check re-derived from first principles — build the Theorem-2
+   witness run, then locate it in the limit-set hierarchy
+   X_sync ⊆ X_co ⊆ X_async ([Limits.classify]):
+
+     no witness (cyclic)        ⟺ B unsatisfiable  ⟺ tagless suffices
+     witness ∈ X_sync           ⟺ not implementable
+     witness ∈ X_co − X_sync    ⟹ semantic says general
+     witness ∈ X_async − X_co   ⟹ semantic says tagged
+
+   Over abstract posets the semantic answer is coarser on the
+   tagged/general boundary (see Witness's module comment), never finer:
+   the graph algorithm may answer Tagged where the semantics answers
+   General, and they agree exactly on implementability and on Tagless.
+   This extends the hand-picked catalog checks of test_classify.ml /
+   test_witness.ml to random predicates under the in-repo harness. *)
+
+open Mo_core
+
+let gen_pred rng =
+  match Prop.int_range 0 2 rng with
+  | 0 -> Mo_workload.Random_pred.predicate ~seed:(Prop.int_range 0 1_000_000 rng) ()
+  | 1 ->
+      Mo_workload.Random_pred.predicate ~max_vars:8 ~max_conjuncts:14
+        ~seed:(Prop.int_range 0 1_000_000 rng)
+        ()
+  | _ ->
+      Mo_workload.Random_pred.cyclic_predicate
+        ~nvars:(Prop.int_range 2 7 rng)
+        ~seed:(Prop.int_range 0 1_000_000 rng)
+
+let semantic_verdict p =
+  match Witness.build p with
+  | Witness.Cyclic | Witness.Conflicting_guards ->
+      Classify.Implementable Classify.Tagless
+  | Witness.Witness w -> (
+      (* the witness must actually satisfy B — otherwise it certifies
+         nothing *)
+      if not (Eval.check_assignment p w.Witness.run w.Witness.assignment) then
+        raise
+          (Prop.Failed
+             ("witness does not satisfy B: " ^ Forbidden.to_string p));
+      match Mo_order.Limits.classify w.Witness.run with
+      | Mo_order.Limits.Sync -> Classify.Not_implementable
+      | Mo_order.Limits.Causal_only -> Classify.Implementable Classify.General
+      | Mo_order.Limits.Async_only -> Classify.Implementable Classify.Tagged)
+
+let agree p =
+  let graph = (Classify.classify p).Classify.verdict in
+  let semantic = semantic_verdict p in
+  (* the semantic path above must match the packaged classifier … *)
+  if semantic <> Witness.classify p then
+    raise
+      (Prop.Failed
+         ("derived semantic verdict disagrees with Witness.classify: "
+         ^ Forbidden.to_string p));
+  (* … and relate to the graph algorithm exactly as the theory says *)
+  match (graph, semantic) with
+  | Classify.Not_implementable, Classify.Not_implementable -> true
+  | Classify.Not_implementable, _ | _, Classify.Not_implementable -> false
+  | Classify.Implementable g, Classify.Implementable s -> (
+      match (g, s) with
+      | Classify.Tagless, Classify.Tagless -> true
+      | Classify.Tagless, _ | _, Classify.Tagless -> false
+      | Classify.Tagged, (Classify.Tagged | Classify.General) -> true
+      | Classify.General, Classify.General -> true
+      | Classify.General, Classify.Tagged -> false)
+
+let pp p =
+  Printf.sprintf "%s [graph %s, semantic %s]"
+    (Forbidden.to_string p)
+    (Classify.verdict_to_string (Classify.classify p).Classify.verdict)
+    (Classify.verdict_to_string (semantic_verdict p))
+
+let () =
+  Alcotest.run "prop_classify"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "graph vs semantic, random predicates" `Quick
+            (Prop.test ~count:500 ~seed:42
+               ~name:"graph vs semantic classification" gen_pred ~pp agree);
+          Alcotest.test_case "deterministic across runs" `Quick (fun () ->
+              (* same seed, same verdicts: the whole pipeline is pure *)
+              let v seed =
+                List.map
+                  (fun i ->
+                    let rng = Prop.case_rng ~seed i in
+                    (Classify.classify (gen_pred rng)).Classify.verdict)
+                  (List.init 50 Fun.id)
+              in
+              Alcotest.(check bool) "stable" true (v 7 = v 7));
+        ] );
+    ]

@@ -1,0 +1,113 @@
+(* Property: the parser and printer agree over random predicates.
+
+   [Forbidden.to_string] numbers variables by storage index while
+   [Parse.predicate] numbers by first appearance and drops variables that
+   occur nowhere, so one round trip may rename; the properties below pin
+   down everything that must survive it:
+
+   - printing always parses back;
+   - the round trip is a fixpoint after one normalization pass (parse ∘
+     to_string is idempotent, textually and structurally);
+   - renaming/pruning preserves the predicate's meaning, witnessed by the
+     classification verdict and the conjunct/guard counts. *)
+
+open Mo_core
+open Mo_workload
+
+let parse_exn ~ctx s =
+  match Parse.predicate s with
+  | Ok p -> p
+  | Error e -> raise (Prop.Failed (ctx ^ ": " ^ e ^ " in " ^ s))
+
+let gen_unguarded rng =
+  Random_pred.predicate ~seed:(Prop.int_range 0 1_000_000 rng) ()
+
+let gen_guarded rng =
+  Random_pred.guarded_predicate ~seed:(Prop.int_range 0 1_000_000 rng) ()
+
+let gen_cyclic rng =
+  Random_pred.cyclic_predicate
+    ~nvars:(Prop.int_range 2 6 rng)
+    ~seed:(Prop.int_range 0 1_000_000 rng)
+
+let roundtrip_props p =
+  let s = Forbidden.to_string p in
+  let p1 = parse_exn ~ctx:"first parse" s in
+  let s1 = Forbidden.to_string p1 in
+  let p2 = parse_exn ~ctx:"reparse" s1 in
+  let s2 = Forbidden.to_string p2 in
+  (* fixpoint after one pass *)
+  if not (Forbidden.equal p1 p2) then
+    raise (Prop.Failed ("roundtrip not a fixpoint: " ^ s ^ " vs " ^ s1));
+  if s1 <> s2 then
+    raise (Prop.Failed ("printing not a fixpoint: " ^ s1 ^ " vs " ^ s2));
+  (* renaming preserves structure size… *)
+  if
+    List.length (Forbidden.conjuncts p) <> List.length (Forbidden.conjuncts p1)
+    || List.length (Forbidden.guards p) <> List.length (Forbidden.guards p1)
+  then raise (Prop.Failed ("conjunct/guard count changed: " ^ s));
+  (* …and meaning, up to the unused variables the parser prunes *)
+  let v = (Classify.classify p).Classify.verdict
+  and v1 = (Classify.classify p1).Classify.verdict in
+  if v <> v1 then
+    raise
+      (Prop.Failed
+         (Printf.sprintf "verdict changed by roundtrip: %s (%s) vs %s (%s)"
+            (Classify.verdict_to_string v)
+            s
+            (Classify.verdict_to_string v1)
+            s1));
+  true
+
+let in_first_appearance_order p =
+  (* x0, x1, … appear for the first time in increasing order, and every
+     variable of the arity occurs — exactly the normal form the parser
+     produces *)
+  let seen = ref [] in
+  let note v = if not (List.mem v !seen) then seen := v :: !seen in
+  List.iter
+    (fun { Term.before; after } ->
+      note before.Term.var;
+      note after.Term.var)
+    (Forbidden.conjuncts p);
+  List.iter
+    (fun g ->
+      match g with
+      | Term.Same_src (a, b) | Term.Same_dst (a, b) ->
+          note a;
+          note b
+      | Term.Color_is (a, _) -> note a)
+    (Forbidden.guards p);
+  List.rev !seen = List.init (Forbidden.nvars p) Fun.id
+
+let exact_roundtrip p =
+  (* a predicate already in the parser's normal form — variables numbered
+     by first appearance, none unused — round-trips to itself, exactly *)
+  let s = Forbidden.to_string p in
+  let p1 = parse_exn ~ctx:"parse" s in
+  if in_first_appearance_order p then
+    Forbidden.equal p p1
+    || raise (Prop.Failed ("normal form, not exact: " ^ s))
+  else true
+
+let pp = Forbidden.to_string
+
+let () =
+  Alcotest.run "prop_parse"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "unguarded roundtrip" `Quick
+            (Prop.test ~count:300 ~seed:42 ~name:"unguarded roundtrip"
+               gen_unguarded ~pp roundtrip_props);
+          Alcotest.test_case "guarded roundtrip" `Quick
+            (Prop.test ~count:300 ~seed:43 ~name:"guarded roundtrip"
+               gen_guarded ~pp roundtrip_props);
+          Alcotest.test_case "cyclic roundtrip" `Quick
+            (Prop.test ~count:200 ~seed:44 ~name:"cyclic roundtrip" gen_cyclic
+               ~pp roundtrip_props);
+          Alcotest.test_case "exact when arity preserved" `Quick
+            (Prop.test ~count:300 ~seed:45 ~name:"exact roundtrip"
+               gen_unguarded ~pp exact_roundtrip);
+        ] );
+    ]
