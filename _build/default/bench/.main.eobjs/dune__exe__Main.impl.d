@@ -1,1 +1,1 @@
-bench/main.ml: Array List Perf Repro Sys
+bench/main.ml: Array List Perf Reliab Repro Sys

@@ -1,0 +1,1 @@
+bench/reliab.ml: Causal_rst Fifo Format Gen List Mo_obs Mo_protocol Mo_workload Net Observe Sim String Sync_token Tagless Wrap

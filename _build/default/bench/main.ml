@@ -11,6 +11,9 @@ let () =
     Repro.run_all ();
     (* B10 is deterministic seeded output (and writes BENCH_obs.json), so
        it belongs to the reproduction pass, not the timing pass *)
-    Perf.obs_summary ()
+    Perf.obs_summary ();
+    (* B11: fault-overhead accounting, also deterministic (writes
+       BENCH_reliab.json) *)
+    Reliab.summary ()
   end;
   if perf then Perf.run_all ()

@@ -1,0 +1,93 @@
+(* B11: the price of reliability — protocol overhead under faults.
+
+   A loss sweep plus a partition scenario, representative protocols
+   wrapped in the ack/retransmit recovery layer. The interesting columns
+   are the recovery costs (retransmissions, acks, timeouts, recovery
+   latency) against the clean-network baseline of B10, and the makespan
+   growth as the fault rate climbs. Deterministic seeded output; writes
+   BENCH_reliab.json. *)
+
+open Mo_protocol
+open Mo_workload
+
+let protocols =
+  [
+    ("tagless", Tagless.factory);
+    ("fifo", Fifo.factory);
+    ("causal-rst", Causal_rst.factory);
+    ("sync-token", Sync_token.factory);
+  ]
+
+let scenarios =
+  [
+    ("clean", Net.none);
+    ("drop50", Net.make ~drop_permille:50 ());
+    ("drop100", Net.make ~drop_permille:100 ());
+    ("drop200", Net.make ~drop_permille:200 ());
+    ( "part+drop",
+      Net.make ~drop_permille:100
+        ~partitions:
+          [ { Net.from_proc = 0; to_proc = 1; start_at = 50; stop_at = 250 } ]
+        () );
+  ]
+
+let nprocs = 4
+let nmsgs = 120
+let seed = 42
+
+let summary () =
+  Format.printf
+    "@.%s@.== B11: protocol overhead under faults (reliable wrapper, seeded, \
+     %d procs, %d msgs)@.%s@."
+    (String.make 74 '=') nprocs nmsgs (String.make 74 '=');
+  let ops = (Gen.uniform ~nprocs ~nmsgs ~seed).Gen.ops in
+  let scenario_json =
+    List.filter_map
+      (fun (sname, faults) ->
+        let cfg = { (Sim.default_config ~nprocs) with Sim.seed; faults } in
+        Format.printf "@.-- %s (faults: %s)@." sname (Net.to_string faults);
+        let rows =
+          List.filter_map
+            (fun (pname, factory) ->
+              let registry = Mo_obs.Metrics.create () in
+              let wrapped = Wrap.reliable ~registry factory in
+              match Observe.run ~config:cfg ~registry wrapped ops with
+              | Error e ->
+                  Format.printf "  %s: simulation error: %s@." pname e;
+                  None
+              | Ok (registry, outcome) ->
+                  if not outcome.Sim.all_delivered then
+                    Format.printf "  %s: NOT LIVE under %s@." pname sname;
+                  Some (Observe.report_row registry ~factory:wrapped))
+            protocols
+        in
+        Format.printf "%a@." Mo_obs.Report.pp_comparison rows;
+        if rows = [] then None
+        else
+          Some
+            ( sname,
+              Mo_obs.Jsonb.Obj
+                [
+                  ("faults", Mo_obs.Jsonb.String (Net.to_string faults));
+                  ("metrics", Mo_obs.Report.to_json rows);
+                ] ))
+      scenarios
+  in
+  let json =
+    Mo_obs.Jsonb.Obj
+      [
+        ( "workload",
+          Mo_obs.Jsonb.Obj
+            [
+              ("name", Mo_obs.Jsonb.String "uniform");
+              ("nprocs", Mo_obs.Jsonb.Int nprocs);
+              ("nmsgs", Mo_obs.Jsonb.Int nmsgs);
+              ("seed", Mo_obs.Jsonb.Int seed);
+            ] );
+        ("scenarios", Mo_obs.Jsonb.Obj scenario_json);
+      ]
+  in
+  let oc = open_out "BENCH_reliab.json" in
+  output_string oc (Mo_obs.Jsonb.to_string_pretty json);
+  close_out oc;
+  Format.printf "  fault-overhead metrics written to BENCH_reliab.json@."

@@ -222,7 +222,36 @@ let make_workload name ~nprocs ~nmsgs ~seed =
         .Gen.ops
   | other -> invalid_arg ("unknown workload " ^ other)
 
-let simulate_run proto wname nprocs nmsgs seed spec_str diagram trace_out =
+let parse_faults spec =
+  match Net.parse spec with
+  | Ok f -> f
+  | Error e ->
+      Format.eprintf "bad --faults spec: %s@." e;
+      exit 1
+
+let faults_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "fault injection: comma-separated $(b,drop=N), $(b,dup=N) \
+           (permille), $(b,spike=NxF) (permille x latency factor), \
+           $(b,part=SRC>DST\\@T1-T2) (directed link partition window), \
+           $(b,crash=P\\@T1-T2) (process crash-restart window); part/crash \
+           may repeat, e.g. drop=150,part=0>1\\@100-400,crash=2\\@200-500")
+
+let reliable_arg =
+  Arg.(
+    value & flag
+    & info [ "reliable" ]
+        ~doc:
+          "wrap the protocol in the ack/retransmit recovery layer \
+           (per-channel sequence numbers, cumulative acks, exponential \
+           backoff); makes it live under --faults without restoring order")
+
+let simulate_run proto wname nprocs nmsgs seed spec_str faults_str reliable
+    diagram trace_out =
   match List.assoc_opt proto protocols with
   | None ->
       Format.eprintf "unknown protocol %S (choose from: %s)@." proto
@@ -240,7 +269,9 @@ let simulate_run proto wname nprocs nmsgs seed spec_str diagram trace_out =
                 exit 1)
       in
       let ops = make_workload wname ~nprocs ~nmsgs ~seed in
-      let cfg = { (Sim.default_config ~nprocs) with Sim.seed } in
+      let faults = parse_faults faults_str in
+      let cfg = { (Sim.default_config ~nprocs) with Sim.seed; faults } in
+      let factory = if reliable then Wrap.reliable factory else factory in
       match Conformance.check ?spec cfg factory ops with
       | Error e ->
           Format.eprintf "simulation error: %s@." e;
@@ -303,7 +334,7 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     T.(
       const simulate_run $ proto $ wname $ nprocs $ nmsgs $ seed $ spec
-      $ diagram $ trace_out)
+      $ faults_arg $ reliable_arg $ diagram $ trace_out)
 
 (* ---- stats: run a seeded workload under observability ---- *)
 
@@ -326,7 +357,7 @@ let resolve_protocol name =
   in
   Option.map (fun f -> (canonical, f)) (List.assoc_opt canonical protocols)
 
-let stats_run proto_spec wname nprocs nmsgs seed json_out =
+let stats_run proto_spec wname nprocs nmsgs seed faults_str reliable json_out =
   let selected =
     if proto_spec = "all" then Ok protocols
     else
@@ -348,11 +379,18 @@ let stats_run proto_spec wname nprocs nmsgs seed json_out =
       1
   | Ok selected ->
       let ops = make_workload wname ~nprocs ~nmsgs ~seed in
-      let cfg = { (Sim.default_config ~nprocs) with Sim.seed } in
+      let faults = parse_faults faults_str in
+      let cfg = { (Sim.default_config ~nprocs) with Sim.seed; faults } in
       let rows =
         List.filter_map
           (fun (name, factory) ->
-            match Observe.run ~config:cfg factory ops with
+            (* one registry per protocol run: the recovery layer's net.*
+               metrics land next to the sim.*/proto.* ones *)
+            let registry = Mo_obs.Metrics.create () in
+            let factory =
+              if reliable then Wrap.reliable ~registry factory else factory
+            in
+            match Observe.run ~config:cfg ~registry factory ops with
             | Error e ->
                 Format.eprintf "%s: simulation error: %s@." name e;
                 None
@@ -435,7 +473,8 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats" ~doc)
     T.(
-      const stats_run $ proto $ wname $ nprocs $ nmsgs $ seed $ json_out)
+      const stats_run $ proto $ wname $ nprocs $ nmsgs $ seed $ faults_arg
+      $ reliable_arg $ json_out)
 
 (* ---- synth ---- *)
 

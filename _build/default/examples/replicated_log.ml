@@ -87,10 +87,11 @@ let to_replicas () =
               let t = data.(0) in
               let payload = Queue.pop own_payloads in
               Hashtbl.replace slots.(me) t payload
-          | Message.Control _ -> ());
+          | Message.Control _ | Message.Framed _ -> ());
           let actions = inner.Protocol.on_packet ~now ~from packet in
           drain me;
           actions);
+      on_timer = inner.Protocol.on_timer;
       pending_depth = inner.Protocol.pending_depth;
     }
   in
@@ -118,7 +119,7 @@ let bss_replicas () =
           (match packet with
           | Message.User u ->
               Hashtbl.replace payload_of u.Message.id u.Message.payload
-          | Message.Control _ -> ());
+          | Message.Control _ | Message.Framed _ -> ());
           let actions = inner.Protocol.on_packet ~now ~from packet in
           List.iter
             (fun (a : Protocol.action) ->
@@ -128,6 +129,7 @@ let bss_replicas () =
               | _ -> ())
             actions;
           actions);
+      on_timer = inner.Protocol.on_timer;
       pending_depth = inner.Protocol.pending_depth;
     }
   in

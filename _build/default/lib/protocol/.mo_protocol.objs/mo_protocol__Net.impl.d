@@ -1,0 +1,1 @@
+lib/protocol/net.ml: Format List Printf Result String

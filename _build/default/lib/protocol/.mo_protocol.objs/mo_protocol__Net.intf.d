@@ -1,0 +1,1 @@
+lib/protocol/net.mli: Format

@@ -1,0 +1,1 @@
+lib/protocol/reliable.ml: Array Hashtbl List Message Metrics Mo_obs Protocol

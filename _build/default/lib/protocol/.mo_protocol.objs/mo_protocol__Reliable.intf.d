@@ -1,0 +1,1 @@
+lib/protocol/reliable.mli: Mo_obs Protocol

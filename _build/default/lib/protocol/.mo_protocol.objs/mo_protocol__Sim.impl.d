@@ -1,1 +1,1 @@
-lib/protocol/sim.ml: Array Event List Message Mo_obs Mo_order Option Printf Protocol Random Run Sys_run
+lib/protocol/sim.ml: Array Event List Message Mo_obs Mo_order Net Option Printf Protocol Random Run Sys_run

@@ -1,1 +1,1 @@
-lib/protocol/sim.mli: Message Mo_obs Mo_order Protocol
+lib/protocol/sim.mli: Message Mo_obs Mo_order Net Protocol

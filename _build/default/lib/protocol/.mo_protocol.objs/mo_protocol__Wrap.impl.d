@@ -1,1 +1,1 @@
-lib/protocol/wrap.ml: Array Hashtbl List Message Metrics Mo_obs Protocol
+lib/protocol/wrap.ml: Array List Message Metrics Mo_obs Protocol Reliable

@@ -1,1 +1,1 @@
-lib/protocol/wrap.mli: Mo_obs Protocol
+lib/protocol/wrap.mli: Mo_obs Protocol Reliable

@@ -78,7 +78,8 @@ let make ~nprocs ~me =
             drain []
         | Message.User _ ->
             invalid_arg "Causal_bss: user message without vector tag"
-        | Message.Control _ -> []);
+        | Message.Control _ | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth = (fun () -> List.length st.buffer);
   }
 

@@ -60,7 +60,8 @@ let make ~nprocs ~me =
             drain []
         | Message.User _ ->
             invalid_arg "Causal_rst: user message without matrix tag"
-        | Message.Control _ -> []);
+        | Message.Control _ | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth = (fun () -> List.length st.buffer);
   }
 

@@ -88,7 +88,8 @@ let make ~nprocs ~me =
             st.buffer <- st.buffer @ [ { id; tm; constr } ];
             drain []
         | Message.User _ -> invalid_arg "Causal_ses: user message without tag"
-        | Message.Control _ -> []);
+        | Message.Control _ | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth = (fun () -> List.length st.buffer);
   }
 

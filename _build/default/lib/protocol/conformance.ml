@@ -64,6 +64,10 @@ let pp_report ppf r =
   let s = r.outcome.stats in
   Format.fprintf ppf
     "@ user packets: %d, control packets: %d, tag bytes: %d, control bytes: \
-     %d, max pending: %d, makespan: %d@]"
+     %d, max pending: %d, makespan: %d"
     s.user_packets s.control_packets s.tag_bytes s.control_bytes s.max_pending
-    s.makespan
+    s.makespan;
+  if s.retransmits > 0 || s.fault_drops > 0 then
+    Format.fprintf ppf "@ retransmits: %d, fault drops: %d" s.retransmits
+      s.fault_drops;
+  Format.fprintf ppf "@]"

@@ -11,6 +11,7 @@ type stats = { executions : int; truncated : bool }
 type pending =
   | P_invoke of { proc : int; intent : Protocol.intent }
   | P_arrive of { dst : int; from : int; packet : Message.packet }
+  | P_timer of { proc : int; key : int }
 
 (* replay one execution following [choices]; at the first unconsumed choice
    point return how many alternatives there are *)
@@ -66,6 +67,11 @@ let replay ~nprocs factory intents choices =
     intents;
   let arrivals = ref [] in
   (* in-flight packets, stable order *)
+  let timers = ref [] in
+  (* armed timers; the explorer is untimed, so a timer may fire only once
+     every packet in flight has been consumed (quiescence) — a sound
+     schedule, and the one that keeps retransmission layers terminating:
+     by quiescence every ack has arrived, so the timer is a no-op *)
   let seq_rev = Array.make nprocs [] in
   let record p e = seq_rev.(p) <- e :: seq_rev.(p) in
   let sent = Array.make nmsgs false
@@ -106,17 +112,56 @@ let replay ~nprocs factory intents choices =
             else begin
               delivered.(id) <- true;
               record p { Event.Sys.msg = id; kind = Event.Sys.Deliver }
-            end)
+            end
+        | Protocol.Send_framed { dst; rel; packet; retransmit } -> (
+            let enqueue () =
+              arrivals :=
+                !arrivals
+                @ [
+                    P_arrive
+                      {
+                        dst;
+                        from = p;
+                        packet = Message.Framed { rel; inner = packet };
+                      };
+                  ]
+            in
+            match packet with
+            | Message.Framed _ -> fail "nested framing"
+            | Message.User u ->
+                if u.Message.src <> p then fail "user message with wrong src"
+                else if u.Message.id < 0 || u.Message.id >= nmsgs then
+                  fail "unknown message id"
+                else if retransmit then
+                  if not sent.(u.Message.id) then
+                    fail "retransmit before first send"
+                  else enqueue ()
+                else if sent.(u.Message.id) then fail "message sent twice"
+                else begin
+                  sent.(u.Message.id) <- true;
+                  record p
+                    { Event.Sys.msg = u.Message.id; kind = Event.Sys.Send };
+                  enqueue ()
+                end
+            | Message.Control _ ->
+                if not retransmit then incr control_packets;
+                enqueue ())
+        | Protocol.Set_timer { delay; key } ->
+            if delay < 1 then fail "timer delay must be positive"
+            else timers := !timers @ [ P_timer { proc = p; key } ])
       actions
   in
   let pending () =
-    List.filter_map
-      (fun p ->
-        match invokes.(p) with
-        | i :: _ -> Some (P_invoke { proc = p; intent = i })
-        | [] -> None)
-      (List.init nprocs Fun.id)
-    @ !arrivals
+    let live =
+      List.filter_map
+        (fun p ->
+          match invokes.(p) with
+          | i :: _ -> Some (P_invoke { proc = p; intent = i })
+          | [] -> None)
+        (List.init nprocs Fun.id)
+      @ !arrivals
+    in
+    if live <> [] then live else !timers
   in
   let exec_event ev =
     match ev with
@@ -128,11 +173,17 @@ let replay ~nprocs factory intents choices =
     | P_arrive { dst; from; packet } ->
         arrivals := List.filter (fun e -> e != ev) !arrivals;
         (match packet with
-        | Message.User u ->
-            received.(u.Message.id) <- true;
-            record dst { Event.Sys.msg = u.Message.id; kind = Event.Sys.Receive }
-        | Message.Control _ -> ());
+        | Message.User u | Message.Framed { inner = Message.User u; _ } ->
+            if not received.(u.Message.id) then begin
+              received.(u.Message.id) <- true;
+              record dst
+                { Event.Sys.msg = u.Message.id; kind = Event.Sys.Receive }
+            end
+        | Message.Control _ | Message.Framed _ -> ());
         apply_actions dst (instances.(dst).Protocol.on_packet ~now:0 ~from packet)
+    | P_timer { proc; key } ->
+        timers := List.filter (fun e -> e != ev) !timers;
+        apply_actions proc (instances.(proc).Protocol.on_timer ~now:0 ~key)
   in
   let rec consume = function
     | [] -> (

@@ -87,7 +87,8 @@ let make ~nprocs ~me =
             cr.buffer <- cr.buffer @ [ { id; seq = seqno; barrier; kind } ];
             drain cr []
         | Message.User _ -> invalid_arg "Flush: user message without flush tag"
-        | Message.Control _ -> []);
+        | Message.Control _ | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth =
       (fun () ->
         Array.fold_left
@@ -109,6 +110,7 @@ let with_kind_from_color ~name ~kind_of_color =
           inner.Protocol.on_invoke ~now
             { intent with Protocol.flush = kind_of_color intent.color });
       on_packet = inner.Protocol.on_packet;
+      on_timer = inner.Protocol.on_timer;
       pending_depth = inner.Protocol.pending_depth;
     }
   in

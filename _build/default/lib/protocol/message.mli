@@ -47,8 +47,25 @@ type control = { kind : string; data : int array }
 
 val control_bytes : control -> int
 
-type packet = User of user | Control of control
+type rel = { seq : int; cum_ack : int }
+(** The reliability envelope of {!Reliable}: [seq] is the per-directed-
+    channel sequence number of this frame ([-1] for unsequenced frames,
+    i.e. standalone acks, which are never retransmitted or deduplicated);
+    [cum_ack] piggybacks the highest contiguously-received sequence number
+    of the reverse channel ([-1] when nothing was received yet). *)
+
+val rel_bytes : int
+(** Wire overhead of one envelope: two integers. *)
+
+type packet =
+  | User of user
+  | Control of control
+  | Framed of { rel : rel; inner : packet }
+      (** a user or control packet wrapped by the recovery layer; [inner]
+          is never itself [Framed] (the simulator rejects nesting) *)
 
 val is_control : packet -> bool
+(** A framed packet counts as control traffic unless it carries a user
+    message. *)
 
 val pp_packet : Format.formatter -> packet -> unit

@@ -1,0 +1,199 @@
+type partition = {
+  from_proc : int;
+  to_proc : int;
+  start_at : int;
+  stop_at : int;
+}
+
+type crash = { proc : int; start_at : int; stop_at : int }
+
+type spike = { permille : int; factor : int }
+
+type t = {
+  drop_permille : int;
+  duplicate_permille : int;
+  spike : spike;
+  partitions : partition list;
+  crashes : crash list;
+}
+
+let no_spike = { permille = 0; factor = 1 }
+
+let none =
+  {
+    drop_permille = 0;
+    duplicate_permille = 0;
+    spike = no_spike;
+    partitions = [];
+    crashes = [];
+  }
+
+let make ?(drop_permille = 0) ?(duplicate_permille = 0) ?(spike = no_spike)
+    ?(partitions = []) ?(crashes = []) () =
+  { drop_permille; duplicate_permille; spike; partitions; crashes }
+
+let is_none t = t = none
+
+let partitioned t ~from_proc ~to_proc ~at =
+  List.exists
+    (fun p ->
+      p.from_proc = from_proc && p.to_proc = to_proc && at >= p.start_at
+      && at < p.stop_at)
+    t.partitions
+
+let crashed_until t ~proc ~at =
+  List.fold_left
+    (fun acc c ->
+      if c.proc = proc && at >= c.start_at && at < c.stop_at then
+        match acc with
+        | None -> Some c.stop_at
+        | Some s -> Some (max s c.stop_at)
+      else acc)
+    None t.crashes
+
+let validate ~nprocs t =
+  let in_range p = p >= 0 && p < nprocs in
+  if
+    t.drop_permille < 0 || t.duplicate_permille < 0
+    || t.drop_permille + t.duplicate_permille > 1000
+  then Error "fault probabilities out of range"
+  else if t.spike.permille < 0 || t.spike.permille > 1000 then
+    Error "spike probability out of range"
+  else if t.spike.factor < 1 then Error "spike factor must be at least 1"
+  else
+    let bad_window start stop = stop <= start in
+    let rec check_parts = function
+      | [] -> check_crashes t.crashes
+      | p :: rest ->
+          if not (in_range p.from_proc && in_range p.to_proc) then
+            Error "partition endpoint out of range"
+          else if bad_window p.start_at p.stop_at then
+            Error "partition window is empty"
+          else check_parts rest
+    and check_crashes = function
+      | [] -> Ok ()
+      | c :: rest ->
+          if not (in_range c.proc) then Error "crashed process out of range"
+          else if bad_window c.start_at c.stop_at then
+            Error "crash window is empty"
+          else check_crashes rest
+    in
+    check_parts t.partitions
+
+(* ---- CLI syntax ---- *)
+
+let parse_int what s =
+  match int_of_string_opt (String.trim s) with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" what s)
+
+let parse_window what s =
+  (* "T1-T2" *)
+  match String.split_on_char '-' s with
+  | [ a; b ] -> (
+      match (parse_int what a, parse_int what b) with
+      | Ok a, Ok b -> Ok (a, b)
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | _ -> Error (Printf.sprintf "%s: expected T1-T2, got %S" what s)
+
+let parse_clause acc clause =
+  match String.index_opt clause '=' with
+  | None -> Error (Printf.sprintf "expected key=value, got %S" clause)
+  | Some i -> (
+      let key = String.trim (String.sub clause 0 i) in
+      let v =
+        String.trim (String.sub clause (i + 1) (String.length clause - i - 1))
+      in
+      match key with
+      | "drop" ->
+          Result.map (fun n -> { acc with drop_permille = n })
+            (parse_int "drop" v)
+      | "dup" ->
+          Result.map (fun n -> { acc with duplicate_permille = n })
+            (parse_int "dup" v)
+      | "spike" -> (
+          (* NxF: permille x factor *)
+          match String.split_on_char 'x' v with
+          | [ n; f ] -> (
+              match (parse_int "spike" n, parse_int "spike factor" f) with
+              | Ok n, Ok f -> Ok { acc with spike = { permille = n; factor = f } }
+              | (Error _ as e), _ | _, (Error _ as e) -> e)
+          | _ -> Error (Printf.sprintf "spike: expected NxF, got %S" v))
+      | "part" -> (
+          (* SRC>DST@T1-T2 *)
+          match String.index_opt v '@' with
+          | None -> Error (Printf.sprintf "part: expected SRC>DST@T1-T2, got %S" v)
+          | Some j -> (
+              let link = String.sub v 0 j
+              and win = String.sub v (j + 1) (String.length v - j - 1) in
+              match String.split_on_char '>' link with
+              | [ src; dst ] -> (
+                  match
+                    ( parse_int "part src" src,
+                      parse_int "part dst" dst,
+                      parse_window "part window" win )
+                  with
+                  | Ok f, Ok t, Ok (start_at, stop_at) ->
+                      Ok
+                        {
+                          acc with
+                          partitions =
+                            acc.partitions
+                            @ [ { from_proc = f; to_proc = t; start_at; stop_at } ];
+                        }
+                  | (Error _ as e), _, _ | _, (Error _ as e), _ | _, _, (Error _ as e)
+                    -> e)
+              | _ ->
+                  Error (Printf.sprintf "part: expected SRC>DST@T1-T2, got %S" v)))
+      | "crash" -> (
+          (* P@T1-T2 *)
+          match String.index_opt v '@' with
+          | None -> Error (Printf.sprintf "crash: expected P@T1-T2, got %S" v)
+          | Some j -> (
+              let p = String.sub v 0 j
+              and win = String.sub v (j + 1) (String.length v - j - 1) in
+              match (parse_int "crash proc" p, parse_window "crash window" win) with
+              | Ok proc, Ok (start_at, stop_at) ->
+                  Ok
+                    {
+                      acc with
+                      crashes = acc.crashes @ [ { proc; start_at; stop_at } ];
+                    }
+              | (Error _ as e), _ | _, (Error _ as e) -> e))
+      | other -> Error (Printf.sprintf "unknown fault kind %S" other))
+
+let parse s =
+  let clauses =
+    List.filter
+      (fun c -> String.trim c <> "")
+      (String.split_on_char ',' s)
+  in
+  List.fold_left
+    (fun acc clause ->
+      match acc with Error _ -> acc | Ok t -> parse_clause t clause)
+    (Ok none) clauses
+
+let to_string t =
+  let clauses =
+    (if t.drop_permille > 0 then [ Printf.sprintf "drop=%d" t.drop_permille ]
+     else [])
+    @ (if t.duplicate_permille > 0 then
+         [ Printf.sprintf "dup=%d" t.duplicate_permille ]
+       else [])
+    @ (if t.spike.permille > 0 then
+         [ Printf.sprintf "spike=%dx%d" t.spike.permille t.spike.factor ]
+       else [])
+    @ List.map
+        (fun p ->
+          Printf.sprintf "part=%d>%d@%d-%d" p.from_proc p.to_proc p.start_at
+            p.stop_at)
+        t.partitions
+    @ List.map
+        (fun c -> Printf.sprintf "crash=%d@%d-%d" c.proc c.start_at c.stop_at)
+        t.crashes
+  in
+  String.concat "," clauses
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "none"
+  else Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,85 @@
+(** Network fault model.
+
+    The paper assumes a reliable asynchronous network; the simulator's
+    substrate is deliberately weaker, and this module is its fault
+    vocabulary. Four independent fault kinds compose:
+
+    - {e random loss / duplication}: per-packet, Bernoulli with permille
+      probabilities (the original {!Sim.faults} pair);
+    - {e delay spikes}: with probability [spike.permille] a packet's
+      latency is multiplied by [spike.factor] — a heavy-tailed burst that
+      breaks any timing assumption without losing the packet;
+    - {e link partitions}: a directed link is dead during a virtual-time
+      window; every packet entering the link in the window is lost;
+    - {e process crash-restart}: a process is silent during a window. It
+      loses every packet that arrives while it is down (its in-flight
+      receives), but keeps its protocol state; pending invokes and timers
+      are deferred to the restart instant.
+
+    All faults are driven by the simulator's seeded PRNG or by fixed
+    windows, so faulty runs are exactly as deterministic as fault-free
+    ones. {!Reliable} rebuilds the paper's reliable network on top of
+    this model. *)
+
+type partition = {
+  from_proc : int;
+  to_proc : int;  (** directed: only [from_proc → to_proc] packets die *)
+  start_at : int;
+  stop_at : int;  (** half-open window [start_at, stop_at) *)
+}
+
+type crash = {
+  proc : int;
+  start_at : int;
+  stop_at : int;  (** half-open window; the process restarts at [stop_at] *)
+}
+
+type spike = {
+  permille : int;  (** per-packet probability (‰) of a delay spike *)
+  factor : int;  (** latency multiplier for spiked packets, ≥ 1 *)
+}
+
+type t = {
+  drop_permille : int;  (** per-packet probability (‰) of silent loss *)
+  duplicate_permille : int;  (** per-packet probability (‰) of duplication *)
+  spike : spike;
+  partitions : partition list;
+  crashes : crash list;
+}
+
+val none : t
+
+val make :
+  ?drop_permille:int ->
+  ?duplicate_permille:int ->
+  ?spike:spike ->
+  ?partitions:partition list ->
+  ?crashes:crash list ->
+  unit ->
+  t
+(** All fields default to the fault-free value. *)
+
+val is_none : t -> bool
+
+val partitioned : t -> from_proc:int -> to_proc:int -> at:int -> bool
+(** Is the directed link dead at this instant? *)
+
+val crashed_until : t -> proc:int -> at:int -> int option
+(** [Some stop] when the process is down at [at], where [stop] is the
+    restart instant of the latest crash window covering [at]. *)
+
+val validate : nprocs:int -> t -> (unit, string) result
+(** Probabilities in range ([drop + duplicate ≤ 1000]), factor ≥ 1,
+    windows non-empty, process indices within [0, nprocs). *)
+
+val parse : string -> (t, string) result
+(** Parse the CLI fault syntax: a comma-separated list of
+    [drop=N], [dup=N], [spike=NxF], [part=SRC>DST\@T1-T2] and
+    [crash=P\@T1-T2] clauses ([part]/[crash] may repeat), e.g.
+    ["drop=150,part=0>1\@100-400,crash=2\@200-500"]. Empty string means
+    no faults. *)
+
+val to_string : t -> string
+(** Inverse of {!parse} (canonical clause order). *)
+
+val pp : Format.formatter -> t -> unit

@@ -18,17 +18,23 @@ let record registry (o : Sim.outcome) =
     s.Sim.tag_bytes;
   c "sim.control_bytes" "control traffic bytes (paper: general cost)"
     s.Sim.control_bytes;
+  c "sim.retransmits" "framed packets re-emitted by a recovery layer"
+    s.Sim.retransmits;
+  c "sim.fault_drops" "packets destroyed by fault injection"
+    s.Sim.fault_drops;
   g "sim.makespan" "virtual time of the last event" s.Sim.makespan;
   g "sim.max_pending" "protocol queue-depth high-watermark" s.Sim.max_pending;
   g "sim.live" "1 when every message was delivered"
     (if o.Sim.all_delivered then 1 else 0);
   Span.record registry o.Sim.spans
 
-let run ?config factory ops =
+let run ?config ?registry factory ops =
   let config =
     match config with Some c -> c | None -> Sim.default_config ~nprocs:4
   in
-  let registry = Metrics.create () in
+  let registry =
+    match registry with Some r -> r | None -> Metrics.create ()
+  in
   match Sim.execute config (Wrap.instrument registry factory) ops with
   | Error e -> Error e
   | Ok outcome ->

@@ -11,12 +11,22 @@ type action =
   | Send_user of Message.user
   | Send_control of { dst : int; ctl : Message.control }
   | Deliver of int
+  | Send_framed of {
+      dst : int;
+      rel : Message.rel;
+      packet : Message.packet;
+      retransmit : bool;
+    }
+  | Set_timer of { delay : int; key : int }
 
 type instance = {
   on_invoke : now:int -> intent -> action list;
   on_packet : now:int -> from:int -> Message.packet -> action list;
+  on_timer : now:int -> key:int -> action list;
   pending_depth : unit -> int;
 }
+
+let no_timer ~now:_ ~key:_ = []
 
 type kind = Tagless | Tagged | General
 

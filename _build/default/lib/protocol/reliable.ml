@@ -1,0 +1,224 @@
+module Window = struct
+  (* circular residue table: slot id mod n holds the last id written
+     there. Two distinct live ids can only collide when they differ by a
+     multiple of n, i.e. when one has already aged out of the window, so
+     membership is exact within the window. *)
+  type t = { slots : int array; mutable high : int }
+
+  let create ~size =
+    if size < 1 then
+      invalid_arg "Reliable.Window.create: size must be positive";
+    { slots = Array.make size (-1); high = -1 }
+
+  let capacity t = Array.length t.slots
+
+  let mem t id =
+    let n = Array.length t.slots in
+    (t.high >= 0 && id <= t.high - n) || t.slots.(id mod n) = id
+
+  let mark t id =
+    if mem t id then false
+    else begin
+      t.slots.(id mod Array.length t.slots) <- id;
+      if id > t.high then t.high <- id;
+      true
+    end
+end
+
+type config = { rto : int; backoff : int; max_rto : int; max_retries : int }
+
+let default_config = { rto = 24; backoff = 2; max_rto = 2048; max_retries = 12 }
+
+type frame = {
+  packet : Message.packet;
+  first_sent : int;
+  mutable attempts : int;
+}
+
+let wrap ?(config = default_config) ?registry (inner : Protocol.factory) =
+  if config.rto < 1 || config.backoff < 1 || config.max_rto < config.rto then
+    invalid_arg "Reliable.wrap: bad timeout configuration";
+  let registry =
+    match registry with Some r -> r | None -> Mo_obs.Metrics.create ()
+  in
+  let open Mo_obs in
+  let retransmits =
+    Metrics.counter registry ~help:"frames re-sent after a timeout"
+      "net.retransmits_total"
+  and timeouts =
+    Metrics.counter registry ~help:"retransmission timer expiries acted on"
+      "net.timeouts_total"
+  and acks =
+    Metrics.counter registry ~help:"standalone ack frames sent"
+      "net.acks_total"
+  and dup_frames =
+    Metrics.counter registry
+      ~help:"received frames suppressed as channel duplicates"
+      "net.dup_frames_total"
+  and gave_up =
+    Metrics.counter registry
+      ~help:"frames abandoned after exhausting the retry cap"
+      "net.gave_up_total"
+  and recovery =
+    Metrics.histogram registry
+      ~help:
+        "first transmission to covering ack, frames that needed retransmission"
+      "net.recovery_latency"
+  in
+  let make ~nprocs ~me =
+    let i = inner.Protocol.make ~nprocs ~me in
+    (* sender side, per destination channel me→d *)
+    let next_seq = Array.make nprocs 0 in
+    let acked = Array.make nprocs (-1) in
+    let unacked : (int * int, frame) Hashtbl.t = Hashtbl.create 64 in
+    let timer_slots : (int, int * int) Hashtbl.t = Hashtbl.create 64 in
+    let next_key = ref 0 in
+    (* receiver side, per source channel s→me *)
+    let cum = Array.make nprocs (-1) in
+    let above : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let frame_out ~now ~dst packet =
+      let seq = next_seq.(dst) in
+      next_seq.(dst) <- seq + 1;
+      Hashtbl.replace unacked (dst, seq)
+        { packet; first_sent = now; attempts = 0 };
+      let key = !next_key in
+      next_key := !next_key + 2;
+      Hashtbl.replace timer_slots key (dst, seq);
+      [
+        Protocol.Send_framed
+          {
+            dst;
+            rel = { Message.seq; cum_ack = cum.(dst) };
+            packet;
+            retransmit = false;
+          };
+        Protocol.Set_timer { delay = config.rto; key };
+      ]
+    in
+    let lift ~now actions =
+      List.concat_map
+        (fun (a : Protocol.action) ->
+          match a with
+          | Protocol.Send_user u ->
+              frame_out ~now ~dst:u.Message.dst (Message.User u)
+          | Protocol.Send_control { dst; ctl } ->
+              frame_out ~now ~dst (Message.Control ctl)
+          | Protocol.Deliver _ -> [ a ]
+          | Protocol.Set_timer { delay; key } ->
+              (* the inner protocol's timers live in the odd key space *)
+              [ Protocol.Set_timer { delay; key = (2 * key) + 1 } ]
+          | Protocol.Send_framed _ ->
+              (* an already-framed action from a nested layer; not ours *)
+              [ a ])
+        actions
+    in
+    let process_ack ~now ~from a =
+      if a > acked.(from) then begin
+        for s = acked.(from) + 1 to a do
+          match Hashtbl.find_opt unacked (from, s) with
+          | Some fr ->
+              Hashtbl.remove unacked (from, s);
+              if fr.attempts > 0 then
+                Metrics.observe recovery (now - fr.first_sent)
+          | None -> ()
+        done;
+        acked.(from) <- a
+      end
+    in
+    let note_receive ~from seq =
+      if seq <= cum.(from) || Hashtbl.mem above (from, seq) then false
+      else begin
+        Hashtbl.replace above (from, seq) ();
+        while Hashtbl.mem above (from, cum.(from) + 1) do
+          Hashtbl.remove above (from, cum.(from) + 1);
+          cum.(from) <- cum.(from) + 1
+        done;
+        true
+      end
+    in
+    let standalone_ack from =
+      Metrics.inc acks;
+      [
+        Protocol.Send_framed
+          {
+            dst = from;
+            rel = { Message.seq = -1; cum_ack = cum.(from) };
+            packet = Message.Control { Message.kind = "rel-ack"; data = [||] };
+            retransmit = false;
+          };
+      ]
+    in
+    let backed_off attempts =
+      let d = ref config.rto in
+      for _ = 1 to attempts do
+        d := min config.max_rto (!d * config.backoff)
+      done;
+      !d
+    in
+    {
+      Protocol.on_invoke =
+        (fun ~now intent -> lift ~now (i.Protocol.on_invoke ~now intent));
+      on_packet =
+        (fun ~now ~from packet ->
+          match packet with
+          | Message.Framed { rel; inner = ip } ->
+              process_ack ~now ~from rel.Message.cum_ack;
+              if rel.Message.seq < 0 then []
+              else if note_receive ~from rel.Message.seq then
+                standalone_ack from
+                @ lift ~now (i.Protocol.on_packet ~now ~from ip)
+              else begin
+                (* duplicate: the ack may have been lost — re-ack, but the
+                   inner protocol must not see the packet again *)
+                Metrics.inc dup_frames;
+                standalone_ack from
+              end
+          | Message.User _ | Message.Control _ ->
+              (* an unframed peer (mixed deployment): stay transparent *)
+              lift ~now (i.Protocol.on_packet ~now ~from packet))
+      ;
+      on_timer =
+        (fun ~now ~key ->
+          if key land 1 = 1 then
+            lift ~now (i.Protocol.on_timer ~now ~key:(key asr 1))
+          else
+            match Hashtbl.find_opt timer_slots key with
+            | None -> []
+            | Some (dst, seq) -> (
+                match Hashtbl.find_opt unacked (dst, seq) with
+                | None ->
+                    (* acked in the meantime *)
+                    Hashtbl.remove timer_slots key;
+                    []
+                | Some fr ->
+                    Metrics.inc timeouts;
+                    if fr.attempts >= config.max_retries then begin
+                      Hashtbl.remove unacked (dst, seq);
+                      Hashtbl.remove timer_slots key;
+                      Metrics.inc gave_up;
+                      []
+                    end
+                    else begin
+                      fr.attempts <- fr.attempts + 1;
+                      Metrics.inc retransmits;
+                      [
+                        Protocol.Send_framed
+                          {
+                            dst;
+                            rel = { Message.seq = seq; cum_ack = cum.(dst) };
+                            packet = fr.packet;
+                            retransmit = true;
+                          };
+                        Protocol.Set_timer
+                          { delay = backed_off fr.attempts; key };
+                      ]
+                    end));
+      pending_depth =
+        (fun () -> i.Protocol.pending_depth () + Hashtbl.length unacked);
+    }
+  in
+  {
+    Protocol.proto_name = inner.Protocol.proto_name ^ "+rel";
+    kind = Protocol.General;
+    make;
+  }

@@ -17,9 +17,9 @@ let op ?color ?(payload = 0) ?(flush = Message.Ordinary) ~at ~src ~dst () =
 let bcast ?color ?(payload = 0) ~at ~src () =
   { at; src; dst = Broadcast; color; payload; flush = Message.Ordinary }
 
-type faults = { drop_permille : int; duplicate_permille : int }
+type faults = Net.t
 
-let no_faults = { drop_permille = 0; duplicate_permille = 0 }
+let no_faults = Net.none
 
 type config = {
   nprocs : int;
@@ -49,6 +49,8 @@ type stats = {
   latency_max : int;
   makespan : int;
   max_pending : int;
+  retransmits : int;
+  fault_drops : int;
 }
 
 let mean_latency s ~nmsgs =
@@ -70,6 +72,7 @@ type outcome = {
 type ev =
   | Ev_invoke of { proc : int; intent : Protocol.intent }
   | Ev_arrive of { dst : int; from : int; packet : Message.packet }
+  | Ev_timer of { proc : int; key : int }
 
 module Heap = struct
   type entry = { time : int; tie : int; ev : ev }
@@ -201,19 +204,30 @@ let execute config factory ops =
     invalid_arg
       "Sim.execute: min_delay must be at least 1 (packets never arrive at \
        their send instant)";
-  if
-    config.faults.drop_permille < 0
-    || config.faults.duplicate_permille < 0
-    || config.faults.drop_permille + config.faults.duplicate_permille > 1000
-  then invalid_arg "Sim.execute: fault probabilities out of range";
+  (match Net.validate ~nprocs config.faults with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Sim.execute: " ^ e));
   let rng = Random.State.make [| config.seed |] in
-  let delay () = config.min_delay + Random.State.int rng (config.jitter + 1) in
+  let delay () =
+    let base = config.min_delay + Random.State.int rng (config.jitter + 1) in
+    (* heavy-tailed burst: a spiked packet's latency is multiplied, which
+       breaks timing assumptions without losing the packet. The roll is
+       only drawn when spikes are configured, so fault-free runs consume
+       the same random sequence as before. *)
+    let spike = config.faults.Net.spike in
+    if
+      spike.Net.permille > 0
+      && Random.State.int rng 1000 < spike.Net.permille
+    then base * spike.Net.factor
+    else base
+  in
   let fate () =
     (* per-packet network fate: deliver once, drop, or duplicate *)
     let roll = Random.State.int rng 1000 in
-    if roll < config.faults.drop_permille then `Drop
+    if roll < config.faults.Net.drop_permille then `Drop
     else if
-      roll < config.faults.drop_permille + config.faults.duplicate_permille
+      roll
+      < config.faults.Net.drop_permille + config.faults.Net.duplicate_permille
     then `Duplicate
     else `Deliver
   in
@@ -248,17 +262,23 @@ let execute config factory ops =
   and tag_bytes = ref 0
   and control_bytes = ref 0
   and makespan = ref 0
-  and max_pending = ref 0 in
+  and max_pending = ref 0
+  and retransmits = ref 0
+  and fault_drops = ref 0 in
   let error = ref None in
   let fail fmt = Printf.ksprintf (fun s -> if !error = None then error := Some s) fmt in
   let schedule_packet now ~dst ~from packet =
-    match fate () with
-    | `Drop -> ()
-    | `Deliver ->
-        Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
-    | `Duplicate ->
-        Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet });
-        Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
+    (* a packet entering a partitioned link dies on the link *)
+    if Net.partitioned config.faults ~from_proc:from ~to_proc:dst ~at:now then
+      incr fault_drops
+    else
+      match fate () with
+      | `Drop -> incr fault_drops
+      | `Deliver ->
+          Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
+      | `Duplicate ->
+          Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet });
+          Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
   in
   let apply_actions p now actions =
     List.iter
@@ -286,6 +306,50 @@ let execute config factory ops =
             incr control_packets;
             control_bytes := !control_bytes + Message.control_bytes ctl;
             schedule_packet now ~dst ~from:p (Message.Control ctl)
+        | Protocol.Send_framed { dst; rel; packet; retransmit } -> (
+            let wire = Message.Framed { rel; inner = packet } in
+            match packet with
+            | Message.Framed _ -> fail "nested reliability framing"
+            | Message.User u ->
+                if u.Message.src <> p then
+                  fail "protocol on P%d framed a user message with src %d" p
+                    u.Message.src
+                else if u.id < 0 || u.id >= nmsgs then
+                  fail "protocol framed unknown message id %d" u.Message.id
+                else if u.Message.dst <> dst then
+                  fail "framed message %d addressed to P%d but sent to P%d"
+                    u.Message.id u.Message.dst dst
+                else if retransmit then
+                  if sent.(u.id) < 0 then
+                    fail "retransmission of message %d before its send"
+                      u.Message.id
+                  else begin
+                    incr retransmits;
+                    control_bytes := !control_bytes + Message.rel_bytes;
+                    schedule_packet now ~dst ~from:p wire
+                  end
+                else if sent.(u.id) >= 0 then
+                  fail "message %d sent twice" u.Message.id
+                else if invoked.(u.id) < 0 then
+                  fail "message %d sent before its invoke" u.Message.id
+                else begin
+                  sent.(u.id) <- now;
+                  record p { Event.Sys.msg = u.id; kind = Event.Sys.Send };
+                  incr user_packets;
+                  tag_bytes := !tag_bytes + Message.tag_bytes u.Message.tag;
+                  control_bytes := !control_bytes + Message.rel_bytes;
+                  schedule_packet now ~dst ~from:p wire
+                end
+            | Message.Control c ->
+                incr control_packets;
+                if retransmit then incr retransmits;
+                control_bytes :=
+                  !control_bytes + Message.control_bytes c + Message.rel_bytes;
+                schedule_packet now ~dst ~from:p wire)
+        | Protocol.Set_timer { delay; key } ->
+            if delay < 1 then
+              fail "timer delay must be at least 1 (got %d)" delay
+            else Heap.push heap (now + delay) (Ev_timer { proc = p; key })
         | Protocol.Deliver id ->
             if id < 0 || id >= nmsgs then
               fail "protocol delivered unknown message id %d" id
@@ -314,26 +378,56 @@ let execute config factory ops =
       | None -> ()
       | Some (now, ev) ->
           incr steps;
-          makespan := max !makespan now;
           (match ev with
-          | Ev_invoke { proc; intent } ->
-              invoked.(intent.Protocol.id) <- now;
-              record proc
-                { Event.Sys.msg = intent.Protocol.id; kind = Event.Sys.Invoke };
-              apply_actions proc now (instances.(proc).on_invoke ~now intent)
-          | Ev_arrive { dst; from; packet } ->
-              (match packet with
-              | Message.User u ->
-                  (* a duplicated packet is still handed to the protocol,
-                     but the trace records one receive event *)
-                  if received.(u.id) < 0 then begin
-                    received.(u.id) <- now;
-                    record dst
-                      { Event.Sys.msg = u.id; kind = Event.Sys.Receive }
-                  end
-              | Message.Control _ -> ());
-              apply_actions dst now
-                (instances.(dst).on_packet ~now ~from packet));
+          | Ev_invoke { proc; intent } -> (
+              match Net.crashed_until config.faults ~proc ~at:now with
+              | Some restart ->
+                  (* the process is down: the application's request waits
+                     for the restart *)
+                  Heap.push heap restart ev
+              | None ->
+                  makespan := max !makespan now;
+                  invoked.(intent.Protocol.id) <- now;
+                  record proc
+                    {
+                      Event.Sys.msg = intent.Protocol.id;
+                      kind = Event.Sys.Invoke;
+                    };
+                  apply_actions proc now
+                    (instances.(proc).on_invoke ~now intent))
+          | Ev_timer { proc; key } -> (
+              match Net.crashed_until config.faults ~proc ~at:now with
+              | Some restart ->
+                  (* protocol state survives the crash; its timers resume
+                     at the restart instant *)
+                  Heap.push heap restart ev
+              | None ->
+                  let actions = instances.(proc).on_timer ~now ~key in
+                  (* an expired timer nobody cares about is not an event
+                     of the run; don't let it stretch the makespan *)
+                  if actions <> [] then makespan := max !makespan now;
+                  apply_actions proc now actions)
+          | Ev_arrive { dst; from; packet } -> (
+              match Net.crashed_until config.faults ~proc:dst ~at:now with
+              | Some _ ->
+                  (* crash-restart loses in-flight receives *)
+                  incr fault_drops
+              | None ->
+                  makespan := max !makespan now;
+                  (match packet with
+                  | Message.User u
+                  | Message.Framed { inner = Message.User u; _ } ->
+                      (* a duplicated packet is still handed to the
+                         protocol, but the trace records one receive
+                         event *)
+                      if received.(u.id) < 0 then begin
+                        received.(u.id) <- now;
+                        record dst
+                          { Event.Sys.msg = u.id; kind = Event.Sys.Receive }
+                      end
+                  | Message.Control _ | Message.Framed _ -> ());
+                  apply_actions dst now
+                    (instances.(dst).on_packet ~now ~from packet)));
           loop ()
   in
   loop ();
@@ -365,6 +459,8 @@ let execute config factory ops =
               latency_max = !latency_max;
               makespan = !makespan;
               max_pending = !max_pending;
+              retransmits = !retransmits;
+              fault_drops = !fault_drops;
             }
           in
           let spans =

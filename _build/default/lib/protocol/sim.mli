@@ -8,8 +8,10 @@
     run and its user-view projection, plus the traffic statistics the
     overhead benches report.
 
-    Determinism: all delays come from a seeded PRNG in the {!config}, so a
-    given (config, protocol, workload) triple always yields the same run. *)
+    Determinism: all delays and fault decisions come from a seeded PRNG in
+    the {!config} (windowed faults are fixed data), so a given (config,
+    protocol, workload) triple always yields the same run — with or
+    without fault injection. *)
 
 type dest = Unicast of int | Broadcast
 (** [Broadcast] expands to one copy per other process, sharing a
@@ -30,17 +32,15 @@ val op :
 
 val bcast : ?color:int -> ?payload:int -> at:int -> src:int -> unit -> op
 
-type faults = {
-  drop_permille : int;
-      (** per-packet probability (‰) of silent loss. The paper's model is
-          a reliable network; drops exist to show the conformance harness
-          flagging the resulting liveness failures. *)
-  duplicate_permille : int;
-      (** per-packet probability (‰) of duplication in the network. The
-          trace records one receive; the protocol sees the packet twice —
-          protocols without deduplication then double-deliver, which the
-          simulator reports as misbehaviour (see {!Wrap.dedup}). *)
-}
+type faults = Net.t
+(** The full fault model: random loss/duplication, delay spikes, link
+    partitions, process crash-restart — see {!Net}. The paper's model is
+    a reliable network; faults exist to show the conformance harness
+    flagging the resulting liveness failures, and to let {!Reliable}
+    demonstrably restore the reliable-network assumption. Under network
+    duplication the trace records one receive while the protocol sees the
+    packet twice — protocols without deduplication then double-deliver,
+    which the simulator reports as misbehaviour (see {!Wrap.dedup}). *)
 
 val no_faults : faults
 
@@ -68,6 +68,12 @@ type stats = {
       (** high-watermark of {!Protocol.instance}'s [pending_depth] over
           all processes and times — the buffered-state cost of the
           ordering guarantee *)
+  retransmits : int;
+      (** framed packets re-emitted by a recovery layer
+          ({!Protocol.action}'s [Send_framed] with [retransmit = true]) *)
+  fault_drops : int;
+      (** packets destroyed by fault injection: random loss, a partitioned
+          link, or arrival at a crashed process *)
 }
 
 val mean_latency : stats -> nmsgs:int -> float

@@ -115,7 +115,9 @@ let make ~nprocs:_ ~me =
             st.phase <- Idle;
             react ()
         | Message.Control { kind; _ } ->
-            invalid_arg ("Sync_priority: unknown control kind " ^ kind));
+            invalid_arg ("Sync_priority: unknown control kind " ^ kind)
+        | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth = (fun () -> List.length st.queue);
   }
 

@@ -128,7 +128,9 @@ let make ~nprocs:_ ~me =
                 sends @ next_req @ drain []
             | _ -> invalid_arg "Total_order: grant out of order")
         | Message.Control { kind; _ } ->
-            invalid_arg ("Total_order: unknown control kind " ^ kind));
+            invalid_arg ("Total_order: unknown control kind " ^ kind)
+        | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth =
       (fun () ->
         Hashtbl.length st.buffer

@@ -1,23 +1,25 @@
-let dedup (inner : Protocol.factory) =
+let dedup ?(window = 4096) (inner : Protocol.factory) =
   let make ~nprocs ~me =
     let i = inner.Protocol.make ~nprocs ~me in
-    let seen = Hashtbl.create 64 in
+    let seen = Reliable.Window.create ~size:window in
     {
       Protocol.on_invoke = i.Protocol.on_invoke;
       on_packet =
         (fun ~now ~from packet ->
           match packet with
           | Message.User u ->
-              if Hashtbl.mem seen u.Message.id then []
-              else begin
-                Hashtbl.replace seen u.Message.id ();
+              if Reliable.Window.mark seen u.Message.id then
                 i.Protocol.on_packet ~now ~from packet
-              end
-          | Message.Control _ -> i.Protocol.on_packet ~now ~from packet);
+              else []
+          | Message.Control _ | Message.Framed _ ->
+              i.Protocol.on_packet ~now ~from packet);
+      on_timer = i.Protocol.on_timer;
       pending_depth = i.Protocol.pending_depth;
     }
   in
   { inner with Protocol.proto_name = inner.Protocol.proto_name ^ "+dedup"; make }
+
+let reliable = Reliable.wrap
 
 let count_deliveries (inner : Protocol.factory) counters =
   let make ~nprocs ~me =
@@ -28,7 +30,8 @@ let count_deliveries (inner : Protocol.factory) counters =
         (fun (a : Protocol.action) ->
           match a with
           | Protocol.Deliver _ -> !counters.(me) <- !counters.(me) + 1
-          | Protocol.Send_user _ | Protocol.Send_control _ -> ())
+          | Protocol.Send_user _ | Protocol.Send_control _
+          | Protocol.Send_framed _ | Protocol.Set_timer _ -> ())
         actions;
       actions
     in
@@ -38,6 +41,8 @@ let count_deliveries (inner : Protocol.factory) counters =
       on_packet =
         (fun ~now ~from packet ->
           observe (i.Protocol.on_packet ~now ~from packet));
+      on_timer =
+        (fun ~now ~key -> observe (i.Protocol.on_timer ~now ~key));
       pending_depth = i.Protocol.pending_depth;
     }
   in
@@ -72,6 +77,20 @@ let instrument registry (inner : Protocol.factory) =
   in
   let make ~nprocs ~me =
     let i = inner.Protocol.make ~nprocs ~me in
+    let rec observe_packet (p : Message.packet) ~retransmit =
+      match p with
+      | Message.User u ->
+          if not retransmit then begin
+            Metrics.inc user_sends;
+            Metrics.add tag_bytes (Message.tag_bytes u.Message.tag)
+          end
+      | Message.Control ctl ->
+          if not retransmit then begin
+            Metrics.inc control_sends;
+            Metrics.add control_bytes (Message.control_bytes ctl)
+          end
+      | Message.Framed { inner = ip; _ } -> observe_packet ip ~retransmit
+    in
     let observe actions =
       List.iter
         (fun (a : Protocol.action) ->
@@ -82,7 +101,10 @@ let instrument registry (inner : Protocol.factory) =
           | Protocol.Send_control { ctl; _ } ->
               Metrics.inc control_sends;
               Metrics.add control_bytes (Message.control_bytes ctl)
-          | Protocol.Deliver _ -> Metrics.inc deliveries)
+          | Protocol.Deliver _ -> Metrics.inc deliveries
+          | Protocol.Send_framed { packet; retransmit; _ } ->
+              observe_packet packet ~retransmit
+          | Protocol.Set_timer _ -> ())
         actions;
       Metrics.observe_max max_pending (i.Protocol.pending_depth ());
       actions
@@ -96,6 +118,8 @@ let instrument registry (inner : Protocol.factory) =
         (fun ~now ~from packet ->
           Metrics.inc packets;
           observe (i.Protocol.on_packet ~now ~from packet));
+      on_timer =
+        (fun ~now ~key -> observe (i.Protocol.on_timer ~now ~key));
       pending_depth = i.Protocol.pending_depth;
     }
   in

@@ -244,7 +244,8 @@ let test_misbehaviour_detected () =
               (fun ~now:_ ~from:_ -> function
                 | Message.User u ->
                     [ Protocol.Deliver u.Message.id; Protocol.Deliver u.Message.id ]
-                | Message.Control _ -> []);
+                | Message.Control _ | Message.Framed _ -> []);
+            on_timer = Protocol.no_timer;
             pending_depth = (fun () -> 0);
           });
     }

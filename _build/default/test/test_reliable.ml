@@ -1,0 +1,391 @@
+(* The reliable-channel substrate, conformance-verified under faults:
+   every protocol wrapped in [Wrap.reliable] must stay live AND keep its
+   ordering guarantee across a grid of fault configurations — the
+   executable form of "the paper's reliable-network assumption is a
+   derived property, not an axiom". The same grid without the wrapper
+   demonstrably loses liveness, which keeps the positive results honest. *)
+
+open Mo_core
+open Mo_protocol
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let causal_spec = Spec.make ~name:"causal" [ Catalog.causal_b2.Catalog.pred ]
+let fifo_spec = Spec.make ~name:"fifo" [ Catalog.fifo.Catalog.pred ]
+
+(* ------------------------------------------------------------------ *)
+(* Window: the bounded dedup memory                                    *)
+
+let test_window_bound () =
+  let w = Reliable.Window.create ~size:8 in
+  check_int "capacity is the requested size" 8 (Reliable.Window.capacity w);
+  check_bool "fresh id unseen" false (Reliable.Window.mem w 0);
+  check_bool "first mark is fresh" true (Reliable.Window.mark w 0);
+  check_bool "second mark is a duplicate" false (Reliable.Window.mark w 0);
+  (* ids well past the window age out the old ones... *)
+  for i = 1 to 100 do
+    check_bool "ascending ids all fresh" true (Reliable.Window.mark w i)
+  done;
+  (* ...and anything below high - size is assumed already seen *)
+  check_bool "aged-out id counts as seen" true (Reliable.Window.mem w 3);
+  check_bool "aged-out mark rejected" false (Reliable.Window.mark w 3);
+  check_int "capacity never grows" 8 (Reliable.Window.capacity w);
+  (* within the window, membership stays exact: jump ahead leaving gaps *)
+  let w2 = Reliable.Window.create ~size:8 in
+  check_bool "gap jump" true (Reliable.Window.mark w2 100);
+  check_bool "unmarked id inside the window is unseen" false
+    (Reliable.Window.mem w2 97);
+  check_bool "marked id inside the window is seen" true
+    (Reliable.Window.mem w2 100);
+  Alcotest.check_raises "size must be positive"
+    (Invalid_argument "Reliable.Window.create: size must be positive")
+    (fun () -> ignore (Reliable.Window.create ~size:0))
+
+let test_dedup_is_bounded () =
+  (* the dedup combinator must stay correct with a window far smaller
+     than the run: duplicates arrive close to the original, so a small
+     exact window suffices *)
+  let ops = (Gen.uniform ~nprocs:3 ~nmsgs:60 ~seed:6).Gen.ops in
+  List.iter
+    (fun seed ->
+      let cfg =
+        {
+          (Sim.default_config ~nprocs:3) with
+          Sim.seed;
+          faults = Net.make ~duplicate_permille:250 ();
+        }
+      in
+      match Sim.execute cfg (Wrap.dedup ~window:16 Tagless.factory) ops with
+      | Error e -> Alcotest.fail e
+      | Ok o ->
+          check_bool "live under duplication with a 16-slot window" true
+            o.Sim.all_delivered)
+    (List.init 8 Fun.id)
+
+(* ------------------------------------------------------------------ *)
+(* Net: parsing and validation                                         *)
+
+let test_net_parse () =
+  (match Net.parse "drop=150,dup=50,spike=20x8,part=0>1@100-400,crash=2@200-500"
+   with
+  | Error e -> Alcotest.fail e
+  | Ok f ->
+      check_int "drop" 150 f.Net.drop_permille;
+      check_int "dup" 50 f.Net.duplicate_permille;
+      check_int "spike permille" 20 f.Net.spike.Net.permille;
+      check_int "spike factor" 8 f.Net.spike.Net.factor;
+      (match f.Net.partitions with
+      | [ p ] ->
+          check_int "part src" 0 p.Net.from_proc;
+          check_int "part dst" 1 p.Net.to_proc;
+          check_int "part start" 100 p.Net.start_at;
+          check_int "part stop" 400 p.Net.stop_at
+      | _ -> Alcotest.fail "expected one partition");
+      match f.Net.crashes with
+      | [ c ] ->
+          check_int "crash proc" 2 c.Net.proc;
+          check_int "crash start" 200 c.Net.start_at;
+          check_int "crash stop" 500 c.Net.stop_at
+      | _ -> Alcotest.fail "expected one crash");
+  (match Net.parse "" with
+  | Ok f -> check_bool "empty spec means no faults" true (Net.is_none f)
+  | Error e -> Alcotest.fail e);
+  (match Net.parse "part=0>1@10-20,part=1>0@30-40" with
+  | Ok f -> check_int "repeatable clauses" 2 (List.length f.Net.partitions)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match Net.parse bad with
+      | Ok _ -> Alcotest.fail ("parse should reject: " ^ bad)
+      | Error _ -> ())
+    [ "drop"; "drop=x"; "spike=20"; "part=0-1@2-3"; "crash=1@9"; "nope=3" ];
+  (* to_string round-trips through parse *)
+  let f =
+    Net.make ~drop_permille:10 ~spike:{ Net.permille = 5; factor = 3 }
+      ~crashes:[ { Net.proc = 1; start_at = 7; stop_at = 9 } ]
+      ()
+  in
+  match Net.parse (Net.to_string f) with
+  | Ok f' -> check_bool "round trip" true (f = f')
+  | Error e -> Alcotest.fail e
+
+let test_net_validate () =
+  let ok f = check_bool "valid" true (Net.validate ~nprocs:3 f = Ok ()) in
+  ok Net.none;
+  ok
+    (Net.make ~drop_permille:1000
+       ~partitions:[ { Net.from_proc = 0; to_proc = 2; start_at = 0; stop_at = 5 } ]
+       ());
+  let bad f =
+    check_bool "invalid" true (Result.is_error (Net.validate ~nprocs:3 f))
+  in
+  bad (Net.make ~drop_permille:(-1) ());
+  bad (Net.make ~drop_permille:600 ~duplicate_permille:600 ());
+  bad (Net.make ~spike:{ Net.permille = 10; factor = 0 } ());
+  bad
+    (Net.make
+       ~partitions:[ { Net.from_proc = 0; to_proc = 3; start_at = 0; stop_at = 5 } ]
+       ());
+  bad
+    (Net.make ~crashes:[ { Net.proc = 1; start_at = 5; stop_at = 5 } ] ())
+
+(* ------------------------------------------------------------------ *)
+(* The fault-matrix conformance suite                                  *)
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let part_0_1 = { Net.from_proc = 0; to_proc = 1; start_at = 10; stop_at = 80 }
+let crash_1 = { Net.proc = 1; start_at = 20; stop_at = 70 }
+
+(* the grid: random loss at and below the acceptance ceiling,
+   duplication, their combination, a partition window, a crash-restart
+   window and a heavy-tailed delay burst — each on top of loss *)
+let grid =
+  [
+    ("drop100", Net.make ~drop_permille:100 ());
+    ("drop200", Net.make ~drop_permille:200 ());
+    ("dup150", Net.make ~duplicate_permille:150 ());
+    ("drop+dup", Net.make ~drop_permille:100 ~duplicate_permille:100 ());
+    ("part+drop", Net.make ~drop_permille:100 ~partitions:[ part_0_1 ] ());
+    ("crash+drop", Net.make ~drop_permille:100 ~crashes:[ crash_1 ] ());
+    ( "spike+drop",
+      Net.make ~drop_permille:100 ~spike:{ Net.permille = 30; factor = 10 } ()
+    );
+  ]
+
+(* every protocol in the repo, with the strongest spec that is cheap to
+   check under its natural workload. sync protocols are checked against
+   the causal spec (X_sync ⊆ X_co, Theorem 1); flush with ordinary sends
+   and total order get liveness + traffic accounting only. *)
+let unicast_ops = (Gen.uniform ~nprocs:3 ~nmsgs:30 ~seed:6).Gen.ops
+let bcast_ops = (Gen.broadcast ~nprocs:3 ~nbcasts:10 ~seed:6).Gen.ops
+
+let protocols =
+  [
+    ("tagless", Tagless.factory, None, unicast_ops);
+    ("fifo", Fifo.factory, Some fifo_spec, unicast_ops);
+    ("causal-rst", Causal_rst.factory, Some causal_spec, unicast_ops);
+    ("causal-ses", Causal_ses.factory, Some causal_spec, unicast_ops);
+    ("causal-bss", Causal_bss.factory, Some causal_spec, bcast_ops);
+    ("sync-token", Sync_token.factory, Some causal_spec, unicast_ops);
+    ("sync-priority", Sync_priority.factory, Some causal_spec, unicast_ops);
+    ("flush", Flush.factory, None, unicast_ops);
+    (* total order is a broadcast primitive: every process must see every
+       ticket, so it gets the broadcast workload like BSS *)
+    ("total-order", Total_order.factory, None, bcast_ops);
+  ]
+
+let config ~seed faults =
+  { (Sim.default_config ~nprocs:3) with Sim.seed; faults }
+
+let test_fault_matrix_wrapped () =
+  List.iter
+    (fun (pname, factory, spec, ops) ->
+      List.iter
+        (fun (fname, faults) ->
+          List.iter
+            (fun seed ->
+              let label = Printf.sprintf "%s/%s seed %d" pname fname seed in
+              let r =
+                Conformance.check_exn ?spec (config ~seed faults)
+                  (Wrap.reliable factory) ops
+              in
+              check_bool (label ^ " live") true r.Conformance.live;
+              check_bool
+                (label ^ " traffic consistent")
+                true r.Conformance.traffic_consistent;
+              match (spec, r.Conformance.spec_ok) with
+              | Some _, Some ok -> check_bool (label ^ " spec") true ok
+              | Some _, None -> Alcotest.fail (label ^ ": no spec verdict")
+              | None, _ -> ())
+            seeds)
+        grid)
+    protocols
+
+let test_unwrapped_fails_liveness () =
+  (* the wrapper is doing real work: on the same grid, the bare protocol
+     loses messages on some seed in every lossy cell *)
+  List.iter
+    (fun (fname, faults) ->
+      let lost = ref false in
+      List.iter
+        (fun seed ->
+          match
+            Sim.execute (config ~seed faults) Fifo.factory unicast_ops
+          with
+          | Error e -> Alcotest.fail (fname ^ ": " ^ e)
+          | Ok o -> if not o.Sim.all_delivered then lost := true)
+        seeds;
+      check_bool (fname ^ " kills bare fifo on some seed") true !lost)
+    (List.filter (fun (n, _) -> n <> "dup150" && n <> "spike+drop") grid);
+  (* and a pure partition is deterministically fatal without recovery *)
+  let faults =
+    Net.make
+      ~partitions:[ { Net.from_proc = 0; to_proc = 1; start_at = 0; stop_at = 100_000 } ]
+      ()
+  in
+  let ops = [ Sim.op ~at:0 ~src:0 ~dst:1 () ] in
+  (match Sim.execute (config ~seed:1 faults) Fifo.factory ops with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "permanent partition, bare: message lost" false
+        o.Sim.all_delivered;
+      check_int "the drop is accounted as a fault" 1 o.Sim.stats.Sim.fault_drops);
+  (* while a partition the retry budget can outlast is survived *)
+  let faults =
+    Net.make
+      ~partitions:[ { Net.from_proc = 0; to_proc = 1; start_at = 0; stop_at = 300 } ]
+      ()
+  in
+  match Sim.execute (config ~seed:1 faults) (Wrap.reliable Fifo.factory) ops with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "wrapped: delivered after the partition heals" true
+        o.Sim.all_delivered;
+      check_bool "recovery took retransmissions" true
+        (o.Sim.stats.Sim.retransmits > 0)
+
+let test_give_up_is_honest () =
+  (* a partition longer than the whole retry budget: the sender must
+     abandon the frame, report the run as not live, and terminate *)
+  let faults =
+    Net.make
+      ~partitions:
+        [ { Net.from_proc = 0; to_proc = 1; start_at = 0; stop_at = max_int / 2 } ]
+      ()
+  in
+  let ops = [ Sim.op ~at:0 ~src:0 ~dst:1 () ] in
+  let registry = Mo_obs.Metrics.create () in
+  match
+    Sim.execute (config ~seed:1 faults)
+      (Wrap.reliable ~registry Fifo.factory)
+      ops
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "not live" false o.Sim.all_delivered;
+      check_int "exactly the retry cap was spent"
+        Reliable.default_config.Reliable.max_retries
+        o.Sim.stats.Sim.retransmits;
+      check_bool "give-up is recorded" true
+        (Mo_obs.Metrics.value registry "net.gave_up_total" = Some 1)
+
+let test_recovery_metrics () =
+  (* under loss, the registry shows the cost of reliability: timeouts
+     fire, frames are retransmitted, acks flow *)
+  let registry = Mo_obs.Metrics.create () in
+  let faults = Net.make ~drop_permille:200 () in
+  match
+    Observe.run
+      ~config:(config ~seed:3 faults)
+      ~registry
+      (Wrap.reliable ~registry Fifo.factory)
+      unicast_ops
+  with
+  | Error e -> Alcotest.fail e
+  | Ok (_, o) ->
+      check_bool "live" true o.Sim.all_delivered;
+      let v name =
+        match Mo_obs.Metrics.value registry name with
+        | Some v -> v
+        | None -> Alcotest.fail ("metric missing: " ^ name)
+      in
+      check_bool "retransmits happened" true (v "net.retransmits_total" > 0);
+      check_int "stats and metrics agree on retransmissions"
+        o.Sim.stats.Sim.retransmits
+        (v "net.retransmits_total");
+      check_bool "every retransmit came from a timeout" true
+        (v "net.timeouts_total" >= v "net.retransmits_total");
+      check_bool "acks flowed" true (v "net.acks_total" > 0);
+      check_bool "losses were injected" true (v "sim.fault_drops" > 0);
+      match Mo_obs.Metrics.find_histogram registry "net.recovery_latency" with
+      | None -> Alcotest.fail "recovery latency histogram missing"
+      | Some h ->
+          check_bool "recovered frames have positive latency" true
+            (Mo_obs.Metrics.hist_count h = 0
+            || Mo_obs.Metrics.hist_sum h > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fault determinism                                                   *)
+
+let render_trace (o : Sim.outcome) =
+  let buf = Buffer.create 1024 in
+  let sr = o.Sim.sys_run in
+  for p = 0 to Mo_order.Sys_run.nprocs sr - 1 do
+    Buffer.add_string buf (string_of_int p);
+    Buffer.add_char buf ':';
+    List.iter
+      (fun (e : Mo_order.Event.Sys.t) ->
+        Buffer.add_string buf
+          (Printf.sprintf " %d%s" e.Mo_order.Event.Sys.msg
+             (match e.Mo_order.Event.Sys.kind with
+             | Mo_order.Event.Sys.Invoke -> "i"
+             | Mo_order.Event.Sys.Send -> "s"
+             | Mo_order.Event.Sys.Receive -> "r"
+             | Mo_order.Event.Sys.Deliver -> "d")))
+      (Mo_order.Sys_run.sequence sr p);
+    Buffer.add_char buf '\n'
+  done;
+  Array.iter
+    (fun sp ->
+      Buffer.add_string buf (Mo_obs.Jsonb.to_string (Mo_obs.Span.to_json sp));
+      Buffer.add_char buf '\n')
+    o.Sim.spans;
+  Buffer.contents buf
+
+let test_fault_determinism () =
+  (* identical seed and fault config must give a byte-identical trace
+     and metrics export — fault injection draws from the same seeded
+     PRNG as the delays *)
+  let faults =
+    Net.make ~drop_permille:150 ~duplicate_permille:100
+      ~spike:{ Net.permille = 25; factor = 6 }
+      ~partitions:[ part_0_1 ] ~crashes:[ crash_1 ] ()
+  in
+  let run seed =
+    match
+      Observe.run ~config:(config ~seed faults) (Wrap.reliable Fifo.factory)
+        unicast_ops
+    with
+    | Error e -> Alcotest.fail e
+    | Ok (registry, o) ->
+        (render_trace o, Mo_obs.Jsonb.to_string (Mo_obs.Metrics.to_json registry))
+  in
+  let t1, m1 = run 7 and t2, m2 = run 7 in
+  Alcotest.(check string) "byte-identical trace" t1 t2;
+  Alcotest.(check string) "byte-identical metrics export" m1 m2;
+  let t3, _ = run 8 in
+  check_bool "different seed, different trace" true (t1 <> t3)
+
+let () =
+  Alcotest.run "reliable"
+    [
+      ( "window",
+        [
+          Alcotest.test_case "bounded dedup window" `Quick test_window_bound;
+          Alcotest.test_case "dedup combinator is bounded" `Quick
+            test_dedup_is_bounded;
+        ] );
+      ( "net",
+        [
+          Alcotest.test_case "parse fault syntax" `Quick test_net_parse;
+          Alcotest.test_case "validate fault configs" `Quick test_net_validate;
+        ] );
+      ( "conformance",
+        [
+          Alcotest.test_case "fault matrix, all protocols wrapped" `Slow
+            test_fault_matrix_wrapped;
+          Alcotest.test_case "unwrapped loses liveness" `Quick
+            test_unwrapped_fails_liveness;
+          Alcotest.test_case "retry cap gives up honestly" `Quick
+            test_give_up_is_honest;
+          Alcotest.test_case "recovery metrics" `Quick test_recovery_metrics;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "faulty runs are deterministic" `Quick
+            test_fault_determinism;
+        ] );
+    ]

@@ -67,7 +67,8 @@ let misbehaving name on_invoke on_packet =
     kind = Protocol.General;
     make =
       (fun ~nprocs:_ ~me:_ ->
-        { Protocol.on_invoke; on_packet; pending_depth = (fun () -> 0) });
+        { Protocol.on_invoke; on_packet; on_timer = Protocol.no_timer;
+          pending_depth = (fun () -> 0) });
   }
 
 let test_double_delivery_detected () =
@@ -87,7 +88,7 @@ let test_double_delivery_detected () =
         ])
       (fun ~now:_ ~from:_ -> function
         | Message.User u -> [ Protocol.Deliver u.id; Protocol.Deliver u.id ]
-        | Message.Control _ -> [])
+        | Message.Control _ | Message.Framed _ -> [])
   in
   let contains s sub =
     let n = String.length s and m = String.length sub in
@@ -181,7 +182,7 @@ let test_max_steps () =
               Protocol.Send_control
                 { dst = from; ctl = { Message.kind = "ping"; data = [||] } };
             ]
-        | Message.User _ -> [])
+        | Message.User _ | Message.Framed _ -> [])
   in
   match
     Sim.execute

@@ -65,6 +65,7 @@ let test_tickets_linearize () =
                     Hashtbl.replace tickets id t
                 | _ -> ());
                 i.Protocol.on_packet ~now ~from packet);
+            on_timer = i.Protocol.on_timer;
             pending_depth = i.Protocol.pending_depth;
           });
     }

@@ -120,6 +120,7 @@ let test_ticket_order_extends_causality () =
                     Hashtbl.replace tickets id t
                 | _ -> ());
                 i.Protocol.on_packet ~now ~from packet);
+            on_timer = i.Protocol.on_timer;
             pending_depth = i.Protocol.pending_depth;
           });
     }

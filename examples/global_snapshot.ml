@@ -81,7 +81,8 @@ let bank_factory (base : Protocol.factory) (snap : snapshot)
         (fun (a : Protocol.action) ->
           match a with
           | Protocol.Deliver id -> on_deliver id
-          | Protocol.Send_user _ | Protocol.Send_control _ -> ())
+          | Protocol.Send_user _ | Protocol.Send_control _
+          | Protocol.Send_framed _ | Protocol.Set_timer _ -> ())
         actions;
       actions
     in
@@ -97,8 +98,9 @@ let bank_factory (base : Protocol.factory) (snap : snapshot)
           | Message.User u ->
               Hashtbl.replace meta u.Message.id
                 (from, u.Message.payload, u.Message.color = Some marker_color)
-          | Message.Control _ -> ());
+          | Message.Control _ | Message.Framed _ -> ());
           observe (inner.Protocol.on_packet ~now ~from packet));
+      on_timer = inner.Protocol.on_timer;
       pending_depth = inner.Protocol.pending_depth;
     }
   in

@@ -49,7 +49,8 @@ let make ~nprocs ~me =
             Hashtbl.replace st.buffer (from, seq) id;
             deliverable_from from
         | Message.User _ -> invalid_arg "Fifo: user message without seqno"
-        | Message.Control _ -> []);
+        | Message.Control _ | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth = (fun () -> Hashtbl.length st.buffer);
   }
 

@@ -81,7 +81,8 @@ let window k =
               drain cr []
           | Message.User _ ->
               invalid_arg "Kweaker.window: user message without seqno"
-          | Message.Control _ -> []);
+          | Message.Control _ | Message.Framed _ -> []);
+      on_timer = Protocol.no_timer;
       pending_depth =
         (fun () ->
           Array.fold_left (fun acc cr -> acc + List.length cr.buffer) 0 recv);

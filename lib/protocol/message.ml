@@ -54,11 +54,21 @@ type control = { kind : string; data : int array }
 
 let control_bytes c = String.length c.kind + (int_bytes * Array.length c.data)
 
-type packet = User of user | Control of control
+type rel = { seq : int; cum_ack : int }
 
-let is_control = function Control _ -> true | User _ -> false
+let rel_bytes = 2 * int_bytes
 
-let pp_packet ppf = function
+type packet =
+  | User of user
+  | Control of control
+  | Framed of { rel : rel; inner : packet }
+
+let is_control = function
+  | Control _ -> true
+  | User _ -> false
+  | Framed { inner; _ } -> ( match inner with User _ -> false | _ -> true)
+
+let rec pp_packet ppf = function
   | User u ->
       Format.fprintf ppf "user#%d %d->%d [%s]" u.id u.src u.dst
         (tag_name u.tag)
@@ -68,3 +78,6 @@ let pp_packet ppf = function
            ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
            Format.pp_print_int)
         (Array.to_list c.data)
+  | Framed { rel; inner } ->
+      Format.fprintf ppf "rel[seq=%d,ack=%d](%a)" rel.seq rel.cum_ack
+        pp_packet inner

@@ -9,18 +9,22 @@
 
 val record : Mo_obs.Metrics.t -> Sim.outcome -> unit
 (** Counters [sim.msgs_total], [sim.delivered_total], [sim.user_packets],
-    [sim.control_packets], [sim.tag_bytes], [sim.control_bytes]; gauges
-    [sim.makespan], [sim.max_pending], [sim.live] (1 when every message
-    was delivered); plus {!Mo_obs.Span.record} over the outcome's spans. *)
+    [sim.control_packets], [sim.tag_bytes], [sim.control_bytes],
+    [sim.retransmits], [sim.fault_drops]; gauges [sim.makespan],
+    [sim.max_pending], [sim.live] (1 when every message was delivered);
+    plus {!Mo_obs.Span.record} over the outcome's spans. *)
 
 val run :
   ?config:Sim.config ->
+  ?registry:Mo_obs.Metrics.t ->
   Protocol.factory ->
   Sim.op list ->
   (Mo_obs.Metrics.t * Sim.outcome, string) result
 (** Execute the workload under an instrumented copy of the factory
     ([config] defaults to [Sim.default_config ~nprocs:4]) and return the
-    filled registry next to the outcome. *)
+    filled registry next to the outcome. Pass [registry] to aggregate into
+    an existing registry (e.g. one already holding a recovery layer's
+    [net.*] metrics); a fresh one is created when omitted. *)
 
 val report_row :
   Mo_obs.Metrics.t -> factory:Protocol.factory -> Mo_obs.Report.row

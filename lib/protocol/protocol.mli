@@ -31,12 +31,32 @@ type action =
   | Send_control of { dst : int; ctl : Message.control }
   | Deliver of int
       (** deliver the received user message with this id — this is [x.r] *)
+  | Send_framed of {
+      dst : int;
+      rel : Message.rel;
+      packet : Message.packet;
+      retransmit : bool;
+    }
+      (** emit a reliability-framed packet ({!Reliable}). For a framed
+          user message, [retransmit = false] is the message's one send
+          event [x.s] (the simulator rejects a second); [retransmit =
+          true] re-emits an already-sent message without a new trace
+          event, counted in {!Sim.stats}' [retransmits]. *)
+  | Set_timer of { delay : int; key : int }
+      (** ask the simulator to call [on_timer ~key] after [delay] ticks
+          of virtual time ([delay ≥ 1]). Timers cannot be cancelled; a
+          protocol that no longer cares simply returns [[]] when the
+          timer fires. *)
 
 type instance = {
   on_invoke : now:int -> intent -> action list;
       (** the application requested a send ([x.s✱] just happened) *)
   on_packet : now:int -> from:int -> Message.packet -> action list;
       (** a packet arrived; for a user packet, [x.r✱] just happened *)
+  on_timer : now:int -> key:int -> action list;
+      (** a timer set with [Set_timer] expired. Timers belonging to a
+          crashed process are deferred to its restart instant. Protocols
+          that never set timers can use {!no_timer}. *)
   pending_depth : unit -> int;
       (** how many messages the protocol currently holds back on this
           process — buffered receives not yet delivered plus inhibited
@@ -44,6 +64,9 @@ type instance = {
           layer; the simulator samples it after every handler to report the
           high-watermark queue depth each ordering guarantee costs. *)
 }
+
+val no_timer : now:int -> key:int -> action list
+(** [fun ~now ~key -> []] — the [on_timer] of a protocol without timers. *)
 
 type kind = Tagless | Tagged | General
 (** Which protocol class (§3.2) the implementation belongs to: does it tag

@@ -1,0 +1,84 @@
+(** Ack/retransmit recovery layer: the reliable-network assumption as a
+    derived property.
+
+    The paper's theory (Theorem 1, the §4.3 cost table) is stated over a
+    reliable asynchronous network. {!wrap} rebuilds that assumption on top
+    of the lossy, partitioned substrate of {!Net}: every packet the inner
+    protocol emits — user or control — is framed with a per-directed-
+    channel sequence number ({!Message.rel}), buffered in a retransmission
+    queue, and re-sent on timeout with exponential backoff until the
+    receiver's cumulative acknowledgement covers it (or a retry cap is
+    hit). The receive side deduplicates by channel sequence number, so the
+    inner protocol sees each packet exactly once, in arbitrary order.
+
+    The layer is deliberately {e reliable but not order-restoring}: frames
+    are handed to the inner protocol the moment they first arrive, gaps
+    and all. Whatever ordering guarantee the wrapped protocol provides is
+    therefore still the protocol's own doing, and its conformance results
+    under faults re-verify the ordering theorems end to end rather than
+    smuggling FIFO in through the transport.
+
+    Acknowledgements are piggybacked on every outgoing frame of the
+    reverse channel and also sent standalone (an unsequenced frame with
+    [seq = -1]) on each sequenced arrival, so a one-way channel still
+    drains its retransmission queue.
+
+    Cost metrics land in the registry under [net.*]:
+    [net.retransmits_total], [net.timeouts_total], [net.acks_total],
+    [net.dup_frames_total], [net.gave_up_total], and the
+    [net.recovery_latency] histogram (first transmission → covering ack,
+    for frames that needed at least one retransmission). *)
+
+module Window : sig
+  (** Bounded duplicate-suppression memory.
+
+      Exact membership for identifiers within [size] of the highest
+      identifier seen; anything older is {e assumed} already seen (a
+      duplicate), which is sound whenever the network cannot delay a
+      first arrival by more than [size] fresh identifiers from the same
+      peer. Memory is a fixed [size]-slot array — it does not grow with
+      run length, which is the point (see {!Wrap.dedup}). *)
+
+  type t
+
+  val create : size:int -> t
+  (** @raise Invalid_argument when [size < 1]. *)
+
+  val capacity : t -> int
+  (** The fixed slot count — the memory bound. *)
+
+  val mem : t -> int -> bool
+  (** Has this identifier been marked (or aged out of the window)?
+      Identifiers are non-negative. *)
+
+  val mark : t -> int -> bool
+  (** Mark an identifier as seen; [true] when it was fresh, [false] when
+      {!mem} already held. *)
+end
+
+type config = {
+  rto : int;  (** initial retransmission timeout, in virtual-time ticks *)
+  backoff : int;  (** timeout multiplier per retry, ≥ 1 *)
+  max_rto : int;  (** ceiling on the backed-off timeout *)
+  max_retries : int;
+      (** retransmissions per frame before the sender gives up on it
+          (liveness is then honestly lost — the run reports
+          [all_delivered = false] rather than spinning forever) *)
+}
+
+val default_config : config
+(** rto 24 (three times the default worst-case round trip), backoff 2,
+    max_rto 2048, max_retries 12 — rides out every fault window the test
+    grids use. *)
+
+val wrap :
+  ?config:config ->
+  ?registry:Mo_obs.Metrics.t ->
+  Protocol.factory ->
+  Protocol.factory
+(** [wrap factory] is [factory] behind the recovery layer. The name gains
+    ["+rel"]; the kind becomes {!Protocol.General} — reliability costs
+    control traffic, whatever the inner class was. [registry] receives the
+    [net.*] metrics (a private throwaway registry is used when omitted).
+    The wrapper owns even timer keys and remaps the inner protocol's keys
+    to odd ones, so timer-using protocols compose. *)

@@ -81,7 +81,9 @@ let make ~nprocs:_ ~me =
             ignore from;
             grant_next ()
         | Message.Control { kind; _ } ->
-            invalid_arg ("Sync_token: unknown control kind " ^ kind));
+            invalid_arg ("Sync_token: unknown control kind " ^ kind)
+        | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth =
       (fun () -> List.length st.wanting + List.length st.queue);
   }

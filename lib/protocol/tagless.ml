@@ -17,7 +17,8 @@ let make ~nprocs:_ ~me =
       (fun ~now:_ ~from:_ packet ->
         match packet with
         | Message.User u -> [ Protocol.Deliver u.Message.id ]
-        | Message.Control _ -> []);
+        | Message.Control _ | Message.Framed _ -> []);
+    on_timer = Protocol.no_timer;
     pending_depth = (fun () -> 0);
   }
 

@@ -1,10 +1,24 @@
 (** Protocol combinators. *)
 
-val dedup : Protocol.factory -> Protocol.factory
+val dedup : ?window:int -> Protocol.factory -> Protocol.factory
 (** Filter duplicate user packets (same message id) before the inner
     protocol sees them, making any protocol tolerant of network
     duplication ({!Sim.faults}). Control packets pass through — the inner
-    protocol owns their semantics. Name becomes ["<inner>+dedup"]. *)
+    protocol owns their semantics. The seen-set is a bounded
+    {!Reliable.Window} of [window] slots (default 4096): memory is fixed
+    regardless of run length, and ids older than the window are treated
+    as already seen, which is exact as long as the network cannot delay a
+    first arrival past [window] fresher messages. Name becomes
+    ["<inner>+dedup"]. *)
+
+val reliable :
+  ?config:Reliable.config ->
+  ?registry:Mo_obs.Metrics.t ->
+  Protocol.factory ->
+  Protocol.factory
+(** {!Reliable.wrap}: the ack/retransmit recovery layer. Makes any
+    protocol live under packet loss, partitions within the retry budget,
+    and crash-restart — without restoring order (see {!Reliable}). *)
 
 val count_deliveries : Protocol.factory -> int array ref -> Protocol.factory
 (** Observe deliveries per process without changing behaviour; used by
@@ -20,4 +34,6 @@ val instrument : Mo_obs.Metrics.t -> Protocol.factory -> Protocol.factory
     [proto.max_pending] (high-watermark of {!Protocol.instance}'s
     [pending_depth], sampled after every handler). Counters aggregate over
     all processes; register the factory against a fresh registry per run to
-    compare protocols. *)
+    compare protocols. Framed packets ({!Protocol.action}'s [Send_framed])
+    are accounted by their inner packet; retransmissions are not
+    double-counted here — they land in [net.retransmits_total]. *)

@@ -17,7 +17,7 @@ let test_drops_break_liveness () =
      liveness failure, not a crash *)
   match
     Sim.execute
-      (with_faults { Sim.drop_permille = 300; duplicate_permille = 0 })
+      (with_faults (Net.make ~drop_permille:300 ()))
       Tagless.factory ops
   with
   | Error e -> Alcotest.fail e
@@ -32,7 +32,7 @@ let test_duplicates_break_naive_protocols () =
       match
         Sim.execute
           {
-            (with_faults { Sim.drop_permille = 0; duplicate_permille = 200 })
+            (with_faults (Net.make ~duplicate_permille:200 ()))
             with
             Sim.seed = seed;
           }
@@ -50,7 +50,7 @@ let test_dedup_restores_safety () =
       match
         Sim.execute
           {
-            (with_faults { Sim.drop_permille = 0; duplicate_permille = 200 })
+            (with_faults (Net.make ~duplicate_permille:200 ()))
             with
             Sim.seed = seed;
           }
@@ -68,7 +68,7 @@ let test_dedup_preserves_ordering_guarantees () =
     (fun seed ->
       let cfg =
         {
-          (with_faults { Sim.drop_permille = 0; duplicate_permille = 150 })
+          (with_faults (Net.make ~duplicate_permille:150 ()))
           with
           Sim.seed = seed;
         }
@@ -88,14 +88,14 @@ let test_fault_validation () =
     (fun () ->
       ignore
         (Sim.execute
-           (with_faults { Sim.drop_permille = -1; duplicate_permille = 0 })
+           (with_faults (Net.make ~drop_permille:(-1) ()))
            Tagless.factory ops));
   Alcotest.check_raises "too large"
     (Invalid_argument "Sim.execute: fault probabilities out of range")
     (fun () ->
       ignore
         (Sim.execute
-           (with_faults { Sim.drop_permille = 600; duplicate_permille = 600 })
+           (with_faults (Net.make ~drop_permille:600 ~duplicate_permille:600 ()))
            Tagless.factory ops))
 
 let test_drops_end_to_end () =
@@ -116,7 +116,7 @@ let test_drops_end_to_end () =
       ("total-order", Total_order.factory);
     ]
   in
-  let lossy = with_faults { Sim.drop_permille = 150; duplicate_permille = 0 } in
+  let lossy = with_faults (Net.make ~drop_permille:150 ()) in
   List.iter
     (fun (name, factory) ->
       List.iter
@@ -142,7 +142,7 @@ let test_drop_metrics_account_for_loss () =
      delivery count, and every delivered message still has 4 events *)
   let lossy =
     {
-      (with_faults { Sim.drop_permille = 200; duplicate_permille = 0 }) with
+      (with_faults (Net.make ~drop_permille:200 ())) with
       Sim.seed = 3;
     }
   in
