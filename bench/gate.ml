@@ -1,0 +1,160 @@
+(* The bench-regression gate: compare a fresh BENCH_*.json against the
+   committed baseline.
+
+   Usage: gate.exe BASELINE FRESH [--tolerance PCT]
+
+   Two kinds of leaves:
+   - deterministic outputs (counts, verdicts, seeded metrics): exact
+     equality, any drift is a failure — these are the artifacts the
+     paper's tables pin;
+   - wall-clock timings (keys wall_s / speedup / efficiency): compared
+     with a one-sided tolerance (default 25%: slower-than-baseline by
+     more than that fails), and only when both files were produced on a
+     host with the same core count — the "host" section is recorded for
+     exactly this decision and is otherwise informational. *)
+
+let tolerance = ref 0.25
+
+let fail_count = ref 0
+let skip_count = ref 0
+
+let failure path msg =
+  incr fail_count;
+  Printf.printf "FAIL %s: %s\n" path msg
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  match Mo_obs.Jsonb.of_string s with
+  | Ok j -> j
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 2
+
+let member key = function
+  | Mo_obs.Jsonb.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_float = function
+  | Mo_obs.Jsonb.Int i -> Some (float_of_int i)
+  | Mo_obs.Jsonb.Float f -> Some f
+  | _ -> None
+
+(* "bigger is worse" for wall-clock, "smaller is worse" for speedup and
+   efficiency; both one-sided, so a faster fresh run never fails *)
+let timing_direction key =
+  match key with
+  | "wall_s" -> Some `Lower_is_better
+  | "speedup" | "efficiency" -> Some `Higher_is_better
+  | _ -> None
+
+let check_timing ~path ~key base fresh =
+  match (to_float base, to_float fresh) with
+  | Some b, Some f -> (
+      match timing_direction key with
+      | Some `Lower_is_better when f > b *. (1. +. !tolerance) ->
+          failure path
+            (Printf.sprintf "%.4f slower than baseline %.4f (+%.0f%% limit)" f
+               b (!tolerance *. 100.))
+      | Some `Higher_is_better when f < b /. (1. +. !tolerance) ->
+          failure path
+            (Printf.sprintf "%.4f below baseline %.4f (-%.0f%% limit)" f b
+               (!tolerance *. 100.))
+      | _ -> ())
+  | _ -> failure path "timing leaf is not numeric"
+
+let rec compare_json ~timings_comparable ~path base fresh =
+  let open Mo_obs.Jsonb in
+  match (base, fresh) with
+  | Obj bf, Obj ff ->
+      let bkeys = List.map fst bf and fkeys = List.map fst ff in
+      List.iter
+        (fun k ->
+          if not (List.mem k fkeys) then
+            failure (path ^ "." ^ k) "missing from fresh results")
+        bkeys;
+      List.iter
+        (fun k ->
+          if not (List.mem k bkeys) then
+            failure (path ^ "." ^ k) "not in baseline (new key)")
+        fkeys;
+      List.iter
+        (fun (k, bv) ->
+          match List.assoc_opt k ff with
+          | None -> ()
+          | Some fv -> (
+              let sub = path ^ "." ^ k in
+              if k = "host" then
+                (* informational: recorded so the gate can decide whether
+                   the timings are comparable, never a failure *)
+                ()
+              else
+                match timing_direction k with
+                | Some _ ->
+                    if timings_comparable then
+                      check_timing ~path:sub ~key:k bv fv
+                    else incr skip_count
+                | None -> compare_json ~timings_comparable ~path:sub bv fv))
+        bf
+  | List bl, List fl ->
+      if List.length bl <> List.length fl then
+        failure path
+          (Printf.sprintf "array length %d -> %d" (List.length bl)
+             (List.length fl))
+      else
+        List.iteri
+          (fun i (bv, fv) ->
+            compare_json ~timings_comparable
+              ~path:(Printf.sprintf "%s[%d]" path i)
+              bv fv)
+          (List.combine bl fl)
+  | _ ->
+      if to_string base <> to_string fresh then
+        failure path
+          (Printf.sprintf "baseline %s, fresh %s" (to_string base)
+             (to_string fresh))
+
+let () =
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some t when t >= 0. -> tolerance := t /. 100.
+        | _ ->
+            prerr_endline "gate: --tolerance expects a percentage";
+            exit 2);
+        parse rest
+    | arg :: rest ->
+        positional := arg :: !positional;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !positional with
+  | [ base_path; fresh_path ] ->
+      let base = load base_path and fresh = load fresh_path in
+      let cores j = member "host" j |> Fun.flip Option.bind (member "cores") in
+      let timings_comparable =
+        match (cores base, cores fresh) with
+        | Some b, Some f -> b = f
+        | _ -> false
+      in
+      compare_json ~timings_comparable ~path:"$" base fresh;
+      if (not timings_comparable) && !skip_count > 0 then
+        Printf.printf
+          "note: %d timing comparisons skipped (different host core \
+           counts)\n"
+          !skip_count;
+      if !fail_count = 0 then begin
+        Printf.printf "gate ok: %s vs %s\n" base_path fresh_path;
+        exit 0
+      end
+      else begin
+        Printf.printf "gate FAILED: %d mismatches\n" !fail_count;
+        exit 1
+      end
+  | _ ->
+      prerr_endline "usage: gate BASELINE FRESH [--tolerance PCT]";
+      exit 2

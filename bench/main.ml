@@ -1,12 +1,35 @@
 (* The experiment harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index), then runs the quantitative
    Bechamel benchmarks. `dune exec bench/main.exe` prints everything;
-   pass `--repro-only` or `--perf-only` to run half. *)
+   pass `--repro-only`, `--perf-only` or `--par-only` to run a slice.
+   `--jobs 1,2,4` sets the B12 sweep points; `--deep` extends its
+   universe workload to 4 processes / 4 messages. *)
 
 let () =
   let args = Array.to_list Sys.argv in
-  let repro = not (List.mem "--perf-only" args) in
-  let perf = not (List.mem "--repro-only" args) in
+  let repro = not (List.mem "--perf-only" args || List.mem "--par-only" args) in
+  let perf = not (List.mem "--repro-only" args || List.mem "--par-only" args) in
+  let deep = List.mem "--deep" args in
+  let jobs_list =
+    let rec find = function
+      | "--jobs" :: v :: _ -> Some v
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    match find args with
+    | None -> [ 1; 2; 4 ]
+    | Some v -> (
+        match
+          String.split_on_char ',' v
+          |> List.map (fun s -> int_of_string_opt (String.trim s))
+        with
+        | js when List.for_all (function Some j -> j >= 1 | None -> false) js
+          ->
+            List.filter_map Fun.id js
+        | _ ->
+            prerr_endline "bench: --jobs expects a comma list of positive ints";
+            exit 2)
+  in
   if repro then begin
     Repro.run_all ();
     (* B10 is deterministic seeded output (and writes BENCH_obs.json), so
@@ -16,4 +39,7 @@ let () =
        BENCH_reliab.json) *)
     Reliab.summary ()
   end;
+  (* B12 runs in every mode: its deterministic outputs belong to the
+     reproduction artifacts and its timings to the perf sweep *)
+  Par_bench.summary ~deep ~jobs_list ();
   if perf then Perf.run_all ()

@@ -723,6 +723,133 @@ let monitor_cmd =
   in
   Cmd.v (Cmd.info "monitor" ~doc) T.(const monitor_run $ diagram_flag $ path_arg)
 
+(* ---- universe: parallel model checking of the Lemma 3 identities ---- *)
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "worker domains for the parallel engine; 0 means the default \
+           (the $(b,MO_JOBS) variable, else one per core). Results are \
+           identical for every N.")
+
+let make_pool jobs =
+  if jobs < 0 then begin
+    Format.eprintf "--jobs must be >= 0@.";
+    exit 1
+  end
+  else if jobs = 0 then Mo_par.Pool.create ()
+  else Mo_par.Pool.create ~jobs ()
+
+let universe_run deep jobs =
+  let pool = make_pool jobs in
+  let sizes =
+    if deep then Modelcheck.deep_sizes else Modelcheck.standard_sizes
+  in
+  Format.printf "sizes (procs,msgs): %s   jobs: %d@."
+    (String.concat " "
+       (List.map (fun (p, m) -> Printf.sprintf "(%d,%d)" p m) sizes))
+    (Mo_par.Pool.jobs pool);
+  let v = Modelcheck.verify ~pool ~sizes () in
+  Format.printf "%a@." Modelcheck.pp_verdict v;
+  if Modelcheck.ok v then 0 else 2
+
+let universe_cmd =
+  let doc =
+    "enumerate every run at the paper's sizes and verify X_sync ⊆ X_co ⊆ \
+     X_async and the Lemma 3.2/3.3 identities (parallel over message \
+     configurations)"
+  in
+  let deep =
+    Arg.(
+      value & flag
+      & info [ "deep" ]
+          ~doc:
+            "extend the universe to 4 processes / 4 messages (millions of \
+             runs; use with --jobs)")
+  in
+  Cmd.v (Cmd.info "universe" ~doc) T.(const universe_run $ deep $ jobs_arg)
+
+(* ---- explore: exhaustive schedule exploration of one protocol ---- *)
+
+let explore_run proto wname nprocs nmsgs seed max_execs jobs =
+  match List.assoc_opt proto protocols with
+  | None ->
+      Format.eprintf "unknown protocol %S (choose from: %s)@." proto
+        (String.concat ", " (List.map fst protocols));
+      1
+  | Some factory -> (
+      let pool = make_pool jobs in
+      let ops = make_workload wname ~nprocs ~nmsgs ~seed in
+      match
+        Explore.distinct_user_views_par ~pool ~max_executions:max_execs
+          ~nprocs factory ops
+      with
+      | Error e ->
+          Format.eprintf "protocol misbehaviour: %s@." e;
+          1
+      | Ok (views, stats) ->
+          let classes = Hashtbl.create 8 in
+          List.iter
+            (fun r ->
+              let c =
+                Mo_order.Limits.cls_to_string
+                  (Mo_order.Limits.classify (Mo_order.Run.to_abstract r))
+              in
+              Hashtbl.replace classes c
+                (1 + Option.value ~default:0 (Hashtbl.find_opt classes c)))
+            views;
+          Format.printf
+            "%s on %s (%d procs, %d msgs, seed %d): %d executions%s, %d \
+             distinct user views@."
+            proto wname nprocs nmsgs seed stats.Explore.executions
+            (if stats.Explore.truncated then " (truncated)" else "")
+            (List.length views);
+          Hashtbl.fold (fun c n acc -> (c, n) :: acc) classes []
+          |> List.sort compare
+          |> List.iter (fun (c, n) ->
+                 Format.printf "  %4d views in %s@." n c);
+          0)
+
+let explore_cmd =
+  let doc =
+    "enumerate every network schedule of a small workload under a \
+     protocol and bucket the distinct user views by limit set (parallel \
+     over schedule subtrees)"
+  in
+  let proto =
+    Arg.(
+      value
+      & opt string "fifo"
+      & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+          ~doc:"tagless | fifo | rst | ses | bss | sync | sync-priority | \
+                flush | to")
+  in
+  let wname =
+    Arg.(
+      value
+      & opt string "uniform"
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:(String.concat " | " workloads))
+  in
+  let nprocs = Arg.(value & opt int 2 & info [ "n"; "nprocs" ] ~docv:"N") in
+  let nmsgs = Arg.(value & opt int 3 & info [ "m"; "messages" ] ~docv:"M") in
+  let seed = Arg.(value & opt int 42 & info [ "s"; "seed" ] ~docv:"SEED") in
+  let max_execs =
+    Arg.(
+      value
+      & opt int 200_000
+      & info [ "max" ] ~docv:"K"
+          ~doc:"truncate the search after K complete executions")
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    T.(
+      const explore_run $ proto $ wname $ nprocs $ nmsgs $ seed $ max_execs
+      $ jobs_arg)
+
 let main_cmd =
   let doc = "message ordering specifications and protocols (Murty & Garg)" in
   Cmd.group
@@ -739,6 +866,8 @@ let main_cmd =
       implies_cmd;
       batch_cmd;
       monitor_cmd;
+      universe_cmd;
+      explore_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,150 @@
+open Mo_order
+
+type counts = { runs : int; causal : int; sync : int }
+
+type verdict = {
+  counts : counts;
+  subset_chain : bool;
+  lemma32_equiv : bool;
+  lemma32_exact : bool;
+  lemma33_unsat : bool;
+}
+
+let ok v =
+  v.subset_chain && v.lemma32_equiv && v.lemma32_exact && v.lemma33_unsat
+
+let standard_sizes = [ (2, 2); (3, 2); (2, 3); (3, 3) ]
+
+let deep_sizes = standard_sizes @ [ (4, 2); (4, 3); (3, 4); (4, 4) ]
+
+(* one pass accumulator: counts and the pointwise lemma identities, all
+   combined with sums and conjunctions — commutative and associative, so
+   the sharded reduction is order-insensitive (and the pool merges in
+   enumeration order anyway) *)
+type acc = {
+  a_runs : int;
+  a_causal : int;
+  a_sync : int;
+  a_sync_sub : bool; (* every sync run is causal *)
+  a_equiv : bool; (* B1 = B2 = B3 pointwise *)
+  a_exact : bool; (* X_B2 = X_co pointwise *)
+  a_unsat : bool; (* every async form holds everywhere *)
+}
+
+let acc_init =
+  {
+    a_runs = 0;
+    a_causal = 0;
+    a_sync = 0;
+    a_sync_sub = true;
+    a_equiv = true;
+    a_exact = true;
+    a_unsat = true;
+  }
+
+let acc_merge x y =
+  {
+    a_runs = x.a_runs + y.a_runs;
+    a_causal = x.a_causal + y.a_causal;
+    a_sync = x.a_sync + y.a_sync;
+    a_sync_sub = x.a_sync_sub && y.a_sync_sub;
+    a_equiv = x.a_equiv && y.a_equiv;
+    a_exact = x.a_exact && y.a_exact;
+    a_unsat = x.a_unsat && y.a_unsat;
+  }
+
+let b1 = lazy Catalog.causal_b1.Catalog.pred
+
+let b2 = lazy Catalog.causal_b2.Catalog.pred
+
+let b3 = lazy Catalog.causal_b3.Catalog.pred
+
+let async_preds =
+  lazy (List.map (fun (e : Catalog.entry) -> e.Catalog.pred) Catalog.async_forms)
+
+let step acc run =
+  let r = Run.to_abstract run in
+  let causal = Limits.is_causal r and sync = Limits.is_sync r in
+  let s2 = Eval.satisfies (Lazy.force b2) r in
+  {
+    a_runs = acc.a_runs + 1;
+    a_causal = (acc.a_causal + if causal then 1 else 0);
+    a_sync = (acc.a_sync + if sync then 1 else 0);
+    a_sync_sub = acc.a_sync_sub && ((not sync) || causal);
+    a_equiv =
+      acc.a_equiv
+      && Eval.satisfies (Lazy.force b1) r = s2
+      && Eval.satisfies (Lazy.force b3) r = s2;
+    a_exact = acc.a_exact && s2 = causal;
+    a_unsat =
+      acc.a_unsat
+      && List.for_all (fun p -> Eval.satisfies p r) (Lazy.force async_preds);
+  }
+
+let with_pool pool f =
+  match pool with
+  | Some p -> f p
+  | None -> f (Mo_par.Pool.create ())
+
+let verify ?pool ~sizes () =
+  with_pool pool (fun pool ->
+      let total =
+        List.fold_left
+          (fun acc (nprocs, nmsgs) ->
+            acc_merge acc
+              (Enumerate.fold_runs_par ~pool ~nprocs ~nmsgs ~init:acc_init
+                 ~f:step ~merge:acc_merge ()))
+          acc_init sizes
+      in
+      {
+        counts =
+          { runs = total.a_runs; causal = total.a_causal; sync = total.a_sync };
+        subset_chain =
+          total.a_sync_sub
+          && total.a_sync < total.a_causal
+          && total.a_causal < total.a_runs;
+        lemma32_equiv = total.a_equiv;
+        lemma32_exact = total.a_exact;
+        lemma33_unsat = total.a_unsat;
+      })
+
+let count ?pool ~sizes () =
+  with_pool pool (fun pool ->
+      List.fold_left
+        (fun acc (nprocs, nmsgs) ->
+          let c =
+            Enumerate.fold_runs_par ~pool ~nprocs ~nmsgs
+              ~init:{ runs = 0; causal = 0; sync = 0 }
+              ~f:(fun acc run ->
+                let r = Run.to_abstract run in
+                {
+                  runs = acc.runs + 1;
+                  causal = (acc.causal + if Limits.is_causal r then 1 else 0);
+                  sync = (acc.sync + if Limits.is_sync r then 1 else 0);
+                })
+              ~merge:(fun x y ->
+                {
+                  runs = x.runs + y.runs;
+                  causal = x.causal + y.causal;
+                  sync = x.sync + y.sync;
+                })
+              ()
+          in
+          { runs = acc.runs + c.runs;
+            causal = acc.causal + c.causal;
+            sync = acc.sync + c.sync })
+        { runs = 0; causal = 0; sync = 0 }
+        sizes)
+
+let pp_verdict ppf v =
+  Format.fprintf ppf
+    "universe: %d runs, |X_sync| = %d, |X_co| = %d@.\
+     [%s] X_sync subset of X_co subset of X_async (strict)@.\
+     [%s] Lemma 3.2: X_B1 = X_B2 = X_B3 on every run@.\
+     [%s] Lemma 3.2: X_B2 is exactly the causally ordered runs@.\
+     [%s] Lemma 3.3: the order-0 predicates hold in no run"
+    v.counts.runs v.counts.sync v.counts.causal
+    (if v.subset_chain then "ok" else "MISMATCH")
+    (if v.lemma32_equiv then "ok" else "MISMATCH")
+    (if v.lemma32_exact then "ok" else "MISMATCH")
+    (if v.lemma33_unsat then "ok" else "MISMATCH")

@@ -1,0 +1,44 @@
+(** Parallel model checking of the Lemma 3 identities over exhaustively
+    enumerated universes (experiment T2, and its [--deep] extension).
+
+    The sequential T2 harness walks every concrete run with 2–3 processes
+    and 2–3 messages (2,804 of them). This module runs the same checks
+    sharded over a {!Mo_par.Pool} — one task per message configuration —
+    which is what makes the 4-process / 4-message universe (about 4.6
+    million additional runs) tractable. All reductions are sums and
+    conjunctions, so every job count produces identical results. *)
+
+type counts = { runs : int; causal : int; sync : int }
+(** [|X_async|], [|X_co|], [|X_sync|] restricted to the checked sizes. *)
+
+type verdict = {
+  counts : counts;
+  subset_chain : bool;
+      (** [X_sync ⊂ X_co ⊂ X_async]: pointwise containment and strictness
+          of both inclusions over the checked universe. *)
+  lemma32_equiv : bool;  (** B1, B2, B3 agree on every run. *)
+  lemma32_exact : bool;  (** [X_B2] is exactly the causal runs. *)
+  lemma33_unsat : bool;  (** every order-0 async form holds everywhere. *)
+}
+
+val ok : verdict -> bool
+(** All four checks passed. *)
+
+val standard_sizes : (int * int) list
+(** [(nprocs, nmsgs)] of T2: 2–3 processes × 2–3 messages, 2,804 runs. *)
+
+val deep_sizes : (int * int) list
+(** {!standard_sizes} plus the 4-process and 4-message universes up to
+    (4, 4) — the [--deep] tier, only practical under the parallel
+    engine. *)
+
+val verify : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> verdict
+(** Enumerate every size and check each run against all four identities
+    in one pass. [pool] defaults to a fresh pool with
+    {!Mo_par.default_jobs} workers. *)
+
+val count : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> counts
+(** Just the limit-set cardinalities (skips the predicate evaluations);
+    at the standard sizes this is the pinned [1424 ⊆ 1840 ⊆ 2804]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -19,3 +19,11 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space indented serialization, trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a JSON document (the dialect {!to_string} emits, plus standard
+    escapes and whitespace). Numbers containing ['.'], ['e'] or ['E']
+    become [Float], the rest [Int]; object field order is preserved.
+    Round-trip law: [of_string (to_string v) = Ok v] for every [v] whose
+    floats are finite. Used by the bench-regression gate to compare fresh
+    exports against committed baselines. *)

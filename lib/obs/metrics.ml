@@ -106,6 +106,48 @@ let hist_max h = h.hmax
 
 let hist_mean h = if h.n = 0 then 0. else float_of_int h.sum /. float_of_int h.n
 
+let merge ~into src =
+  if into == src then invalid_arg "Metrics.merge: cannot merge a registry into itself";
+  let names =
+    Hashtbl.fold (fun name _ acc -> name :: acc) src.tbl []
+    |> List.sort String.compare
+  in
+  List.iter
+    (fun name ->
+      let { help; metric } = Hashtbl.find src.tbl name in
+      match (metric, Hashtbl.find_opt into.tbl name) with
+      | _, None ->
+          let fresh =
+            match metric with
+            | Counter c -> Counter { c = c.c }
+            | Gauge g -> Gauge { g = g.g }
+            | Hist h ->
+                Hist
+                  {
+                    bounds = Array.copy h.bounds;
+                    buckets = Array.copy h.buckets;
+                    sum = h.sum;
+                    n = h.n;
+                    hmax = h.hmax;
+                  }
+          in
+          Hashtbl.replace into.tbl name { help; metric = fresh }
+      | Counter c, Some { metric = Counter c'; _ } -> c'.c <- c'.c + c.c
+      | Gauge g, Some { metric = Gauge g'; _ } -> if g.g > g'.g then g'.g <- g.g
+      | Hist h, Some { metric = Hist h'; _ } ->
+          if h.bounds <> h'.bounds then
+            invalid_arg
+              (Printf.sprintf "Metrics.merge: %S has different buckets" name);
+          Array.iteri (fun i b -> h'.buckets.(i) <- h'.buckets.(i) + b) h.buckets;
+          h'.sum <- h'.sum + h.sum;
+          h'.n <- h'.n + h.n;
+          if h.hmax > h'.hmax then h'.hmax <- h.hmax
+      | m, Some { metric = m'; _ } ->
+          invalid_arg
+            (Printf.sprintf "Metrics.merge: %S is a %s here, a %s there" name
+               (kind_name m') (kind_name m)))
+    names
+
 let find t name = Hashtbl.find_opt t.tbl name
 
 let value t name =

@@ -63,6 +63,21 @@ val hist_max : histogram -> int
 val hist_mean : histogram -> float
 (** 0. when nothing was observed. *)
 
+(** {1 Merging} *)
+
+val merge : into:t -> t -> unit
+(** [merge ~into src] folds [src]'s values into [into]: counters add,
+    gauges keep the maximum (they are high-watermarks here), histograms
+    add bucket-wise; metrics absent from [into] are copied (with their
+    help text). [src] is not modified. The operation is commutative and
+    associative in its effect on [into], so per-domain registries filled
+    by parallel workers can be merged at join in any order and export
+    byte-identical JSON — the race-free aggregation path used by the
+    parallel engine (workers never share a registry; each fills its own
+    and the caller merges after {!Mo_par.Pool.map} returns).
+    @raise Invalid_argument if a name is registered with different kinds
+    or different histogram buckets, or if [src == into]. *)
+
 (** {1 Lookup and export} *)
 
 val value : t -> string -> int option

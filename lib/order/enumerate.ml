@@ -64,3 +64,17 @@ let all_runs ?allow_self ~nprocs ~nmsgs () =
 
 let abstract_runs ?allow_self ~nprocs ~nmsgs () =
   List.map Run.to_abstract (all_runs ?allow_self ~nprocs ~nmsgs ())
+
+let fold_runs_par ~pool ?allow_self ~nprocs ~nmsgs ~init ~f ~merge () =
+  (* shard by enumeration prefix: one task per message configuration, the
+     outermost loop of [all_runs]. Each task folds its configuration's
+     runs in the sequential enumeration order; the pool merges the partial
+     accumulators in configuration order, so the reduction visits run
+     results exactly as the sequential [all_runs] fold would — counts and
+     even ordered collections come out byte-identical for every job
+     count. Runs are materialized one configuration at a time, never the
+     whole universe. *)
+  let cfgs = Array.of_list (configs ?allow_self ~nprocs ~nmsgs ()) in
+  Mo_par.Pool.fold pool (Array.length cfgs)
+    ~f:(fun i -> List.fold_left f init (runs ~nprocs ~msgs:cfgs.(i)))
+    ~merge ~init

@@ -30,3 +30,23 @@ val all_runs :
 val abstract_runs :
   ?allow_self:bool -> nprocs:int -> nmsgs:int -> unit -> Run.Abstract.t list
 (** The abstract projections of {!all_runs} (duplicates not removed). *)
+
+val fold_runs_par :
+  pool:Mo_par.Pool.t ->
+  ?allow_self:bool ->
+  nprocs:int ->
+  nmsgs:int ->
+  init:'acc ->
+  f:('acc -> Run.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc
+(** Parallel fold over every run of {!all_runs}, sharded by message
+    configuration (the enumeration prefix). Each shard computes
+    [List.fold_left f init] over its configuration's runs in enumeration
+    order; shard accumulators are then combined with [merge] in
+    configuration order, giving
+    [fold_left merge init [acc_0; acc_1; …]]. The result is independent
+    of the pool's job count — identical to a sequential evaluation — and
+    the universe is streamed one configuration at a time, so memory stays
+    flat even at sizes where {!all_runs} would not fit. *)

@@ -1,0 +1,25 @@
+(** The platform seam of the parallel engine: real domains on OCaml 5,
+    inline execution on OCaml 4.14.
+
+    Which implementation backs this interface is decided by the build (see
+    the dune rules next to this file); {!available} lets callers decide at
+    runtime whether parallelism is real. Everything above this module —
+    the pool, the deques, the ports — is version-agnostic. *)
+
+val available : bool
+(** [true] when {!spawn} creates a real domain that runs concurrently;
+    [false] when it runs the thunk inline (OCaml 4.14). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] on OCaml 5, [1] otherwise. *)
+
+type 'a handle
+
+val spawn : (unit -> 'a) -> 'a handle
+(** On OCaml 4.14 the thunk runs inline, to completion, before [spawn]
+    returns — callers must not rely on concurrent progress. *)
+
+val join : 'a handle -> 'a
+
+val cpu_relax : unit -> unit
+(** A pause hint inside spin loops; a no-op on 4.14. *)

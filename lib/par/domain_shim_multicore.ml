@@ -1,0 +1,11 @@
+let available = true
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+type 'a handle = 'a Domain.t
+
+let spawn = Domain.spawn
+
+let join = Domain.join
+
+let cpu_relax = Domain.cpu_relax

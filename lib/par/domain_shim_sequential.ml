@@ -1,0 +1,16 @@
+(* OCaml 4.14 fallback: no domains, so a "spawned" computation simply runs
+   inline. The pool degrades to a sequential left-to-right sweep — exactly
+   the jobs=1 schedule, which the determinism suite pins as the reference
+   result for every job count. *)
+
+let available = false
+
+let recommended_jobs () = 1
+
+type 'a handle = 'a
+
+let spawn f = f ()
+
+let join h = h
+
+let cpu_relax () = ()

@@ -1,0 +1,133 @@
+let available = Domain_shim.available
+let recommended_jobs () = Domain_shim.recommended_jobs ()
+
+let default_jobs () =
+  match Option.bind (Sys.getenv_opt "MO_JOBS") int_of_string_opt with
+  | Some j when j >= 1 -> j
+  | Some _ | None -> if available then Domain_shim.recommended_jobs () else 1
+
+let rng ~seed ~stream =
+  (* distinct constants keep (seed, stream) pairs from aliasing
+     (seed+1, stream-1); SplitMix-style odd multipliers *)
+  Random.State.make [| 0x6d6f5061; seed; stream * 0x9e3779b9; stream |]
+
+(* A fixed-backlog work-stealing deque: chunk ids are dealt out at
+   creation, the owner pops from the bottom, thieves take from the top.
+   Nothing is ever pushed after start, so "empty" is permanent and
+   termination is a single sweep over all deques. A spinlock (one atomic
+   per deque) is plenty at chunk granularity — claims are rare and
+   microseconds apart; the atomic also provides the happens-before edge
+   for the plain [top]/[bottom] fields under the OCaml 5 memory model. *)
+module Deque = struct
+  type t = {
+    chunks : int array;
+    mutable top : int; (* next index thieves take *)
+    mutable bottom : int; (* one past the owner's end *)
+    busy : bool Atomic.t;
+  }
+
+  let make chunks =
+    { chunks; top = 0; bottom = Array.length chunks; busy = Atomic.make false }
+
+  let locked d f =
+    while not (Atomic.compare_and_set d.busy false true) do
+      Domain_shim.cpu_relax ()
+    done;
+    let r = f d in
+    Atomic.set d.busy false;
+    r
+
+  let pop d =
+    locked d (fun d ->
+        if d.top < d.bottom then begin
+          d.bottom <- d.bottom - 1;
+          Some d.chunks.(d.bottom)
+        end
+        else None)
+
+  let steal d =
+    locked d (fun d ->
+        if d.top < d.bottom then begin
+          let c = d.chunks.(d.top) in
+          d.top <- d.top + 1;
+          Some c
+        end
+        else None)
+end
+
+module Pool = struct
+  type t = { jobs : int }
+
+  let create ?jobs () =
+    let j = match jobs with Some j -> j | None -> default_jobs () in
+    if j < 1 then invalid_arg "Mo_par.Pool.create: jobs must be >= 1";
+    { jobs = (if available then j else 1) }
+
+  let jobs t = t.jobs
+
+  let chunk_bounds ~n ~chunk c = (c * chunk, min n ((c + 1) * chunk) - 1)
+
+  let map t ?chunk n ~f =
+    if n < 0 then invalid_arg "Par.Pool.map: negative size";
+    let jobs = min t.jobs (max 1 n) in
+    let chunk =
+      match chunk with
+      | Some c when c >= 1 -> c
+      | Some _ -> invalid_arg "Par.Pool.map: chunk must be >= 1"
+      | None -> max 1 ((n + (jobs * 8) - 1) / (jobs * 8))
+    in
+    if n = 0 then [||]
+    else if jobs = 1 then Array.init n f
+    else begin
+      let nchunks = (n + chunk - 1) / chunk in
+      let results = Array.make n None in
+      (* block-deal the chunks: worker w owns a contiguous range, so its
+         own pops walk the index space in order and stealing only kicks
+         in when a neighbour's range was cheaper than predicted *)
+      let deques =
+        Array.init jobs (fun w ->
+            let lo = w * nchunks / jobs and hi = (w + 1) * nchunks / jobs in
+            (* owner pops from the bottom: store the range reversed so its
+               first pop is its lowest chunk id *)
+            Deque.make (Array.init (hi - lo) (fun i -> hi - 1 - i)))
+      in
+      let failure = Atomic.make None in
+      let worker w () =
+        (* try self first (pop), then the other deques round-robin (steal);
+           nothing is ever re-enqueued, so a full empty sweep terminates *)
+        let rec claim k =
+          if k = jobs then None
+          else
+            let v = (w + k) mod jobs in
+            match
+              if v = w then Deque.pop deques.(v) else Deque.steal deques.(v)
+            with
+            | Some c -> Some c
+            | None -> claim (k + 1)
+        in
+        let rec loop () =
+          if Atomic.get failure <> None then ()
+          else match claim 0 with None -> () | Some c -> run c
+        and run c =
+          let lo, hi = chunk_bounds ~n ~chunk c in
+          (try
+             for i = lo to hi do
+               results.(i) <- Some (f i)
+             done
+           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        in
+        loop ()
+      in
+      let handles =
+        List.init (jobs - 1) (fun k -> Domain_shim.spawn (worker (k + 1)))
+      in
+      worker 0 ();
+      List.iter Domain_shim.join handles;
+      (match Atomic.get failure with Some e -> raise e | None -> ());
+      Array.map (function Some v -> v | None -> assert false) results
+    end
+
+  let fold t ?chunk n ~f ~merge ~init =
+    Array.fold_left merge init (map t ?chunk n ~f)
+end

@@ -1,0 +1,62 @@
+(** Parallel execution over OCaml 5 domains, with deterministic results.
+
+    The engine behind the exhaustive explorers, the fault-matrix suite and
+    the bench sweeps. Work is split into contiguous {e chunks} of an index
+    range; each worker owns a deque of chunks and steals from the others
+    when its own runs dry. Results are keyed by item index and merged in
+    index order, so the outcome is a pure function of [(n, f)] — which
+    domain computed which chunk is invisible. On OCaml 4.14 (no domains)
+    the pool runs the same chunk schedule inline; [jobs] is forced to 1.
+
+    Determinism contract: for any [f] free of shared mutable state,
+    [map pool n ~f] and [fold pool n ~f ~merge ~init] return the same
+    value for every job count and chunk size, byte for byte. This is what
+    lets `--jobs N` change wall-clock time and nothing else. *)
+
+val available : bool
+(** Whether real domains back the pool (OCaml >= 5.0). *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the host's usable core count
+    (1 on OCaml 4.14). Recorded by the bench artifacts so the regression
+    gate knows whether two timing runs are comparable. *)
+
+val default_jobs : unit -> int
+(** The [MO_JOBS] environment variable when set to a positive integer,
+    otherwise {!recommended_jobs} (1 on OCaml 4.14). *)
+
+val rng : seed:int -> stream:int -> Random.State.t
+(** An independent PRNG stream: deterministic in [(seed, stream)] and
+    decorrelated across streams. Shard work by stream id — never share
+    one [Random.State] between domains. *)
+
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** [jobs] defaults to {!default_jobs}; forced to 1 when domains are
+      unavailable. @raise Invalid_argument if [jobs < 1]. *)
+
+  val jobs : t -> int
+
+  val map : t -> ?chunk:int -> int -> f:(int -> 'a) -> 'a array
+  (** [map t n ~f] is [[| f 0; …; f (n-1) |]], computed by up to [jobs]
+      domains over chunks of [chunk] consecutive indices (default: an
+      8-chunks-per-worker split). [f] runs off the main domain: it must
+      not touch shared mutable state, raise to communicate, or call back
+      into the pool. The first exception raised by any [f] is re-raised
+      in the caller after all workers join. *)
+
+  val fold :
+    t ->
+    ?chunk:int ->
+    int ->
+    f:(int -> 'a) ->
+    merge:('b -> 'a -> 'b) ->
+    init:'b ->
+    'b
+  (** [List.fold_left merge init [f 0; …; f (n-1)]], with the [f]s
+      evaluated in parallel and [merge] applied on the caller's domain in
+      index order — order-independent reductions are not required, ordered
+      ones stay ordered. *)
+end

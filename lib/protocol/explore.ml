@@ -1,4 +1,5 @@
 open Mo_order
+module Sset = Set.Make (String)
 
 type outcome = {
   run : Run.t option;
@@ -256,22 +257,22 @@ let explore ?(max_executions = 200_000) ~nprocs factory ops ~on_outcome =
   | Some e -> Error e
   | None -> Ok { executions = !executions; truncated = !truncated }
 
+let view_key r =
+  String.concat "|"
+    (List.init (Run.nprocs r) (fun p ->
+         String.concat ","
+           (List.map
+              (fun e -> string_of_int (Event.encode e))
+              (Run.sequence r p))))
+
 let distinct_user_views ?max_executions ~nprocs factory ops =
   let seen = Hashtbl.create 64 in
   let runs = ref [] in
-  let key r =
-    String.concat "|"
-      (List.init (Run.nprocs r) (fun p ->
-           String.concat ","
-             (List.map
-                (fun e -> string_of_int (Event.encode e))
-                (Run.sequence r p))))
-  in
   match
     explore ?max_executions ~nprocs factory ops ~on_outcome:(fun o ->
         match o.run with
         | Some r ->
-            let k = key r in
+            let k = view_key r in
             if not (Hashtbl.mem seen k) then begin
               Hashtbl.replace seen k ();
               runs := r :: !runs
@@ -279,4 +280,120 @@ let distinct_user_views ?max_executions ~nprocs factory ops =
         | None -> ())
   with
   | Ok _ -> Ok (List.rev !runs)
+  | Error e -> Error e
+
+(* ---- parallel exploration ---- *)
+
+(* BFS-expand the root of the schedule tree into choice prefixes until
+   there are enough subtrees to feed every worker, or the tree proves
+   shallow. Prefixes whose replay already completes (or misbehaves) stay
+   as leaves; expanding a Branch replaces the prefix by its children in
+   choice order, so reading the final list left to right visits subtrees
+   exactly in sequential DFS order. *)
+let shard_prefixes ~target ~nprocs factory intents =
+  let max_depth = 4 in
+  let rec grow depth frontier nleaves =
+    if depth >= max_depth || nleaves >= target then frontier
+    else begin
+      let expanded = ref false in
+      let nleaves = ref 0 in
+      let next =
+        List.concat_map
+          (fun (leaf, prefix) ->
+            if leaf then begin
+              incr nleaves;
+              [ (true, prefix) ]
+            end
+            else
+              match replay ~nprocs factory intents prefix with
+              | Done _ | Misbehaviour _ ->
+                  incr nleaves;
+                  [ (true, prefix) ]
+              | Branch n ->
+                  expanded := true;
+                  nleaves := !nleaves + n;
+                  List.init n (fun i -> (false, prefix @ [ i ])))
+          frontier
+      in
+      if !expanded then grow (depth + 1) next !nleaves else next
+    end
+  in
+  List.map snd (grow 0 [ (false, []) ] 1)
+
+let explore_par ?pool ?(max_executions = 200_000) ~nprocs factory ops ~init ~f
+    ~merge () =
+  let intents = expand ~nprocs ops in
+  let with_pool k =
+    match pool with Some p -> k p | None -> k (Mo_par.Pool.create ())
+  in
+  with_pool (fun pool ->
+      let jobs = Mo_par.Pool.jobs pool in
+      let shards =
+        Array.of_list
+          (shard_prefixes ~target:(jobs * 8) ~nprocs factory intents)
+      in
+      (* the execution budget is shared: exactly [max_executions] complete
+         executions are folded in total, mirroring the sequential
+         truncation point. Which executions survive truncation is
+         schedule-dependent for jobs > 1 — runs that never truncate (the
+         only ones the tests pin) are byte-identical at every job
+         count. *)
+      let budget = Atomic.make max_executions in
+      let truncated = Atomic.make false in
+      let error = Atomic.make None in
+      let stop () = Atomic.get truncated || Atomic.get error <> None in
+      let run_shard i =
+        let acc = ref init in
+        let rec dfs choices =
+          if stop () then ()
+          else
+            match replay ~nprocs factory intents choices with
+            | Misbehaviour e ->
+                ignore (Atomic.compare_and_set error None (Some e))
+            | Done outcome ->
+                let before = Atomic.fetch_and_add budget (-1) in
+                if before <= 0 then Atomic.set truncated true
+                else begin
+                  if before = 1 then Atomic.set truncated true;
+                  acc := f !acc outcome
+                end
+            | Branch n ->
+                let i = ref 0 in
+                while !i < n && not (stop ()) do
+                  dfs (choices @ [ !i ]);
+                  incr i
+                done
+        in
+        dfs shards.(i);
+        !acc
+      in
+      let total =
+        Mo_par.Pool.fold pool (Array.length shards) ~f:run_shard ~merge ~init
+      in
+      match Atomic.get error with
+      | Some e -> Error e
+      | None ->
+          let executions = max_executions - max 0 (Atomic.get budget) in
+          Ok (total, { executions; truncated = Atomic.get truncated }))
+
+type views = { vkeys : Sset.t; vruns_rev : Run.t list }
+
+let views_add acc r =
+  let k = view_key r in
+  if Sset.mem k acc.vkeys then acc
+  else { vkeys = Sset.add k acc.vkeys; vruns_rev = r :: acc.vruns_rev }
+
+let distinct_user_views_par ?pool ?max_executions ~nprocs factory ops =
+  match
+    explore_par ?pool ?max_executions ~nprocs factory ops
+      ~init:{ vkeys = Sset.empty; vruns_rev = [] }
+      ~f:(fun acc o ->
+        match o.run with Some r -> views_add acc r | None -> acc)
+      ~merge:(fun a b ->
+        (* first occurrence wins, shards in DFS order: same dedup order
+           as the sequential Hashtbl pass *)
+        List.fold_left views_add a (List.rev b.vruns_rev))
+      ()
+  with
+  | Ok (acc, stats) -> Ok (List.rev acc.vruns_rev, stats)
   | Error e -> Error e

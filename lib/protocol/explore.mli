@@ -37,6 +37,11 @@ val explore :
     [max_executions] defaults to 200_000. Broadcast ops are expanded as in
     the simulator. *)
 
+val view_key :
+  Mo_order.Run.t -> string
+(** Canonical rendering of the per-process user event sequences; two runs
+    share a key iff every process saw the same view. *)
+
 val distinct_user_views :
   ?max_executions:int ->
   nprocs:int ->
@@ -45,3 +50,38 @@ val distinct_user_views :
   (Mo_order.Run.t list, string) result
 (** All distinct complete user-view runs reachable under some schedule —
     the implementation's [X̄_P] restricted to this workload. *)
+
+val explore_par :
+  ?pool:Mo_par.Pool.t ->
+  ?max_executions:int ->
+  nprocs:int ->
+  Protocol.factory ->
+  Sim.op list ->
+  init:'acc ->
+  f:('acc -> outcome -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  ('acc * stats, string) result
+(** {!explore} as a parallel fold. The schedule tree is split at the root
+    into choice prefixes (at least 8 subtrees per pool worker when the
+    tree is deep enough); each worker runs the sequential DFS over its
+    subtrees, folding outcomes locally, and the per-subtree accumulators
+    are combined with [merge] in DFS order. When the search completes
+    within [max_executions], the result is identical for every job count
+    (and to a sequential left fold in {!explore}'s outcome order). The
+    execution budget is shared across workers, so a truncated search
+    still folds exactly [max_executions] outcomes, but {e which}
+    outcomes survive truncation — and which misbehaviour is reported
+    when several subtrees contain one — may vary with the job count.
+    [pool] defaults to a fresh {!Mo_par.Pool}. *)
+
+val distinct_user_views_par :
+  ?pool:Mo_par.Pool.t ->
+  ?max_executions:int ->
+  nprocs:int ->
+  Protocol.factory ->
+  Sim.op list ->
+  (Mo_order.Run.t list * stats, string) result
+(** {!distinct_user_views} on the parallel engine (first schedule
+    reaching a view wins, in DFS order — the same list the sequential
+    pass builds), also returning the search stats. *)

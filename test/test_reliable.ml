@@ -180,29 +180,61 @@ let protocols =
 let config ~seed faults =
   { (Sim.default_config ~nprocs:3) with Sim.seed; faults }
 
-let test_fault_matrix_wrapped () =
-  List.iter
+(* the 9 × 7 × 5 grid is the slowest part of the suite, and its cells are
+   independent simulations — so they run on the parallel pool, sharded by
+   (protocol, fault-config, seed) cell. Workers only compute plain verdict
+   records; every Alcotest assertion happens in the main domain afterwards,
+   in cell order, so the reported failure (if any) is the same at every
+   job count. *)
+type cell_verdict = {
+  cv_label : string;
+  cv_live : bool;
+  cv_traffic : bool;
+  cv_spec : [ `Ok of bool | `Missing | `No_spec ];
+}
+
+let matrix_cells =
+  List.concat_map
     (fun (pname, factory, spec, ops) ->
-      List.iter
+      List.concat_map
         (fun (fname, faults) ->
-          List.iter
-            (fun seed ->
-              let label = Printf.sprintf "%s/%s seed %d" pname fname seed in
-              let r =
-                Conformance.check_exn ?spec (config ~seed faults)
-                  (Wrap.reliable factory) ops
-              in
-              check_bool (label ^ " live") true r.Conformance.live;
-              check_bool
-                (label ^ " traffic consistent")
-                true r.Conformance.traffic_consistent;
-              match (spec, r.Conformance.spec_ok) with
-              | Some _, Some ok -> check_bool (label ^ " spec") true ok
-              | Some _, None -> Alcotest.fail (label ^ ": no spec verdict")
-              | None, _ -> ())
+          List.map (fun seed -> (pname, factory, spec, ops, fname, faults, seed))
             seeds)
         grid)
     protocols
+
+let run_cell (pname, factory, spec, ops, fname, faults, seed) =
+  let label = Printf.sprintf "%s/%s seed %d" pname fname seed in
+  let r =
+    Conformance.check_exn ?spec (config ~seed faults) (Wrap.reliable factory)
+      ops
+  in
+  {
+    cv_label = label;
+    cv_live = r.Conformance.live;
+    cv_traffic = r.Conformance.traffic_consistent;
+    cv_spec =
+      (match (spec, r.Conformance.spec_ok) with
+      | Some _, Some ok -> `Ok ok
+      | Some _, None -> `Missing
+      | None, _ -> `No_spec);
+  }
+
+let test_fault_matrix_wrapped () =
+  let cells = Array.of_list matrix_cells in
+  let pool = Mo_par.Pool.create () in
+  let verdicts =
+    Mo_par.Pool.map pool (Array.length cells) ~f:(fun i -> run_cell cells.(i))
+  in
+  Array.iter
+    (fun v ->
+      check_bool (v.cv_label ^ " live") true v.cv_live;
+      check_bool (v.cv_label ^ " traffic consistent") true v.cv_traffic;
+      match v.cv_spec with
+      | `Ok ok -> check_bool (v.cv_label ^ " spec") true ok
+      | `Missing -> Alcotest.fail (v.cv_label ^ ": no spec verdict")
+      | `No_spec -> ())
+    verdicts
 
 let test_unwrapped_fails_liveness () =
   (* the wrapper is doing real work: on the same grid, the bare protocol
