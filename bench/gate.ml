@@ -23,10 +23,23 @@ let failure path msg =
   Printf.printf "FAIL %s: %s\n" path msg
 
 let load path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
+  let s =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error _ ->
+      Printf.eprintf
+        "gate: cannot read %s\n\
+         If this is a missing baseline, regenerate every BENCH_*.json \
+         with\n\
+        \  dune exec bench/main.exe -- --repro-only\n\
+         and commit the refreshed artifact.\n"
+        path;
+      exit 2
+  in
   match Mo_obs.Jsonb.of_string s with
   | Ok j -> j
   | Error e ->
@@ -47,7 +60,7 @@ let to_float = function
 let timing_direction key =
   match key with
   | "wall_s" -> Some `Lower_is_better
-  | "speedup" | "efficiency" -> Some `Higher_is_better
+  | "speedup" | "efficiency" | "throughput" -> Some `Higher_is_better
   | _ -> None
 
 let check_timing ~path ~key base fresh =

@@ -37,7 +37,10 @@ let () =
     Perf.obs_summary ();
     (* B11: fault-overhead accounting, also deterministic (writes
        BENCH_reliab.json) *)
-    Reliab.summary ()
+    Reliab.summary ();
+    (* B13: decision-cache throughput; its hit/miss accounting is a pure
+       function of the seeded stream (writes BENCH_svc.json) *)
+    Svc.summary ()
   end;
   (* B12 runs in every mode: its deterministic outputs belong to the
      reproduction artifacts and its timings to the perf sweep *)

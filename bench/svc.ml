@@ -1,0 +1,212 @@
+(* B13: the classification service — decision-cache effectiveness on a
+   repetitive query stream. Writes BENCH_svc.json.
+
+   The workload models what mopcd actually sees: a modest set of
+   distinct specifications queried over and over under different
+   variable namings and clause orders. The stream is [distinct]
+   predicates x [renamings] random alpha-renamings each, interleaved.
+   Two engines answer the identical stream:
+
+   - cold: cache capacity 0 — every request canonicalizes and computes
+     (classification, witness construction, payload rendering);
+   - warm: the default cache, pre-warmed with one pass — every request
+     canonicalizes, then hits.
+
+   The hit/miss counters are a pure function of the seeded stream, so
+   the gate compares them exactly; the wall-clock and throughput fields
+   are host-dependent timings (the warm/cold throughput ratio is the
+   point of the cache: the EXPERIMENTS.md acceptance bar is >= 5x). *)
+
+open Mo_core
+
+let j_int i = Mo_obs.Jsonb.Int i
+let j_str s = Mo_obs.Jsonb.String s
+let j_bool b = Mo_obs.Jsonb.Bool b
+let j_float f = Mo_obs.Jsonb.Float f
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* ---- the query stream -------------------------------------------- *)
+
+let distinct_preds = 12
+let renamings = 16
+
+let shuffle rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+(* a union of [ncycles] random Hamiltonian cycles over one variable
+   set: strongly connected, free of same-variable conjuncts, and rich
+   in composite simple cycles — the shape on which the classifier's
+   cycle enumeration (and hence the cache) actually earns its keep *)
+let multi_cycle ~nvars ~ncycles ~seed =
+  let rng = Mo_par.rng ~seed ~stream:1 in
+  let one_cycle () =
+    let perm = Array.init nvars Fun.id in
+    shuffle rng perm;
+    List.init nvars (fun i ->
+        let a = perm.(i) and b = perm.((i + 1) mod nvars) in
+        let pt v = if Random.State.bool rng then Term.s v else Term.r v in
+        Term.(pt a @> pt b))
+  in
+  Forbidden.make ~nvars
+    (List.concat (List.init ncycles (fun _ -> one_cycle ())))
+
+(* the catalog's shapes, degenerate random ones (mostly settled by
+   simplification alone) and hard multi-cycle ones: enough variety to
+   exercise every classifier branch, expensive enough in aggregate that
+   decision work dominates canonicalization *)
+let base_predicates =
+  let parsed =
+    List.map Parse.predicate_exn
+      [
+        "x.s < y.s & y.r < x.r";
+        "x.s < y.s & y.r < x.r & src(x) = src(y)";
+        "x.s < y.r & y.s < x.r";
+        "x.r < y.s & y.r < z.s & z.r < x.s";
+      ]
+  in
+  let random =
+    List.init 4 (fun i ->
+        if i mod 2 = 0 then
+          Mo_workload.Random_pred.guarded_predicate ~max_vars:8
+            ~max_conjuncts:16 ~seed:(1000 + i) ()
+        else
+          Mo_workload.Random_pred.predicate ~max_vars:8 ~max_conjuncts:16
+            ~seed:(2000 + i) ())
+  in
+  let hard =
+    List.init
+      (distinct_preds - List.length parsed - List.length random)
+      (fun i -> multi_cycle ~nvars:(8 + (i mod 2)) ~ncycles:5 ~seed:(30 + i))
+  in
+  parsed @ random @ hard
+
+let rename rng p =
+  let n = Forbidden.nvars p in
+  let perm = Array.init n Fun.id in
+  shuffle rng perm;
+  let ep (e : Term.endpoint) = { e with Term.var = perm.(e.Term.var) } in
+  let conjuncts =
+    Array.of_list
+      (List.map
+         (fun (c : Term.conjunct) ->
+           Term.(ep c.Term.before @> ep c.Term.after))
+         (Forbidden.conjuncts p))
+  in
+  let guards =
+    Array.of_list
+      (List.map
+         (function
+           | Term.Same_src (x, y) -> Term.Same_src (perm.(x), perm.(y))
+           | Term.Same_dst (x, y) -> Term.Same_dst (perm.(x), perm.(y))
+           | Term.Color_is (x, c) -> Term.Color_is (perm.(x), c))
+         (Forbidden.guards p))
+  in
+  shuffle rng conjuncts;
+  shuffle rng guards;
+  Forbidden.make ~nvars:n
+    ~guards:(Array.to_list guards)
+    (Array.to_list conjuncts)
+
+(* interleaved: round-robin over the distinct predicates so cold never
+   benefits from temporal locality it was not granted *)
+let stream =
+  lazy
+    (let rng = Mo_par.rng ~seed:13 ~stream:0 in
+     List.concat_map
+       (fun _round -> List.map (rename rng) base_predicates)
+       (List.init renamings Fun.id))
+
+let drive engine reqs =
+  List.iteri
+    (fun i p ->
+      let env =
+        { Mo_service.Codec.id = i; deadline_ms = None; req = Mo_service.Codec.Classify p }
+      in
+      match
+        Mo_service.Codec.result_of_response
+          (Mo_service.Engine.handle engine env)
+      with
+      | Ok _ -> ()
+      | Error e -> failwith ("svc bench: " ^ e))
+    reqs
+
+let counters engine =
+  let reg = Mo_service.Engine.registry engine in
+  let v name = Option.value ~default:0 (Mo_obs.Metrics.value reg name) in
+  (v "svc.cache_hits", v "svc.cache_misses")
+
+(* ---- the experiment ---------------------------------------------- *)
+
+let summary () =
+  Format.printf "@.%s@.== B13: decision-cache throughput (mopcd engine)@.%s@."
+    (String.make 74 '=') (String.make 74 '=');
+  let reqs = Lazy.force stream in
+  let nreqs = List.length reqs in
+  let digests =
+    List.sort_uniq compare (List.map Mo_core.Canon.digest reqs)
+  in
+  let cold_engine = Mo_service.Engine.create ~cache_capacity:0 () in
+  let (), cold_wall = time (fun () -> drive cold_engine reqs) in
+  let cold_hits, cold_misses = counters cold_engine in
+  let warm_engine = Mo_service.Engine.create () in
+  drive warm_engine reqs;
+  (* measured pass: every digest is now resident *)
+  let warm_before = counters warm_engine in
+  let (), warm_wall = time (fun () -> drive warm_engine reqs) in
+  let warm_after = counters warm_engine in
+  let warm_hits = fst warm_after - fst warm_before in
+  let warm_misses = snd warm_after - snd warm_before in
+  let throughput wall = float_of_int nreqs /. wall in
+  let speedup = cold_wall /. warm_wall in
+  Format.printf
+    "  %d requests (%d distinct specs, %d renamings each)@.  cold: %7.3f s \
+     (%8.0f req/s)  hits %d  misses %d@.  warm: %7.3f s (%8.0f req/s)  hits \
+     %d  misses %d@.  warm/cold speedup %.1fx@."
+    nreqs distinct_preds renamings cold_wall (throughput cold_wall) cold_hits
+    cold_misses warm_wall (throughput warm_wall) warm_hits warm_misses
+    speedup;
+  let pass_json hits misses wall =
+    Mo_obs.Jsonb.Obj
+      [
+        ("hits", j_int hits);
+        ("misses", j_int misses);
+        ("wall_s", j_float wall);
+        ("throughput", j_float (throughput wall));
+      ]
+  in
+  let json =
+    Mo_obs.Jsonb.Obj
+      [
+        ( "host",
+          Mo_obs.Jsonb.Obj
+            [
+              ("ocaml", j_str Sys.ocaml_version);
+              ("domains", j_bool Mo_par.available);
+              ("cores", j_int (Mo_par.recommended_jobs ()));
+            ] );
+        ( "workload",
+          Mo_obs.Jsonb.Obj
+            [
+              ("distinct", j_int distinct_preds);
+              ("renamings", j_int renamings);
+              ("requests", j_int nreqs);
+              ("distinct_digests", j_int (List.length digests));
+            ] );
+        ("cold", pass_json cold_hits cold_misses cold_wall);
+        ("warm", pass_json warm_hits warm_misses warm_wall);
+        ("speedup", j_float speedup);
+      ]
+  in
+  let oc = open_out "BENCH_svc.json" in
+  output_string oc (Mo_obs.Jsonb.to_string_pretty json);
+  close_out oc;
+  Format.printf "  service results written to BENCH_svc.json@."

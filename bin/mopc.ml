@@ -24,13 +24,21 @@ let pred_arg =
 
 (* ---- classify ---- *)
 
-let classify_run explain certificate input =
+let classify_run explain certificate json input =
   match parse_pred input with
   | Error e ->
       prerr_endline e;
       1
   | Ok pred ->
-      if certificate then begin
+      if json then begin
+        (* the same payload the mopcd service serves: one builder, two
+           surfaces, no drift *)
+        print_string
+          (Mo_obs.Jsonb.to_string_pretty
+             (Mo_service.Codec.classify_payload pred));
+        0
+      end
+      else if certificate then begin
         print_string (Necessity.certificate pred);
         0
       end
@@ -64,11 +72,21 @@ let certificate_flag =
           "print concrete refuting runs for the weaker protocol classes \
            (bounded search; slower)")
 
+let json_flag =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "machine-readable output (the canonical predicate, its digest \
+           and the verdict) — the exact payload the mopcd service serves")
+
 let classify_cmd =
   let doc = "classify a forbidden predicate (Theorems 2-4)" in
   Cmd.v
     (Cmd.info "classify" ~doc)
-    T.(const classify_run $ explain_flag $ certificate_flag $ pred_arg)
+    T.(
+      const classify_run $ explain_flag $ certificate_flag $ json_flag
+      $ pred_arg)
 
 (* ---- graph ---- *)
 
@@ -179,7 +197,7 @@ let show_run name =
       1
   | Some e ->
       Format.printf "%s — %s@.source: %s@.@." e.name e.description e.source;
-      classify_run false false (Forbidden.to_string e.pred)
+      classify_run false false false (Forbidden.to_string e.pred)
 
 let show_cmd =
   let doc = "show one catalog entry in detail" in
@@ -508,11 +526,16 @@ let synth_cmd =
 
 (* ---- implies: specification containment ---- *)
 
-let implies_run input1 input2 =
+let implies_run json input1 input2 =
   match (parse_pred input1, parse_pred input2) with
   | Error e, _ | _, Error e ->
       prerr_endline e;
       1
+  | Ok b, Ok b' when json ->
+      print_string
+        (Mo_obs.Jsonb.to_string_pretty
+           (Mo_service.Codec.implies_payload b b'));
+      0
   | Ok b, Ok b' ->
       let fwd = Implies.check b b' and bwd = Implies.check b' b in
       Format.printf "B  = %a@.B' = %a@." Forbidden.pp b Forbidden.pp b';
@@ -537,7 +560,7 @@ let implies_cmd =
   in
   let p1 = Arg.(required & pos 0 (some string) None & info [] ~docv:"B") in
   let p2 = Arg.(required & pos 1 (some string) None & info [] ~docv:"B'") in
-  Cmd.v (Cmd.info "implies" ~doc) T.(const implies_run $ p1 $ p2)
+  Cmd.v (Cmd.info "implies" ~doc) T.(const implies_run $ json_flag $ p1 $ p2)
 
 (* ---- batch: classify a file of predicates ---- *)
 
@@ -850,6 +873,86 @@ let explore_cmd =
       const explore_run $ proto $ wname $ nprocs $ nmsgs $ seed $ max_execs
       $ jobs_arg)
 
+(* ---- query: client for the mopcd service ---- *)
+
+let query_request op args =
+  let open Mo_service.Codec in
+  let pred s = Result.map_error (fun e -> e) (parse_pred s) in
+  match (op, args) with
+  | "classify", [ p ] -> Result.map (fun p -> Classify p) (pred p)
+  | "witness", [ p ] -> Result.map (fun p -> Witness p) (pred p)
+  | "implies", [ a; b ] ->
+      Result.bind (pred a) (fun a ->
+          Result.map (fun b -> Implies (a, b)) (pred b))
+  | "minimize", (_ :: _ as ps) ->
+      List.fold_left
+        (fun acc s ->
+          Result.bind acc (fun l ->
+              Result.map (fun p -> p :: l) (pred s)))
+        (Ok []) ps
+      |> Result.map (fun l -> Minimize (List.rev l))
+  | "stats", [] -> Ok Stats
+  | "shutdown", [] -> Ok Shutdown
+  | "classify", _ | "witness", _ -> Error (op ^ " takes one PREDICATE")
+  | "implies", _ -> Error "implies takes two predicates"
+  | "minimize", _ -> Error "minimize takes at least one predicate"
+  | ("stats" | "shutdown"), _ -> Error (op ^ " takes no arguments")
+  | _ ->
+      Error
+        (Printf.sprintf
+           "unknown op %S (classify | implies | minimize | witness | \
+            stats | shutdown)"
+           op)
+
+let query_run socket deadline_ms op args =
+  match query_request op args with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok req -> (
+      match Mo_service.Client.connect ~socket_path:socket with
+      | Error e ->
+          prerr_endline e;
+          1
+      | Ok client ->
+          let r = Mo_service.Client.call client ?deadline_ms req in
+          Mo_service.Client.close client;
+          (match r with
+          | Ok payload ->
+              print_string (Mo_obs.Jsonb.to_string_pretty payload);
+              0
+          | Error e ->
+              prerr_endline ("query failed: " ^ e);
+              1))
+
+let query_cmd =
+  let doc =
+    "query a running mopcd service (classify | implies | minimize | \
+     witness | stats | shutdown) and print the JSON result"
+  in
+  let socket =
+    Arg.(
+      value
+      & opt string "mopcd.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"mopcd socket path")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"per-request deadline enforced by the server")
+  in
+  let op_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OP")
+  in
+  let rest_args =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"ARG")
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc)
+    T.(const query_run $ socket $ deadline $ op_arg $ rest_args)
+
 let main_cmd =
   let doc = "message ordering specifications and protocols (Murty & Garg)" in
   Cmd.group
@@ -868,6 +971,7 @@ let main_cmd =
       monitor_cmd;
       universe_cmd;
       explore_cmd;
+      query_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

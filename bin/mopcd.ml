@@ -1,0 +1,90 @@
+(* mopcd — the long-lived classification service.
+
+   Serves the library's decision procedures (classify, implies,
+   minimize, witness) over a Unix-domain socket with a canonical-form
+   decision cache in front, so repeated queries — the common case in
+   real specification traffic, which repeats the same shapes modulo
+   variable renaming — cost a digest and a hash lookup instead of a
+   cycle enumeration. `mopc query` is the matching client. *)
+
+open Cmdliner
+module T = Cmdliner.Term
+
+let serve socket cache_capacity jobs recv_timeout verbose =
+  if jobs < 0 then begin
+    Format.eprintf "--jobs must be >= 0@.";
+    exit 1
+  end;
+  if cache_capacity < 0 then begin
+    Format.eprintf "--cache must be >= 0@.";
+    exit 1
+  end;
+  let cfg =
+    {
+      (Mo_service.Server.default_config ~socket_path:socket) with
+      Mo_service.Server.cache_capacity;
+      jobs = (if jobs = 0 then None else Some jobs);
+      recv_timeout_s = recv_timeout;
+    }
+  in
+  let on_ready () =
+    Printf.printf "mopcd: listening on %s (cache %d, pid %d)\n%!" socket
+      cache_capacity (Unix.getpid ())
+  in
+  if verbose then
+    Printf.eprintf "mopcd: cache %d entries, read timeout %.1fs\n%!"
+      cache_capacity recv_timeout;
+  match Mo_service.Server.run ~on_ready cfg with
+  | () ->
+      Printf.printf "mopcd: shut down cleanly\n%!";
+      0
+  | exception Unix.Unix_error (e, _, arg) ->
+      Format.eprintf "mopcd: cannot serve on %s: %s %s@." socket
+        (Unix.error_message e) arg;
+      1
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "mopcd.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path to listen on")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 4096
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"decision cache capacity in entries (0 disables caching)")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "worker domains for batch requests; 0 means the pool default \
+           (the $(b,MO_JOBS) variable, else one per core)")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt float 10.
+    & info [ "recv-timeout" ] ~docv:"SECONDS"
+        ~doc:"close a connection after this long without a frame")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"log to stderr")
+
+let main_cmd =
+  let doc =
+    "serve message-ordering classification queries over a Unix-domain \
+     socket (client: mopc query)"
+  in
+  Cmd.v
+    (Cmd.info "mopcd" ~version:"1.0.0" ~doc)
+    T.(
+      const serve $ socket_arg $ cache_arg $ jobs_arg $ timeout_arg
+      $ verbose_arg)
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,105 @@
+(* LRU over a hash table plus an intrusive doubly-linked recency list:
+   O(1) find, put and eviction, deterministic in the lookup sequence. *)
+
+module Metrics = Mo_obs.Metrics
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option; (* towards most-recent *)
+  mutable next : 'a node option; (* towards least-recent *)
+}
+
+type 'a t = {
+  cap : int;
+  tbl : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option; (* most recently used *)
+  mutable tail : 'a node option; (* least recently used *)
+  c_hits : Metrics.counter;
+  c_misses : Metrics.counter;
+  c_evictions : Metrics.counter;
+  g_size : Metrics.gauge;
+}
+
+let create ~capacity ?registry () =
+  if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  let registry =
+    match registry with Some r -> r | None -> Metrics.create ()
+  in
+  {
+    cap = capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    c_hits =
+      Metrics.counter registry ~help:"decision cache hits" "svc.cache_hits";
+    c_misses =
+      Metrics.counter registry ~help:"decision cache misses"
+        "svc.cache_misses";
+    c_evictions =
+      Metrics.counter registry ~help:"decision cache LRU evictions"
+        "svc.cache_evictions";
+    g_size =
+      Metrics.gauge registry ~help:"decision cache resident entries"
+        "svc.cache_size";
+  }
+
+let capacity t = t.cap
+
+let size t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      Metrics.inc t.c_hits;
+      unlink t n;
+      push_front t n;
+      Some n.value
+  | None ->
+      Metrics.inc t.c_misses;
+      None
+
+let evict_lru t =
+  match t.tail with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl n.key;
+      Metrics.inc t.c_evictions
+
+let put t key value =
+  if t.cap > 0 then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some n ->
+        n.value <- value;
+        unlink t n;
+        push_front t n
+    | None ->
+        let n = { key; value; prev = None; next = None } in
+        Hashtbl.replace t.tbl key n;
+        push_front t n;
+        if Hashtbl.length t.tbl > t.cap then evict_lru t);
+    Metrics.set t.g_size (Hashtbl.length t.tbl)
+  end
+
+let hits t = Metrics.counter_value t.c_hits
+
+let misses t = Metrics.counter_value t.c_misses
+
+let evictions t = Metrics.counter_value t.c_evictions

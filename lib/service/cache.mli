@@ -1,0 +1,40 @@
+(** Bounded LRU decision cache, keyed on canonical digests.
+
+    A classification answered once is answered forever: the payload of a
+    [classify]/[implies]/[witness]/[minimize] request is a pure function
+    of the canonical form of its arguments, so the service memoizes
+    payloads under digest-derived string keys. The cache is bounded
+    (least-recently-used entry evicted at capacity) and instrumented:
+    [svc.cache_hits], [svc.cache_misses], [svc.cache_evictions] counters
+    and the [svc.cache_size] gauge live in the supplied
+    {!Mo_obs.Metrics} registry, so a [stats] query — and the B13 bench
+    artifact — can report exact, deterministic hit accounting.
+
+    Not thread-safe by design: all cache traffic happens on the server's
+    dispatch domain (the worker pool computes payloads, never touches
+    the cache), which keeps hit/miss counts a pure function of the
+    request stream. *)
+
+type 'a t
+
+val create :
+  capacity:int -> ?registry:Mo_obs.Metrics.t -> unit -> 'a t
+(** [capacity 0] disables caching: every lookup misses, nothing is
+    stored. @raise Invalid_argument if [capacity < 0]. *)
+
+val capacity : 'a t -> int
+
+val size : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Bumps the entry to most-recently-used; counts a hit or a miss. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or refresh; evicts the least-recently-used entry when the
+    capacity is exceeded. *)
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val evictions : 'a t -> int

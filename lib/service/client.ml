@@ -1,0 +1,36 @@
+type t = {
+  fd : Unix.file_descr;
+  reader : Codec.reader;
+  mutable next_id : int;
+}
+
+let connect ~socket_path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok { fd; reader = Codec.reader fd; next_id = 1 }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" socket_path
+           (Unix.error_message e))
+
+let call_raw t json =
+  match
+    Codec.write_frame t.fd json;
+    Codec.read_frame t.reader
+  with
+  | Ok (Some resp) -> Ok resp
+  | Ok None -> Error "server closed the connection"
+  | Error e -> Error ("transport: " ^ e)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("transport: " ^ Unix.error_message e)
+
+let call t ?deadline_ms req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let env = { Codec.id; deadline_ms; req } in
+  match call_raw t (Codec.request_to_json env) with
+  | Error e -> Error e
+  | Ok resp -> Codec.result_of_response resp
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,20 @@
+(** Client side of the mopcd codec: one connection, sequential calls. *)
+
+type t
+
+val connect : socket_path:string -> (t, string) result
+
+val call :
+  t ->
+  ?deadline_ms:int ->
+  Codec.request ->
+  (Mo_obs.Jsonb.t, string) result
+(** Send one request (ids are assigned internally) and wait for its
+    response; returns the [result] payload, or the server's [error]
+    message, or a transport error. *)
+
+val call_raw : t -> Mo_obs.Jsonb.t -> (Mo_obs.Jsonb.t, string) result
+(** Send a pre-built request object and return the raw response object —
+    the CLI uses this to print full responses. *)
+
+val close : t -> unit

@@ -1,0 +1,318 @@
+open Mo_core
+module J = Mo_obs.Jsonb
+
+type request =
+  | Classify of Forbidden.t
+  | Implies of Forbidden.t * Forbidden.t
+  | Minimize of Forbidden.t list
+  | Witness of Forbidden.t
+  | Stats
+  | Shutdown
+  | Batch of envelope list
+
+and envelope = { id : int; deadline_ms : int option; req : request }
+
+(* ---- JSON helpers ------------------------------------------------ *)
+
+let member key = function J.Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int = function J.Int i -> Some i | _ -> None
+
+let to_str = function J.String s -> Some s | _ -> None
+
+let parse_pred s =
+  match Parse.predicate s with
+  | Ok p -> Ok p
+  | Error e -> Error (Printf.sprintf "cannot parse %S: %s" s e)
+
+(* ---- requests ---------------------------------------------------- *)
+
+let rec envelope_of_json ~allow_batch json =
+  let id =
+    Option.value ~default:0 (Option.bind (member "id" json) to_int)
+  in
+  let fail msg = Error (id, msg) in
+  let deadline_ms = Option.bind (member "deadline_ms" json) to_int in
+  let pred_field key =
+    match Option.bind (member key json) to_str with
+    | None -> Error (id, Printf.sprintf "missing string field %S" key)
+    | Some s -> (
+        match parse_pred s with Ok p -> Ok p | Error e -> Error (id, e))
+  in
+  match Option.bind (member "op" json) to_str with
+  | None -> fail "missing string field \"op\""
+  | Some op -> (
+      let wrap req = Ok { id; deadline_ms; req } in
+      match op with
+      | "classify" ->
+          Result.bind (pred_field "pred") (fun p -> wrap (Classify p))
+      | "witness" ->
+          Result.bind (pred_field "pred") (fun p -> wrap (Witness p))
+      | "implies" ->
+          Result.bind (pred_field "pred") (fun a ->
+              Result.bind (pred_field "pred2") (fun b ->
+                  wrap (Implies (a, b))))
+      | "minimize" -> (
+          match member "preds" json with
+          | Some (J.List items) ->
+              let rec go acc = function
+                | [] -> wrap (Minimize (List.rev acc))
+                | J.String s :: rest -> (
+                    match parse_pred s with
+                    | Ok p -> go (p :: acc) rest
+                    | Error e -> fail e)
+                | _ -> fail "\"preds\" must be a list of strings"
+              in
+              go [] items
+          | _ -> fail "missing list field \"preds\"")
+      | "stats" -> wrap Stats
+      | "shutdown" -> wrap Shutdown
+      | "batch" -> (
+          if not allow_batch then fail "batches do not nest"
+          else
+            match member "reqs" json with
+            | Some (J.List items) ->
+                let rec go acc = function
+                  | [] -> wrap (Batch (List.rev acc))
+                  | item :: rest -> (
+                      match envelope_of_json ~allow_batch:false item with
+                      | Ok env -> go (env :: acc) rest
+                      | Error (sub_id, e) ->
+                          fail
+                            (Printf.sprintf "batch request %d: %s" sub_id e))
+                in
+                go [] items
+            | _ -> fail "missing list field \"reqs\"")
+      | other -> fail (Printf.sprintf "unknown op %S" other))
+
+let request_of_json json = envelope_of_json ~allow_batch:true json
+
+let rec request_to_json { id; deadline_ms; req } =
+  let base = [ ("id", J.Int id) ] in
+  let deadline =
+    match deadline_ms with
+    | None -> []
+    | Some d -> [ ("deadline_ms", J.Int d) ]
+  in
+  let pred p = ("pred", J.String (Forbidden.to_string p)) in
+  let op name rest = J.Obj (base @ [ ("op", J.String name) ] @ rest @ deadline) in
+  match req with
+  | Classify p -> op "classify" [ pred p ]
+  | Witness p -> op "witness" [ pred p ]
+  | Implies (a, b) ->
+      op "implies" [ pred a; ("pred2", J.String (Forbidden.to_string b)) ]
+  | Minimize ps ->
+      op "minimize"
+        [
+          ( "preds",
+            J.List
+              (List.map (fun p -> J.String (Forbidden.to_string p)) ps) );
+        ]
+  | Stats -> op "stats" []
+  | Shutdown -> op "shutdown" []
+  | Batch envs ->
+      op "batch" [ ("reqs", J.List (List.map request_to_json envs)) ]
+
+(* ---- responses --------------------------------------------------- *)
+
+let ok_response ~id payload =
+  J.Obj [ ("id", J.Int id); ("ok", J.Bool true); ("result", payload) ]
+
+let error_response ~id msg =
+  J.Obj [ ("id", J.Int id); ("ok", J.Bool false); ("error", J.String msg) ]
+
+let result_of_response json =
+  match member "ok" json with
+  | Some (J.Bool true) -> (
+      match member "result" json with
+      | Some r -> Ok r
+      | None -> Error "response has no result field")
+  | Some (J.Bool false) -> (
+      match Option.bind (member "error" json) to_str with
+      | Some e -> Error e
+      | None -> Error "request failed (no error message)")
+  | _ -> Error "response has no ok field"
+
+(* ---- result payloads (shared with the CLI --json output) --------- *)
+
+let classify_payload pred =
+  let canonical = Canon.predicate pred in
+  let r = Classify.classify canonical in
+  let implementable, cls =
+    match r.Classify.verdict with
+    | Classify.Not_implementable -> (false, J.Null)
+    | Classify.Implementable c ->
+        (true, J.String (Classify.class_to_string c))
+  in
+  J.Obj
+    [
+      ("predicate", J.String (Forbidden.to_string canonical));
+      ("digest", J.String (Canon.digest pred));
+      ("verdict", J.String (Classify.verdict_to_string r.Classify.verdict));
+      ("implementable", J.Bool implementable);
+      ("class", cls);
+      ("orders", J.List (List.map (fun o -> J.Int o) r.Classify.orders));
+      ("necessity_exact", J.Bool r.Classify.necessity_exact);
+      ( "simplification",
+        J.String
+          (match r.Classify.simplification with
+          | `None -> "none"
+          | `Dropped_tautologies -> "dropped-tautologies"
+          | `Unsatisfiable -> "unsatisfiable") );
+    ]
+
+let implies_payload a b =
+  let ca = Canon.predicate a and cb = Canon.predicate b in
+  let fwd = Implies.check ca cb and bwd = Implies.check cb ca in
+  J.Obj
+    [
+      ("pred", J.String (Forbidden.to_string ca));
+      ("pred2", J.String (Forbidden.to_string cb));
+      ("digest", J.String (Canon.digest a));
+      ("digest2", J.String (Canon.digest b));
+      ("forward", J.Bool fwd);
+      ("backward", J.Bool bwd);
+      ( "relationship",
+        J.String
+          (match Implies.compare_specs ca cb with
+          | `Equivalent -> "equivalent"
+          | `Stronger -> "stronger"
+          | `Weaker -> "weaker"
+          | `Incomparable -> "incomparable") );
+    ]
+
+let witness_payload pred =
+  let canonical = Canon.predicate pred in
+  let base =
+    [
+      ("predicate", J.String (Forbidden.to_string canonical));
+      ("digest", J.String (Canon.digest pred));
+    ]
+  in
+  match Witness.build canonical with
+  | Witness.Witness w ->
+      J.Obj
+        (base
+        @ [
+            ("witness", J.Bool true);
+            ( "limit_class",
+              J.String
+                (Mo_order.Limits.cls_to_string
+                   (Mo_order.Limits.classify w.Witness.run)) );
+            ( "diagram",
+              J.String (Mo_order.Diagram.render_abstract w.Witness.run) );
+          ])
+  | Witness.Cyclic ->
+      J.Obj
+        (base
+        @ [ ("witness", J.Bool false); ("reason", J.String "unsatisfiable") ])
+  | Witness.Conflicting_guards ->
+      J.Obj
+        (base
+        @ [
+            ("witness", J.Bool false);
+            ("reason", J.String "conflicting-guards");
+          ])
+
+let minimize_payload preds =
+  let canonical = Canon.spec (Spec.make ~name:"query" preds) in
+  let minimized = Spec.minimize canonical in
+  J.Obj
+    [
+      ("members", J.Int (List.length preds));
+      ("canonical_members", J.Int (List.length canonical.Spec.predicates));
+      ( "kept",
+        J.List
+          (List.map
+             (fun p -> J.String (Forbidden.to_string p))
+             minimized.Spec.predicates) );
+      ( "dropped",
+        J.Int
+          (List.length canonical.Spec.predicates
+          - List.length minimized.Spec.predicates) );
+      ("digest", J.String (Canon.spec_digest canonical));
+    ]
+
+(* ---- framing ----------------------------------------------------- *)
+
+let default_max_frame = 1 lsl 20
+
+let encode_frame json =
+  let payload = J.to_string json in
+  Printf.sprintf "%d\n%s\n" (String.length payload) payload
+
+let write_frame fd json =
+  let s = encode_frame json in
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write fd b !written (n - !written)
+  done
+
+type reader = {
+  fd : Unix.file_descr;
+  buf : Bytes.t;
+  mutable pos : int;
+  mutable len : int;
+}
+
+let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+
+(* one buffered byte; None at end of stream *)
+let next_byte r =
+  if r.pos < r.len then begin
+    let c = Bytes.get r.buf r.pos in
+    r.pos <- r.pos + 1;
+    Some c
+  end
+  else
+    let n = Unix.read r.fd r.buf 0 (Bytes.length r.buf) in
+    if n = 0 then None
+    else begin
+      r.pos <- 1;
+      r.len <- n;
+      Some (Bytes.get r.buf 0)
+    end
+
+let read_frame ?(max_len = default_max_frame) r =
+  (* header: decimal length terminated by '\n' *)
+  let rec header acc ndigits =
+    if ndigits > 10 then Error "frame header too long"
+    else
+      match next_byte r with
+      | None ->
+          if ndigits = 0 then Ok None else Error "eof inside frame header"
+      | Some '\n' ->
+          if ndigits = 0 then Error "empty frame header" else Ok (Some acc)
+      | Some ('0' .. '9' as c) ->
+          header ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1)
+      | Some c ->
+          Error (Printf.sprintf "bad frame header byte %C" c)
+  in
+  match header 0 0 with
+  | Error e -> Error e
+  | Ok None -> Ok None
+  | Ok (Some n) when n > max_len ->
+      Error (Printf.sprintf "frame of %d bytes exceeds limit %d" n max_len)
+  | Ok (Some n) -> (
+      let payload = Bytes.create n in
+      let rec fill i =
+        if i = n then true
+        else
+          match next_byte r with
+          | None -> false
+          | Some c ->
+              Bytes.set payload i c;
+              fill (i + 1)
+      in
+      if not (fill 0) then Error "eof inside frame payload"
+      else
+        (* consume the trailing newline if present *)
+        match next_byte r with
+        | Some '\n' | None -> (
+            match J.of_string (Bytes.to_string payload) with
+            | Ok json -> Ok (Some json)
+            | Error e -> Error ("bad frame JSON: " ^ e))
+        | Some c ->
+            Error (Printf.sprintf "expected frame terminator, got %C" c))

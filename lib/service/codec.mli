@@ -1,0 +1,81 @@
+(** The mopcd wire codec: length-prefixed JSON frames.
+
+    One frame is [<decimal byte length>\n<payload>\n] where the payload
+    is a compact {!Mo_obs.Jsonb} document. The explicit length makes
+    truncation detectable (a dead client can never leave the server
+    waiting on an unbounded line) and caps the damage of garbage input:
+    oversized or non-numeric headers are rejected before any payload is
+    read.
+
+    Requests and responses are JSON objects. A request carries [id]
+    (echoed back), an [op], optional [deadline_ms], and the op's
+    arguments; a response carries [id], [ok], and either [result] or
+    [error]. The payload builders below are shared verbatim with the
+    CLI's [--json] output, so the two surfaces cannot drift. *)
+
+type request =
+  | Classify of Mo_core.Forbidden.t
+  | Implies of Mo_core.Forbidden.t * Mo_core.Forbidden.t
+  | Minimize of Mo_core.Forbidden.t list
+  | Witness of Mo_core.Forbidden.t
+  | Stats
+  | Shutdown
+  | Batch of envelope list
+      (** Independent sub-requests answered in order; cache misses are
+          sharded over the worker pool. Batches do not nest. *)
+
+and envelope = { id : int; deadline_ms : int option; req : request }
+
+val request_of_json :
+  Mo_obs.Jsonb.t -> (envelope, int * string) result
+(** Parse a request object. On error the [int] is the request's [id]
+    when one could be extracted (so the error response can still be
+    correlated), [0] otherwise. *)
+
+val request_to_json : envelope -> Mo_obs.Jsonb.t
+
+(** {1 Responses} *)
+
+val ok_response : id:int -> Mo_obs.Jsonb.t -> Mo_obs.Jsonb.t
+
+val error_response : id:int -> string -> Mo_obs.Jsonb.t
+
+val result_of_response :
+  Mo_obs.Jsonb.t -> (Mo_obs.Jsonb.t, string) result
+(** Extract [result] from an [ok] response, or the [error] message. *)
+
+(** {1 Result payloads} — shared by the service and the CLI [--json]. *)
+
+val classify_payload : Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
+(** Canonical predicate, digest, verdict, protocol class, cycle orders,
+    [necessity_exact] and the simplification outcome. The rendering is
+    of the {e canonical} form, so alpha-equivalent inputs produce
+    byte-identical payloads — the invariant the decision cache relies
+    on. *)
+
+val implies_payload : Mo_core.Forbidden.t -> Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
+
+val witness_payload : Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
+
+val minimize_payload : Mo_core.Forbidden.t list -> Mo_obs.Jsonb.t
+
+(** {1 Framing} *)
+
+val default_max_frame : int
+(** 1 MiB. *)
+
+val encode_frame : Mo_obs.Jsonb.t -> string
+
+val write_frame : Unix.file_descr -> Mo_obs.Jsonb.t -> unit
+(** Write a whole frame; retries partial writes. *)
+
+type reader
+(** Buffered frame reader over a file descriptor. *)
+
+val reader : Unix.file_descr -> reader
+
+val read_frame :
+  ?max_len:int -> reader -> (Mo_obs.Jsonb.t option, string) result
+(** [Ok None] on end-of-stream at a frame boundary; [Error _] on a
+    malformed header, an oversized frame ([max_len], default
+    {!default_max_frame}), bad JSON, or EOF mid-frame. *)

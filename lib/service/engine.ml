@@ -1,0 +1,192 @@
+open Mo_core
+module J = Mo_obs.Jsonb
+module Metrics = Mo_obs.Metrics
+
+type t = {
+  cache : J.t Cache.t;
+  reg : Metrics.t;
+  pool : Mo_par.Pool.t;
+  clock : unit -> float;
+  c_requests : Metrics.counter;
+  c_errors : Metrics.counter;
+  c_deadline : Metrics.counter;
+  c_batches : Metrics.counter;
+}
+
+let create ?(cache_capacity = 4096) ?registry ?pool ?clock () =
+  let reg = match registry with Some r -> r | None -> Metrics.create () in
+  let pool = match pool with Some p -> p | None -> Mo_par.Pool.create () in
+  let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
+  {
+    cache = Cache.create ~capacity:cache_capacity ~registry:reg ();
+    reg;
+    pool;
+    clock;
+    c_requests =
+      Metrics.counter reg ~help:"requests admitted" "svc.requests";
+    c_errors =
+      Metrics.counter reg ~help:"requests answered with an error"
+        "svc.errors";
+    c_deadline =
+      Metrics.counter reg ~help:"requests rejected past their deadline"
+        "svc.deadline_expired";
+    c_batches = Metrics.counter reg ~help:"batch requests" "svc.batches";
+  }
+
+let registry t = t.reg
+
+let cache_stats t =
+  J.Obj
+    [
+      ("capacity", J.Int (Cache.capacity t.cache));
+      ("size", J.Int (Cache.size t.cache));
+      ("hits", J.Int (Cache.hits t.cache));
+      ("misses", J.Int (Cache.misses t.cache));
+      ("evictions", J.Int (Cache.evictions t.cache));
+    ]
+
+let stats_payload t =
+  J.Obj
+    [ ("cache", cache_stats t); ("metrics", Metrics.to_json t.reg) ]
+
+(* cache key and pure payload thunk of a cacheable request *)
+let cacheable (req : Codec.request) =
+  match req with
+  | Codec.Classify p ->
+      Some
+        ("c:" ^ Canon.digest p, fun () -> Codec.classify_payload p)
+  | Codec.Witness p ->
+      Some ("w:" ^ Canon.digest p, fun () -> Codec.witness_payload p)
+  | Codec.Implies (a, b) ->
+      Some
+        ( "i:" ^ Canon.digest a ^ ":" ^ Canon.digest b,
+          fun () -> Codec.implies_payload a b )
+  | Codec.Minimize ps ->
+      Some
+        ( "m:" ^ Canon.spec_digest (Spec.make ~name:"query" ps),
+          fun () -> Codec.minimize_payload ps )
+  | Codec.Stats | Codec.Shutdown | Codec.Batch _ -> None
+
+(* admission: None when the request may proceed, Some response when it
+   is already past its deadline relative to its arrival time *)
+let check_deadline t ~received (env : Codec.envelope) =
+  match env.Codec.deadline_ms with
+  | None -> None
+  | Some d ->
+      if (t.clock () -. received) *. 1000. > float_of_int d then begin
+        Metrics.inc t.c_deadline;
+        Metrics.inc t.c_errors;
+        Some
+          (Codec.error_response ~id:env.Codec.id
+             (Printf.sprintf "deadline of %d ms exceeded" d))
+      end
+      else None
+
+(* what the sequential admission pass decides about one envelope *)
+type admitted =
+  | Done of J.t (* response already known *)
+  | Miss of int * string * (unit -> J.t) (* id, key, pure compute *)
+
+let admit t ~received (env : Codec.envelope) =
+  Metrics.inc t.c_requests;
+  match check_deadline t ~received env with
+  | Some resp -> Done resp
+  | None -> (
+      let id = env.Codec.id in
+      match env.Codec.req with
+      | Codec.Stats -> Done (Codec.ok_response ~id (stats_payload t))
+      | Codec.Shutdown ->
+          Done (Codec.ok_response ~id (J.Obj [ ("shutdown", J.Bool true) ]))
+      | Codec.Batch _ ->
+          Metrics.inc t.c_errors;
+          Done (Codec.error_response ~id "batches do not nest")
+      | req -> (
+          match cacheable req with
+          | None ->
+              Metrics.inc t.c_errors;
+              Done (Codec.error_response ~id "unsupported request")
+          | Some (key, compute) -> (
+              match Cache.find t.cache key with
+              | Some payload -> Done (Codec.ok_response ~id payload)
+              | None -> Miss (id, key, compute))))
+
+(* guard a pure compute so a bad predicate can never kill the server *)
+let run_compute compute =
+  try Ok (compute ()) with e -> Error (Printexc.to_string e)
+
+let finish_miss t ~id ~key result =
+  match result with
+  | Ok payload ->
+      Cache.put t.cache key payload;
+      Codec.ok_response ~id payload
+  | Error msg ->
+      Metrics.inc t.c_errors;
+      Codec.error_response ~id ("internal error: " ^ msg)
+
+let handle_batch t ~received envs =
+  Metrics.inc t.c_batches;
+  let admitted = List.map (admit t ~received) envs in
+  (* distinct missing keys, in first-occurrence order *)
+  let distinct = Hashtbl.create 16 in
+  let miss_keys = ref [] in
+  List.iter
+    (function
+      | Done _ -> ()
+      | Miss (_, key, compute) ->
+          if not (Hashtbl.mem distinct key) then begin
+            Hashtbl.replace distinct key compute;
+            miss_keys := key :: !miss_keys
+          end)
+    admitted;
+  let miss_keys = Array.of_list (List.rev !miss_keys) in
+  let results =
+    Mo_par.Pool.map t.pool (Array.length miss_keys) ~f:(fun i ->
+        run_compute (Hashtbl.find distinct miss_keys.(i)))
+  in
+  let computed = Hashtbl.create 16 in
+  Array.iteri
+    (fun i result ->
+      (match result with
+      | Ok payload -> Cache.put t.cache miss_keys.(i) payload
+      | Error _ -> ());
+      Hashtbl.replace computed miss_keys.(i) result)
+    results;
+  List.map
+    (function
+      | Done resp -> resp
+      | Miss (id, key, _) -> (
+          match Hashtbl.find_opt computed key with
+          | Some (Ok payload) -> Codec.ok_response ~id payload
+          | Some (Error msg) ->
+              Metrics.inc t.c_errors;
+              Codec.error_response ~id ("internal error: " ^ msg)
+          | None ->
+              Metrics.inc t.c_errors;
+              Codec.error_response ~id "internal error: result lost"))
+    admitted
+
+let handle t ?received (env : Codec.envelope) =
+  let received =
+    match received with Some r -> r | None -> t.clock ()
+  in
+  match env.Codec.req with
+  | Codec.Batch envs -> (
+      match check_deadline t ~received env with
+      | Some resp -> resp
+      | None ->
+          Metrics.inc t.c_requests;
+          let responses = handle_batch t ~received envs in
+          Codec.ok_response ~id:env.Codec.id
+            (J.Obj [ ("responses", J.List responses) ]))
+  | _ -> (
+      match admit t ~received env with
+      | Done resp -> resp
+      | Miss (id, key, compute) ->
+          finish_miss t ~id ~key (run_compute compute))
+
+let handle_json t ?received json =
+  match Codec.request_of_json json with
+  | Ok env -> handle t ?received env
+  | Error (id, msg) ->
+      Metrics.inc t.c_errors;
+      Codec.error_response ~id msg

@@ -1,0 +1,51 @@
+(** The request engine: canonicalize, consult the cache, compute, reply.
+
+    Transport-free core of mopcd — the server feeds it parsed request
+    envelopes, the tests and the B13 bench drive it directly. Every
+    cacheable endpoint goes through the same funnel:
+
+    {v input predicate(s) → Canon digest → LRU lookup → payload v}
+
+    so the response to a request is a pure function of the
+    alpha-equivalence class of its arguments, and hit/miss counters are
+    a pure function of the request stream (the property the bench gate
+    pins). [stats] and [shutdown] are never cached.
+
+    Batches: sub-requests are admitted (deadline check, cache lookup) in
+    order on the caller's domain; the payloads of the distinct missing
+    keys are then computed in parallel over the worker pool and inserted
+    in first-occurrence order. Responses are therefore byte-identical
+    for every job count. *)
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?registry:Mo_obs.Metrics.t ->
+  ?pool:Mo_par.Pool.t ->
+  ?clock:(unit -> float) ->
+  unit ->
+  t
+(** [cache_capacity] defaults to 4096 entries (0 disables caching);
+    [registry] to a fresh one; [pool] to a default {!Mo_par.Pool};
+    [clock] (seconds, used only for deadlines) to [Unix.gettimeofday] —
+    injectable so deadline behaviour is testable. *)
+
+val registry : t -> Mo_obs.Metrics.t
+
+val cache_stats : t -> Mo_obs.Jsonb.t
+(** [{capacity; size; hits; misses; evictions}]. *)
+
+val handle : t -> ?received:float -> Codec.envelope -> Mo_obs.Jsonb.t
+(** The response (an [ok]/[error] object echoing the request id).
+    [received] is the request's arrival time on the engine clock
+    (default: [clock ()] at entry — the server passes the moment the
+    frame was read, so queueing delay counts against the deadline). A
+    request whose [deadline_ms] has already elapsed since [received]
+    when admitted is rejected with an error response; a [Shutdown]
+    request is answered [ok] (stopping the accept loop is the server's
+    job). Never raises on any input. *)
+
+val handle_json : t -> ?received:float -> Mo_obs.Jsonb.t -> Mo_obs.Jsonb.t
+(** Parse and handle; a request that does not parse yields an error
+    response rather than an exception. *)

@@ -1,0 +1,104 @@
+type config = {
+  socket_path : string;
+  cache_capacity : int;
+  jobs : int option;
+  max_frame : int;
+  recv_timeout_s : float;
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    cache_capacity = 4096;
+    jobs = None;
+    max_frame = Codec.default_max_frame;
+    recv_timeout_s = 10.;
+  }
+
+let log fmt =
+  Printf.ksprintf (fun s -> Printf.eprintf "mopcd: %s\n%!" s) fmt
+
+(* serve one connection; returns [true] when a shutdown was requested *)
+let serve_connection cfg engine conn =
+  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.recv_timeout_s
+   with Unix.Unix_error _ -> ());
+  let r = Codec.reader conn in
+  let shutdown = ref false in
+  let rec loop () =
+    match Codec.read_frame ~max_len:cfg.max_frame r with
+    | Ok None -> ()
+    | Error e ->
+        (* framing is broken: answer if possible, then hang up *)
+        (try Codec.write_frame conn (Codec.error_response ~id:0 e)
+         with Unix.Unix_error _ | Sys_error _ -> ());
+        log "closing connection: %s" e
+    | Ok (Some json) ->
+        let received = Unix.gettimeofday () in
+        let is_shutdown =
+          match Codec.request_of_json json with
+          | Ok { Codec.req = Codec.Shutdown; _ } -> true
+          | _ -> false
+        in
+        Codec.write_frame conn (Engine.handle_json engine ~received json);
+        if is_shutdown then shutdown := true else loop ()
+  in
+  (try loop () with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      log "closing connection: read timeout"
+  | Unix.Unix_error (e, _, _) ->
+      log "closing connection: %s" (Unix.error_message e)
+  | Sys_error e -> log "closing connection: %s" e);
+  (try Unix.close conn with Unix.Unix_error _ -> ());
+  !shutdown
+
+let run ?engine ?(on_ready = fun () -> ()) cfg =
+  let engine =
+    match engine with
+    | Some e -> e
+    | None ->
+        let pool =
+          match cfg.jobs with
+          | Some j -> Mo_par.Pool.create ~jobs:j ()
+          | None -> Mo_par.Pool.create ()
+        in
+        Engine.create ~cache_capacity:cfg.cache_capacity ~pool ()
+  in
+  let stop = ref false in
+  let previous =
+    List.map
+      (fun sg ->
+        (sg, Sys.signal sg (Sys.Signal_handle (fun _ -> stop := true))))
+      [ Sys.sigint; Sys.sigterm ]
+  in
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let cleanup () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+    List.iter (fun (sg, h) -> Sys.set_signal sg h) previous;
+    Sys.set_signal Sys.sigpipe prev_pipe
+  in
+  (try
+     if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
+     Unix.listen fd 64
+   with e ->
+     cleanup ();
+     raise e);
+  on_ready ();
+  while not !stop do
+    match Unix.select [ fd ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+        match Unix.accept fd with
+        | conn, _ ->
+            if
+              try serve_connection cfg engine conn
+              with e ->
+                log "connection handler died: %s" (Printexc.to_string e);
+                false
+            then stop := true
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  cleanup ()

@@ -1,0 +1,38 @@
+(** The mopcd accept loop: a Unix-domain socket in front of {!Engine}.
+
+    One dispatch thread of control: connections are accepted and served
+    in order, each as a sequence of frames (see {!Codec}). This keeps
+    every cache and counter update on one domain — parallelism lives
+    inside the engine's batch path, where it cannot perturb the
+    deterministic accounting.
+
+    Failure containment, in decreasing severity:
+    - a frame that does not parse as JSON, or a request with a bad op or
+      predicate, gets an error {e response} and the connection lives on;
+    - a framing error (bad header, oversized frame, EOF mid-frame) or a
+      read timeout closes that {e connection} — the byte stream can no
+      longer be trusted;
+    - nothing short of a signal stops the {e server}: per-connection
+      exceptions are caught and logged to stderr.
+
+    Graceful shutdown on SIGINT/SIGTERM or a [shutdown] request: the
+    in-flight connection is finished, the listening socket is closed and
+    the socket file unlinked. *)
+
+type config = {
+  socket_path : string;
+  cache_capacity : int;  (** decision cache entries; 0 disables *)
+  jobs : int option;  (** worker domains; [None] = pool default *)
+  max_frame : int;  (** reject larger request frames *)
+  recv_timeout_s : float;  (** per-read timeout on connections *)
+}
+
+val default_config : socket_path:string -> config
+(** 4096 cache entries, default pool, 1 MiB frames, 10 s read timeout. *)
+
+val run : ?engine:Engine.t -> ?on_ready:(unit -> unit) -> config -> unit
+(** Bind, listen, serve until shutdown; then clean up the socket file.
+    [on_ready] fires once the socket is accepting (the daemon prints its
+    ready line from here). [engine] defaults to a fresh one built from
+    the config — injectable for tests.
+    @raise Unix.Unix_error if the socket cannot be bound. *)

@@ -1,5 +1,13 @@
 open Mo_order
 
+type error = { line : int; reason : string }
+
+let error_to_string e =
+  if e.line = 0 then e.reason
+  else Printf.sprintf "line %d: %s" e.line e.reason
+
+let max_msg_id = 1_000_000
+
 let to_string run =
   let buf = Buffer.create 256 in
   List.iter
@@ -18,12 +26,31 @@ let write path run =
   output_string oc (to_string run);
   close_out oc
 
+(* Parsing proceeds in two passes: a per-line syntactic pass that also
+   validates ids and event uniqueness (so every malformed shape is
+   reported with its line number), then the Run.of_schedule replay,
+   whose residual errors (a message sent but never delivered) are not
+   tied to any one line. *)
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let entries = ref [] in
   let err = ref None in
+  let fail lineno reason =
+    if !err = None then err := Some { line = lineno; reason }
+  in
+  let sent = Hashtbl.create 64 in
+  let delivered = Hashtbl.create 64 in
+  let check_id lineno what m k =
+    if m < 0 then fail lineno (Printf.sprintf "negative %s id %d" what m)
+    else if m > max_msg_id then
+      fail lineno
+        (Printf.sprintf "%s id %d exceeds the %d limit" what m max_msg_id)
+    else k ()
+  in
   List.iteri
-    (fun lineno line ->
+    (fun i line ->
+      let lineno = i + 1 in
       if !err = None then
         let line =
           match String.index_opt line '#' with
@@ -37,27 +64,63 @@ let parse text =
         | [] -> ()
         | [ "send"; m; src; dst ] -> (
             match
-              (int_of_string_opt m, int_of_string_opt src, int_of_string_opt dst)
+              ( int_of_string_opt m,
+                int_of_string_opt src,
+                int_of_string_opt dst )
             with
-            | Some m, Some src, Some dst -> entries := `Send (m, src, dst) :: !entries
-            | _ -> err := Some (Printf.sprintf "line %d: bad send" (lineno + 1)))
+            | Some m, Some src, Some dst ->
+                check_id lineno "message" m (fun () ->
+                    if src < 0 || dst < 0 then
+                      fail lineno "negative process id"
+                    else if Hashtbl.mem sent m then
+                      fail lineno
+                        (Printf.sprintf "message %d sent twice" m)
+                    else begin
+                      Hashtbl.replace sent m ();
+                      entries := `Send (m, src, dst) :: !entries
+                    end)
+            | _ ->
+                fail lineno
+                  "bad send: expected 'send <msg> <src> <dst>' with \
+                   integer fields")
         | [ "deliver"; m ] -> (
             match int_of_string_opt m with
-            | Some m -> entries := `Deliver m :: !entries
-            | None -> err := Some (Printf.sprintf "line %d: bad deliver" (lineno + 1)))
-        | _ -> err := Some (Printf.sprintf "line %d: unrecognized entry" (lineno + 1)))
+            | Some m ->
+                check_id lineno "message" m (fun () ->
+                    if not (Hashtbl.mem sent m) then
+                      fail lineno
+                        (Printf.sprintf
+                           "message %d delivered before (or without) its \
+                            send"
+                           m)
+                    else if Hashtbl.mem delivered m then
+                      fail lineno
+                        (Printf.sprintf "message %d delivered twice" m)
+                    else begin
+                      Hashtbl.replace delivered m ();
+                      entries := `Deliver m :: !entries
+                    end)
+            | None ->
+                fail lineno
+                  "bad deliver: expected 'deliver <msg>' with an integer \
+                   field")
+        | _ ->
+            fail lineno
+              "unrecognized entry: expected 'send <msg> <src> <dst>' or \
+               'deliver <msg>'")
     lines;
   match !err with
   | Some e -> Error e
-  | None ->
+  | None -> (
       let entries = List.rev !entries in
       let sends =
         List.filter_map
-          (function `Send (m, s, d) -> Some (m, (s, d)) | `Deliver _ -> None)
+          (function
+            | `Send (m, s, d) -> Some (m, (s, d)) | `Deliver _ -> None)
           entries
       in
       let nmsgs = List.fold_left (fun acc (m, _) -> max acc (m + 1)) 0 sends in
-      let msgs = Array.make nmsgs (0, 0) in
+      let msgs = Array.make (max nmsgs 0) (0, 0) in
       List.iter (fun (m, sd) -> msgs.(m) <- sd) sends;
       let nprocs =
         Array.fold_left (fun acc (s, d) -> max acc (max s d + 1)) 1 msgs
@@ -69,11 +132,17 @@ let parse text =
             | `Deliver m -> Run.Do_deliver m)
           entries
       in
-      Run.of_schedule ~nprocs ~msgs sched
+      match Run.of_schedule ~nprocs ~msgs sched with
+      | Ok run -> Ok run
+      | Error reason -> Error { line = 0; reason })
 
 let read path =
-  let ic = open_in path in
-  let n = in_channel_length ic in
-  let text = really_input_string ic n in
-  close_in ic;
-  parse text
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text -> parse text
+  | exception Sys_error e -> Error { line = 0; reason = e }

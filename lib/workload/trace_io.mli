@@ -10,15 +10,36 @@
     gives back a {!Mo_order.Run.t}. The serialized order is a linear
     extension of the run (per-process order and send-before-delivery are
     preserved), so feeding it to the online monitor reproduces the run's
-    verdicts. *)
+    verdicts.
+
+    Parsing is total: truncated, garbage or adversarial input (negative
+    or absurd message ids, duplicate events, deliveries of unsent
+    messages) yields a typed {!error} naming the offending line — it
+    never raises and never allocates proportionally to a claimed id. *)
+
+type error = {
+  line : int;
+      (** 1-based line the error was detected on; [0] for whole-trace
+          errors (an unreadable file, a message sent but never
+          delivered). *)
+  reason : string;
+}
+
+val error_to_string : error -> string
+(** ["line N: reason"], or just the reason when [line = 0]. *)
+
+val max_msg_id : int
+(** Upper bound on accepted message ids — a sanity cap so a garbage
+    line like [send 999999999999 0 0] is rejected instead of sizing an
+    array to it. *)
 
 val to_string : Mo_order.Run.t -> string
 
 val write : string -> Mo_order.Run.t -> unit
 (** [write path run]. *)
 
-val parse : string -> (Mo_order.Run.t, string) result
+val parse : string -> (Mo_order.Run.t, error) result
 (** Parse trace text (not a path). *)
 
-val read : string -> (Mo_order.Run.t, string) result
-(** [read path]. *)
+val read : string -> (Mo_order.Run.t, error) result
+(** [read path]. An unreadable file is an [error] with [line = 0]. *)

@@ -1,0 +1,340 @@
+(* The mopcd service stack, transport layer by transport layer: frame
+   codec (roundtrip, truncation, garbage headers), LRU decision cache
+   (hit/miss/eviction accounting), and the request engine (canonical
+   cache keying, deadline admission with an injected clock, malformed
+   requests answered — never raised — and batch responses byte-identical
+   for every job count). *)
+
+module J = Mo_obs.Jsonb
+module Codec = Mo_service.Codec
+module Cache = Mo_service.Cache
+module Engine = Mo_service.Engine
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let pred = Mo_core.Parse.predicate_exn
+let causal = "x.s < y.s & y.r < x.r"
+let fifo = "x.s < y.s & y.r < x.r & src(x) = src(y)"
+
+(* ---- framing ---- *)
+
+let with_pipe f =
+  let rd, wr = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close rd with Unix.Unix_error _ -> ());
+      try Unix.close wr with Unix.Unix_error _ -> ())
+    (fun () -> f rd wr)
+
+let test_frame_roundtrip () =
+  with_pipe (fun rd wr ->
+      let docs =
+        [
+          J.Obj [ ("id", J.Int 1); ("op", J.String "stats") ];
+          J.Obj [ ("id", J.Int 2); ("pred", J.String causal) ];
+          J.List [ J.Int 1; J.Null; J.String "x\ny" ];
+        ]
+      in
+      List.iter (Codec.write_frame wr) docs;
+      Unix.close wr;
+      let r = Codec.reader rd in
+      List.iter
+        (fun doc ->
+          match Codec.read_frame r with
+          | Ok (Some got) ->
+              check_string "frame" (J.to_string doc) (J.to_string got)
+          | Ok None -> Alcotest.fail "premature end of stream"
+          | Error e -> Alcotest.fail e)
+        docs;
+      match Codec.read_frame r with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "phantom frame"
+      | Error e -> Alcotest.fail ("clean EOF reported as: " ^ e))
+
+let write_all fd s =
+  ignore (Unix.write_substring fd s 0 (String.length s))
+
+let expect_frame_error name text =
+  with_pipe (fun rd wr ->
+      write_all wr text;
+      Unix.close wr;
+      match Codec.read_frame (Codec.reader rd) with
+      | Error _ -> ()
+      | Ok None -> Alcotest.fail (name ^ ": reported clean EOF")
+      | Ok (Some _) -> Alcotest.fail (name ^ ": accepted"))
+
+let test_frame_malformed () =
+  expect_frame_error "garbage header" "notanumber\n{}\n";
+  expect_frame_error "negative length" "-4\n{}\n";
+  expect_frame_error "truncated payload" "100\n{\"id\":1}";
+  expect_frame_error "bad json" "9\nnot json!\n";
+  expect_frame_error "unterminated header" "123";
+  (* an oversized declared length is rejected from the header alone *)
+  expect_frame_error "oversized frame"
+    (string_of_int (Codec.default_max_frame + 1) ^ "\n")
+
+let test_frame_max_len () =
+  with_pipe (fun rd wr ->
+      let doc = J.Obj [ ("blob", J.String (String.make 64 'a')) ] in
+      write_all wr (Codec.encode_frame doc);
+      Unix.close wr;
+      match Codec.read_frame ~max_len:16 (Codec.reader rd) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "frame above max_len accepted")
+
+(* ---- cache ---- *)
+
+let test_cache_lru () =
+  let reg = Mo_obs.Metrics.create () in
+  let c = Cache.create ~capacity:2 ~registry:reg () in
+  check_bool "empty miss" true (Cache.find c "a" = None);
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  check_bool "a hit" true (Cache.find c "a" = Some 1);
+  (* "b" is now least-recently-used; inserting "c" evicts it *)
+  Cache.put c "c" 3;
+  check_bool "b evicted" true (Cache.find c "b" = None);
+  check_bool "a survives" true (Cache.find c "a" = Some 1);
+  check_bool "c present" true (Cache.find c "c" = Some 3);
+  check_int "hits" 3 (Cache.hits c);
+  check_int "misses" 2 (Cache.misses c);
+  check_int "evictions" 1 (Cache.evictions c);
+  check_int "size" 2 (Cache.size c);
+  check_int "registry hits" 3
+    (Option.value ~default:(-1) (Mo_obs.Metrics.value reg "svc.cache_hits"));
+  check_int "registry evictions" 1
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value reg "svc.cache_evictions"))
+
+let test_cache_disabled () =
+  let c = Cache.create ~capacity:0 () in
+  Cache.put c "a" 1;
+  check_bool "nothing stored" true (Cache.find c "a" = None);
+  check_int "size" 0 (Cache.size c);
+  check_int "misses" 1 (Cache.misses c)
+
+(* ---- engine ---- *)
+
+let envelope ?deadline_ms ?(id = 1) req =
+  { Codec.id; deadline_ms; req }
+
+let ok_result resp =
+  match Codec.result_of_response resp with
+  | Ok payload -> payload
+  | Error e -> Alcotest.fail ("error response: " ^ e)
+
+let field name = function
+  | J.Obj fields -> List.assoc name fields
+  | _ -> Alcotest.fail "payload is not an object"
+
+let test_engine_cache_keying () =
+  let t = Engine.create ~cache_capacity:16 () in
+  let r1 =
+    ok_result (Engine.handle t (envelope (Codec.Classify (pred causal))))
+  in
+  (* an alpha-renaming of the same predicate must hit the same entry
+     and produce the byte-identical payload *)
+  let r2 =
+    ok_result
+      (Engine.handle t
+         (envelope ~id:2 (Codec.Classify (pred "a.s < b.s & b.r < a.r"))))
+  in
+  check_string "alpha-equivalent payloads" (J.to_string r1) (J.to_string r2);
+  check_int "one miss" 1
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_misses"));
+  check_int "one hit" 1
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"));
+  check_bool "implementable" true
+    (field "implementable" r1 = J.Bool true);
+  match field "class" r1 with
+  | J.String c -> check_string "class" "tagged" c
+  | _ -> Alcotest.fail "class is not a string"
+
+let test_engine_malformed () =
+  let t = Engine.create () in
+  let reject name json =
+    match Engine.handle_json t json with
+    | J.Obj fields ->
+        check_bool (name ^ ": ok=false") true
+          (List.assoc "ok" fields = J.Bool false)
+    | _ -> Alcotest.fail (name ^ ": response is not an object")
+  in
+  reject "not an object" (J.List []);
+  reject "no op" (J.Obj [ ("id", J.Int 3) ]);
+  reject "unknown op" (J.Obj [ ("id", J.Int 3); ("op", J.String "frob") ]);
+  reject "bad predicate"
+    (J.Obj
+       [ ("id", J.Int 3); ("op", J.String "classify");
+         ("pred", J.String "x.s <") ]);
+  reject "implies missing arg"
+    (J.Obj
+       [ ("id", J.Int 3); ("op", J.String "implies");
+         ("pred", J.String causal) ])
+
+let test_engine_deadline () =
+  let now = ref 0. in
+  let t = Engine.create ~clock:(fun () -> !now) () in
+  let req = Codec.Classify (pred causal) in
+  (* a deadline in the future is admitted... *)
+  (match
+     Codec.result_of_response
+       (Engine.handle t (envelope ~deadline_ms:50 req))
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("live deadline rejected: " ^ e));
+  (* ...but when 10 s pass between arrival and admission, a 50 ms
+     deadline has lapsed: rejected without being computed, while its
+     undeadlined batch sibling is unaffected *)
+  now := 10.;
+  let batch =
+    Codec.Batch
+      [ envelope ~id:7 ~deadline_ms:50 req; envelope ~id:8 req ]
+  in
+  match ok_result (Engine.handle t ~received:0. (envelope ~id:9 batch)) with
+  | payload -> (
+      match field "responses" payload with
+      | J.List [ first; second ] ->
+          (match Codec.result_of_response first with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "expired deadline admitted");
+          (match Codec.result_of_response second with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail ("undeadlined sibling failed: " ^ e));
+          check_int "deadline counter" 1
+            (Option.value ~default:(-1)
+               (Mo_obs.Metrics.value (Engine.registry t)
+                  "svc.deadline_expired"))
+      | _ -> Alcotest.fail "batch did not return two responses")
+
+let batch_workload () =
+  let preds =
+    [
+      causal; fifo; "a.s < b.s & b.r < a.r" (* causal, renamed *);
+      "x.s < y.r"; "x.r < x.s"; "x.s < y.r & y.s < x.r";
+    ]
+  in
+  List.concat_map
+    (fun p ->
+      [
+        envelope ~id:0 (Codec.Classify (pred p));
+        envelope ~id:0 (Codec.Witness (pred p));
+      ])
+    preds
+  @ [
+      envelope ~id:0 (Codec.Implies (pred fifo, pred causal));
+      envelope ~id:0 (Codec.Minimize [ pred fifo; pred causal ]);
+    ]
+  |> List.mapi (fun i e -> { e with Codec.id = i + 1 })
+
+let run_batch ~jobs =
+  let pool = Mo_par.Pool.create ~jobs () in
+  let t = Engine.create ~pool () in
+  let resp =
+    Engine.handle t (envelope ~id:99 (Codec.Batch (batch_workload ())))
+  in
+  (J.to_string resp, Engine.cache_stats t)
+
+let test_batch_determinism () =
+  let r1, s1 = run_batch ~jobs:1 in
+  let r2, s2 = run_batch ~jobs:2 in
+  let r4, s4 = run_batch ~jobs:4 in
+  check_string "jobs 1 = jobs 2" r1 r2;
+  check_string "jobs 1 = jobs 4" r1 r4;
+  (* hit/miss accounting is part of the contract, not just payloads *)
+  check_string "stats jobs 1 = jobs 2" (J.to_string s1) (J.to_string s2);
+  check_string "stats jobs 1 = jobs 4" (J.to_string s1) (J.to_string s4)
+
+let test_payload_shapes () =
+  let t = Engine.create () in
+  let imp =
+    ok_result
+      (Engine.handle t
+         (envelope (Codec.Implies (pred fifo, pred causal))))
+  in
+  (* B_fifo adds a guard to B_causal's cycle, so B_fifo ⟹ B_causal
+     (and X_causal ⊆ X_fifo), but not conversely *)
+  check_bool "fifo pattern implies causal pattern" true
+    (field "forward" imp = J.Bool true);
+  check_bool "converse fails" true (field "backward" imp = J.Bool false);
+  let wit =
+    ok_result (Engine.handle t (envelope ~id:2 (Codec.Witness (pred causal))))
+  in
+  check_bool "causal has a witness" true (field "witness" wit = J.Bool true);
+  let min_ =
+    ok_result
+      (Engine.handle t
+         (envelope ~id:3 (Codec.Minimize [ pred fifo; pred causal ])))
+  in
+  (match field "kept" min_ with
+  | J.List kept -> check_bool "minimize kept >= 1" true (List.length kept >= 1)
+  | _ -> Alcotest.fail "kept is not a list");
+  let stats = ok_result (Engine.handle t (envelope ~id:4 Codec.Stats)) in
+  match field "cache" stats with
+  | J.Obj fields -> check_bool "cache stats" true (List.mem_assoc "hits" fields)
+  | _ -> Alcotest.fail "stats payload lacks a cache object"
+
+let test_request_json_roundtrip () =
+  let reqs =
+    [
+      envelope ~id:1 (Codec.Classify (pred causal));
+      envelope ~id:2 ~deadline_ms:250 (Codec.Implies (pred fifo, pred causal));
+      envelope ~id:3 (Codec.Minimize [ pred fifo; pred causal ]);
+      envelope ~id:4 (Codec.Witness (pred fifo));
+      envelope ~id:5 Codec.Stats;
+      envelope ~id:6 Codec.Shutdown;
+      envelope ~id:7
+        (Codec.Batch
+           [ envelope ~id:8 (Codec.Classify (pred causal));
+             envelope ~id:9 Codec.Stats ]);
+    ]
+  in
+  List.iter
+    (fun e ->
+      match Codec.request_of_json (Codec.request_to_json e) with
+      | Ok e' ->
+          check_string
+            (Printf.sprintf "request %d" e.Codec.id)
+            (J.to_string (Codec.request_to_json e))
+            (J.to_string (Codec.request_to_json e'))
+      | Error (_, msg) -> Alcotest.fail msg)
+    reqs;
+  (* batches do not nest *)
+  let nested =
+    Codec.request_to_json
+      (envelope ~id:1
+         (Codec.Batch [ envelope ~id:2 (Codec.Batch []) ]))
+  in
+  match Codec.request_of_json nested with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "nested batch accepted"
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "malformed frames" `Quick test_frame_malformed;
+          Alcotest.test_case "max_len" `Quick test_frame_max_len;
+          Alcotest.test_case "request json roundtrip" `Quick
+            test_request_json_roundtrip;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru accounting" `Quick test_cache_lru;
+          Alcotest.test_case "capacity 0" `Quick test_cache_disabled;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "canonical cache keying" `Quick
+            test_engine_cache_keying;
+          Alcotest.test_case "malformed requests" `Quick test_engine_malformed;
+          Alcotest.test_case "deadlines" `Quick test_engine_deadline;
+          Alcotest.test_case "batch determinism" `Quick
+            test_batch_determinism;
+          Alcotest.test_case "payload shapes" `Quick test_payload_shapes;
+        ] );
+    ]

@@ -2,6 +2,7 @@ open Mo_order
 open Mo_workload
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"trace roundtrip preserves the run" ~count:120
@@ -40,29 +41,65 @@ let test_simulator_bridge () =
             (Run.Abstract.equal (Run.to_abstract r) (Run.to_abstract r'))
       | Error e ->
           Sys.remove path;
-          Alcotest.fail e)
+          Alcotest.fail (Trace_io.error_to_string e))
   | Ok _ -> Alcotest.fail "not live"
   | Error e -> Alcotest.fail e
 
-let test_parse_errors () =
+(* every malformed shape is rejected with a typed error naming the
+   offending line — and never an exception *)
+let malformed_shapes =
+  [
+    ("truncated send", "send 0 0\ndeliver 0\n", 1);
+    ("bare deliver", "send 0 0 1\ndeliver\n", 2);
+    ("non-integer field", "send a 0 1\n", 1);
+    ("unknown keyword", "send 0 0 1\nfrobnicate 3\n", 2);
+    ("deliver before send", "deliver 0\nsend 0 0 1\n", 1);
+    ("deliver without send", "send 0 0 1\ndeliver 0\ndeliver 1\n", 3);
+    ("negative message id", "send -2 0 1\n", 1);
+    ("negative process id", "send 0 -1 1\n", 1);
+    ("absurd message id", "send 999999999999 0 1\n", 1);
+    ("duplicate send", "send 0 0 1\nsend 0 1 0\n", 2);
+    ("duplicate deliver", "send 0 0 1\ndeliver 0\ndeliver 0\n", 3);
+  ]
+
+let test_malformed_shapes () =
   List.iter
-    (fun text ->
+    (fun (name, text, expected_line) ->
       match Trace_io.parse text with
-      | Error _ -> ()
-      | Ok _ -> Alcotest.fail ("accepted: " ^ text))
-    [
-      "send 0 0";
-      "deliver";
-      "send a 0 1";
-      "frobnicate 3";
-      "deliver 0" (* delivery before any send *);
-    ]
+      | Ok _ -> Alcotest.fail (name ^ ": accepted")
+      | Error e -> check_int (name ^ ": line") expected_line e.Trace_io.line)
+    malformed_shapes
+
+let test_incomplete_trace () =
+  (* sent but never delivered: a whole-trace error, line 0 *)
+  match Trace_io.parse "send 0 0 1\n" with
+  | Ok _ -> Alcotest.fail "accepted incomplete trace"
+  | Error e -> check_int "line" 0 e.Trace_io.line
+
+let test_sparse_ids () =
+  (* ids must be dense: id 5 with no 0..4 cannot build a run *)
+  match Trace_io.parse "send 5 0 1\ndeliver 5\n" with
+  | Ok _ -> Alcotest.fail "accepted sparse ids"
+  | Error e -> check_int "line" 0 e.Trace_io.line
+
+let test_unreadable_file () =
+  match Trace_io.read "/nonexistent/mopc-trace.txt" with
+  | Ok _ -> Alcotest.fail "read a nonexistent file"
+  | Error e -> check_int "line" 0 e.Trace_io.line
 
 let test_comments_and_blanks () =
   let text = "# a comment\n\nsend 0 0 1\n  # indented\ndeliver 0\n" in
   match Trace_io.parse text with
   | Ok r -> check_bool "one message" true (Run.nmsgs r = 1)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Trace_io.error_to_string e)
+
+let test_error_to_string () =
+  Alcotest.(check string)
+    "with line" "line 3: boom"
+    (Trace_io.error_to_string { Trace_io.line = 3; reason = "boom" });
+  Alcotest.(check string)
+    "without line" "boom"
+    (Trace_io.error_to_string { Trace_io.line = 0; reason = "boom" })
 
 let () =
   Alcotest.run "trace_io"
@@ -70,8 +107,12 @@ let () =
       ( "unit",
         [
           Alcotest.test_case "simulator bridge" `Quick test_simulator_bridge;
-          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "malformed shapes" `Quick test_malformed_shapes;
+          Alcotest.test_case "incomplete trace" `Quick test_incomplete_trace;
+          Alcotest.test_case "sparse ids" `Quick test_sparse_ids;
+          Alcotest.test_case "unreadable file" `Quick test_unreadable_file;
           Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+          Alcotest.test_case "error rendering" `Quick test_error_to_string;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
