@@ -10,7 +10,7 @@
 open Cmdliner
 module T = Cmdliner.Term
 
-let serve socket cache_capacity jobs recv_timeout verbose =
+let serve socket cache_capacity jobs recv_timeout max_requests verbose =
   if jobs < 0 then begin
     Format.eprintf "--jobs must be >= 0@.";
     exit 1
@@ -19,12 +19,17 @@ let serve socket cache_capacity jobs recv_timeout verbose =
     Format.eprintf "--cache must be >= 0@.";
     exit 1
   end;
+  if max_requests < 1 then begin
+    Format.eprintf "--max-requests must be >= 1@.";
+    exit 1
+  end;
   let cfg =
     {
       (Mo_service.Server.default_config ~socket_path:socket) with
       Mo_service.Server.cache_capacity;
       jobs = (if jobs = 0 then None else Some jobs);
       recv_timeout_s = recv_timeout;
+      max_conn_requests = max_requests;
     }
   in
   let on_ready () =
@@ -73,6 +78,16 @@ let timeout_arg =
     & info [ "recv-timeout" ] ~docv:"SECONDS"
         ~doc:"close a connection after this long without a frame")
 
+let max_requests_arg =
+  Arg.(
+    value
+    & opt int 10_000
+    & info [ "max-requests" ] ~docv:"N"
+        ~doc:
+          "hang up a connection after serving this many requests, so one \
+           client cannot monopolize the single-dispatch daemon (clients \
+           reconnect)")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"log to stderr")
 
@@ -85,6 +100,6 @@ let main_cmd =
     (Cmd.info "mopcd" ~version:"1.0.0" ~doc)
     T.(
       const serve $ socket_arg $ cache_arg $ jobs_arg $ timeout_arg
-      $ verbose_arg)
+      $ max_requests_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' main_cmd)

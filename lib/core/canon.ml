@@ -108,10 +108,20 @@ let rec factorial n = if n <= 1 then 1 else n * factorial (n - 1)
 
 (* all variable orders consistent with the class partition (classes stay
    in signature order; members permute within their class), or just the
-   refinement order when there are too many *)
+   refinement order when there are too many. The budget fold saturates at
+   [max_search + 1]: a class of more than 8 members blows the budget on
+   its own (9! > 8! = max_search), and keeping the accumulator at most
+   [max_search] before each multiplication keeps the product far from
+   native-int overflow — a fully symmetric 21-variable predicate must
+   fall back, not wrap negative and enumerate 21! orders. *)
 let candidate_orders classes =
   let budget =
-    List.fold_left (fun acc c -> acc * factorial (List.length c)) 1 classes
+    List.fold_left
+      (fun acc c ->
+        let n = List.length c in
+        if acc > max_search || n > 8 then max_search + 1
+        else acc * factorial n)
+      1 classes
   in
   if budget > max_search then [ List.concat classes ]
   else
@@ -202,7 +212,7 @@ let render_key (nvars, (conjs, guards)) =
 
 let digest t = Digest.to_hex (Digest.string (render_key (canonical_key t)))
 
-let equal a b = String.equal (digest a) (digest b)
+let equal a b = compare (canonical_key a) (canonical_key b) = 0
 
 let spec (s : Spec.t) =
   let members =

@@ -46,9 +46,11 @@ val spec_digest : Spec.t -> string
     spec-level operations such as [minimize]. *)
 
 val equal : Forbidden.t -> Forbidden.t -> bool
-(** Alpha-equivalence: structural equality of canonical forms. Strictly
-    coarser than {!Forbidden.equal} and strictly finer than semantic
-    equivalence ({!Implies.equivalent}). *)
+(** Alpha-equivalence: structural equality of canonical forms, compared
+    directly (not through {!digest}, so a hash collision cannot make
+    distinct predicates equal). Strictly coarser than {!Forbidden.equal}
+    and strictly finer than semantic equivalence
+    ({!Implies.equivalent}). *)
 
 val max_search : int
 (** Safety valve: the permutation search enumerates at most this many

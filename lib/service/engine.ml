@@ -85,9 +85,10 @@ let check_deadline t ~received (env : Codec.envelope) =
 (* what the sequential admission pass decides about one envelope *)
 type admitted =
   | Done of J.t (* response already known *)
+  | Stop of J.t (* shutdown admitted: respond, then stop the server *)
   | Miss of int * string * (unit -> J.t) (* id, key, pure compute *)
 
-let admit t ~received (env : Codec.envelope) =
+let admit t ~received ~in_batch (env : Codec.envelope) =
   Metrics.inc t.c_requests;
   match check_deadline t ~received env with
   | Some resp -> Done resp
@@ -96,7 +97,14 @@ let admit t ~received (env : Codec.envelope) =
       match env.Codec.req with
       | Codec.Stats -> Done (Codec.ok_response ~id (stats_payload t))
       | Codec.Shutdown ->
-          Done (Codec.ok_response ~id (J.Obj [ ("shutdown", J.Bool true) ]))
+          if in_batch then begin
+            Metrics.inc t.c_errors;
+            Done
+              (Codec.error_response ~id
+                 "shutdown is not allowed inside a batch")
+          end
+          else
+            Stop (Codec.ok_response ~id (J.Obj [ ("shutdown", J.Bool true) ]))
       | Codec.Batch _ ->
           Metrics.inc t.c_errors;
           Done (Codec.error_response ~id "batches do not nest")
@@ -125,13 +133,13 @@ let finish_miss t ~id ~key result =
 
 let handle_batch t ~received envs =
   Metrics.inc t.c_batches;
-  let admitted = List.map (admit t ~received) envs in
+  let admitted = List.map (admit t ~received ~in_batch:true) envs in
   (* distinct missing keys, in first-occurrence order *)
   let distinct = Hashtbl.create 16 in
   let miss_keys = ref [] in
   List.iter
     (function
-      | Done _ -> ()
+      | Done _ | Stop _ -> ()
       | Miss (_, key, compute) ->
           if not (Hashtbl.mem distinct key) then begin
             Hashtbl.replace distinct key compute;
@@ -153,7 +161,7 @@ let handle_batch t ~received envs =
     results;
   List.map
     (function
-      | Done resp -> resp
+      | Done resp | Stop resp -> resp
       | Miss (id, key, _) -> (
           match Hashtbl.find_opt computed key with
           | Some (Ok payload) -> Codec.ok_response ~id payload
@@ -165,28 +173,34 @@ let handle_batch t ~received envs =
               Codec.error_response ~id "internal error: result lost"))
     admitted
 
-let handle t ?received (env : Codec.envelope) =
+let serve t ?received (env : Codec.envelope) =
   let received =
     match received with Some r -> r | None -> t.clock ()
   in
   match env.Codec.req with
   | Codec.Batch envs -> (
       match check_deadline t ~received env with
-      | Some resp -> resp
+      | Some resp -> (resp, false)
       | None ->
           Metrics.inc t.c_requests;
           let responses = handle_batch t ~received envs in
-          Codec.ok_response ~id:env.Codec.id
-            (J.Obj [ ("responses", J.List responses) ]))
+          ( Codec.ok_response ~id:env.Codec.id
+              (J.Obj [ ("responses", J.List responses) ]),
+            false ))
   | _ -> (
-      match admit t ~received env with
-      | Done resp -> resp
+      match admit t ~received ~in_batch:false env with
+      | Done resp -> (resp, false)
+      | Stop resp -> (resp, true)
       | Miss (id, key, compute) ->
-          finish_miss t ~id ~key (run_compute compute))
+          (finish_miss t ~id ~key (run_compute compute), false))
 
-let handle_json t ?received json =
+let handle t ?received env = fst (serve t ?received env)
+
+let serve_json t ?received json =
   match Codec.request_of_json json with
-  | Ok env -> handle t ?received env
+  | Ok env -> serve t ?received env
   | Error (id, msg) ->
       Metrics.inc t.c_errors;
-      Codec.error_response ~id msg
+      (Codec.error_response ~id msg, false)
+
+let handle_json t ?received json = fst (serve_json t ?received json)

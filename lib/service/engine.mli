@@ -42,10 +42,23 @@ val handle : t -> ?received:float -> Codec.envelope -> Mo_obs.Jsonb.t
     (default: [clock ()] at entry — the server passes the moment the
     frame was read, so queueing delay counts against the deadline). A
     request whose [deadline_ms] has already elapsed since [received]
-    when admitted is rejected with an error response; a [Shutdown]
-    request is answered [ok] (stopping the accept loop is the server's
-    job). Never raises on any input. *)
+    when admitted is rejected with an error response; a top-level
+    [Shutdown] request is answered [ok] (stopping the accept loop is the
+    server's job), while a [Shutdown] nested in a batch is answered with
+    an error — a batch member must never stop the server. Never raises
+    on any input. *)
+
+val serve : t -> ?received:float -> Codec.envelope -> Mo_obs.Jsonb.t * bool
+(** [handle] plus whether the envelope was an {e admitted} top-level
+    [Shutdown] (deadline-expired shutdowns report [false]) — the flag
+    the server's accept loop stops on, so frames are parsed exactly
+    once. *)
 
 val handle_json : t -> ?received:float -> Mo_obs.Jsonb.t -> Mo_obs.Jsonb.t
 (** Parse and handle; a request that does not parse yields an error
     response rather than an exception. *)
+
+val serve_json :
+  t -> ?received:float -> Mo_obs.Jsonb.t -> Mo_obs.Jsonb.t * bool
+(** Parse and {!serve}; unparsable requests yield an error response and
+    [false]. *)

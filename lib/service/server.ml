@@ -4,6 +4,7 @@ type config = {
   jobs : int option;
   max_frame : int;
   recv_timeout_s : float;
+  max_conn_requests : int;
 }
 
 let default_config ~socket_path =
@@ -13,6 +14,7 @@ let default_config ~socket_path =
     jobs = None;
     max_frame = Codec.default_max_frame;
     recv_timeout_s = 10.;
+    max_conn_requests = 10_000;
   }
 
 let log fmt =
@@ -20,11 +22,13 @@ let log fmt =
 
 (* serve one connection; returns [true] when a shutdown was requested *)
 let serve_connection cfg engine conn =
-  (try Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.recv_timeout_s
+  (try
+     Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.recv_timeout_s;
+     Unix.setsockopt_float conn Unix.SO_SNDTIMEO cfg.recv_timeout_s
    with Unix.Unix_error _ -> ());
   let r = Codec.reader conn in
   let shutdown = ref false in
-  let rec loop () =
+  let rec loop served =
     match Codec.read_frame ~max_len:cfg.max_frame r with
     | Ok None -> ()
     | Error e ->
@@ -34,15 +38,16 @@ let serve_connection cfg engine conn =
         log "closing connection: %s" e
     | Ok (Some json) ->
         let received = Unix.gettimeofday () in
-        let is_shutdown =
-          match Codec.request_of_json json with
-          | Ok { Codec.req = Codec.Shutdown; _ } -> true
-          | _ -> false
-        in
-        Codec.write_frame conn (Engine.handle_json engine ~received json);
-        if is_shutdown then shutdown := true else loop ()
+        let resp, wants_shutdown = Engine.serve_json engine ~received json in
+        Codec.write_frame conn resp;
+        if wants_shutdown then shutdown := true
+        else if served + 1 >= cfg.max_conn_requests then
+          (* request budget spent: hang up so the accept loop gets back
+             to the other clients waiting in the listen queue *)
+          log "closing connection: served %d requests" (served + 1)
+        else loop (served + 1)
   in
-  (try loop () with
+  (try loop 0 with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
       log "closing connection: read timeout"
   | Unix.Unix_error (e, _, _) ->

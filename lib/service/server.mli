@@ -4,7 +4,14 @@
     in order, each as a sequence of frames (see {!Codec}). This keeps
     every cache and counter update on one domain — parallelism lives
     inside the engine's batch path, where it cannot perturb the
-    deterministic accounting.
+    deterministic accounting. The price of that model is that the
+    connection being served holds the daemon: later connections wait in
+    the listen queue until it finishes. Three budgets bound how long it
+    can hold on — [recv_timeout_s] between frames, the same timeout on
+    sends (a client that stops reading cannot wedge the writer), and
+    [max_conn_requests] frames per connection, after which the server
+    hangs up (the client just reconnects) so a frame-streaming client
+    cannot starve everyone else forever.
 
     Failure containment, in decreasing severity:
     - a frame that does not parse as JSON, or a request with a bad op or
@@ -24,11 +31,14 @@ type config = {
   cache_capacity : int;  (** decision cache entries; 0 disables *)
   jobs : int option;  (** worker domains; [None] = pool default *)
   max_frame : int;  (** reject larger request frames *)
-  recv_timeout_s : float;  (** per-read timeout on connections *)
+  recv_timeout_s : float;  (** per-read (and per-send) socket timeout *)
+  max_conn_requests : int;
+      (** frames served per connection before the server hangs up *)
 }
 
 val default_config : socket_path:string -> config
-(** 4096 cache entries, default pool, 1 MiB frames, 10 s read timeout. *)
+(** 4096 cache entries, default pool, 1 MiB frames, 10 s socket
+    timeout, 10_000 requests per connection. *)
 
 val run : ?engine:Engine.t -> ?on_ready:(unit -> unit) -> config -> unit
 (** Bind, listen, serve until shutdown; then clean up the socket file.

@@ -99,6 +99,7 @@ let pp_pair (p, q) =
 
 let renaming_invariance (p, q) =
   String.equal (Canon.digest p) (Canon.digest q)
+  && Canon.equal p q
   && Forbidden.equal (Canon.predicate p) (Canon.predicate q)
   && classification_fingerprint p = classification_fingerprint q
 
@@ -132,6 +133,29 @@ let test_known_pairs () =
     (String.equal
        (Canon.digest (pred "x.s < y.s & y.r < x.r & src(x) = src(y)"))
        (Canon.digest (pred "x.s < y.s & y.r < x.r")))
+
+(* regression: the permutation-search budget is a product of class
+   factorials, which overflowed the native int once a symmetric class
+   passed 20 variables — the negative budget slipped under [max_search]
+   and the search tried to enumerate 21! orders. A fully symmetric
+   22-variable predicate (one signature class: a conjunct cycle plus
+   identical color guards) must take the refinement-order fallback and
+   return immediately. *)
+let test_symmetric_budget_overflow () =
+  let nvars = 22 in
+  let p =
+    Forbidden.make ~nvars
+      ~guards:(List.init nvars (fun v -> Term.Color_is (v, 1)))
+      (List.init nvars (fun v ->
+           Term.(
+             { var = v; point = S }
+             @> { var = (v + 1) mod nvars; point = R })))
+  in
+  Alcotest.(check string)
+    "digest is deterministic" (Canon.digest p) (Canon.digest p);
+  Alcotest.(check bool)
+    "truncated canonicalization is a fixpoint" true
+    (Canon.equal p (Canon.predicate p))
 
 let test_spec_canon () =
   let a = pred "x.s < y.s & y.r < x.r" in
@@ -168,6 +192,8 @@ let () =
       ( "unit",
         [
           Alcotest.test_case "known pairs" `Quick test_known_pairs;
+          Alcotest.test_case "symmetric budget overflow" `Quick
+            test_symmetric_budget_overflow;
           Alcotest.test_case "spec canonicalization" `Quick test_spec_canon;
         ] );
     ]

@@ -247,6 +247,36 @@ let test_batch_determinism () =
   check_string "stats jobs 1 = jobs 2" (J.to_string s1) (J.to_string s2);
   check_string "stats jobs 1 = jobs 4" (J.to_string s1) (J.to_string s4)
 
+let test_shutdown_semantics () =
+  let t = Engine.create () in
+  (* a top-level shutdown is acknowledged and raises the stop flag *)
+  let resp, stop =
+    Engine.serve_json t
+      (Codec.request_to_json (envelope ~id:5 Codec.Shutdown))
+  in
+  check_bool "top-level shutdown stops the server" true stop;
+  check_bool "shutdown acknowledged" true
+    (field "shutdown" (ok_result resp) = J.Bool true);
+  (* nested in a batch it is an error and must NOT stop the server *)
+  let resp, stop =
+    Engine.serve_json t
+      (Codec.request_to_json
+         (envelope ~id:6 (Codec.Batch [ envelope ~id:7 Codec.Shutdown ])))
+  in
+  check_bool "batched shutdown does not stop the server" false stop;
+  (match field "responses" (ok_result resp) with
+  | J.List [ member ] -> (
+      match Codec.result_of_response member with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "shutdown inside a batch was accepted")
+  | _ -> Alcotest.fail "batch did not return one response");
+  (* ordinary requests report no shutdown *)
+  let _, stop =
+    Engine.serve_json t
+      (Codec.request_to_json (envelope ~id:8 Codec.Stats))
+  in
+  check_bool "stats does not stop the server" false stop
+
 let test_payload_shapes () =
   let t = Engine.create () in
   let imp =
@@ -335,6 +365,8 @@ let () =
           Alcotest.test_case "deadlines" `Quick test_engine_deadline;
           Alcotest.test_case "batch determinism" `Quick
             test_batch_determinism;
+          Alcotest.test_case "shutdown semantics" `Quick
+            test_shutdown_semantics;
           Alcotest.test_case "payload shapes" `Quick test_payload_shapes;
         ] );
     ]
