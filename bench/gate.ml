@@ -11,12 +11,22 @@
      with a one-sided tolerance (default 25%: slower-than-baseline by
      more than that fails), and only when both files were produced on a
      host with the same core count — the "host" section is recorded for
-     exactly this decision and is otherwise informational. *)
+     exactly this decision and is otherwise informational.
+
+   Additionally, parallel-scaling expectations — speedup / efficiency
+   leaves nested under a numeric job-count key, i.e. inside a --jobs
+   sweep — are skipped outright when the BASELINE was recorded on a
+   1-core host: such a baseline bakes in speedups < 1.0 (domains pay
+   overhead with no parallelism to win), which is not an expectation any
+   rerun should be held to. Sequential ratios (B13's warm/cold cache
+   speedup, B14's kernel_speedup) are not scaling expectations and are
+   always compared. *)
 
 let tolerance = ref 0.25
 
 let fail_count = ref 0
 let skip_count = ref 0
+let scaling_skip_count = ref 0
 
 let failure path msg =
   incr fail_count;
@@ -60,7 +70,8 @@ let to_float = function
 let timing_direction key =
   match key with
   | "wall_s" -> Some `Lower_is_better
-  | "speedup" | "efficiency" | "throughput" -> Some `Higher_is_better
+  | "speedup" | "efficiency" | "throughput" | "kernel_speedup" ->
+      Some `Higher_is_better
   | _ -> None
 
 let check_timing ~path ~key base fresh =
@@ -78,7 +89,16 @@ let check_timing ~path ~key base fresh =
       | _ -> ())
   | _ -> failure path "timing leaf is not numeric"
 
-let rec compare_json ~timings_comparable ~path base fresh =
+let is_scaling_key = function
+  | "speedup" | "efficiency" -> true
+  | _ -> false
+
+(* a sweep point's object is keyed by its job count *)
+let is_jobs_key k =
+  k <> "" && String.for_all (fun c -> c >= '0' && c <= '9') k
+
+let rec compare_json ?(in_sweep = false) ~timings_comparable
+    ~baseline_single_core ~path base fresh =
   let open Mo_obs.Jsonb in
   match (base, fresh) with
   | Obj bf, Obj ff ->
@@ -106,10 +126,16 @@ let rec compare_json ~timings_comparable ~path base fresh =
               else
                 match timing_direction k with
                 | Some _ ->
-                    if timings_comparable then
+                    if baseline_single_core && in_sweep && is_scaling_key k
+                    then incr scaling_skip_count
+                    else if timings_comparable then
                       check_timing ~path:sub ~key:k bv fv
                     else incr skip_count
-                | None -> compare_json ~timings_comparable ~path:sub bv fv))
+                | None ->
+                    compare_json
+                      ~in_sweep:(in_sweep || is_jobs_key k)
+                      ~timings_comparable ~baseline_single_core ~path:sub bv
+                      fv))
         bf
   | List bl, List fl ->
       if List.length bl <> List.length fl then
@@ -119,7 +145,7 @@ let rec compare_json ~timings_comparable ~path base fresh =
       else
         List.iteri
           (fun i (bv, fv) ->
-            compare_json ~timings_comparable
+            compare_json ~in_sweep ~timings_comparable ~baseline_single_core
               ~path:(Printf.sprintf "%s[%d]" path i)
               bv fv)
           (List.combine bl fl)
@@ -154,12 +180,21 @@ let () =
         | Some b, Some f -> b = f
         | _ -> false
       in
-      compare_json ~timings_comparable ~path:"$" base fresh;
+      let baseline_single_core =
+        match cores base with Some (Mo_obs.Jsonb.Int 1) -> true | _ -> false
+      in
+      compare_json ~timings_comparable ~baseline_single_core ~path:"$" base
+        fresh;
       if (not timings_comparable) && !skip_count > 0 then
         Printf.printf
           "note: %d timing comparisons skipped (different host core \
            counts)\n"
           !skip_count;
+      if !scaling_skip_count > 0 then
+        Printf.printf
+          "note: %d parallel-scaling comparisons skipped (baseline host \
+           has 1 core)\n"
+          !scaling_skip_count;
       if !fail_count = 0 then begin
         Printf.printf "gate ok: %s vs %s\n" base_path fresh_path;
         exit 0

@@ -42,7 +42,8 @@ let () =
        function of the seeded stream (writes BENCH_svc.json) *)
     Svc.summary ()
   end;
-  (* B12 runs in every mode: its deterministic outputs belong to the
-     reproduction artifacts and its timings to the perf sweep *)
+  (* B12 and B14 run in every mode: their deterministic outputs belong to
+     the reproduction artifacts and their timings to the perf sweep *)
   Par_bench.summary ~deep ~jobs_list ();
+  Core_bench.summary ~deep ~jobs_list ();
   if perf then Perf.run_all ()

@@ -512,7 +512,7 @@ let synth_run input =
           Format.printf "universal:      %s (%s)@."
             factory.Protocol.proto_name
             (Protocol.kind_to_string factory.Protocol.kind);
-          (match Synth.optimize pred with
+          (match Synth.optimize ~result pred with
           | Ok c when c.Synth.factory.Protocol.proto_name <> factory.Protocol.proto_name ->
               Format.printf "optimized:      %s — %s@."
                 c.Synth.factory.Protocol.proto_name c.Synth.rationale
@@ -593,7 +593,7 @@ let batch_run path =
       | Ok pred ->
           let r = Classify.classify pred in
           let proto =
-            match Synth.optimize pred with
+            match Synth.optimize ~result:r pred with
             | Ok c -> c.Synth.factory.Protocol.proto_name
             | Error _ -> "-"
           in

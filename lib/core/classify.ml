@@ -65,10 +65,10 @@ let classify p =
       in
       { verdict; orders; best_cycle; necessity_exact; simplification }
 
-let explain p =
+let explain ?result p =
   let buf = Buffer.create 512 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
-  let r = classify p in
+  let r = match result with Some r -> r | None -> classify p in
   line "predicate B:  %s" (Forbidden.to_string p);
   (match r.simplification with
   | `Unsatisfiable ->

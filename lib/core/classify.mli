@@ -46,11 +46,14 @@ type result = {
 
 val classify : Forbidden.t -> result
 
-val explain : Forbidden.t -> string
+val explain : ?result:result -> Forbidden.t -> string
 (** A multi-line, human-readable justification of the verdict, citing the
     theorem that applies, the certificate cycle with its β-vertices, and
     the Lemma 4 contraction to a canonical form. Meant for the CLI and for
-    teaching; the content mirrors the paper's proof structure. *)
+    teaching; the content mirrors the paper's proof structure.
+
+    [result], when given, must be [classify p] computed by the caller —
+    [explain] then reuses it instead of classifying a second time. *)
 
 val verdict_to_string : verdict -> string
 

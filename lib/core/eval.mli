@@ -11,15 +11,19 @@
     through the tautology [x.s ▷ x.r], making [X_sync] empty. Pass
     [~distinct:false] to get the plain reading.
 
-    The matcher is a backtracking search over variable assignments with
-    incremental conjunct/guard checking — exact, and fast enough for the
-    bench harness's runs of thousands of messages because conjunct checks
-    prune eagerly. *)
+    Two matchers are provided. The {e compiled} evaluator (the default
+    behind {!find_match}/{!holds}/{!satisfies}) stages the predicate once
+    into a bit-matrix matching plan over {!Mo_order.Run.Abstract.relations}:
+    candidate messages for each variable are narrowed by row intersections,
+    with most-constrained-variable-first ordering for the boolean queries.
+    The original backtracking interpreter is kept verbatim as the
+    differential reference ([*_ref]); the two agree byte-for-byte (see
+    test/test_eval_fast.ml). *)
 
 val find_match :
   ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> int array option
 (** An assignment [a] (variable index → message index) making [B] true, if
-    any. *)
+    any. The lexicographically least one, as the reference returns. *)
 
 val find_matches :
   ?distinct:bool ->
@@ -27,7 +31,8 @@ val find_matches :
   Forbidden.t ->
   Mo_order.Run.Abstract.t ->
   int array list
-(** Up to [limit] (default 1000) distinct assignments. *)
+(** Up to [limit] (default 1000) distinct assignments, in lexicographic
+    order. *)
 
 val holds : ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> bool
 (** [B] is true somewhere in the run. *)
@@ -39,3 +44,50 @@ val satisfies :
 val check_assignment :
   Forbidden.t -> Mo_order.Run.Abstract.t -> int array -> bool
 (** Does this specific assignment satisfy all conjuncts and guards? *)
+
+(** {1 Compile-once fast path}
+
+    Callers evaluating one predicate against many runs (the model checker,
+    the service layer) compile once and reuse the plan. A [compiled] value
+    is immutable and safe to share across domains. *)
+
+type compiled
+
+val compile : Forbidden.t -> compiled
+
+val predicate : compiled -> Forbidden.t
+
+val find_match_c :
+  ?distinct:bool -> compiled -> Mo_order.Run.Abstract.t -> int array option
+
+val find_matches_c :
+  ?distinct:bool ->
+  ?limit:int ->
+  compiled ->
+  Mo_order.Run.Abstract.t ->
+  int array list
+
+val holds_c : ?distinct:bool -> compiled -> Mo_order.Run.Abstract.t -> bool
+
+val satisfies_c : ?distinct:bool -> compiled -> Mo_order.Run.Abstract.t -> bool
+
+(** {1 Reference interpreter}
+
+    The pre-compilation backtracking matcher, kept as the differential
+    baseline and for bench B14's "before" arm. *)
+
+val find_match_ref :
+  ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> int array option
+
+val find_matches_ref :
+  ?distinct:bool ->
+  ?limit:int ->
+  Forbidden.t ->
+  Mo_order.Run.Abstract.t ->
+  int array list
+
+val holds_ref :
+  ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> bool
+
+val satisfies_ref :
+  ?distinct:bool -> Forbidden.t -> Mo_order.Run.Abstract.t -> bool

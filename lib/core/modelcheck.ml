@@ -53,19 +53,31 @@ let acc_merge x y =
     a_unsat = x.a_unsat && y.a_unsat;
   }
 
-let b1 = lazy Catalog.causal_b1.Catalog.pred
+(* The lemma predicates, compiled once per process. Eagerly forced so no
+   worker domain ever races on a lazy; a compiled plan is immutable and
+   safe to share (see Eval). *)
+type plans = {
+  p_b1 : Eval.compiled;
+  p_b2 : Eval.compiled;
+  p_b3 : Eval.compiled;
+  p_async : Eval.compiled list;
+}
 
-let b2 = lazy Catalog.causal_b2.Catalog.pred
+let plans =
+  lazy
+    {
+      p_b1 = Eval.compile Catalog.causal_b1.Catalog.pred;
+      p_b2 = Eval.compile Catalog.causal_b2.Catalog.pred;
+      p_b3 = Eval.compile Catalog.causal_b3.Catalog.pred;
+      p_async =
+        List.map
+          (fun (e : Catalog.entry) -> Eval.compile e.Catalog.pred)
+          Catalog.async_forms;
+    }
 
-let b3 = lazy Catalog.causal_b3.Catalog.pred
-
-let async_preds =
-  lazy (List.map (fun (e : Catalog.entry) -> e.Catalog.pred) Catalog.async_forms)
-
-let step acc run =
-  let r = Run.to_abstract run in
+let step plans acc r =
   let causal = Limits.is_causal r and sync = Limits.is_sync r in
-  let s2 = Eval.satisfies (Lazy.force b2) r in
+  let s2 = Eval.satisfies_c plans.p_b2 r in
   {
     a_runs = acc.a_runs + 1;
     a_causal = (acc.a_causal + if causal then 1 else 0);
@@ -73,12 +85,12 @@ let step acc run =
     a_sync_sub = acc.a_sync_sub && ((not sync) || causal);
     a_equiv =
       acc.a_equiv
-      && Eval.satisfies (Lazy.force b1) r = s2
-      && Eval.satisfies (Lazy.force b3) r = s2;
+      && Eval.satisfies_c plans.p_b1 r = s2
+      && Eval.satisfies_c plans.p_b3 r = s2;
     a_exact = acc.a_exact && s2 = causal;
     a_unsat =
       acc.a_unsat
-      && List.for_all (fun p -> Eval.satisfies p r) (Lazy.force async_preds);
+      && List.for_all (fun p -> Eval.satisfies_c p r) plans.p_async;
   }
 
 let with_pool pool f =
@@ -87,13 +99,15 @@ let with_pool pool f =
   | None -> f (Mo_par.Pool.create ())
 
 let verify ?pool ~sizes () =
+  (* force the compiled plans on this domain before any worker shards run *)
+  let plans = Lazy.force plans in
   with_pool pool (fun pool ->
       let total =
         List.fold_left
           (fun acc (nprocs, nmsgs) ->
             acc_merge acc
-              (Enumerate.fold_runs_par ~pool ~nprocs ~nmsgs ~init:acc_init
-                 ~f:step ~merge:acc_merge ()))
+              (Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs
+                 ~init:acc_init ~f:(step plans) ~merge:acc_merge ()))
           acc_init sizes
       in
       {
@@ -113,10 +127,9 @@ let count ?pool ~sizes () =
       List.fold_left
         (fun acc (nprocs, nmsgs) ->
           let c =
-            Enumerate.fold_runs_par ~pool ~nprocs ~nmsgs
+            Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs
               ~init:{ runs = 0; causal = 0; sync = 0 }
-              ~f:(fun acc run ->
-                let r = Run.to_abstract run in
+              ~f:(fun acc r ->
                 {
                   runs = acc.runs + 1;
                   causal = (acc.causal + if Limits.is_causal r then 1 else 0);

@@ -56,7 +56,32 @@ let inter_into ~dst src =
     Bytes.unsafe_set dst.words b (Char.unsafe_chr v)
   done
 
+let diff_into ~dst src =
+  same_cap dst src;
+  for b = 0 to Bytes.length dst.words - 1 do
+    let v =
+      Char.code (Bytes.unsafe_get dst.words b)
+      land lnot (Char.code (Bytes.unsafe_get src.words b))
+    in
+    Bytes.unsafe_set dst.words b (Char.unsafe_chr (v land 0xff))
+  done
+
+let set_all t =
+  let nbytes = Bytes.length t.words in
+  if nbytes > 0 then begin
+    Bytes.fill t.words 0 nbytes '\255';
+    (* clear the tail bits beyond capacity so equal/is_empty stay exact *)
+    let rem = t.cap land 7 in
+    if rem <> 0 then
+      Bytes.unsafe_set t.words (nbytes - 1)
+        (Char.unsafe_chr ((1 lsl rem) - 1))
+  end
+
 let copy t = { cap = t.cap; words = Bytes.copy t.words }
+
+let copy_into ~dst src =
+  same_cap dst src;
+  Bytes.blit src.words 0 dst.words 0 (Bytes.length src.words)
 
 let popcount_byte =
   let table = Array.make 256 0 in

@@ -23,7 +23,16 @@ val union_into : dst:t -> t -> unit
 
 val inter_into : dst:t -> t -> unit
 
+val diff_into : dst:t -> t -> unit
+(** [diff_into ~dst src] removes every element of [src] from [dst]. *)
+
+val set_all : t -> unit
+(** Make [t] the full universe [{0 .. capacity-1}]. *)
+
 val copy : t -> t
+
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst src] overwrites [dst] with the contents of [src]. *)
 
 val cardinal : t -> int
 

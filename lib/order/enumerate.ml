@@ -8,20 +8,152 @@ let rec permutations = function
   | [] -> [ [] ]
   | x :: rest -> List.concat_map (insert_everywhere x) (permutations rest)
 
-let runs ~nprocs ~msgs =
+(* Per-process events in canonical order: message index ascending, send
+   before delivery (both only land on one process when src = dst). *)
+let events_of ~nmsgs ~msgs p =
+  let acc = ref [] in
+  for m = nmsgs - 1 downto 0 do
+    let src, dst = msgs.(m) in
+    if dst = p then acc := Event.deliver m :: !acc;
+    if src = p then acc := Event.send m :: !acc
+  done;
+  !acc
+
+(* The backtracking kernel. One Order_builder carries the happened-before
+   closure across the whole configuration: it starts with the x.s ▷ x.r
+   edge of every message, and placing an event as the next step of its
+   process pushes one program-order edge (undone on backtrack). Runs that
+   share an enumeration prefix share all closure work for that prefix, and
+   cyclic placements are pruned as soon as the offending edge is pushed
+   instead of after a full from-scratch closure in Run.of_sequences.
+
+   [leaf ~seq ~builder] is called once per complete run; [seq] holds each
+   process's chosen order (valid only for the duration of the call) and
+   [builder] the live closure of exactly that run's order. *)
+let enum ~nprocs ~msgs ~leaf =
   let nmsgs = Array.length msgs in
-  let events_of p =
-    let acc = ref [] in
-    for m = nmsgs - 1 downto 0 do
-      let src, dst = msgs.(m) in
-      (* deliveries first so sends tend to come first after List.rev-free
-         permutation enumeration; order is irrelevant for completeness *)
-      if dst = p then acc := Event.deliver m :: !acc;
-      if src = p then acc := Event.send m :: !acc
-    done;
-    !acc
+  let valid =
+    Array.for_all
+      (fun (src, dst) -> src >= 0 && src < nprocs && dst >= 0 && dst < nprocs)
+      msgs
   in
-  let per_proc = Array.init nprocs (fun p -> permutations (events_of p)) in
+  if valid then begin
+    let b = Order_builder.create (2 * nmsgs) in
+    for m = 0 to nmsgs - 1 do
+      Order_builder.add_edge_exn b
+        (Event.encode (Event.send m))
+        (Event.encode (Event.deliver m))
+    done;
+    let evs =
+      Array.init nprocs (fun p ->
+          Array.of_list (events_of ~nmsgs ~msgs p))
+    in
+    let nev = Array.map Array.length evs in
+    let used = Array.map (fun e -> Array.make (Array.length e) false) evs in
+    let chosen =
+      Array.map (fun e -> Array.make (Array.length e) (Event.send 0)) evs
+    in
+    let rec proc p =
+      if p = nprocs then leaf ~seq:chosen ~builder:b else place p 0 (-1)
+    and place p i prev =
+      if i = nev.(p) then proc (p + 1)
+      else
+        for j = 0 to nev.(p) - 1 do
+          if not used.(p).(j) then begin
+            let e = evs.(p).(j) in
+            let enc = Event.encode e in
+            let m = Order_builder.mark b in
+            let ok = prev < 0 || Order_builder.add_edge b prev enc = `Ok in
+            if ok then begin
+              used.(p).(j) <- true;
+              chosen.(p).(i) <- e;
+              place p (i + 1) enc;
+              used.(p).(j) <- false
+            end;
+            Order_builder.undo b m
+          end
+        done
+    in
+    proc 0
+  end
+
+let fold_runs ~nprocs ~msgs ~init ~f =
+  let acc = ref init in
+  enum ~nprocs ~msgs ~leaf:(fun ~seq ~builder ->
+      let r =
+        Run.of_enumeration ~nprocs ~msgs
+          ~po:(Order_builder.snapshot builder)
+          (Array.map Array.to_list seq)
+      in
+      acc := f !acc r);
+  !acc
+
+let iter_runs ~nprocs ~msgs f =
+  enum ~nprocs ~msgs ~leaf:(fun ~seq ~builder ->
+      f
+        (Run.of_enumeration ~nprocs ~msgs
+           ~po:(Order_builder.snapshot builder)
+           (Array.map Array.to_list seq)))
+
+let runs ~nprocs ~msgs =
+  List.rev (fold_runs ~nprocs ~msgs ~init:[] ~f:(fun acc r -> r :: acc))
+
+let count_runs ~nprocs ~msgs =
+  (* leaves are counted off the live closure: no snapshot, no Run value *)
+  let n = ref 0 in
+  enum ~nprocs ~msgs ~leaf:(fun ~seq:_ ~builder:_ -> incr n);
+  !n
+
+(* The abstract fast path: de-interleave the builder's event-level reach
+   rows straight into Run.Abstract's packed msg×msg masks at each leaf —
+   no poset snapshot, no concrete Run.t, no per-run attrs. All runs of a
+   configuration share one attrs array (the records are immutable). *)
+let fold_abstracts ~nprocs ~msgs ~init ~f =
+  let nmsgs = Array.length msgs in
+  let attrs =
+    Array.init nmsgs (fun m ->
+        let src, dst = msgs.(m) in
+        Run.attrs_known ~src ~dst ())
+  in
+  let acc = ref init in
+  enum ~nprocs ~msgs ~leaf:(fun ~seq:_ ~builder ->
+      let masks = Array.make (8 * nmsgs) 0 in
+      for u = 0 to (2 * nmsgs) - 1 do
+        let x = u lsr 1 in
+        let base = if u land 1 = 0 then 0 else 2 in
+        let row = Order_builder.reach_mask builder u in
+        let sm = ref 0 and rm = ref 0 in
+        for y = 0 to nmsgs - 1 do
+          if row land (1 lsl (2 * y)) <> 0 then sm := !sm lor (1 lsl y);
+          if row land (1 lsl ((2 * y) + 1)) <> 0 then rm := !rm lor (1 lsl y)
+        done;
+        masks.((base * nmsgs) + x) <- !sm;
+        masks.(((base + 1) * nmsgs) + x) <- !rm
+      done;
+      for k = 0 to 3 do
+        let fwd = k * nmsgs and bwd = (k + 4) * nmsgs in
+        for x = 0 to nmsgs - 1 do
+          let bits = masks.(fwd + x) and xb = 1 lsl x in
+          for y = 0 to nmsgs - 1 do
+            if bits land (1 lsl y) <> 0 then
+              masks.(bwd + y) <- masks.(bwd + y) lor xb
+          done
+        done
+      done;
+      acc := f !acc (Run.Abstract.of_masks ~nmsgs ~attrs masks));
+  !acc
+
+(* The pre-kernel reference enumerator: materialized per-process
+   permutations, a filtered product, and a from-scratch closure per
+   candidate in Run.of_sequences. Kept verbatim as the differential
+   baseline for the incremental kernel (test/test_eval_fast.ml) and as the
+   "before" arm of bench B14. Note the two enumerators agree on the *set*
+   of runs but emit them in different orders. *)
+let runs_ref ~nprocs ~msgs =
+  let nmsgs = Array.length msgs in
+  let per_proc =
+    Array.init nprocs (fun p -> permutations (events_of ~nmsgs ~msgs p))
+  in
   let acc = ref [] in
   let seq = Array.make nprocs [] in
   let rec product p =
@@ -39,8 +171,6 @@ let runs ~nprocs ~msgs =
   in
   product 0;
   List.rev !acc
-
-let count_runs ~nprocs ~msgs = List.length (runs ~nprocs ~msgs)
 
 let configs ?(allow_self = false) ~nprocs ~nmsgs () =
   let endpoints =
@@ -63,7 +193,12 @@ let all_runs ?allow_self ~nprocs ~nmsgs () =
     (configs ?allow_self ~nprocs ~nmsgs ())
 
 let abstract_runs ?allow_self ~nprocs ~nmsgs () =
-  List.map Run.to_abstract (all_runs ?allow_self ~nprocs ~nmsgs ())
+  List.rev
+    (List.fold_left
+       (fun acc msgs ->
+         fold_abstracts ~nprocs ~msgs ~init:acc ~f:(fun acc r -> r :: acc))
+       []
+       (configs ?allow_self ~nprocs ~nmsgs ()))
 
 let fold_runs_par ~pool ?allow_self ~nprocs ~nmsgs ~init ~f ~merge () =
   (* shard by enumeration prefix: one task per message configuration, the
@@ -72,9 +207,17 @@ let fold_runs_par ~pool ?allow_self ~nprocs ~nmsgs ~init ~f ~merge () =
      accumulators in configuration order, so the reduction visits run
      results exactly as the sequential [all_runs] fold would — counts and
      even ordered collections come out byte-identical for every job
-     count. Runs are materialized one configuration at a time, never the
-     whole universe. *)
+     count. Runs are streamed off the backtracking kernel one at a time,
+     never materialized per configuration. *)
   let cfgs = Array.of_list (configs ?allow_self ~nprocs ~nmsgs ()) in
   Mo_par.Pool.fold pool (Array.length cfgs)
-    ~f:(fun i -> List.fold_left f init (runs ~nprocs ~msgs:cfgs.(i)))
+    ~f:(fun i -> fold_runs ~nprocs ~msgs:cfgs.(i) ~init ~f)
+    ~merge ~init
+
+let fold_abstracts_par ~pool ?allow_self ~nprocs ~nmsgs ~init ~f ~merge () =
+  (* same sharding and merge order as [fold_runs_par], with the abstract
+     fast path at the leaves *)
+  let cfgs = Array.of_list (configs ?allow_self ~nprocs ~nmsgs ()) in
+  Mo_par.Pool.fold pool (Array.length cfgs)
+    ~f:(fun i -> fold_abstracts ~nprocs ~msgs:cfgs.(i) ~init ~f)
     ~merge ~init

@@ -4,7 +4,12 @@
     runs, and for small universes (≤ 3 processes, ≤ 3 messages) we can check
     them against {e every} run rather than samples. A concrete run is
     determined by the per-process orderings of its events, subject to global
-    acyclicity, so enumeration is a filtered product of permutations. *)
+    acyclicity; enumeration is an in-place backtracking search over those
+    orderings that maintains {e one} incremental happened-before closure per
+    configuration ({!Order_builder}): placing an event pushes its
+    program-order edge, backtracking pops it, and a placement that would
+    close a cycle is pruned immediately. Runs sharing an enumeration prefix
+    share the closure work for that prefix. *)
 
 val permutations : 'a list -> 'a list list
 
@@ -12,7 +17,39 @@ val runs : nprocs:int -> msgs:(int * int) array -> Run.t list
 (** All complete runs over exactly the given message set. Two runs are
     distinct iff some process executes its events in a different order. *)
 
+val iter_runs : nprocs:int -> msgs:(int * int) array -> (Run.t -> unit) -> unit
+(** Streaming form of {!runs}: the callback sees each run in enumeration
+    order and no list is built. *)
+
+val fold_runs :
+  nprocs:int ->
+  msgs:(int * int) array ->
+  init:'acc ->
+  f:('acc -> Run.t -> 'acc) ->
+  'acc
+(** Sequential fold over {!runs} in enumeration order, streaming. *)
+
 val count_runs : nprocs:int -> msgs:(int * int) array -> int
+(** [List.length (runs ~nprocs ~msgs)], but counted at the kernel's leaves:
+    no run value, poset snapshot, or list is ever built. *)
+
+val fold_abstracts :
+  nprocs:int ->
+  msgs:(int * int) array ->
+  init:'acc ->
+  f:('acc -> Run.Abstract.t -> 'acc) ->
+  'acc
+(** Like {!fold_runs} composed with {!Run.to_abstract}, but on the fast
+    path: each abstract run is built directly from the kernel's live
+    closure as packed relation masks ({!Run.Abstract.of_masks}) — no poset
+    snapshot and no concrete run — and all runs of the configuration share
+    one attrs array. Same enumeration order as {!fold_runs}. *)
+
+val runs_ref : nprocs:int -> msgs:(int * int) array -> Run.t list
+(** The pre-kernel reference enumerator (materialized permutations, product,
+    from-scratch closure per candidate). Same run {e set} as {!runs} but in
+    a different order; kept as the differential baseline and for bench B14's
+    "before" arm. *)
 
 val configs :
   ?allow_self:bool -> nprocs:int -> nmsgs:int -> unit -> (int * int) array list
@@ -43,10 +80,23 @@ val fold_runs_par :
   'acc
 (** Parallel fold over every run of {!all_runs}, sharded by message
     configuration (the enumeration prefix). Each shard computes
-    [List.fold_left f init] over its configuration's runs in enumeration
+    [fold_runs ~init ~f] over its configuration's runs in enumeration
     order; shard accumulators are then combined with [merge] in
     configuration order, giving
     [fold_left merge init [acc_0; acc_1; …]]. The result is independent
     of the pool's job count — identical to a sequential evaluation — and
-    the universe is streamed one configuration at a time, so memory stays
-    flat even at sizes where {!all_runs} would not fit. *)
+    the universe is streamed one run at a time, so memory stays flat even
+    at sizes where {!all_runs} would not fit. *)
+
+val fold_abstracts_par :
+  pool:Mo_par.Pool.t ->
+  ?allow_self:bool ->
+  nprocs:int ->
+  nmsgs:int ->
+  init:'acc ->
+  f:('acc -> Run.Abstract.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc
+(** {!fold_runs_par} with {!fold_abstracts} at the leaves: the abstract
+    fast path, sharded and merged identically. *)

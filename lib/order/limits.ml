@@ -29,7 +29,43 @@ let check_causal r =
    with Exit -> ());
   match !found with None -> Ok () | Some v -> Error v
 
-let is_causal r = Result.is_ok (check_causal r)
+(* Fast membership test over the relation matrices: a causal violation is
+   some x with ss.(x) ∩ rr_t.(x) ∖ {x} ≠ ∅, i.e. a y overtaken by x.
+   [check_causal] above stays as the reporting (and differential-reference)
+   path. *)
+let is_causal r =
+  let n = Run.Abstract.nmsgs r in
+  if n <= 1 then true
+  else
+    match Run.Abstract.masks r with
+    | Some mk ->
+        (* packed rows: ss is section 0, rr_t section 7 *)
+        let ok = ref true in
+        (try
+           for x = 0 to n - 1 do
+             if mk.(x) land mk.((7 * n) + x) land lnot (1 lsl x) <> 0 then begin
+               ok := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !ok
+    | None ->
+        let rel = Run.Abstract.relations r in
+        let scratch = Bitset.create n in
+        let ok = ref true in
+        (try
+           for x = 0 to n - 1 do
+             Bitset.copy_into ~dst:scratch rel.Run.Abstract.ss.(x);
+             Bitset.inter_into ~dst:scratch rel.Run.Abstract.rr_t.(x);
+             Bitset.remove scratch x;
+             if not (Bitset.is_empty scratch) then begin
+               ok := false;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !ok
 
 (* SYNC membership: build the message graph and attempt a topological
    numbering. A cycle in the message graph is a crown; we report it. *)
@@ -94,7 +130,77 @@ let check_sync r =
       }
   end
 
-let is_sync r = Result.is_ok (check_sync r)
+(* Fast SYNC membership: Kahn over the message graph assembled as bitset
+   rows (union of the four endpoint relations, self-loops dropped — sr.(x)
+   always contains x via x.s ▷ x.r). [check_sync] stays as the
+   witness-producing reference. *)
+let is_sync r =
+  let n = Run.Abstract.nmsgs r in
+  if n <= 1 then true
+  else
+    match Run.Abstract.masks r with
+    | Some mk ->
+        (* message-graph rows as single ints: union of the four forward
+           sections, self-bit dropped *)
+        let succ =
+          Array.init n (fun x ->
+              (mk.(x) lor mk.(n + x) lor mk.((2 * n) + x) lor mk.((3 * n) + x))
+              land lnot (1 lsl x))
+        in
+        let indeg = Array.make n 0 in
+        Array.iter
+          (fun row ->
+            for y = 0 to n - 1 do
+              if row land (1 lsl y) <> 0 then indeg.(y) <- indeg.(y) + 1
+            done)
+          succ;
+        let queue = Queue.create () in
+        for x = 0 to n - 1 do
+          if indeg.(x) = 0 then Queue.add x queue
+        done;
+        let numbered = ref 0 in
+        while not (Queue.is_empty queue) do
+          let x = Queue.pop queue in
+          incr numbered;
+          let row = succ.(x) in
+          for y = 0 to n - 1 do
+            if row land (1 lsl y) <> 0 then begin
+              indeg.(y) <- indeg.(y) - 1;
+              if indeg.(y) = 0 then Queue.add y queue
+            end
+          done
+        done;
+        !numbered = n
+    | None ->
+        let rel = Run.Abstract.relations r in
+        let succ =
+          Array.init n (fun x ->
+              let row = Bitset.copy rel.Run.Abstract.ss.(x) in
+              Bitset.union_into ~dst:row rel.Run.Abstract.sr.(x);
+              Bitset.union_into ~dst:row rel.Run.Abstract.rs.(x);
+              Bitset.union_into ~dst:row rel.Run.Abstract.rr.(x);
+              Bitset.remove row x;
+              row)
+        in
+        let indeg = Array.make n 0 in
+        Array.iter
+          (fun row -> Bitset.iter (fun y -> indeg.(y) <- indeg.(y) + 1) row)
+          succ;
+        let queue = Queue.create () in
+        for x = 0 to n - 1 do
+          if indeg.(x) = 0 then Queue.add x queue
+        done;
+        let numbered = ref 0 in
+        while not (Queue.is_empty queue) do
+          let x = Queue.pop queue in
+          incr numbered;
+          Bitset.iter
+            (fun y ->
+              indeg.(y) <- indeg.(y) - 1;
+              if indeg.(y) = 0 then Queue.add y queue)
+            succ.(x)
+        done;
+        !numbered = n
 
 type cls = Sync | Causal_only | Async_only
 

@@ -28,12 +28,16 @@ val is_async : Run.Abstract.t -> bool
 val check_causal : Run.Abstract.t -> (unit, violation) result
 
 val is_causal : Run.Abstract.t -> bool
+(** Equivalent to [Result.is_ok (check_causal r)], computed over the run's
+    {!Run.Abstract.relations} bit matrices (no violation reported). *)
 
 val check_sync : Run.Abstract.t -> (int array, violation) result
 (** On success returns a numbering [T] (indexed by message) witnessing the
     SYNC condition. *)
 
 val is_sync : Run.Abstract.t -> bool
+(** Equivalent to [Result.is_ok (check_sync r)], computed over the run's
+    {!Run.Abstract.relations} bit matrices (no witness produced). *)
 
 type cls = Sync | Causal_only | Async_only
 (** The strongest limit set a run belongs to: [Sync] means

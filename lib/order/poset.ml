@@ -61,6 +61,12 @@ let of_edges n edges =
         (List.rev order);
       Some { n; succ; reach }
 
+let of_closure_unchecked ~n ~succ ~reach =
+  if n < 0 then invalid_arg "Poset.of_closure_unchecked: negative size";
+  if Array.length succ <> n || Array.length reach <> n then
+    invalid_arg "Poset.of_closure_unchecked: array length mismatch";
+  { n; succ; reach }
+
 let of_edges_exn n edges =
   match of_edges n edges with
   | Some t -> t
@@ -92,6 +98,10 @@ let down_set t g =
   s
 
 let up_set t h = Bitset.copy t.reach.(h)
+
+let iter_above t h f =
+  if h < 0 || h >= t.n then invalid_arg "Poset.iter_above: vertex out of range";
+  Bitset.iter f t.reach.(h)
 
 let topo_sort t =
   match topo_of_succ t.n t.succ with
@@ -129,8 +139,31 @@ let linear_extensions ?limit t =
   go t.n;
   List.rev !results
 
+(* Same backtracking scheme as [linear_extensions], but only the counter is
+   kept — no prefix list, no materialized results. *)
 let count_linear_extensions ?limit t =
-  List.length (linear_extensions ?limit t)
+  let limit = Option.value limit ~default:max_int in
+  let indeg = Array.make t.n 0 in
+  Array.iter
+    (fun gs -> List.iter (fun g -> indeg.(g) <- indeg.(g) + 1) gs)
+    t.succ;
+  let count = ref 0 in
+  let rec go remaining =
+    if !count >= limit then ()
+    else if remaining = 0 then incr count
+    else
+      for v = 0 to t.n - 1 do
+        if indeg.(v) = 0 then begin
+          indeg.(v) <- -1;
+          List.iter (fun g -> indeg.(g) <- indeg.(g) - 1) t.succ.(v);
+          go (remaining - 1);
+          List.iter (fun g -> indeg.(g) <- indeg.(g) + 1) t.succ.(v);
+          indeg.(v) <- 0
+        end
+      done
+  in
+  go t.n;
+  !count
 
 let covers t =
   let acc = ref [] in

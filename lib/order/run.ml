@@ -6,7 +6,30 @@ let attrs_known ~src ~dst ?color () =
   { src = Some src; dst = Some dst; color }
 
 module Abstract = struct
-  type t = { nmsgs : int; po : Poset.t; attrs : attrs array }
+  type relations = {
+    ss : Bitset.t array;
+    sr : Bitset.t array;
+    rs : Bitset.t array;
+    rr : Bitset.t array;
+    ss_t : Bitset.t array;
+    sr_t : Bitset.t array;
+    rs_t : Bitset.t array;
+    rr_t : Bitset.t array;
+  }
+
+  type t = {
+    nmsgs : int;
+    po_l : Poset.t Lazy.t;
+        (* lazy so the enumeration kernel can hand over only the packed
+           closure masks; forced on the first event-level query *)
+    attrs : attrs array;
+    mutable rels : relations option; (* Bitset view, computed on first use *)
+    mutable masks : int array option;
+        (* packed relation rows: row x of relation k at index k*nmsgs + x,
+           in the order ss sr rs rr ss_t sr_t rs_t rr_t. Only when
+           nmsgs <= 62; computed on first use unless supplied by the
+           enumeration kernel. *)
+  }
 
   let create ~nmsgs ?attrs edges =
     let attrs =
@@ -26,7 +49,9 @@ module Abstract = struct
     in
     match Poset.of_edges (2 * nmsgs) (implicit @ encoded) with
     | None -> None
-    | Some po -> Some { nmsgs; po; attrs }
+    | Some po ->
+        Some
+          { nmsgs; po_l = Lazy.from_val po; attrs; rels = None; masks = None }
 
   let create_exn ~nmsgs ?attrs edges =
     match create ~nmsgs ?attrs edges with
@@ -39,12 +64,156 @@ module Abstract = struct
     if m < 0 || m >= t.nmsgs then invalid_arg "Run.Abstract.attrs";
     t.attrs.(m)
 
-  let poset t = t.po
+  let poset t = Lazy.force t.po_l
 
-  let lt t h g = Poset.lt t.po (Event.encode h) (Event.encode g)
+  (* capacity of the packed int-mask representation: one bit per message
+     per row, so it carries runs of up to 62 messages (every enumerable
+     universe; the bench harness's synthetic multi-thousand-message runs
+     fall back to the Bitset view) *)
+  let max_mask_msgs = 62
+
+  (* De-interleave the event-level reachability rows into the four msg×msg
+     endpoint relations (plus their transposes, sections 4-7). Even
+     vertices are sends, odd ones deliveries (see Event.encode). *)
+  let build_masks t =
+    let n = t.nmsgs in
+    let masks = Array.make (8 * n) 0 in
+    let po = poset t in
+    for u = 0 to (2 * n) - 1 do
+      let x = u lsr 1 in
+      let base = if u land 1 = 0 then 0 else 2 in
+      Poset.iter_above po u (fun v ->
+          let y = v lsr 1 in
+          let k = base + (v land 1) in
+          masks.((k * n) + x) <- masks.((k * n) + x) lor (1 lsl y);
+          masks.(((k + 4) * n) + y) <-
+            masks.(((k + 4) * n) + y) lor (1 lsl x))
+    done;
+    masks
+
+  let masks t =
+    match t.masks with
+    | Some _ as m -> m
+    | None ->
+        if t.nmsgs > max_mask_msgs then None
+        else begin
+          let m = build_masks t in
+          t.masks <- Some m;
+          Some m
+        end
+
+  (* reconstruct the event-level order from the packed masks: the closure
+     is already known, so the "generators" are the closure edges
+     themselves (Poset only needs them acyclic, not reduced) *)
+  let poset_of_masks ~nmsgs masks =
+    let n2 = 2 * nmsgs in
+    let succ = Array.make n2 [] in
+    let reach = Array.init n2 (fun _ -> Bitset.create n2) in
+    for u = 0 to n2 - 1 do
+      let x = u lsr 1 in
+      let base = if u land 1 = 0 then 0 else 2 in
+      let sbits = masks.((base * nmsgs) + x)
+      and rbits = masks.(((base + 1) * nmsgs) + x) in
+      let row = reach.(u) in
+      let out = ref [] in
+      for y = nmsgs - 1 downto 0 do
+        if rbits land (1 lsl y) <> 0 then begin
+          Bitset.add row ((2 * y) + 1);
+          out := ((2 * y) + 1) :: !out
+        end;
+        if sbits land (1 lsl y) <> 0 then begin
+          Bitset.add row (2 * y);
+          out := (2 * y) :: !out
+        end
+      done;
+      succ.(u) <- !out
+    done;
+    Poset.of_closure_unchecked ~n:n2 ~succ ~reach
+
+  (* Trusted constructor for the enumeration kernel: [masks] must be the
+     packed relation rows of a complete run's order. The poset view is
+     rebuilt lazily from the masks if ever queried. *)
+  let of_masks ~nmsgs ~attrs masks =
+    if nmsgs > max_mask_msgs then invalid_arg "Run.Abstract.of_masks: too big";
+    if Array.length attrs <> nmsgs then
+      invalid_arg "Run.Abstract.of_masks: attrs length mismatch";
+    if Array.length masks <> 8 * nmsgs then
+      invalid_arg "Run.Abstract.of_masks: masks length mismatch";
+    {
+      nmsgs;
+      po_l = lazy (poset_of_masks ~nmsgs masks);
+      attrs;
+      rels = None;
+      masks = Some masks;
+    }
+
+  let relations t =
+    match t.rels with
+    | Some r -> r
+    | None ->
+        let n = t.nmsgs in
+        let r =
+          match masks t with
+          | Some mk ->
+              let section k =
+                Array.init n (fun x ->
+                    let bits = mk.((k * n) + x) in
+                    let row = Bitset.create n in
+                    for y = 0 to n - 1 do
+                      if bits land (1 lsl y) <> 0 then Bitset.add row y
+                    done;
+                    row)
+              in
+              {
+                ss = section 0;
+                sr = section 1;
+                rs = section 2;
+                rr = section 3;
+                ss_t = section 4;
+                sr_t = section 5;
+                rs_t = section 6;
+                rr_t = section 7;
+              }
+          | None ->
+              (* > 62 messages: build the Bitset view off the poset *)
+              let mk () = Array.init n (fun _ -> Bitset.create n) in
+              let ss = mk ()
+              and sr = mk ()
+              and rs = mk ()
+              and rr = mk ()
+              and ss_t = mk ()
+              and sr_t = mk ()
+              and rs_t = mk ()
+              and rr_t = mk () in
+              let po = poset t in
+              for u = 0 to (2 * n) - 1 do
+                let x = u lsr 1 in
+                let u_send = u land 1 = 0 in
+                Poset.iter_above po u (fun v ->
+                    let y = v lsr 1 in
+                    match (u_send, v land 1 = 0) with
+                    | true, true ->
+                        Bitset.add ss.(x) y;
+                        Bitset.add ss_t.(y) x
+                    | true, false ->
+                        Bitset.add sr.(x) y;
+                        Bitset.add sr_t.(y) x
+                    | false, true ->
+                        Bitset.add rs.(x) y;
+                        Bitset.add rs_t.(y) x
+                    | false, false ->
+                        Bitset.add rr.(x) y;
+                        Bitset.add rr_t.(y) x)
+              done;
+              { ss; sr; rs; rr; ss_t; sr_t; rs_t; rr_t }
+        in
+        t.rels <- Some r;
+        r
+
+  let lt t h g = Poset.lt (poset t) (Event.encode h) (Event.encode g)
 
   let concurrent t h g =
-    Poset.concurrent t.po (Event.encode h) (Event.encode g)
+    Poset.concurrent (poset t) (Event.encode h) (Event.encode g)
 
   let message_graph t =
     let acc = ref [] in
@@ -73,7 +242,7 @@ module Abstract = struct
 
   let equal a b =
     a.nmsgs = b.nmsgs
-    && Poset.relation_equal a.po b.po
+    && Poset.relation_equal (poset a) (poset b)
     && Array.for_all2 attrs_equal a.attrs b.attrs
 
   let pp ppf t =
@@ -82,7 +251,7 @@ module Abstract = struct
       (fun (h, g) ->
         Format.fprintf ppf "@ %a -> %a" Event.pp (Event.decode h) Event.pp
           (Event.decode g))
-      (Poset.covers t.po);
+      (Poset.covers (poset t));
     Format.fprintf ppf "@]"
 end
 
@@ -175,6 +344,21 @@ let of_sequences ~nprocs ~msgs ?colors seq =
       | None -> Error "process sequences induce a cyclic order"
       | Some po -> Ok { nprocs; msgs; colors; seq; po })
 
+let of_enumeration ~nprocs ~msgs ?colors ~po seq =
+  let colors =
+    match colors with
+    | Some c ->
+        if Array.length c <> Array.length msgs then
+          invalid_arg "Run.of_enumeration: colors length mismatch";
+        c
+    | None -> Array.make (Array.length msgs) None
+  in
+  if Array.length seq <> nprocs then
+    invalid_arg "Run.of_enumeration: sequence array length <> nprocs";
+  if Poset.size po <> 2 * Array.length msgs then
+    invalid_arg "Run.of_enumeration: poset size <> 2 * nmsgs";
+  { nprocs; msgs; colors; seq; po }
+
 let of_schedule ~nprocs ~msgs ?colors sched =
   let nmsgs = Array.length msgs in
   let sent = Array.make nmsgs false in
@@ -232,14 +416,16 @@ let to_abstract t =
         let src, dst = t.msgs.(m) in
         { src = Some src; dst = Some dst; color = t.colors.(m) })
   in
-  let edges =
-    List.filter_map
-      (fun (h, g) -> Some (Event.decode h, Event.decode g))
-      (Poset.generators t.po)
-  in
-  match Abstract.create ~nmsgs ~attrs edges with
-  | Some a -> a
-  | None -> assert false (* t.po is already a partial order *)
+  (* the concrete order already lives on Event.encode'd vertices and
+     includes every x.s ▷ x.r edge, so the abstract view can share the
+     poset instead of rebuilding its closure *)
+  {
+    Abstract.nmsgs;
+    po_l = Lazy.from_val t.po;
+    attrs;
+    rels = None;
+    masks = None;
+  }
 
 let linearize t =
   let cursors = Array.copy t.seq in

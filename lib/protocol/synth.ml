@@ -135,8 +135,10 @@ let find_channel_window p =
   | [] -> None
   | lengths -> Some (List.fold_left max 1 lengths)
 
-let optimize p =
-  let result = Mo_core.Classify.classify p in
+let optimize ?result p =
+  let result =
+    match result with Some r -> r | None -> Mo_core.Classify.classify p
+  in
   match result.Mo_core.Classify.verdict with
   | Mo_core.Classify.Not_implementable ->
       Error "not implementable: no protocol exists"

@@ -23,9 +23,14 @@ val for_spec :
 
 type choice = { factory : Protocol.factory; rationale : string }
 
-val optimize : Mo_core.Forbidden.t -> (choice, string) result
+val optimize :
+  ?result:Mo_core.Classify.result ->
+  Mo_core.Forbidden.t ->
+  (choice, string) result
 (** Per-predicate protocol optimization — a slice of the companion
-    paper's generator. Looks for a sub-pattern of the predicate that a
+    paper's generator. [result], when given, must be the caller's
+    [Classify.classify p] (avoids classifying the same predicate twice per
+    request). Looks for a sub-pattern of the predicate that a
     {e cheaper} protocol than the class-universal one already forbids:
 
     - a same-channel send chain [v0.s ▷ … ▷ vL.s] (channel equality

@@ -50,6 +50,18 @@ let int_range lo hi rng =
 
 let oneof (xs : 'a list) rng = List.nth xs (Random.State.int rng (List.length xs))
 
+(* weighted choice: [frequency [(3, a); (1, b)]] draws [a] three times as
+   often as [b]; weights must be positive *)
+let frequency (xs : (int * 'a gen) list) rng =
+  let total = List.fold_left (fun s (w, _) -> s + w) 0 xs in
+  if total <= 0 then invalid_arg "Prop.frequency";
+  let k = Random.State.int rng total in
+  let rec pick k = function
+    | [] -> invalid_arg "Prop.frequency"
+    | (w, g) :: rest -> if k < w then g else pick (k - w) rest
+  in
+  (pick k xs) rng
+
 let pair g1 g2 rng =
   let a = g1 rng in
   let b = g2 rng in

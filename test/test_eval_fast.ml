@@ -1,0 +1,213 @@
+(* Differential tests for the PR-5 kernel: the incremental backtracking
+   enumerator, the mask/bitset compiled evaluator, and the fast limit
+   checks must be indistinguishable from their reference counterparts.
+
+   - enumerator: [Enumerate.runs] emits the same run SET as the
+     materialized [Enumerate.runs_ref] (different order is allowed and
+     expected), [count_runs] counts it, and the abstract fast path
+     ([fold_abstracts], packed masks + lazy poset) yields runs equal to
+     the [to_abstract] projections — [Run.Abstract.equal] forces the
+     mask-reconstructed poset against the concrete one.
+   - evaluator: on ≥ 500 random guarded predicates, [find_matches]
+     (compiled, lex plan) is byte-for-byte the reference interpreter's
+     match list, and [holds] (compiled, reordered plan) agrees as a
+     boolean — over mask-backed abstract runs of every standard size.
+   - large runs: with > 62 messages the packed masks are unavailable and
+     everything must fall back to the Bitset/poset paths; the arms must
+     still agree.
+   - model checker: the B12-tier universe counts are pinned; these are
+     the numbers the paper's tables and BENCH_core.json carry. *)
+
+open Mo_core
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ---- enumerator vs reference ------------------------------------- *)
+
+let run_key r = Format.asprintf "%a" Run.pp r
+
+let standard_sizes = Modelcheck.standard_sizes
+
+let test_run_sets () =
+  List.iter
+    (fun (nprocs, nmsgs) ->
+      List.iter
+        (fun msgs ->
+          let fast = Enumerate.runs ~nprocs ~msgs
+          and slow = Enumerate.runs_ref ~nprocs ~msgs in
+          check_int "count_runs" (List.length slow)
+            (Enumerate.count_runs ~nprocs ~msgs);
+          let keys l = List.sort compare (List.map run_key l) in
+          Alcotest.(check (list string))
+            "same run set" (keys slow) (keys fast))
+        (Enumerate.configs ~nprocs ~nmsgs ()))
+    standard_sizes
+
+let test_abstract_fast_path () =
+  List.iter
+    (fun (nprocs, nmsgs) ->
+      List.iter
+        (fun msgs ->
+          (* same enumeration order on both sides, so compare pairwise;
+             equality forces the lazy poset rebuilt from the packed masks
+             against the concrete run's own closure *)
+          let concrete =
+            List.map Run.to_abstract (Enumerate.runs ~nprocs ~msgs)
+          in
+          let fast =
+            List.rev
+              (Enumerate.fold_abstracts ~nprocs ~msgs ~init:[]
+                 ~f:(fun acc r -> r :: acc))
+          in
+          check_int "same cardinality" (List.length concrete)
+            (List.length fast);
+          List.iter2
+            (fun a b ->
+              check_bool "abstract runs equal" true (Run.Abstract.equal a b);
+              (* and the limit verdicts agree between mask and poset
+                 representations *)
+              check_bool "is_causal agrees" (Limits.is_causal a)
+                (Limits.is_causal b);
+              check_bool "is_sync agrees" (Limits.is_sync a)
+                (Limits.is_sync b))
+            concrete fast)
+        (Enumerate.configs ~nprocs ~nmsgs ()))
+    (* (3,3) adds minutes of pairwise poset comparisons for no new code
+       path; the smaller sizes already cross every representation *)
+    [ (2, 2); (3, 2); (2, 3) ]
+
+(* ---- compiled evaluator vs reference interpreter ------------------ *)
+
+(* one shared pool of mask-backed abstract runs covering every standard
+   size; sampled by stride so each case sees a spread, not a prefix *)
+let run_pool =
+  lazy
+    (Array.of_list
+       (List.concat_map
+          (fun (nprocs, nmsgs) ->
+            Enumerate.abstract_runs ~nprocs ~nmsgs ())
+          standard_sizes))
+
+let sample_runs rng =
+  let pool = Lazy.force run_pool in
+  let stride = 17 + Prop.int_range 0 61 rng in
+  let start = Prop.int_range 0 (Array.length pool - 1) rng in
+  List.init 40 (fun i -> pool.((start + (i * stride)) mod Array.length pool))
+
+let gen_pred rng =
+  Prop.frequency
+    [
+      (* small arities actually place all their variables in 2-3 message
+         runs; larger ones exercise the early-exit and pruning paths *)
+      ( 3,
+        fun rng ->
+          Mo_workload.Random_pred.guarded_predicate ~max_vars:3
+            ~seed:(Prop.int_range 0 1_000_000 rng)
+            () );
+      ( 2,
+        fun rng ->
+          Mo_workload.Random_pred.guarded_predicate
+            ~seed:(Prop.int_range 0 1_000_000 rng)
+            () );
+      ( 1,
+        fun rng ->
+          Mo_workload.Random_pred.cyclic_predicate
+            ~nvars:(Prop.int_range 2 5 rng)
+            ~seed:(Prop.int_range 0 1_000_000 rng) );
+    ]
+    rng
+
+let agree_on_pred (p, runs) =
+  let c = Eval.compile p in
+  List.for_all
+    (fun r ->
+      (* byte-for-byte: same matches, in the same order *)
+      Eval.find_matches_ref p r = Eval.find_matches_c c r
+      && Eval.find_match_ref p r = Eval.find_match_c c r
+      (* the reordered boolean plan agrees too, as does non-distinct
+         matching *)
+      && Eval.holds_ref p r = Eval.holds_c c r
+      && Eval.holds_ref ~distinct:false p r
+         = Eval.holds_c ~distinct:false c r)
+    runs
+
+let test_eval_differential =
+  Prop.test ~count:500 ~seed:42 ~name:"compiled = reference"
+    (Prop.pair gen_pred sample_runs)
+    ~pp:(fun (p, _) -> Forbidden.to_string p)
+    agree_on_pred
+
+(* ---- the > 62-message fallback ----------------------------------- *)
+
+let big_n = 70
+
+(* a pipelined (totally ordered) big run and one with a single overtaken
+   pair; both too wide for packed masks *)
+let big_chain =
+  lazy
+    (let edges =
+       List.concat
+         (List.init (big_n - 1) (fun x ->
+              [ (Event.deliver x, Event.send (x + 1)) ]))
+     in
+     Run.Abstract.create_exn ~nmsgs:big_n edges)
+
+let big_overtake =
+  lazy
+    (Run.Abstract.create_exn ~nmsgs:big_n
+       [
+         (Event.send 0, Event.send 1); (Event.deliver 1, Event.deliver 0);
+       ])
+
+let test_big_runs () =
+  List.iter
+    (fun r ->
+      let r = Lazy.force r in
+      check_bool "masks unavailable above 62 msgs" true
+        (Run.Abstract.masks r = None);
+      check_bool "is_causal = check_causal" (Limits.is_causal r)
+        (Result.is_ok (Limits.check_causal r));
+      check_bool "is_sync = check_sync" (Limits.is_sync r)
+        (Result.is_ok (Limits.check_sync r));
+      List.iter
+        (fun (e : Catalog.entry) ->
+          check_bool e.Catalog.name
+            (Eval.holds_ref e.Catalog.pred r)
+            (Eval.holds e.Catalog.pred r))
+        [ Catalog.causal_b2; Catalog.sync_crown 2; Catalog.fifo ])
+    [ big_chain; big_overtake ];
+  check_bool "chain is causal" true (Limits.is_causal (Lazy.force big_chain));
+  check_bool "overtake is not causal" false
+    (Limits.is_causal (Lazy.force big_overtake))
+
+(* ---- pinned model-checker counts (B12 tier) ----------------------- *)
+
+let test_verify_counts () =
+  let sizes = standard_sizes @ [ (4, 2); (4, 3); (3, 4) ] in
+  let v = Modelcheck.verify ~sizes () in
+  check_int "runs" 125_768 v.Modelcheck.counts.Modelcheck.runs;
+  check_int "causal" 63_364 v.Modelcheck.counts.Modelcheck.causal;
+  check_int "sync" 41_432 v.Modelcheck.counts.Modelcheck.sync;
+  check_bool "all lemmas hold" true (Modelcheck.ok v)
+
+let () =
+  Alcotest.run "eval_fast"
+    [
+      ( "enumerator",
+        [
+          Alcotest.test_case "run set = reference" `Slow test_run_sets;
+          Alcotest.test_case "abstract fast path" `Slow
+            test_abstract_fast_path;
+        ] );
+      ( "evaluator",
+        [
+          Alcotest.test_case "500 random guarded predicates" `Slow
+            test_eval_differential;
+          Alcotest.test_case "bitset fallback beyond 62 msgs" `Quick
+            test_big_runs;
+        ] );
+      ( "modelcheck",
+        [ Alcotest.test_case "B12-tier counts pinned" `Slow test_verify_counts ] );
+    ]
