@@ -1,0 +1,180 @@
+(* B15: streaming predicate monitors — aggregate events/sec of the
+   keyed, domain-sharded monitor driver, with the memory ceiling and the
+   seeded verdicts pinned alongside the timings. Writes BENCH_mon.json.
+
+   The workload is Mo_workload.Stream's synthetic keyed traffic: [nkeys]
+   ordering keys (50k in CI, 1M with --soak), 24 messages / 48 events
+   each, 5% delivery disorder, one compiled FIFO monitor per key with a
+   16-slot window — above the in-flight bound, so retirement is
+   exercised on every key. Deterministic outputs, gated exactly:
+
+   - the total violation count (a pure function of the seed);
+   - the per-monitor resident frontier bytes, which every key must agree
+     on (the monitor's state is sized by (window, nprocs) only);
+   - frontier_bounded: the same frontier on a 10x longer stream — the
+     bounded-memory claim of DESIGN.md §3h as a bit;
+   - an MD5 over the per-key reports, computed at every job count of the
+     sweep — sharding may not change a byte.
+
+   Timing keys follow the gate's conventions: wall_s lower-is-better,
+   throughput (events/sec) higher-is-better, compared only across
+   same-core hosts. The EXPERIMENTS.md acceptance bar is >= 1M
+   events/sec aggregate at the best sweep point. *)
+
+open Mo_core
+
+let j_int i = Mo_obs.Jsonb.Int i
+let j_str s = Mo_obs.Jsonb.String s
+let j_bool b = Mo_obs.Jsonb.Bool b
+let j_float f = Mo_obs.Jsonb.Float f
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let fifo_src = "x.s < y.s & y.r < x.r & src(x) = src(y)"
+let seed = 17
+let window = 16
+let profile = { Mo_workload.Stream.default_profile with disorder = 0.05 }
+
+(* the reports are the deterministic artifact: fingerprint them so the
+   sweep can assert byte-identity without holding every array *)
+let digest_reports reports =
+  let buf = Buffer.create (Array.length reports * 24) in
+  Array.iter
+    (fun (r : Mo_workload.Stream.report) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d:%d:%d:%s;" r.key r.events r.frontier_bytes
+           (match r.verdict with
+           | None -> "-"
+           | Some v ->
+               Printf.sprintf "%d@[%s]" v.Pmon.at
+                 (String.concat ","
+                    (List.map string_of_int (Array.to_list v.Pmon.witness))))))
+    reports;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let summary ?(soak = false) ?(jobs_list = [ 1; 2; 4 ]) () =
+  Format.printf
+    "@.%s@.== B15: streaming monitor throughput (keyed, sharded)%s@.%s@."
+    (String.make 74 '=')
+    (if soak then " (soak)" else "")
+    (String.make 74 '=');
+  let nkeys = if soak then 1_000_000 else 50_000 in
+  let pred = Eval.compile (Parse.predicate_exn fifo_src) in
+  let run jobs =
+    let pool = Mo_par.Pool.create ~jobs () in
+    time (fun () ->
+        Mo_workload.Stream.monitor_keys ~pool ~pred ~window ~profile ~nkeys
+          ~seed ())
+  in
+  let sweep =
+    List.map
+      (fun jobs ->
+        let reports, wall = run jobs in
+        (jobs, reports, wall))
+      jobs_list
+  in
+  let reports, _ =
+    match sweep with
+    | (_, r, w) :: _ -> (r, w)
+    | [] -> failwith "mon bench: empty jobs sweep"
+  in
+  let digest = digest_reports reports in
+  List.iter
+    (fun (jobs, r, _) ->
+      if digest_reports r <> digest then
+        failwith
+          (Printf.sprintf "mon bench: reports at %d jobs differ from jobs=%d"
+             jobs (match sweep with (j, _, _) :: _ -> j | [] -> 0)))
+    sweep;
+  let events =
+    Array.fold_left
+      (fun acc (r : Mo_workload.Stream.report) -> acc + r.events)
+      0 reports
+  in
+  let violations = Mo_workload.Stream.violations reports in
+  let frontier = reports.(0).Mo_workload.Stream.frontier_bytes in
+  if
+    not
+      (Array.for_all
+         (fun (r : Mo_workload.Stream.report) -> r.frontier_bytes = frontier)
+         reports)
+  then failwith "mon bench: frontier bytes differ across keys";
+  (* the bounded-memory claim: a 10x longer stream through the same
+     window leaves the same resident frontier *)
+  let long =
+    let pool = Mo_par.Pool.create ~jobs:1 () in
+    Mo_workload.Stream.monitor_keys ~pool ~pred ~window
+      ~profile:{ profile with Mo_workload.Stream.nmsgs = profile.nmsgs * 10 }
+      ~nkeys:1 ~seed ()
+  in
+  let bounded = long.(0).Mo_workload.Stream.frontier_bytes = frontier in
+  if not bounded then
+    Format.printf "  WARNING: frontier grows with stream length@.";
+  let ev = float_of_int events in
+  let best =
+    List.fold_left (fun acc (_, _, wall) -> max acc (ev /. wall)) 0. sweep
+  in
+  Format.printf "  %d keys x %d events  (violations %d, frontier %d B)@."
+    nkeys
+    (2 * profile.Mo_workload.Stream.nmsgs)
+    violations frontier;
+  List.iter
+    (fun (jobs, _, wall) ->
+      Format.printf "  jobs %d: %7.3f s  %9.0f events/s@." jobs wall
+        (ev /. wall))
+    sweep;
+  Format.printf "  best %9.0f events/s  (reports identical at jobs %s)@."
+    best
+    (String.concat "," (List.map string_of_int jobs_list));
+  if best < 1e6 then
+    Format.printf
+      "  WARNING: throughput below the 1M events/sec acceptance bar@.";
+  let json =
+    Mo_obs.Jsonb.Obj
+      [
+        ( "host",
+          Mo_obs.Jsonb.Obj
+            [
+              ("ocaml", j_str Sys.ocaml_version);
+              ("domains", j_bool Mo_par.available);
+              ("cores", j_int (Mo_par.recommended_jobs ()));
+            ] );
+        ("soak", j_bool soak);
+        ( "workload",
+          Mo_obs.Jsonb.Obj
+            [
+              ("keys", j_int nkeys);
+              ("events_per_key", j_int (2 * profile.Mo_workload.Stream.nmsgs));
+              ("events", j_int events);
+              ("window", j_int window);
+              ("predicate", j_str fifo_src);
+            ] );
+        ( "result",
+          Mo_obs.Jsonb.Obj
+            [
+              ("violations", j_int violations);
+              ("frontier_bytes_per_monitor", j_int frontier);
+              ("frontier_bounded", j_bool bounded);
+              ("report_digest", j_str digest);
+            ] );
+        ( "sweep",
+          Mo_obs.Jsonb.Obj
+            (List.map
+               (fun (jobs, _, wall) ->
+                 ( string_of_int jobs,
+                   Mo_obs.Jsonb.Obj
+                     [
+                       ("wall_s", j_float wall);
+                       ("throughput", j_float (ev /. wall));
+                     ] ))
+               sweep) );
+        ("throughput", j_float best);
+      ]
+  in
+  let oc = open_out "BENCH_mon.json" in
+  output_string oc (Mo_obs.Jsonb.to_string_pretty json);
+  close_out oc;
+  Format.printf "  monitor results written to BENCH_mon.json@."

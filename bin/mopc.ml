@@ -614,112 +614,49 @@ let batch_cmd =
   in
   Cmd.v (Cmd.info "batch" ~doc) T.(const batch_run $ path_arg)
 
-(* ---- monitor: stream a trace file through the online checker ---- *)
+(* ---- monitor: stream a trace file through the online checkers ---- *)
 
-type trace_line = Tsend of int * int * int | Tdeliver of int
+let read_trace_text path =
+  if path = "-" then Ok (In_channel.input_all stdin)
+  else
+    match In_channel.with_open_bin path In_channel.input_all with
+    | text -> Ok text
+    | exception Sys_error e -> Error e
 
-let parse_trace_line lineno line =
-  let line =
-    match String.index_opt line '#' with
-    | Some i -> String.sub line 0 i
-    | None -> line
-  in
-  match
-    String.split_on_char ' ' (String.trim line)
-    |> List.filter (fun s -> s <> "")
-  with
-  | [] -> Ok None
-  | [ "send"; m; src; dst ] -> (
-      match (int_of_string_opt m, int_of_string_opt src, int_of_string_opt dst)
-      with
-      | Some m, Some src, Some dst -> Ok (Some (Tsend (m, src, dst)))
-      | _ -> Error (Printf.sprintf "line %d: bad send" lineno))
-  | [ "deliver"; m ] -> (
-      match int_of_string_opt m with
-      | Some m -> Ok (Some (Tdeliver m))
-      | None -> Error (Printf.sprintf "line %d: bad deliver" lineno))
-  | _ ->
-      Error
-        (Printf.sprintf
-           "line %d: expected 'send <msg> <src> <dst>' or 'deliver <msg>'"
-           lineno)
-
-let read_trace path =
-  let ic = if path = "-" then stdin else open_in path in
-  let rec go lineno acc =
-    match input_line ic with
-    | line -> (
-        match parse_trace_line lineno line with
-        | Ok None -> go (lineno + 1) acc
-        | Ok (Some t) -> go (lineno + 1) (t :: acc)
-        | Error e ->
-            if path <> "-" then close_in ic;
-            Error e)
-    | exception End_of_file ->
-        if path <> "-" then close_in ic;
-        Ok (List.rev acc)
-  in
-  go 1 []
-
-let trace_to_run trace =
-  let sends =
-    List.filter_map
-      (function Tsend (m, s, d) -> Some (m, (s, d)) | Tdeliver _ -> None)
-      trace
-  in
-  let nmsgs =
-    List.fold_left (fun acc (m, _) -> max acc (m + 1)) 0 sends
-  in
-  let msgs = Array.make nmsgs (0, 0) in
-  List.iter (fun (m, sd) -> msgs.(m) <- sd) sends;
-  let nprocs =
-    Array.fold_left (fun acc (s, d) -> max acc (max s d + 1)) 1 msgs
-  in
-  let sched =
-    List.map
-      (function
-        | Tsend (m, _, _) -> Mo_order.Run.Do_send m
-        | Tdeliver m -> Mo_order.Run.Do_deliver m)
-      trace
-  in
-  Mo_order.Run.of_schedule ~nprocs ~msgs sched
-
-let monitor_run diagram path =
-  match read_trace path with
+(* the fixed checks: FIFO + causal as events arrive, SYNC at the end *)
+let monitor_fixed diagram text =
+  match Trace_io.parse_prefix text with
   | Error e ->
-      prerr_endline e;
+      prerr_endline (Trace_io.error_to_string e);
       1
-  | Ok trace ->
-      let max_id = ref (-1) and max_proc = ref 0 in
-      List.iter
-        (fun t ->
-          match t with
-          | Tsend (m, src, dst) ->
-              max_id := max !max_id m;
-              max_proc := max !max_proc (max src dst)
-          | Tdeliver m -> max_id := max !max_id m)
-        trace;
+  | Ok p ->
+      let max_id =
+        List.fold_left
+          (fun acc ev ->
+            match ev with `Send (m, _, _, _) | `Deliver m -> max acc m)
+          (-1) p.Trace_io.p_events
+      in
       let t =
-        Mo_order.Online.create ~nprocs:(!max_proc + 1) ~nmsgs:(!max_id + 1)
+        Mo_order.Online.create ~nprocs:p.Trace_io.p_nprocs
+          ~nmsgs:(max_id + 1)
       in
       let nviolations = ref 0 in
-      (try
-         List.iter
-           (fun entry ->
-             match entry with
-             | Tsend (msg, src, dst) -> Mo_order.Online.send t ~msg ~src ~dst
-             | Tdeliver msg ->
-                 List.iter
-                   (fun (v : Mo_order.Online.violation) ->
-                     incr nviolations;
-                     Format.printf "%s violation: x%d overtook x%d@."
-                       (match v.kind with `Fifo -> "FIFO" | `Causal -> "causal")
-                       v.later v.earlier)
-                   (Mo_order.Online.deliver t ~msg))
-           trace
-       with Invalid_argument e ->
-         Format.printf "malformed trace: %s@." e;
-         exit 1);
+      List.iter
+        (fun ev ->
+          match ev with
+          | `Send (msg, src, dst, _) -> Mo_order.Online.send t ~msg ~src ~dst
+          | `Deliver msg ->
+              List.iter
+                (fun (v : Mo_order.Online.violation) ->
+                  incr nviolations;
+                  let src, dst = v.channel in
+                  Format.printf
+                    "%s violation at event %d: x%d overtook x%d on channel \
+                     %d->%d@."
+                    (match v.kind with `Fifo -> "FIFO" | `Causal -> "causal")
+                    v.at v.later v.earlier src dst)
+                (Mo_order.Online.deliver t ~msg))
+        p.Trace_io.p_events;
       (match Mo_order.Online.finalize_sync t with
       | Ok _ -> Format.printf "logically synchronous: yes@."
       | Error cycle ->
@@ -727,16 +664,87 @@ let monitor_run diagram path =
             (String.concat "," (List.map string_of_int cycle)));
       Format.printf "violations: %d@." !nviolations;
       (if diagram then
-         match trace_to_run trace with
+         match Trace_io.parse text with
          | Ok run -> print_string (Mo_order.Diagram.render_run run)
-         | Error e -> Format.printf "(cannot draw: %s)@." e);
+         | Error e ->
+             Format.printf "(cannot draw: %s)@."
+               (Trace_io.error_to_string e));
       if !nviolations = 0 then 0 else 2
+
+(* a compiled monitor for one forbidden predicate over the same stream *)
+let monitor_pred input window text =
+  match parse_pred input with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok pred -> (
+      match Trace_io.parse_prefix text with
+      | Error e ->
+          prerr_endline (Trace_io.error_to_string e);
+          1
+      | Ok p -> (
+          let window =
+            match window with
+            | Some w -> w
+            | None -> Mo_order.Monitor.max_window
+          in
+          let feed () =
+            let t =
+              Mo_core.Pmon.create ~window
+                ~nprocs:(max p.Trace_io.p_nprocs 1)
+                (Eval.compile pred)
+            in
+            List.iter
+              (fun ev ->
+                match ev with
+                | `Send (msg, src, dst, color) ->
+                    ignore (Mo_core.Pmon.send t ~msg ~src ~dst ?color ())
+                | `Deliver msg -> ignore (Mo_core.Pmon.deliver t ~msg))
+              p.Trace_io.p_events;
+            t
+          in
+          match feed () with
+          | exception Invalid_argument e ->
+              prerr_endline e;
+              1
+          | t ->
+              let m = Mo_core.Pmon.monitor t in
+              Format.printf "events: %d  pending: %d  frontier: %d bytes@."
+                (Mo_order.Monitor.events m)
+                (Mo_order.Monitor.pending m)
+                (Mo_order.Monitor.frontier_bytes m);
+              (match Mo_core.Pmon.verdict t with
+              | None ->
+                  Format.printf "no violation@.";
+                  0
+              | Some v ->
+                  Format.printf
+                    "violation at event %d: %s with {%s}@." v.Mo_core.Pmon.at
+                    (Forbidden.to_string pred)
+                    (String.concat ", "
+                       (Array.to_list
+                          (Array.mapi
+                             (fun i m -> Printf.sprintf "x%d=%d" i m)
+                             v.Mo_core.Pmon.witness)));
+                  2)))
+
+let monitor_run diagram pred window path =
+  match read_trace_text path with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok text -> (
+      match pred with
+      | None -> monitor_fixed diagram text
+      | Some input -> monitor_pred input window text)
 
 let monitor_cmd =
   let doc =
-    "stream a trace file ('send <msg> <src> <dst>' / 'deliver <msg>', one \
-     per line, '#' comments, '-' for stdin) through the online \
-     FIFO/causal/SYNC monitor"
+    "stream a trace file ('send <msg> <src> <dst> [color]' / 'deliver \
+     <msg>', one per line, '#' comments, '-' for stdin) through the \
+     online monitors: the fixed FIFO/causal/SYNC checks by default, or a \
+     compiled monitor for an arbitrary forbidden predicate with \
+     $(b,--pred). Exits 2 when a violation is found."
   in
   let path_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE")
@@ -744,7 +752,27 @@ let monitor_cmd =
   let diagram_flag =
     Arg.(value & flag & info [ "d"; "diagram" ] ~doc:"draw the trace")
   in
-  Cmd.v (Cmd.info "monitor" ~doc) T.(const monitor_run $ diagram_flag $ path_arg)
+  let pred_opt =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "p"; "pred" ] ~docv:"PREDICATE"
+          ~doc:
+            "monitor this forbidden predicate instead of the fixed checks; \
+             detection fires at the earliest event that makes a match \
+             unavoidable")
+  in
+  let window_opt =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "retire delivered messages beyond the most recent N (bounded \
+             memory; only used with $(b,--pred), default the maximum)")
+  in
+  Cmd.v (Cmd.info "monitor" ~doc)
+    T.(const monitor_run $ diagram_flag $ pred_opt $ window_opt $ path_arg)
 
 (* ---- universe: parallel model checking of the Lemma 3 identities ---- *)
 
@@ -893,15 +921,21 @@ let query_request op args =
       |> Result.map (fun l -> Minimize (List.rev l))
   | "stats", [] -> Ok Stats
   | "shutdown", [] -> Ok Shutdown
+  | "monitor", [ p; path ] ->
+      Result.bind (pred p) (fun p ->
+          match read_trace_text path with
+          | Ok trace -> Ok (Monitor (p, trace, None))
+          | Error e -> Error e)
   | "classify", _ | "witness", _ -> Error (op ^ " takes one PREDICATE")
   | "implies", _ -> Error "implies takes two predicates"
   | "minimize", _ -> Error "minimize takes at least one predicate"
+  | "monitor", _ -> Error "monitor takes a PREDICATE and a TRACE file"
   | ("stats" | "shutdown"), _ -> Error (op ^ " takes no arguments")
   | _ ->
       Error
         (Printf.sprintf
            "unknown op %S (classify | implies | minimize | witness | \
-            stats | shutdown)"
+            monitor | stats | shutdown)"
            op)
 
 let query_run socket deadline_ms op args =
@@ -928,7 +962,7 @@ let query_run socket deadline_ms op args =
 let query_cmd =
   let doc =
     "query a running mopcd service (classify | implies | minimize | \
-     witness | stats | shutdown) and print the JSON result"
+     witness | monitor | stats | shutdown) and print the JSON result"
   in
   let socket =
     Arg.(

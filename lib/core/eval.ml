@@ -396,3 +396,100 @@ let find_matches ?distinct ?limit p run =
 let holds ?distinct p run = holds_c ?distinct (compile p) run
 
 let satisfies ?distinct p run = satisfies_c ?distinct (compile p) run
+
+(* ------------------------------------------------------------------ *)
+(* Matching directly over raw mask rows.                              *)
+(* ------------------------------------------------------------------ *)
+
+module Masked = struct
+  type matcher = { c : compiled; distinct : bool; assignment : int array }
+
+  let make ?(distinct = true) c =
+    { c; distinct; assignment = Array.make (max c.m 1) (-1) }
+
+  (* Attribute guards over plain int arrays: [-1] means unknown, and an
+     unknown attribute satisfies no guard (colors and processes are
+     non-negative by construction). *)
+  let guard_ok ~src ~dst ~color assignment (g : Term.guard) =
+    match g with
+    | Term.Same_src (x, y) ->
+        let a = src.(assignment.(x)) in
+        a >= 0 && a = src.(assignment.(y))
+    | Term.Same_dst (x, y) ->
+        let a = dst.(assignment.(x)) in
+        a >= 0 && a = dst.(assignment.(y))
+    | Term.Color_is (x, c) -> color.(assignment.(x)) = c
+
+  exception Done
+
+  let rec self_ok masks n c = function
+    | [] -> true
+    | (cj : Term.conjunct) :: rest ->
+        let k = sel_index (fwd_sel cj.before.point cj.after.point) in
+        masks.((k * n) + c) land (1 lsl c) <> 0 && self_ok masks n c rest
+
+  let rec guards_ok ~src ~dst ~color assignment = function
+    | [] -> true
+    | g :: rest ->
+        guard_ok ~src ~dst ~color assignment g
+        && guards_ok ~src ~dst ~color assignment rest
+
+  (* [run_plan_masks] with the run replaced by raw rows of stride [n]
+     and a [live] occupancy mask: the streaming monitor's frontier
+     ({!Mo_order.Monitor}) is matched in place, between events. This is
+     the per-event hot path of [Pmon.check], so the search loop is kept
+     allocation-free (B15 holds it to >= 1M events/sec). *)
+  let run_plan u plan ~n ~live ~masks ~src ~dst ~color emit =
+    let m = u.c.m in
+    if m = 0 then ignore (emit u.assignment)
+    else if live <> 0 then begin
+      let assignment = u.assignment in
+      let used = ref 0 in
+      let rec go i =
+        if i = m then begin
+          if not (emit assignment) then raise_notrace Done
+        end
+        else begin
+          let st = plan.(i) in
+          let rows = st.rows in
+          let cand =
+            ref (if u.distinct then live land lnot !used else live)
+          in
+          for ri = 0 to Array.length rows - 1 do
+            let w, s = rows.(ri) in
+            cand := !cand land masks.((sel_index s * n) + assignment.(w))
+          done;
+          let cand = !cand in
+          if cand <> 0 then
+            for c = 0 to n - 1 do
+              if cand land (1 lsl c) <> 0 then begin
+                assignment.(st.var) <- c;
+                if
+                  self_ok masks n c st.self_conj
+                  && guards_ok ~src ~dst ~color assignment st.sguards
+                then begin
+                  if u.distinct then used := !used lor (1 lsl c);
+                  go (i + 1);
+                  if u.distinct then used := !used land lnot (1 lsl c)
+                end
+              end
+            done
+        end
+      in
+      try go 0 with Done -> ()
+    end
+
+  let holds u ~n ~live ~masks ~src ~dst ~color =
+    let found = ref false in
+    run_plan u u.c.fast ~n ~live ~masks ~src ~dst ~color (fun _ ->
+        found := true;
+        false);
+    !found
+
+  let find u ~n ~live ~masks ~src ~dst ~color =
+    let res = ref None in
+    run_plan u u.c.fast ~n ~live ~masks ~src ~dst ~color (fun a ->
+        res := Some (Array.copy a);
+        false);
+    !res
+end

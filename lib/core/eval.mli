@@ -71,6 +71,49 @@ val holds_c : ?distinct:bool -> compiled -> Mo_order.Run.Abstract.t -> bool
 
 val satisfies_c : ?distinct:bool -> compiled -> Mo_order.Run.Abstract.t -> bool
 
+(** {1 Matching over raw mask rows}
+
+    The compiled plans evaluated directly against relation rows owned by
+    someone else — in practice the streaming frontier of
+    {!Mo_order.Monitor}, whose [masks]/[live]/attribute arrays have
+    exactly this shape. No run value, no allocation per query: a
+    [matcher] carries reusable scratch, so one per monitor (they are
+    single-threaded, like the monitor itself). *)
+
+module Masked : sig
+  type matcher
+
+  val make : ?distinct:bool -> compiled -> matcher
+  (** [distinct] defaults to [true], as the predicate evaluators. *)
+
+  val holds :
+    matcher ->
+    n:int ->
+    live:int ->
+    masks:int array ->
+    src:int array ->
+    dst:int array ->
+    color:int array ->
+    bool
+  (** Is there a satisfying assignment over the live slots? [n] is the
+      row stride ({!Mo_order.Monitor.window}), [masks] the eight
+      sections in {!Mo_order.Run.Abstract.masks} order, [src]/[dst]/
+      [color] per-slot attributes with [-1] for unknown (an unknown
+      attribute satisfies no guard). *)
+
+  val find :
+    matcher ->
+    n:int ->
+    live:int ->
+    masks:int array ->
+    src:int array ->
+    dst:int array ->
+    color:int array ->
+    int array option
+  (** The first satisfying assignment (variable index → slot index) in
+      the fast plan's order, if any. *)
+end
+
 (** {1 Reference interpreter}
 
     The pre-compilation backtracking matcher, kept as the differential

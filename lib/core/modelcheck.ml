@@ -122,6 +122,77 @@ let verify ?pool ~sizes () =
         lemma33_unsat = total.a_unsat;
       })
 
+(* ------------------------------------------------------------------ *)
+(* Online-vs-offline differential verification.                       *)
+(* ------------------------------------------------------------------ *)
+
+type monitor_report = {
+  m_runs : int;
+  m_violations : (string * int) list;
+  m_agree : bool;
+}
+
+let monitor_preds =
+  [
+    ("fifo", Catalog.fifo.Catalog.pred);
+    ("causal_b2", Catalog.causal_b2.Catalog.pred);
+    ("crown2", (Catalog.sync_crown 2).Catalog.pred);
+  ]
+
+type macc = { ma_runs : int; ma_viol : int array; ma_agree : bool }
+
+let verify_monitor ?pool ?(extensions = 3) ?(seed = 0) ?(sample = 1) ~sizes
+    () =
+  let plans =
+    List.map (fun (name, p) -> (name, Eval.compile p)) monitor_preds
+  in
+  let npreds = List.length plans in
+  let step acc (r : Run.t) =
+    (* per-run extension seeds derived from the run content, so the
+       sample is independent of sharding and job count *)
+    let rseed = Hashtbl.hash (seed, Run.linearize r) in
+    let monitored = sample <= 1 || rseed mod sample = 0 in
+    let viol = Array.copy acc.ma_viol in
+    let agree = ref acc.ma_agree in
+    List.iteri
+      (fun i (_, plan) ->
+        let offline = Eval.holds_c plan (Run.to_abstract r) in
+        if offline then viol.(i) <- viol.(i) + 1;
+        if monitored then
+          for e = 0 to extensions - 1 do
+            let events =
+              Run.linearize_random r ~seed:(Hashtbl.hash (rseed, e))
+            in
+            let online = Pmon.feed_events (Pmon.exact plan r) r events in
+            if Option.is_some online <> offline then agree := false
+          done)
+      plans;
+    { ma_runs = acc.ma_runs + 1; ma_viol = viol; ma_agree = !agree }
+  in
+  let merge x y =
+    {
+      ma_runs = x.ma_runs + y.ma_runs;
+      ma_viol = Array.init npreds (fun i -> x.ma_viol.(i) + y.ma_viol.(i));
+      ma_agree = x.ma_agree && y.ma_agree;
+    }
+  in
+  let init = { ma_runs = 0; ma_viol = Array.make npreds 0; ma_agree = true } in
+  with_pool pool (fun pool ->
+      let total =
+        List.fold_left
+          (fun acc (nprocs, nmsgs) ->
+            merge acc
+              (Enumerate.fold_runs_par ~pool ~nprocs ~nmsgs ~init ~f:step
+                 ~merge ()))
+          init sizes
+      in
+      {
+        m_runs = total.ma_runs;
+        m_violations =
+          List.mapi (fun i (name, _) -> (name, total.ma_viol.(i))) plans;
+        m_agree = total.ma_agree;
+      })
+
 let count ?pool ~sizes () =
   with_pool pool (fun pool ->
       List.fold_left

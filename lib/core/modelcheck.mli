@@ -37,6 +37,36 @@ val verify : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> verdict
     in one pass. [pool] defaults to a fresh pool with
     {!Mo_par.default_jobs} workers. *)
 
+type monitor_report = {
+  m_runs : int;  (** concrete runs checked *)
+  m_violations : (string * int) list;
+      (** per predicate ([fifo], [causal_b2], [crown2]): offline-violating
+          runs — extension-independent, so pinnable *)
+  m_agree : bool;
+      (** every sampled linear extension of every run produced the same
+          verdict online ({!Pmon}) as the offline evaluator *)
+}
+
+val verify_monitor :
+  ?pool:Mo_par.Pool.t ->
+  ?extensions:int ->
+  ?seed:int ->
+  ?sample:int ->
+  sizes:(int * int) list ->
+  unit ->
+  monitor_report
+(** The online-vs-offline differential pass behind
+    test/test_monitor.ml: every {e concrete} run of [sizes] is streamed
+    through a compiled monitor ({!Pmon.exact}, so no retirement) along
+    [extensions] (default 3) random linear extensions, and the sticky
+    verdict is compared with {!Eval.holds} on the completed run.
+    Extension seeds are derived from [seed] and the run content, never
+    from sharding, so the result is identical at every job count.
+    [sample] (default 1 = everything) streams only runs whose content
+    hash is divisible by it — the nightly deep-tier mode, where the
+    offline counts stay exact but only a deterministic ~[1/sample] of
+    the universe is monitored. *)
+
 val count : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> counts
 (** Just the limit-set cardinalities (skips the predicate evaluations);
     at the standard sizes this is the pinned [1424 ⊆ 1840 ⊆ 2804]. *)

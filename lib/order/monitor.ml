@@ -1,0 +1,249 @@
+(* Streaming must-happened-before frontier over a bounded slot window.
+
+   Eight relation sections in the Run.Abstract.masks layout, rows packed
+   into ints over window slots. Section k, row x lives at masks.(k *
+   window + x); bit y of a forward row means x.p ▷ y.q, transpose rows
+   mirror column reads. Every update below keeps forward and transpose
+   sections in lock step.
+
+   Per process p the monitor keeps past_s.(p) / past_r.(p): the slots
+   whose send (resp. delivery) is in the causal past of p's latest
+   event. Per slot j, sp_s.(j) / sp_r.(j) freeze those masks at j's
+   send, so j's delivery can reconstruct the send's past without
+   history. pend_to.(p) tracks slots pending delivery at p: whenever
+   p's past grows, the new events gain must-edges into those virtual
+   deliveries. *)
+
+type t = {
+  window : int;
+  nprocs : int;
+  masks : int array; (* 8 * window rows, Run.Abstract section order *)
+  slot_id : int array; (* message id per slot, -1 when free *)
+  slot_src : int array;
+  slot_dst : int array;
+  slot_color : int array; (* -1 = no color *)
+  delivered : int array; (* mask of delivered live slots *)
+  sp_s : int array; (* per slot: sends in the past of its send *)
+  sp_r : int array; (* per slot: deliveries in the past of its send *)
+  past_s : int array; (* per process *)
+  past_r : int array; (* per process *)
+  pend_to : int array; (* per process: pending slots addressed to it *)
+  slot_of : (int, int) Hashtbl.t; (* message id -> slot *)
+  retire_q : int Queue.t; (* delivered slots, delivery order *)
+  mutable live : int;
+  mutable events : int;
+  mutable retired : int;
+}
+
+let max_window = 62
+
+(* section offsets, as Run.Abstract: ss sr rs rr then transposes *)
+let ss = 0
+and sr = 1
+and rs = 2
+and rr = 3
+and ss_t = 4
+and sr_t = 5
+and rs_t = 6
+and rr_t = 7
+
+let create ?(window = 32) ~nprocs () =
+  if window < 1 || window > max_window then
+    invalid_arg "Monitor.create: window out of range";
+  if nprocs <= 0 then invalid_arg "Monitor.create: nprocs must be positive";
+  {
+    window;
+    nprocs;
+    masks = Array.make (8 * window) 0;
+    slot_id = Array.make window (-1);
+    slot_src = Array.make window (-1);
+    slot_dst = Array.make window (-1);
+    slot_color = Array.make window (-1);
+    delivered = Array.make 1 0;
+    sp_s = Array.make window 0;
+    sp_r = Array.make window 0;
+    past_s = Array.make nprocs 0;
+    past_r = Array.make nprocs 0;
+    pend_to = Array.make nprocs 0;
+    slot_of = Hashtbl.create (2 * window);
+    retire_q = Queue.create ();
+    live = 0;
+    events = 0;
+    retired = 0;
+  }
+
+let window t = t.window
+let nprocs t = t.nprocs
+let events t = t.events
+let retired t = t.retired
+let live t = t.live
+let masks t = t.masks
+let slot_src t = t.slot_src
+let slot_dst t = t.slot_dst
+let slot_color t = t.slot_color
+
+let popcount n =
+  let c = ref 0 and v = ref n in
+  while !v <> 0 do
+    v := !v land (!v - 1);
+    incr c
+  done;
+  !c
+
+let pending t =
+  let p = ref 0 in
+  for q = 0 to t.nprocs - 1 do
+    p := !p + popcount t.pend_to.(q)
+  done;
+  !p
+
+let slot_msg t j =
+  if j < 0 || j >= t.window || t.slot_id.(j) < 0 then
+    invalid_arg "Monitor.slot_msg: free slot";
+  t.slot_id.(j)
+
+let slot_delivered t j = t.delivered.(0) land (1 lsl j) <> 0
+
+(* call f on each set bit of [bits]; O(window) regardless of density *)
+let iter_bits t bits f =
+  if bits <> 0 then
+    for k = 0 to t.window - 1 do
+      if bits land (1 lsl k) <> 0 then f k
+    done
+
+(* recycle slot k: erase it from every row, past and index *)
+let retire t k =
+  let keep = lnot (1 lsl k) in
+  let m = t.masks in
+  for i = 0 to (8 * t.window) - 1 do
+    m.(i) <- m.(i) land keep
+  done;
+  for s = 0 to 7 do
+    m.((s * t.window) + k) <- 0
+  done;
+  for j = 0 to t.window - 1 do
+    t.sp_s.(j) <- t.sp_s.(j) land keep;
+    t.sp_r.(j) <- t.sp_r.(j) land keep
+  done;
+  for p = 0 to t.nprocs - 1 do
+    t.past_s.(p) <- t.past_s.(p) land keep;
+    t.past_r.(p) <- t.past_r.(p) land keep
+  done;
+  Hashtbl.remove t.slot_of t.slot_id.(k);
+  t.slot_id.(k) <- -1;
+  t.delivered.(0) <- t.delivered.(0) land keep;
+  t.live <- t.live land keep;
+  t.retired <- t.retired + 1
+
+let full_mask t = (1 lsl t.window) - 1
+
+let alloc t =
+  if t.live <> full_mask t then (
+    let k = ref 0 in
+    while t.live land (1 lsl !k) <> 0 do
+      incr k
+    done;
+    !k)
+  else
+    match Queue.take_opt t.retire_q with
+    | Some k ->
+        retire t k;
+        k
+    | None ->
+        invalid_arg "Monitor.send: window exhausted (every slot pending)"
+
+let send t ~msg ~src ~dst ?(color = -1) () =
+  if src < 0 || src >= t.nprocs then invalid_arg "Monitor.send: bad src";
+  if dst < 0 || dst >= t.nprocs then invalid_arg "Monitor.send: bad dst";
+  if Hashtbl.mem t.slot_of msg then
+    invalid_arg "Monitor.send: duplicate send";
+  let j = alloc t in
+  let bj = 1 lsl j in
+  let w = t.window and m = t.masks in
+  Hashtbl.replace t.slot_of msg j;
+  t.slot_id.(j) <- msg;
+  t.slot_src.(j) <- src;
+  t.slot_dst.(j) <- dst;
+  t.slot_color.(j) <- color;
+  let ps = t.past_s.(src) and pr = t.past_r.(src) in
+  t.sp_s.(j) <- ps;
+  t.sp_r.(j) <- pr;
+  (* edges into the new send event: k.s ▷ j.s and k.r ▷ j.s *)
+  iter_bits t ps (fun k -> m.((ss * w) + k) <- m.((ss * w) + k) lor bj);
+  m.((ss_t * w) + j) <- ps;
+  iter_bits t pr (fun k -> m.((rs * w) + k) <- m.((rs * w) + k) lor bj);
+  m.((rs_t * w) + j) <- pr;
+  (* must-edges into j's virtual delivery: j.r follows j.s (hence the
+     send's whole past) and the current past of dst, in every
+     completion *)
+  let vs = ps lor bj lor t.past_s.(dst) in
+  let vr = pr lor t.past_r.(dst) in
+  iter_bits t vs (fun k -> m.((sr * w) + k) <- m.((sr * w) + k) lor bj);
+  m.((sr_t * w) + j) <- vs;
+  iter_bits t vr (fun k -> m.((rr * w) + k) <- m.((rr * w) + k) lor bj);
+  m.((rr_t * w) + j) <- vr;
+  (* j.s is now in src's past, so it precedes every delivery still
+     pending at src *)
+  let p = t.pend_to.(src) in
+  if p <> 0 then (
+    m.((sr * w) + j) <- m.((sr * w) + j) lor p;
+    iter_bits t p (fun y ->
+        m.((sr_t * w) + y) <- m.((sr_t * w) + y) lor bj));
+  t.past_s.(src) <- ps lor bj;
+  t.pend_to.(dst) <- t.pend_to.(dst) lor bj;
+  t.live <- t.live lor bj;
+  t.events <- t.events + 1
+
+let deliver t ~msg =
+  match Hashtbl.find_opt t.slot_of msg with
+  | None -> invalid_arg "Monitor.deliver: message not sent"
+  | Some j ->
+      if slot_delivered t j then
+        invalid_arg "Monitor.deliver: duplicate delivery";
+      let bj = 1 lsl j in
+      let w = t.window and m = t.masks in
+      let q = t.slot_dst.(j) in
+      (* the real past of j.r: q's past joined with the send's past.
+         The virtual rows written at send time are always a subset, so
+         only the delta needs forward updates. *)
+      let es = t.past_s.(q) lor t.sp_s.(j) lor bj in
+      let er = t.past_r.(q) lor t.sp_r.(j) in
+      iter_bits t
+        (es land lnot m.((sr_t * w) + j))
+        (fun k -> m.((sr * w) + k) <- m.((sr * w) + k) lor bj);
+      m.((sr_t * w) + j) <- es;
+      iter_bits t
+        (er land lnot m.((rr_t * w) + j))
+        (fun k -> m.((rr * w) + k) <- m.((rr * w) + k) lor bj);
+      m.((rr_t * w) + j) <- er;
+      (* q's past grows: the newly absorbed events (and j.r itself)
+         precede every delivery still pending at q *)
+      let ds = es land lnot t.past_s.(q) in
+      let dr = (er lor bj) land lnot t.past_r.(q) in
+      let p = t.pend_to.(q) land lnot bj in
+      if p <> 0 then (
+        iter_bits t ds (fun u ->
+            m.((sr * w) + u) <- m.((sr * w) + u) lor p);
+        iter_bits t dr (fun u ->
+            m.((rr * w) + u) <- m.((rr * w) + u) lor p);
+        iter_bits t p (fun y ->
+            m.((sr_t * w) + y) <- m.((sr_t * w) + y) lor ds;
+            m.((rr_t * w) + y) <- m.((rr_t * w) + y) lor dr));
+      t.past_s.(q) <- es;
+      t.past_r.(q) <- er lor bj;
+      t.pend_to.(q) <- t.pend_to.(q) land lnot bj;
+      t.delivered.(0) <- t.delivered.(0) lor bj;
+      Queue.add j t.retire_q;
+      t.events <- t.events + 1
+
+let frontier_bytes t =
+  let word = Sys.word_size / 8 in
+  let ints =
+    (8 * t.window) (* masks *)
+    + (6 * t.window) (* slot_id/src/dst/color, sp_s, sp_r *)
+    + (3 * t.nprocs) (* past_s, past_r, pend_to *)
+    + 1 (* delivered *)
+    + 4 (* live, events, retired, and the queue head *)
+  in
+  (* hash table and retire queue are bounded by the window *)
+  word * (ints + (4 * t.window))

@@ -2,6 +2,8 @@ type violation = {
   kind : [ `Fifo | `Causal ];
   earlier : int;
   later : int;
+  at : int;
+  channel : int * int;
 }
 
 type msg_state = {
@@ -26,6 +28,7 @@ type t = {
   dst_pending : (int, unit) Hashtbl.t array; (* per dst: undelivered msg ids *)
   pred : Bitset.t array; (* per message: messages with an event before one of
                             its events; filled at delivery *)
+  mutable events : int; (* stream position, for violation reports *)
 }
 
 let create ~nprocs ~nmsgs =
@@ -50,16 +53,13 @@ let create ~nprocs ~nmsgs =
     chan_pending = Hashtbl.create 16;
     dst_pending = Array.init nprocs (fun _ -> Hashtbl.create 16);
     pred = Array.init nmsgs (fun _ -> Bitset.create nmsgs);
+    events = 0;
   }
 
-let vc_lt a b =
-  let le = ref true and eq = ref true in
-  Array.iteri
-    (fun i x ->
-      if x > b.(i) then le := false;
-      if x <> b.(i) then eq := false)
-    a;
-  !le && not !eq
+let events t = t.events
+
+let pending t =
+  Array.fold_left (fun n h -> n + Hashtbl.length h) 0 t.dst_pending
 
 let send t ~msg ~src ~dst =
   if msg < 0 || msg >= t.nmsgs then invalid_arg "Online.send: bad msg id";
@@ -89,7 +89,8 @@ let send t ~msg ~src ~dst =
   m.stamp <- Array.copy t.clocks.(src);
   (* causal past of the send, for the message graph *)
   m.send_past <- Some (Bitset.copy t.past.(src));
-  Bitset.add t.past.(src) msg
+  Bitset.add t.past.(src) msg;
+  t.events <- t.events + 1
 
 let deliver t ~msg =
   if msg < 0 || msg >= t.nmsgs then invalid_arg "Online.deliver: bad msg id";
@@ -98,6 +99,7 @@ let deliver t ~msg =
   if m.delivered then invalid_arg "Online.deliver: duplicate delivery";
   m.delivered <- true;
   let q = m.dst in
+  let at = t.events and channel = (m.src, m.dst) in
   let violations = ref [] in
   (* FIFO: an undelivered same-channel message with a smaller seqno *)
   (match Hashtbl.find_opt t.chan_pending (m.src, m.dst) with
@@ -105,7 +107,9 @@ let deliver t ~msg =
       Hashtbl.iter
         (fun seq earlier ->
           if seq < m.seq then
-            violations := { kind = `Fifo; earlier; later = msg } :: !violations)
+            violations :=
+              { kind = `Fifo; earlier; later = msg; at; channel }
+              :: !violations)
         chan;
       Hashtbl.remove chan m.seq
   | None -> ());
@@ -114,8 +118,10 @@ let deliver t ~msg =
   Hashtbl.iter
     (fun earlier () ->
       let m' = t.msgs.(earlier) in
-      if vc_lt m'.stamp m.stamp then
-        violations := { kind = `Causal; earlier; later = msg } :: !violations)
+      if Vclock.lt_arrays m'.stamp m.stamp then
+        violations :=
+          { kind = `Causal; earlier; later = msg; at; channel }
+          :: !violations)
     t.dst_pending.(q);
   (* message-graph predecessors: everything before this delivery *)
   Bitset.union_into ~dst:t.pred.(msg) t.past.(q);
@@ -125,13 +131,32 @@ let deliver t ~msg =
   Bitset.remove t.pred.(msg) msg;
   (* the delivery is an event at q: merge clocks and update the past *)
   let cq = t.clocks.(q) in
-  Array.iteri (fun i x -> if x > cq.(i) then cq.(i) <- x) m.stamp;
+  Vclock.merge_into ~into:cq m.stamp;
   cq.(q) <- cq.(q) + 1;
   (match m.send_past with
   | Some p -> Bitset.union_into ~dst:t.past.(q) p
   | None -> ());
   Bitset.add t.past.(q) msg;
+  t.events <- t.events + 1;
   List.rev !violations
+
+let frontier_bytes t =
+  let word = Sys.word_size / 8 in
+  let bits = Sys.word_size - 2 in
+  let bs_words = 1 + ((max t.nmsgs 1 + bits - 1) / bits) in
+  let sent =
+    Array.fold_left (fun n m -> if m.sent then n + 1 else n) 0 t.msgs
+  in
+  let words =
+    (t.nprocs * t.nprocs) (* clocks *)
+    + (t.nprocs * bs_words) (* pasts *)
+    + (8 * t.nmsgs) (* msg records *)
+    + (sent * (t.nprocs + bs_words)) (* stamps and send pasts *)
+    + (t.nmsgs * bs_words) (* message-graph predecessors *)
+    + (3 * Hashtbl.length t.next_seq)
+    + Array.fold_left (fun n h -> n + (3 * Hashtbl.length h)) 0 t.dst_pending
+  in
+  word * words
 
 let finalize_sync t =
   let n = t.nmsgs in

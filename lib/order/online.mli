@@ -12,7 +12,12 @@
     per-process order must be respected, and a send must precede its
     delivery). The monitor is the runtime face of the paper's tagging
     story: everything it needs for FIFO/causal is exactly what the tagged
-    protocols carry. *)
+    protocols carry.
+
+    For arbitrary forbidden predicates (and bounded memory on unbounded
+    streams) see {!Monitor} and [Mo_core.Pmon], which generalize the
+    FIFO/causal halves of this monitor; this one remains the cheap
+    special case and the only SYNC checker. *)
 
 type t
 
@@ -20,6 +25,10 @@ type violation = {
   kind : [ `Fifo | `Causal ];
   earlier : int;  (** the overtaken message *)
   later : int;  (** the message delivered too early *)
+  at : int;
+      (** 0-based index, in the event stream, of the delivery that
+          completed the violation *)
+  channel : int * int;  (** (src, dst) of the [later] message *)
 }
 
 val create : nprocs:int -> nmsgs:int -> t
@@ -34,6 +43,18 @@ val deliver : t -> msg:int -> violation list
 (** Record [msg.r] executed at the destination; returns the FIFO and/or
     causal violations this delivery completes (empty list if none). The
     monitor keeps running after violations. *)
+
+val events : t -> int
+(** Events consumed so far (sends and deliveries). *)
+
+val pending : t -> int
+(** Messages sent but not yet delivered. *)
+
+val frontier_bytes : t -> int
+(** Resident bytes of the monitor state: clocks, pasts, per-message
+    records and pending indices. Unlike {!Monitor.frontier_bytes} this
+    grows with [nmsgs] — the SYNC check needs the whole message graph —
+    which is exactly the ceiling the B15 bench makes visible. *)
 
 val finalize_sync : t -> (int array, int list) result
 (** After the run: [Ok numbering] if the run was logically synchronous

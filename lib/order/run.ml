@@ -401,6 +401,8 @@ let msg_src t m = fst t.msgs.(m)
 
 let msg_dst t m = snd t.msgs.(m)
 
+let msg_color t m = t.colors.(m)
+
 let sequence t i =
   if i < 0 || i >= t.nprocs then invalid_arg "Run.sequence";
   t.seq.(i)
@@ -455,6 +457,38 @@ let linearize t =
   done;
   (* a valid run always drains: every delivery's send is in some sequence *)
   assert (Array.for_all (fun c -> c = []) cursors);
+  List.rev !out
+
+let linearize_random t ~seed =
+  let rng = Random.State.make [| 0x6d6f6c72; seed |] in
+  let cursors = Array.copy t.seq in
+  let sent = Array.make (Array.length t.msgs) false in
+  let total = Array.fold_left (fun n l -> n + List.length l) 0 t.seq in
+  let enabled = Array.make (max t.nprocs 1) 0 in
+  let out = ref [] in
+  for _ = 1 to total do
+    let n = ref 0 in
+    Array.iteri
+      (fun p events ->
+        match events with
+        | ({ point = Event.S; _ } : Event.t) :: _ ->
+            enabled.(!n) <- p;
+            incr n
+        | { point = Event.R; msg } :: _ when sent.(msg) ->
+            enabled.(!n) <- p;
+            incr n
+        | _ -> ())
+      cursors;
+    (* a valid run always has an enabled event until it drains *)
+    assert (!n > 0);
+    let p = enabled.(Random.State.int rng !n) in
+    match cursors.(p) with
+    | [] -> assert false
+    | (e : Event.t) :: rest ->
+        if e.point = Event.S then sent.(e.msg) <- true;
+        out := e :: !out;
+        cursors.(p) <- rest
+  done;
   List.rev !out
 
 let pp ppf t =

@@ -36,6 +36,18 @@ let to_array = Array.copy
 
 let of_array = Array.copy
 
+let lt_arrays a b =
+  let le = ref true and eq = ref true in
+  Array.iteri
+    (fun i x ->
+      if x > b.(i) then le := false;
+      if x <> b.(i) then eq := false)
+    a;
+  !le && not !eq
+
+let merge_into ~into b =
+  Array.iteri (fun i x -> if x > into.(i) then into.(i) <- x) b
+
 let pp ppf v =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_list

@@ -38,4 +38,15 @@ val to_array : t -> int array
 
 val of_array : int array -> t
 
+(** {1 In-place helpers}
+
+    For streaming monitors that keep raw stamp arrays and cannot afford
+    a fresh clock per event. Both assume equal lengths. *)
+
+val lt_arrays : int array -> int array -> bool
+(** {!lt} directly on stamp arrays, allocation-free. *)
+
+val merge_into : into:int array -> int array -> unit
+(** Entrywise maximum, accumulated into [into]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -6,11 +6,14 @@ type request =
   | Implies of Forbidden.t * Forbidden.t
   | Minimize of Forbidden.t list
   | Witness of Forbidden.t
+  | Monitor of Forbidden.t * string * int option
   | Stats
   | Shutdown
   | Batch of envelope list
 
 and envelope = { id : int; deadline_ms : int option; req : request }
+
+exception Bad_request of string
 
 (* ---- JSON helpers ------------------------------------------------ *)
 
@@ -65,6 +68,15 @@ let rec envelope_of_json ~allow_batch json =
               in
               go [] items
           | _ -> fail "missing list field \"preds\"")
+      | "monitor" ->
+          Result.bind (pred_field "pred") (fun p ->
+              match Option.bind (member "trace" json) to_str with
+              | None -> fail "missing string field \"trace\""
+              | Some trace ->
+                  let window =
+                    Option.bind (member "window" json) to_int
+                  in
+                  wrap (Monitor (p, trace, window)))
       | "stats" -> wrap Stats
       | "shutdown" -> wrap Shutdown
       | "batch" -> (
@@ -108,6 +120,10 @@ let rec request_to_json { id; deadline_ms; req } =
             J.List
               (List.map (fun p -> J.String (Forbidden.to_string p)) ps) );
         ]
+  | Monitor (p, trace, window) ->
+      op "monitor"
+        ([ pred p; ("trace", J.String trace) ]
+        @ match window with None -> [] | Some w -> [ ("window", J.Int w) ])
   | Stats -> op "stats" []
   | Shutdown -> op "shutdown" []
   | Batch envs ->
@@ -232,6 +248,54 @@ let minimize_payload preds =
           - List.length minimized.Spec.predicates) );
       ("digest", J.String (Canon.spec_digest canonical));
     ]
+
+let monitor_payload ?window pred ~trace =
+  let module T = Mo_workload.Trace_io in
+  match T.parse_prefix trace with
+  | Error e -> raise (Bad_request ("bad trace: " ^ T.error_to_string e))
+  | Ok p -> (
+      match
+        let window =
+          Option.value ~default:Mo_order.Monitor.max_window window
+        in
+        let t =
+          Mo_core.Pmon.create ~window
+            ~nprocs:(max p.T.p_nprocs 1)
+            (Eval.compile pred)
+        in
+        List.iter
+          (function
+            | `Send (msg, src, dst, color) ->
+                ignore (Mo_core.Pmon.send t ~msg ~src ~dst ?color ())
+            | `Deliver msg -> ignore (Mo_core.Pmon.deliver t ~msg))
+          p.T.p_events;
+        t
+      with
+      | exception Invalid_argument msg -> raise (Bad_request msg)
+      | t ->
+          let mon = Mo_core.Pmon.monitor t in
+          let module M = Mo_order.Monitor in
+          J.Obj
+            [
+              ("predicate", J.String (Forbidden.to_string pred));
+              ("events", J.Int (M.events mon));
+              ("pending", J.Int (M.pending mon));
+              ("window", J.Int (M.window mon));
+              ("frontier_bytes", J.Int (M.frontier_bytes mon));
+              ( "violation",
+                match Mo_core.Pmon.verdict t with
+                | None -> J.Null
+                | Some v ->
+                    J.Obj
+                      [
+                        ("at", J.Int v.Mo_core.Pmon.at);
+                        ( "witness",
+                          J.List
+                            (List.map
+                               (fun m -> J.Int m)
+                               (Array.to_list v.Mo_core.Pmon.witness)) );
+                      ] );
+            ])
 
 (* ---- framing ----------------------------------------------------- *)
 

@@ -18,6 +18,12 @@ type request =
   | Implies of Mo_core.Forbidden.t * Mo_core.Forbidden.t
   | Minimize of Mo_core.Forbidden.t list
   | Witness of Mo_core.Forbidden.t
+  | Monitor of Mo_core.Forbidden.t * string * int option
+      (** [(pred, trace, window)]: stream a trace (the
+          [Mo_workload.Trace_io] text format, prefixes allowed) through
+          a compiled monitor for [pred]. Never cached — the payload
+          depends on the trace, not just the predicate. [window]
+          defaults to {!Mo_order.Monitor.max_window}. *)
   | Stats
   | Shutdown
   | Batch of envelope list
@@ -25,6 +31,12 @@ type request =
           sharded over the worker pool. Batches do not nest. *)
 
 and envelope = { id : int; deadline_ms : int option; req : request }
+
+exception Bad_request of string
+(** Raised by payload builders on invalid {e arguments} (a malformed
+    trace, an exhausted monitor window); the engine answers these with
+    the message verbatim, unlike unexpected exceptions which are
+    reported as internal errors. *)
 
 val request_of_json :
   Mo_obs.Jsonb.t -> (envelope, int * string) result
@@ -58,6 +70,16 @@ val implies_payload : Mo_core.Forbidden.t -> Mo_core.Forbidden.t -> Mo_obs.Jsonb
 val witness_payload : Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
 
 val minimize_payload : Mo_core.Forbidden.t list -> Mo_obs.Jsonb.t
+
+val monitor_payload :
+  ?window:int -> Mo_core.Forbidden.t -> trace:string -> Mo_obs.Jsonb.t
+(** Events consumed, pending count, window, resident frontier bytes, and
+    the violation ([null], or [{at; witness}] with the 0-based index of
+    the event at which the match became unavoidable and the matched
+    message ids). The predicate is monitored as written — not
+    canonicalized — so [witness] indices line up with the caller's
+    variable order. @raise Bad_request on a malformed trace or an
+    exhausted window. *)
 
 (** {1 Framing} *)
 

@@ -49,22 +49,29 @@ let stats_payload t =
   J.Obj
     [ ("cache", cache_stats t); ("metrics", Metrics.to_json t.reg) ]
 
-(* cache key and pure payload thunk of a cacheable request *)
-let cacheable (req : Codec.request) =
+(* payload thunk of a computable request, with its cache key when the
+   payload is a pure function of the canonicalized arguments; [None] as
+   the key means compute-always (a monitor verdict depends on the
+   trace, which has no useful canonical form) *)
+let computable (req : Codec.request) =
   match req with
   | Codec.Classify p ->
       Some
-        ("c:" ^ Canon.digest p, fun () -> Codec.classify_payload p)
+        ( Some ("c:" ^ Canon.digest p),
+          fun () -> Codec.classify_payload p )
   | Codec.Witness p ->
-      Some ("w:" ^ Canon.digest p, fun () -> Codec.witness_payload p)
+      Some
+        (Some ("w:" ^ Canon.digest p), fun () -> Codec.witness_payload p)
   | Codec.Implies (a, b) ->
       Some
-        ( "i:" ^ Canon.digest a ^ ":" ^ Canon.digest b,
+        ( Some ("i:" ^ Canon.digest a ^ ":" ^ Canon.digest b),
           fun () -> Codec.implies_payload a b )
   | Codec.Minimize ps ->
       Some
-        ( "m:" ^ Canon.spec_digest (Spec.make ~name:"query" ps),
+        ( Some ("m:" ^ Canon.spec_digest (Spec.make ~name:"query" ps)),
           fun () -> Codec.minimize_payload ps )
+  | Codec.Monitor (p, trace, window) ->
+      Some (None, fun () -> Codec.monitor_payload ?window p ~trace)
   | Codec.Stats | Codec.Shutdown | Codec.Batch _ -> None
 
 (* admission: None when the request may proceed, Some response when it
@@ -86,7 +93,8 @@ let check_deadline t ~received (env : Codec.envelope) =
 type admitted =
   | Done of J.t (* response already known *)
   | Stop of J.t (* shutdown admitted: respond, then stop the server *)
-  | Miss of int * string * (unit -> J.t) (* id, key, pure compute *)
+  | Miss of int * string option * (unit -> J.t)
+    (* id, cache key (None = uncached compute), pure compute *)
 
 let admit t ~received ~in_batch (env : Codec.envelope) =
   Metrics.inc t.c_requests;
@@ -109,69 +117,92 @@ let admit t ~received ~in_batch (env : Codec.envelope) =
           Metrics.inc t.c_errors;
           Done (Codec.error_response ~id "batches do not nest")
       | req -> (
-          match cacheable req with
+          match computable req with
           | None ->
               Metrics.inc t.c_errors;
               Done (Codec.error_response ~id "unsupported request")
-          | Some (key, compute) -> (
+          | Some ((Some key as k), compute) -> (
               match Cache.find t.cache key with
               | Some payload -> Done (Codec.ok_response ~id payload)
-              | None -> Miss (id, key, compute))))
+              | None -> Miss (id, k, compute))
+          | Some (None, compute) -> Miss (id, None, compute)))
 
-(* guard a pure compute so a bad predicate can never kill the server *)
+(* guard a pure compute so a bad predicate or trace can never kill the
+   server; Bad_request carries a message meant for the client *)
 let run_compute compute =
-  try Ok (compute ()) with e -> Error (Printexc.to_string e)
+  try Ok (compute ()) with
+  | Codec.Bad_request msg -> Error msg
+  | e -> Error ("internal error: " ^ Printexc.to_string e)
 
-let finish_miss t ~id ~key result =
+let respond t ~id result =
   match result with
-  | Ok payload ->
-      Cache.put t.cache key payload;
-      Codec.ok_response ~id payload
+  | Ok payload -> Codec.ok_response ~id payload
   | Error msg ->
       Metrics.inc t.c_errors;
-      Codec.error_response ~id ("internal error: " ^ msg)
+      Codec.error_response ~id msg
+
+let finish_miss t ~id ~key result =
+  (match (key, result) with
+  | Some key, Ok payload -> Cache.put t.cache key payload
+  | _ -> ());
+  respond t ~id result
 
 let handle_batch t ~received envs =
   Metrics.inc t.c_batches;
-  let admitted = List.map (admit t ~received ~in_batch:true) envs in
-  (* distinct missing keys, in first-occurrence order *)
-  let distinct = Hashtbl.create 16 in
-  let miss_keys = ref [] in
-  List.iter
-    (function
-      | Done _ | Stop _ -> ()
-      | Miss (_, key, compute) ->
-          if not (Hashtbl.mem distinct key) then begin
-            Hashtbl.replace distinct key compute;
-            miss_keys := key :: !miss_keys
-          end)
-    admitted;
-  let miss_keys = Array.of_list (List.rev !miss_keys) in
-  let results =
-    Mo_par.Pool.map t.pool (Array.length miss_keys) ~f:(fun i ->
-        run_compute (Hashtbl.find distinct miss_keys.(i)))
+  let admitted =
+    Array.of_list (List.map (admit t ~received ~in_batch:true) envs)
   in
-  let computed = Hashtbl.create 16 in
+  (* work units: the first occurrence of each missing cacheable key,
+     plus every uncached miss (those are keyed by their position) *)
+  let seen = Hashtbl.create 16 in
+  let work = ref [] in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | Done _ | Stop _ -> ()
+      | Miss (_, Some key, compute) ->
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.replace seen key ();
+            work := (i, Some key, compute) :: !work
+          end
+      | Miss (_, None, compute) -> work := (i, None, compute) :: !work)
+    admitted;
+  let work = Array.of_list (List.rev !work) in
+  let results =
+    Mo_par.Pool.map t.pool (Array.length work) ~f:(fun i ->
+        let _, _, compute = work.(i) in
+        run_compute compute)
+  in
+  let by_key = Hashtbl.create 16 in
+  let by_slot = Hashtbl.create 16 in
   Array.iteri
     (fun i result ->
-      (match result with
-      | Ok payload -> Cache.put t.cache miss_keys.(i) payload
-      | Error _ -> ());
-      Hashtbl.replace computed miss_keys.(i) result)
+      match work.(i) with
+      | _, Some key, _ ->
+          (match result with
+          | Ok payload -> Cache.put t.cache key payload
+          | Error _ -> ());
+          Hashtbl.replace by_key key result
+      | slot, None, _ -> Hashtbl.replace by_slot slot result)
     results;
-  List.map
-    (function
-      | Done resp | Stop resp -> resp
-      | Miss (id, key, _) -> (
-          match Hashtbl.find_opt computed key with
-          | Some (Ok payload) -> Codec.ok_response ~id payload
-          | Some (Error msg) ->
-              Metrics.inc t.c_errors;
-              Codec.error_response ~id ("internal error: " ^ msg)
-          | None ->
-              Metrics.inc t.c_errors;
-              Codec.error_response ~id "internal error: result lost"))
-    admitted
+  let lost ~id =
+    Metrics.inc t.c_errors;
+    Codec.error_response ~id "internal error: result lost"
+  in
+  Array.to_list
+    (Array.mapi
+       (fun i a ->
+         match a with
+         | Done resp | Stop resp -> resp
+         | Miss (id, Some key, _) -> (
+             match Hashtbl.find_opt by_key key with
+             | Some result -> respond t ~id result
+             | None -> lost ~id)
+         | Miss (id, None, _) -> (
+             match Hashtbl.find_opt by_slot i with
+             | Some result -> respond t ~id result
+             | None -> lost ~id))
+       admitted)
 
 let serve t ?received (env : Codec.envelope) =
   let received =

@@ -1,0 +1,85 @@
+type event =
+  | Send of { msg : int; src : int; dst : int }
+  | Deliver of { msg : int }
+
+type profile = {
+  nprocs : int;
+  nmsgs : int;
+  inflight : int;
+  disorder : float;
+}
+
+let default_profile = { nprocs = 3; nmsgs = 24; inflight = 6; disorder = 0.02 }
+
+let key_events p ~seed ~key =
+  if p.nprocs <= 0 || p.nmsgs < 0 || p.inflight < 1 then
+    invalid_arg "Stream.key_events: bad profile";
+  let rng = Mo_par.rng ~seed ~stream:key in
+  let out = ref [] in
+  (* pending messages in send order; oldest first *)
+  let pending = Queue.create () in
+  let next = ref 0 in
+  while !next < p.nmsgs || not (Queue.is_empty pending) do
+    let can_send = !next < p.nmsgs && Queue.length pending < p.inflight in
+    if can_send && (Queue.is_empty pending || Random.State.bool rng) then (
+      let msg = !next in
+      let src = Random.State.int rng p.nprocs in
+      let dst = Random.State.int rng p.nprocs in
+      out := Send { msg; src; dst } :: !out;
+      Queue.add msg pending;
+      incr next)
+    else
+      (* oldest-first keeps every order; with probability [disorder] the
+         newest pending message jumps the whole queue instead *)
+      let jump =
+        Queue.length pending > 1
+        && Random.State.float rng 1.0 < p.disorder
+      in
+      let msg =
+        if jump then (
+          (* the newest pending message is the queue's tail *)
+          let target = Queue.fold (fun _ m -> m) (-1) pending in
+          let keep = Queue.create () in
+          Queue.iter
+            (fun m -> if m <> target then Queue.add m keep)
+            pending;
+          Queue.clear pending;
+          Queue.transfer keep pending;
+          target)
+        else Queue.take pending
+      in
+      out := Deliver { msg } :: !out
+  done;
+  List.rev !out
+
+type report = {
+  key : int;
+  events : int;
+  verdict : Mo_core.Pmon.verdict option;
+  frontier_bytes : int;
+}
+
+let monitor_key ~pred ~window p ~seed key =
+  let t = Mo_core.Pmon.create ~window ~nprocs:p.nprocs pred in
+  List.iter
+    (function
+      | Send { msg; src; dst } ->
+          ignore (Mo_core.Pmon.send t ~msg ~src ~dst ())
+      | Deliver { msg } -> ignore (Mo_core.Pmon.deliver t ~msg))
+    (key_events p ~seed ~key);
+  let mon = Mo_core.Pmon.monitor t in
+  {
+    key;
+    events = Mo_order.Monitor.events mon;
+    verdict = Mo_core.Pmon.verdict t;
+    frontier_bytes = Mo_order.Monitor.frontier_bytes mon;
+  }
+
+let monitor_keys ~pool ~pred ?(window = 16) ?(profile = default_profile)
+    ~nkeys ~seed () =
+  Mo_par.Pool.map pool nkeys ~f:(monitor_key ~pred ~window profile ~seed)
+
+let violations reports =
+  Array.fold_left
+    (fun n r -> if Option.is_some r.verdict then n + 1 else n)
+    0 reports

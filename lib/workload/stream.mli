@@ -1,0 +1,58 @@
+(** Keyed event streams and the domain-sharded monitor driver.
+
+    The deployment shape behind `mopc monitor` at scale is the pubsub
+    ordering-key contract: events of one key are a sequential stream
+    (one {!Mo_core.Pmon} each), distinct keys are independent and
+    monitored concurrently. This module generates synthetic keyed
+    traffic — deterministic in [(seed, key)], so any shard layout sees
+    identical per-key streams — and drives one monitor per key over a
+    {!Mo_par.Pool}. Reports inherit the pool's determinism contract:
+    byte-identical at every job count (bench B15, and the sharding fuzz
+    test in test/test_monitor.ml). *)
+
+type event =
+  | Send of { msg : int; src : int; dst : int }
+  | Deliver of { msg : int }
+
+type profile = {
+  nprocs : int;
+  nmsgs : int;  (** messages per key; [2 * nmsgs] events *)
+  inflight : int;  (** max sent-but-undelivered messages at any point *)
+  disorder : float;
+      (** probability that a delivery takes the {e newest} pending
+          message instead of the oldest. [0.] yields oldest-first
+          delivery, which is FIFO- and causally-clean; anything above
+          plants occasional reorderings whose violation count the bench
+          pins *)
+}
+
+val default_profile : profile
+(** 3 processes, 24 messages, 6 in flight, 2% disorder. *)
+
+val key_events : profile -> seed:int -> key:int -> event list
+(** The event stream of one ordering key. Endpoints and delivery order
+    are drawn from {!Mo_par.rng}[ ~seed ~stream:key] — deterministic and
+    decorrelated across keys. *)
+
+type report = {
+  key : int;
+  events : int;
+  verdict : Mo_core.Pmon.verdict option;
+  frontier_bytes : int;
+}
+
+val monitor_keys :
+  pool:Mo_par.Pool.t ->
+  pred:Mo_core.Eval.compiled ->
+  ?window:int ->
+  ?profile:profile ->
+  nkeys:int ->
+  seed:int ->
+  unit ->
+  report array
+(** One monitor per key, fed that key's {!key_events}, sharded over the
+    pool; reports in key order. [window] defaults to 16 — above
+    [default_profile.inflight], so retirement is exercised but the
+    window never exhausts. *)
+
+val violations : report array -> int

@@ -8,6 +8,13 @@ let error_to_string e =
 
 let max_msg_id = 1_000_000
 
+type prefix = {
+  p_nprocs : int;
+  p_sends : int;
+  p_pending : int;
+  p_events : [ `Send of int * int * int * int option | `Deliver of int ] list;
+}
+
 let to_string run =
   let buf = Buffer.create 256 in
   List.iter
@@ -15,8 +22,13 @@ let to_string run =
       match e.point with
       | Event.S ->
           Buffer.add_string buf
-            (Printf.sprintf "send %d %d %d\n" e.msg (Run.msg_src run e.msg)
-               (Run.msg_dst run e.msg))
+            (match Run.msg_color run e.msg with
+            | None ->
+                Printf.sprintf "send %d %d %d\n" e.msg
+                  (Run.msg_src run e.msg) (Run.msg_dst run e.msg)
+            | Some c ->
+                Printf.sprintf "send %d %d %d %d\n" e.msg
+                  (Run.msg_src run e.msg) (Run.msg_dst run e.msg) c)
       | Event.R -> Buffer.add_string buf (Printf.sprintf "deliver %d\n" e.msg))
     (Run.linearize run);
   Buffer.contents buf
@@ -28,11 +40,13 @@ let write path run =
 
 (* Parsing proceeds in two passes: a per-line syntactic pass that also
    validates ids and event uniqueness (so every malformed shape is
-   reported with its line number), then the Run.of_schedule replay,
-   whose residual errors (a message sent but never delivered) are not
-   tied to any one line. *)
+   reported with its line number), then — for complete runs — the
+   Run.of_schedule replay, whose residual errors (a message sent but
+   never delivered) are not tied to any one line. The syntactic pass
+   alone is parse_prefix: pending messages are fine there, which is
+   what a streaming monitor consumes. *)
 
-let parse text =
+let parse_prefix text =
   let lines = String.split_on_char '\n' text in
   let entries = ref [] in
   let err = ref None in
@@ -41,12 +55,26 @@ let parse text =
   in
   let sent = Hashtbl.create 64 in
   let delivered = Hashtbl.create 64 in
+  let nprocs = ref 1 in
   let check_id lineno what m k =
     if m < 0 then fail lineno (Printf.sprintf "negative %s id %d" what m)
     else if m > max_msg_id then
       fail lineno
         (Printf.sprintf "%s id %d exceeds the %d limit" what m max_msg_id)
     else k ()
+  in
+  let add_send lineno m src dst color =
+    check_id lineno "message" m (fun () ->
+        if src < 0 || dst < 0 then fail lineno "negative process id"
+        else if (match color with Some c -> c < 0 | None -> false) then
+          fail lineno "negative color"
+        else if Hashtbl.mem sent m then
+          fail lineno (Printf.sprintf "message %d sent twice" m)
+        else begin
+          Hashtbl.replace sent m ();
+          nprocs := max !nprocs (max src dst + 1);
+          entries := `Send (m, src, dst, color) :: !entries
+        end)
   in
   List.iteri
     (fun i line ->
@@ -68,20 +96,23 @@ let parse text =
                 int_of_string_opt src,
                 int_of_string_opt dst )
             with
-            | Some m, Some src, Some dst ->
-                check_id lineno "message" m (fun () ->
-                    if src < 0 || dst < 0 then
-                      fail lineno "negative process id"
-                    else if Hashtbl.mem sent m then
-                      fail lineno
-                        (Printf.sprintf "message %d sent twice" m)
-                    else begin
-                      Hashtbl.replace sent m ();
-                      entries := `Send (m, src, dst) :: !entries
-                    end)
+            | Some m, Some src, Some dst -> add_send lineno m src dst None
             | _ ->
                 fail lineno
-                  "bad send: expected 'send <msg> <src> <dst>' with \
+                  "bad send: expected 'send <msg> <src> <dst> [color]' with \
+                   integer fields")
+        | [ "send"; m; src; dst; color ] -> (
+            match
+              ( int_of_string_opt m,
+                int_of_string_opt src,
+                int_of_string_opt dst,
+                int_of_string_opt color )
+            with
+            | Some m, Some src, Some dst, Some c ->
+                add_send lineno m src dst (Some c)
+            | _ ->
+                fail lineno
+                  "bad send: expected 'send <msg> <src> <dst> [color]' with \
                    integer fields")
         | [ "deliver"; m ] -> (
             match int_of_string_opt m with
@@ -106,33 +137,48 @@ let parse text =
                    field")
         | _ ->
             fail lineno
-              "unrecognized entry: expected 'send <msg> <src> <dst>' or \
-               'deliver <msg>'")
+              "unrecognized entry: expected 'send <msg> <src> <dst> [color]' \
+               or 'deliver <msg>'")
     lines;
   match !err with
   | Some e -> Error e
-  | None -> (
-      let entries = List.rev !entries in
+  | None ->
+      Ok
+        {
+          p_nprocs = !nprocs;
+          p_sends = Hashtbl.length sent;
+          p_pending = Hashtbl.length sent - Hashtbl.length delivered;
+          p_events = List.rev !entries;
+        }
+
+let parse text =
+  match parse_prefix text with
+  | Error e -> Error e
+  | Ok p -> (
       let sends =
         List.filter_map
           (function
-            | `Send (m, s, d) -> Some (m, (s, d)) | `Deliver _ -> None)
-          entries
+            | `Send (m, s, d, c) -> Some (m, (s, d), c) | `Deliver _ -> None)
+          p.p_events
       in
-      let nmsgs = List.fold_left (fun acc (m, _) -> max acc (m + 1)) 0 sends in
+      let nmsgs =
+        List.fold_left (fun acc (m, _, _) -> max acc (m + 1)) 0 sends
+      in
       let msgs = Array.make (max nmsgs 0) (0, 0) in
-      List.iter (fun (m, sd) -> msgs.(m) <- sd) sends;
-      let nprocs =
-        Array.fold_left (fun acc (s, d) -> max acc (max s d + 1)) 1 msgs
-      in
+      let colors = Array.make (max nmsgs 0) None in
+      List.iter
+        (fun (m, sd, c) ->
+          msgs.(m) <- sd;
+          colors.(m) <- c)
+        sends;
       let sched =
         List.map
           (function
-            | `Send (m, _, _) -> Run.Do_send m
+            | `Send (m, _, _, _) -> Run.Do_send m
             | `Deliver m -> Run.Do_deliver m)
-          entries
+          p.p_events
       in
-      match Run.of_schedule ~nprocs ~msgs sched with
+      match Run.of_schedule ~nprocs:p.p_nprocs ~msgs ~colors sched with
       | Ok run -> Ok run
       | Error reason -> Error { line = 0; reason })
 
@@ -145,4 +191,15 @@ let read path =
     text
   with
   | text -> parse text
+  | exception Sys_error e -> Error { line = 0; reason = e }
+
+let read_prefix path =
+  match
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let text = really_input_string ic n in
+    close_in ic;
+    text
+  with
+  | text -> parse_prefix text
   | exception Sys_error e -> Error { line = 0; reason = e }

@@ -1,21 +1,25 @@
 (** Reading and writing run traces in the `mopc monitor` text format:
 
     {v
-      send <msg> <src> <dst>
+      send <msg> <src> <dst> [color]
       deliver <msg>
     v}
 
-    one event per line, ['#'] comments. Writing a recorded run gives a
-    file the CLI monitor (and any external tool) can consume; parsing
-    gives back a {!Mo_order.Run.t}. The serialized order is a linear
-    extension of the run (per-process order and send-before-delivery are
-    preserved), so feeding it to the online monitor reproduces the run's
-    verdicts.
+    one event per line, ['#'] comments, the optional trailing color
+    feeding [color(x) = c] predicate guards. Writing a recorded run
+    gives a file the CLI monitor (and any external tool) can consume;
+    parsing gives back a {!Mo_order.Run.t}. The serialized order is a
+    linear extension of the run (per-process order and
+    send-before-delivery are preserved), so feeding it to the online
+    monitor reproduces the run's verdicts.
 
     Parsing is total: truncated, garbage or adversarial input (negative
     or absurd message ids, duplicate events, deliveries of unsent
     messages) yields a typed {!error} naming the offending line — it
-    never raises and never allocates proportionally to a claimed id. *)
+    never raises and never allocates proportionally to a claimed id.
+    {!parse} requires a complete run (every message delivered);
+    {!parse_prefix} accepts any valid stream prefix, which is what the
+    streaming predicate monitors consume. *)
 
 type error = {
   line : int;
@@ -43,3 +47,19 @@ val parse : string -> (Mo_order.Run.t, error) result
 
 val read : string -> (Mo_order.Run.t, error) result
 (** [read path]. An unreadable file is an [error] with [line = 0]. *)
+
+type prefix = {
+  p_nprocs : int;  (** 1 + the largest process id mentioned *)
+  p_sends : int;  (** distinct messages sent *)
+  p_pending : int;  (** sent but not (yet) delivered *)
+  p_events : [ `Send of int * int * int * int option | `Deliver of int ] list;
+      (** the events in trace order; the send payload is
+          [(msg, src, dst, color)] *)
+}
+
+val parse_prefix : string -> (prefix, error) result
+(** The syntactic pass alone: same validation as {!parse} except that
+    undelivered messages are allowed, and message ids are kept verbatim
+    (they need not be dense). *)
+
+val read_prefix : string -> (prefix, error) result

@@ -1,0 +1,308 @@
+(* Differential verification of the streaming predicate monitors.
+
+   - online = offline: every concrete run of the standard-plus universe
+     (125,768 runs), streamed along 3 random linear extensions, must get
+     the same verdict from the compiled monitor (Pmon over the
+     Monitor frontier) as the offline evaluator on the completed run;
+     the per-predicate offline violation counts are pinned the way
+     test_eval_fast.ml pins run counts. MO_MONITOR_DEEP=1 extends the
+     pass to the deep tier with a deterministic 1/37 monitored sample.
+   - earliest detection: a violation must be reported at the first
+     prefix whose must-closure satisfies the predicate — compared
+     against an oracle that rebuilds the must-poset of every prefix and
+     reruns the offline checker on it. Neither late nor speculative.
+   - sharded determinism: the per-key driver produces byte-identical
+     reports at jobs 1/2/4/7 (5 seeds; nightly raises the key count via
+     MO_MONITOR_DEEP).
+   - bounded frontier: with retirement active (window < messages) the
+     resident bytes are a constant of the window, independent of stream
+     length, and a violation planted deep into a long stream is still
+     caught at its exact event index. *)
+
+open Mo_core
+open Mo_order
+open Mo_workload
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let deep = Sys.getenv_opt "MO_MONITOR_DEEP" <> None
+
+let plan_fifo = Eval.compile Catalog.fifo.Catalog.pred
+let plan_b2 = Eval.compile Catalog.causal_b2.Catalog.pred
+let plan_crown = Eval.compile (Catalog.sync_crown 2).Catalog.pred
+let plans = [ plan_fifo; plan_b2; plan_crown ]
+
+(* ---- the must-closure oracle ------------------------------------- *)
+
+(* The must-poset of a stream prefix: observed events ordered by process
+   order and message edges, plus one virtual delivery per pending
+   message, pinned after the current last event of its destination.
+   Messages are renumbered compactly in send order — the same order the
+   monitor assigns slots. *)
+let must_prefix run (events : Event.t list) =
+  let nprocs = Run.nprocs run and nmsgs = Run.nmsgs run in
+  let compact = Array.make nmsgs (-1) in
+  let delivered = Array.make nmsgs false in
+  let last = Array.make nprocs None in
+  let sent = ref 0 in
+  let edges = ref [] in
+  let step (e : Event.t) p =
+    let e' = { e with Event.msg = compact.(e.msg) } in
+    (match last.(p) with
+    | Some u -> edges := (u, e') :: !edges
+    | None -> ());
+    last.(p) <- Some e'
+  in
+  List.iter
+    (fun (e : Event.t) ->
+      match e.point with
+      | Event.S ->
+          compact.(e.msg) <- !sent;
+          incr sent;
+          step e (Run.msg_src run e.msg)
+      | Event.R ->
+          delivered.(e.msg) <- true;
+          step e (Run.msg_dst run e.msg))
+    events;
+  for m = 0 to nmsgs - 1 do
+    if compact.(m) >= 0 && not delivered.(m) then
+      match last.(Run.msg_dst run m) with
+      | Some u -> edges := (u, Event.deliver compact.(m)) :: !edges
+      | None -> ()
+  done;
+  let attrs = Array.make !sent Run.no_attrs in
+  for m = 0 to nmsgs - 1 do
+    if compact.(m) >= 0 then
+      attrs.(compact.(m)) <-
+        Run.attrs_known ~src:(Run.msg_src run m) ~dst:(Run.msg_dst run m)
+          ?color:(Run.msg_color run m) ()
+  done;
+  Run.Abstract.create_exn ~nmsgs:!sent ~attrs !edges
+
+(* first prefix length whose must-closure satisfies the predicate *)
+let oracle_first plan run events =
+  let len = List.length events in
+  let rec go l =
+    if l > len then None
+    else
+      let prefix = List.filteri (fun i _ -> i < l) events in
+      if Eval.holds_c plan (must_prefix run prefix) then Some l else go (l + 1)
+  in
+  go 0
+
+let monitor_verdict plan run events = Pmon.feed_events (Pmon.exact plan run) run events
+
+(* ---- differential: online = offline, earliest = oracle ----------- *)
+
+let small_sizes = [ (2, 2); (3, 2); (2, 3) ]
+
+let test_earliest_oracle () =
+  List.iter
+    (fun (nprocs, nmsgs) ->
+      List.iter
+        (fun r ->
+          let events = Run.linearize_random r ~seed:(Hashtbl.hash (Run.linearize r)) in
+          List.iter
+            (fun plan ->
+              let expected = oracle_first plan r events in
+              let got =
+                match monitor_verdict plan r events with
+                | Some (v : Pmon.verdict) -> Some (v.at + 1)
+                | None -> None
+              in
+              check_bool "verdict at the oracle's first unavoidable prefix"
+                true
+                (expected = got))
+            plans)
+        (Enumerate.all_runs ~nprocs ~nmsgs ()))
+    small_sizes
+
+let prop_earliest_random =
+  QCheck.Test.make ~name:"oracle agreement on random runs" ~count:150
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let r = Random_run.run ~nprocs:3 ~nmsgs:8 ~seed () in
+      let events = Run.linearize_random r ~seed in
+      List.for_all
+        (fun plan ->
+          let expected = oracle_first plan r events in
+          let got =
+            match monitor_verdict plan r events with
+            | Some (v : Pmon.verdict) -> Some (v.at + 1)
+            | None -> None
+          in
+          expected = got)
+        plans)
+
+(* the full standard-plus universe, counts pinned; nightly adds the
+   deep tier with a deterministic sample of monitored runs *)
+let universe_sizes = Modelcheck.standard_sizes @ [ (4, 2); (4, 3); (3, 4) ]
+
+let test_differential_universe () =
+  let report =
+    Modelcheck.verify_monitor ~extensions:3 ~seed:42 ~sizes:universe_sizes ()
+  in
+  check_bool "online = offline over the universe" true
+    report.Modelcheck.m_agree;
+  check_int "universe runs" 125_768 report.Modelcheck.m_runs;
+  (* causal_b2 is exactly runs − causal (125,768 − 63,364): the online
+     face of the Lemma 3.2 pin in test_eval_fast.ml *)
+  List.iter
+    (fun (name, expected) ->
+      check_int name expected
+        (List.assoc name report.Modelcheck.m_violations))
+    [ ("fifo", 58_768); ("causal_b2", 62_404); ("crown2", 83_556) ]
+
+let test_differential_deep () =
+  if not deep then ()
+  else
+    let report =
+      Modelcheck.verify_monitor ~extensions:2 ~seed:7 ~sample:37
+        ~sizes:Modelcheck.deep_sizes ()
+    in
+    check_bool "online = offline over the deep tier" true
+      report.Modelcheck.m_agree;
+    check_int "deep runs" 940_304 report.Modelcheck.m_runs
+
+(* ---- sharded determinism ----------------------------------------- *)
+
+let report_repr (r : Stream.report) =
+  Format.asprintf "%d:%d:%d:%s" r.Stream.key r.Stream.events
+    r.Stream.frontier_bytes
+    (match r.Stream.verdict with
+    | None -> "-"
+    | Some v ->
+        Format.asprintf "%d@[%a]" v.Pmon.at
+          (Format.pp_print_list
+             ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+             Format.pp_print_int)
+          (Array.to_list v.Pmon.witness))
+
+let test_sharding_deterministic () =
+  let nkeys = if deep then 5_000 else 1_000 in
+  let seeds = if deep then [ 11; 12; 13; 14; 15; 16; 17 ] else [ 1; 2; 3; 4; 5 ] in
+  let profile = { Stream.default_profile with Stream.disorder = 0.05 } in
+  List.iter
+    (fun seed ->
+      let logs =
+        List.map
+          (fun jobs ->
+            let pool = Mo_par.Pool.create ~jobs () in
+            let reports =
+              Stream.monitor_keys ~pool ~pred:plan_fifo ~profile ~nkeys
+                ~seed ()
+            in
+            String.concat ";"
+              (Array.to_list (Array.map report_repr reports)))
+          [ 1; 2; 4; 7 ]
+      in
+      match logs with
+      | base :: rest ->
+          List.iteri
+            (fun i log ->
+              check_bool
+                (Printf.sprintf "seed %d: jobs run %d = jobs 1" seed i)
+                true (log = base))
+            rest
+      | [] -> assert false)
+    seeds;
+  (* the synthetic traffic actually contains violations to log *)
+  let pool = Mo_par.Pool.create ~jobs:2 () in
+  let reports =
+    Stream.monitor_keys ~pool ~pred:plan_fifo
+      ~profile:{ Stream.default_profile with Stream.disorder = 0.05 }
+      ~nkeys:1_000 ~seed:1 ()
+  in
+  check_bool "fuzz traffic has violations" true (Stream.violations reports > 0)
+
+(* ---- bounded window ---------------------------------------------- *)
+
+(* a FIFO inversion planted after [pad] clean same-channel messages:
+   the overtaken message is still pending when the overtaker's delivery
+   arrives, so detection must fire exactly there, long after the first
+   window filled and retirement began *)
+let test_windowed_detection () =
+  let pad = 1_000 in
+  let t = Pmon.create ~window:16 ~nprocs:2 plan_fifo in
+  for m = 0 to pad - 1 do
+    ignore (Pmon.send t ~msg:m ~src:0 ~dst:1 ());
+    ignore (Pmon.deliver t ~msg:m)
+  done;
+  ignore (Pmon.send t ~msg:pad ~src:0 ~dst:1 ());
+  ignore (Pmon.send t ~msg:(pad + 1) ~src:0 ~dst:1 ());
+  check_bool "clean so far" true (Pmon.verdict t = None);
+  let v = Pmon.deliver t ~msg:(pad + 1) in
+  (match v with
+  | Some v ->
+      (* events: 2*pad clean, two sends, then the inverted delivery *)
+      check_int "detected at the inverted delivery" ((2 * pad) + 2)
+        v.Pmon.at;
+      check_bool "witness is the planted pair" true
+        (Array.to_list v.Pmon.witness = [ pad; pad + 1 ])
+  | None -> Alcotest.fail "planted violation missed");
+  (* sticky verdict; stream keeps flowing *)
+  ignore (Pmon.deliver t ~msg:pad);
+  check_bool "verdict sticky" true (Pmon.verdict t <> None)
+
+let test_frontier_bounded () =
+  let feed nmsgs =
+    let t = Pmon.create ~window:16 ~nprocs:3 plan_b2 in
+    let profile =
+      { Stream.default_profile with Stream.nmsgs; Stream.disorder = 0. }
+    in
+    List.iter
+      (function
+        | Stream.Send { msg; src; dst } ->
+            ignore (Pmon.send t ~msg ~src ~dst ())
+        | Stream.Deliver { msg } -> ignore (Pmon.deliver t ~msg))
+      (Stream.key_events profile ~seed:3 ~key:0);
+    let mon = Pmon.monitor t in
+    check_int "all events consumed" (2 * nmsgs) (Monitor.events mon);
+    Monitor.frontier_bytes mon
+  in
+  let short = feed 1_000 and long = feed 10_000 in
+  check_int "frontier bytes independent of stream length" short long;
+  check_bool "frontier is small" true (short < 10_000)
+
+let test_window_exhaustion () =
+  let t = Monitor.create ~window:2 ~nprocs:2 () in
+  Monitor.send t ~msg:0 ~src:0 ~dst:1 ();
+  Monitor.send t ~msg:1 ~src:0 ~dst:1 ();
+  Alcotest.check_raises "exhausted window raises"
+    (Invalid_argument "Monitor.send: window exhausted (every slot pending)")
+    (fun () -> Monitor.send t ~msg:2 ~src:0 ~dst:1 ());
+  (* delivering frees a retirable slot *)
+  Monitor.deliver t ~msg:0;
+  Monitor.send t ~msg:2 ~src:0 ~dst:1 ();
+  check_int "one slot recycled" 1 (Monitor.retired t)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "earliest = oracle (exhaustive)" `Slow
+            test_earliest_oracle;
+          Alcotest.test_case "universe, counts pinned" `Slow
+            test_differential_universe;
+          Alcotest.test_case "deep tier (MO_MONITOR_DEEP)" `Slow
+            test_differential_deep;
+        ] );
+      ( "sharding",
+        [
+          Alcotest.test_case "jobs-independent reports" `Slow
+            test_sharding_deterministic;
+        ] );
+      ( "window",
+        [
+          Alcotest.test_case "planted violation behind retirement" `Quick
+            test_windowed_detection;
+          Alcotest.test_case "frontier bytes bounded" `Quick
+            test_frontier_bounded;
+          Alcotest.test_case "exhaustion raises" `Quick
+            test_window_exhaustion;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_earliest_random ] );
+    ]

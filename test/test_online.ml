@@ -2,6 +2,7 @@ open Mo_order
 open Mo_workload
 
 let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
 
 (* offline FIFO verdict: the catalog predicate over the abstract run *)
 let offline_fifo_ok a =
@@ -76,15 +77,19 @@ let test_violation_identities () =
     | Error e -> Alcotest.fail e
   in
   let violations, _ = Online.feed_run r in
+  (* the stream is s0 s1 r1 r0: both violations complete at r1, the
+     third event, on channel (0, 1) *)
   check_bool "fifo violation found" true
     (List.exists
        (fun (v : Online.violation) ->
-         v.kind = `Fifo && v.earlier = 0 && v.later = 1)
+         v.kind = `Fifo && v.earlier = 0 && v.later = 1 && v.at = 2
+         && v.channel = (0, 1))
        violations);
   check_bool "causal violation found" true
     (List.exists
        (fun (v : Online.violation) ->
-         v.kind = `Causal && v.earlier = 0 && v.later = 1)
+         v.kind = `Causal && v.earlier = 0 && v.later = 1 && v.at = 2
+         && v.channel = (0, 1))
        violations)
 
 let test_misuse_detected () =
@@ -100,6 +105,21 @@ let test_misuse_detected () =
   Alcotest.check_raises "duplicate delivery"
     (Invalid_argument "Online.deliver: duplicate delivery") (fun () ->
       ignore (Online.deliver t ~msg:0))
+
+let test_accounting () =
+  let t = Online.create ~nprocs:2 ~nmsgs:4 in
+  check_int "no events yet" 0 (Online.events t);
+  Online.send t ~msg:0 ~src:0 ~dst:1;
+  Online.send t ~msg:1 ~src:0 ~dst:1;
+  check_int "two events" 2 (Online.events t);
+  check_int "two pending" 2 (Online.pending t);
+  let before = Online.frontier_bytes t in
+  check_bool "frontier measured" true (before > 0);
+  ignore (Online.deliver t ~msg:0);
+  check_int "delivery counted" 3 (Online.events t);
+  check_int "one pending" 1 (Online.pending t);
+  check_bool "frontier does not shrink reporting" true
+    (Online.frontier_bytes t > 0)
 
 let test_scales () =
   (* a 2000-message random run: the offline poset checker would build a
@@ -122,6 +142,8 @@ let () =
           Alcotest.test_case "violation identities" `Quick
             test_violation_identities;
           Alcotest.test_case "misuse detected" `Quick test_misuse_detected;
+          Alcotest.test_case "events and frontier accounting" `Quick
+            test_accounting;
           Alcotest.test_case "scales to 2000 messages" `Slow test_scales;
         ] );
       ( "properties",

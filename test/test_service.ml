@@ -306,6 +306,44 @@ let test_payload_shapes () =
   | J.Obj fields -> check_bool "cache stats" true (List.mem_assoc "hits" fields)
   | _ -> Alcotest.fail "stats payload lacks a cache object"
 
+let test_monitor_op () =
+  let t = Engine.create ~cache_capacity:16 () in
+  let trace good =
+    if good then "send 0 0 1\nsend 1 0 1\ndeliver 0\ndeliver 1\n"
+    else "send 0 0 1\nsend 1 0 1\ndeliver 1\ndeliver 0\n"
+  in
+  let monitor ?id text =
+    Engine.handle t (envelope ?id (Codec.Monitor (pred fifo, text, None)))
+  in
+  let clean = ok_result (monitor (trace true)) in
+  check_bool "clean trace: no violation" true
+    (field "violation" clean = J.Null);
+  check_bool "events counted" true (field "events" clean = J.Int 4);
+  let bad = ok_result (monitor ~id:2 (trace false)) in
+  (match field "violation" bad with
+  | J.Obj fields ->
+      check_bool "violation at the completing delivery" true
+        (List.assoc "at" fields = J.Int 2);
+      check_bool "witness names both messages" true
+        (List.assoc "witness" fields = J.List [ J.Int 0; J.Int 1 ])
+  | _ -> Alcotest.fail "violating trace reported null");
+  (* prefixes are fine: pending messages just show up in the count *)
+  let prefix = ok_result (monitor ~id:3 "send 0 0 1\n") in
+  check_bool "pending" true (field "pending" prefix = J.Int 1);
+  (* malformed traces are client errors with the parser's message, and
+     monitor responses are never cached (same trace, zero hits) *)
+  (match
+     Codec.result_of_response (monitor ~id:4 "deliver 7\n")
+   with
+  | Error msg ->
+      check_bool "bad trace names the line" true
+        (String.length msg > 0 && msg.[0] <> 'i')
+  | Ok _ -> Alcotest.fail "malformed trace accepted");
+  ignore (monitor ~id:5 (trace false));
+  check_int "monitor results are uncached" 0
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"))
+
 let test_request_json_roundtrip () =
   let reqs =
     [
@@ -315,6 +353,8 @@ let test_request_json_roundtrip () =
       envelope ~id:4 (Codec.Witness (pred fifo));
       envelope ~id:5 Codec.Stats;
       envelope ~id:6 Codec.Shutdown;
+      envelope ~id:10 (Codec.Monitor (pred fifo, "send 0 0 1\n", None));
+      envelope ~id:11 (Codec.Monitor (pred fifo, "send 0 0 1\n", Some 8));
       envelope ~id:7
         (Codec.Batch
            [ envelope ~id:8 (Codec.Classify (pred causal));
@@ -368,5 +408,6 @@ let () =
           Alcotest.test_case "shutdown semantics" `Quick
             test_shutdown_semantics;
           Alcotest.test_case "payload shapes" `Quick test_payload_shapes;
+          Alcotest.test_case "monitor op" `Quick test_monitor_op;
         ] );
     ]
