@@ -5,7 +5,16 @@
    are the recovery costs (retransmissions, acks, timeouts, recovery
    latency) against the clean-network baseline of B10, and the makespan
    growth as the fault rate climbs. Deterministic seeded output; writes
-   BENCH_reliab.json. *)
+   BENCH_reliab.json.
+
+   B16: the price of sharing a transport — the same transport-fault
+   schedule (a stall window then a crash-restart window, struck at the
+   transport carrying channel 0→1) run over the three channel
+   topologies. Under per-pair transports the blast radius is one
+   channel; under split2 it is half the channels; under shared it is
+   every channel at once, so head-of-line waits, crash drops and
+   retransmit cost climb as channels pile onto fewer transports. All
+   leaves are seeded integers, gated exactly. *)
 
 open Mo_protocol
 open Mo_workload
@@ -34,6 +43,127 @@ let scenarios =
 let nprocs = 4
 let nmsgs = 120
 let seed = 42
+
+(* ---- B16: topology sweep under a fixed transport-fault schedule ---- *)
+
+(* every paper protocol under its natural workload — BSS and total order
+   are broadcast primitives (every process must see every message), the
+   rest run point-to-point, matching the fault-matrix convention *)
+let all_protocols =
+  [
+    ("tagless", Tagless.factory, `Unicast);
+    ("fifo", Fifo.factory, `Unicast);
+    ("causal-rst", Causal_rst.factory, `Unicast);
+    ("causal-ses", Causal_ses.factory, `Unicast);
+    ("causal-bss", Causal_bss.factory, `Broadcast);
+    ("sync-token", Sync_token.factory, `Unicast);
+    ("sync-priority", Sync_priority.factory, `Unicast);
+    ("flush", Flush.factory, `Unicast);
+    ("total-order", Total_order.factory, `Broadcast);
+  ]
+
+let b16_schedule tr =
+  (* a stall then a crash-restart, on whichever transport carries channel
+     0→1 under the topology at hand — same schedule, different blast
+     radius *)
+  [
+    { Net.transport = tr; kind = Net.T_stall; start_at = 40; stop_at = 90 };
+    { Net.transport = tr; kind = Net.T_crash; start_at = 120; stop_at = 160 };
+  ]
+
+let b16_topologies ops =
+  Format.printf
+    "@.-- B16: topology sweep (stall 40-90 + crash 120-160 on the transport \
+     of channel 0>1, reliable wrapper)@.";
+  let bcast_ops =
+    (Gen.broadcast ~nprocs ~nbcasts:(nmsgs / (nprocs - 1)) ~seed).Gen.ops
+  in
+  let topo_json =
+    List.map
+      (fun topo ->
+        let tname = Transport.topology_to_string topo in
+        let tr =
+          Transport.transport_of topo ~nprocs ~from_proc:0 ~to_proc:1
+        in
+        let faults = Net.make ~transport_faults:(b16_schedule tr) () in
+        let cfg =
+          {
+            (Sim.default_config ~nprocs) with
+            Sim.seed;
+            faults;
+            topology = Some topo;
+          }
+        in
+        Format.printf "@.   %s (%d transport%s, faults on transport %d)@."
+          tname
+          (Transport.ntransports topo ~nprocs)
+          (if Transport.ntransports topo ~nprocs = 1 then "" else "s")
+          tr;
+        Format.printf
+          "   %-14s %5s %8s %8s %8s %6s %6s %7s %6s@." "protocol" "live"
+          "lat_tot" "lat_max" "makespan" "retx" "drops" "hol" "resync";
+        let proto_json =
+          List.filter_map
+            (fun (pname, factory, shape) ->
+              let ops =
+                match shape with `Unicast -> ops | `Broadcast -> bcast_ops
+              in
+              let registry = Mo_obs.Metrics.create () in
+              let wrapped = Wrap.reliable ~registry factory in
+              match Observe.run ~config:cfg ~registry wrapped ops with
+              | Error e ->
+                  Format.printf "   %-14s simulation error: %s@." pname e;
+                  None
+              | Ok (_, outcome) ->
+                  let s = outcome.Sim.stats in
+                  let tc =
+                    match outcome.Sim.transport with
+                    | Some ts -> Transport.counters ts
+                    | None -> assert false
+                  in
+                  Format.printf
+                    "   %-14s %5s %8d %8d %8d %6d %6d %7d %6d@." pname
+                    (if outcome.Sim.all_delivered then "yes" else "NO")
+                    s.Sim.latency_total s.Sim.latency_max s.Sim.makespan
+                    s.Sim.retransmits s.Sim.fault_drops
+                    tc.Transport.hol_released tc.Transport.resyncs;
+                  let i k v = (k, Mo_obs.Jsonb.Int v) in
+                  Some
+                    ( pname,
+                      Mo_obs.Jsonb.Obj
+                        [
+                          i "live" (if outcome.Sim.all_delivered then 1 else 0);
+                          i "latency_total" s.Sim.latency_total;
+                          i "latency_max" s.Sim.latency_max;
+                          i "makespan" s.Sim.makespan;
+                          i "retransmits" s.Sim.retransmits;
+                          i "fault_drops" s.Sim.fault_drops;
+                          i "stall_delays" tc.Transport.stall_delays;
+                          i "crash_drops" tc.Transport.crash_drops;
+                          i "resyncs" tc.Transport.resyncs;
+                          i "hol_released" tc.Transport.hol_released;
+                          i "hol_wait_ticks" tc.Transport.hol_wait_ticks;
+                        ] ))
+            all_protocols
+        in
+        ( tname,
+          Mo_obs.Jsonb.Obj
+            [
+              ( "transports",
+                Mo_obs.Jsonb.Int (Transport.ntransports topo ~nprocs) );
+              ("faulted_transport", Mo_obs.Jsonb.Int tr);
+              ("faults", Mo_obs.Jsonb.String (Net.to_string faults));
+              ("protocols", Mo_obs.Jsonb.Obj proto_json);
+            ] ))
+      Transport.all_topologies
+  in
+  Mo_obs.Jsonb.Obj
+    [
+      ( "schedule",
+        Mo_obs.Jsonb.String
+          "stall@40-90 + tcrash@120-160 on the transport of channel 0>1" );
+      ("topologies", Mo_obs.Jsonb.Obj topo_json);
+    ]
 
 let summary () =
   Format.printf
@@ -86,6 +216,13 @@ let summary () =
             ] );
         ("scenarios", Mo_obs.Jsonb.Obj scenario_json);
       ]
+  in
+  let b16 = b16_topologies ops in
+  let json =
+    match json with
+    | Mo_obs.Jsonb.Obj fields ->
+        Mo_obs.Jsonb.Obj (fields @ [ ("b16", b16) ])
+    | j -> j
   in
   let oc = open_out "BENCH_reliab.json" in
   output_string oc (Mo_obs.Jsonb.to_string_pretty json);

@@ -259,6 +259,54 @@ let faults_arg =
            $(b,crash=P\\@T1-T2) (process crash-restart window); part/crash \
            may repeat, e.g. drop=150,part=0>1\\@100-400,crash=2\\@200-500")
 
+let topology_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "topology" ] ~docv:"TOPOLOGY"
+        ~doc:
+          "multiplex channels over shared transports: $(b,shared) (one \
+           transport carries every channel), $(b,per-pair) (a private \
+           transport per directed pair), $(b,split2) (two transports, \
+           channel SRC>DST rides (SRC+DST) mod 2). FIFO holds within a \
+           channel only; a transport fault strikes every channel riding \
+           it. Default: the historical per-pair wire, no transport layer")
+
+let transport_faults_arg =
+  Arg.(
+    value
+    & opt string ""
+    & info [ "transport-faults" ] ~docv:"SPEC"
+        ~doc:
+          "transport-domain fault injection (requires $(b,--topology)): \
+           comma-separated $(b,stall=T\\@T1-T2) (nothing moves on \
+           transport T in the window; arrivals defer to its end), \
+           $(b,tpart=T\\@T1-T2) (packets entering T in the window die), \
+           $(b,tcrash=T\\@T1-T2) (in-flight and buffered packets lost, \
+           per-channel wire seqnos reset); clauses may repeat and may \
+           also be given directly in $(b,--faults)")
+
+let parse_topology = function
+  | None -> None
+  | Some s -> (
+      match Transport.topology_of_string s with
+      | Ok t -> Some t
+      | Error e ->
+          Format.eprintf "bad --topology: %s@." e;
+          exit 1)
+
+let merge_fault_specs faults_str tfaults_str =
+  match (faults_str, tfaults_str) with
+  | "", s | s, "" -> s
+  | a, b -> a ^ "," ^ b
+
+let check_topology_faults ~topology (faults : Net.t) =
+  if faults.Net.transport_faults <> [] && topology = None then begin
+    Format.eprintf
+      "transport faults (stall/tpart/tcrash) require --topology@.";
+    exit 1
+  end
+
 let reliable_arg =
   Arg.(
     value & flag
@@ -268,8 +316,8 @@ let reliable_arg =
            (per-channel sequence numbers, cumulative acks, exponential \
            backoff); makes it live under --faults without restoring order")
 
-let simulate_run proto wname nprocs nmsgs seed spec_str faults_str reliable
-    diagram trace_out =
+let simulate_run proto wname nprocs nmsgs seed spec_str faults_str
+    topology_str tfaults_str reliable diagram trace_out =
   match List.assoc_opt proto protocols with
   | None ->
       Format.eprintf "unknown protocol %S (choose from: %s)@." proto
@@ -287,8 +335,12 @@ let simulate_run proto wname nprocs nmsgs seed spec_str faults_str reliable
                 exit 1)
       in
       let ops = make_workload wname ~nprocs ~nmsgs ~seed in
-      let faults = parse_faults faults_str in
-      let cfg = { (Sim.default_config ~nprocs) with Sim.seed; faults } in
+      let faults = parse_faults (merge_fault_specs faults_str tfaults_str) in
+      let topology = parse_topology topology_str in
+      check_topology_faults ~topology faults;
+      let cfg =
+        { (Sim.default_config ~nprocs) with Sim.seed; faults; topology }
+      in
       let factory = if reliable then Wrap.reliable factory else factory in
       match Conformance.check ?spec cfg factory ops with
       | Error e ->
@@ -352,7 +404,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc)
     T.(
       const simulate_run $ proto $ wname $ nprocs $ nmsgs $ seed $ spec
-      $ faults_arg $ reliable_arg $ diagram $ trace_out)
+      $ faults_arg $ topology_arg $ transport_faults_arg $ reliable_arg
+      $ diagram $ trace_out)
 
 (* ---- stats: run a seeded workload under observability ---- *)
 
@@ -375,7 +428,8 @@ let resolve_protocol name =
   in
   Option.map (fun f -> (canonical, f)) (List.assoc_opt canonical protocols)
 
-let stats_run proto_spec wname nprocs nmsgs seed faults_str reliable json_out =
+let stats_run proto_spec wname nprocs nmsgs seed faults_str topology_str
+    tfaults_str reliable json_out =
   let selected =
     if proto_spec = "all" then Ok protocols
     else
@@ -397,8 +451,12 @@ let stats_run proto_spec wname nprocs nmsgs seed faults_str reliable json_out =
       1
   | Ok selected ->
       let ops = make_workload wname ~nprocs ~nmsgs ~seed in
-      let faults = parse_faults faults_str in
-      let cfg = { (Sim.default_config ~nprocs) with Sim.seed; faults } in
+      let faults = parse_faults (merge_fault_specs faults_str tfaults_str) in
+      let topology = parse_topology topology_str in
+      check_topology_faults ~topology faults;
+      let cfg =
+        { (Sim.default_config ~nprocs) with Sim.seed; faults; topology }
+      in
       let rows =
         List.filter_map
           (fun (name, factory) ->
@@ -492,7 +550,7 @@ let stats_cmd =
     (Cmd.info "stats" ~doc)
     T.(
       const stats_run $ proto $ wname $ nprocs $ nmsgs $ seed $ faults_arg
-      $ reliable_arg $ json_out)
+      $ topology_arg $ transport_faults_arg $ reliable_arg $ json_out)
 
 (* ---- synth ---- *)
 
@@ -944,7 +1002,7 @@ let query_run socket deadline_ms op args =
       prerr_endline e;
       1
   | Ok req -> (
-      match Mo_service.Client.connect ~socket_path:socket with
+      match Mo_service.Client.connect ~socket_path:socket () with
       | Error e ->
           prerr_endline e;
           1

@@ -47,6 +47,11 @@ let serve socket cache_capacity jobs recv_timeout max_requests verbose =
       Format.eprintf "mopcd: cannot serve on %s: %s %s@." socket
         (Unix.error_message e) arg;
       1
+  | exception Failure e ->
+      (* startup refused: the socket path is owned by a live daemon, or
+         is not a socket at all *)
+      Format.eprintf "mopcd: %s@." e;
+      1
 
 let socket_arg =
   Arg.(

@@ -9,12 +9,17 @@ type crash = { proc : int; start_at : int; stop_at : int }
 
 type spike = { permille : int; factor : int }
 
+type tkind = T_stall | T_partition | T_crash
+
+type tfault = { transport : int; kind : tkind; start_at : int; stop_at : int }
+
 type t = {
   drop_permille : int;
   duplicate_permille : int;
   spike : spike;
   partitions : partition list;
   crashes : crash list;
+  transport_faults : tfault list;
 }
 
 let no_spike = { permille = 0; factor = 1 }
@@ -26,11 +31,19 @@ let none =
     spike = no_spike;
     partitions = [];
     crashes = [];
+    transport_faults = [];
   }
 
 let make ?(drop_permille = 0) ?(duplicate_permille = 0) ?(spike = no_spike)
-    ?(partitions = []) ?(crashes = []) () =
-  { drop_permille; duplicate_permille; spike; partitions; crashes }
+    ?(partitions = []) ?(crashes = []) ?(transport_faults = []) () =
+  {
+    drop_permille;
+    duplicate_permille;
+    spike;
+    partitions;
+    crashes;
+    transport_faults;
+  }
 
 let is_none t = t = none
 
@@ -50,6 +63,39 @@ let crashed_until t ~proc ~at =
         | Some s -> Some (max s c.stop_at)
       else acc)
     None t.crashes
+
+(* ---- transport fault domain ---- *)
+
+let transport_faulted t ~transport ~kind ~at =
+  List.exists
+    (fun f ->
+      f.transport = transport && f.kind = kind && at >= f.start_at
+      && at < f.stop_at)
+    t.transport_faults
+
+let transport_stalled_until t ~transport ~at =
+  List.fold_left
+    (fun acc f ->
+      if
+        f.transport = transport && f.kind = T_stall && at >= f.start_at
+        && at < f.stop_at
+      then
+        match acc with
+        | None -> Some f.stop_at
+        | Some s -> Some (max s f.stop_at)
+      else acc)
+    None t.transport_faults
+
+let transport_epoch t ~transport ~at =
+  (* how many crash-restart cycles the transport has completed: wire
+     sequence state does not survive a restart, so each completed window
+     starts a fresh epoch *)
+  List.fold_left
+    (fun acc f ->
+      if f.transport = transport && f.kind = T_crash && at >= f.stop_at then
+        acc + 1
+      else acc)
+    0 t.transport_faults
 
 let validate ~nprocs t =
   let in_range p = p >= 0 && p < nprocs in
@@ -71,12 +117,19 @@ let validate ~nprocs t =
             Error "partition window is empty"
           else check_parts rest
     and check_crashes = function
-      | [] -> Ok ()
+      | [] -> check_tfaults t.transport_faults
       | c :: rest ->
           if not (in_range c.proc) then Error "crashed process out of range"
           else if bad_window c.start_at c.stop_at then
             Error "crash window is empty"
           else check_crashes rest
+    and check_tfaults = function
+      | [] -> Ok ()
+      | f :: rest ->
+          if f.transport < 0 then Error "transport id must be non-negative"
+          else if bad_window f.start_at f.stop_at then
+            Error "transport fault window is empty"
+          else check_tfaults rest
     in
     check_parts t.partitions
 
@@ -160,6 +213,33 @@ let parse_clause acc clause =
                       crashes = acc.crashes @ [ { proc; start_at; stop_at } ];
                     }
               | (Error _ as e), _ | _, (Error _ as e) -> e))
+      | ("stall" | "tpart" | "tcrash") as tk -> (
+          (* T@T1-T2: a fault on a whole transport — every channel riding
+             it is affected at once *)
+          let kind =
+            match tk with
+            | "stall" -> T_stall
+            | "tpart" -> T_partition
+            | _ -> T_crash
+          in
+          match String.index_opt v '@' with
+          | None -> Error (Printf.sprintf "%s: expected T@T1-T2, got %S" tk v)
+          | Some j -> (
+              let tr = String.sub v 0 j
+              and win = String.sub v (j + 1) (String.length v - j - 1) in
+              match
+                ( parse_int (tk ^ " transport") tr,
+                  parse_window (tk ^ " window") win )
+              with
+              | Ok transport, Ok (start_at, stop_at) ->
+                  Ok
+                    {
+                      acc with
+                      transport_faults =
+                        acc.transport_faults
+                        @ [ { transport; kind; start_at; stop_at } ];
+                    }
+              | (Error _ as e), _ | _, (Error _ as e) -> e))
       | other -> Error (Printf.sprintf "unknown fault kind %S" other))
 
 let parse s =
@@ -191,6 +271,16 @@ let to_string t =
     @ List.map
         (fun c -> Printf.sprintf "crash=%d@%d-%d" c.proc c.start_at c.stop_at)
         t.crashes
+    @ List.map
+        (fun f ->
+          let k =
+            match f.kind with
+            | T_stall -> "stall"
+            | T_partition -> "tpart"
+            | T_crash -> "tcrash"
+          in
+          Printf.sprintf "%s=%d@%d-%d" k f.transport f.start_at f.stop_at)
+        t.transport_faults
   in
   String.concat "," clauses
 

@@ -16,6 +16,24 @@
       receives), but keeps its protocol state; pending invokes and timers
       are deferred to the restart instant.
 
+    When the simulator runs over the shared-transport substrate
+    ({!Transport}), a second fault domain opens up: faults that strike a
+    whole {e transport} and therefore correlate failures across every
+    logical channel multiplexed onto it —
+
+    - {e transport stall}: nothing moves on the transport during the
+      window; packets due to arrive inside it are held to the restart
+      instant (head-of-line blocking across all its channels);
+    - {e transport partition}: every packet entering the transport during
+      the window is lost, on all channels at once;
+    - {e transport crash-restart}: in-flight and reorder-buffered packets
+      are lost and the per-channel wire sequence state resets — senders
+      restart channel seqnos from zero (a new {e epoch}), receivers
+      resynchronize on the first post-restart packet.
+
+    Transport faults are inert unless a topology is configured
+    ({!Sim.config}); {!Sim.execute} rejects them otherwise.
+
     All faults are driven by the simulator's seeded PRNG or by fixed
     windows, so faulty runs are exactly as deterministic as fault-free
     ones. {!Reliable} rebuilds the paper's reliable network on top of
@@ -39,12 +57,26 @@ type spike = {
   factor : int;  (** latency multiplier for spiked packets, ≥ 1 *)
 }
 
+type tkind =
+  | T_stall  (** transport frozen: arrivals deferred to the window end *)
+  | T_partition  (** packets entering the transport in the window die *)
+  | T_crash  (** in-flight loss + wire-seqno reset (a new epoch) *)
+
+type tfault = {
+  transport : int;  (** transport id under the configured topology *)
+  kind : tkind;
+  start_at : int;
+  stop_at : int;  (** half-open window [start_at, stop_at) *)
+}
+
 type t = {
   drop_permille : int;  (** per-packet probability (‰) of silent loss *)
   duplicate_permille : int;  (** per-packet probability (‰) of duplication *)
   spike : spike;
   partitions : partition list;
   crashes : crash list;
+  transport_faults : tfault list;
+      (** transport-domain faults; require a topology ({!Sim.config}) *)
 }
 
 val none : t
@@ -55,6 +87,7 @@ val make :
   ?spike:spike ->
   ?partitions:partition list ->
   ?crashes:crash list ->
+  ?transport_faults:tfault list ->
   unit ->
   t
 (** All fields default to the fault-free value. *)
@@ -68,15 +101,30 @@ val crashed_until : t -> proc:int -> at:int -> int option
 (** [Some stop] when the process is down at [at], where [stop] is the
     restart instant of the latest crash window covering [at]. *)
 
+val transport_faulted : t -> transport:int -> kind:tkind -> at:int -> bool
+(** Is a fault of this kind active on the transport at this instant? *)
+
+val transport_stalled_until : t -> transport:int -> at:int -> int option
+(** [Some stop] when the transport is stalled at [at], where [stop] is
+    the latest covering stall window's end. *)
+
+val transport_epoch : t -> transport:int -> at:int -> int
+(** Number of crash-restart cycles the transport has completed by [at]:
+    wire sequence state does not survive a restart, so each completed
+    [T_crash] window starts a fresh epoch. *)
+
 val validate : nprocs:int -> t -> (unit, string) result
 (** Probabilities in range ([drop + duplicate ≤ 1000]), factor ≥ 1,
-    windows non-empty, process indices within [0, nprocs). *)
+    windows non-empty, process indices within [0, nprocs), transport ids
+    non-negative (range against the topology is checked by
+    {!Sim.execute}, which knows the transport count). *)
 
 val parse : string -> (t, string) result
 (** Parse the CLI fault syntax: a comma-separated list of
-    [drop=N], [dup=N], [spike=NxF], [part=SRC>DST\@T1-T2] and
-    [crash=P\@T1-T2] clauses ([part]/[crash] may repeat), e.g.
-    ["drop=150,part=0>1\@100-400,crash=2\@200-500"]. Empty string means
+    [drop=N], [dup=N], [spike=NxF], [part=SRC>DST\@T1-T2],
+    [crash=P\@T1-T2], [stall=T\@T1-T2], [tpart=T\@T1-T2] and
+    [tcrash=T\@T1-T2] clauses (window clauses may repeat), e.g.
+    ["drop=150,part=0>1\@100-400,stall=0\@200-500"]. Empty string means
     no faults. *)
 
 val to_string : t -> string

@@ -26,6 +26,35 @@ let record registry (o : Sim.outcome) =
   g "sim.max_pending" "protocol queue-depth high-watermark" s.Sim.max_pending;
   g "sim.live" "1 when every message was delivered"
     (if o.Sim.all_delivered then 1 else 0);
+  (* transport-domain fault accounting, only when the run multiplexed
+     channels over shared transports — keeps legacy registries stable *)
+  (match o.Sim.transport with
+  | None -> ()
+  | Some ts ->
+      let tc = Transport.counters ts in
+      c "net.transport.stall_delays"
+        "arrivals deferred by a stalled transport" tc.Transport.stall_delays;
+      c "net.transport.part_drops"
+        "packets killed entering a partitioned transport"
+        tc.Transport.part_drops;
+      c "net.transport.crash_drops"
+        "packets lost to a transport crash (entry, in flight, or buffered)"
+        tc.Transport.crash_drops;
+      c "net.transport.resyncs"
+        "channel seqno resynchronizations after a transport restart"
+        tc.Transport.resyncs;
+      c "net.transport.hol_released"
+        "packets released late from a reorder buffer (head-of-line blocked)"
+        tc.Transport.hol_released;
+      c "net.transport.hol_wait_ticks"
+        "total virtual time head-of-line-blocked packets waited"
+        tc.Transport.hol_wait_ticks;
+      c "net.transport.wire_dups"
+        "duplicates of an already-released seq passed through"
+        tc.Transport.wire_dups;
+      c "net.transport.pending"
+        "packets still held in reorder buffers at the end of the run"
+        (Transport.pending ts));
   Span.record registry o.Sim.spans
 
 let run ?config ?registry factory ops =

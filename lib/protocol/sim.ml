@@ -28,6 +28,7 @@ type config = {
   jitter : int;
   max_steps : int;
   faults : faults;
+  topology : Transport.topology option;
 }
 
 let default_config ~nprocs =
@@ -38,6 +39,7 @@ let default_config ~nprocs =
     jitter = 7;
     max_steps = 1_000_000;
     faults = no_faults;
+    topology = None;
   }
 
 type stats = {
@@ -65,13 +67,20 @@ type outcome = {
   colors : int option array;
   groups : int array;
   spans : Mo_obs.Span.t array;
+  transport : Transport.t option;
 }
 
 (* ---- event queue: a simple binary min-heap on (time, tiebreak) ---- *)
 
 type ev =
   | Ev_invoke of { proc : int; intent : Protocol.intent }
-  | Ev_arrive of { dst : int; from : int; packet : Message.packet }
+  | Ev_arrive of {
+      dst : int;
+      from : int;
+      packet : Message.packet;
+      wire : (int * int) option;
+          (* (epoch, seq) assigned by the transport substrate, when on *)
+    }
   | Ev_timer of { proc : int; key : int }
 
 module Heap = struct
@@ -207,6 +216,30 @@ let execute config factory ops =
   (match Net.validate ~nprocs config.faults with
   | Ok () -> ()
   | Error e -> invalid_arg ("Sim.execute: " ^ e));
+  (match (config.topology, config.faults.Net.transport_faults) with
+  | None, [] -> ()
+  | None, _ :: _ ->
+      invalid_arg
+        "Sim.execute: transport faults require a topology (config.topology)"
+  | Some topo, tfs ->
+      let n = Transport.ntransports topo ~nprocs in
+      List.iter
+        (fun (f : Net.tfault) ->
+          if f.Net.transport >= n then
+            invalid_arg
+              (Printf.sprintf
+                 "Sim.execute: transport %d out of range for topology %s (%d \
+                  transport%s)"
+                 f.Net.transport
+                 (Transport.topology_to_string topo)
+                 n
+                 (if n = 1 then "" else "s")))
+        tfs);
+  let tstate =
+    Option.map
+      (fun topo -> Transport.create topo ~nprocs ~faults:config.faults)
+      config.topology
+  in
   let rng = Random.State.make [| config.seed |] in
   let delay () =
     let base = config.min_delay + Random.State.int rng (config.jitter + 1) in
@@ -272,13 +305,45 @@ let execute config factory ops =
     if Net.partitioned config.faults ~from_proc:from ~to_proc:dst ~at:now then
       incr fault_drops
     else
-      match fate () with
-      | `Drop -> incr fault_drops
-      | `Deliver ->
-          Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
-      | `Duplicate ->
-          Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet });
-          Heap.push heap (now + delay ()) (Ev_arrive { dst; from; packet })
+      match tstate with
+      | None -> (
+          (* historical per-pair substrate: the channel is the wire *)
+          match fate () with
+          | `Drop -> incr fault_drops
+          | `Deliver ->
+              Heap.push heap (now + delay ())
+                (Ev_arrive { dst; from; packet; wire = None })
+          | `Duplicate ->
+              Heap.push heap (now + delay ())
+                (Ev_arrive { dst; from; packet; wire = None });
+              Heap.push heap (now + delay ())
+                (Ev_arrive { dst; from; packet; wire = None }))
+      | Some ts -> (
+          (* shared-transport substrate: the packet first enters its
+             channel's transport, picking up wire coordinates (or dying
+             in a transport-domain fault); per-channel fate applies on
+             top. A stalled transport defers the arrival to the window
+             end — head-of-line blocking for every channel it carries. *)
+          match Transport.enter ts ~now ~from_proc:from ~to_proc:dst with
+          | Transport.Entry_lost -> incr fault_drops
+          | Transport.Entered { epoch; seq } -> (
+              let push_wire () =
+                let at =
+                  Transport.arrival ts ~now ~from_proc:from ~to_proc:dst
+                    ~base:(now + delay ())
+                in
+                Heap.push heap at
+                  (Ev_arrive { dst; from; packet; wire = Some (epoch, seq) })
+              in
+              match fate () with
+              | `Drop ->
+                  Transport.mark_lost ts ~from_proc:from ~to_proc:dst ~epoch
+                    ~seq;
+                  incr fault_drops
+              | `Deliver -> push_wire ()
+              | `Duplicate ->
+                  push_wire ();
+                  push_wire ()))
   in
   let apply_actions p now actions =
     List.iter
@@ -407,27 +472,45 @@ let execute config factory ops =
                      of the run; don't let it stretch the makespan *)
                   if actions <> [] then makespan := max !makespan now;
                   apply_actions proc now actions)
-          | Ev_arrive { dst; from; packet } -> (
-              match Net.crashed_until config.faults ~proc:dst ~at:now with
-              | Some _ ->
-                  (* crash-restart loses in-flight receives *)
-                  incr fault_drops
-              | None ->
-                  makespan := max !makespan now;
-                  (match packet with
-                  | Message.User u
-                  | Message.Framed { inner = Message.User u; _ } ->
-                      (* a duplicated packet is still handed to the
-                         protocol, but the trace records one receive
-                         event *)
-                      if received.(u.id) < 0 then begin
-                        received.(u.id) <- now;
-                        record dst
-                          { Event.Sys.msg = u.id; kind = Event.Sys.Receive }
-                      end
-                  | Message.Control _ | Message.Framed _ -> ());
-                  apply_actions dst now
-                    (instances.(dst).on_packet ~now ~from packet)));
+          | Ev_arrive { dst; from; packet; wire } -> (
+              let deliver_one packet =
+                match Net.crashed_until config.faults ~proc:dst ~at:now with
+                | Some _ ->
+                    (* crash-restart loses in-flight receives *)
+                    incr fault_drops
+                | None ->
+                    makespan := max !makespan now;
+                    (match packet with
+                    | Message.User u
+                    | Message.Framed { inner = Message.User u; _ } ->
+                        (* a duplicated packet is still handed to the
+                           protocol, but the trace records one receive
+                           event *)
+                        if received.(u.id) < 0 then begin
+                          received.(u.id) <- now;
+                          record dst
+                            { Event.Sys.msg = u.id; kind = Event.Sys.Receive }
+                        end
+                    | Message.Control _ | Message.Framed _ -> ());
+                    apply_actions dst now
+                      (instances.(dst).on_packet ~now ~from packet)
+              in
+              match (wire, tstate) with
+              | None, _ -> deliver_one packet
+              | Some (epoch, seq), Some ts ->
+                  (* the wire releases packets in per-channel seq order:
+                     this arrival may be held for a predecessor, or may
+                     release a buffered run behind it. Receive events are
+                     recorded at release time, so head-of-line wait shows
+                     up in message latency. *)
+                  let released, destroyed =
+                    Transport.receive ts ~now ~from_proc:from ~to_proc:dst
+                      ~epoch ~seq packet
+                  in
+                  fault_drops := !fault_drops + destroyed;
+                  List.iter deliver_one released
+              | Some _, None ->
+                  fail "wire-tagged packet without a transport substrate"));
           loop ()
   in
   loop ();
@@ -490,4 +573,15 @@ let execute config factory ops =
               | Ok r -> Some r
               | Error _ -> None
           in
-          Ok { sys_run; run; all_delivered; stats; msgs; colors; groups; spans })
+          Ok
+            {
+              sys_run;
+              run;
+              all_delivered;
+              stats;
+              msgs;
+              colors;
+              groups;
+              spans;
+              transport = tstate;
+            })

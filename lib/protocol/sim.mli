@@ -51,10 +51,17 @@ type config = {
   jitter : int;  (** uniform extra delay in [0, jitter] — breaks FIFO *)
   max_steps : int;  (** safety bound on simulator events *)
   faults : faults;
+  topology : Transport.topology option;
+      (** [Some _] multiplexes every channel over the shared-transport
+          substrate ({!Transport}): per-channel wire seqnos, FIFO within
+          a channel, head-of-line blocking, transport-domain faults.
+          [None] (the default) keeps the historical per-pair wire,
+          byte-for-byte — and rejects transport faults in {!faults}. *)
 }
 
 val default_config : nprocs:int -> config
-(** seed 42, delays in [1, 8], one million steps, no faults. *)
+(** seed 42, delays in [1, 8], one million steps, no faults, no
+    topology. *)
 
 type stats = {
   user_packets : int;
@@ -94,6 +101,10 @@ type outcome = {
       (** per message id, the lifecycle span with the virtual timestamps of
           all four system events ([-1] for events that never happened) —
           inhibition time and delivery delay read directly off these *)
+  transport : Transport.t option;
+      (** the shared-transport substrate state after the run (fault and
+          head-of-line accounting via {!Transport.counters}); [None] when
+          the run used the historical per-pair wire *)
 }
 
 val execute :

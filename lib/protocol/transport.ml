@@ -1,0 +1,269 @@
+(* Shared-transport substrate: logical channels multiplexed over few
+   simulated transports. A channel is a directed process pair; the
+   topology says which transport carries it. Within a channel the wire
+   is FIFO (per-channel seqnos, reorder buffer at the receiving
+   endpoint); across channels and transports there is no guarantee.
+   Transport-domain faults (stall, partition, crash-restart) strike the
+   whole transport and therefore correlate failures across every channel
+   riding it. *)
+
+type topology = Shared | Per_pair | Split2
+
+let topology_to_string = function
+  | Shared -> "shared"
+  | Per_pair -> "per-pair"
+  | Split2 -> "split2"
+
+let topology_of_string = function
+  | "shared" -> Ok Shared
+  | "per-pair" | "per_pair" -> Ok Per_pair
+  | "split2" -> Ok Split2
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown topology %S (choose from: shared, per-pair, split2)" other)
+
+let all_topologies = [ Shared; Per_pair; Split2 ]
+
+let ntransports topology ~nprocs =
+  match topology with
+  | Shared -> 1
+  | Per_pair -> nprocs * nprocs
+  | Split2 -> 2
+
+let transport_of topology ~nprocs ~from_proc ~to_proc =
+  match topology with
+  | Shared -> 0
+  | Per_pair -> (from_proc * nprocs) + to_proc
+  | Split2 -> (from_proc + to_proc) mod 2
+
+type counters = {
+  mutable stall_delays : int;
+  mutable part_drops : int;
+  mutable crash_drops : int;
+  mutable resyncs : int;
+  mutable hol_released : int;
+  mutable hol_wait_ticks : int;
+  mutable wire_dups : int;
+}
+
+let fresh_counters () =
+  {
+    stall_delays = 0;
+    part_drops = 0;
+    crash_drops = 0;
+    resyncs = 0;
+    hol_released = 0;
+    hol_wait_ticks = 0;
+    wire_dups = 0;
+  }
+
+type t = {
+  topology : topology;
+  nprocs : int;
+  faults : Net.t;
+  counters : counters;
+  (* sender-side wire state, per channel from→to *)
+  send_epoch : int array;
+  send_seq : int array;
+  (* receiver-side wire state, per channel *)
+  recv_epoch : int array;
+  cursor : int array;  (* next expected seq in the current epoch *)
+  (* out-of-order arrivals waiting for a predecessor, and seqs known
+     lost at entry (the gap the cursor may skip). Keyed by
+     (channel, epoch, seq); one seq can hold several packets under
+     duplication. [arrived_at] feeds the head-of-line wait accounting. *)
+  buffer : (int * int * int, (Message.packet * int) list) Hashtbl.t;
+  lost : (int * int * int, unit) Hashtbl.t;
+}
+
+let create topology ~nprocs ~faults =
+  let nchan = nprocs * nprocs in
+  {
+    topology;
+    nprocs;
+    faults;
+    counters = fresh_counters ();
+    send_epoch = Array.make nchan 0;
+    send_seq = Array.make nchan 0;
+    recv_epoch = Array.make nchan 0;
+    cursor = Array.make nchan 0;
+    buffer = Hashtbl.create 64;
+    lost = Hashtbl.create 64;
+  }
+
+let counters t = t.counters
+let topology t = t.topology
+
+let chan t ~from_proc ~to_proc = (from_proc * t.nprocs) + to_proc
+
+let transport t ~from_proc ~to_proc =
+  transport_of t.topology ~nprocs:t.nprocs ~from_proc ~to_proc
+
+type verdict = Entered of { epoch : int; seq : int } | Entry_lost
+
+let enter t ~now ~from_proc ~to_proc =
+  let tr = transport t ~from_proc ~to_proc in
+  if Net.transport_faulted t.faults ~transport:tr ~kind:Net.T_crash ~at:now
+  then begin
+    t.counters.crash_drops <- t.counters.crash_drops + 1;
+    Entry_lost
+  end
+  else if
+    Net.transport_faulted t.faults ~transport:tr ~kind:Net.T_partition
+      ~at:now
+  then begin
+    t.counters.part_drops <- t.counters.part_drops + 1;
+    Entry_lost
+  end
+  else begin
+    let c = chan t ~from_proc ~to_proc in
+    let epoch = Net.transport_epoch t.faults ~transport:tr ~at:now in
+    if epoch > t.send_epoch.(c) then begin
+      (* the transport restarted since this channel last sent: wire
+         seqnos do not survive, start the new epoch from zero *)
+      t.send_epoch.(c) <- epoch;
+      t.send_seq.(c) <- 0
+    end;
+    let seq = t.send_seq.(c) in
+    t.send_seq.(c) <- seq + 1;
+    Entered { epoch; seq }
+  end
+
+let mark_lost t ~from_proc ~to_proc ~epoch ~seq =
+  (* a packet destroyed at entry (random loss): the receiver must not
+     wait for this seq. Recorded here; the cursor skips it on the next
+     arrival. No successor can be buffered yet — seqnos are assigned at
+     send time, so every higher seq is sent, and arrives, strictly
+     later. *)
+  let c = chan t ~from_proc ~to_proc in
+  Hashtbl.replace t.lost (c, epoch, seq) ()
+
+let arrival t ~now ~from_proc ~to_proc ~base =
+  (* a stalled transport holds every arrival to the window end — the
+     head-of-line blocking a shared transport imposes on all its
+     channels at once. [now] is unused but keeps the call shape uniform
+     with entry-side checks. *)
+  ignore now;
+  let tr = transport t ~from_proc ~to_proc in
+  let rec push at moved =
+    match Net.transport_stalled_until t.faults ~transport:tr ~at with
+    | Some stop -> push stop true
+    | None ->
+        if moved then t.counters.stall_delays <- t.counters.stall_delays + 1;
+        at
+  in
+  push base false
+
+let clear_channel t c ~epoch =
+  (* the transport crashed with packets in its reorder buffers: they die
+     with it. Returns how many were destroyed. *)
+  let doomed =
+    Hashtbl.fold
+      (fun ((c', e, _) as key) pkts acc ->
+        if c' = c && e <= epoch then (key, List.length pkts) :: acc else acc)
+      t.buffer []
+  in
+  List.iter (fun (key, _) -> Hashtbl.remove t.buffer key) doomed;
+  Hashtbl.iter
+    (fun ((c', e, _) as key) () ->
+      if c' = c && e <= epoch then Hashtbl.remove t.lost key)
+    (Hashtbl.copy t.lost);
+  List.fold_left (fun acc (_, n) -> acc + n) 0 doomed
+
+let resolve t c ~epoch ~now =
+  (* advance the cursor over lost seqs and release every buffered run of
+     consecutive seqs, in seq order (FIFO within the channel) *)
+  let released = ref [] in
+  let continue = ref true in
+  while !continue do
+    let key = (c, epoch, t.cursor.(c)) in
+    if Hashtbl.mem t.lost key then begin
+      Hashtbl.remove t.lost key;
+      t.cursor.(c) <- t.cursor.(c) + 1
+    end
+    else
+      match Hashtbl.find_opt t.buffer key with
+      | Some pkts ->
+          Hashtbl.remove t.buffer key;
+          List.iter
+            (fun (p, arrived_at) ->
+              if arrived_at < now then begin
+                t.counters.hol_released <- t.counters.hol_released + 1;
+                t.counters.hol_wait_ticks <-
+                  t.counters.hol_wait_ticks + (now - arrived_at)
+              end;
+              released := p :: !released)
+            pkts;
+          t.cursor.(c) <- t.cursor.(c) + 1
+      | None -> continue := false
+  done;
+  List.rev !released
+
+let receive t ~now ~from_proc ~to_proc ~epoch ~seq packet =
+  let tr = transport t ~from_proc ~to_proc in
+  let c = chan t ~from_proc ~to_proc in
+  if Net.transport_faulted t.faults ~transport:tr ~kind:Net.T_crash ~at:now
+  then begin
+    (* the transport is down at the arrival instant: this packet was in
+       flight when it crashed, and whatever the channel had buffered
+       dies with the transport's memory *)
+    let buried = clear_channel t c ~epoch in
+    t.counters.crash_drops <- t.counters.crash_drops + 1 + buried;
+    ([], 1 + buried)
+  end
+  else
+    let cur_epoch = Net.transport_epoch t.faults ~transport:tr ~at:now in
+    if epoch < cur_epoch then begin
+      (* sent before a crash the transport has since restarted from:
+         the packet did not survive the restart *)
+      t.counters.crash_drops <- t.counters.crash_drops + 1;
+      ([], 1)
+    end
+    else begin
+      let dropped = ref 0 in
+      if epoch > t.recv_epoch.(c) then begin
+        (* first packet of the new epoch: resynchronize the channel —
+           pre-crash reorder state is gone *)
+        let buried = clear_channel t c ~epoch:(epoch - 1) in
+        dropped := buried;
+        t.counters.crash_drops <- t.counters.crash_drops + buried;
+        t.counters.resyncs <- t.counters.resyncs + 1;
+        t.recv_epoch.(c) <- epoch;
+        t.cursor.(c) <- 0
+      end;
+      if seq < t.cursor.(c) then begin
+        (* a duplicate of an already-released seq: hand it through out of
+           band — duplication is a channel fault the layers above must
+           absorb, the wire does not hide it *)
+        t.counters.wire_dups <- t.counters.wire_dups + 1;
+        ([ packet ], !dropped)
+      end
+      else begin
+        let key = (c, epoch, seq) in
+        let prev =
+          Option.value ~default:[] (Hashtbl.find_opt t.buffer key)
+        in
+        Hashtbl.replace t.buffer key (prev @ [ (packet, now) ]);
+        (resolve t c ~epoch ~now, !dropped)
+      end
+    end
+
+let pending t =
+  Hashtbl.fold (fun _ pkts acc -> acc + List.length pkts) t.buffer 0
+
+let to_json t =
+  let c = t.counters in
+  Mo_obs.Jsonb.Obj
+    [
+      ("topology", Mo_obs.Jsonb.String (topology_to_string t.topology));
+      ( "transports",
+        Mo_obs.Jsonb.Int (ntransports t.topology ~nprocs:t.nprocs) );
+      ("stall_delays", Mo_obs.Jsonb.Int c.stall_delays);
+      ("part_drops", Mo_obs.Jsonb.Int c.part_drops);
+      ("crash_drops", Mo_obs.Jsonb.Int c.crash_drops);
+      ("resyncs", Mo_obs.Jsonb.Int c.resyncs);
+      ("hol_released", Mo_obs.Jsonb.Int c.hol_released);
+      ("hol_wait_ticks", Mo_obs.Jsonb.Int c.hol_wait_ticks);
+      ("wire_dups", Mo_obs.Jsonb.Int c.wire_dups);
+    ]

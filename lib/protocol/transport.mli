@@ -1,0 +1,114 @@
+(** Shared-transport substrate: channels multiplexed over transports.
+
+    The paper's channel model gives every directed process pair its own
+    private wire. Real stacks multiplex many logical channels over a few
+    transports (one TCP connection, one message bus), which changes the
+    failure shape: a transport fault strikes {e every} channel riding the
+    transport at once, while per-channel faults (drop, dup, delay spike)
+    stay independent. This module is the simulator's model of that layer:
+
+    - a {e channel} is a directed process pair; the {!topology} maps it
+      to a transport;
+    - within a channel the wire is FIFO: packets get per-channel seqnos
+      at entry and a reorder buffer at the receiving endpoint releases
+      them in seq order — a packet overtaking its predecessor waits
+      (head-of-line blocking);
+    - across channels — even channels of the same transport — and across
+      transports there is no ordering guarantee;
+    - transport faults ({!Net.tfault}) correlate failures: a stall holds
+      every channel's arrivals to the window end, a partition kills every
+      entering packet, a crash-restart destroys in-flight and buffered
+      packets and resets wire seqnos (a new {e epoch}) on all channels.
+
+    The simulator owns event timing and randomness; this module owns only
+    wire state (seqnos, epochs, reorder buffers) and fault accounting, so
+    runs stay deterministic. Enabled per run via {!Sim.config}[.topology];
+    [None] bypasses it entirely and preserves the historical per-pair
+    behavior byte for byte. *)
+
+type topology =
+  | Shared  (** one transport carries every channel *)
+  | Per_pair  (** a private transport per directed pair (paper model) *)
+  | Split2  (** two transports; channel [from → to] rides [(from+to) mod 2] *)
+
+val all_topologies : topology list
+
+val topology_of_string : string -> (topology, string) result
+(** Accepts ["shared"], ["per-pair"] (or ["per_pair"]), ["split2"]. *)
+
+val topology_to_string : topology -> string
+
+val ntransports : topology -> nprocs:int -> int
+
+val transport_of : topology -> nprocs:int -> from_proc:int -> to_proc:int -> int
+(** Which transport carries the channel [from_proc → to_proc]. *)
+
+(** Per-run fault and head-of-line accounting, all monotone counters. *)
+type counters = {
+  mutable stall_delays : int;
+      (** packets whose arrival was deferred by a stalled transport *)
+  mutable part_drops : int;  (** packets killed entering a partitioned transport *)
+  mutable crash_drops : int;
+      (** packets lost to a transport crash: at entry, in flight, or
+          sitting in a reorder buffer when the transport died *)
+  mutable resyncs : int;
+      (** channel receive-side seqno resets after a crash-restart *)
+  mutable hol_released : int;
+      (** packets released from the reorder buffer strictly later than
+          they arrived (head-of-line blocked behind a missing seq) *)
+  mutable hol_wait_ticks : int;  (** total virtual time those packets waited *)
+  mutable wire_dups : int;
+      (** duplicates of an already-released seq, passed through out of band *)
+}
+
+type t
+
+val create : topology -> nprocs:int -> faults:Net.t -> t
+val topology : t -> topology
+val counters : t -> counters
+
+type verdict =
+  | Entered of { epoch : int; seq : int }
+      (** wire coordinates the packet carries to {!receive} *)
+  | Entry_lost  (** destroyed entering a partitioned or crashed transport *)
+
+val enter : t -> now:int -> from_proc:int -> to_proc:int -> verdict
+(** A packet enters its channel's transport. Assigns the next per-channel
+    seqno in the transport's current epoch (resetting the channel's seq
+    counter first if the transport restarted since the channel last
+    sent), or kills the packet if the transport is partitioned or down. *)
+
+val mark_lost : t -> from_proc:int -> to_proc:int -> epoch:int -> seq:int -> unit
+(** The packet with these wire coordinates was destroyed after entry
+    (per-channel random loss). The receive cursor will skip the seq
+    instead of blocking the channel forever. *)
+
+val arrival : t -> now:int -> from_proc:int -> to_proc:int -> base:int -> int
+(** Actual arrival instant for a packet due at [base]: a stalled
+    transport holds it (and every other arrival on the transport) to the
+    stall window's end. *)
+
+val receive :
+  t ->
+  now:int ->
+  from_proc:int ->
+  to_proc:int ->
+  epoch:int ->
+  seq:int ->
+  Message.packet ->
+  Message.packet list * int
+(** A packet reaches the receiving endpoint of its channel. Returns
+    [(released, destroyed)]: the packets the wire releases to the process
+    {e in seq order} (possibly none, if this one must wait for a
+    predecessor; possibly several, if it fills a gap), and how many
+    packets the transport destroyed at this instant (this one arriving
+    into a crash window or from a pre-restart epoch, plus any buffered
+    packets that died with the transport's memory). Duplicates of an
+    already-released seq pass straight through — duplication is a
+    channel fault the layers above must absorb. *)
+
+val pending : t -> int
+(** Packets currently held in reorder buffers (never released). *)
+
+val to_json : t -> Mo_obs.Jsonb.t
+(** Topology, transport count and all {!counters} as a JSON object. *)

@@ -4,15 +4,73 @@ type t = {
   mutable next_id : int;
 }
 
-let connect ~socket_path =
+type retry = {
+  attempts : int;
+  base_delay_s : float;
+  max_delay_s : float;
+  connect_timeout_s : float;
+}
+
+let default_retry =
+  { attempts = 5; base_delay_s = 0.05; max_delay_s = 0.8; connect_timeout_s = 5. }
+
+let no_retry =
+  { attempts = 1; base_delay_s = 0.; max_delay_s = 0.; connect_timeout_s = 5. }
+
+(* errors a briefly-restarting or busy daemon produces: the socket file
+   not written yet, a stale file nobody listens on, or a full listen
+   queue. Anything else (permissions, not a socket) will not get better
+   by waiting. *)
+let transient = function
+  | Unix.ENOENT | Unix.ECONNREFUSED | Unix.EAGAIN | Unix.EWOULDBLOCK
+  | Unix.EINTR | Unix.ETIMEDOUT | Unix.ECONNRESET ->
+      true
+  | _ -> false
+
+(* one bounded connect attempt: non-blocking so a wedged daemon turns
+   into ETIMEDOUT after [timeout_s] instead of hanging the client *)
+let connect_once ~timeout_s socket_path =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
-  | () -> Ok { fd; reader = Codec.reader fd; next_id = 1 }
+  match
+    Unix.set_nonblock fd;
+    (try Unix.connect fd (Unix.ADDR_UNIX socket_path)
+     with Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+       match Unix.select [] [ fd ] [] timeout_s with
+       | _, [ _ ], _ -> (
+           match Unix.getsockopt_error fd with
+           | None -> ()
+           | Some e -> raise (Unix.Unix_error (e, "connect", socket_path)))
+       | _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", socket_path))));
+    Unix.clear_nonblock fd
+  with
+  | () -> Ok fd
   | exception Unix.Unix_error (e, _, _) ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error e
+
+let connect ?(retry = default_retry) ?(sleep = Unix.sleepf) ~socket_path () =
+  let attempts = max 1 retry.attempts in
+  let rec go n delay last_err =
+    if n >= attempts then
       Error
-        (Printf.sprintf "cannot connect to %s: %s" socket_path
-           (Unix.error_message e))
+        (Printf.sprintf "cannot connect to %s after %d attempt%s: %s"
+           socket_path attempts
+           (if attempts = 1 then "" else "s")
+           (Unix.error_message last_err))
+    else
+      match connect_once ~timeout_s:retry.connect_timeout_s socket_path with
+      | Ok fd -> Ok { fd; reader = Codec.reader fd; next_id = 1 }
+      | Error e when transient e && n + 1 < attempts ->
+          sleep delay;
+          go (n + 1) (Float.min retry.max_delay_s (delay *. 2.)) e
+      | Error e ->
+          Error
+            (Printf.sprintf "cannot connect to %s%s: %s" socket_path
+               (if n > 0 then Printf.sprintf " after %d attempts" (n + 1)
+                else "")
+               (Unix.error_message e))
+  in
+  go 0 retry.base_delay_s Unix.ECONNREFUSED
 
 let call_raw t json =
   match

@@ -2,7 +2,34 @@
 
 type t
 
-val connect : socket_path:string -> (t, string) result
+type retry = {
+  attempts : int;  (** total connect attempts, ≥ 1 *)
+  base_delay_s : float;  (** sleep after the first failure *)
+  max_delay_s : float;  (** cap for the doubling backoff *)
+  connect_timeout_s : float;  (** per-attempt bound on the connect itself *)
+}
+
+val default_retry : retry
+(** 5 attempts, 50 ms doubling to an 800 ms cap, 5 s connect timeout —
+    a briefly-restarting or busy daemon is ridden out; a dead one turns
+    into a clear error in under two seconds. *)
+
+val no_retry : retry
+(** A single attempt (still with the connect timeout). *)
+
+val connect :
+  ?retry:retry ->
+  ?sleep:(float -> unit) ->
+  socket_path:string ->
+  unit ->
+  (t, string) result
+(** Connect with bounded retries: transient failures (socket file not
+    there yet, nobody listening on a stale one, full listen queue,
+    connect timeout) are retried with capped exponential backoff;
+    permanent ones (permissions, not a socket) fail immediately. Each
+    attempt's connect is itself bounded by [retry.connect_timeout_s], so
+    a wedged daemon yields a timeout error rather than a hang. [sleep]
+    (default [Unix.sleepf]) is injectable for deterministic tests. *)
 
 val call :
   t ->

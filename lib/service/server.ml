@@ -20,6 +20,55 @@ let default_config ~socket_path =
 let log fmt =
   Printf.ksprintf (fun s -> Printf.eprintf "mopcd: %s\n%!" s) fmt
 
+(* a socket file left behind by a kill-9'd daemon would make bind fail
+   forever; but blindly unlinking would steal the socket from a live
+   daemon. Probe with a connect: refused means nobody is listening (the
+   file is a corpse, remove it); accepted or queued means a live daemon
+   owns it (refuse to start). *)
+let remove_stale_socket path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+      let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      let verdict =
+        match
+          Unix.set_nonblock probe;
+          Unix.connect probe (Unix.ADDR_UNIX path)
+        with
+        | () -> `Live
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) -> `Stale
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) -> `Gone
+        | exception
+            Unix.Unix_error
+              ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            (* connect pending or the listen queue is full: either way,
+               someone is listening *)
+            `Live
+        | exception Unix.Unix_error (e, _, _) ->
+            `Error (Unix.error_message e)
+      in
+      (try Unix.close probe with Unix.Unix_error _ -> ());
+      match verdict with
+      | `Gone -> Ok ()
+      | `Stale -> (
+          log "removing stale socket %s" path;
+          match Unix.unlink path with
+          | () -> Ok ()
+          | exception Unix.Unix_error (Unix.ENOENT, _, _) -> Ok ()
+          | exception Unix.Unix_error (e, _, _) ->
+              Error
+                (Printf.sprintf "cannot remove stale socket %s: %s" path
+                   (Unix.error_message e)))
+      | `Live ->
+          Error
+            (Printf.sprintf "socket %s is in use by a live daemon" path)
+      | `Error e ->
+          Error (Printf.sprintf "cannot probe socket %s: %s" path e))
+  | _ -> Error (Printf.sprintf "%s exists and is not a socket" path)
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Printf.sprintf "cannot stat %s: %s" path (Unix.error_message e))
+
 (* serve one connection; returns [true] when a shutdown was requested *)
 let serve_connection cfg engine conn =
   (try
@@ -84,11 +133,17 @@ let run ?engine ?(on_ready = fun () -> ()) cfg =
     Sys.set_signal Sys.sigpipe prev_pipe
   in
   (try
-     if Sys.file_exists cfg.socket_path then Unix.unlink cfg.socket_path;
+     (match remove_stale_socket cfg.socket_path with
+     | Ok () -> ()
+     | Error e -> failwith e);
      Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
      Unix.listen fd 64
    with e ->
-     cleanup ();
+     (* don't let the cleanup unlink a live daemon's socket: we never
+        bound it *)
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     List.iter (fun (sg, h) -> Sys.set_signal sg h) previous;
+     Sys.set_signal Sys.sigpipe prev_pipe;
      raise e);
   on_ready ();
   while not !stop do

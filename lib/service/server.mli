@@ -40,9 +40,21 @@ val default_config : socket_path:string -> config
 (** 4096 cache entries, default pool, 1 MiB frames, 10 s socket
     timeout, 10_000 requests per connection. *)
 
+val remove_stale_socket : string -> (unit, string) result
+(** Crash-tolerant startup probe. A missing path is fine; a socket file
+    nobody accepts on (a kill-9'd daemon's corpse, detected by a refused
+    connect) is unlinked; a socket with a live listener, or a path that
+    is not a socket at all, is an [Error] — starting would steal or
+    clobber someone else's file. Called by {!run} before binding. *)
+
 val run : ?engine:Engine.t -> ?on_ready:(unit -> unit) -> config -> unit
 (** Bind, listen, serve until shutdown; then clean up the socket file.
-    [on_ready] fires once the socket is accepting (the daemon prints its
-    ready line from here). [engine] defaults to a fresh one built from
-    the config — injectable for tests.
-    @raise Unix.Unix_error if the socket cannot be bound. *)
+    On startup a stale socket file left by a crashed daemon is detected
+    (liveness probe) and removed ({!remove_stale_socket}); a live
+    daemon's socket is never stolen. [on_ready] fires once the socket is
+    accepting (the daemon prints its ready line from here). [engine]
+    defaults to a fresh one built from the config — injectable for
+    tests.
+    @raise Unix.Unix_error if the socket cannot be bound.
+    @raise Failure if the socket path is owned by a live daemon or is
+    not a socket. *)

@@ -340,6 +340,467 @@ let test_recovery_metrics () =
             || Mo_obs.Metrics.hist_sum h > 0)
 
 (* ------------------------------------------------------------------ *)
+(* The shared-transport substrate                                      *)
+
+let test_topology_parse () =
+  List.iter
+    (fun topo ->
+      match Transport.topology_of_string (Transport.topology_to_string topo) with
+      | Ok t -> check_bool "topology name round trips" true (t = topo)
+      | Error e -> Alcotest.fail e)
+    Transport.all_topologies;
+  check_bool "per_pair alias" true
+    (Transport.topology_of_string "per_pair" = Ok Transport.Per_pair);
+  check_bool "unknown topology rejected" true
+    (Result.is_error (Transport.topology_of_string "mesh"));
+  check_int "shared has one transport" 1
+    (Transport.ntransports Transport.Shared ~nprocs:4);
+  check_int "per-pair has nprocs^2" 16
+    (Transport.ntransports Transport.Per_pair ~nprocs:4);
+  check_int "split2 has two" 2
+    (Transport.ntransports Transport.Split2 ~nprocs:4);
+  check_int "shared maps every channel to 0" 0
+    (Transport.transport_of Transport.Shared ~nprocs:4 ~from_proc:2 ~to_proc:3);
+  check_int "per-pair gives each directed pair its own" 11
+    (Transport.transport_of Transport.Per_pair ~nprocs:4 ~from_proc:2
+       ~to_proc:3);
+  check_int "split2 splits by endpoint parity" 1
+    (Transport.transport_of Transport.Split2 ~nprocs:4 ~from_proc:2 ~to_proc:3)
+
+let test_net_parse_tfaults () =
+  (match Net.parse "stall=0@20-60,tpart=1@30-50,tcrash=0@80-100" with
+  | Error e -> Alcotest.fail e
+  | Ok f -> (
+      match f.Net.transport_faults with
+      | [ s; p; c ] ->
+          check_bool "stall kind" true (s.Net.kind = Net.T_stall);
+          check_int "stall transport" 0 s.Net.transport;
+          check_int "stall start" 20 s.Net.start_at;
+          check_int "stall stop" 60 s.Net.stop_at;
+          check_bool "tpart kind" true (p.Net.kind = Net.T_partition);
+          check_int "tpart transport" 1 p.Net.transport;
+          check_bool "tcrash kind" true (c.Net.kind = Net.T_crash);
+          check_int "tcrash stop" 100 c.Net.stop_at
+      | l -> Alcotest.failf "expected three transport faults, got %d"
+               (List.length l)));
+  (* to_string round-trips *)
+  (match Net.parse "drop=50,stall=0@1-2,tcrash=1@3-4" with
+  | Error e -> Alcotest.fail e
+  | Ok f -> (
+      match Net.parse (Net.to_string f) with
+      | Ok f' -> check_bool "tfault round trip" true (f = f')
+      | Error e -> Alcotest.fail e));
+  List.iter
+    (fun bad ->
+      match Net.parse bad with
+      | Ok _ -> Alcotest.fail ("parse should reject: " ^ bad)
+      | Error _ -> ())
+    [ "stall=0"; "stall=@1-2"; "tcrash=0@5"; "tpart=x@1-2" ];
+  (* validation: negative ids and empty windows are structural errors *)
+  check_bool "negative transport id rejected" true
+    (Result.is_error
+       (Net.validate ~nprocs:3
+          (Net.make
+             ~transport_faults:
+               [ { Net.transport = -1; kind = Net.T_stall; start_at = 0; stop_at = 5 } ]
+             ())));
+  check_bool "empty window rejected" true
+    (Result.is_error
+       (Net.validate ~nprocs:3
+          (Net.make
+             ~transport_faults:
+               [ { Net.transport = 0; kind = Net.T_crash; start_at = 5; stop_at = 5 } ]
+             ())))
+
+let test_topology_required () =
+  (* transport faults without a topology are a configuration error, not a
+     silent no-op; a transport id past the topology's count likewise *)
+  let tf k = [ { Net.transport = 1; kind = k; start_at = 0; stop_at = 10 } ] in
+  let ops = [ Sim.op ~at:0 ~src:0 ~dst:1 () ] in
+  let expect_invalid cfg msg =
+    match Sim.execute cfg Tagless.factory ops with
+    | exception Invalid_argument _ -> ()
+    | Ok _ | Error _ -> Alcotest.fail msg
+  in
+  expect_invalid
+    {
+      (Sim.default_config ~nprocs:3) with
+      Sim.faults = Net.make ~transport_faults:(tf Net.T_stall) ();
+    }
+    "transport faults without topology must be rejected";
+  expect_invalid
+    {
+      (Sim.default_config ~nprocs:3) with
+      Sim.faults = Net.make ~transport_faults:(tf Net.T_crash) ();
+      topology = Some Transport.Shared;
+    }
+    "transport id out of range for shared must be rejected";
+  (* the same id is fine under a topology with enough transports *)
+  match
+    Sim.execute
+      {
+        (Sim.default_config ~nprocs:3) with
+        Sim.faults = Net.make ~transport_faults:(tf Net.T_stall) ();
+        topology = Some Transport.Split2;
+      }
+      Tagless.factory ops
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+  | exception Invalid_argument e -> Alcotest.fail e
+
+(* the wire state machine, driven directly: seqno assignment, reorder
+   buffering, loss gaps, duplicates, epochs *)
+let test_wire_fifo_unit () =
+  let ts = Transport.create Transport.Shared ~nprocs:2 ~faults:Net.none in
+  let enter ~now =
+    match Transport.enter ts ~now ~from_proc:0 ~to_proc:1 with
+    | Transport.Entered { epoch; seq } -> (epoch, seq)
+    | Transport.Entry_lost -> Alcotest.fail "entry lost on a clean transport"
+  in
+  let pkt id = Message.Control { Message.kind = "t"; data = [| id |] } in
+  let recv ~now ~epoch ~seq p =
+    Transport.receive ts ~now ~from_proc:0 ~to_proc:1 ~epoch ~seq p
+  in
+  let e0, s0 = enter ~now:0 in
+  let e1, s1 = enter ~now:1 in
+  let e2, s2 = enter ~now:2 in
+  check_int "seqs ascend" 0 s0;
+  check_int "seqs ascend" 1 s1;
+  check_int "seqs ascend" 2 s2;
+  check_int "epoch 0" 0 e0;
+  (* seq 1 overtakes seq 0: held; seq 0 arrives: both release in order *)
+  let r1, d1 = recv ~now:5 ~epoch:e1 ~seq:s1 (pkt 1) in
+  check_bool "overtaking packet is held" true (r1 = [] && d1 = 0);
+  check_int "held packet is pending" 1 (Transport.pending ts);
+  let r0, _ = recv ~now:7 ~epoch:e0 ~seq:s0 (pkt 0) in
+  check_int "gap fill releases the run in seq order" 2 (List.length r0);
+  check_bool "release order is seq order" true (r0 = [ pkt 0; pkt 1 ]);
+  check_int "nothing left pending" 0 (Transport.pending ts);
+  let c = Transport.counters ts in
+  check_int "one packet was head-of-line blocked" 1 c.Transport.hol_released;
+  check_int "it waited 2 ticks" 2 c.Transport.hol_wait_ticks;
+  (* a lost seq must not block the channel forever *)
+  Transport.mark_lost ts ~from_proc:0 ~to_proc:1 ~epoch:e2 ~seq:s2;
+  let _, s3 = enter ~now:8 in
+  let r3, _ = recv ~now:9 ~epoch:e0 ~seq:s3 (pkt 3) in
+  check_bool "cursor skips the lost seq" true (r3 = [ pkt 3 ]);
+  (* a duplicate of an already-released seq passes straight through *)
+  let rd, _ = recv ~now:10 ~epoch:e0 ~seq:s0 (pkt 0) in
+  check_bool "stale duplicate passes through" true (rd = [ pkt 0 ]);
+  check_int "the dup is accounted" 1 (Transport.counters ts).Transport.wire_dups
+
+let test_wire_epoch_unit () =
+  let faults =
+    Net.make
+      ~transport_faults:
+        [ { Net.transport = 0; kind = Net.T_crash; start_at = 10; stop_at = 20 } ]
+      ()
+  in
+  let ts = Transport.create Transport.Shared ~nprocs:2 ~faults in
+  let pkt id = Message.Control { Message.kind = "t"; data = [| id |] } in
+  let enter ~now =
+    match Transport.enter ts ~now ~from_proc:0 ~to_proc:1 with
+    | Transport.Entered { epoch; seq } -> `E (epoch, seq)
+    | Transport.Entry_lost -> `Lost
+  in
+  let recv ~now ~epoch ~seq p =
+    Transport.receive ts ~now ~from_proc:0 ~to_proc:1 ~epoch ~seq p
+  in
+  (* pre-crash: epoch 0, seqs 0 and 1; seq 0 delivered, seq 1 in flight *)
+  let e0, s0 = match enter ~now:0 with `E v -> v | `Lost -> Alcotest.fail "lost" in
+  let _e, s1 = match enter ~now:1 with `E v -> v | `Lost -> Alcotest.fail "lost" in
+  check_int "epoch before the crash" 0 e0;
+  ignore (recv ~now:5 ~epoch:e0 ~seq:s0 (pkt 0));
+  (* entry during the crash window dies *)
+  check_bool "entry during the crash window is lost" true
+    (enter ~now:12 = `Lost);
+  (* the in-flight pre-crash packet arrives after the restart: dead *)
+  let r, d = recv ~now:25 ~epoch:e0 ~seq:s1 (pkt 1) in
+  check_bool "pre-crash packet does not survive the restart" true
+    (r = [] && d = 1);
+  (* post-restart: a new epoch, seqs from zero, receiver resyncs *)
+  (match enter ~now:30 with
+  | `E (e, s) ->
+      check_int "new epoch after the restart" 1 e;
+      check_int "seqs restart from zero" 0 s;
+      let r, d = recv ~now:33 ~epoch:e ~seq:s (pkt 2) in
+      check_bool "first new-epoch packet releases" true (r = [ pkt 2 ] && d = 0)
+  | `Lost -> Alcotest.fail "post-restart entry lost");
+  let c = Transport.counters ts in
+  check_int "resync happened once" 1 c.Transport.resyncs;
+  check_int "two packets died in the crash (entry + in flight)" 2
+    c.Transport.crash_drops
+
+let test_wire_stall_unit () =
+  let faults =
+    Net.make
+      ~transport_faults:
+        [
+          { Net.transport = 0; kind = Net.T_stall; start_at = 10; stop_at = 30 };
+          (* back-to-back window: the deferred arrival lands in it and is
+             deferred again *)
+          { Net.transport = 0; kind = Net.T_stall; start_at = 30; stop_at = 40 };
+          { Net.transport = 1; kind = Net.T_stall; start_at = 0; stop_at = 100 };
+        ]
+      ()
+  in
+  let ts = Transport.create Transport.Split2 ~nprocs:2 ~faults in
+  let arrival ~from_proc ~to_proc base =
+    Transport.arrival ts ~now:0 ~from_proc ~to_proc ~base
+  in
+  (* channel 0→0 rides transport 0; channel 0→1 rides transport 1 *)
+  check_int "arrival before the stall is untouched" 5 (arrival ~from_proc:0 ~to_proc:0 5);
+  check_int "arrival inside the stall defers to the chain's end" 40
+    (arrival ~from_proc:0 ~to_proc:0 15);
+  check_int "arrival at the boundary is free" 40 (arrival ~from_proc:0 ~to_proc:0 40);
+  check_int "the other transport's stall holds its own channels" 100
+    (arrival ~from_proc:0 ~to_proc:1 50);
+  (* the chained deferral counts once per packet, not once per window *)
+  check_int "two arrivals were deferred" 2
+    (Transport.counters ts).Transport.stall_delays
+
+(* FIFO-within-channel is a property of the substrate, not the protocol:
+   even the tagless protocol (no ordering logic at all) sees per-channel
+   sends arrive in send order — while the historical wire demonstrably
+   reorders the same workload *)
+let receive_order_matches_send_order (o : Sim.outcome) =
+  let nprocs = Mo_order.Sys_run.nprocs o.Sim.sys_run in
+  let ok = ref true in
+  for s = 0 to nprocs - 1 do
+    for d = 0 to nprocs - 1 do
+      let on_channel i = o.Sim.msgs.(i) = (s, d) in
+      let sends =
+        List.filter_map
+          (fun (e : Mo_order.Event.Sys.t) ->
+            if e.kind = Mo_order.Event.Sys.Send && on_channel e.msg then
+              Some e.msg
+            else None)
+          (Mo_order.Sys_run.sequence o.Sim.sys_run s)
+      and recvs =
+        List.filter_map
+          (fun (e : Mo_order.Event.Sys.t) ->
+            if e.kind = Mo_order.Event.Sys.Receive && on_channel e.msg then
+              Some e.msg
+            else None)
+          (Mo_order.Sys_run.sequence o.Sim.sys_run d)
+      in
+      if List.sort compare sends = List.sort compare recvs && sends <> recvs
+      then ok := false
+    done
+  done;
+  !ok
+
+let test_fifo_within_channel () =
+  let ops = (Gen.uniform ~nprocs:3 ~nmsgs:60 ~seed:11).Gen.ops in
+  let reordered_without = ref false in
+  List.iter
+    (fun seed ->
+      let base = { (Sim.default_config ~nprocs:3) with Sim.seed; jitter = 9 } in
+      List.iter
+        (fun topo ->
+          match
+            Sim.execute { base with Sim.topology = Some topo } Tagless.factory
+              ops
+          with
+          | Error e -> Alcotest.fail e
+          | Ok o ->
+              check_bool
+                (Printf.sprintf "all delivered (%s, seed %d)"
+                   (Transport.topology_to_string topo)
+                   seed)
+                true o.Sim.all_delivered;
+              check_bool
+                (Printf.sprintf "FIFO within channel (%s, seed %d)"
+                   (Transport.topology_to_string topo)
+                   seed)
+                true
+                (receive_order_matches_send_order o))
+        Transport.all_topologies;
+      match Sim.execute base Tagless.factory ops with
+      | Error e -> Alcotest.fail e
+      | Ok o ->
+          if not (receive_order_matches_send_order o) then
+            reordered_without := true)
+    [ 1; 2; 3 ];
+  check_bool "the historical wire reorders the same workload" true
+    !reordered_without
+
+(* ------------------------------------------------------------------ *)
+(* The topology conformance matrix: all 9 protocols, all 3 topologies,
+   transport-domain faults on. Sharded over the pool like the channel
+   fault matrix; MO_TOPOLOGY_DEEP widens the seed set. *)
+
+let topo_seeds =
+  if Sys.getenv_opt "MO_TOPOLOGY_DEEP" <> None then [ 1; 2; 3; 4; 5 ]
+  else [ 1; 2 ]
+
+(* transport 0 exists under every topology. Windows sized to the 30-msg
+   workloads (invokes span t = 0..58): every fault heals early enough for
+   the retry budget to recover everything. *)
+let tgrid =
+  [
+    ("stall", Net.make
+       ~transport_faults:
+         [ { Net.transport = 0; kind = Net.T_stall; start_at = 10; stop_at = 50 } ]
+       ());
+    ("tpart", Net.make
+       ~transport_faults:
+         [ { Net.transport = 0; kind = Net.T_partition; start_at = 10; stop_at = 60 } ]
+       ());
+    ("tcrash", Net.make
+       ~transport_faults:
+         [ { Net.transport = 0; kind = Net.T_crash; start_at = 20; stop_at = 55 } ]
+       ());
+    (* a partition overlapping a crash-restart on the same transport: the
+       retransmits that the partition forces run into the crash, and the
+       crash's seqno reset must not strand them *)
+    ( "tpart+tcrash",
+      Net.make
+        ~transport_faults:
+          [
+            { Net.transport = 0; kind = Net.T_partition; start_at = 10; stop_at = 45 };
+            { Net.transport = 0; kind = Net.T_crash; start_at = 30; stop_at = 60 };
+          ]
+        () );
+    (* both fault domains at once: channel-level loss under a transport
+       crash *)
+    ( "tcrash+drop",
+      Net.make ~drop_permille:100
+        ~transport_faults:
+          [ { Net.transport = 0; kind = Net.T_crash; start_at = 20; stop_at = 55 } ]
+        () );
+  ]
+
+let topo_matrix_cells =
+  List.concat_map
+    (fun (pname, factory, spec, ops) ->
+      List.concat_map
+        (fun topo ->
+          List.concat_map
+            (fun (fname, faults) ->
+              List.map
+                (fun seed -> (pname, factory, spec, ops, topo, fname, faults, seed))
+                topo_seeds)
+            tgrid)
+        Transport.all_topologies)
+    protocols
+
+let run_topo_cell (pname, factory, spec, ops, topo, fname, faults, seed) =
+  let label =
+    Printf.sprintf "%s/%s/%s seed %d" pname
+      (Transport.topology_to_string topo)
+      fname seed
+  in
+  let cfg = { (config ~seed faults) with Sim.topology = Some topo } in
+  let r = Conformance.check_exn ?spec cfg (Wrap.reliable factory) ops in
+  {
+    cv_label = label;
+    cv_live = r.Conformance.live;
+    cv_traffic = r.Conformance.traffic_consistent;
+    cv_spec =
+      (match (spec, r.Conformance.spec_ok) with
+      | Some _, Some ok -> `Ok ok
+      | Some _, None -> `Missing
+      | None, _ -> `No_spec);
+  }
+
+let test_topology_matrix () =
+  let cells = Array.of_list topo_matrix_cells in
+  let pool = Mo_par.Pool.create () in
+  let verdicts =
+    Mo_par.Pool.map pool (Array.length cells) ~f:(fun i ->
+        run_topo_cell cells.(i))
+  in
+  Array.iter
+    (fun v ->
+      check_bool (v.cv_label ^ " live") true v.cv_live;
+      check_bool (v.cv_label ^ " traffic consistent") true v.cv_traffic;
+      match v.cv_spec with
+      | `Ok ok -> check_bool (v.cv_label ^ " spec") true ok
+      | `Missing -> Alcotest.fail (v.cv_label ^ ": no spec verdict")
+      | `No_spec -> ())
+    verdicts
+
+let test_combined_link_faults () =
+  (* the satellite schedule: a link partition overlapping a process
+     crash-restart on the same link — recovery must compose, not deadlock *)
+  let faults =
+    Net.make ~drop_permille:100
+      ~partitions:[ { Net.from_proc = 0; to_proc = 1; start_at = 10; stop_at = 80 } ]
+      ~crashes:[ { Net.proc = 1; start_at = 30; stop_at = 90 } ]
+      ()
+  in
+  List.iter
+    (fun seed ->
+      match
+        Conformance.check_exn ~spec:fifo_spec (config ~seed faults)
+          (Wrap.reliable Fifo.factory) unicast_ops
+      with
+      | r ->
+          check_bool
+            (Printf.sprintf "live under partition∩crash (seed %d)" seed)
+            true r.Conformance.live;
+          check_bool "order kept" true (r.Conformance.spec_ok = Some true))
+    seeds
+
+let test_transport_partition_gives_up () =
+  (* a transport partition the retry budget cannot outlast: every channel
+     on the transport reports failure — no silent loss, no deadlock *)
+  let faults =
+    Net.make
+      ~transport_faults:
+        [
+          {
+            Net.transport = 0;
+            kind = Net.T_partition;
+            start_at = 0;
+            stop_at = max_int / 2;
+          };
+        ]
+      ()
+  in
+  let ops = [ Sim.op ~at:0 ~src:0 ~dst:1 (); Sim.op ~at:0 ~src:2 ~dst:1 () ] in
+  let registry = Mo_obs.Metrics.create () in
+  let cfg =
+    { (config ~seed:1 faults) with Sim.topology = Some Transport.Shared }
+  in
+  match Sim.execute cfg (Wrap.reliable ~registry Fifo.factory) ops with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "not live" false o.Sim.all_delivered;
+      check_bool "both channels gave up" true
+        (Mo_obs.Metrics.value registry "net.gave_up_total" = Some 2);
+      check_bool "drops accounted to the transport" true
+        ((match o.Sim.transport with
+         | Some ts -> (Transport.counters ts).Transport.part_drops
+         | None -> 0)
+        > 0)
+
+let test_mid_retransmit_partition_degrades () =
+  (* a transport partition covering the whole early retransmit cycle:
+     recovery backs off through the window and completes after the heal —
+     degraded, never deadlocked *)
+  let faults =
+    Net.make
+      ~transport_faults:
+        [
+          { Net.transport = 0; kind = Net.T_partition; start_at = 0; stop_at = 400 };
+        ]
+      ()
+  in
+  let ops = [ Sim.op ~at:0 ~src:0 ~dst:1 () ] in
+  let cfg =
+    { (config ~seed:1 faults) with Sim.topology = Some Transport.Shared }
+  in
+  match Sim.execute cfg (Wrap.reliable Fifo.factory) ops with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check_bool "delivered after the heal" true o.Sim.all_delivered;
+      check_bool "the heal cost retransmissions" true
+        (o.Sim.stats.Sim.retransmits > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Fault determinism                                                   *)
 
 let render_trace (o : Sim.outcome) =
@@ -391,6 +852,33 @@ let test_fault_determinism () =
   let t3, _ = run 8 in
   check_bool "different seed, different trace" true (t1 <> t3)
 
+let test_topology_determinism () =
+  (* the substrate must not cost determinism: same seed, same topology,
+     same transport faults — byte-identical trace and metrics *)
+  let faults =
+    Net.make ~drop_permille:100 ~duplicate_permille:80
+      ~transport_faults:
+        [
+          { Net.transport = 0; kind = Net.T_stall; start_at = 10; stop_at = 40 };
+          { Net.transport = 0; kind = Net.T_crash; start_at = 60; stop_at = 90 };
+        ]
+      ()
+  in
+  let run seed =
+    let cfg =
+      { (config ~seed faults) with Sim.topology = Some Transport.Split2 }
+    in
+    match Observe.run ~config:cfg (Wrap.reliable Fifo.factory) unicast_ops with
+    | Error e -> Alcotest.fail e
+    | Ok (registry, o) ->
+        (render_trace o, Mo_obs.Jsonb.to_string (Mo_obs.Metrics.to_json registry))
+  in
+  let t1, m1 = run 7 and t2, m2 = run 7 in
+  Alcotest.(check string) "byte-identical trace" t1 t2;
+  Alcotest.(check string) "byte-identical metrics export" m1 m2;
+  let t3, _ = run 8 in
+  check_bool "different seed, different trace" true (t1 <> t3)
+
 let () =
   Alcotest.run "reliable"
     [
@@ -404,20 +892,47 @@ let () =
         [
           Alcotest.test_case "parse fault syntax" `Quick test_net_parse;
           Alcotest.test_case "validate fault configs" `Quick test_net_validate;
+          Alcotest.test_case "parse transport fault syntax" `Quick
+            test_net_parse_tfaults;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "topology parsing and mapping" `Quick
+            test_topology_parse;
+          Alcotest.test_case "transport faults require a topology" `Quick
+            test_topology_required;
+          Alcotest.test_case "wire FIFO: seqnos, reorder buffer, loss gaps"
+            `Quick test_wire_fifo_unit;
+          Alcotest.test_case "wire epochs: crash-restart resync" `Quick
+            test_wire_epoch_unit;
+          Alcotest.test_case "stall defers arrivals (head-of-line)" `Quick
+            test_wire_stall_unit;
+          Alcotest.test_case "FIFO within channel on every topology" `Slow
+            test_fifo_within_channel;
         ] );
       ( "conformance",
         [
           Alcotest.test_case "fault matrix, all protocols wrapped" `Slow
             test_fault_matrix_wrapped;
+          Alcotest.test_case "topology matrix, transport faults" `Slow
+            test_topology_matrix;
           Alcotest.test_case "unwrapped loses liveness" `Quick
             test_unwrapped_fails_liveness;
           Alcotest.test_case "retry cap gives up honestly" `Quick
             test_give_up_is_honest;
+          Alcotest.test_case "partition overlapping crash on one link" `Quick
+            test_combined_link_faults;
+          Alcotest.test_case "transport partition: give-up, not silence"
+            `Quick test_transport_partition_gives_up;
+          Alcotest.test_case "partition mid-retransmit degrades gracefully"
+            `Quick test_mid_retransmit_partition_degrades;
           Alcotest.test_case "recovery metrics" `Quick test_recovery_metrics;
         ] );
       ( "determinism",
         [
           Alcotest.test_case "faulty runs are deterministic" `Quick
             test_fault_determinism;
+          Alcotest.test_case "topology runs are deterministic" `Quick
+            test_topology_determinism;
         ] );
     ]

@@ -344,6 +344,186 @@ let test_monitor_op () =
     (Option.value ~default:(-1)
        (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"))
 
+(* ---- the service edge: connect retry and crash-tolerant startup ---- *)
+
+module Client = Mo_service.Client
+module Server = Mo_service.Server
+
+let tmp_sock tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mo-%s-%d.sock" tag (Unix.getpid ()))
+
+let rm path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let listener path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 8;
+  fd
+
+let astring_contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* the retry loop is deterministic under an injected sleep: a server that
+   comes up while the client is backing off (here: the sleep hook itself
+   binds the socket, playing the part of a slow-accepting, restarting
+   daemon) is reached on the next attempt, with the recorded backoff
+   sequence exactly the capped doubling *)
+let test_client_retry_backoff () =
+  let path = tmp_sock "retry" in
+  rm path;
+  let sleeps = ref [] in
+  let server = ref None in
+  let sleep d =
+    sleeps := d :: !sleeps;
+    if List.length !sleeps = 2 then server := Some (listener path)
+  in
+  let retry =
+    {
+      Client.attempts = 5;
+      base_delay_s = 0.05;
+      max_delay_s = 0.2;
+      connect_timeout_s = 5.;
+    }
+  in
+  (match Client.connect ~retry ~sleep ~socket_path:path () with
+  | Ok c -> Client.close c
+  | Error e -> Alcotest.fail e);
+  check_bool "two backoffs before the server came up" true
+    (List.rev !sleeps = [ 0.05; 0.1 ]);
+  (match !server with
+  | Some fd -> Unix.close fd
+  | None -> Alcotest.fail "sleep hook never ran");
+  rm path;
+  (* no server ever: every attempt is spent, the backoff caps, and the
+     failure is a clear error — not a hang, not an exception *)
+  let sleeps = ref [] in
+  let retry = { retry with Client.attempts = 4; max_delay_s = 0.08 } in
+  (match
+     Client.connect ~retry ~sleep:(fun d -> sleeps := d :: !sleeps)
+       ~socket_path:path ()
+   with
+  | Ok _ -> Alcotest.fail "connected to nothing"
+  | Error e ->
+      check_bool "error counts the attempts" true
+        (astring_contains e "after 4 attempts"));
+  check_bool "backoff doubles to the cap" true
+    (List.rev !sleeps = [ 0.05; 0.08; 0.08 ]);
+  (* a live server connects on the first try: no sleeps at all *)
+  let fd = listener path in
+  let sleeps = ref [] in
+  (match
+     Client.connect ~sleep:(fun d -> sleeps := d :: !sleeps)
+       ~socket_path:path ()
+   with
+  | Ok c -> Client.close c
+  | Error e -> Alcotest.fail e);
+  check_bool "no backoff when the server is up" true (!sleeps = []);
+  Unix.close fd;
+  rm path
+
+let test_remove_stale_socket () =
+  let path = tmp_sock "stale" in
+  rm path;
+  (* nothing there: fine *)
+  check_bool "missing path is ok" true (Server.remove_stale_socket path = Ok ());
+  (* a live listener: refused, file untouched *)
+  let fd = listener path in
+  check_bool "live socket refused" true
+    (Result.is_error (Server.remove_stale_socket path));
+  check_bool "live socket not stolen" true (Sys.file_exists path);
+  (* kill-9 corpse: the listener is gone but the file remains — probed
+     stale and unlinked *)
+  Unix.close fd;
+  check_bool "corpse file still present" true (Sys.file_exists path);
+  check_bool "stale socket removed" true
+    (Server.remove_stale_socket path = Ok ());
+  check_bool "file is gone" false (Sys.file_exists path);
+  (* a regular file under the socket name is never unlinked *)
+  let oc = open_out path in
+  output_string oc "not a socket";
+  close_out oc;
+  (match Server.remove_stale_socket path with
+  | Error e -> check_bool "says why" true (astring_contains e "not a socket")
+  | Ok () -> Alcotest.fail "regular file accepted");
+  check_bool "regular file preserved" true (Sys.file_exists path);
+  rm path
+
+(* the end-to-end smoke: daemon up, kill -9, the corpse socket file is
+   left behind, a restarted daemon must come up on the same path and
+   serve — then shut down cleanly, removing the file. The daemon is the
+   real mopcd binary run as a subprocess ([Unix.fork] is off the table:
+   the runtime forbids it once any domain has ever been spawned, and the
+   batch-determinism test above spawns several; [create_process] uses
+   posix_spawn and is fine). Readiness is the client's own retry loop —
+   exactly what it exists for. *)
+let mopcd_exe =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    (Filename.concat ".." (Filename.concat "bin" "mopcd.exe"))
+
+let spawn_daemon path =
+  Unix.create_process mopcd_exe
+    [| "mopcd"; "--socket"; path; "--cache"; "16"; "--jobs"; "1" |]
+    Unix.stdin Unix.stdout Unix.stderr
+
+(* generous retry budget: the daemon may still be starting up (or, in
+   the restart leg, still probing its predecessor's corpse) *)
+let smoke_retry =
+  {
+    Client.attempts = 40;
+    base_delay_s = 0.02;
+    max_delay_s = 0.25;
+    connect_timeout_s = 5.;
+  }
+
+let round_trip path =
+  match Client.connect ~retry:smoke_retry ~socket_path:path () with
+  | Error e -> Alcotest.fail ("connect: " ^ e)
+  | Ok c ->
+      let r = Client.call c Codec.Stats in
+      Client.close c;
+      (match r with
+      | Ok (J.Obj fields) ->
+          check_bool "stats has a cache section" true
+            (List.mem_assoc "cache" fields)
+      | Ok _ -> Alcotest.fail "stats payload shape"
+      | Error e -> Alcotest.fail ("stats: " ^ e))
+
+let test_kill9_restart_smoke () =
+  let path = tmp_sock "kill9" in
+  rm path;
+  (* first daemon: up, serving *)
+  let pid1 = spawn_daemon path in
+  round_trip path;
+  (* kill -9: no cleanup runs, the socket file becomes a corpse *)
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  check_bool "kill -9 leaves the socket file" true (Sys.file_exists path);
+  (* second daemon on the same path: must detect the corpse and serve *)
+  let pid2 = spawn_daemon path in
+  round_trip path;
+  (* graceful shutdown via the protocol; the file must be cleaned up *)
+  (match Client.connect ~retry:smoke_retry ~socket_path:path () with
+  | Error e ->
+      Unix.kill pid2 Sys.sigkill;
+      Alcotest.fail e
+  | Ok c ->
+      (match Client.call c Codec.Shutdown with
+      | Ok _ -> ()
+      | Error e ->
+          Unix.kill pid2 Sys.sigkill;
+          Alcotest.fail ("shutdown: " ^ e));
+      Client.close c);
+  (match Unix.waitpid [] pid2 with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "restarted daemon did not exit cleanly");
+  check_bool "clean shutdown removes the socket file" false
+    (Sys.file_exists path)
+
 let test_request_json_roundtrip () =
   let reqs =
     [
@@ -409,5 +589,14 @@ let () =
             test_shutdown_semantics;
           Alcotest.test_case "payload shapes" `Quick test_payload_shapes;
           Alcotest.test_case "monitor op" `Quick test_monitor_op;
+        ] );
+      ( "edge",
+        [
+          Alcotest.test_case "client retry backoff" `Quick
+            test_client_retry_backoff;
+          Alcotest.test_case "stale socket probe" `Quick
+            test_remove_stale_socket;
+          Alcotest.test_case "kill -9 then restart" `Quick
+            test_kill9_restart_smoke;
         ] );
     ]
