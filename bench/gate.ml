@@ -69,7 +69,7 @@ let to_float = function
    efficiency; both one-sided, so a faster fresh run never fails *)
 let timing_direction key =
   match key with
-  | "wall_s" -> Some `Lower_is_better
+  | "wall_s" | "first_to_steady_ratio" -> Some `Lower_is_better
   | "speedup" | "efficiency" | "throughput" | "kernel_speedup" ->
       Some `Higher_is_better
   | _ -> None

@@ -996,13 +996,32 @@ let query_request op args =
             monitor | stats | shutdown)"
            op)
 
-let query_run socket deadline_ms op args =
-  match query_request op args with
+let parse_host_port spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 ->
+          Ok ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> Error (Printf.sprintf "bad port %S" port))
+
+let query_run socket tcp deadline_ms op args =
+  let addr =
+    match tcp with
+    | None -> Ok (Mo_service.Client.Uds socket)
+    | Some spec ->
+        Result.map
+          (fun (h, p) -> Mo_service.Client.Tcp (h, p))
+          (parse_host_port spec)
+  in
+  match Result.bind addr (fun addr -> Result.map (fun req -> (addr, req)) (query_request op args)) with
   | Error e ->
       prerr_endline e;
       1
-  | Ok req -> (
-      match Mo_service.Client.connect ~socket_path:socket () with
+  | Ok (addr, req) -> (
+      match Mo_service.Client.connect_addr addr with
       | Error e ->
           prerr_endline e;
           1
@@ -1028,6 +1047,13 @@ let query_cmd =
       & opt string "mopcd.sock"
       & info [ "socket" ] ~docv:"PATH" ~doc:"mopcd socket path")
   in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT"
+          ~doc:"query a TCP daemon instead of the Unix-domain socket")
+  in
   let deadline =
     Arg.(
       value
@@ -1043,7 +1069,7 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc)
-    T.(const query_run $ socket $ deadline $ op_arg $ rest_args)
+    T.(const query_run $ socket $ tcp $ deadline $ op_arg $ rest_args)
 
 let main_cmd =
   let doc = "message ordering specifications and protocols (Murty & Garg)" in

@@ -1,16 +1,31 @@
 (* mopcd — the long-lived classification service.
 
    Serves the library's decision procedures (classify, implies,
-   minimize, witness) over a Unix-domain socket with a canonical-form
-   decision cache in front, so repeated queries — the common case in
-   real specification traffic, which repeats the same shapes modulo
-   variable renaming — cost a digest and a hash lookup instead of a
-   cycle enumeration. `mopc query` is the matching client. *)
+   minimize, witness) over a Unix-domain socket or TCP with a
+   canonical-form decision cache in front, so repeated queries — the
+   common case in real specification traffic, which repeats the same
+   shapes modulo variable renaming — cost a digest and a hash lookup
+   instead of a cycle enumeration. Connections are dispatched over a
+   pool of worker domains (--jobs) and requests within a connection are
+   pipelined; --persist FILE carries the decision table across
+   restarts. `mopc query` is the matching client. *)
 
 open Cmdliner
 module T = Cmdliner.Term
 
-let serve socket cache_capacity jobs recv_timeout max_requests verbose =
+let parse_host_port spec =
+  match String.rindex_opt spec ':' with
+  | None -> Error (Printf.sprintf "expected HOST:PORT, got %S" spec)
+  | Some i -> (
+      let host = String.sub spec 0 i in
+      let port = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p <= 65535 ->
+          Ok ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> Error (Printf.sprintf "bad port %S" port))
+
+let serve socket tcp cache_capacity stripes jobs recv_timeout max_requests
+    persist verbose =
   if jobs < 0 then begin
     Format.eprintf "--jobs must be >= 0@.";
     exit 1
@@ -19,33 +34,57 @@ let serve socket cache_capacity jobs recv_timeout max_requests verbose =
     Format.eprintf "--cache must be >= 0@.";
     exit 1
   end;
+  if stripes < 1 then begin
+    Format.eprintf "--stripes must be >= 1@.";
+    exit 1
+  end;
   if max_requests < 1 then begin
     Format.eprintf "--max-requests must be >= 1@.";
     exit 1
   end;
+  let transport =
+    match tcp with
+    | None -> Mo_service.Server.Uds socket
+    | Some spec -> (
+        match parse_host_port spec with
+        | Ok (host, port) -> Mo_service.Server.Tcp (host, port)
+        | Error e ->
+            Format.eprintf "--tcp: %s@." e;
+            exit 1)
+  in
   let cfg =
     {
       (Mo_service.Server.default_config ~socket_path:socket) with
-      Mo_service.Server.cache_capacity;
+      Mo_service.Server.transport;
+      cache_capacity;
+      stripes;
       jobs = (if jobs = 0 then None else Some jobs);
       recv_timeout_s = recv_timeout;
       max_conn_requests = max_requests;
+      persist;
     }
   in
-  let on_ready () =
-    Printf.printf "mopcd: listening on %s (cache %d, pid %d)\n%!" socket
+  let on_ready addr =
+    let where =
+      match addr with
+      | Unix.ADDR_UNIX path -> path
+      | Unix.ADDR_INET (ip, port) ->
+          (* the *bound* port: --tcp HOST:0 reports the ephemeral one *)
+          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port
+    in
+    Printf.printf "mopcd: listening on %s (cache %d, pid %d)\n%!" where
       cache_capacity (Unix.getpid ())
   in
   if verbose then
-    Printf.eprintf "mopcd: cache %d entries, read timeout %.1fs\n%!"
-      cache_capacity recv_timeout;
+    Printf.eprintf "mopcd: cache %d entries (%d stripes), read timeout %.1fs\n%!"
+      cache_capacity stripes recv_timeout;
   match Mo_service.Server.run ~on_ready cfg with
   | () ->
       Printf.printf "mopcd: shut down cleanly\n%!";
       0
   | exception Unix.Unix_error (e, _, arg) ->
-      Format.eprintf "mopcd: cannot serve on %s: %s %s@." socket
-        (Unix.error_message e) arg;
+      Format.eprintf "mopcd: cannot serve: %s %s@." (Unix.error_message e)
+        arg;
       1
   | exception Failure e ->
       (* startup refused: the socket path is owned by a live daemon, or
@@ -58,7 +97,16 @@ let socket_arg =
     value
     & opt string "mopcd.sock"
     & info [ "socket" ] ~docv:"PATH"
-        ~doc:"Unix-domain socket path to listen on")
+        ~doc:"Unix-domain socket path to listen on (ignored with $(b,--tcp))")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "listen on TCP instead of the Unix-domain socket; port 0 binds \
+           an ephemeral port and the ready line reports the actual one")
 
 let cache_arg =
   Arg.(
@@ -67,14 +115,24 @@ let cache_arg =
     & info [ "cache" ] ~docv:"N"
         ~doc:"decision cache capacity in entries (0 disables caching)")
 
+let stripes_arg =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "stripes" ] ~docv:"N"
+        ~doc:
+          "lock stripes in the decision cache; concurrent connections \
+           touching distinct digests never contend across stripes")
+
 let jobs_arg =
   Arg.(
     value
     & opt int 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "worker domains for batch requests; 0 means the pool default \
-           (the $(b,MO_JOBS) variable, else one per core)")
+          "worker domains dispatching connections (and computing batch \
+           members); 0 means the pool default (the $(b,MO_JOBS) \
+           variable, else one per core)")
 
 let timeout_arg =
   Arg.(
@@ -90,8 +148,18 @@ let max_requests_arg =
     & info [ "max-requests" ] ~docv:"N"
         ~doc:
           "hang up a connection after serving this many requests, so one \
-           client cannot monopolize the single-dispatch daemon (clients \
+           client cannot hold a dispatch worker forever (clients \
            reconnect)")
+
+let persist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "persist" ] ~docv:"FILE"
+        ~doc:
+          "snapshot the digest-to-decision table to FILE at shutdown \
+           (atomic rename) and reload it at startup — a restarted daemon \
+           answers repeat queries warm")
 
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"log to stderr")
@@ -99,12 +167,13 @@ let verbose_arg =
 let main_cmd =
   let doc =
     "serve message-ordering classification queries over a Unix-domain \
-     socket (client: mopc query)"
+     socket or TCP (client: mopc query)"
   in
   Cmd.v
     (Cmd.info "mopcd" ~version:"1.0.0" ~doc)
     T.(
-      const serve $ socket_arg $ cache_arg $ jobs_arg $ timeout_arg
-      $ max_requests_arg $ verbose_arg)
+      const serve $ socket_arg $ tcp_arg $ cache_arg $ stripes_arg
+      $ jobs_arg $ timeout_arg $ max_requests_arg $ persist_arg
+      $ verbose_arg)
 
 let () = exit (Cmd.eval' main_cmd)

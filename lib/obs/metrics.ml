@@ -1,6 +1,11 @@
-type counter = { mutable c : int }
+(* counters and gauges are atomics: the mopcd worker domains bump
+   shared service counters concurrently, and a plain mutable int would
+   lose increments under that interleaving. Histograms stay single-owner
+   (the simulator fills them from one domain; parallel workers fill
+   per-domain registries and [merge] at join). *)
+type counter = { c : int Atomic.t }
 
-type gauge = { mutable g : int }
+type gauge = { g : int Atomic.t }
 
 type histogram = {
   bounds : int array;  (* inclusive upper bounds, strictly increasing *)
@@ -32,33 +37,39 @@ let register t ?(help = "") name fresh =
       metric
 
 let counter t ?help name =
-  match register t ?help name (fun () -> Counter { c = 0 }) with
+  match register t ?help name (fun () -> Counter { c = Atomic.make 0 }) with
   | Counter c -> c
   | m ->
       invalid_arg
         (Printf.sprintf "Metrics.counter: %S is already a %s" name
            (kind_name m))
 
-let inc c = c.c <- c.c + 1
+let inc c = Atomic.incr c.c
 
 let add c n =
   if n < 0 then invalid_arg "Metrics.add: counters only go up";
-  c.c <- c.c + n
+  ignore (Atomic.fetch_and_add c.c n)
 
-let counter_value c = c.c
+let counter_value c = Atomic.get c.c
 
 let gauge t ?help name =
-  match register t ?help name (fun () -> Gauge { g = 0 }) with
+  match register t ?help name (fun () -> Gauge { g = Atomic.make 0 }) with
   | Gauge g -> g
   | m ->
       invalid_arg
         (Printf.sprintf "Metrics.gauge: %S is already a %s" name (kind_name m))
 
-let set g v = g.g <- v
+let set g v = Atomic.set g.g v
 
-let observe_max g v = if v > g.g then g.g <- v
+let observe_max g v =
+  (* CAS loop: concurrent high-watermark updates must not regress *)
+  let rec go () =
+    let cur = Atomic.get g.g in
+    if v > cur && not (Atomic.compare_and_set g.g cur v) then go ()
+  in
+  go ()
 
-let gauge_value g = g.g
+let gauge_value g = Atomic.get g.g
 
 let default_buckets =
   [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024; 2048; 4096 ]
@@ -119,8 +130,8 @@ let merge ~into src =
       | _, None ->
           let fresh =
             match metric with
-            | Counter c -> Counter { c = c.c }
-            | Gauge g -> Gauge { g = g.g }
+            | Counter c -> Counter { c = Atomic.make (Atomic.get c.c) }
+            | Gauge g -> Gauge { g = Atomic.make (Atomic.get g.g) }
             | Hist h ->
                 Hist
                   {
@@ -132,8 +143,9 @@ let merge ~into src =
                   }
           in
           Hashtbl.replace into.tbl name { help; metric = fresh }
-      | Counter c, Some { metric = Counter c'; _ } -> c'.c <- c'.c + c.c
-      | Gauge g, Some { metric = Gauge g'; _ } -> if g.g > g'.g then g'.g <- g.g
+      | Counter c, Some { metric = Counter c'; _ } ->
+          ignore (Atomic.fetch_and_add c'.c (Atomic.get c.c))
+      | Gauge g, Some { metric = Gauge g'; _ } -> observe_max g' (Atomic.get g.g)
       | Hist h, Some { metric = Hist h'; _ } ->
           if h.bounds <> h'.bounds then
             invalid_arg
@@ -153,8 +165,8 @@ let find t name = Hashtbl.find_opt t.tbl name
 let value t name =
   match find t name with
   | None -> None
-  | Some { metric = Counter c; _ } -> Some c.c
-  | Some { metric = Gauge g; _ } -> Some g.g
+  | Some { metric = Counter c; _ } -> Some (Atomic.get c.c)
+  | Some { metric = Gauge g; _ } -> Some (Atomic.get g.g)
   | Some { metric = Hist h; _ } -> Some h.n
 
 let find_histogram t name =
@@ -176,8 +188,8 @@ let to_json t =
       (name, Jsonb.Obj ((("kind", Jsonb.String kind) :: rest) @ help))
     in
     match e.metric with
-    | Counter c -> base "counter" [ ("value", Jsonb.Int c.c) ]
-    | Gauge g -> base "gauge" [ ("value", Jsonb.Int g.g) ]
+    | Counter c -> base "counter" [ ("value", Jsonb.Int (Atomic.get c.c)) ]
+    | Gauge g -> base "gauge" [ ("value", Jsonb.Int (Atomic.get g.g)) ]
     | Hist h ->
         let buckets =
           List.concat
@@ -217,8 +229,8 @@ let pp_table ppf t =
     (fun name ->
       let e = Hashtbl.find t.tbl name in
       (match e.metric with
-      | Counter c -> Format.fprintf ppf "  %-*s %12d" width name c.c
-      | Gauge g -> Format.fprintf ppf "  %-*s %12d" width name g.g
+      | Counter c -> Format.fprintf ppf "  %-*s %12d" width name (Atomic.get c.c)
+      | Gauge g -> Format.fprintf ppf "  %-*s %12d" width name (Atomic.get g.g)
       | Hist h ->
           Format.fprintf ppf "  %-*s %12d obs  mean %8.2f  max %6d" width
             name h.n (hist_mean h) h.hmax);

@@ -19,7 +19,12 @@ type t
 
 val create : unit -> t
 
-(** {1 Counters} — monotonically increasing totals. *)
+(** {1 Counters} — monotonically increasing totals.
+
+    Counters and gauges are atomic: they may be bumped concurrently from
+    several domains (the mopcd worker pool shares one registry) without
+    losing increments. Histograms are single-owner — fill per-domain
+    registries and {!merge} at join. *)
 
 type counter
 

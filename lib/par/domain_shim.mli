@@ -23,3 +23,35 @@ val join : 'a handle -> 'a
 
 val cpu_relax : unit -> unit
 (** A pause hint inside spin loops; a no-op on 4.14. *)
+
+(** A mutual-exclusion lock: a real [Mutex] on OCaml 5, a no-op token on
+    4.14 (where there is exactly one thread of control, so exclusion is
+    vacuous). *)
+module Lock : sig
+  type t
+
+  val create : unit -> t
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Runs the thunk holding the lock; always releases, even on raise. *)
+end
+
+(** A persistent task pool: [jobs] long-lived worker domains draining a
+    shared FIFO queue on OCaml 5; on 4.14 [submit] runs the task inline
+    before returning (the jobs=1 schedule). *)
+module Workers : sig
+  type t
+
+  val create : jobs:int -> t
+  (** @raise Invalid_argument if [jobs < 1]. *)
+
+  val jobs : t -> int
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a task. Exceptions escaping a task are swallowed (workers
+      never die); tasks that care must catch their own. Submitting after
+      {!shutdown} raises [Invalid_argument]. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, drain the queue, join the workers. Idempotent. *)
+end

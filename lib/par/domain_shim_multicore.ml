@@ -9,3 +9,97 @@ let spawn = Domain.spawn
 let join = Domain.join
 
 let cpu_relax = Domain.cpu_relax
+
+module Lock = struct
+  type t = Mutex.t
+
+  let create () = Mutex.create ()
+
+  let with_lock m f =
+    Mutex.lock m;
+    match f () with
+    | v ->
+        Mutex.unlock m;
+        v
+    | exception e ->
+        Mutex.unlock m;
+        raise e
+end
+
+module Workers = struct
+  type t = {
+    jobs : int;
+    queue : (unit -> unit) Queue.t;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable closing : bool;
+    mutable handles : unit Domain.t list;
+  }
+
+  (* classic bounded-worker loop: wait while the queue is empty and the
+     pool is open; run everything still queued before honoring a close,
+     so shutdown drains rather than drops *)
+  let worker t () =
+    let rec next () =
+      Mutex.lock t.m;
+      let rec claim () =
+        match Queue.take_opt t.queue with
+        | Some task ->
+            Mutex.unlock t.m;
+            Some task
+        | None ->
+            if t.closing then begin
+              Mutex.unlock t.m;
+              None
+            end
+            else begin
+              Condition.wait t.nonempty t.m;
+              claim ()
+            end
+      in
+      match claim () with
+      | None -> ()
+      | Some task ->
+          (try task () with _ -> ());
+          next ()
+    in
+    next ()
+
+  let create ~jobs =
+    if jobs < 1 then invalid_arg "Workers.create: jobs must be >= 1";
+    let t =
+      {
+        jobs;
+        queue = Queue.create ();
+        m = Mutex.create ();
+        nonempty = Condition.create ();
+        closing = false;
+        handles = [];
+      }
+    in
+    t.handles <- List.init jobs (fun _ -> Domain.spawn (worker t));
+    t
+
+  let jobs t = t.jobs
+
+  let submit t task =
+    Mutex.lock t.m;
+    if t.closing then begin
+      Mutex.unlock t.m;
+      invalid_arg "Workers.submit: pool is shut down"
+    end;
+    Queue.push task t.queue;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+
+  let shutdown t =
+    Mutex.lock t.m;
+    let fresh = not t.closing in
+    t.closing <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m;
+    if fresh then begin
+      List.iter Domain.join t.handles;
+      t.handles <- []
+    end
+end

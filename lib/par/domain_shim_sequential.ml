@@ -14,3 +14,29 @@ let spawn f = f ()
 let join h = h
 
 let cpu_relax () = ()
+
+module Lock = struct
+  type t = unit
+
+  let create () = ()
+
+  let with_lock () f = f ()
+end
+
+module Workers = struct
+  (* no domains: a task runs inline at submit, which is exactly the
+     jobs=1 schedule the determinism suites pin *)
+  type t = { mutable closing : bool }
+
+  let create ~jobs =
+    if jobs < 1 then invalid_arg "Workers.create: jobs must be >= 1";
+    { closing = false }
+
+  let jobs _ = 1
+
+  let submit t task =
+    if t.closing then invalid_arg "Workers.submit: pool is shut down";
+    try task () with _ -> ()
+
+  let shutdown t = t.closing <- true
+end

@@ -6,6 +6,9 @@ let default_jobs () =
   | Some j when j >= 1 -> j
   | Some _ | None -> if available then Domain_shim.recommended_jobs () else 1
 
+module Lock = Domain_shim.Lock
+module Workers = Domain_shim.Workers
+
 let rng ~seed ~stream =
   (* distinct constants keep (seed, stream) pairs from aliasing
      (seed+1, stream-1); SplitMix-style odd multipliers *)

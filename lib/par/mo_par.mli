@@ -30,6 +30,46 @@ val rng : seed:int -> stream:int -> Random.State.t
     decorrelated across streams. Shard work by stream id — never share
     one [Random.State] between domains. *)
 
+(** A mutual-exclusion lock: a real mutex when domains are available, a
+    no-op token on OCaml 4.14 (one thread of control — exclusion is
+    vacuous). The striped service cache guards each stripe with one. *)
+module Lock : sig
+  type t
+
+  val create : unit -> t
+
+  val with_lock : t -> (unit -> 'a) -> 'a
+  (** Runs the thunk holding the lock; always releases, even on raise. *)
+end
+
+(** A persistent dispatch pool: [jobs] long-lived worker domains
+    draining one FIFO task queue — the engine behind the mopcd accept
+    loop, where tasks are whole connections rather than index ranges
+    (use {!Pool} for data-parallel maps with deterministic merges; use
+    this for long-running independent tasks). On OCaml 4.14 [submit]
+    runs the task inline before returning — the jobs=1 schedule. *)
+module Workers : sig
+  type t
+
+  val create : jobs:int -> t
+  (** Spawns the worker domains immediately.
+      @raise Invalid_argument if [jobs < 1]. *)
+
+  val jobs : t -> int
+  (** 1 when domains are unavailable. *)
+
+  val submit : t -> (unit -> unit) -> unit
+  (** Enqueue a task; any idle worker picks it up in FIFO order.
+      Exceptions escaping the task are swallowed — workers never die;
+      tasks that care must catch their own. Submitting after
+      {!shutdown} raises [Invalid_argument]. *)
+
+  val shutdown : t -> unit
+  (** Stop accepting work, run everything still queued, join the
+      workers. Blocks until in-flight and queued tasks finish.
+      Idempotent. *)
+end
+
 module Pool : sig
   type t
 

@@ -1,5 +1,9 @@
-(* LRU over a hash table plus an intrusive doubly-linked recency list:
-   O(1) find, put and eviction, deterministic in the lookup sequence. *)
+(* Striped LRU: the key space is partitioned over [stripes] independent
+   LRU structures (hash table plus an intrusive doubly-linked recency
+   list, O(1) find/put/evict), each guarded by its own lock. Requests
+   for different canonical digests land on different stripes and never
+   contend on one lock — the per-key independence the pooled server
+   needs. With one stripe this is exactly the PR 4 cache. *)
 
 module Metrics = Mo_obs.Metrics
 
@@ -10,27 +14,58 @@ type 'a node = {
   mutable next : 'a node option; (* towards least-recent *)
 }
 
-type 'a t = {
-  cap : int;
+type 'a stripe = {
+  lock : Mo_par.Lock.t;
+  s_cap : int;
   tbl : (string, 'a node) Hashtbl.t;
   mutable head : 'a node option; (* most recently used *)
   mutable tail : 'a node option; (* least recently used *)
+  (* per-stripe accounting, written only under [lock]: the evidence that
+     traffic on distinct digests never serializes behind one stripe *)
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int; size : int }
+
+type 'a t = {
+  cap : int;
+  stripes : 'a stripe array;
+  resident : int Atomic.t; (* total entries, all stripes *)
+  loaded : int Atomic.t; (* entries restored from a persisted snapshot *)
   c_hits : Metrics.counter;
   c_misses : Metrics.counter;
   c_evictions : Metrics.counter;
   g_size : Metrics.gauge;
 }
 
-let create ~capacity ?registry () =
+let create ~capacity ?(stripes = 1) ?registry () =
   if capacity < 0 then invalid_arg "Cache.create: negative capacity";
+  if stripes < 1 then invalid_arg "Cache.create: stripes must be >= 1";
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
   in
+  let stripe i =
+    (* distribute the capacity; the first [cap mod n] stripes take the
+       remainder so the total is exact *)
+    let s_cap = (capacity / stripes) + (if i < capacity mod stripes then 1 else 0) in
+    {
+      lock = Mo_par.Lock.create ();
+      s_cap;
+      tbl = Hashtbl.create (max 16 s_cap);
+      head = None;
+      tail = None;
+      s_hits = 0;
+      s_misses = 0;
+      s_evictions = 0;
+    }
+  in
   {
     cap = capacity;
-    tbl = Hashtbl.create (max 16 capacity);
-    head = None;
-    tail = None;
+    stripes = Array.init stripes stripe;
+    resident = Atomic.make 0;
+    loaded = Atomic.make 0;
     c_hits =
       Metrics.counter registry ~help:"decision cache hits" "svc.cache_hits";
     c_misses =
@@ -46,57 +81,135 @@ let create ~capacity ?registry () =
 
 let capacity t = t.cap
 
-let size t = Hashtbl.length t.tbl
+let nstripes t = Array.length t.stripes
 
-let unlink t n =
+let size t = Atomic.get t.resident
+
+let loaded t = Atomic.get t.loaded
+
+(* Hashtbl.hash is deterministic on strings, so the digest -> stripe map
+   is a pure function of the key — stripe accounting stays reproducible *)
+let stripe_of t key =
+  t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
+
+let unlink s n =
   (match n.prev with
   | Some p -> p.next <- n.next
-  | None -> t.head <- n.next);
+  | None -> s.head <- n.next);
   (match n.next with
-  | Some s -> s.prev <- n.prev
-  | None -> t.tail <- n.prev);
+  | Some nx -> nx.prev <- n.prev
+  | None -> s.tail <- n.prev);
   n.prev <- None;
   n.next <- None
 
-let push_front t n =
-  n.next <- t.head;
+let push_front s n =
+  n.next <- s.head;
   n.prev <- None;
-  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
-  t.head <- Some n
+  (match s.head with Some h -> h.prev <- Some n | None -> s.tail <- Some n);
+  s.head <- Some n
 
 let find t key =
-  match Hashtbl.find_opt t.tbl key with
-  | Some n ->
-      Metrics.inc t.c_hits;
-      unlink t n;
-      push_front t n;
-      Some n.value
-  | None ->
-      Metrics.inc t.c_misses;
-      None
+  let s = stripe_of t key in
+  let hit =
+    Mo_par.Lock.with_lock s.lock (fun () ->
+        match Hashtbl.find_opt s.tbl key with
+        | Some n ->
+            s.s_hits <- s.s_hits + 1;
+            unlink s n;
+            push_front s n;
+            Some n.value
+        | None ->
+            s.s_misses <- s.s_misses + 1;
+            None)
+  in
+  (match hit with
+  | Some _ -> Metrics.inc t.c_hits
+  | None -> Metrics.inc t.c_misses);
+  hit
 
-let evict_lru t =
-  match t.tail with
-  | None -> ()
+let evict_lru s =
+  match s.tail with
+  | None -> false
   | Some n ->
-      unlink t n;
-      Hashtbl.remove t.tbl n.key;
-      Metrics.inc t.c_evictions
+      unlink s n;
+      Hashtbl.remove s.tbl n.key;
+      s.s_evictions <- s.s_evictions + 1;
+      true
+
+(* shared by put (counted) and restore (silent on hit/miss, counted on
+   eviction): returns (inserted, evicted) deltas for the global gauges *)
+let insert s key value =
+  match Hashtbl.find_opt s.tbl key with
+  | Some n ->
+      n.value <- value;
+      unlink s n;
+      push_front s n;
+      (0, 0)
+  | None ->
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace s.tbl key n;
+      push_front s n;
+      if Hashtbl.length s.tbl > s.s_cap && evict_lru s then (1, 1)
+      else (1, 0)
+
+let apply_deltas t ~inserted ~evicted =
+  let delta = inserted - evicted in
+  if delta <> 0 then ignore (Atomic.fetch_and_add t.resident delta);
+  if evicted > 0 then Metrics.add t.c_evictions evicted;
+  Metrics.set t.g_size (Atomic.get t.resident)
 
 let put t key value =
   if t.cap > 0 then begin
-    (match Hashtbl.find_opt t.tbl key with
-    | Some n ->
-        n.value <- value;
-        unlink t n;
-        push_front t n
-    | None ->
-        let n = { key; value; prev = None; next = None } in
-        Hashtbl.replace t.tbl key n;
-        push_front t n;
-        if Hashtbl.length t.tbl > t.cap then evict_lru t);
-    Metrics.set t.g_size (Hashtbl.length t.tbl)
+    let s = stripe_of t key in
+    let inserted, evicted =
+      Mo_par.Lock.with_lock s.lock (fun () -> insert s key value)
+    in
+    apply_deltas t ~inserted ~evicted
   end
+
+let restore t entries =
+  if t.cap = 0 then 0
+  else begin
+    let n = ref 0 in
+    List.iter
+      (fun (key, value) ->
+        let s = stripe_of t key in
+        let inserted, evicted =
+          Mo_par.Lock.with_lock s.lock (fun () -> insert s key value)
+        in
+        apply_deltas t ~inserted ~evicted;
+        incr n)
+      entries;
+    ignore (Atomic.fetch_and_add t.loaded !n);
+    !n
+  end
+
+let snapshot t =
+  (* least-recent first within each stripe, so replaying the list
+     through [restore] (which pushes to the front) reproduces each
+     stripe's recency order exactly *)
+  let stripe_entries s =
+    Mo_par.Lock.with_lock s.lock (fun () ->
+        let rec walk acc = function
+          | None -> acc
+          | Some n -> walk ((n.key, n.value) :: acc) n.next
+        in
+        (* walk head -> tail accumulating in reverse: tail ends up first *)
+        walk [] s.head)
+  in
+  Array.to_list t.stripes |> List.concat_map stripe_entries
+
+let stripe_stats t =
+  Array.map
+    (fun s ->
+      Mo_par.Lock.with_lock s.lock (fun () ->
+          {
+            hits = s.s_hits;
+            misses = s.s_misses;
+            evictions = s.s_evictions;
+            size = Hashtbl.length s.tbl;
+          }))
+    t.stripes
 
 let hits t = Metrics.counter_value t.c_hits
 

@@ -1,37 +1,70 @@
-(** Bounded LRU decision cache, keyed on canonical digests.
+(** Striped, bounded LRU decision cache, keyed on canonical digests.
 
     A classification answered once is answered forever: the payload of a
     [classify]/[implies]/[witness]/[minimize] request is a pure function
     of the canonical form of its arguments, so the service memoizes
-    payloads under digest-derived string keys. The cache is bounded
-    (least-recently-used entry evicted at capacity) and instrumented:
-    [svc.cache_hits], [svc.cache_misses], [svc.cache_evictions] counters
-    and the [svc.cache_size] gauge live in the supplied
-    {!Mo_obs.Metrics} registry, so a [stats] query — and the B13 bench
-    artifact — can report exact, deterministic hit accounting.
+    payloads under digest-derived string keys.
 
-    Not thread-safe by design: all cache traffic happens on the server's
-    dispatch domain (the worker pool computes payloads, never touches
-    the cache), which keeps hit/miss counts a pure function of the
-    request stream. *)
+    The key space is partitioned over [stripes] independent LRU
+    structures, each with its own lock and its own share of the
+    capacity. Different canonical digests hash to different stripes (a
+    deterministic function of the key), so concurrent worker domains
+    serving distinct specifications never contend on one lock — the
+    per-key independence the pooled server is built on. [stripes = 1]
+    (the default) is the PR 4 single-LRU cache exactly.
+
+    Accounting is two-level: aggregate [svc.cache_hits] /
+    [svc.cache_misses] / [svc.cache_evictions] counters and the
+    [svc.cache_size] gauge live in the supplied {!Mo_obs.Metrics}
+    registry (atomic — safe under concurrent workers), while each stripe
+    keeps its own hit/miss/eviction tallies under its stripe lock
+    ({!stripe_stats}), which is how the tests prove distinct-digest
+    traffic stays on distinct stripes. *)
 
 type 'a t
 
+type stats = { hits : int; misses : int; evictions : int; size : int }
+(** One stripe's accounting. *)
+
 val create :
-  capacity:int -> ?registry:Mo_obs.Metrics.t -> unit -> 'a t
-(** [capacity 0] disables caching: every lookup misses, nothing is
-    stored. @raise Invalid_argument if [capacity < 0]. *)
+  capacity:int -> ?stripes:int -> ?registry:Mo_obs.Metrics.t -> unit -> 'a t
+(** [capacity] is the {e total} entry budget, distributed over the
+    stripes (the first [capacity mod stripes] stripes hold one more).
+    [capacity 0] disables caching: every lookup misses, nothing is
+    stored. [stripes] defaults to 1.
+    @raise Invalid_argument if [capacity < 0] or [stripes < 1]. *)
 
 val capacity : 'a t -> int
 
+val nstripes : 'a t -> int
+
 val size : 'a t -> int
+(** Total resident entries across all stripes. *)
 
 val find : 'a t -> string -> 'a option
-(** Bumps the entry to most-recently-used; counts a hit or a miss. *)
+(** Bumps the entry to most-recently-used within its stripe; counts a
+    hit or a miss (aggregate and per-stripe). *)
 
 val put : 'a t -> string -> 'a -> unit
-(** Insert or refresh; evicts the least-recently-used entry when the
-    capacity is exceeded. *)
+(** Insert or refresh; evicts the stripe's least-recently-used entry
+    when the stripe's share of the capacity is exceeded. *)
+
+val snapshot : 'a t -> (string * 'a) list
+(** Every resident entry, least-recently-used first within each stripe —
+    the order {!restore} needs to reproduce recency exactly. This is the
+    payload of the [--persist] checkpoint. *)
+
+val restore : 'a t -> (string * 'a) list -> int
+(** Insert entries without touching hit/miss accounting (a warm restart
+    is not a request stream); evictions past capacity are still counted.
+    Returns the number of entries processed, which {!loaded} then
+    reports. No-op (returning 0) on a capacity-0 cache. *)
+
+val loaded : 'a t -> int
+(** Entries ever fed through {!restore} — how warm this instance started. *)
+
+val stripe_stats : 'a t -> stats array
+(** Per-stripe hit/miss/eviction/size accounting, index = stripe id. *)
 
 val hits : 'a t -> int
 

@@ -1,6 +1,13 @@
-(** Client side of the mopcd codec: one connection, sequential calls. *)
+(** Client side of the mopcd codec: one connection, sequential or
+    pipelined calls, over a Unix-domain socket or TCP. *)
 
 type t
+
+type addr =
+  | Uds of string  (** Unix-domain socket path *)
+  | Tcp of string * int  (** host (name or dotted quad) and port *)
+
+val addr_to_string : addr -> string
 
 type retry = {
   attempts : int;  (** total connect attempts, ≥ 1 *)
@@ -17,19 +24,25 @@ val default_retry : retry
 val no_retry : retry
 (** A single attempt (still with the connect timeout). *)
 
+val connect_addr :
+  ?retry:retry -> ?sleep:(float -> unit) -> addr -> (t, string) result
+(** Connect with bounded retries: transient failures (socket file not
+    there yet, nobody listening on a stale one, full listen queue,
+    connect timeout, connection refused/reset) are retried with capped
+    exponential backoff; permanent ones (permissions, not a socket, an
+    unresolvable host) fail immediately. Each attempt's connect is
+    itself bounded by [retry.connect_timeout_s], so a wedged daemon
+    yields a timeout error rather than a hang. TCP connections set
+    [TCP_NODELAY] — pipelined frames must not wait out Nagle. [sleep]
+    (default [Unix.sleepf]) is injectable for deterministic tests. *)
+
 val connect :
   ?retry:retry ->
   ?sleep:(float -> unit) ->
   socket_path:string ->
   unit ->
   (t, string) result
-(** Connect with bounded retries: transient failures (socket file not
-    there yet, nobody listening on a stale one, full listen queue,
-    connect timeout) are retried with capped exponential backoff;
-    permanent ones (permissions, not a socket) fail immediately. Each
-    attempt's connect is itself bounded by [retry.connect_timeout_s], so
-    a wedged daemon yields a timeout error rather than a hang. [sleep]
-    (default [Unix.sleepf]) is injectable for deterministic tests. *)
+(** [connect_addr (Uds socket_path)]. *)
 
 val call :
   t ->
@@ -39,6 +52,16 @@ val call :
 (** Send one request (ids are assigned internally) and wait for its
     response; returns the [result] payload, or the server's [error]
     message, or a transport error. *)
+
+val call_pipelined :
+  t ->
+  ?deadline_ms:int ->
+  Codec.request list ->
+  (Mo_obs.Jsonb.t, string) result list
+(** Send every request in one write, then collect the responses in
+    request order — one result per request (same order), exercising the
+    server's decode-ahead path. A transport failure mid-stream fills
+    the remaining slots with that error. *)
 
 val call_raw : t -> Mo_obs.Jsonb.t -> (Mo_obs.Jsonb.t, string) result
 (** Send a pre-built request object and return the raw response object —

@@ -305,78 +305,125 @@ let encode_frame json =
   let payload = J.to_string json in
   Printf.sprintf "%d\n%s\n" (String.length payload) payload
 
-let write_frame fd json =
-  let s = encode_frame json in
-  let b = Bytes.of_string s in
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let written = ref 0 in
   while !written < n do
     written := !written + Unix.write fd b !written (n - !written)
   done
 
+let write_frame fd json = write_all fd (encode_frame json)
+
+let write_frames fd jsons =
+  (* one syscall batch for a whole pipeline's worth of responses *)
+  match jsons with
+  | [] -> ()
+  | jsons -> write_all fd (String.concat "" (List.map encode_frame jsons))
+
+(* The reader buffers whatever the descriptor delivers and parses frames
+   out of the buffer, so several pipelined frames arriving in one read
+   are each available without touching the socket again. [pos..len) is
+   the unconsumed window; the buffer grows (it never shrinks) when a
+   frame straddles its end. *)
 type reader = {
   fd : Unix.file_descr;
-  buf : Bytes.t;
-  mutable pos : int;
-  mutable len : int;
+  mutable buf : Bytes.t;
+  mutable pos : int; (* start of unconsumed data *)
+  mutable len : int; (* end of valid data *)
+  mutable eof : bool;
 }
 
-let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0 }
+let reader fd = { fd; buf = Bytes.create 8192; pos = 0; len = 0; eof = false }
 
-(* one buffered byte; None at end of stream *)
-let next_byte r =
-  if r.pos < r.len then begin
-    let c = Bytes.get r.buf r.pos in
-    r.pos <- r.pos + 1;
-    Some c
+(* compact, grow if full, then read once; sets [eof] on a 0-byte read *)
+let refill r =
+  if r.pos > 0 then begin
+    Bytes.blit r.buf r.pos r.buf 0 (r.len - r.pos);
+    r.len <- r.len - r.pos;
+    r.pos <- 0
+  end;
+  if r.len = Bytes.length r.buf then begin
+    let nb = Bytes.create (2 * Bytes.length r.buf) in
+    Bytes.blit r.buf 0 nb 0 r.len;
+    r.buf <- nb
+  end;
+  let n = Unix.read r.fd r.buf r.len (Bytes.length r.buf - r.len) in
+  if n = 0 then r.eof <- true else r.len <- r.len + n;
+  n
+
+(* Try to parse one complete frame out of the buffer. Consumes bytes
+   only on [`Frame]; [`Need] means the buffer holds a prefix of a valid
+   frame and more bytes must arrive first. The trailing '\n' is part of
+   the frame (optional only at end-of-stream), so a parsed frame never
+   leaves its terminator behind to poison the next header. *)
+let parse ~max_len r =
+  if r.len = r.pos then (if r.eof then `Eof else `Need)
+  else begin
+    let finish payload consumed_to =
+      match J.of_string payload with
+      | Ok json ->
+          r.pos <- consumed_to;
+          `Frame json
+      | Error e -> `Error ("bad frame JSON: " ^ e)
+    in
+    (* header: decimal length terminated by '\n' *)
+    let rec header i acc ndigits =
+      if ndigits > 10 then `Error "frame header too long"
+      else if i >= r.len then
+        if r.eof then `Error "eof inside frame header" else `Need
+      else
+        match Bytes.get r.buf i with
+        | '\n' ->
+            if ndigits = 0 then `Error "empty frame header"
+            else `Header (i + 1, acc)
+        | '0' .. '9' as c ->
+            header (i + 1) ((acc * 10) + (Char.code c - Char.code '0'))
+              (ndigits + 1)
+        | c -> `Error (Printf.sprintf "bad frame header byte %C" c)
+    in
+    match header r.pos 0 0 with
+    | `Error e -> `Error e
+    | `Need -> `Need
+    | `Header (body, n) ->
+        if n > max_len then
+          `Error (Printf.sprintf "frame of %d bytes exceeds limit %d" n max_len)
+        else if r.len - body < n then
+          if r.eof then `Error "eof inside frame payload" else `Need
+        else begin
+          let payload = Bytes.sub_string r.buf body n in
+          let after = body + n in
+          if after < r.len then
+            match Bytes.get r.buf after with
+            | '\n' -> finish payload (after + 1)
+            | c -> `Error (Printf.sprintf "expected frame terminator, got %C" c)
+          else if r.eof then finish payload after
+          else `Need
+        end
   end
-  else
-    let n = Unix.read r.fd r.buf 0 (Bytes.length r.buf) in
-    if n = 0 then None
-    else begin
-      r.pos <- 1;
-      r.len <- n;
-      Some (Bytes.get r.buf 0)
-    end
 
 let read_frame ?(max_len = default_max_frame) r =
-  (* header: decimal length terminated by '\n' *)
-  let rec header acc ndigits =
-    if ndigits > 10 then Error "frame header too long"
-    else
-      match next_byte r with
-      | None ->
-          if ndigits = 0 then Ok None else Error "eof inside frame header"
-      | Some '\n' ->
-          if ndigits = 0 then Error "empty frame header" else Ok (Some acc)
-      | Some ('0' .. '9' as c) ->
-          header ((acc * 10) + (Char.code c - Char.code '0')) (ndigits + 1)
-      | Some c ->
-          Error (Printf.sprintf "bad frame header byte %C" c)
+  let rec loop () =
+    match parse ~max_len r with
+    | `Frame j -> Ok (Some j)
+    | `Eof -> Ok None
+    | `Error e -> Error e
+    | `Need ->
+        ignore (refill r);
+        loop ()
   in
-  match header 0 0 with
-  | Error e -> Error e
-  | Ok None -> Ok None
-  | Ok (Some n) when n > max_len ->
-      Error (Printf.sprintf "frame of %d bytes exceeds limit %d" n max_len)
-  | Ok (Some n) -> (
-      let payload = Bytes.create n in
-      let rec fill i =
-        if i = n then true
-        else
-          match next_byte r with
-          | None -> false
-          | Some c ->
-              Bytes.set payload i c;
-              fill (i + 1)
-      in
-      if not (fill 0) then Error "eof inside frame payload"
-      else
-        (* consume the trailing newline if present *)
-        match next_byte r with
-        | Some '\n' | None -> (
-            match J.of_string (Bytes.to_string payload) with
-            | Ok json -> Ok (Some json)
-            | Error e -> Error ("bad frame JSON: " ^ e))
-        | Some c ->
-            Error (Printf.sprintf "expected frame terminator, got %C" c))
+  loop ()
+
+let read_frame_nonblock ?(max_len = default_max_frame) r =
+  match parse ~max_len r with
+  | (`Frame _ | `Eof | `Error _) as res -> res
+  | `Need -> (
+      (* at most one poll + one read per call; the caller decides
+         whether to come back (pipelining) or block (read_frame) *)
+      match Unix.select [ r.fd ] [] [] 0.0 with
+      | [], _, _ -> `Nothing
+      | _ -> (
+          ignore (refill r);
+          match parse ~max_len r with
+          | (`Frame _ | `Eof | `Error _) as res -> res
+          | `Need -> `Nothing))

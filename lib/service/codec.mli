@@ -91,13 +91,31 @@ val encode_frame : Mo_obs.Jsonb.t -> string
 val write_frame : Unix.file_descr -> Mo_obs.Jsonb.t -> unit
 (** Write a whole frame; retries partial writes. *)
 
+val write_frames : Unix.file_descr -> Mo_obs.Jsonb.t list -> unit
+(** Write several frames as one contiguous byte run (one syscall batch
+    in the common case) — how a pipelined connection's responses go out
+    in request order. *)
+
 type reader
-(** Buffered frame reader over a file descriptor. *)
+(** Growable buffered frame reader over a file descriptor. Bytes are
+    consumed from the descriptor in bulk, so several pipelined frames
+    arriving together are each parseable without another [read]. *)
 
 val reader : Unix.file_descr -> reader
 
 val read_frame :
   ?max_len:int -> reader -> (Mo_obs.Jsonb.t option, string) result
-(** [Ok None] on end-of-stream at a frame boundary; [Error _] on a
+(** Block until one whole frame (or end-of-stream) is available.
+    [Ok None] on end-of-stream at a frame boundary; [Error _] on a
     malformed header, an oversized frame ([max_len], default
     {!default_max_frame}), bad JSON, or EOF mid-frame. *)
+
+val read_frame_nonblock :
+  ?max_len:int ->
+  reader ->
+  [ `Frame of Mo_obs.Jsonb.t | `Nothing | `Eof | `Error of string ]
+(** Like {!read_frame} but never blocks: parse a frame already
+    buffered, else poll the descriptor once ([select] with a zero
+    timeout) and read whatever is ready. [`Nothing] means no complete
+    frame yet — the decode-ahead signal that lets the server keep
+    computing earlier requests while a later one is still in flight. *)

@@ -13,12 +13,13 @@ type t = {
   c_batches : Metrics.counter;
 }
 
-let create ?(cache_capacity = 4096) ?registry ?pool ?clock () =
+let create ?(cache_capacity = 4096) ?(stripes = 8) ?registry ?pool ?clock
+    () =
   let reg = match registry with Some r -> r | None -> Metrics.create () in
   let pool = match pool with Some p -> p | None -> Mo_par.Pool.create () in
   let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
   {
-    cache = Cache.create ~capacity:cache_capacity ~registry:reg ();
+    cache = Cache.create ~capacity:cache_capacity ~stripes ~registry:reg ();
     reg;
     pool;
     clock;
@@ -39,11 +40,19 @@ let cache_stats t =
   J.Obj
     [
       ("capacity", J.Int (Cache.capacity t.cache));
+      ("stripes", J.Int (Cache.nstripes t.cache));
       ("size", J.Int (Cache.size t.cache));
+      ("loaded", J.Int (Cache.loaded t.cache));
       ("hits", J.Int (Cache.hits t.cache));
       ("misses", J.Int (Cache.misses t.cache));
       ("evictions", J.Int (Cache.evictions t.cache));
     ]
+
+let snapshot t = Cache.snapshot t.cache
+
+let restore t entries = Cache.restore t.cache entries
+
+let stripe_stats t = Cache.stripe_stats t.cache
 
 let stats_payload t =
   J.Obj
@@ -147,11 +156,12 @@ let finish_miss t ~id ~key result =
   | _ -> ());
   respond t ~id result
 
-let handle_batch t ~received envs =
-  Metrics.inc t.c_batches;
-  let admitted =
-    Array.of_list (List.map (admit t ~received ~in_batch:true) envs)
-  in
+(* Resolve an admission pass: compute the distinct missing keys in
+   parallel over the pool, insert payloads in first-occurrence order,
+   fill one response per slot in admission order. Shared by batches and
+   pipelined groups — both get byte-identical responses for every job
+   count because admission was sequential and this merge is ordered. *)
+let resolve t admitted =
   (* work units: the first occurrence of each missing cacheable key,
      plus every uncached miss (those are keyed by their position) *)
   let seen = Hashtbl.create 16 in
@@ -189,20 +199,26 @@ let handle_batch t ~received envs =
     Metrics.inc t.c_errors;
     Codec.error_response ~id "internal error: result lost"
   in
-  Array.to_list
-    (Array.mapi
-       (fun i a ->
-         match a with
-         | Done resp | Stop resp -> resp
-         | Miss (id, Some key, _) -> (
-             match Hashtbl.find_opt by_key key with
-             | Some result -> respond t ~id result
-             | None -> lost ~id)
-         | Miss (id, None, _) -> (
-             match Hashtbl.find_opt by_slot i with
-             | Some result -> respond t ~id result
-             | None -> lost ~id))
-       admitted)
+  Array.mapi
+    (fun i a ->
+      match a with
+      | Done resp | Stop resp -> resp
+      | Miss (id, Some key, _) -> (
+          match Hashtbl.find_opt by_key key with
+          | Some result -> respond t ~id result
+          | None -> lost ~id)
+      | Miss (id, None, _) -> (
+          match Hashtbl.find_opt by_slot i with
+          | Some result -> respond t ~id result
+          | None -> lost ~id))
+    admitted
+
+let handle_batch t ~received envs =
+  Metrics.inc t.c_batches;
+  let admitted =
+    Array.of_list (List.map (admit t ~received ~in_batch:true) envs)
+  in
+  Array.to_list (resolve t admitted)
 
 let serve t ?received (env : Codec.envelope) =
   let received =
@@ -235,3 +251,58 @@ let serve_json t ?received json =
       (Codec.error_response ~id msg, false)
 
 let handle_json t ?received json = fst (serve_json t ?received json)
+
+(* ---- pipelined groups -------------------------------------------- *)
+
+(* A pipelined slot: either admitted into the shared resolve pass, or
+   answered whole at its position (batches run their own resolve; parse
+   errors have their response already). *)
+type slot = Simple of admitted | Whole of J.t * bool
+
+let slot_of_env t ~received (env : Codec.envelope) =
+  match env.Codec.req with
+  | Codec.Batch _ ->
+      let resp, stop = serve t ~received env in
+      Whole (resp, stop)
+  | _ -> Simple (admit t ~received ~in_batch:false env)
+
+let serve_slots t slots =
+  let simple =
+    Array.of_list
+      (List.filter_map
+         (function Simple a -> Some a | Whole _ -> None)
+         slots)
+  in
+  let resolved = resolve t simple in
+  let k = ref 0 in
+  let stop = ref false in
+  let responses =
+    List.map
+      (function
+        | Whole (resp, s) ->
+            if s then stop := true;
+            resp
+        | Simple a ->
+            let resp = resolved.(!k) in
+            incr k;
+            (match a with Stop _ -> stop := true | Done _ | Miss _ -> ());
+            resp)
+      slots
+  in
+  (responses, !stop)
+
+let serve_many t ?received envs =
+  let received = match received with Some r -> r | None -> t.clock () in
+  serve_slots t (List.map (slot_of_env t ~received) envs)
+
+let serve_json_many t ?received jsons =
+  let received = match received with Some r -> r | None -> t.clock () in
+  serve_slots t
+    (List.map
+       (fun json ->
+         match Codec.request_of_json json with
+         | Ok env -> slot_of_env t ~received env
+         | Error (id, msg) ->
+             Metrics.inc t.c_errors;
+             Whole (Codec.error_response ~id msg, false))
+       jsons)

@@ -15,18 +15,26 @@
     order on the caller's domain; the payloads of the distinct missing
     keys are then computed in parallel over the worker pool and inserted
     in first-occurrence order. Responses are therefore byte-identical
-    for every job count. *)
+    for every job count. Pipelined groups ({!serve_many}) reuse the same
+    admit-then-resolve machinery, so the guarantee carries over.
+
+    The engine is safe to drive from several worker domains at once:
+    the cache is striped ({!Cache}), the counters are atomic, and every
+    compute is pure. Responses stay a pure function of each request;
+    only wall-clock and lock micro-contention vary with concurrency. *)
 
 type t
 
 val create :
   ?cache_capacity:int ->
+  ?stripes:int ->
   ?registry:Mo_obs.Metrics.t ->
   ?pool:Mo_par.Pool.t ->
   ?clock:(unit -> float) ->
   unit ->
   t
 (** [cache_capacity] defaults to 4096 entries (0 disables caching);
+    [stripes] (cache lock stripes, see {!Cache.create}) to 8;
     [registry] to a fresh one; [pool] to a default {!Mo_par.Pool};
     [clock] (seconds, used only for deadlines) to [Unix.gettimeofday] —
     injectable so deadline behaviour is testable. *)
@@ -34,7 +42,18 @@ val create :
 val registry : t -> Mo_obs.Metrics.t
 
 val cache_stats : t -> Mo_obs.Jsonb.t
-(** [{capacity; size; hits; misses; evictions}]. *)
+(** [{capacity; stripes; size; loaded; hits; misses; evictions}]. *)
+
+val snapshot : t -> (string * Mo_obs.Jsonb.t) list
+(** The resident decision table, in the order {!restore} wants —
+    what [--persist] writes at shutdown (see {!Cache.snapshot}). *)
+
+val restore : t -> (string * Mo_obs.Jsonb.t) list -> int
+(** Warm the decision table from a persisted snapshot; returns entries
+    processed. Does not count hits or misses ({!Cache.restore}). *)
+
+val stripe_stats : t -> Cache.stats array
+(** Per-stripe cache accounting — the striping tests' probe. *)
 
 val handle : t -> ?received:float -> Codec.envelope -> Mo_obs.Jsonb.t
 (** The response (an [ok]/[error] object echoing the request id).
@@ -62,3 +81,19 @@ val serve_json :
   t -> ?received:float -> Mo_obs.Jsonb.t -> Mo_obs.Jsonb.t * bool
 (** Parse and {!serve}; unparsable requests yield an error response and
     [false]. *)
+
+val serve_many :
+  t -> ?received:float -> Codec.envelope list -> Mo_obs.Jsonb.t list * bool
+(** Serve a pipelined group: every envelope is admitted in order on the
+    caller's domain, the distinct missing keys are computed in parallel
+    over the pool, and responses come back in request order — one per
+    envelope, byte-identical to serving them one at a time (cache
+    hit/miss {e counts} may differ: duplicates inside one group are all
+    admitted before the first compute lands). The flag is [true] iff
+    some envelope was an admitted top-level [Shutdown]; later envelopes
+    in the group are still answered. *)
+
+val serve_json_many :
+  t -> ?received:float -> Mo_obs.Jsonb.t list -> Mo_obs.Jsonb.t list * bool
+(** Parse and {!serve_many}; unparsable members yield error responses in
+    their slots. The server's decode-ahead path. *)

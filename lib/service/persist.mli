@@ -1,0 +1,30 @@
+(** Disk persistence of the digest -> decision table.
+
+    A classification answered once is answered forever (the cache keys
+    are canonical digests), so the decision table survives restarts
+    losslessly: [mopcd --persist FILE] loads a snapshot at startup and
+    writes one at shutdown, and a restarted daemon answers its first
+    repeat query from the warm table instead of recomputing.
+
+    The on-disk format is one compact JSON document
+    [{"version": 1, "entries": [[key, payload], ...]}], entries in the
+    order {!Cache.snapshot} emits (least-recently-used first within
+    each stripe) so a load replays recency exactly.
+
+    Crash safety: {!save} writes [FILE.tmp], fsyncs, then renames over
+    [FILE] — a crash mid-save leaves the previous snapshot intact, and
+    readers never observe a torn file. *)
+
+val version : int
+(** Current snapshot format version (1). *)
+
+val save : path:string -> (string * Mo_obs.Jsonb.t) list -> unit
+(** Atomically replace the snapshot at [path]. Raises [Sys_error] /
+    [Unix.Unix_error] on I/O failure; the previous snapshot (if any)
+    is untouched in that case. *)
+
+val load :
+  path:string -> ((string * Mo_obs.Jsonb.t) list option, string) result
+(** [Ok None] when [path] does not exist (a cold start, not an error);
+    [Error _] on unreadable, unparsable, or wrong-version snapshots —
+    the daemon reports these and starts cold rather than dying. *)

@@ -1,20 +1,28 @@
+type transport = Uds of string | Tcp of string * int
+
 type config = {
-  socket_path : string;
+  transport : transport;
   cache_capacity : int;
+  stripes : int;
   jobs : int option;
   max_frame : int;
   recv_timeout_s : float;
   max_conn_requests : int;
+  pipeline_depth : int;
+  persist : string option;
 }
 
 let default_config ~socket_path =
   {
-    socket_path;
+    transport = Uds socket_path;
     cache_capacity = 4096;
+    stripes = 8;
     jobs = None;
     max_frame = Codec.default_max_frame;
     recv_timeout_s = 10.;
     max_conn_requests = 10_000;
+    pipeline_depth = 64;
+    persist = None;
   }
 
 let log fmt =
@@ -69,32 +77,99 @@ let remove_stale_socket path =
       Error
         (Printf.sprintf "cannot stat %s: %s" path (Unix.error_message e))
 
-(* serve one connection; returns [true] when a shutdown was requested *)
+(* Open-connection registry: the stop path unblocks workers parked in a
+   blocking read by shutting their sockets down ([Unix.shutdown] makes
+   the read return EOF). Every operation holds the one lock, so a
+   worker's close can never race the sweep into shutting down a freshly
+   reused descriptor. *)
+module Registry = struct
+  type t = {
+    lock : Mo_par.Lock.t;
+    tbl : (int, Unix.file_descr) Hashtbl.t;
+    mutable next : int;
+  }
+
+  let create () =
+    { lock = Mo_par.Lock.create (); tbl = Hashtbl.create 16; next = 0 }
+
+  let add t fd =
+    Mo_par.Lock.with_lock t.lock (fun () ->
+        let id = t.next in
+        t.next <- id + 1;
+        Hashtbl.replace t.tbl id fd;
+        id)
+
+  let close t id fd =
+    Mo_par.Lock.with_lock t.lock (fun () ->
+        Hashtbl.remove t.tbl id;
+        try Unix.close fd with Unix.Unix_error _ -> ())
+
+  let shutdown_all t =
+    Mo_par.Lock.with_lock t.lock (fun () ->
+        Hashtbl.iter
+          (fun _ fd ->
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL
+            with Unix.Unix_error _ -> ())
+          t.tbl)
+end
+
+(* serve one connection, pipelined; returns [true] when a top-level
+   shutdown request was admitted *)
 let serve_connection cfg engine conn =
   (try
      Unix.setsockopt_float conn Unix.SO_RCVTIMEO cfg.recv_timeout_s;
      Unix.setsockopt_float conn Unix.SO_SNDTIMEO cfg.recv_timeout_s
    with Unix.Unix_error _ -> ());
+  (match cfg.transport with
+  | Tcp _ -> (
+      try Unix.setsockopt conn Unix.TCP_NODELAY true
+      with Unix.Unix_error _ -> ())
+  | Uds _ -> ());
   let r = Codec.reader conn in
   let shutdown = ref false in
+  let hangup e =
+    (* framing is broken: answer if possible, then hang up *)
+    (try Codec.write_frame conn (Codec.error_response ~id:0 e)
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    log "closing connection: %s" e
+  in
   let rec loop served =
     match Codec.read_frame ~max_len:cfg.max_frame r with
     | Ok None -> ()
-    | Error e ->
-        (* framing is broken: answer if possible, then hang up *)
-        (try Codec.write_frame conn (Codec.error_response ~id:0 e)
-         with Unix.Unix_error _ | Sys_error _ -> ());
-        log "closing connection: %s" e
+    | Error e -> hangup e
     | Ok (Some json) ->
         let received = Unix.gettimeofday () in
-        let resp, wants_shutdown = Engine.serve_json engine ~received json in
-        Codec.write_frame conn resp;
+        (* decode-ahead: pick up the frames that already arrived (up to
+           [pipeline_depth] and the connection's remaining request
+           budget) so their distinct cache misses compute in parallel —
+           responses still go out in request order, in one write *)
+        let budget =
+          min cfg.pipeline_depth (cfg.max_conn_requests - served)
+        in
+        let rec gather acc k =
+          if k >= budget then (List.rev acc, None)
+          else
+            match Codec.read_frame_nonblock ~max_len:cfg.max_frame r with
+            | `Frame j -> gather (j :: acc) (k + 1)
+            | `Nothing | `Eof -> (List.rev acc, None)
+            | `Error e -> (List.rev acc, Some e)
+        in
+        let group, frame_err = gather [ json ] 1 in
+        let responses, wants_shutdown =
+          Engine.serve_json_many engine ~received group
+        in
+        Codec.write_frames conn responses;
+        let served = served + List.length group in
         if wants_shutdown then shutdown := true
-        else if served + 1 >= cfg.max_conn_requests then
-          (* request budget spent: hang up so the accept loop gets back
-             to the other clients waiting in the listen queue *)
-          log "closing connection: served %d requests" (served + 1)
-        else loop (served + 1)
+        else (
+          match frame_err with
+          | Some e -> hangup e
+          | None ->
+              if served >= cfg.max_conn_requests then
+                (* request budget spent: hang up so the dispatch pool
+                   gets back to the other clients *)
+                log "closing connection: served %d requests" served
+              else loop served)
   in
   (try loop 0 with
   | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -102,10 +177,45 @@ let serve_connection cfg engine conn =
   | Unix.Unix_error (e, _, _) ->
       log "closing connection: %s" (Unix.error_message e)
   | Sys_error e -> log "closing connection: %s" e);
-  (try Unix.close conn with Unix.Unix_error _ -> ());
   !shutdown
 
-let run ?engine ?(on_ready = fun () -> ()) cfg =
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | addr -> addr
+  | exception Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+          failwith (Printf.sprintf "cannot resolve host %S" host)
+      | h -> h.Unix.h_addr_list.(0)
+      | exception Not_found ->
+          failwith (Printf.sprintf "cannot resolve host %S" host))
+
+let listen_socket cfg =
+  let bound domain addr =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match
+      (match addr with
+      | Unix.ADDR_INET _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true
+      | Unix.ADDR_UNIX _ -> ());
+      Unix.bind fd addr;
+      Unix.listen fd 64;
+      Unix.set_nonblock fd
+    with
+    | () -> fd
+    | exception e ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        raise e
+  in
+  match cfg.transport with
+  | Uds path ->
+      (match remove_stale_socket path with
+      | Ok () -> ()
+      | Error e -> failwith e);
+      bound Unix.PF_UNIX (Unix.ADDR_UNIX path)
+  | Tcp (host, port) ->
+      bound Unix.PF_INET (Unix.ADDR_INET (resolve_host host, port))
+
+let run ?engine ?(on_ready = fun (_ : Unix.sockaddr) -> ()) cfg =
   let engine =
     match engine with
     | Some e -> e
@@ -115,50 +225,111 @@ let run ?engine ?(on_ready = fun () -> ()) cfg =
           | Some j -> Mo_par.Pool.create ~jobs:j ()
           | None -> Mo_par.Pool.create ()
         in
-        Engine.create ~cache_capacity:cfg.cache_capacity ~pool ()
+        Engine.create ~cache_capacity:cfg.cache_capacity
+          ~stripes:cfg.stripes ~pool ()
   in
-  let stop = ref false in
+  (* warm restart: feed the persisted decision table back in before the
+     first connection; a bad snapshot means a cold start, not a death *)
+  (match cfg.persist with
+  | None -> ()
+  | Some path -> (
+      match Persist.load ~path with
+      | Ok None -> ()
+      | Ok (Some entries) ->
+          let n = Engine.restore engine entries in
+          log "restored %d cached decisions from %s" n path
+      | Error e -> log "ignoring snapshot %s: %s (starting cold)" path e));
+  let stop = Atomic.make false in
+  (* self-pipe: signal handlers and workers that admitted a shutdown
+     request wake the accept loop by writing one byte — the loop blocks
+     in select with no timeout, so shutdown latency is one wakeup, not
+     a poll interval *)
+  let pipe_rd, pipe_wr = Unix.pipe () in
+  let request_stop () =
+    Atomic.set stop true;
+    try ignore (Unix.single_write pipe_wr (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ -> ()
+  in
   let previous =
     List.map
       (fun sg ->
-        (sg, Sys.signal sg (Sys.Signal_handle (fun _ -> stop := true))))
+        (sg, Sys.signal sg (Sys.Signal_handle (fun _ -> request_stop ()))))
       [ Sys.sigint; Sys.sigterm ]
   in
   let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let cleanup () =
-    (try Unix.close fd with Unix.Unix_error _ -> ());
-    (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  let restore_signals () =
     List.iter (fun (sg, h) -> Sys.set_signal sg h) previous;
     Sys.set_signal Sys.sigpipe prev_pipe
   in
-  (try
-     (match remove_stale_socket cfg.socket_path with
-     | Ok () -> ()
-     | Error e -> failwith e);
-     Unix.bind fd (Unix.ADDR_UNIX cfg.socket_path);
-     Unix.listen fd 64
-   with e ->
-     (* don't let the cleanup unlink a live daemon's socket: we never
-        bound it *)
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     List.iter (fun (sg, h) -> Sys.set_signal sg h) previous;
-     Sys.set_signal Sys.sigpipe prev_pipe;
-     raise e);
-  on_ready ();
-  while not !stop do
-    match Unix.select [ fd ] [] [] 0.2 with
-    | [], _, _ -> ()
-    | _ :: _, _, _ -> (
-        match Unix.accept fd with
-        | conn, _ ->
-            if
-              try serve_connection cfg engine conn
-              with e ->
-                log "connection handler died: %s" (Printexc.to_string e);
-                false
-            then stop := true
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+  let close_pipe () =
+    (try Unix.close pipe_rd with Unix.Unix_error _ -> ());
+    (try Unix.close pipe_wr with Unix.Unix_error _ -> ())
+  in
+  let fd =
+    match listen_socket cfg with
+    | fd -> fd
+    | exception e ->
+        restore_signals ();
+        close_pipe ();
+        raise e
+  in
+  let workers =
+    Mo_par.Workers.create
+      ~jobs:
+        (match cfg.jobs with
+        | Some j -> j
+        | None -> Mo_par.default_jobs ())
+  in
+  let registry = Registry.create () in
+  on_ready (Unix.getsockname fd);
+  let drain_pipe () =
+    let b = Bytes.create 16 in
+    try ignore (Unix.read pipe_rd b 0 16) with Unix.Unix_error _ -> ()
+  in
+  while not (Atomic.get stop) do
+    match Unix.select [ fd; pipe_rd ] [] [] (-1.) with
+    | rs, _, _ ->
+        if List.mem pipe_rd rs then drain_pipe ();
+        if (not (Atomic.get stop)) && List.mem fd rs then (
+          match Unix.accept fd with
+          | conn, _ ->
+              Unix.clear_nonblock conn;
+              (* the whole connection is one task: a worker domain owns
+                 it from first frame to close *)
+              Mo_par.Workers.submit workers (fun () ->
+                  let id = Registry.add registry conn in
+                  let wants =
+                    try serve_connection cfg engine conn
+                    with e ->
+                      log "connection handler died: %s"
+                        (Printexc.to_string e);
+                      false
+                  in
+                  Registry.close registry id conn;
+                  if wants then request_stop ())
+          | exception
+              Unix.Unix_error
+                ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+              ())
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  cleanup ()
+  (* stop accepting, unblock parked readers, then drain the workers —
+     in-flight connections finish before the snapshot is taken *)
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Registry.shutdown_all registry;
+  Mo_par.Workers.shutdown workers;
+  (match cfg.persist with
+  | None -> ()
+  | Some path -> (
+      let entries = Engine.snapshot engine in
+      match Persist.save ~path entries with
+      | () ->
+          log "persisted %d cached decisions to %s" (List.length entries)
+            path
+      | exception e ->
+          log "cannot persist to %s: %s" path (Printexc.to_string e)));
+  (match cfg.transport with
+  | Uds path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> ());
+  close_pipe ();
+  restore_signals ()

@@ -1,14 +1,18 @@
 (* The mopcd service stack, transport layer by transport layer: frame
-   codec (roundtrip, truncation, garbage headers), LRU decision cache
-   (hit/miss/eviction accounting), and the request engine (canonical
-   cache keying, deadline admission with an injected clock, malformed
-   requests answered — never raised — and batch responses byte-identical
-   for every job count). *)
+   codec (roundtrip, truncation, garbage headers, nonblocking decode-
+   ahead), striped LRU decision cache (hit/miss/eviction accounting,
+   per-stripe isolation under concurrent workers, snapshot/restore),
+   disk persistence, and the request engine (canonical cache keying,
+   deadline admission with an injected clock, malformed requests
+   answered — never raised — batch and pipelined-group responses
+   byte-identical for every job count). The edge suite drives the real
+   daemon binary: kill -9 cycles, pipelining, TCP, warm restarts. *)
 
 module J = Mo_obs.Jsonb
 module Codec = Mo_service.Codec
 module Cache = Mo_service.Cache
 module Engine = Mo_service.Engine
+module Persist = Mo_service.Persist
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -83,6 +87,33 @@ let test_frame_max_len () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail "frame above max_len accepted")
 
+(* the decode-ahead primitive: partial frames never block and never
+   consume, buffered whole frames come out without touching the fd *)
+let test_frame_nonblock () =
+  with_pipe (fun rd wr ->
+      let r = Codec.reader rd in
+      check_bool "empty pipe: nothing" true
+        (Codec.read_frame_nonblock r = `Nothing);
+      let doc = J.Obj [ ("id", J.Int 1) ] in
+      let s = Codec.encode_frame doc in
+      write_all wr (String.sub s 0 3);
+      check_bool "partial frame: nothing (and no block)" true
+        (Codec.read_frame_nonblock r = `Nothing);
+      write_all wr (String.sub s 3 (String.length s - 3));
+      (* a second whole frame arrives in the same flight *)
+      write_all wr s;
+      (match Codec.read_frame_nonblock r with
+      | `Frame got ->
+          check_string "frame 1" (J.to_string doc) (J.to_string got)
+      | _ -> Alcotest.fail "complete frame not parsed");
+      (* the pipelined frame is already buffered: parsed with no read *)
+      (match Codec.read_frame_nonblock r with
+      | `Frame got ->
+          check_string "frame 2" (J.to_string doc) (J.to_string got)
+      | _ -> Alcotest.fail "buffered frame not parsed");
+      Unix.close wr;
+      check_bool "eof" true (Codec.read_frame_nonblock r = `Eof))
+
 (* ---- cache ---- *)
 
 let test_cache_lru () =
@@ -113,6 +144,164 @@ let test_cache_disabled () =
   check_bool "nothing stored" true (Cache.find c "a" = None);
   check_int "size" 0 (Cache.size c);
   check_int "misses" 1 (Cache.misses c)
+
+(* the digest → stripe map is Hashtbl.hash mod nstripes (deterministic
+   on strings), so a test can bin keys exactly as the cache will *)
+let stripe_of key nstripes = Hashtbl.hash key mod nstripes
+
+let test_cache_striping () =
+  let reg = Mo_obs.Metrics.create () in
+  let c = Cache.create ~capacity:64 ~stripes:4 ~registry:reg () in
+  check_int "nstripes" 4 (Cache.nstripes c);
+  let key i = Printf.sprintf "digest-%d" i in
+  for i = 0 to 39 do
+    Cache.put c (key i) i
+  done;
+  for i = 0 to 39 do
+    check_bool "resident" true (Cache.find c (key i) = Some i)
+  done;
+  check_int "size" 40 (Cache.size c);
+  check_int "hits" 40 (Cache.hits c);
+  check_int "misses" 0 (Cache.misses c);
+  let stats = Cache.stripe_stats c in
+  check_int "stripe stats per stripe" 4 (Array.length stats);
+  check_int "stripe sizes sum to size" 40
+    (Array.fold_left (fun a s -> a + s.Cache.size) 0 stats);
+  check_int "stripe hits sum to hits" 40
+    (Array.fold_left (fun a s -> a + s.Cache.hits) 0 stats);
+  check_bool "traffic spreads over stripes" true
+    (Array.fold_left (fun a s -> a + if s.Cache.size > 0 then 1 else 0) 0 stats
+    >= 2);
+  (* each stripe saw exactly its own keys' traffic *)
+  Array.iteri
+    (fun s st ->
+      let mine = ref 0 in
+      for i = 0 to 39 do
+        if stripe_of (key i) 4 = s then incr mine
+      done;
+      check_int (Printf.sprintf "stripe %d size" s) !mine st.Cache.size)
+    stats
+
+(* concurrent workers on distinct digests, binned so each worker's keys
+   live on its own stripe: per-stripe counters come out exact — the
+   evidence that distinct-digest traffic never serializes (or leaks)
+   across stripes. Deterministic for any job count, including the 4.14
+   inline fallback. *)
+let test_cache_striping_concurrent () =
+  let nstripes = 4 and keys_per = 8 and rounds = 10 in
+  let reg = Mo_obs.Metrics.create () in
+  let c =
+    Cache.create ~capacity:400 ~stripes:nstripes ~registry:reg ()
+  in
+  let by_stripe = Array.make nstripes [] in
+  let k = ref 0 in
+  while Array.exists (fun l -> List.length l < keys_per) by_stripe do
+    let key = Printf.sprintf "digest-%d" !k in
+    incr k;
+    let s = stripe_of key nstripes in
+    if List.length by_stripe.(s) < keys_per then
+      by_stripe.(s) <- key :: by_stripe.(s)
+  done;
+  let w = Mo_par.Workers.create ~jobs:nstripes in
+  Array.iter
+    (fun keys ->
+      Mo_par.Workers.submit w (fun () ->
+          for _ = 1 to rounds do
+            List.iter
+              (fun key ->
+                match Cache.find c key with
+                | None -> Cache.put c key 0
+                | Some _ -> ())
+              keys
+          done))
+    by_stripe;
+  Mo_par.Workers.shutdown w;
+  Array.iteri
+    (fun s st ->
+      check_int (Printf.sprintf "stripe %d ops" s) (keys_per * rounds)
+        (st.Cache.hits + st.Cache.misses);
+      check_int (Printf.sprintf "stripe %d misses" s) keys_per
+        st.Cache.misses;
+      check_int (Printf.sprintf "stripe %d size" s) keys_per st.Cache.size)
+    (Cache.stripe_stats c);
+  check_int "aggregate hits" (nstripes * keys_per * (rounds - 1))
+    (Cache.hits c);
+  check_int "aggregate misses" (nstripes * keys_per) (Cache.misses c);
+  check_int "aggregate size" (nstripes * keys_per) (Cache.size c)
+
+let test_cache_snapshot_restore () =
+  let c = Cache.create ~capacity:3 () in
+  Cache.put c "a" 1;
+  Cache.put c "b" 2;
+  Cache.put c "c" 3;
+  (* touch "a": recency is now a (MRU), c, b (LRU) *)
+  ignore (Cache.find c "a");
+  let snap = Cache.snapshot c in
+  check_int "snapshot covers the residents" 3 (List.length snap);
+  check_string "LRU first" "b" (fst (List.hd snap));
+  let c2 = Cache.create ~capacity:3 () in
+  check_int "restored" 3 (Cache.restore c2 snap);
+  check_int "loaded" 3 (Cache.loaded c2);
+  check_int "restore counts no hits" 0 (Cache.hits c2);
+  check_int "restore counts no misses" 0 (Cache.misses c2);
+  (* recency was reproduced: a new entry evicts "b", the old LRU *)
+  Cache.put c2 "d" 4;
+  check_bool "old LRU evicted" true (Cache.find c2 "b" = None);
+  check_bool "old MRU kept" true (Cache.find c2 "a" = Some 1);
+  check_bool "middle kept" true (Cache.find c2 "c" = Some 3);
+  (* restoring into a smaller cache keeps the most recent entries *)
+  let c3 = Cache.create ~capacity:2 () in
+  ignore (Cache.restore c3 snap);
+  check_int "overflow evicted" 1 (Cache.evictions c3);
+  check_bool "LRU dropped on overflow" true (Cache.find c3 "b" = None);
+  check_bool "MRU survives overflow" true (Cache.find c3 "a" = Some 1)
+
+(* ---- persistence ---- *)
+
+let test_persist_roundtrip () =
+  let path = Filename.temp_file "mo-persist" ".json" in
+  let entries =
+    [
+      ("c:abc", J.Obj [ ("verdict", J.String "implementable") ]);
+      ("w:def", J.Null);
+      ("i:a:b", J.List [ J.Int 1; J.Bool true ]);
+    ]
+  in
+  Persist.save ~path entries;
+  (match Persist.load ~path with
+  | Ok (Some got) ->
+      check_int "entries survive" 3 (List.length got);
+      List.iter2
+        (fun (k1, v1) (k2, v2) ->
+          check_string "key" k1 k2;
+          check_string "payload" (J.to_string v1) (J.to_string v2))
+        entries got
+  | Ok None -> Alcotest.fail "snapshot reported missing"
+  | Error e -> Alcotest.fail e);
+  (* saving over an existing snapshot replaces it atomically *)
+  Persist.save ~path [ ("only", J.Int 7) ];
+  (match Persist.load ~path with
+  | Ok (Some [ ("only", J.Int 7) ]) -> ()
+  | _ -> Alcotest.fail "second save did not replace the snapshot");
+  Sys.remove path;
+  check_bool "missing file is a cold start, not an error" true
+    (Persist.load ~path = Ok None);
+  (* corrupt and wrong-version snapshots are errors, never crashes *)
+  let write s =
+    let oc = open_out path in
+    output_string oc s;
+    close_out oc
+  in
+  write "{not json";
+  check_bool "corrupt snapshot is an error" true
+    (Result.is_error (Persist.load ~path));
+  write "{\"version\":99,\"entries\":[]}";
+  check_bool "wrong version is an error" true
+    (Result.is_error (Persist.load ~path));
+  write "{\"version\":1,\"entries\":[[1,2]]}";
+  check_bool "malformed entry is an error" true
+    (Result.is_error (Persist.load ~path));
+  Sys.remove path
 
 (* ---- engine ---- *)
 
@@ -246,6 +435,86 @@ let test_batch_determinism () =
   (* hit/miss accounting is part of the contract, not just payloads *)
   check_string "stats jobs 1 = jobs 2" (J.to_string s1) (J.to_string s2);
   check_string "stats jobs 1 = jobs 4" (J.to_string s1) (J.to_string s4)
+
+(* pipelined groups: responses byte-identical, slot for slot, to
+   serving the same stream one frame at a time — for every job count *)
+let test_pipelined_group () =
+  let jsons =
+    List.map Codec.request_to_json (batch_workload ())
+    (* an unparsable member gets an error response in its slot *)
+    @ [ J.Obj [ ("id", J.Int 99); ("op", J.String "frob") ] ]
+  in
+  let sequential =
+    let t = Engine.create () in
+    List.map (fun j -> fst (Engine.serve_json t j)) jsons
+  in
+  List.iter
+    (fun jobs ->
+      let t = Engine.create ~pool:(Mo_par.Pool.create ~jobs ()) () in
+      let resps, stop = Engine.serve_json_many t jsons in
+      check_bool "no shutdown in the group" false stop;
+      check_int "one response per request" (List.length jsons)
+        (List.length resps);
+      List.iteri
+        (fun i (a, b) ->
+          check_string
+            (Printf.sprintf "jobs %d slot %d" jobs i)
+            (J.to_string a) (J.to_string b))
+        (List.combine sequential resps))
+    [ 1; 2; 4 ];
+  (* a shutdown mid-group raises the stop flag but still answers every
+     member, in order *)
+  let t = Engine.create () in
+  let group =
+    [
+      envelope ~id:1 (Codec.Classify (pred causal));
+      envelope ~id:2 Codec.Shutdown;
+      envelope ~id:3 (Codec.Classify (pred fifo));
+    ]
+  in
+  let resps, stop = Engine.serve_many t group in
+  check_bool "shutdown mid-group stops the server" true stop;
+  check_int "everything answered" 3 (List.length resps);
+  List.iteri
+    (fun i resp ->
+      match Codec.result_of_response resp with
+      | Ok _ -> ()
+      | Error e -> Alcotest.fail (Printf.sprintf "slot %d: %s" i e))
+    resps
+
+(* snapshot → restore: the warm engine answers from the table, with the
+   byte-identical payload and no recompute *)
+let test_engine_warm_restart () =
+  let t1 = Engine.create () in
+  ignore (Engine.handle t1 (envelope (Codec.Classify (pred causal))));
+  ignore (Engine.handle t1 (envelope ~id:2 (Codec.Witness (pred fifo))));
+  let snap = Engine.snapshot t1 in
+  check_int "snapshot covers both decisions" 2 (List.length snap);
+  let t2 = Engine.create () in
+  check_int "restored" 2 (Engine.restore t2 snap);
+  let r1 =
+    ok_result
+      (Engine.handle t1 (envelope ~id:3 (Codec.Classify (pred causal))))
+  in
+  let r2 =
+    ok_result
+      (Engine.handle t2 (envelope ~id:3 (Codec.Classify (pred causal))))
+  in
+  check_string "warm payload byte-identical" (J.to_string r1)
+    (J.to_string r2);
+  check_int "first warm query is a hit" 1
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t2) "svc.cache_hits"));
+  check_int "nothing recomputed" 0
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t2) "svc.cache_misses"));
+  (* the stats payload says how warm this instance started *)
+  let stats = ok_result (Engine.handle t2 (envelope ~id:4 Codec.Stats)) in
+  match field "cache" stats with
+  | J.Obj fields ->
+      check_bool "stats reports loaded entries" true
+        (List.assoc "loaded" fields = J.Int 2)
+  | _ -> Alcotest.fail "stats payload lacks a cache object"
 
 let test_shutdown_semantics () =
   let t = Engine.create () in
@@ -465,9 +734,14 @@ let mopcd_exe =
     (Filename.dirname Sys.executable_name)
     (Filename.concat ".." (Filename.concat "bin" "mopcd.exe"))
 
-let spawn_daemon path =
+let spawn_daemon ?(jobs = 1) ?(extra = []) path =
   Unix.create_process mopcd_exe
-    [| "mopcd"; "--socket"; path; "--cache"; "16"; "--jobs"; "1" |]
+    (Array.of_list
+       ([
+          "mopcd"; "--socket"; path; "--cache"; "16"; "--jobs";
+          string_of_int jobs;
+        ]
+       @ extra))
     Unix.stdin Unix.stdout Unix.stderr
 
 (* generous retry budget: the daemon may still be starting up (or, in
@@ -493,6 +767,27 @@ let round_trip path =
       | Ok _ -> Alcotest.fail "stats payload shape"
       | Error e -> Alcotest.fail ("stats: " ^ e))
 
+(* shut a daemon down via the protocol and reap it; SIGKILL on the way
+   out if anything fails so a broken daemon cannot outlive its test *)
+let graceful_shutdown ?(addr = None) pid path =
+  let addr =
+    match addr with Some a -> a | None -> Client.Uds path
+  in
+  (match Client.connect_addr ~retry:smoke_retry addr with
+  | Error e ->
+      Unix.kill pid Sys.sigkill;
+      Alcotest.fail e
+  | Ok c ->
+      (match Client.call c Codec.Shutdown with
+      | Ok _ -> ()
+      | Error e ->
+          Unix.kill pid Sys.sigkill;
+          Alcotest.fail ("shutdown: " ^ e));
+      Client.close c);
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _, _ -> Alcotest.fail "daemon did not exit cleanly"
+
 let test_kill9_restart_smoke () =
   let path = tmp_sock "kill9" in
   rm path;
@@ -507,22 +802,247 @@ let test_kill9_restart_smoke () =
   let pid2 = spawn_daemon path in
   round_trip path;
   (* graceful shutdown via the protocol; the file must be cleaned up *)
-  (match Client.connect ~retry:smoke_retry ~socket_path:path () with
+  graceful_shutdown pid2 path;
+  check_bool "clean shutdown removes the socket file" false
+    (Sys.file_exists path)
+
+(* the fixed request mix every daemon-determinism check pipelines *)
+let pipeline_reqs () =
+  [
+    Codec.Classify (pred causal);
+    Codec.Witness (pred causal);
+    Codec.Classify (pred fifo);
+    Codec.Implies (pred fifo, pred causal);
+    Codec.Minimize [ pred fifo; pred causal ];
+    (* alpha-renaming of causal: must come back byte-identical *)
+    Codec.Classify (pred "a.s < b.s & b.r < a.r");
+  ]
+
+let render_results rs =
+  String.concat "\n"
+    (List.map
+       (function Ok j -> J.to_string j | Error e -> "error: " ^ e)
+       rs)
+
+(* pipelined responses must be byte-identical, slot for slot, to the
+   same requests issued one call at a time on the same connection *)
+let test_daemon_pipelining () =
+  let path = tmp_sock "pipeline" in
+  rm path;
+  let pid = spawn_daemon ~jobs:2 path in
+  (match Client.connect_addr ~retry:smoke_retry (Client.Uds path) with
+  | Error e ->
+      Unix.kill pid Sys.sigkill;
+      Alcotest.fail e
+  | Ok c ->
+      let piped = Client.call_pipelined c (pipeline_reqs ()) in
+      let sequential = List.map (Client.call c) (pipeline_reqs ()) in
+      check_int "one response per request"
+        (List.length (pipeline_reqs ()))
+        (List.length piped);
+      List.iteri
+        (fun i (p, s) ->
+          match (p, s) with
+          | Ok p, Ok s ->
+              check_string
+                (Printf.sprintf "slot %d" i)
+                (J.to_string s) (J.to_string p)
+          | Error e, _ ->
+              Alcotest.fail (Printf.sprintf "pipelined slot %d: %s" i e)
+          | _, Error e ->
+              Alcotest.fail (Printf.sprintf "sequential slot %d: %s" i e))
+        (List.combine piped sequential);
+      Client.close c);
+  graceful_shutdown pid path
+
+(* daemon determinism across the dispatch pool width: the same
+   pipelined stream answered byte-identically at --jobs 1, 2 and 4 *)
+let test_daemon_jobs_determinism () =
+  let run jobs =
+    let path = tmp_sock (Printf.sprintf "det%d" jobs) in
+    rm path;
+    let pid = spawn_daemon ~jobs path in
+    let out =
+      match Client.connect_addr ~retry:smoke_retry (Client.Uds path) with
+      | Error e ->
+          Unix.kill pid Sys.sigkill;
+          Alcotest.fail e
+      | Ok c ->
+          let rs = Client.call_pipelined c (pipeline_reqs ()) in
+          Client.close c;
+          render_results rs
+    in
+    graceful_shutdown pid path;
+    out
+  in
+  let r1 = run 1 in
+  check_string "jobs 1 = jobs 2" r1 (run 2);
+  check_string "jobs 1 = jobs 4" r1 (run 4)
+
+(* ---- TCP transport ---- *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+(* spawn a TCP daemon on an ephemeral port and learn the port from its
+   ready line: "mopcd: listening on 127.0.0.1:PORT (cache N, pid P)" *)
+let spawn_daemon_tcp () =
+  let rd, wr = Unix.pipe () in
+  let pid =
+    Unix.create_process mopcd_exe
+      [| "mopcd"; "--tcp"; "127.0.0.1:0"; "--cache"; "16"; "--jobs"; "2" |]
+      Unix.stdin wr Unix.stderr
+  in
+  Unix.close wr;
+  let buf = Buffer.create 80 in
+  let b = Bytes.create 1 in
+  let rec line () =
+    match Unix.read rd b 0 1 with
+    | 0 -> ()
+    | _ ->
+        if Bytes.get b 0 <> '\n' then begin
+          Buffer.add_char buf (Bytes.get b 0);
+          line ()
+        end
+  in
+  line ();
+  Unix.close rd;
+  let s = Buffer.contents buf in
+  match find_sub s " (" with
+  | None ->
+      Unix.kill pid Sys.sigkill;
+      Alcotest.fail ("no ready line from the TCP daemon: " ^ s)
+  | Some stop -> (
+      let addr = String.sub s 0 stop in
+      match String.rindex_opt addr ':' with
+      | None ->
+          Unix.kill pid Sys.sigkill;
+          Alcotest.fail ("ready line has no port: " ^ s)
+      | Some i -> (
+          match
+            int_of_string_opt
+              (String.sub addr (i + 1) (String.length addr - i - 1))
+          with
+          | Some port -> (pid, port)
+          | None ->
+              Unix.kill pid Sys.sigkill;
+              Alcotest.fail ("ready line has a bad port: " ^ s)))
+
+let test_tcp_round_trip () =
+  let pid, port = spawn_daemon_tcp () in
+  let addr = Client.Tcp ("127.0.0.1", port) in
+  (match Client.connect_addr ~retry:smoke_retry addr with
+  | Error e ->
+      Unix.kill pid Sys.sigkill;
+      Alcotest.fail ("connect: " ^ e)
+  | Ok c ->
+      (* sequential and pipelined round-trips over the same stream *)
+      (match Client.call c (Codec.Classify (pred causal)) with
+      | Ok payload ->
+          check_bool "classify over TCP" true
+            (field "implementable" payload = J.Bool true)
+      | Error e ->
+          Unix.kill pid Sys.sigkill;
+          Alcotest.fail ("classify: " ^ e));
+      let rs = Client.call_pipelined c (pipeline_reqs ()) in
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok _ -> ()
+          | Error e ->
+              Unix.kill pid Sys.sigkill;
+              Alcotest.fail (Printf.sprintf "pipelined TCP slot %d: %s" i e))
+        rs;
+      Client.close c);
+  (* kill -9 a TCP daemon: no corpse file to trip over — a fresh daemon
+     binds a fresh ephemeral port and serves immediately *)
+  Unix.kill pid Sys.sigkill;
+  ignore (Unix.waitpid [] pid);
+  let pid2, port2 = spawn_daemon_tcp () in
+  (match
+     Client.connect_addr ~retry:smoke_retry
+       (Client.Tcp ("127.0.0.1", port2))
+   with
+  | Error e ->
+      Unix.kill pid2 Sys.sigkill;
+      Alcotest.fail ("post-kill connect: " ^ e)
+  | Ok c ->
+      (match Client.call c Codec.Stats with
+      | Ok _ -> ()
+      | Error e ->
+          Unix.kill pid2 Sys.sigkill;
+          Alcotest.fail ("post-kill stats: " ^ e));
+      Client.close c);
+  graceful_shutdown ~addr:(Some (Client.Tcp ("127.0.0.1", port2))) pid2
+    "(tcp)"
+
+(* ---- warm restart via --persist ---- *)
+
+let cache_counter stats name =
+  match field "cache" stats with
+  | J.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some (J.Int n) -> n
+      | _ -> Alcotest.fail ("cache stats lack " ^ name))
+  | _ -> Alcotest.fail "stats payload lacks a cache object"
+
+let test_daemon_persist_warm_restart () =
+  let path = tmp_sock "persist" in
+  let snap = Filename.temp_file "mo-snap" ".json" in
+  Sys.remove snap;
+  rm path;
+  (* first life: compute one classification, shut down → snapshot *)
+  let pid1 = spawn_daemon ~extra:[ "--persist"; snap ] path in
+  (match Client.connect_addr ~retry:smoke_retry (Client.Uds path) with
+  | Error e ->
+      Unix.kill pid1 Sys.sigkill;
+      Alcotest.fail e
+  | Ok c ->
+      (match Client.call c (Codec.Classify (pred causal)) with
+      | Ok _ -> ()
+      | Error e ->
+          Unix.kill pid1 Sys.sigkill;
+          Alcotest.fail ("classify: " ^ e));
+      Client.close c);
+  graceful_shutdown pid1 path;
+  check_bool "shutdown wrote the snapshot" true (Sys.file_exists snap);
+  (* second life: starts warm, first repeat query is a cache hit *)
+  let pid2 = spawn_daemon ~extra:[ "--persist"; snap ] path in
+  (match Client.connect_addr ~retry:smoke_retry (Client.Uds path) with
   | Error e ->
       Unix.kill pid2 Sys.sigkill;
       Alcotest.fail e
   | Ok c ->
-      (match Client.call c Codec.Shutdown with
-      | Ok _ -> ()
+      let stats () =
+        match Client.call c Codec.Stats with
+        | Ok s -> s
+        | Error e ->
+            Unix.kill pid2 Sys.sigkill;
+            Alcotest.fail ("stats: " ^ e)
+      in
+      check_bool "restart loaded the table" true
+        (cache_counter (stats ()) "loaded" >= 1);
+      (* an alpha-renaming of the persisted predicate: same digest *)
+      (match Client.call c (Codec.Classify (pred "a.s < b.s & b.r < a.r")) with
+      | Ok payload ->
+          check_bool "warm answer is implementable" true
+            (field "implementable" payload = J.Bool true)
       | Error e ->
           Unix.kill pid2 Sys.sigkill;
-          Alcotest.fail ("shutdown: " ^ e));
+          Alcotest.fail ("warm classify: " ^ e));
+      let s = stats () in
+      check_bool "warm restart answered from the table" true
+        (cache_counter s "hits" >= 1);
+      check_int "nothing recomputed" 0 (cache_counter s "misses");
       Client.close c);
-  (match Unix.waitpid [] pid2 with
-  | _, Unix.WEXITED 0 -> ()
-  | _, _ -> Alcotest.fail "restarted daemon did not exit cleanly");
-  check_bool "clean shutdown removes the socket file" false
-    (Sys.file_exists path)
+  graceful_shutdown pid2 path;
+  Sys.remove snap
 
 let test_request_json_roundtrip () =
   let reqs =
@@ -569,6 +1089,8 @@ let () =
           Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
           Alcotest.test_case "malformed frames" `Quick test_frame_malformed;
           Alcotest.test_case "max_len" `Quick test_frame_max_len;
+          Alcotest.test_case "nonblocking decode-ahead" `Quick
+            test_frame_nonblock;
           Alcotest.test_case "request json roundtrip" `Quick
             test_request_json_roundtrip;
         ] );
@@ -576,6 +1098,16 @@ let () =
         [
           Alcotest.test_case "lru accounting" `Quick test_cache_lru;
           Alcotest.test_case "capacity 0" `Quick test_cache_disabled;
+          Alcotest.test_case "striping" `Quick test_cache_striping;
+          Alcotest.test_case "striping under concurrency" `Quick
+            test_cache_striping_concurrent;
+          Alcotest.test_case "snapshot and restore" `Quick
+            test_cache_snapshot_restore;
+        ] );
+      ( "persist",
+        [
+          Alcotest.test_case "snapshot file roundtrip" `Quick
+            test_persist_roundtrip;
         ] );
       ( "engine",
         [
@@ -589,6 +1121,8 @@ let () =
             test_shutdown_semantics;
           Alcotest.test_case "payload shapes" `Quick test_payload_shapes;
           Alcotest.test_case "monitor op" `Quick test_monitor_op;
+          Alcotest.test_case "pipelined groups" `Quick test_pipelined_group;
+          Alcotest.test_case "warm restart" `Quick test_engine_warm_restart;
         ] );
       ( "edge",
         [
@@ -598,5 +1132,12 @@ let () =
             test_remove_stale_socket;
           Alcotest.test_case "kill -9 then restart" `Quick
             test_kill9_restart_smoke;
+          Alcotest.test_case "daemon pipelining" `Quick
+            test_daemon_pipelining;
+          Alcotest.test_case "jobs determinism" `Quick
+            test_daemon_jobs_determinism;
+          Alcotest.test_case "tcp transport" `Quick test_tcp_round_trip;
+          Alcotest.test_case "persist warm restart" `Quick
+            test_daemon_persist_warm_restart;
         ] );
     ]
