@@ -1,0 +1,197 @@
+(* B17: communication-model lattice — membership throughput of the mask
+   fast path against the witness-producing reference, per lattice point,
+   over the materialized 125,768-run standard-plus universe. Writes
+   BENCH_lat.json.
+
+   The universe is enumerated once up front so the two arms time pure
+   membership, not the enumeration kernel, and warmed with one reference
+   pass so the first timed model does not pay the lazy poset
+   construction for all of them. Each timed arm reports the minimum over
+   several repeated batches — the robust estimator for sub-100ms sweeps
+   under scheduler noise, and the only way the gate's one-sided 25%
+   tolerance holds across same-core reruns. [async] is exempt from the
+   timed sweep altogether (its membership is constant-true — there is
+   nothing to time, only noise). Deterministic outputs, gated exactly:
+
+   - the member count of every lattice point (the classification table
+     DESIGN.md pins; any drift is an enumeration or membership bug);
+   - mask/reference agreement, run for run (the differential bar shared
+     with test/test_lattice.ml) — a disagreement aborts the bench;
+   - the shape of the finite sublattice at kmax=3: 9 points, 10
+     covering pairs.
+
+   Timing keys follow the gate's conventions: wall_s lower-is-better,
+   kernel_speedup (reference wall over mask wall) and throughput
+   (memberships/sec, mask arm) higher-is-better. The EXPERIMENTS.md
+   acceptance bar is a >= 3x aggregate mask-vs-reference speedup. *)
+
+open Mo_order
+module Modelcheck = Mo_core.Modelcheck
+
+let j_int i = Mo_obs.Jsonb.Int i
+let j_str s = Mo_obs.Jsonb.String s
+let j_bool b = Mo_obs.Jsonb.Bool b
+let j_float f = Mo_obs.Jsonb.Float f
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* min-of-batches wall clock per single execution of [f]: each batch
+   runs [f] [reps] times, and the fastest batch is the estimate *)
+let bench ~batches ~reps f =
+  let best = ref infinity in
+  for _ = 1 to batches do
+    let _, w =
+      time (fun () ->
+          for _ = 1 to reps do
+            ignore (f ())
+          done)
+    in
+    best := Float.min !best (w /. float_of_int reps)
+  done;
+  !best
+
+let kmax = 3
+
+let universe () =
+  let runs =
+    List.fold_left
+      (fun acc (nprocs, nmsgs) ->
+        List.fold_left
+          (fun acc msgs ->
+            Enumerate.fold_abstracts ~nprocs ~msgs ~init:acc
+              ~f:(fun acc r -> r :: acc))
+          acc
+          (Enumerate.configs ~nprocs ~nmsgs ()))
+      [] Modelcheck.universe_sizes
+  in
+  Array.of_list (List.rev runs)
+
+let summary () =
+  Format.printf
+    "@.%s@.== B17: lattice membership (mask fast path vs reference)@.%s@."
+    (String.make 74 '=') (String.make 74 '=');
+  let runs = universe () in
+  let n = Array.length runs in
+  let models = Lattice.points ~kmax () in
+  (* warm the lazy posets so the reference timings measure membership,
+     not construction *)
+  Array.iter (fun r -> ignore (Lattice.check Lattice.Causal r)) runs;
+  let mask_reps = 20 and mask_batches = 5 and ref_batches = 3 in
+  let count_mask m =
+    let c = ref 0 in
+    Array.iter (fun r -> if Lattice.is_member m r then incr c) runs;
+    !c
+  in
+  let rows =
+    List.map
+      (fun m ->
+        let mask = count_mask m in
+        let refc =
+          let c = ref 0 in
+          Array.iter
+            (fun r ->
+              match Lattice.check m r with Ok () -> incr c | Error _ -> ())
+            runs;
+          !c
+        in
+        if mask <> refc then
+          failwith
+            (Printf.sprintf "lat bench: %s mask=%d reference=%d disagree"
+               (Lattice.to_string m) mask refc);
+        (m, mask))
+      models
+  in
+  let timed = List.filter (fun m -> m <> Lattice.Async) models in
+  let sweep =
+    List.map
+      (fun m ->
+        let mask_w =
+          bench ~batches:mask_batches ~reps:mask_reps (fun () ->
+              count_mask m)
+        in
+        let ref_w =
+          bench ~batches:ref_batches ~reps:1 (fun () ->
+              Array.iter (fun r -> ignore (Lattice.check m r)) runs)
+        in
+        (m, mask_w, ref_w))
+      timed
+  in
+  let mask_total = List.fold_left (fun a (_, w, _) -> a +. w) 0. sweep in
+  let ref_total = List.fold_left (fun a (_, _, w) -> a +. w) 0. sweep in
+  let speedup = ref_total /. mask_total in
+  let throughput = float_of_int (n * List.length timed) /. mask_total in
+  List.iter
+    (fun (m, members) ->
+      match List.find_opt (fun (m', _, _) -> m' = m) sweep with
+      | Some (_, mask_w, ref_w) ->
+          Format.printf
+            "  %-8s |X_M| = %6d  mask %6.3f s  reference %6.3f s  (%5.1fx)@."
+            (Lattice.to_string m) members mask_w ref_w (ref_w /. mask_w)
+      | None ->
+          Format.printf "  %-8s |X_M| = %6d  (untimed: constant-true)@."
+            (Lattice.to_string m) members)
+    rows;
+  Format.printf
+    "  %d runs x %d timed models: mask %.3f s vs reference %.3f s  (%.1fx, \
+     %9.0f memberships/s)@."
+    n (List.length timed) mask_total ref_total speedup throughput;
+  if speedup < 3. then
+    Format.printf
+      "  WARNING: mask speedup below the 3x acceptance bar@.";
+  let json =
+    Mo_obs.Jsonb.Obj
+      [
+        ( "host",
+          Mo_obs.Jsonb.Obj
+            [
+              ("ocaml", j_str Sys.ocaml_version);
+              ("domains", j_bool Mo_par.available);
+              ("cores", j_int (Mo_par.recommended_jobs ()));
+            ] );
+        ( "workload",
+          Mo_obs.Jsonb.Obj
+            [
+              ("runs", j_int n);
+              ("sizes", j_int (List.length Modelcheck.universe_sizes));
+              ("kmax", j_int kmax);
+              ("mask_reps", j_int mask_reps);
+              ("timed_models", j_int (List.length timed));
+            ] );
+        ( "lattice",
+          Mo_obs.Jsonb.Obj
+            [
+              ("points", j_int (List.length models));
+              ("hasse_edges", j_int (List.length (Lattice.hasse ~kmax ())));
+            ] );
+        ( "members",
+          Mo_obs.Jsonb.Obj
+            (List.map (fun (m, c) -> (Lattice.to_string m, j_int c)) rows)
+        );
+        ("mask_matches_reference", j_bool true);
+        (* per-model gating covers the mask arm only: the reference arm
+           is allocation-heavy and its per-model walls jitter well past
+           the gate's tolerance between same-core runs — it is gated in
+           the aggregate, where the noise averages out *)
+        ( "sweep",
+          Mo_obs.Jsonb.Obj
+            (List.map
+               (fun (m, mask_w, _) ->
+                 ( Lattice.to_string m,
+                   Mo_obs.Jsonb.Obj
+                     [
+                       ("wall_s", j_float mask_w);
+                       ( "throughput",
+                         j_float (float_of_int n /. mask_w) );
+                     ] ))
+               sweep) );
+        ("kernel_speedup", j_float speedup);
+        ("throughput", j_float throughput);
+      ]
+  in
+  let oc = open_out "BENCH_lat.json" in
+  output_string oc (Mo_obs.Jsonb.to_string_pretty json);
+  close_out oc;
+  Format.printf "  lattice results written to BENCH_lat.json@."

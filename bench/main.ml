@@ -1,8 +1,8 @@
 (* The experiment harness: regenerates every table and figure of the paper
    (see DESIGN.md's experiment index), then runs the quantitative
    Bechamel benchmarks. `dune exec bench/main.exe` prints everything;
-   pass `--repro-only`, `--perf-only`, `--par-only` or `--mon-only` to
-   run a slice.
+   pass `--repro-only`, `--perf-only`, `--par-only`, `--mon-only` or
+   `--lat-only` to run a slice.
    `--jobs 1,2,4` sets the B12 sweep points; `--deep` extends its
    universe workload to 4 processes / 4 messages; `--soak` grows the
    B15 monitor stream to a million keys. *)
@@ -10,12 +10,14 @@
 let () =
   let args = Array.to_list Sys.argv in
   let mon_only = List.mem "--mon-only" args in
+  let lat_only = List.mem "--lat-only" args in
+  let solo = mon_only || lat_only in
   let repro =
-    (not mon_only)
+    (not solo)
     && not (List.mem "--perf-only" args || List.mem "--par-only" args)
   in
   let perf =
-    (not mon_only)
+    (not solo)
     && not (List.mem "--repro-only" args || List.mem "--par-only" args)
   in
   let deep = List.mem "--deep" args in
@@ -51,12 +53,16 @@ let () =
        function of the seeded stream (writes BENCH_svc.json) *)
     Svc.summary ()
   end;
+  (* B17: lattice membership, mask vs reference; the per-model member
+     counts are exact artifacts (writes BENCH_lat.json) *)
+  if repro || lat_only then Lat.summary ();
   (* B12, B14 and B15 run in every mode: their deterministic outputs
      belong to the reproduction artifacts and their timings to the perf
      sweep. `--soak` grows B15 to the nightly million-key stream. *)
-  if not mon_only then begin
+  if not solo then begin
     Par_bench.summary ~deep ~jobs_list ();
     Core_bench.summary ~deep ~jobs_list ()
   end;
-  Mon.summary ~soak:(List.mem "--soak" args) ~jobs_list ();
+  if not lat_only then
+    Mon.summary ~soak:(List.mem "--soak" args) ~jobs_list ();
   if perf then Perf.run_all ()

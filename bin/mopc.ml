@@ -24,13 +24,23 @@ let pred_arg =
 
 (* ---- classify ---- *)
 
-let classify_run explain certificate json input =
+let classify_run explain certificate json lattice input =
   match parse_pred input with
   | Error e ->
       prerr_endline e;
       1
   | Ok pred ->
-      if json then begin
+      if lattice then begin
+        (if json then
+           print_string
+             (Mo_obs.Jsonb.to_string_pretty
+                (Mo_service.Codec.lattice_payload pred))
+         else
+           Format.printf "%a@." Modelcheck.pp_placement
+             (Modelcheck.placement ~sizes:Modelcheck.universe_sizes pred));
+        0
+      end
+      else if json then begin
         (* the same payload the mopcd service serves: one builder, two
            surfaces, no drift *)
         print_string
@@ -80,13 +90,22 @@ let json_flag =
           "machine-readable output (the canonical predicate, its digest \
            and the verdict) — the exact payload the mopcd service serves")
 
+let lattice_flag =
+  Arg.(
+    value & flag
+    & info [ "lattice" ]
+        ~doc:
+          "place the specification's run set against the rendez-vous → \
+           asynchronous communication-model lattice instead (same output \
+           as $(b,mopc lattice))")
+
 let classify_cmd =
   let doc = "classify a forbidden predicate (Theorems 2-4)" in
   Cmd.v
     (Cmd.info "classify" ~doc)
     T.(
       const classify_run $ explain_flag $ certificate_flag $ json_flag
-      $ pred_arg)
+      $ lattice_flag $ pred_arg)
 
 (* ---- graph ---- *)
 
@@ -197,7 +216,7 @@ let show_run name =
       1
   | Some e ->
       Format.printf "%s — %s@.source: %s@.@." e.name e.description e.source;
-      classify_run false false false (Forbidden.to_string e.pred)
+      classify_run false false false false (Forbidden.to_string e.pred)
 
 let show_cmd =
   let doc = "show one catalog entry in detail" in
@@ -881,6 +900,53 @@ let universe_cmd =
   in
   Cmd.v (Cmd.info "universe" ~doc) T.(const universe_run $ deep $ jobs_arg)
 
+(* ---- lattice: place a spec against the communication-model lattice ---- *)
+
+let lattice_run json kmax jobs input =
+  match parse_pred input with
+  | Error e ->
+      prerr_endline e;
+      1
+  | Ok pred ->
+      if kmax < 1 then begin
+        Format.eprintf "--kmax must be >= 1@.";
+        1
+      end
+      else if json then begin
+        (* the exact payload the mopcd [lattice] op serves: one builder,
+           two surfaces, no drift *)
+        print_string
+          (Mo_obs.Jsonb.to_string_pretty
+             (Mo_service.Codec.lattice_payload pred));
+        0
+      end
+      else begin
+        let pool = make_pool jobs in
+        Format.printf "%a@." Modelcheck.pp_placement
+          (Modelcheck.placement ~pool ~kmax
+             ~sizes:Modelcheck.universe_sizes pred);
+        0
+      end
+
+let lattice_cmd =
+  let doc =
+    "place a specification against every point of the rendez-vous → \
+     asynchronous communication-model lattice (RSC, k-synchronous, \
+     one-queue FIFO, causal, mailbox/inverse-mailbox/channel FIFO, \
+     async) over the enumerated universe"
+  in
+  let kmax =
+    Arg.(
+      value
+      & opt int 3
+      & info [ "kmax" ] ~docv:"K"
+          ~doc:
+            "largest k-synchronous point swept (human output only; \
+             $(b,--json) is the fixed service payload, kmax 3)")
+  in
+  Cmd.v (Cmd.info "lattice" ~doc)
+    T.(const lattice_run $ json_flag $ kmax $ jobs_arg $ pred_arg)
+
 (* ---- explore: exhaustive schedule exploration of one protocol ---- *)
 
 let explore_run proto wname nprocs nmsgs seed max_execs jobs =
@@ -967,6 +1033,7 @@ let query_request op args =
   match (op, args) with
   | "classify", [ p ] -> Result.map (fun p -> Classify p) (pred p)
   | "witness", [ p ] -> Result.map (fun p -> Witness p) (pred p)
+  | "lattice", [ p ] -> Result.map (fun p -> Lattice p) (pred p)
   | "implies", [ a; b ] ->
       Result.bind (pred a) (fun a ->
           Result.map (fun b -> Implies (a, b)) (pred b))
@@ -984,7 +1051,8 @@ let query_request op args =
           match read_trace_text path with
           | Ok trace -> Ok (Monitor (p, trace, None))
           | Error e -> Error e)
-  | "classify", _ | "witness", _ -> Error (op ^ " takes one PREDICATE")
+  | "classify", _ | "witness", _ | "lattice", _ ->
+      Error (op ^ " takes one PREDICATE")
   | "implies", _ -> Error "implies takes two predicates"
   | "minimize", _ -> Error "minimize takes at least one predicate"
   | "monitor", _ -> Error "monitor takes a PREDICATE and a TRACE file"
@@ -993,7 +1061,7 @@ let query_request op args =
       Error
         (Printf.sprintf
            "unknown op %S (classify | implies | minimize | witness | \
-            monitor | stats | shutdown)"
+            lattice | monitor | stats | shutdown)"
            op)
 
 let parse_host_port spec =
@@ -1039,7 +1107,8 @@ let query_run socket tcp deadline_ms op args =
 let query_cmd =
   let doc =
     "query a running mopcd service (classify | implies | minimize | \
-     witness | monitor | stats | shutdown) and print the JSON result"
+     witness | lattice | monitor | stats | shutdown) and print the JSON \
+     result"
   in
   let socket =
     Arg.(
@@ -1088,6 +1157,7 @@ let main_cmd =
       batch_cmd;
       monitor_cmd;
       universe_cmd;
+      lattice_cmd;
       explore_cmd;
       query_cmd;
     ]

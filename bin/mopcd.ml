@@ -25,7 +25,7 @@ let parse_host_port spec =
       | _ -> Error (Printf.sprintf "bad port %S" port))
 
 let serve socket tcp cache_capacity stripes jobs recv_timeout max_requests
-    persist verbose =
+    persist persist_interval verbose =
   if jobs < 0 then begin
     Format.eprintf "--jobs must be >= 0@.";
     exit 1
@@ -42,6 +42,14 @@ let serve socket tcp cache_capacity stripes jobs recv_timeout max_requests
     Format.eprintf "--max-requests must be >= 1@.";
     exit 1
   end;
+  (match persist_interval with
+  | Some s when s <= 0. ->
+      Format.eprintf "--persist-interval must be > 0@.";
+      exit 1
+  | Some _ when persist = None ->
+      Format.eprintf "--persist-interval requires --persist@.";
+      exit 1
+  | _ -> ());
   let transport =
     match tcp with
     | None -> Mo_service.Server.Uds socket
@@ -62,6 +70,7 @@ let serve socket tcp cache_capacity stripes jobs recv_timeout max_requests
       recv_timeout_s = recv_timeout;
       max_conn_requests = max_requests;
       persist;
+      persist_interval_s = persist_interval;
     }
   in
   let on_ready addr =
@@ -161,6 +170,16 @@ let persist_arg =
            (atomic rename) and reload it at startup — a restarted daemon \
            answers repeat queries warm")
 
+let persist_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "persist-interval" ] ~docv:"SECS"
+        ~doc:
+          "with $(b,--persist), additionally snapshot the decision table \
+           every SECS seconds from the accept loop, so even a kill-9'd \
+           daemon restarts warm from the last interval")
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"log to stderr")
 
@@ -174,6 +193,6 @@ let main_cmd =
     T.(
       const serve $ socket_arg $ tcp_arg $ cache_arg $ stripes_arg
       $ jobs_arg $ timeout_arg $ max_requests_arg $ persist_arg
-      $ verbose_arg)
+      $ persist_interval_arg $ verbose_arg)
 
 let () = exit (Cmd.eval' main_cmd)

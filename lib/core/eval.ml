@@ -492,4 +492,66 @@ module Masked = struct
         res := Some (Array.copy a);
         false);
     !res
+
+  let rec self_ok_wide rel n c = function
+    | [] -> true
+    | (cj : Term.conjunct) :: rest ->
+        let k = sel_index (fwd_sel cj.before.point cj.after.point) in
+        Bitset.mem rel.((k * n) + c) c && self_ok_wide rel n c rest
+
+  (* the wide-window twin of [run_plan]: the same staged search over the
+     Bitset rows of a wide monitor (cf. [run_plan_bitsets]). Scratch is
+     allocated per call — the wide path trades the packed loop's
+     allocation-free discipline for width *)
+  let run_plan_wide u plan ~n ~live ~rel ~src ~dst ~color emit =
+    let m = u.c.m in
+    if m = 0 then ignore (emit u.assignment)
+    else if not (Bitset.is_empty live) then begin
+      let assignment = u.assignment in
+      let scratch = Array.init m (fun _ -> Bitset.create n) in
+      let used = Bitset.create n in
+      let rec go i =
+        if i = m then begin
+          if not (emit assignment) then raise_notrace Done
+        end
+        else begin
+          let st = plan.(i) in
+          let cand = scratch.(i) in
+          Bitset.copy_into ~dst:cand live;
+          if u.distinct then Bitset.diff_into ~dst:cand used;
+          Array.iter
+            (fun (w, s) ->
+              Bitset.inter_into ~dst:cand
+                rel.((sel_index s * n) + assignment.(w)))
+            st.rows;
+          Bitset.iter
+            (fun c ->
+              assignment.(st.var) <- c;
+              if
+                self_ok_wide rel n c st.self_conj
+                && guards_ok ~src ~dst ~color assignment st.sguards
+              then begin
+                if u.distinct then Bitset.add used c;
+                go (i + 1);
+                if u.distinct then Bitset.remove used c
+              end)
+            cand
+        end
+      in
+      try go 0 with Done -> ()
+    end
+
+  let holds_wide u ~n ~live ~rel ~src ~dst ~color =
+    let found = ref false in
+    run_plan_wide u u.c.fast ~n ~live ~rel ~src ~dst ~color (fun _ ->
+        found := true;
+        false);
+    !found
+
+  let find_wide u ~n ~live ~rel ~src ~dst ~color =
+    let res = ref None in
+    run_plan_wide u u.c.fast ~n ~live ~rel ~src ~dst ~color (fun a ->
+        res := Some (Array.copy a);
+        false);
+    !res
 end

@@ -112,6 +112,30 @@ module Masked : sig
     int array option
   (** The first satisfying assignment (variable index → slot index) in
       the fast plan's order, if any. *)
+
+  val holds_wide :
+    matcher ->
+    n:int ->
+    live:Mo_order.Bitset.t ->
+    rel:Mo_order.Bitset.t array ->
+    src:int array ->
+    dst:int array ->
+    color:int array ->
+    bool
+  (** {!holds} over the Bitset rows of a {e wide} monitor
+      ({!Mo_order.Monitor.wide_rel}): same plan, same candidate
+      filtering, set operations instead of word ops. Allocates scratch
+      per call. *)
+
+  val find_wide :
+    matcher ->
+    n:int ->
+    live:Mo_order.Bitset.t ->
+    rel:Mo_order.Bitset.t array ->
+    src:int array ->
+    dst:int array ->
+    color:int array ->
+    int array option
 end
 
 (** {1 Reference interpreter}

@@ -17,6 +17,8 @@ let standard_sizes = [ (2, 2); (3, 2); (2, 3); (3, 3) ]
 
 let deep_sizes = standard_sizes @ [ (4, 2); (4, 3); (3, 4); (4, 4) ]
 
+let universe_sizes = standard_sizes @ [ (4, 2); (4, 3); (3, 4) ]
+
 (* one pass accumulator: counts and the pointwise lemma identities, all
    combined with sums and conjunctions — commutative and associative, so
    the sharded reduction is order-insensitive (and the pool merges in
@@ -219,6 +221,151 @@ let count ?pool ~sizes () =
             sync = acc.sync + c.sync })
         { runs = 0; causal = 0; sync = 0 }
         sizes)
+
+(* ------------------------------------------------------------------ *)
+(* Placement against the communication-model lattice.                  *)
+(* ------------------------------------------------------------------ *)
+
+type place = {
+  pl_model : Lattice.model;
+  pl_members : int;
+  pl_inter : int;
+  pl_model_in_spec : bool;
+  pl_spec_in_model : bool;
+}
+
+type placement = {
+  p_runs : int;
+  p_spec : int;
+  p_places : place list;
+  p_sufficient : Lattice.model list;
+  p_guarantees : Lattice.model list;
+}
+
+type pacc = {
+  pa_runs : int;
+  pa_spec : int;
+  pa_members : int array;
+  pa_inter : int array;
+  pa_cont : bool array; (* X_M ⊆ X_B so far *)
+  pa_contby : bool array; (* X_B ⊆ X_M so far *)
+}
+
+let placement ?pool ?(kmax = 3) ~sizes pred =
+  let models = Array.of_list (Lattice.points ~kmax ()) in
+  let nm = Array.length models in
+  (* compiled before the worker shards run, as [verify] *)
+  let plan = Eval.compile pred in
+  let init =
+    {
+      pa_runs = 0;
+      pa_spec = 0;
+      pa_members = Array.make nm 0;
+      pa_inter = Array.make nm 0;
+      pa_cont = Array.make nm true;
+      pa_contby = Array.make nm true;
+    }
+  in
+  (* per-run copies keep the shard accumulators disjoint, as the
+     monitor pass; everything reduces by sums and conjunctions, so the
+     verdict is identical at every job count *)
+  let step acc r =
+    let sat = Eval.satisfies_c plan r in
+    let members = Array.copy acc.pa_members
+    and inter = Array.copy acc.pa_inter
+    and cont = Array.copy acc.pa_cont
+    and contby = Array.copy acc.pa_contby in
+    for i = 0 to nm - 1 do
+      let m = Lattice.is_member models.(i) r in
+      if m then begin
+        members.(i) <- members.(i) + 1;
+        if sat then inter.(i) <- inter.(i) + 1 else cont.(i) <- false
+      end
+      else if sat then contby.(i) <- false
+    done;
+    {
+      pa_runs = acc.pa_runs + 1;
+      pa_spec = (acc.pa_spec + if sat then 1 else 0);
+      pa_members = members;
+      pa_inter = inter;
+      pa_cont = cont;
+      pa_contby = contby;
+    }
+  in
+  let merge x y =
+    {
+      pa_runs = x.pa_runs + y.pa_runs;
+      pa_spec = x.pa_spec + y.pa_spec;
+      pa_members =
+        Array.init nm (fun i -> x.pa_members.(i) + y.pa_members.(i));
+      pa_inter = Array.init nm (fun i -> x.pa_inter.(i) + y.pa_inter.(i));
+      pa_cont = Array.init nm (fun i -> x.pa_cont.(i) && y.pa_cont.(i));
+      pa_contby = Array.init nm (fun i -> x.pa_contby.(i) && y.pa_contby.(i));
+    }
+  in
+  with_pool pool (fun pool ->
+      let total =
+        List.fold_left
+          (fun acc (nprocs, nmsgs) ->
+            merge acc
+              (Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs ~init
+                 ~f:step ~merge ()))
+          init sizes
+      in
+      let places =
+        List.init nm (fun i ->
+            {
+              pl_model = models.(i);
+              pl_members = total.pa_members.(i);
+              pl_inter = total.pa_inter.(i);
+              pl_model_in_spec = total.pa_cont.(i);
+              pl_spec_in_model = total.pa_contby.(i);
+            })
+      in
+      let chosen keep extreme =
+        let set =
+          List.filteri (fun i _ -> keep i) (Array.to_list models)
+        in
+        List.filter
+          (fun m ->
+            not
+              (List.exists
+                 (fun m' -> (not (Lattice.equal m m')) && extreme m m')
+                 set))
+          set
+      in
+      {
+        p_runs = total.pa_runs;
+        p_spec = total.pa_spec;
+        p_places = places;
+        (* strongest guarantee: maximal models whose runs all satisfy
+           the spec *)
+        p_sufficient =
+          chosen (fun i -> total.pa_cont.(i)) (fun m m' -> Lattice.leq m m');
+        (* weakest model already implied by the spec: minimal models
+           containing every satisfying run *)
+        p_guarantees =
+          chosen
+            (fun i -> total.pa_contby.(i))
+            (fun m m' -> Lattice.leq m' m);
+      })
+
+let pp_placement ppf p =
+  Format.fprintf ppf "universe: %d runs, |X_B| = %d@." p.p_runs p.p_spec;
+  List.iter
+    (fun pl ->
+      Format.fprintf ppf
+        "  %-8s |X_M| = %6d  |X_M ∩ X_B| = %6d  M ⊆ B:%s  B ⊆ M:%s@."
+        (Lattice.to_string pl.pl_model)
+        pl.pl_members pl.pl_inter
+        (if pl.pl_model_in_spec then "yes" else "no ")
+        (if pl.pl_spec_in_model then "yes" else "no "))
+    p.p_places;
+  let names ms = String.concat ", " (List.map Lattice.to_string ms) in
+  Format.fprintf ppf "  strongest models inside X_B: %s@."
+    (match p.p_sufficient with [] -> "(none)" | ms -> names ms);
+  Format.fprintf ppf "  weakest models containing X_B: %s@."
+    (names p.p_guarantees)
 
 let pp_verdict ppf v =
   Format.fprintf ppf

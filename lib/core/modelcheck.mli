@@ -32,6 +32,12 @@ val deep_sizes : (int * int) list
     (4, 4) — the [--deep] tier, only practical under the parallel
     engine. *)
 
+val universe_sizes : (int * int) list
+(** {!standard_sizes} plus (4,2), (4,3) and (3,4) — the 125,768-run
+    tier used by the lattice and monitor differential suites: large
+    enough to separate every lattice point, small enough for tier-1
+    tests. *)
+
 val verify : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> verdict
 (** Enumerate every size and check each run against all four identities
     in one pass. [pool] defaults to a fresh pool with
@@ -66,6 +72,49 @@ val verify_monitor :
     hash is divisible by it — the nightly deep-tier mode, where the
     offline counts stay exact but only a deterministic ~[1/sample] of
     the universe is monitored. *)
+
+(** {1 Lattice placement}
+
+    Locating a specification's run set against every point of the
+    communication-model lattice ({!Mo_order.Lattice}): for each model
+    [M], the cardinalities [|X_M|] and [|X_M ∩ X_B|] over the
+    enumerated universe plus the two empirical inclusions [X_M ⊆ X_B]
+    (running under [M] suffices for the spec) and [X_B ⊆ X_M] (the spec
+    already forces [M]). All reductions are sums and conjunctions, so
+    the verdict is byte-identical at every job count. *)
+
+type place = {
+  pl_model : Mo_order.Lattice.model;
+  pl_members : int;  (** [|X_M|] over the checked universe *)
+  pl_inter : int;  (** [|X_M ∩ X_B|] *)
+  pl_model_in_spec : bool;  (** [X_M ⊆ X_B] pointwise *)
+  pl_spec_in_model : bool;  (** [X_B ⊆ X_M] pointwise *)
+}
+
+type placement = {
+  p_runs : int;
+  p_spec : int;  (** [|X_B|] *)
+  p_places : place list;  (** one per {!Mo_order.Lattice.points}, in order *)
+  p_sufficient : Mo_order.Lattice.model list;
+      (** the {e maximal} models with [X_M ⊆ X_B]: the strongest
+          communication guarantees under which the spec always holds
+          (empty when even RSC violates it). *)
+  p_guarantees : Mo_order.Lattice.model list;
+      (** the {e minimal} models with [X_B ⊆ X_M]: the weakest lattice
+          points the spec forces (never empty — [Async] is the top). *)
+}
+
+val placement :
+  ?pool:Mo_par.Pool.t ->
+  ?kmax:int ->
+  sizes:(int * int) list ->
+  Forbidden.t ->
+  placement
+(** One enumeration pass over [sizes], evaluating the compiled
+    predicate and all lattice memberships per run. [kmax] (default 3)
+    bounds the k-synchronous points swept. *)
+
+val pp_placement : Format.formatter -> placement -> unit
 
 val count : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> counts
 (** Just the limit-set cardinalities (skips the predicate evaluations);

@@ -38,8 +38,10 @@ val create :
 val exact : ?distinct:bool -> Eval.compiled -> Mo_order.Run.t -> t
 (** A monitor sized for [run] so that no slot is ever retired: verdicts
     are exactly the offline ones on every linear extension of [run].
+    Runs beyond {!Mo_order.Monitor.max_window} messages get the wide
+    (Bitset) representation.
     @raise Invalid_argument when the run exceeds
-    {!Mo_order.Monitor.max_window} messages. *)
+    {!Mo_order.Monitor.max_wide_window} messages. *)
 
 val send :
   t -> msg:int -> src:int -> dst:int -> ?color:int -> unit -> verdict option

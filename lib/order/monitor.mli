@@ -21,9 +21,12 @@
     rows are completed in place. See DESIGN.md §3h for the unavoidability
     argument.
 
-    State is a fixed {e window} of message slots (at most 62, packed int
-    rows): per-slot relation rows, per-slot causal stamps, and per-process
-    past masks — no poset, no event history, no per-event allocation.
+    State is a fixed {e window} of message slots: per-slot relation
+    rows, per-slot causal stamps, and per-process past masks — no
+    poset, no event history. Windows up to {!max_window} (62) use
+    packed int rows with no per-event allocation; wider windows (up to
+    {!max_wide_window}) transparently fall back to {!Bitset} rows — the
+    same automaton, update for update, at a constant factor's cost.
     Delivered messages are retired oldest-first when the window fills, so
     resident memory is a constant of [(window, nprocs)], independent of
     stream length. Retirement bounds what the monitor can match:
@@ -36,12 +39,20 @@
 type t
 
 val max_window : int
-(** 62: one slot per bit of an OCaml int, as {!Run.Abstract.masks}. *)
+(** 62: one slot per bit of an OCaml int, as {!Run.Abstract.masks} —
+    the widest {e packed} window. Larger windows are served by the
+    Bitset representation. *)
 
-val create : ?window:int -> nprocs:int -> unit -> t
-(** [window] defaults to 32.
-    @raise Invalid_argument if [window] is outside [1 .. max_window] or
-    [nprocs <= 0]. *)
+val max_wide_window : int
+(** 4096: the widest window of the Bitset fallback. *)
+
+val create : ?window:int -> ?wide:bool -> nprocs:int -> unit -> t
+(** [window] defaults to 32. Windows above {!max_window} get the Bitset
+    representation ({!is_wide}); [wide:true] forces it at any window —
+    how the differential tests drive both representations over one
+    stream ([wide:false] cannot override the width-mandated fallback).
+    @raise Invalid_argument if [window] is outside
+    [1 .. max_wide_window] or [nprocs <= 0]. *)
 
 val window : t -> int
 
@@ -72,15 +83,32 @@ val deliver : t -> msg:int -> unit
     Read-only access for predicate evaluation; the arrays are owned by
     the monitor and mutated by {!send}/{!deliver}. Slots are assigned in
     arrival order and recycled, so a slot index is only meaningful
-    between events. *)
+    between events. A monitor exposes exactly one representation:
+    {!masks}/{!live} when packed, {!wide_rel}/{!wide_live} when wide —
+    dispatch on {!is_wide}. *)
+
+val is_wide : t -> bool
+(** [true] when the window exceeds {!max_window} and the state lives in
+    Bitset rows. *)
 
 val live : t -> int
-(** Bit mask of occupied slots. *)
+(** Bit mask of occupied slots.
+    @raise Invalid_argument on a wide monitor. *)
 
 val masks : t -> int array
 (** The eight must-relation sections over slots, row [x] of relation [k]
     at index [k * window + x], in the {!Run.Abstract.masks} order
-    [ss sr rs rr ss_t sr_t rs_t rr_t]. *)
+    [ss sr rs rr ss_t sr_t rs_t rr_t].
+    @raise Invalid_argument on a wide monitor. *)
+
+val wide_live : t -> Bitset.t
+(** Occupied slots of a wide monitor.
+    @raise Invalid_argument on a packed monitor. *)
+
+val wide_rel : t -> Bitset.t array
+(** The eight must-relation sections of a wide monitor as Bitset rows,
+    indexed exactly as {!masks}.
+    @raise Invalid_argument on a packed monitor. *)
 
 val slot_src : t -> int array
 (** Per-slot sending process ([-1] on free slots). *)

@@ -10,6 +10,7 @@ module Metrics = Mo_obs.Metrics
 type 'a node = {
   key : string;
   mutable value : 'a;
+  mutable stamp : float; (* clock time of insert / last touch *)
   mutable prev : 'a node option; (* towards most-recent *)
   mutable next : 'a node option; (* towards least-recent *)
 }
@@ -27,10 +28,19 @@ type 'a stripe = {
   mutable s_evictions : int;
 }
 
-type stats = { hits : int; misses : int; evictions : int; size : int }
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  age_min_s : float;
+  age_median_s : float;
+  age_max_s : float;
+}
 
 type 'a t = {
   cap : int;
+  clock : unit -> float;
   stripes : 'a stripe array;
   resident : int Atomic.t; (* total entries, all stripes *)
   loaded : int Atomic.t; (* entries restored from a persisted snapshot *)
@@ -40,11 +50,14 @@ type 'a t = {
   g_size : Metrics.gauge;
 }
 
-let create ~capacity ?(stripes = 1) ?registry () =
+let create ~capacity ?(stripes = 1) ?registry ?clock () =
   if capacity < 0 then invalid_arg "Cache.create: negative capacity";
   if stripes < 1 then invalid_arg "Cache.create: stripes must be >= 1";
   let registry =
     match registry with Some r -> r | None -> Metrics.create ()
+  in
+  let clock =
+    match clock with Some c -> c | None -> Unix.gettimeofday
   in
   let stripe i =
     (* distribute the capacity; the first [cap mod n] stripes take the
@@ -63,6 +76,7 @@ let create ~capacity ?(stripes = 1) ?registry () =
   in
   {
     cap = capacity;
+    clock;
     stripes = Array.init stripes stripe;
     resident = Atomic.make 0;
     loaded = Atomic.make 0;
@@ -110,11 +124,13 @@ let push_front s n =
 
 let find t key =
   let s = stripe_of t key in
+  let now = t.clock () in
   let hit =
     Mo_par.Lock.with_lock s.lock (fun () ->
         match Hashtbl.find_opt s.tbl key with
         | Some n ->
             s.s_hits <- s.s_hits + 1;
+            n.stamp <- now;
             unlink s n;
             push_front s n;
             Some n.value
@@ -138,15 +154,16 @@ let evict_lru s =
 
 (* shared by put (counted) and restore (silent on hit/miss, counted on
    eviction): returns (inserted, evicted) deltas for the global gauges *)
-let insert s key value =
+let insert s key value ~now =
   match Hashtbl.find_opt s.tbl key with
   | Some n ->
       n.value <- value;
+      n.stamp <- now;
       unlink s n;
       push_front s n;
       (0, 0)
   | None ->
-      let n = { key; value; prev = None; next = None } in
+      let n = { key; value; stamp = now; prev = None; next = None } in
       Hashtbl.replace s.tbl key n;
       push_front s n;
       if Hashtbl.length s.tbl > s.s_cap && evict_lru s then (1, 1)
@@ -161,8 +178,9 @@ let apply_deltas t ~inserted ~evicted =
 let put t key value =
   if t.cap > 0 then begin
     let s = stripe_of t key in
+    let now = t.clock () in
     let inserted, evicted =
-      Mo_par.Lock.with_lock s.lock (fun () -> insert s key value)
+      Mo_par.Lock.with_lock s.lock (fun () -> insert s key value ~now)
     in
     apply_deltas t ~inserted ~evicted
   end
@@ -171,11 +189,12 @@ let restore t entries =
   if t.cap = 0 then 0
   else begin
     let n = ref 0 in
+    let now = t.clock () in
     List.iter
       (fun (key, value) ->
         let s = stripe_of t key in
         let inserted, evicted =
-          Mo_par.Lock.with_lock s.lock (fun () -> insert s key value)
+          Mo_par.Lock.with_lock s.lock (fun () -> insert s key value ~now)
         in
         apply_deltas t ~inserted ~evicted;
         incr n)
@@ -200,14 +219,38 @@ let snapshot t =
   Array.to_list t.stripes |> List.concat_map stripe_entries
 
 let stripe_stats t =
+  let now = t.clock () in
   Array.map
     (fun s ->
       Mo_par.Lock.with_lock s.lock (fun () ->
+          (* the recency list is stamp-sorted (every touch both fronts
+             the node and refreshes its stamp), so ages come out sorted
+             head -> tail: min is the head, max the tail, and the median
+             one walk to the middle *)
+          let ages =
+            let rec walk acc = function
+              | None -> acc
+              | Some n -> walk (Float.max 0. (now -. n.stamp) :: acc) n.next
+            in
+            (* head -> tail accumulated in reverse: oldest first *)
+            Array.of_list (walk [] s.head)
+          in
+          let k = Array.length ages in
+          let age_min_s = if k = 0 then 0. else ages.(k - 1) in
+          let age_max_s = if k = 0 then 0. else ages.(0) in
+          let age_median_s =
+            if k = 0 then 0.
+            else if k land 1 = 1 then ages.(k / 2)
+            else 0.5 *. (ages.((k / 2) - 1) +. ages.(k / 2))
+          in
           {
             hits = s.s_hits;
             misses = s.s_misses;
             evictions = s.s_evictions;
             size = Hashtbl.length s.tbl;
+            age_min_s;
+            age_median_s;
+            age_max_s;
           }))
     t.stripes
 

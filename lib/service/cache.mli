@@ -23,15 +23,38 @@
 
 type 'a t
 
-type stats = { hits : int; misses : int; evictions : int; size : int }
-(** One stripe's accounting. *)
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  age_min_s : float;
+      (** seconds since the stripe's most recently touched entry was
+          inserted or last hit; [0.] on an empty stripe *)
+  age_median_s : float;
+      (** median entry age (mean of the middle two on even sizes) *)
+  age_max_s : float;
+      (** age of the stripe's LRU entry — how stale the next eviction
+          victim is *)
+}
+(** One stripe's accounting. Entry age is measured against the cache's
+    clock from the entry's last touch (insert, refresh or hit), so the
+    LRU recency list is also the age order: [age_min_s] belongs to the
+    MRU head, [age_max_s] to the LRU tail. *)
 
 val create :
-  capacity:int -> ?stripes:int -> ?registry:Mo_obs.Metrics.t -> unit -> 'a t
+  capacity:int ->
+  ?stripes:int ->
+  ?registry:Mo_obs.Metrics.t ->
+  ?clock:(unit -> float) ->
+  unit ->
+  'a t
 (** [capacity] is the {e total} entry budget, distributed over the
     stripes (the first [capacity mod stripes] stripes hold one more).
     [capacity 0] disables caching: every lookup misses, nothing is
-    stored. [stripes] defaults to 1.
+    stored. [stripes] defaults to 1. [clock] (default
+    [Unix.gettimeofday]) stamps entries for the age statistics —
+    injectable so tests can age entries deterministically.
     @raise Invalid_argument if [capacity < 0] or [stripes < 1]. *)
 
 val capacity : 'a t -> int
@@ -64,7 +87,9 @@ val loaded : 'a t -> int
 (** Entries ever fed through {!restore} — how warm this instance started. *)
 
 val stripe_stats : 'a t -> stats array
-(** Per-stripe hit/miss/eviction/size accounting, index = stripe id. *)
+(** Per-stripe hit/miss/eviction/size accounting plus entry-age
+    min/median/max, index = stripe id. One clock read covers the whole
+    sweep, so ages are mutually consistent across stripes. *)
 
 val hits : 'a t -> int
 

@@ -7,6 +7,7 @@ type request =
   | Minimize of Forbidden.t list
   | Witness of Forbidden.t
   | Monitor of Forbidden.t * string * int option
+  | Lattice of Forbidden.t
   | Stats
   | Shutdown
   | Batch of envelope list
@@ -77,6 +78,8 @@ let rec envelope_of_json ~allow_batch json =
                     Option.bind (member "window" json) to_int
                   in
                   wrap (Monitor (p, trace, window)))
+      | "lattice" ->
+          Result.bind (pred_field "pred") (fun p -> wrap (Lattice p))
       | "stats" -> wrap Stats
       | "shutdown" -> wrap Shutdown
       | "batch" -> (
@@ -124,6 +127,7 @@ let rec request_to_json { id; deadline_ms; req } =
       op "monitor"
         ([ pred p; ("trace", J.String trace) ]
         @ match window with None -> [] | Some w -> [ ("window", J.Int w) ])
+  | Lattice p -> op "lattice" [ pred p ]
   | Stats -> op "stats" []
   | Shutdown -> op "shutdown" []
   | Batch envs ->
@@ -296,6 +300,45 @@ let monitor_payload ?window pred ~trace =
                                (Array.to_list v.Mo_core.Pmon.witness)) );
                       ] );
             ])
+
+let lattice_payload pred =
+  let canonical = Canon.predicate pred in
+  (* an inline jobs=1 pool: lattice placements already run inside the
+     engine's worker pool, and membership over the standard universe is
+     fast enough sequentially (the cache amortizes repeats anyway) *)
+  let pl =
+    Modelcheck.placement
+      ~pool:(Mo_par.Pool.create ~jobs:1 ())
+      ~sizes:Modelcheck.universe_sizes canonical
+  in
+  let names ms =
+    J.List
+      (List.map (fun m -> J.String (Mo_order.Lattice.to_string m)) ms)
+  in
+  J.Obj
+    [
+      ("predicate", J.String (Forbidden.to_string canonical));
+      ("digest", J.String (Canon.digest pred));
+      ("runs", J.Int pl.Modelcheck.p_runs);
+      ("spec_members", J.Int pl.Modelcheck.p_spec);
+      ( "models",
+        J.List
+          (List.map
+             (fun (p : Modelcheck.place) ->
+               J.Obj
+                 [
+                   ( "model",
+                     J.String (Mo_order.Lattice.to_string p.Modelcheck.pl_model)
+                   );
+                   ("members", J.Int p.Modelcheck.pl_members);
+                   ("intersection", J.Int p.Modelcheck.pl_inter);
+                   ("model_in_spec", J.Bool p.Modelcheck.pl_model_in_spec);
+                   ("spec_in_model", J.Bool p.Modelcheck.pl_spec_in_model);
+                 ])
+             pl.Modelcheck.p_places) );
+      ("sufficient", names pl.Modelcheck.p_sufficient);
+      ("guarantees", names pl.Modelcheck.p_guarantees);
+    ]
 
 (* ---- framing ----------------------------------------------------- *)
 

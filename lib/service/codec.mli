@@ -24,6 +24,11 @@ type request =
           a compiled monitor for [pred]. Never cached — the payload
           depends on the trace, not just the predicate. [window]
           defaults to {!Mo_order.Monitor.max_window}. *)
+  | Lattice of Mo_core.Forbidden.t
+      (** Place the spec's run set against every point of the
+          communication-model lattice over the 125,768-run standard
+          universe ({!Mo_core.Modelcheck.placement}). Cached under the
+          canonical digest, like [classify]. *)
   | Stats
   | Shutdown
   | Batch of envelope list
@@ -80,6 +85,15 @@ val monitor_payload :
     canonicalized — so [witness] indices line up with the caller's
     variable order. @raise Bad_request on a malformed trace or an
     exhausted window. *)
+
+val lattice_payload : Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
+(** Canonical predicate, digest, universe size, [|X_B|], one row per
+    lattice point ([members], [intersection], and the two empirical
+    inclusions), plus the [sufficient] (maximal models inside [X_B])
+    and [guarantees] (minimal models containing it) summaries. Rendered
+    from the canonical form, so alpha-equivalent inputs produce
+    byte-identical payloads — the cache invariant of
+    {!classify_payload}. *)
 
 (** {1 Framing} *)
 

@@ -19,7 +19,9 @@ let create ?(cache_capacity = 4096) ?(stripes = 8) ?registry ?pool ?clock
   let pool = match pool with Some p -> p | None -> Mo_par.Pool.create () in
   let clock = match clock with Some c -> c | None -> Unix.gettimeofday in
   {
-    cache = Cache.create ~capacity:cache_capacity ~stripes ~registry:reg ();
+    cache =
+      Cache.create ~capacity:cache_capacity ~stripes ~registry:reg ~clock
+        ();
     reg;
     pool;
     clock;
@@ -37,6 +39,18 @@ let create ?(cache_capacity = 4096) ?(stripes = 8) ?registry ?pool ?clock
 let registry t = t.reg
 
 let cache_stats t =
+  let stripe (s : Cache.stats) =
+    J.Obj
+      [
+        ("size", J.Int s.Cache.size);
+        ("hits", J.Int s.Cache.hits);
+        ("misses", J.Int s.Cache.misses);
+        ("evictions", J.Int s.Cache.evictions);
+        ("age_min_s", J.Float s.Cache.age_min_s);
+        ("age_median_s", J.Float s.Cache.age_median_s);
+        ("age_max_s", J.Float s.Cache.age_max_s);
+      ]
+  in
   J.Obj
     [
       ("capacity", J.Int (Cache.capacity t.cache));
@@ -46,6 +60,10 @@ let cache_stats t =
       ("hits", J.Int (Cache.hits t.cache));
       ("misses", J.Int (Cache.misses t.cache));
       ("evictions", J.Int (Cache.evictions t.cache));
+      ( "stripe_stats",
+        J.List
+          (Array.to_list
+             (Array.map stripe (Cache.stripe_stats t.cache))) );
     ]
 
 let snapshot t = Cache.snapshot t.cache
@@ -81,6 +99,9 @@ let computable (req : Codec.request) =
           fun () -> Codec.minimize_payload ps )
   | Codec.Monitor (p, trace, window) ->
       Some (None, fun () -> Codec.monitor_payload ?window p ~trace)
+  | Codec.Lattice p ->
+      Some
+        (Some ("l:" ^ Canon.digest p), fun () -> Codec.lattice_payload p)
   | Codec.Stats | Codec.Shutdown | Codec.Batch _ -> None
 
 (* admission: None when the request may proceed, Some response when it

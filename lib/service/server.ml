@@ -1,5 +1,7 @@
 type transport = Uds of string | Tcp of string * int
 
+module Metrics = Mo_obs.Metrics
+
 type config = {
   transport : transport;
   cache_capacity : int;
@@ -10,6 +12,7 @@ type config = {
   max_conn_requests : int;
   pipeline_depth : int;
   persist : string option;
+  persist_interval_s : float option;
 }
 
 let default_config ~socket_path =
@@ -23,6 +26,7 @@ let default_config ~socket_path =
     max_conn_requests = 10_000;
     pipeline_depth = 64;
     persist = None;
+    persist_interval_s = None;
   }
 
 let log fmt =
@@ -239,6 +243,37 @@ let run ?engine ?(on_ready = fun (_ : Unix.sockaddr) -> ()) cfg =
           let n = Engine.restore engine entries in
           log "restored %d cached decisions from %s" n path
       | Error e -> log "ignoring snapshot %s: %s (starting cold)" path e));
+  let c_saves =
+    Metrics.counter
+      (Engine.registry engine)
+      ~help:"persist snapshots written (periodic and shutdown)"
+      "svc.persist.saves"
+  in
+  let save_snapshot ~why path =
+    let entries = Engine.snapshot engine in
+    match Persist.save ~path entries with
+    | () ->
+        Metrics.inc c_saves;
+        log "persisted %d cached decisions to %s (%s)"
+          (List.length entries) path why
+    | exception e ->
+        log "cannot persist to %s: %s" path (Printexc.to_string e)
+  in
+  (* periodic snapshots ride the accept loop: with an interval
+     configured, select gets a finite timeout and the loop writes a
+     snapshot whenever the deadline passes — a kill-9'd daemon restarts
+     warm from the last interval, not cold *)
+  let periodic =
+    match (cfg.persist, cfg.persist_interval_s) with
+    | Some path, Some s when s > 0. -> Some (path, s)
+    | _ -> None
+  in
+  let next_save =
+    ref
+      (match periodic with
+      | Some (_, s) -> Unix.gettimeofday () +. s
+      | None -> infinity)
+  in
   let stop = Atomic.make false in
   (* self-pipe: signal handlers and workers that admitted a shutdown
      request wake the accept loop by writing one byte — the loop blocks
@@ -287,8 +322,18 @@ let run ?engine ?(on_ready = fun (_ : Unix.sockaddr) -> ()) cfg =
     try ignore (Unix.read pipe_rd b 0 16) with Unix.Unix_error _ -> ()
   in
   while not (Atomic.get stop) do
-    match Unix.select [ fd; pipe_rd ] [] [] (-1.) with
+    let timeout =
+      match periodic with
+      | None -> -1.
+      | Some _ -> Float.max 0. (!next_save -. Unix.gettimeofday ())
+    in
+    match Unix.select [ fd; pipe_rd ] [] [] timeout with
     | rs, _, _ ->
+        (match periodic with
+        | Some (path, s) when Unix.gettimeofday () >= !next_save ->
+            save_snapshot ~why:"interval" path;
+            next_save := Unix.gettimeofday () +. s
+        | _ -> ());
         if List.mem pipe_rd rs then drain_pipe ();
         if (not (Atomic.get stop)) && List.mem fd rs then (
           match Unix.accept fd with
@@ -320,14 +365,7 @@ let run ?engine ?(on_ready = fun (_ : Unix.sockaddr) -> ()) cfg =
   Mo_par.Workers.shutdown workers;
   (match cfg.persist with
   | None -> ()
-  | Some path -> (
-      let entries = Engine.snapshot engine in
-      match Persist.save ~path entries with
-      | () ->
-          log "persisted %d cached decisions to %s" (List.length entries)
-            path
-      | exception e ->
-          log "cannot persist to %s: %s" path (Printexc.to_string e)));
+  | Some path -> save_snapshot ~why:"shutdown" path);
   (match cfg.transport with
   | Uds path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | Tcp _ -> ());

@@ -62,6 +62,13 @@ type config = {
   persist : string option;
       (** snapshot file for the digest → decision table: loaded before
           the first connection, written atomically at shutdown *)
+  persist_interval_s : float option;
+      (** with [persist] set, additionally snapshot every this many
+          seconds from the accept loop (select gets a finite timeout
+          instead of blocking forever), so a kill-9'd daemon restarts
+          warm from the last interval rather than cold; each save bumps
+          the [svc.persist.saves] counter. Ignored without [persist] or
+          when [<= 0]. *)
 }
 
 val default_config : socket_path:string -> config

@@ -265,6 +265,108 @@ let test_frontier_bounded () =
   check_int "frontier bytes independent of stream length" short long;
   check_bool "frontier is small" true (short < 10_000)
 
+(* ---- wide (Bitset) representation -------------------------------- *)
+
+(* packed and forced-wide monitors over one truncated-window stream:
+   after every event the two representations must hold the identical
+   relation (bit for bit, all eight sections), identical slot state,
+   and give the matcher the identical answer — the Bitset fallback is
+   the packed automaton, just wider words *)
+let test_wide_differential () =
+  let w = 16 in
+  let profile =
+    {
+      Stream.default_profile with
+      Stream.nmsgs = 200;
+      Stream.disorder = 0.1;
+    }
+  in
+  let nprocs = profile.Stream.nprocs in
+  let matchers =
+    List.map (fun plan -> Eval.Masked.make plan) plans
+  in
+  let agree pm wm =
+    let pmask = Monitor.masks pm and rel = Monitor.wide_rel wm in
+    let plive = Monitor.live pm and wlive = Monitor.wide_live wm in
+    for j = 0 to w - 1 do
+      let pl = plive land (1 lsl j) <> 0 in
+      check_bool "live slots agree" pl (Bitset.mem wlive j);
+      if pl then begin
+        check_int "slot msg" (Monitor.slot_msg pm j) (Monitor.slot_msg wm j);
+        check_bool "slot delivered" (Monitor.slot_delivered pm j)
+          (Monitor.slot_delivered wm j)
+      end
+    done;
+    for i = 0 to (8 * w) - 1 do
+      for y = 0 to w - 1 do
+        if pmask.(i) land (1 lsl y) <> 0 <> Bitset.mem rel.(i) y then
+          Alcotest.failf "relation row %d bit %d differs" i y
+      done
+    done;
+    List.iter
+      (fun matcher ->
+        let a =
+          Eval.Masked.find matcher ~n:w ~live:plive ~masks:pmask
+            ~src:(Monitor.slot_src pm) ~dst:(Monitor.slot_dst pm)
+            ~color:(Monitor.slot_color pm)
+        and b =
+          Eval.Masked.find_wide matcher ~n:w ~live:wlive ~rel
+            ~src:(Monitor.slot_src wm) ~dst:(Monitor.slot_dst wm)
+            ~color:(Monitor.slot_color wm)
+        in
+        check_bool "matcher verdicts agree" true (a = b))
+      matchers
+  in
+  List.iter
+    (fun seed ->
+      let pm = Monitor.create ~window:w ~nprocs () in
+      let wm = Monitor.create ~window:w ~wide:true ~nprocs () in
+      check_bool "small window defaults packed" false (Monitor.is_wide pm);
+      check_bool "wide:true forces the Bitset path" true (Monitor.is_wide wm);
+      List.iter
+        (fun ev ->
+          (match ev with
+          | Stream.Send { msg; src; dst } ->
+              Monitor.send pm ~msg ~src ~dst ();
+              Monitor.send wm ~msg ~src ~dst ()
+          | Stream.Deliver { msg } ->
+              Monitor.deliver pm ~msg;
+              Monitor.deliver wm ~msg);
+          check_int "events agree" (Monitor.events pm) (Monitor.events wm);
+          check_int "retired agree" (Monitor.retired pm)
+            (Monitor.retired wm);
+          check_int "pending agree" (Monitor.pending pm)
+            (Monitor.pending wm);
+          agree pm wm)
+        (Stream.key_events profile ~seed ~key:0))
+    [ 1; 2; 3 ]
+
+(* a window no packed int can hold: 100 messages in flight at once,
+   then a FIFO inversion — only the Bitset representation can keep every
+   pending slot resident, and Pmon routes to it transparently *)
+let test_wide_window_128 () =
+  let t = Pmon.create ~window:128 ~nprocs:2 plan_fifo in
+  check_bool "window 128 is wide" true (Monitor.is_wide (Pmon.monitor t));
+  for m = 0 to 99 do
+    ignore (Pmon.send t ~msg:m ~src:0 ~dst:1 ())
+  done;
+  check_bool "100 in flight, clean" true (Pmon.verdict t = None);
+  check_int "all pending" 100 (Monitor.pending (Pmon.monitor t));
+  (* deliver the newest first: overtakes all 99 older channel-mates *)
+  let v = Pmon.deliver t ~msg:99 in
+  (match v with
+  | Some v ->
+      check_int "detected at the inverted delivery" 100 v.Pmon.at;
+      check_bool "witness is an overtaken pair" true
+        (match List.sort compare (Array.to_list v.Pmon.witness) with
+        | [ x; y ] -> x < 99 && y = 99
+        | _ -> false)
+  | None -> Alcotest.fail "planted violation missed");
+  for m = 0 to 98 do
+    ignore (Pmon.deliver t ~msg:m)
+  done;
+  check_int "all events consumed" 200 (Monitor.events (Pmon.monitor t))
+
 let test_window_exhaustion () =
   let t = Monitor.create ~window:2 ~nprocs:2 () in
   Monitor.send t ~msg:0 ~src:0 ~dst:1 ();
@@ -302,6 +404,10 @@ let () =
             test_frontier_bounded;
           Alcotest.test_case "exhaustion raises" `Quick
             test_window_exhaustion;
+          Alcotest.test_case "wide = packed on truncated windows" `Slow
+            test_wide_differential;
+          Alcotest.test_case "window 128 (Bitset fallback)" `Quick
+            test_wide_window_128;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_earliest_random ] );

@@ -256,6 +256,33 @@ let test_cache_snapshot_restore () =
   check_bool "LRU dropped on overflow" true (Cache.find c3 "b" = None);
   check_bool "MRU survives overflow" true (Cache.find c3 "a" = Some 1)
 
+(* entry-age accounting under an injected clock: ages come straight off
+   the LRU recency list (stamp order = recency order), min at the MRU
+   head, max at the LRU tail, median in between; a hit refreshes the
+   stamp *)
+let test_cache_age_stats () =
+  let now = ref 100. in
+  let c = Cache.create ~capacity:8 ~clock:(fun () -> !now) () in
+  let ages () =
+    let s = (Cache.stripe_stats c).(0) in
+    (s.Cache.age_min_s, s.Cache.age_median_s, s.Cache.age_max_s)
+  in
+  check_bool "empty stripe reports zero ages" true (ages () = (0., 0., 0.));
+  Cache.put c "a" 1;
+  now := 110.;
+  Cache.put c "b" 2;
+  now := 130.;
+  Cache.put c "c" 3;
+  now := 140.;
+  (* ages now: c = 10 (MRU), b = 30, a = 40 (LRU) *)
+  check_bool "min/median/max in recency order" true (ages () = (10., 30., 40.));
+  ignore (Cache.find c "a");
+  (* the hit restamped "a": 0 (MRU), c = 10, b = 30 *)
+  check_bool "a hit refreshes the stamp" true (ages () = (0., 10., 30.));
+  Cache.put c "d" 4;
+  (* even population: d = 0, a = 0, c = 10, b = 30 → median (0+10)/2 *)
+  check_bool "even median is the middle mean" true (ages () = (0., 5., 30.))
+
 (* ---- persistence ---- *)
 
 let test_persist_roundtrip () =
@@ -420,7 +447,9 @@ let batch_workload () =
 
 let run_batch ~jobs =
   let pool = Mo_par.Pool.create ~jobs () in
-  let t = Engine.create ~pool () in
+  (* a frozen clock: cache entry ages are part of the stats payload and
+     must not leak wall time into the byte-identity check *)
+  let t = Engine.create ~pool ~clock:(fun () -> 0.) () in
   let resp =
     Engine.handle t (envelope ~id:99 (Codec.Batch (batch_workload ())))
   in
@@ -610,6 +639,61 @@ let test_monitor_op () =
   | Ok _ -> Alcotest.fail "malformed trace accepted");
   ignore (monitor ~id:5 (trace false));
   check_int "monitor results are uncached" 0
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"))
+
+(* the lattice op: full placement payload, cached under the canonical
+   digest so an alpha-renaming answers from the table *)
+let test_lattice_op () =
+  let t = Engine.create ~cache_capacity:16 () in
+  let q ?id p = Engine.handle t (envelope ?id (Codec.Lattice (pred p))) in
+  let payload = ok_result (q fifo) in
+  check_bool "standard-plus universe" true
+    (field "runs" payload = J.Int 125_768);
+  (* the test's fifo forbids src-overtake only (no dst clause), so over
+     realizable runs its spec collapses onto the causal tier, not the
+     per-channel fifo-11 one *)
+  check_bool "fifo spec members pinned" true
+    (field "spec_members" payload = J.Int 63_364);
+  let models =
+    match field "models" payload with
+    | J.List l -> l
+    | _ -> Alcotest.fail "models is not a list"
+  in
+  check_int "all nine lattice points placed" 9 (List.length models);
+  let row name =
+    match
+      List.find_opt
+        (function
+          | J.Obj fs -> List.assoc_opt "model" fs = Some (J.String name)
+          | _ -> false)
+        models
+    with
+    | Some (J.Obj fs) -> fs
+    | _ -> Alcotest.fail ("no placement row for " ^ name)
+  in
+  check_bool "fifo-1n coincides with the spec" true
+    (List.assoc "model_in_spec" (row "fifo-1n") = J.Bool true
+    && List.assoc "spec_in_model" (row "fifo-1n") = J.Bool true);
+  check_bool "fifo-11 admits runs outside the spec" true
+    (List.assoc "model_in_spec" (row "fifo-11") = J.Bool false
+    && List.assoc "spec_in_model" (row "fifo-11") = J.Bool true);
+  check_bool "async is never inside a proper spec" true
+    (List.assoc "model_in_spec" (row "async") = J.Bool false);
+  check_bool "rsc members pinned" true
+    (List.assoc "members" (row "rsc") = J.Int 41_432);
+  check_bool "sufficient extremes are the one-sided fifos" true
+    (field "sufficient" payload
+    = J.List [ J.String "fifo-1n"; J.String "fifo-n1" ]);
+  check_bool "guaranteed extreme is fifo-nn" true
+    (field "guarantees" payload = J.List [ J.String "fifo-nn" ]);
+  (* an alpha-renaming of the same spec: identical payload, zero compute *)
+  let renamed =
+    ok_result (q ~id:2 "a.s < b.s & b.r < a.r & src(a) = src(b)")
+  in
+  check_string "alpha-renaming answers byte-identically"
+    (J.to_string payload) (J.to_string renamed);
+  check_int "second placement came from the cache" 1
     (Option.value ~default:(-1)
        (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"))
 
@@ -1044,6 +1128,91 @@ let test_daemon_persist_warm_restart () =
   graceful_shutdown pid2 path;
   Sys.remove snap
 
+let metrics_counter stats name =
+  match field "metrics" stats with
+  | J.Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some (J.Obj mf) -> (
+          match List.assoc_opt "value" mf with Some (J.Int n) -> n | _ -> 0)
+      | _ -> 0)
+  | _ -> Alcotest.fail "stats payload lacks a metrics object"
+
+(* --persist-interval: the accept loop writes background snapshots on a
+   timer, so even a kill -9 (no shutdown save) leaves a usable table
+   behind for the next life *)
+let test_daemon_persist_interval () =
+  let path = tmp_sock "interval" in
+  let snap = Filename.temp_file "mo-snapi" ".json" in
+  Sys.remove snap;
+  rm path;
+  let pid1 =
+    spawn_daemon
+      ~extra:[ "--persist"; snap; "--persist-interval"; "0.2" ]
+      path
+  in
+  (match Client.connect_addr ~retry:smoke_retry (Client.Uds path) with
+  | Error e ->
+      Unix.kill pid1 Sys.sigkill;
+      Alcotest.fail e
+  | Ok c ->
+      (match Client.call c (Codec.Classify (pred causal)) with
+      | Ok _ -> ()
+      | Error e ->
+          Unix.kill pid1 Sys.sigkill;
+          Alcotest.fail ("classify: " ^ e));
+      (* the select timeout fires the save with no client traffic at
+         all — but the very first save can predate the classify above
+         (an empty table snapshots to a valid file), so wait for a
+         snapshot big enough to hold the entry, not just for the file *)
+      let deadline = Unix.gettimeofday () +. 10. in
+      let has_entry () =
+        match Unix.stat snap with
+        | { Unix.st_size; _ } -> st_size > 64
+        | exception Unix.Unix_error _ -> false
+      in
+      let rec wait () =
+        if has_entry () then ()
+        else if Unix.gettimeofday () > deadline then begin
+          Unix.kill pid1 Sys.sigkill;
+          Alcotest.fail "no background snapshot with the entry within 10s"
+        end
+        else begin
+          Unix.sleepf 0.05;
+          wait ()
+        end
+      in
+      wait ();
+      (match Client.call c Codec.Stats with
+      | Ok s ->
+          check_bool "svc.persist.saves counted" true
+            (metrics_counter s "svc.persist.saves" >= 1)
+      | Error e ->
+          Unix.kill pid1 Sys.sigkill;
+          Alcotest.fail ("stats: " ^ e));
+      Client.close c);
+  (* kill -9: the shutdown save never runs, the background one remains *)
+  Unix.kill pid1 Sys.sigkill;
+  ignore (Unix.waitpid [] pid1);
+  check_bool "snapshot survives the crash" true (Sys.file_exists snap);
+  (* the restart comes up warm from the background snapshot, over the
+     predecessor's corpse socket *)
+  let pid2 = spawn_daemon ~extra:[ "--persist"; snap ] path in
+  (match Client.connect_addr ~retry:smoke_retry (Client.Uds path) with
+  | Error e ->
+      Unix.kill pid2 Sys.sigkill;
+      Alcotest.fail e
+  | Ok c ->
+      (match Client.call c Codec.Stats with
+      | Ok s ->
+          check_bool "restart loaded the background snapshot" true
+            (cache_counter s "loaded" >= 1)
+      | Error e ->
+          Unix.kill pid2 Sys.sigkill;
+          Alcotest.fail ("warm stats: " ^ e));
+      Client.close c);
+  graceful_shutdown pid2 path;
+  Sys.remove snap
+
 let test_request_json_roundtrip () =
   let reqs =
     [
@@ -1103,6 +1272,7 @@ let () =
             test_cache_striping_concurrent;
           Alcotest.test_case "snapshot and restore" `Quick
             test_cache_snapshot_restore;
+          Alcotest.test_case "entry ages" `Quick test_cache_age_stats;
         ] );
       ( "persist",
         [
@@ -1121,6 +1291,7 @@ let () =
             test_shutdown_semantics;
           Alcotest.test_case "payload shapes" `Quick test_payload_shapes;
           Alcotest.test_case "monitor op" `Quick test_monitor_op;
+          Alcotest.test_case "lattice op" `Quick test_lattice_op;
           Alcotest.test_case "pipelined groups" `Quick test_pipelined_group;
           Alcotest.test_case "warm restart" `Quick test_engine_warm_restart;
         ] );
@@ -1139,5 +1310,7 @@ let () =
           Alcotest.test_case "tcp transport" `Quick test_tcp_round_trip;
           Alcotest.test_case "persist warm restart" `Quick
             test_daemon_persist_warm_restart;
+          Alcotest.test_case "persist interval survives kill -9" `Quick
+            test_daemon_persist_interval;
         ] );
     ]
