@@ -18,11 +18,16 @@
    - eval: every Catalog predicate evaluated over every abstract run at
      (3 procs, 3 msgs), compiled-plan vs reference-interpreter arms;
      per-predicate violation counts pinned.
+   - sym (B18): the symmetry-quotiented enumerator (Modelcheck.verify
+     ~sym:true) against the concrete kernel on the same tier, verdicts
+     byte-identical between the arms and across the jobs sweep, plus
+     the vast tier (77,830,564 orbit-expanded runs) walked quotiented
+     only, its exact cardinalities pinned as integer gate keys.
 
    Timing keys follow the gate's conventions: wall_s (lower is better),
-   throughput (higher is better), kernel_speedup (higher is better:
-   reference wall over kernel wall — the acceptance bar is >= 3x for
-   the modelcheck workload). *)
+   throughput (higher is better), kernel_speedup / sym_speedup (higher
+   is better — the acceptance bars are >= 3x kernel_speedup for the
+   modelcheck workload and >= 5x sym_speedup on the deep tier). *)
 
 open Mo_order
 open Mo_core
@@ -253,16 +258,120 @@ let bench_eval () =
             ] );
       ] )
 
+(* ---- workload 3 (B18): the symmetry-quotiented kernel ------------- *)
+
+(* B18: Modelcheck.verify with ~sym:true — one canonical representative
+   per process/message symmetry orbit, counts expanded by exact orbit
+   sizes, decided subtrees pruned (DESIGN.md §3j) — against the concrete
+   kernel on the same tier. The verdicts must be byte-identical between
+   the arms and across the jobs sweep; the acceptance bar is
+   sym_speedup >= 5x on the deep tier. The vast tier (deep + the
+   5-process/5-message sizes, 77,830,564 orbit-expanded runs, ~83x deep)
+   is only ever walked quotiented; its cardinalities are pinned as exact
+   integer gate keys. *)
+let bench_sym ~deep ~jobs_list =
+  let sizes = universe_sizes ~deep in
+  Format.printf "@.-- sym (%d sizes%s + vast)@." (List.length sizes)
+    (if deep then ", deep" else "");
+  let kern, kern_wall =
+    time (fun () ->
+        Modelcheck.verify ~pool:(Mo_par.Pool.create ~jobs:1 ()) ~sizes ())
+  in
+  let sym, sym_wall =
+    time (fun () ->
+        Modelcheck.verify
+          ~pool:(Mo_par.Pool.create ~jobs:1 ())
+          ~sym:true ~sizes ())
+  in
+  let base = Mo_obs.Jsonb.to_string (verdict_json kern) in
+  if Mo_obs.Jsonb.to_string (verdict_json sym) <> base then
+    failwith "core bench: sym verdict differs from the concrete kernel";
+  List.iter
+    (fun jobs ->
+      let v =
+        Modelcheck.verify
+          ~pool:(Mo_par.Pool.create ~jobs ())
+          ~sym:true ~sizes ()
+      in
+      if Mo_obs.Jsonb.to_string (verdict_json v) <> base then
+        failwith
+          (Printf.sprintf
+             "core bench: sym verdict at %d jobs differs from jobs=1" jobs))
+    (List.filter (fun j -> j <> 1) jobs_list);
+  let runs = float_of_int kern.Modelcheck.counts.Modelcheck.runs in
+  let speedup = kern_wall /. sym_wall in
+  Format.printf
+    "  concrete:  %7.3f s  %9.0f runs/s@.  sym:       %7.3f s  %9.0f \
+     runs/s (orbit-expanded)@.  sym speedup %.2fx  (verdicts identical at \
+     jobs %s)@."
+    kern_wall (runs /. kern_wall) sym_wall (runs /. sym_wall) speedup
+    (String.concat "," (List.map string_of_int jobs_list));
+  if deep && speedup < 5.0 then
+    Format.printf "  WARNING: sym speedup below the 5x deep-tier bar@.";
+  let vast, vast_wall =
+    time (fun () ->
+        Modelcheck.verify
+          ~pool:(Mo_par.Pool.create ~jobs:1 ())
+          ~sym:true ~sizes:Modelcheck.vast_sizes ())
+  in
+  if not (Modelcheck.ok vast) then
+    failwith "core bench: vast-tier lemma identities failed";
+  let vruns = float_of_int vast.Modelcheck.counts.Modelcheck.runs in
+  Format.printf
+    "  vast:      %7.3f s  %9.0f runs/s  (%d orbit-expanded runs over %d \
+     sizes)@."
+    vast_wall (vruns /. vast_wall) vast.Modelcheck.counts.Modelcheck.runs
+    (List.length Modelcheck.vast_sizes);
+  ( "sym",
+    Mo_obs.Jsonb.Obj
+      [
+        ("result", verdict_json sym);
+        ( "vast",
+          Mo_obs.Jsonb.Obj
+            [
+              ("sizes", j_int (List.length Modelcheck.vast_sizes));
+              ("runs", j_int vast.Modelcheck.counts.Modelcheck.runs);
+              ("causal", j_int vast.Modelcheck.counts.Modelcheck.causal);
+              ("sync", j_int vast.Modelcheck.counts.Modelcheck.sync);
+              ("ok", j_bool (Modelcheck.ok vast));
+            ] );
+        ("jobs_checked", Mo_obs.Jsonb.List (List.map j_int jobs_list));
+        ( "timings",
+          Mo_obs.Jsonb.Obj
+            [
+              ( "concrete",
+                Mo_obs.Jsonb.Obj
+                  [
+                    ("wall_s", j_float kern_wall);
+                    ("throughput", j_float (runs /. kern_wall));
+                  ] );
+              ( "sym",
+                Mo_obs.Jsonb.Obj
+                  [
+                    ("wall_s", j_float sym_wall);
+                    ("throughput", j_float (runs /. sym_wall));
+                  ] );
+              ("sym_speedup", j_float speedup);
+              ( "vast",
+                Mo_obs.Jsonb.Obj
+                  [
+                    ("wall_s", j_float vast_wall);
+                    ("throughput", j_float (vruns /. vast_wall));
+                  ] );
+            ] );
+      ] )
+
 (* ---- entry point ------------------------------------------------- *)
 
 let summary ?(deep = false) ?(jobs_list = [ 1; 2; 4 ]) () =
   Format.printf
-    "@.%s@.== B14: enumeration + evaluation kernel throughput%s@.%s@."
+    "@.%s@.== B14+B18: enumeration + evaluation kernel throughput%s@.%s@."
     (String.make 74 '=')
     (if deep then " (deep universe)" else "")
     (String.make 74 '=');
   let modelcheck = bench_modelcheck ~deep ~jobs_list in
   let eval = bench_eval () in
+  let sym = bench_sym ~deep ~jobs_list in
   let json =
     Mo_obs.Jsonb.Obj
       [
@@ -274,7 +383,7 @@ let summary ?(deep = false) ?(jobs_list = [ 1; 2; 4 ]) () =
               ("cores", j_int (Mo_par.recommended_jobs ()));
             ] );
         ("deep", j_bool deep);
-        ("workloads", Mo_obs.Jsonb.Obj [ modelcheck; eval ]);
+        ("workloads", Mo_obs.Jsonb.Obj [ modelcheck; eval; sym ]);
       ]
   in
   let oc = open_out "BENCH_core.json" in

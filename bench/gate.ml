@@ -18,15 +18,19 @@
    sweep — are skipped outright when the BASELINE was recorded on a
    1-core host: such a baseline bakes in speedups < 1.0 (domains pay
    overhead with no parallelism to win), which is not an expectation any
-   rerun should be held to. Sequential ratios (B13's warm/cold cache
-   speedup, B14's kernel_speedup) are not scaling expectations and are
-   always compared. *)
+   rerun should be held to; the note printed at the end names the full
+   path of every leaf skipped this way. Sequential ratios (B13's
+   warm/cold cache speedup, B14's kernel_speedup, B18's sym_speedup)
+   are not scaling expectations and are always compared. *)
 
 let tolerance = ref 0.25
 
 let fail_count = ref 0
 let skip_count = ref 0
-let scaling_skip_count = ref 0
+
+(* full paths of the scaling leaves skipped under a 1-core baseline, so
+   the note can say which sweep each one belonged to *)
+let scaling_skipped : string list ref = ref []
 
 let failure path msg =
   incr fail_count;
@@ -70,7 +74,8 @@ let to_float = function
 let timing_direction key =
   match key with
   | "wall_s" | "first_to_steady_ratio" -> Some `Lower_is_better
-  | "speedup" | "efficiency" | "throughput" | "kernel_speedup" ->
+  | "speedup" | "efficiency" | "throughput" | "kernel_speedup"
+  | "sym_speedup" ->
       Some `Higher_is_better
   | _ -> None
 
@@ -127,7 +132,7 @@ let rec compare_json ?(in_sweep = false) ~timings_comparable
                 match timing_direction k with
                 | Some _ ->
                     if baseline_single_core && in_sweep && is_scaling_key k
-                    then incr scaling_skip_count
+                    then scaling_skipped := sub :: !scaling_skipped
                     else if timings_comparable then
                       check_timing ~path:sub ~key:k bv fv
                     else incr skip_count
@@ -190,11 +195,14 @@ let () =
           "note: %d timing comparisons skipped (different host core \
            counts)\n"
           !skip_count;
-      if !scaling_skip_count > 0 then
-        Printf.printf
-          "note: %d parallel-scaling comparisons skipped (baseline host \
-           has 1 core)\n"
-          !scaling_skip_count;
+      (match List.rev !scaling_skipped with
+      | [] -> ()
+      | skipped ->
+          Printf.printf
+            "note: %d parallel-scaling comparisons skipped (baseline host \
+             has 1 core):\n"
+            (List.length skipped);
+          List.iter (Printf.printf "  skipped %s\n") skipped);
       if !fail_count = 0 then begin
         Printf.printf "gate ok: %s vs %s\n" base_path fresh_path;
         exit 0

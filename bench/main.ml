@@ -56,7 +56,7 @@ let () =
   (* B17: lattice membership, mask vs reference; the per-model member
      counts are exact artifacts (writes BENCH_lat.json) *)
   if repro || lat_only then Lat.summary ();
-  (* B12, B14 and B15 run in every mode: their deterministic outputs
+  (* B12, B14+B18 and B15 run in every mode: their deterministic outputs
      belong to the reproduction artifacts and their timings to the perf
      sweep. `--soak` grows B15 to the nightly million-key stream. *)
   if not solo then begin

@@ -871,18 +871,31 @@ let make_pool jobs =
   else if jobs = 0 then Mo_par.Pool.create ()
   else Mo_par.Pool.create ~jobs ()
 
-let universe_run deep jobs =
+let universe_run deep vast sym jobs =
   let pool = make_pool jobs in
   let sizes =
-    if deep then Modelcheck.deep_sizes else Modelcheck.standard_sizes
+    if vast then Modelcheck.vast_sizes
+    else if deep then Modelcheck.deep_sizes
+    else Modelcheck.standard_sizes
   in
-  Format.printf "sizes (procs,msgs): %s   jobs: %d@."
+  Format.printf "sizes (procs,msgs): %s   jobs: %d%s@."
     (String.concat " "
        (List.map (fun (p, m) -> Printf.sprintf "(%d,%d)" p m) sizes))
-    (Mo_par.Pool.jobs pool);
-  let v = Modelcheck.verify ~pool ~sizes () in
+    (Mo_par.Pool.jobs pool)
+    (if sym then "   sym: orbit representatives" else "");
+  let v = Modelcheck.verify ~pool ~sym ~sizes () in
   Format.printf "%a@." Modelcheck.pp_verdict v;
   if Modelcheck.ok v then 0 else 2
+
+let sym_flag =
+  Arg.(
+    value & flag
+    & info [ "sym" ]
+        ~doc:
+          "enumerate one canonical representative per process/message \
+           symmetry orbit and expand counts by exact orbit sizes; \
+           verdicts and counts are byte-identical to the concrete \
+           enumeration, the wall time is not")
 
 let universe_cmd =
   let doc =
@@ -898,11 +911,21 @@ let universe_cmd =
             "extend the universe to 4 processes / 4 messages (millions of \
              runs; use with --jobs)")
   in
-  Cmd.v (Cmd.info "universe" ~doc) T.(const universe_run $ deep $ jobs_arg)
+  let vast =
+    Arg.(
+      value & flag
+      & info [ "vast" ]
+          ~doc:
+            "extend the universe to 5 processes / 5 messages (77.8 million \
+             runs, ~83x --deep; intended with $(b,--sym), which walks only \
+             the ~31,700 orbit representatives)")
+  in
+  Cmd.v (Cmd.info "universe" ~doc)
+    T.(const universe_run $ deep $ vast $ sym_flag $ jobs_arg)
 
 (* ---- lattice: place a spec against the communication-model lattice ---- *)
 
-let lattice_run json kmax jobs input =
+let lattice_run json kmax sym jobs input =
   match parse_pred input with
   | Error e ->
       prerr_endline e;
@@ -917,13 +940,13 @@ let lattice_run json kmax jobs input =
            two surfaces, no drift *)
         print_string
           (Mo_obs.Jsonb.to_string_pretty
-             (Mo_service.Codec.lattice_payload pred));
+             (Mo_service.Codec.lattice_payload ~kmax pred));
         0
       end
       else begin
         let pool = make_pool jobs in
         Format.printf "%a@." Modelcheck.pp_placement
-          (Modelcheck.placement ~pool ~kmax
+          (Modelcheck.placement ~pool ~kmax ~sym
              ~sizes:Modelcheck.universe_sizes pred);
         0
       end
@@ -941,11 +964,12 @@ let lattice_cmd =
       & opt int 3
       & info [ "kmax" ] ~docv:"K"
           ~doc:
-            "largest k-synchronous point swept (human output only; \
-             $(b,--json) is the fixed service payload, kmax 3)")
+            "largest k-synchronous point swept; honored by $(b,--json) \
+             too (the service payload carries its kmax, and mopcd caches \
+             per kmax)")
   in
   Cmd.v (Cmd.info "lattice" ~doc)
-    T.(const lattice_run $ json_flag $ kmax $ jobs_arg $ pred_arg)
+    T.(const lattice_run $ json_flag $ kmax $ sym_flag $ jobs_arg $ pred_arg)
 
 (* ---- explore: exhaustive schedule exploration of one protocol ---- *)
 
@@ -1033,7 +1057,12 @@ let query_request op args =
   match (op, args) with
   | "classify", [ p ] -> Result.map (fun p -> Classify p) (pred p)
   | "witness", [ p ] -> Result.map (fun p -> Witness p) (pred p)
-  | "lattice", [ p ] -> Result.map (fun p -> Lattice p) (pred p)
+  | "lattice", [ p ] -> Result.map (fun p -> Lattice (p, None)) (pred p)
+  | "lattice", [ p; k ] -> (
+      match int_of_string_opt k with
+      | Some k when k >= 1 ->
+          Result.map (fun p -> Lattice (p, Some k)) (pred p)
+      | _ -> Error "lattice KMAX must be an integer >= 1")
   | "implies", [ a; b ] ->
       Result.bind (pred a) (fun a ->
           Result.map (fun b -> Implies (a, b)) (pred b))
@@ -1051,8 +1080,8 @@ let query_request op args =
           match read_trace_text path with
           | Ok trace -> Ok (Monitor (p, trace, None))
           | Error e -> Error e)
-  | "classify", _ | "witness", _ | "lattice", _ ->
-      Error (op ^ " takes one PREDICATE")
+  | "classify", _ | "witness", _ -> Error (op ^ " takes one PREDICATE")
+  | "lattice", _ -> Error "lattice takes a PREDICATE and an optional KMAX"
   | "implies", _ -> Error "implies takes two predicates"
   | "minimize", _ -> Error "minimize takes at least one predicate"
   | "monitor", _ -> Error "monitor takes a PREDICATE and a TRACE file"

@@ -19,6 +19,8 @@ let deep_sizes = standard_sizes @ [ (4, 2); (4, 3); (3, 4); (4, 4) ]
 
 let universe_sizes = standard_sizes @ [ (4, 2); (4, 3); (3, 4) ]
 
+let vast_sizes = deep_sizes @ [ (5, 2); (5, 3); (5, 4); (4, 5) ]
+
 (* one pass accumulator: counts and the pointwise lemma identities, all
    combined with sums and conjunctions — commutative and associative, so
    the sharded reduction is order-insensitive (and the pool merges in
@@ -77,13 +79,13 @@ let plans =
           Catalog.async_forms;
     }
 
-let step plans acc r =
+let step_mult plans ~mult acc r =
   let causal = Limits.is_causal r and sync = Limits.is_sync r in
   let s2 = Eval.satisfies_c plans.p_b2 r in
   {
-    a_runs = acc.a_runs + 1;
-    a_causal = (acc.a_causal + if causal then 1 else 0);
-    a_sync = (acc.a_sync + if sync then 1 else 0);
+    a_runs = acc.a_runs + mult;
+    a_causal = (acc.a_causal + if causal then mult else 0);
+    a_sync = (acc.a_sync + if sync then mult else 0);
     a_sync_sub = acc.a_sync_sub && ((not sync) || causal);
     a_equiv =
       acc.a_equiv
@@ -95,22 +97,65 @@ let step plans acc r =
       && List.for_all (fun p -> Eval.satisfies_c p r) plans.p_async;
   }
 
+let step plans acc r = step_mult plans ~mult:1 acc r
+
 let with_pool pool f =
   match pool with
   | Some p -> f p
   | None -> f (Mo_par.Pool.create ())
 
-let verify ?pool ~sizes () =
+(* Decided-subtree prune for [verify] (sound because every component of
+   [acc] is then constant over the subtree — see DESIGN.md §3j):
+   Eval.holds_c is monotone in the closure (conjuncts are positive ▷
+   atoms), so once all three B-forms' patterns have matched and both
+   limit violations are witnessed, every completion contributes
+   runs-only. The async forms must be *statically* unsatisfiable for
+   their conjunct to stay true — which is exactly Lemma 3.3's syntactic
+   direction, so we check it with Forbidden.simplify rather than assume
+   the semantic lemma under verification. *)
+let verify_prune plans =
+  let asyncs_unsat =
+    List.for_all
+      (fun (e : Catalog.entry) ->
+        match Forbidden.simplify e.Catalog.pred with
+        | Forbidden.Unsatisfiable -> true
+        | Forbidden.Simplified _ -> false)
+      Catalog.async_forms
+  in
+  let decided a =
+    asyncs_unsat
+    && (not (Limits.is_causal a))
+    && (not (Limits.is_sync a))
+    && Eval.holds_c plans.p_b2 a
+    && Eval.holds_c plans.p_b1 a
+    && Eval.holds_c plans.p_b3 a
+  in
+  let on_pruned acc ~mult ~runs _a =
+    { acc with a_runs = acc.a_runs + (mult * runs) }
+  in
+  (decided, on_pruned)
+
+let verify ?pool ?(sym = false) ~sizes () =
   (* force the compiled plans on this domain before any worker shards run *)
   let plans = Lazy.force plans in
   with_pool pool (fun pool ->
       let total =
-        List.fold_left
-          (fun acc (nprocs, nmsgs) ->
-            acc_merge acc
-              (Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs
-                 ~init:acc_init ~f:(step plans) ~merge:acc_merge ()))
-          acc_init sizes
+        if sym then
+          List.fold_left
+            (fun acc (nprocs, nmsgs) ->
+              acc_merge acc
+                (Enumerate.fold_abstracts_sym_par ~pool ~nprocs ~nmsgs
+                   ~prune:(verify_prune plans) ~init:acc_init
+                   ~f:(fun acc ~mult r -> step_mult plans ~mult acc r)
+                   ~merge:acc_merge ()))
+            acc_init sizes
+        else
+          List.fold_left
+            (fun acc (nprocs, nmsgs) ->
+              acc_merge acc
+                (Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs
+                   ~init:acc_init ~f:(step plans) ~merge:acc_merge ()))
+            acc_init sizes
       in
       {
         counts =
@@ -195,32 +240,44 @@ let verify_monitor ?pool ?(extensions = 3) ?(seed = 0) ?(sample = 1) ~sizes
         m_agree = total.ma_agree;
       })
 
-let count ?pool ~sizes () =
+let count ?pool ?(sym = false) ~sizes () =
+  let cstep ~mult acc r =
+    {
+      runs = acc.runs + mult;
+      causal = (acc.causal + if Limits.is_causal r then mult else 0);
+      sync = (acc.sync + if Limits.is_sync r then mult else 0);
+    }
+  in
+  let cmerge x y =
+    {
+      runs = x.runs + y.runs;
+      causal = x.causal + y.causal;
+      sync = x.sync + y.sync;
+    }
+  in
+  let czero = { runs = 0; causal = 0; sync = 0 } in
+  (* both limit violations are monotone in the closure: a subtree where
+     causality and synchrony are already broken only contributes runs *)
+  let cprune =
+    ( (fun a -> (not (Limits.is_causal a)) && not (Limits.is_sync a)),
+      fun acc ~mult ~runs _a -> { acc with runs = acc.runs + (mult * runs) } )
+  in
   with_pool pool (fun pool ->
       List.fold_left
         (fun acc (nprocs, nmsgs) ->
           let c =
-            Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs
-              ~init:{ runs = 0; causal = 0; sync = 0 }
-              ~f:(fun acc r ->
-                {
-                  runs = acc.runs + 1;
-                  causal = (acc.causal + if Limits.is_causal r then 1 else 0);
-                  sync = (acc.sync + if Limits.is_sync r then 1 else 0);
-                })
-              ~merge:(fun x y ->
-                {
-                  runs = x.runs + y.runs;
-                  causal = x.causal + y.causal;
-                  sync = x.sync + y.sync;
-                })
-              ()
+            if sym then
+              Enumerate.fold_abstracts_sym_par ~pool ~nprocs ~nmsgs
+                ~prune:cprune ~init:czero
+                ~f:(fun acc ~mult r -> cstep ~mult acc r)
+                ~merge:cmerge ()
+            else
+              Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs ~init:czero
+                ~f:(fun acc r -> cstep ~mult:1 acc r)
+                ~merge:cmerge ()
           in
-          { runs = acc.runs + c.runs;
-            causal = acc.causal + c.causal;
-            sync = acc.sync + c.sync })
-        { runs = 0; causal = 0; sync = 0 }
-        sizes)
+          cmerge acc c)
+        czero sizes)
 
 (* ------------------------------------------------------------------ *)
 (* Placement against the communication-model lattice.                  *)
@@ -251,7 +308,7 @@ type pacc = {
   pa_contby : bool array; (* X_B ⊆ X_M so far *)
 }
 
-let placement ?pool ?(kmax = 3) ~sizes pred =
+let placement ?pool ?(kmax = 3) ?(sym = false) ~sizes pred =
   let models = Array.of_list (Lattice.points ~kmax ()) in
   let nm = Array.length models in
   (* compiled before the worker shards run, as [verify] *)
@@ -269,7 +326,7 @@ let placement ?pool ?(kmax = 3) ~sizes pred =
   (* per-run copies keep the shard accumulators disjoint, as the
      monitor pass; everything reduces by sums and conjunctions, so the
      verdict is identical at every job count *)
-  let step acc r =
+  let step ~mult acc r =
     let sat = Eval.satisfies_c plan r in
     let members = Array.copy acc.pa_members
     and inter = Array.copy acc.pa_inter
@@ -278,14 +335,14 @@ let placement ?pool ?(kmax = 3) ~sizes pred =
     for i = 0 to nm - 1 do
       let m = Lattice.is_member models.(i) r in
       if m then begin
-        members.(i) <- members.(i) + 1;
-        if sat then inter.(i) <- inter.(i) + 1 else cont.(i) <- false
+        members.(i) <- members.(i) + mult;
+        if sat then inter.(i) <- inter.(i) + mult else cont.(i) <- false
       end
       else if sat then contby.(i) <- false
     done;
     {
-      pa_runs = acc.pa_runs + 1;
-      pa_spec = (acc.pa_spec + if sat then 1 else 0);
+      pa_runs = acc.pa_runs + mult;
+      pa_spec = (acc.pa_spec + if sat then mult else 0);
       pa_members = members;
       pa_inter = inter;
       pa_cont = cont;
@@ -303,13 +360,62 @@ let placement ?pool ?(kmax = 3) ~sizes pred =
       pa_contby = Array.init nm (fun i -> x.pa_contby.(i) && y.pa_contby.(i));
     }
   in
+  (* Decided-subtree prune, per size: the spec's pattern has matched
+     (Eval.holds_c is monotone, so no completion satisfies the spec) and
+     every lattice point's membership is constant over the subtree —
+     either statically true at this size (Async; Ksync k with k ≥ nmsgs,
+     since no SCC can exceed the message count) or already violated
+     (every non-membership witness is a present structure: a cycle, a
+     large SCC, an overtaking pair — all monotone). Pruned runs are
+     members of exactly the statically-true points, with empty spec
+     intersection. *)
+  let prune_for nmsgs =
+    let trivially_in =
+      Array.map
+        (function
+          | Lattice.Async -> true
+          | Lattice.Ksync k -> k >= nmsgs
+          | _ -> false)
+        models
+    in
+    let decided a =
+      Eval.holds_c plan a
+      && Array.for_all2
+           (fun triv m -> triv || not (Lattice.is_member m a))
+           trivially_in models
+    in
+    let on_pruned acc ~mult ~runs _a =
+      let members = Array.copy acc.pa_members
+      and cont = Array.copy acc.pa_cont in
+      for i = 0 to nm - 1 do
+        if trivially_in.(i) then begin
+          members.(i) <- members.(i) + (mult * runs);
+          cont.(i) <- false
+        end
+      done;
+      {
+        acc with
+        pa_runs = acc.pa_runs + (mult * runs);
+        pa_members = members;
+        pa_cont = cont;
+      }
+    in
+    (decided, on_pruned)
+  in
   with_pool pool (fun pool ->
       let total =
         List.fold_left
           (fun acc (nprocs, nmsgs) ->
             merge acc
-              (Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs ~init
-                 ~f:step ~merge ()))
+              (if sym then
+                 Enumerate.fold_abstracts_sym_par ~pool ~nprocs ~nmsgs
+                   ~prune:(prune_for nmsgs) ~init
+                   ~f:(fun acc ~mult r -> step ~mult acc r)
+                   ~merge ()
+               else
+                 Enumerate.fold_abstracts_par ~pool ~nprocs ~nmsgs ~init
+                   ~f:(fun acc r -> step ~mult:1 acc r)
+                   ~merge ()))
           init sizes
       in
       let places =

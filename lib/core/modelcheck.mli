@@ -38,10 +38,26 @@ val universe_sizes : (int * int) list
     enough to separate every lattice point, small enough for tier-1
     tests. *)
 
-val verify : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> verdict
+val vast_sizes : (int * int) list
+(** {!deep_sizes} plus (5,2), (5,3), (5,4) and (4,5) — 77,830,564
+    orbit-expanded runs, ~83x the deep tier. Only practical with
+    [~sym:true], which enumerates the tier's ~31,700 canonical orbit
+    representatives and expands counts exactly (bench B18). *)
+
+val verify :
+  ?pool:Mo_par.Pool.t ->
+  ?sym:bool ->
+  sizes:(int * int) list ->
+  unit ->
+  verdict
 (** Enumerate every size and check each run against all four identities
     in one pass. [pool] defaults to a fresh pool with
-    {!Mo_par.default_jobs} workers. *)
+    {!Mo_par.default_jobs} workers. [sym] (default false) switches to
+    the symmetry-quotiented kernel ({!Mo_order.Enumerate.fold_abstracts_sym_par}):
+    one canonical representative per orbit, counts expanded by exact
+    orbit sizes, decided subtrees pruned — the verdict is identical
+    (verdicts are orbit-invariant; checked exhaustively by
+    test/test_sym.ml), the wall time is not. *)
 
 type monitor_report = {
   m_runs : int;  (** concrete runs checked *)
@@ -107,17 +123,23 @@ type placement = {
 val placement :
   ?pool:Mo_par.Pool.t ->
   ?kmax:int ->
+  ?sym:bool ->
   sizes:(int * int) list ->
   Forbidden.t ->
   placement
 (** One enumeration pass over [sizes], evaluating the compiled
     predicate and all lattice memberships per run. [kmax] (default 3)
-    bounds the k-synchronous points swept. *)
+    bounds the k-synchronous points swept. [sym] (default false) runs
+    the quotiented kernel: member counts become exact orbit sums
+    (lattice membership is orbit-invariant), byte-identical to the
+    concrete pass at every job count. *)
 
 val pp_placement : Format.formatter -> placement -> unit
 
-val count : ?pool:Mo_par.Pool.t -> sizes:(int * int) list -> unit -> counts
+val count :
+  ?pool:Mo_par.Pool.t -> ?sym:bool -> sizes:(int * int) list -> unit -> counts
 (** Just the limit-set cardinalities (skips the predicate evaluations);
-    at the standard sizes this is the pinned [1424 ⊆ 1840 ⊆ 2804]. *)
+    at the standard sizes this is the pinned [1424 ⊆ 1840 ⊆ 2804].
+    [sym] as in {!verify}. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

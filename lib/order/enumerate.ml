@@ -104,43 +104,50 @@ let count_runs ~nprocs ~msgs =
   enum ~nprocs ~msgs ~leaf:(fun ~seq:_ ~builder:_ -> incr n);
   !n
 
+(* De-interleave a builder's event-level reach rows into Run.Abstract's
+   packed msg×msg masks (rows ss sr rs rr, then their transposes). Valid
+   on partial closures too: the projection of whatever edges are present. *)
+let masks_of_builder ~nmsgs b =
+  let masks = Array.make (8 * nmsgs) 0 in
+  for u = 0 to (2 * nmsgs) - 1 do
+    let x = u lsr 1 in
+    let base = if u land 1 = 0 then 0 else 2 in
+    let row = Order_builder.reach_mask b u in
+    let sm = ref 0 and rm = ref 0 in
+    for y = 0 to nmsgs - 1 do
+      if row land (1 lsl (2 * y)) <> 0 then sm := !sm lor (1 lsl y);
+      if row land (1 lsl ((2 * y) + 1)) <> 0 then rm := !rm lor (1 lsl y)
+    done;
+    masks.((base * nmsgs) + x) <- !sm;
+    masks.(((base + 1) * nmsgs) + x) <- !rm
+  done;
+  for k = 0 to 3 do
+    let fwd = k * nmsgs and bwd = (k + 4) * nmsgs in
+    for x = 0 to nmsgs - 1 do
+      let bits = masks.(fwd + x) and xb = 1 lsl x in
+      for y = 0 to nmsgs - 1 do
+        if bits land (1 lsl y) <> 0 then
+          masks.(bwd + y) <- masks.(bwd + y) lor xb
+      done
+    done
+  done;
+  masks
+
+let shared_attrs msgs =
+  Array.map (fun (src, dst) -> Run.attrs_known ~src ~dst ()) msgs
+
 (* The abstract fast path: de-interleave the builder's event-level reach
    rows straight into Run.Abstract's packed msg×msg masks at each leaf —
    no poset snapshot, no concrete Run.t, no per-run attrs. All runs of a
    configuration share one attrs array (the records are immutable). *)
 let fold_abstracts ~nprocs ~msgs ~init ~f =
   let nmsgs = Array.length msgs in
-  let attrs =
-    Array.init nmsgs (fun m ->
-        let src, dst = msgs.(m) in
-        Run.attrs_known ~src ~dst ())
-  in
+  let attrs = shared_attrs msgs in
   let acc = ref init in
   enum ~nprocs ~msgs ~leaf:(fun ~seq:_ ~builder ->
-      let masks = Array.make (8 * nmsgs) 0 in
-      for u = 0 to (2 * nmsgs) - 1 do
-        let x = u lsr 1 in
-        let base = if u land 1 = 0 then 0 else 2 in
-        let row = Order_builder.reach_mask builder u in
-        let sm = ref 0 and rm = ref 0 in
-        for y = 0 to nmsgs - 1 do
-          if row land (1 lsl (2 * y)) <> 0 then sm := !sm lor (1 lsl y);
-          if row land (1 lsl ((2 * y) + 1)) <> 0 then rm := !rm lor (1 lsl y)
-        done;
-        masks.((base * nmsgs) + x) <- !sm;
-        masks.(((base + 1) * nmsgs) + x) <- !rm
-      done;
-      for k = 0 to 3 do
-        let fwd = k * nmsgs and bwd = (k + 4) * nmsgs in
-        for x = 0 to nmsgs - 1 do
-          let bits = masks.(fwd + x) and xb = 1 lsl x in
-          for y = 0 to nmsgs - 1 do
-            if bits land (1 lsl y) <> 0 then
-              masks.(bwd + y) <- masks.(bwd + y) lor xb
-          done
-        done
-      done;
-      acc := f !acc (Run.Abstract.of_masks ~nmsgs ~attrs masks));
+      acc :=
+        f !acc
+          (Run.Abstract.of_masks ~nmsgs ~attrs (masks_of_builder ~nmsgs builder)));
   !acc
 
 (* The pre-kernel reference enumerator: materialized per-process
@@ -220,4 +227,332 @@ let fold_abstracts_par ~pool ?allow_self ~nprocs ~nmsgs ~init ~f ~merge () =
   let cfgs = Array.of_list (configs ?allow_self ~nprocs ~nmsgs ()) in
   Mo_par.Pool.fold pool (Array.length cfgs)
     ~f:(fun i -> fold_abstracts ~nprocs ~msgs:cfgs.(i) ~init ~f)
+    ~merge ~init
+
+(* ------------------------------------------------------------------ *)
+(* Symmetry quotients (DESIGN.md §3j). Two nested, exact quotients:
+
+   Across configurations — [configs] is closed under process renaming,
+   and every classification verdict is invariant under it (predicate
+   guards are src/dst equality tests, lattice membership and the
+   causal/sync limits are purely structural), so the model checker only
+   needs one representative per renaming orbit, weighted by the orbit's
+   size. Orbit sizes come out of orbit-stabilizer (|orbit| =
+   nprocs!/|Stab|); here we obtain them by direct counting while
+   canonicalizing, which is the same number without needing the
+   stabilizer explicitly. [configs_sym] additionally identifies configs
+   that differ only in message *order*: relabeling messages maps runs to
+   runs bijectively and no predicate can observe the labels (quantifiers
+   range over message tuples, attrs travel with the relabeling).
+
+   Within a configuration — messages with identical (src, dst) are
+   interchangeable: permuting them inside their class maps runs to runs
+   and preserves every verdict. That action is free (two distinct
+   messages give the permuted run a different send order somewhere),
+   so each orbit has exactly [sym_mult] runs and exactly one canonical
+   representative: the run in which each class's send events appear in
+   message-index order in the sender's sequence. *)
+
+let proc_perms nprocs =
+  List.map Array.of_list (permutations (List.init nprocs Fun.id))
+
+let rename_config pi msgs = Array.map (fun (s, d) -> (pi.(s), pi.(d))) msgs
+
+let sym_mult ~msgs =
+  (* ∏ over interchangeability classes of |class|!, computed as: the c-th
+     copy of an endpoint pair contributes a factor c *)
+  let n = Array.length msgs in
+  let mult = ref 1 in
+  for m = 0 to n - 1 do
+    let c = ref 1 in
+    for m' = 0 to m - 1 do
+      if msgs.(m') = msgs.(m) then incr c
+    done;
+    mult := !mult * !c
+  done;
+  !mult
+
+(* Group a (config, weight) stream by canonical key, preserving
+   first-seen order so enumeration order is deterministic. *)
+let group_by_canon canon stream =
+  let counts = Hashtbl.create 97 in
+  let order = ref [] in
+  List.iter
+    (fun (msgs, w) ->
+      let key = canon msgs in
+      match Hashtbl.find_opt counts key with
+      | None ->
+          Hashtbl.add counts key w;
+          order := key :: !order
+      | Some n -> Hashtbl.replace counts key (n + w))
+    stream;
+  List.rev_map (fun key -> (key, Hashtbl.find counts key)) !order
+
+let configs_quotient ?allow_self ~nprocs ~nmsgs () =
+  (* quotient by process renaming only; representative = lex-least
+     renamed config, multiplicity = orbit size among ordered configs *)
+  let perms = proc_perms nprocs in
+  let canon msgs =
+    List.fold_left
+      (fun best pi ->
+        let c = rename_config pi msgs in
+        match best with Some b when compare b c <= 0 -> best | _ -> Some c)
+      None perms
+    |> Option.get
+  in
+  group_by_canon canon
+    (List.map (fun c -> (c, 1)) (configs ?allow_self ~nprocs ~nmsgs ()))
+
+(* All sorted configs (non-decreasing endpoint pairs) with the count of
+   ordered configs each stands for: nmsgs!/∏(run lengths!). Iterating
+   these instead of the full product is what keeps canonicalization cheap
+   at vast sizes. *)
+let sorted_configs ?(allow_self = false) ~nprocs ~nmsgs () =
+  let endpoints =
+    List.concat_map
+      (fun s -> List.init nprocs (fun d -> (s, d)))
+      (List.init nprocs Fun.id)
+    |> List.filter (fun (s, d) -> allow_self || s <> d)
+    |> Array.of_list
+  in
+  let ne = Array.length endpoints in
+  let fact = Array.make (nmsgs + 1) 1 in
+  for i = 1 to nmsgs do
+    fact.(i) <- fact.(i - 1) * i
+  done;
+  if nmsgs = 0 then [ ([||], 1) ]
+  else begin
+    let acc = ref [] in
+    let idx = Array.make nmsgs 0 in
+    let rec go k lo =
+      if k = nmsgs then begin
+        let mult = ref fact.(nmsgs) in
+        let i = ref 0 in
+        while !i < nmsgs do
+          let j = ref !i in
+          while !j < nmsgs && idx.(!j) = idx.(!i) do
+            incr j
+          done;
+          mult := !mult / fact.(!j - !i);
+          i := !j
+        done;
+        acc := (Array.map (fun i -> endpoints.(i)) idx, !mult) :: !acc
+      end
+      else
+        for e = lo to ne - 1 do
+          idx.(k) <- e;
+          go (k + 1) e
+        done
+    in
+    go 0 0;
+    List.rev !acc
+  end
+
+let configs_sym ?allow_self ~nprocs ~nmsgs () =
+  (* quotient by process renaming × message reorder; representative =
+     lex-least sorted renamed config, multiplicity = number of ordered
+     configs whose run sets are isomorphic to the representative's *)
+  let perms = proc_perms nprocs in
+  let canon msgs =
+    List.fold_left
+      (fun best pi ->
+        let c = rename_config pi msgs in
+        Array.sort compare c;
+        match best with Some b when compare b c <= 0 -> best | _ -> Some c)
+      None perms
+    |> Option.get
+  in
+  group_by_canon canon (sorted_configs ?allow_self ~nprocs ~nmsgs ())
+
+(* ------------------------------------------------------------------ *)
+(* The canonical-representative kernel. Same backtracking shape as
+   [enum], with three additions:
+
+   - σ symmetry breaking: event j of process p is placeable only once
+     [need.(p).(j)] ⊆ used — the earlier send events of j's
+     interchangeability class — so exactly the canonical run of each
+     σ-orbit survives the search; non-canonical subtrees are pruned at
+     the choice point, never generated and filtered.
+
+   - decided-subtree pruning: at each process boundary, an optional
+     [prune = (decided, on_pruned)] inspects the *partial* closure's
+     abstract projection. [decided] must be monotone — closures only
+     grow along a branch, so once it answers true it stays true on every
+     completion — and when it fires the whole subtree collapses into one
+     [on_pruned ~runs:n] callback, where n canonical completions are
+     counted without building their abstracts.
+
+   - memoized completion counting: the count of canonical completions
+     from a boundary depends only on (next process, reach rows) — the
+     closure determines every future cycle check and the need masks are
+     static — so counts are cached in a bounded direct-mapped table
+     keyed on that packed signature. Collisions overwrite; soundness
+     comes from the structural key comparison, the bound keeps memory
+     flat per configuration. *)
+
+let sig_tbl_size = 1 lsl 12
+
+let enum_sym ~nprocs ~msgs ~prune ~leaf =
+  let nmsgs = Array.length msgs in
+  let valid =
+    Array.for_all
+      (fun (src, dst) -> src >= 0 && src < nprocs && dst >= 0 && dst < nprocs)
+      msgs
+  in
+  if valid then begin
+    let b = Order_builder.create (2 * nmsgs) in
+    for m = 0 to nmsgs - 1 do
+      Order_builder.add_edge_exn b
+        (Event.encode (Event.send m))
+        (Event.encode (Event.deliver m))
+    done;
+    let evs =
+      Array.init nprocs (fun p -> Array.of_list (events_of ~nmsgs ~msgs p))
+    in
+    let nev = Array.map Array.length evs in
+    let enc = Array.map (Array.map Event.encode) evs in
+    let need =
+      Array.init nprocs (fun p ->
+          Array.init nev.(p) (fun j ->
+              let ej = enc.(p).(j) in
+              if ej land 1 = 1 then 0
+              else begin
+                let m = ej lsr 1 in
+                let mask = ref 0 in
+                for j' = 0 to nev.(p) - 1 do
+                  let e' = enc.(p).(j') in
+                  if e' land 1 = 0 && e' lsr 1 < m && msgs.(e' lsr 1) = msgs.(m)
+                  then mask := !mask lor (1 lsl j')
+                done;
+                !mask
+              end))
+    in
+    let used = Array.make nprocs 0 in
+    let attrs = shared_attrs msgs in
+    let abstract () =
+      Run.Abstract.of_masks ~nmsgs ~attrs (masks_of_builder ~nmsgs b)
+    in
+    let keys = Array.make sig_tbl_size [||] in
+    let vals = Array.make sig_tbl_size 0 in
+    let signature p =
+      let key = Array.make (1 + (2 * nmsgs)) p in
+      for u = 0 to (2 * nmsgs) - 1 do
+        key.(u + 1) <- Order_builder.reach_mask b u
+      done;
+      key
+    in
+    let rec count_proc p =
+      if p = nprocs then 1
+      else begin
+        let key = signature p in
+        let h = ref 0 in
+        Array.iter (fun x -> h := ((!h * 0x01000193) lxor x) land max_int) key;
+        let slot = !h land (sig_tbl_size - 1) in
+        if keys.(slot) = key then vals.(slot)
+        else begin
+          let n = count_place p 0 (-1) in
+          keys.(slot) <- key;
+          vals.(slot) <- n;
+          n
+        end
+      end
+    and count_place p i prev =
+      if i = nev.(p) then count_proc (p + 1)
+      else begin
+        let total = ref 0 in
+        let u = used.(p) in
+        for j = 0 to nev.(p) - 1 do
+          if u land (1 lsl j) = 0 && need.(p).(j) land lnot u = 0 then begin
+            let e = enc.(p).(j) in
+            let m = Order_builder.mark b in
+            let ok = prev < 0 || Order_builder.add_edge b prev e = `Ok in
+            if ok then begin
+              used.(p) <- u lor (1 lsl j);
+              total := !total + count_place p (i + 1) e;
+              used.(p) <- u
+            end;
+            Order_builder.undo b m
+          end
+        done;
+        !total
+      end
+    in
+    let rec proc p =
+      if p = nprocs then leaf (abstract ())
+      else begin
+        let handled =
+          match prune with
+          | Some (decided, on_pruned) ->
+              let a = abstract () in
+              if decided a then begin
+                let n = count_proc p in
+                if n > 0 then on_pruned ~runs:n a;
+                true
+              end
+              else false
+          | None -> false
+        in
+        if not handled then place p 0 (-1)
+      end
+    and place p i prev =
+      if i = nev.(p) then proc (p + 1)
+      else begin
+        let u = used.(p) in
+        for j = 0 to nev.(p) - 1 do
+          if u land (1 lsl j) = 0 && need.(p).(j) land lnot u = 0 then begin
+            let e = enc.(p).(j) in
+            let m = Order_builder.mark b in
+            let ok = prev < 0 || Order_builder.add_edge b prev e = `Ok in
+            if ok then begin
+              used.(p) <- u lor (1 lsl j);
+              place p (i + 1) e;
+              used.(p) <- u
+            end;
+            Order_builder.undo b m
+          end
+        done
+      end
+    in
+    proc 0
+  end
+
+let fold_abstracts_sym ~nprocs ~msgs ?prune ~init ~f () =
+  let acc = ref init in
+  let prune =
+    Option.map
+      (fun (decided, on_pruned) ->
+        (decided, fun ~runs a -> acc := on_pruned !acc ~runs a))
+      prune
+  in
+  enum_sym ~nprocs ~msgs ~prune ~leaf:(fun a -> acc := f !acc a);
+  !acc
+
+let count_runs_sym ~nprocs ~msgs =
+  (* the always-true prune collapses the whole configuration into one
+     memoized count at the p = 0 boundary; no leaf is ever enumerated *)
+  let n = ref 0 in
+  enum_sym ~nprocs ~msgs
+    ~prune:(Some ((fun _ -> true), fun ~runs _ -> n := !n + runs))
+    ~leaf:(fun _ -> ());
+  !n * sym_mult ~msgs
+
+let fold_abstracts_sym_par ~pool ?allow_self ~nprocs ~nmsgs ?prune ~init ~f
+    ~merge () =
+  (* shard by canonical-representative config (the quotiented enumeration
+     prefix); merge in representative order, so aggregates are
+     byte-identical at every job count *)
+  let cfgs = Array.of_list (configs_sym ?allow_self ~nprocs ~nmsgs ()) in
+  Mo_par.Pool.fold pool (Array.length cfgs)
+    ~f:(fun i ->
+      let msgs, cmult = cfgs.(i) in
+      let mult = cmult * sym_mult ~msgs in
+      let prune =
+        Option.map
+          (fun (decided, on_pruned) ->
+            (decided, fun acc ~runs a -> on_pruned acc ~mult ~runs a))
+          prune
+      in
+      fold_abstracts_sym ~nprocs ~msgs ?prune ~init
+        ~f:(fun acc a -> f acc ~mult a)
+        ())
     ~merge ~init

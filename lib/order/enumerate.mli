@@ -100,3 +100,95 @@ val fold_abstracts_par :
   'acc
 (** {!fold_runs_par} with {!fold_abstracts} at the leaves: the abstract
     fast path, sharded and merged identically. *)
+
+(** {2 Symmetry quotients}
+
+    Classification verdicts are invariant under process renaming (every
+    predicate guard is an src/dst equality test; lattice membership and
+    the causal/sync limits are structural) and under message relabeling
+    (quantifiers range over message tuples; attrs travel with the
+    relabeling). The entry points below exploit both: they enumerate one
+    canonical representative per orbit and report exact orbit sizes, so
+    orbit-expanded sums equal the unquotiented enumeration's — checked
+    exhaustively by [test/test_sym.ml]. See DESIGN.md §3j. *)
+
+val sym_mult : msgs:(int * int) array -> int
+(** Size of the σ-orbit of any run of [msgs]: the product of [|c|!] over
+    the interchangeability classes [c] (messages with identical
+    (src, dst)). The σ-action — permuting messages within a class — is
+    free on runs, so every orbit has exactly this many runs and exactly
+    one canonical representative. *)
+
+val configs_quotient :
+  ?allow_self:bool ->
+  nprocs:int ->
+  nmsgs:int ->
+  unit ->
+  ((int * int) array * int) list
+(** {!configs} quotiented by process renaming: one lex-least
+    representative per orbit, paired with the orbit's size
+    (orbit-stabilizer: [nprocs! / |Stab|], obtained by direct counting).
+    Multiplicity-expanded counts equal the unquotiented list's:
+    [Σ mult = length (configs ())], and every representative is a member
+    of [configs ()]. First-seen order, deterministic. *)
+
+val configs_sym :
+  ?allow_self:bool ->
+  nprocs:int ->
+  nmsgs:int ->
+  unit ->
+  ((int * int) array * int) list
+(** {!configs} quotiented by process renaming {e and} message reorder:
+    one lex-least sorted representative per orbit. The multiplicity is
+    the number of ordered configs in the orbit; every config in an orbit
+    has an isomorphic run set, so
+    [Σ (mult × count_runs rep) = Σ count_runs] over {!configs}. This is
+    the sharding domain of {!fold_abstracts_sym_par}. *)
+
+val count_runs_sym : nprocs:int -> msgs:(int * int) array -> int
+(** Equals {!count_runs}, computed as [sym_mult × canonical count] with
+    the canonical count memoized on packed closure signatures — the whole
+    configuration collapses into boundary-count lookups and no leaf is
+    enumerated. *)
+
+val fold_abstracts_sym :
+  nprocs:int ->
+  msgs:(int * int) array ->
+  ?prune:
+    ((Run.Abstract.t -> bool)
+    * ('acc -> runs:int -> Run.Abstract.t -> 'acc)) ->
+  init:'acc ->
+  f:('acc -> Run.Abstract.t -> 'acc) ->
+  unit ->
+  'acc
+(** Fold over the canonical σ-representative runs of one configuration
+    (each stands for {!sym_mult} concrete runs, all with the same
+    verdicts). [prune = (decided, on_pruned)] enables decided-subtree
+    pruning: at each process boundary [decided] sees the {e partial}
+    closure's abstract projection, and when it answers true the subtree
+    collapses into one [on_pruned ~runs:n] call, [n] counted via the
+    memoized signature table instead of enumerated. [decided] {b must be
+    monotone}: the closure only grows along a branch, so it may only
+    test for the {e presence} of structure (a forbidden pattern already
+    matched, a violation already witnessed) — never its absence. *)
+
+val fold_abstracts_sym_par :
+  pool:Mo_par.Pool.t ->
+  ?allow_self:bool ->
+  nprocs:int ->
+  nmsgs:int ->
+  ?prune:
+    ((Run.Abstract.t -> bool)
+    * ('acc -> mult:int -> runs:int -> Run.Abstract.t -> 'acc)) ->
+  init:'acc ->
+  f:('acc -> mult:int -> Run.Abstract.t -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  unit ->
+  'acc
+(** Parallel quotiented fold over the whole universe, sharded by
+    {!configs_sym} representative (the quotiented enumeration prefix)
+    and merged in representative order — byte-identical at every job
+    count. Each canonical leaf or pruned subtree arrives with
+    [mult = config orbit size × sym_mult]: its verdict stands for
+    exactly [mult] (resp. [mult × runs]) concrete runs of the
+    unquotiented universe. *)

@@ -7,7 +7,7 @@ type request =
   | Minimize of Forbidden.t list
   | Witness of Forbidden.t
   | Monitor of Forbidden.t * string * int option
-  | Lattice of Forbidden.t
+  | Lattice of Forbidden.t * int option
   | Stats
   | Shutdown
   | Batch of envelope list
@@ -78,8 +78,11 @@ let rec envelope_of_json ~allow_batch json =
                     Option.bind (member "window" json) to_int
                   in
                   wrap (Monitor (p, trace, window)))
-      | "lattice" ->
-          Result.bind (pred_field "pred") (fun p -> wrap (Lattice p))
+      | "lattice" -> (
+          Result.bind (pred_field "pred") (fun p ->
+              match Option.bind (member "kmax" json) to_int with
+              | Some k when k < 1 -> fail "\"kmax\" must be >= 1"
+              | kmax -> wrap (Lattice (p, kmax))))
       | "stats" -> wrap Stats
       | "shutdown" -> wrap Shutdown
       | "batch" -> (
@@ -127,7 +130,10 @@ let rec request_to_json { id; deadline_ms; req } =
       op "monitor"
         ([ pred p; ("trace", J.String trace) ]
         @ match window with None -> [] | Some w -> [ ("window", J.Int w) ])
-  | Lattice p -> op "lattice" [ pred p ]
+  | Lattice (p, kmax) ->
+      op "lattice"
+        ([ pred p ]
+        @ match kmax with None -> [] | Some k -> [ ("kmax", J.Int k) ])
   | Stats -> op "stats" []
   | Shutdown -> op "shutdown" []
   | Batch envs ->
@@ -301,7 +307,8 @@ let monitor_payload ?window pred ~trace =
                       ] );
             ])
 
-let lattice_payload pred =
+let lattice_payload ?(kmax = 3) pred =
+  if kmax < 1 then raise (Bad_request "kmax must be >= 1");
   let canonical = Canon.predicate pred in
   (* an inline jobs=1 pool: lattice placements already run inside the
      engine's worker pool, and membership over the standard universe is
@@ -309,7 +316,7 @@ let lattice_payload pred =
   let pl =
     Modelcheck.placement
       ~pool:(Mo_par.Pool.create ~jobs:1 ())
-      ~sizes:Modelcheck.universe_sizes canonical
+      ~kmax ~sizes:Modelcheck.universe_sizes canonical
   in
   let names ms =
     J.List
@@ -319,6 +326,7 @@ let lattice_payload pred =
     [
       ("predicate", J.String (Forbidden.to_string canonical));
       ("digest", J.String (Canon.digest pred));
+      ("kmax", J.Int kmax);
       ("runs", J.Int pl.Modelcheck.p_runs);
       ("spec_members", J.Int pl.Modelcheck.p_spec);
       ( "models",

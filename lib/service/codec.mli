@@ -24,11 +24,12 @@ type request =
           a compiled monitor for [pred]. Never cached — the payload
           depends on the trace, not just the predicate. [window]
           defaults to {!Mo_order.Monitor.max_window}. *)
-  | Lattice of Mo_core.Forbidden.t
-      (** Place the spec's run set against every point of the
-          communication-model lattice over the 125,768-run standard
-          universe ({!Mo_core.Modelcheck.placement}). Cached under the
-          canonical digest, like [classify]. *)
+  | Lattice of Mo_core.Forbidden.t * int option
+      (** [(pred, kmax)]: place the spec's run set against every point
+          of the communication-model lattice over the 125,768-run
+          standard universe ({!Mo_core.Modelcheck.placement}). [kmax]
+          (default 3) bounds the k-synchronous points swept. Cached
+          under the canonical digest {e and} kmax, like [classify]. *)
   | Stats
   | Shutdown
   | Batch of envelope list
@@ -86,14 +87,15 @@ val monitor_payload :
     variable order. @raise Bad_request on a malformed trace or an
     exhausted window. *)
 
-val lattice_payload : Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
-(** Canonical predicate, digest, universe size, [|X_B|], one row per
-    lattice point ([members], [intersection], and the two empirical
-    inclusions), plus the [sufficient] (maximal models inside [X_B])
-    and [guarantees] (minimal models containing it) summaries. Rendered
-    from the canonical form, so alpha-equivalent inputs produce
+val lattice_payload : ?kmax:int -> Mo_core.Forbidden.t -> Mo_obs.Jsonb.t
+(** Canonical predicate, digest, [kmax], universe size, [|X_B|], one
+    row per lattice point ([members], [intersection], and the two
+    empirical inclusions), plus the [sufficient] (maximal models inside
+    [X_B]) and [guarantees] (minimal models containing it) summaries.
+    [kmax] (default 3) bounds the k-synchronous sweep. Rendered from
+    the canonical form, so alpha-equivalent inputs produce
     byte-identical payloads — the cache invariant of
-    {!classify_payload}. *)
+    {!classify_payload}. @raise Bad_request when [kmax < 1]. *)
 
 (** {1 Framing} *)
 

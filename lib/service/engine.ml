@@ -99,9 +99,13 @@ let computable (req : Codec.request) =
           fun () -> Codec.minimize_payload ps )
   | Codec.Monitor (p, trace, window) ->
       Some (None, fun () -> Codec.monitor_payload ?window p ~trace)
-  | Codec.Lattice p ->
+  | Codec.Lattice (p, kmax) ->
+      (* kmax in the cache key: placements at different sweeps produce
+         different payloads and must not collide under one digest *)
+      let k = Option.value ~default:3 kmax in
       Some
-        (Some ("l:" ^ Canon.digest p), fun () -> Codec.lattice_payload p)
+        ( Some (Printf.sprintf "l:%d:%s" k (Canon.digest p)),
+          fun () -> Codec.lattice_payload ~kmax:k p )
   | Codec.Stats | Codec.Shutdown | Codec.Batch _ -> None
 
 (* admission: None when the request may proceed, Some response when it

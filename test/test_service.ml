@@ -646,8 +646,12 @@ let test_monitor_op () =
    digest so an alpha-renaming answers from the table *)
 let test_lattice_op () =
   let t = Engine.create ~cache_capacity:16 () in
-  let q ?id p = Engine.handle t (envelope ?id (Codec.Lattice (pred p))) in
+  let q ?id ?kmax p =
+    Engine.handle t (envelope ?id (Codec.Lattice (pred p, kmax)))
+  in
   let payload = ok_result (q fifo) in
+  check_bool "payload carries the default kmax" true
+    (field "kmax" payload = J.Int 3);
   check_bool "standard-plus universe" true
     (field "runs" payload = J.Int 125_768);
   (* the test's fifo forbids src-overtake only (no dst clause), so over
@@ -695,7 +699,41 @@ let test_lattice_op () =
     (J.to_string payload) (J.to_string renamed);
   check_int "second placement came from the cache" 1
     (Option.value ~default:(-1)
-       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"))
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"));
+  (* kmax rides the request: a wider sweep adds exactly the extra
+     k-synchronous rows and does NOT collide with the kmax-3 entry *)
+  let wide = ok_result (q ~id:3 ~kmax:5 fifo) in
+  check_bool "payload echoes the requested kmax" true
+    (field "kmax" wide = J.Int 5);
+  (match field "models" wide with
+  | J.List l -> check_int "kmax 5 sweeps eleven points" 11 (List.length l)
+  | _ -> Alcotest.fail "kmax-5 models is not a list");
+  check_int "kmax variants are cached separately (both were misses)" 1
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"));
+  let wide2 = ok_result (q ~id:4 ~kmax:5 fifo) in
+  check_string "kmax-5 repeat answers byte-identically from the cache"
+    (J.to_string wide) (J.to_string wide2);
+  check_int "kmax-5 repeat hit its own entry" 2
+    (Option.value ~default:(-1)
+       (Mo_obs.Metrics.value (Engine.registry t) "svc.cache_hits"));
+  (* wire round-trip and validation of the kmax field *)
+  (match
+     Codec.request_of_json
+       (Codec.request_to_json
+          { Codec.id = 9; deadline_ms = None;
+            req = Codec.Lattice (pred fifo, Some 5) })
+   with
+  | Ok { Codec.req = Codec.Lattice (_, Some 5); _ } -> ()
+  | _ -> Alcotest.fail "kmax did not survive the wire round-trip");
+  match
+    Codec.request_of_json
+      (J.Obj
+         [ ("id", J.Int 10); ("op", J.String "lattice");
+           ("pred", J.String fifo); ("kmax", J.Int 0) ])
+  with
+  | Error (10, _) -> ()
+  | _ -> Alcotest.fail "kmax 0 was not rejected"
 
 (* ---- the service edge: connect retry and crash-tolerant startup ---- *)
 

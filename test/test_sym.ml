@@ -1,0 +1,280 @@
+(* The symmetry-quotiented enumeration (DESIGN.md §3j), verified
+   differentially against the concrete kernel.
+
+   - configs_quotient / configs_sym: multiplicity-expanded config and
+     run counts equal the unquotiented enumeration's on every standard
+     size, and every representative is a member of the orbit it names;
+   - count_runs_sym = count_runs on every configuration;
+   - orbit-expanded per-predicate violation counts and limit-set counts
+     from fold_abstracts_sym (with and without decided-subtree pruning)
+     equal the concrete enumeration's, for every Catalog predicate,
+     exhaustively over the standard tier;
+   - Modelcheck verify / count / placement produce byte-identical
+     verdicts with --sym on and off, at jobs 1/2/4/7;
+   - MO_SYM_DEEP=1 (nightly) extends the verify differential to the
+     940,304-run deep tier and pins the 77,830,564-run vast tier's
+     orbit-expanded cardinalities. *)
+
+open Mo_core
+open Mo_order
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let deep = Sys.getenv_opt "MO_SYM_DEEP" <> None
+
+let sizes_all = (4, 2) :: Modelcheck.standard_sizes
+
+(* ---- config quotients --------------------------------------------- *)
+
+let test_configs_quotient () =
+  List.iter
+    (fun (nprocs, nmsgs) ->
+      let label fmt = Printf.sprintf fmt nprocs nmsgs in
+      let cfgs = Enumerate.configs ~nprocs ~nmsgs () in
+      let runs_of msgs = Enumerate.count_runs ~nprocs ~msgs in
+      let total_runs = List.fold_left (fun a c -> a + runs_of c) 0 cfgs in
+      let expand q = List.fold_left (fun a (_, m) -> a + m) 0 q in
+      let expand_runs q =
+        List.fold_left (fun a (c, m) -> a + (m * runs_of c)) 0 q
+      in
+      let q = Enumerate.configs_quotient ~nprocs ~nmsgs () in
+      check_int
+        (label "(%d,%d) quotient multiplicities expand to the config count")
+        (List.length cfgs) (expand q);
+      check_int
+        (label "(%d,%d) quotient orbit-expanded run count")
+        total_runs (expand_runs q);
+      List.iter
+        (fun (rep, _) ->
+          check_bool (label "(%d,%d) quotient rep is a real config") true
+            (List.mem rep cfgs))
+        q;
+      let s = Enumerate.configs_sym ~nprocs ~nmsgs () in
+      check_int
+        (label "(%d,%d) sym multiplicities expand to the config count")
+        (List.length cfgs) (expand s);
+      check_int
+        (label "(%d,%d) sym orbit-expanded run count")
+        total_runs (expand_runs s);
+      List.iter
+        (fun (rep, _) ->
+          check_bool (label "(%d,%d) sym rep is a real config") true
+            (List.mem rep cfgs))
+        s;
+      check_bool
+        (label "(%d,%d) sym quotient is at least as coarse")
+        true
+        (List.length s <= List.length q))
+    sizes_all
+
+let test_count_runs_sym () =
+  List.iter
+    (fun (nprocs, nmsgs) ->
+      List.iter
+        (fun msgs ->
+          check_int "count_runs_sym equals count_runs"
+            (Enumerate.count_runs ~nprocs ~msgs)
+            (Enumerate.count_runs_sym ~nprocs ~msgs))
+        (Enumerate.configs ~nprocs ~nmsgs ()))
+    sizes_all
+
+(* ---- orbit-expanded verdict counts, every catalog predicate -------- *)
+
+(* violations (holds_c) and limit members counted three ways: concrete,
+   sym, and sym with the decided-subtree prune driven by the predicate
+   itself — all must agree exactly *)
+let test_verdict_counts () =
+  let plans =
+    List.map
+      (fun (e : Catalog.entry) -> (e.Catalog.name, Eval.compile e.Catalog.pred))
+      Catalog.all
+  in
+  List.iter
+    (fun (nprocs, nmsgs) ->
+      let concrete =
+        List.fold_left
+          (fun acc msgs ->
+            Enumerate.fold_abstracts ~nprocs ~msgs ~init:acc
+              ~f:(fun (viols, causal) a ->
+                ( List.map2
+                    (fun v (_, plan) ->
+                      if Eval.holds_c plan a then v + 1 else v)
+                    viols plans,
+                  (causal + if Limits.is_causal a then 1 else 0) )))
+          (List.map (fun _ -> 0) plans, 0)
+          (Enumerate.configs ~nprocs ~nmsgs ())
+      in
+      let sym_arm ~prune () =
+        List.fold_left
+          (fun acc (msgs, cmult) ->
+            let mult = cmult * Enumerate.sym_mult ~msgs in
+            let weigh (viols, causal) w a =
+              ( List.map2
+                  (fun v (_, plan) ->
+                    if Eval.holds_c plan a then v + w else v)
+                  viols plans,
+                (causal + if Limits.is_causal a then w else 0) )
+            in
+            if prune then
+              (* prune on full decision: every plan's pattern matched and
+                 causality broken — then each pruned run adds mult to
+                 every violation tally and nothing to the causal one *)
+              let decided a =
+                (not (Limits.is_causal a))
+                && List.for_all (fun (_, plan) -> Eval.holds_c plan a) plans
+              in
+              let on_pruned (viols, causal) ~runs _a =
+                (List.map (fun v -> v + (mult * runs)) viols, causal)
+              in
+              Enumerate.fold_abstracts_sym ~nprocs ~msgs
+                ~prune:(decided, on_pruned) ~init:acc
+                ~f:(fun acc a -> weigh acc mult a)
+                ()
+            else
+              Enumerate.fold_abstracts_sym ~nprocs ~msgs ~init:acc
+                ~f:(fun acc a -> weigh acc mult a)
+                ())
+          (List.map (fun _ -> 0) plans, 0)
+          (Enumerate.configs_sym ~nprocs ~nmsgs ())
+      in
+      let check_arm name (viols, causal) =
+        let cviols, ccausal = concrete in
+        check_int
+          (Printf.sprintf "(%d,%d) %s causal count" nprocs nmsgs name)
+          ccausal causal;
+        List.iter2
+          (fun (pname, _) (c, s) ->
+            check_int
+              (Printf.sprintf "(%d,%d) %s violations of %s" nprocs nmsgs name
+                 pname)
+              c s)
+          plans
+          (List.combine cviols viols)
+      in
+      check_arm "sym" (sym_arm ~prune:false ());
+      check_arm "sym+prune" (sym_arm ~prune:true ()))
+    Modelcheck.standard_sizes
+
+(* ---- Modelcheck differentials ------------------------------------- *)
+
+let str_verdict v = Format.asprintf "%a" Modelcheck.pp_verdict v
+
+let str_placement p = Format.asprintf "%a" Modelcheck.pp_placement p
+
+let test_modelcheck_equal () =
+  let pool = Mo_par.Pool.create ~jobs:4 () in
+  let v = Modelcheck.verify ~pool ~sizes:Modelcheck.standard_sizes () in
+  let vs =
+    Modelcheck.verify ~pool ~sym:true ~sizes:Modelcheck.standard_sizes ()
+  in
+  check_string "verify standard: byte-identical" (str_verdict v)
+    (str_verdict vs);
+  check_bool "verify standard: record-equal" true (v = vs);
+  let c = Modelcheck.count ~pool ~sizes:Modelcheck.universe_sizes () in
+  let cs =
+    Modelcheck.count ~pool ~sym:true ~sizes:Modelcheck.universe_sizes ()
+  in
+  check_bool "count universe: equal" true (c = cs);
+  check_int "count universe: runs pinned" 125_768 cs.Modelcheck.runs;
+  check_int "count universe: causal pinned" 63_364 cs.Modelcheck.causal;
+  check_int "count universe: sync pinned" 41_432 cs.Modelcheck.sync;
+  List.iter
+    (fun (e : Catalog.entry) ->
+      let p =
+        Modelcheck.placement ~pool ~sizes:Modelcheck.standard_sizes
+          e.Catalog.pred
+      in
+      let ps =
+        Modelcheck.placement ~pool ~sym:true ~sizes:Modelcheck.standard_sizes
+          e.Catalog.pred
+      in
+      check_string
+        ("placement standard " ^ e.Catalog.name ^ ": byte-identical")
+        (str_placement p) (str_placement ps))
+    [ Catalog.fifo; Catalog.causal_b2; Catalog.sync_crown 2 ];
+  (* one universe-tier placement with a wider k-synchronous sweep *)
+  let p =
+    Modelcheck.placement ~pool ~kmax:5 ~sizes:Modelcheck.universe_sizes
+      Catalog.fifo.Catalog.pred
+  in
+  let ps =
+    Modelcheck.placement ~pool ~kmax:5 ~sym:true
+      ~sizes:Modelcheck.universe_sizes Catalog.fifo.Catalog.pred
+  in
+  check_string "placement universe fifo kmax 5: byte-identical"
+    (str_placement p) (str_placement ps)
+
+let test_jobs_identity () =
+  let at jobs =
+    let pool = Mo_par.Pool.create ~jobs () in
+    ( str_verdict
+        (Modelcheck.verify ~pool ~sym:true ~sizes:Modelcheck.universe_sizes ()),
+      str_placement
+        (Modelcheck.placement ~pool ~sym:true
+           ~sizes:Modelcheck.universe_sizes Catalog.causal_b2.Catalog.pred) )
+  in
+  let v1, p1 = at 1 in
+  List.iter
+    (fun jobs ->
+      let v, p = at jobs in
+      check_string
+        (Printf.sprintf "verify sym: jobs %d byte-identical to jobs 1" jobs)
+        v1 v;
+      check_string
+        (Printf.sprintf "placement sym: jobs %d byte-identical to jobs 1" jobs)
+        p1 p)
+    [ 2; 4; 7 ]
+
+(* ---- the nightly deep arm ----------------------------------------- *)
+
+let test_deep () =
+  if not deep then ()
+  else begin
+    let pool = Mo_par.Pool.create () in
+    let v = Modelcheck.verify ~pool ~sizes:Modelcheck.deep_sizes () in
+    let vs =
+      Modelcheck.verify ~pool ~sym:true ~sizes:Modelcheck.deep_sizes ()
+    in
+    check_string "verify deep: byte-identical" (str_verdict v)
+      (str_verdict vs);
+    check_int "deep runs pinned" 940_304 vs.Modelcheck.counts.Modelcheck.runs;
+    (* the vast tier is only ever walked quotiented; its orbit-expanded
+       cardinalities are pinned here and in bench B18 *)
+    let c = Modelcheck.count ~pool ~sym:true ~sizes:Modelcheck.vast_sizes () in
+    check_int "vast runs pinned" 77_830_564 c.Modelcheck.runs;
+    check_int "vast causal pinned" 37_542_704 c.Modelcheck.causal;
+    check_int "vast sync pinned" 23_179_456 c.Modelcheck.sync;
+    let vv =
+      Modelcheck.verify ~pool ~sym:true ~sizes:Modelcheck.vast_sizes ()
+    in
+    check_bool "vast verify: all lemma identities hold" true
+      (Modelcheck.ok vv);
+    check_bool "vast verify and count agree" true
+      (vv.Modelcheck.counts = c)
+  end
+
+let () =
+  Alcotest.run "sym"
+    [
+      ( "quotients",
+        [
+          Alcotest.test_case "configs_quotient / configs_sym" `Quick
+            test_configs_quotient;
+          Alcotest.test_case "count_runs_sym" `Quick test_count_runs_sym;
+        ] );
+      ( "verdicts",
+        [
+          Alcotest.test_case "orbit-expanded counts, every predicate" `Quick
+            test_verdict_counts;
+        ] );
+      ( "modelcheck",
+        [
+          Alcotest.test_case "sym on/off byte-identity" `Quick
+            test_modelcheck_equal;
+          Alcotest.test_case "jobs 1/2/4/7 byte-identity" `Quick
+            test_jobs_identity;
+          Alcotest.test_case "deep + vast tiers (MO_SYM_DEEP)" `Slow test_deep;
+        ] );
+    ]
